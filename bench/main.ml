@@ -1,0 +1,678 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see EXPERIMENTS.md for the index) and runs the Bechamel
+   micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig4    # one artifact
+     dune exec bench/main.exe -- bench   # micro-benchmarks only *)
+
+let header id title =
+  let line = String.make 74 '=' in
+  Printf.printf "\n%s\n== [%s] %s\n%s\n" line id title line
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: overview of the approach                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "FIG1" "Overview of the approach (paper Fig. 1)";
+  print_string
+    "  (1) Scenarios      requirements-level scenarios in ScenarioML\n\
+    \                     (library: scenarioml; ontology: ontology)\n\
+    \  (2) Architecture   structural + behavioral description, xADL-style\n\
+    \                     (libraries: adl, statechart; styles: styles)\n\
+    \  (3) Mapping        ontology event types -> architecture components\n\
+    \                     (library: mapping)\n\
+    \  (4) Evaluation     scenario walkthroughs over the structure, plus\n\
+    \                     dynamic simulation for quality attributes\n\
+    \                     (libraries: walkthrough, dsim)\n"
+
+(* ------------------------------------------------------------------ *)
+(* FIG2: PIMS scenarios and ontology                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header "FIG2" "PIMS scenarios and ontology event types (paper Fig. 2)";
+  let ontology = Casestudies.Pims.ontology in
+  print_endline (Ontology.Pretty.summary ontology);
+  print_endline "Ontology event types (excerpt: actions performed by the actors):";
+  List.iter
+    (fun id ->
+      match Ontology.Types.find_event_type ontology id with
+      | Some e -> Format.printf "  @[<v>%a@]@." (Ontology.Pretty.pp_event_type ontology) e
+      | None -> ())
+    [ "user-initiates"; "user-enters"; "system-prompts"; "system-downloads"; "system-saves" ];
+  Format.printf "%a@."
+    (Scenarioml.Pretty.pp_scenario ontology)
+    Casestudies.Pims.create_portfolio;
+  Format.printf "%a@."
+    (Scenarioml.Pretty.pp_scenario ontology)
+    Casestudies.Pims.get_share_prices
+
+(* ------------------------------------------------------------------ *)
+(* FIG3: PIMS architecture                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header "FIG3" "PIMS layered architecture in xADL (paper Fig. 3)";
+  Format.printf "%a@." Adl.Pretty.pp_layered Casestudies.Pims.architecture;
+  print_endline (Adl.Pretty.summary Casestudies.Pims.architecture);
+  Printf.printf "style violations: %d\n"
+    (List.length (Styles.Check.check_declared Casestudies.Pims.architecture));
+  print_endline "xADL serialization (first lines):";
+  let xml = Adl.Xml_io.to_string Casestudies.Pims.architecture in
+  String.split_on_char '\n' xml
+  |> List.filteri (fun i _ -> i < 12)
+  |> List.iter (fun l -> print_endline ("  " ^ l))
+
+(* ------------------------------------------------------------------ *)
+(* TAB1: the mapping table                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tab1 () =
+  header "TAB1" "Mapping between ontology event types and components (paper Table 1)";
+  print_string
+    (Mapping.Pretty.table_to_string ~event_type_label:Casestudies.Pims.event_type_label
+       ~component_label:Casestudies.Pims.component_label Casestudies.Pims.mapping);
+  let summary =
+    Mapping.Coverage.summarize Casestudies.Pims.ontology Casestudies.Pims.architecture
+      Casestudies.Pims.mapping
+  in
+  Format.printf "%a@." Mapping.Coverage.pp_summary summary;
+  Printf.printf
+    "Table 1 property (every event type mapped, every component mapped to): %b\n"
+    (Mapping.Coverage.is_total Casestudies.Pims.ontology Casestudies.Pims.architecture
+       Casestudies.Pims.mapping)
+
+(* ------------------------------------------------------------------ *)
+(* FIG4 (+WALK-A/WALK-B): the excised-link walkthrough                *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "FIG4" "Failed walkthrough of \"Get the current prices of shares\" (paper Fig. 4)";
+  let set = Casestudies.Pims.scenario_set in
+  let eval arch s =
+    Walkthrough.Engine.evaluate_scenario ~set ~architecture:arch
+      ~mapping:Casestudies.Pims.mapping s
+  in
+  print_endline "WALK-A/WALK-B expectations: \"our expectation was that the walkthrough of";
+  print_endline "the Create portfolio scenario would succeed while the Get the current";
+  print_endline "prices of shares scenario would fail.\"";
+  print_endline "";
+  print_endline "-- intact architecture --";
+  print_endline
+    (Walkthrough.Report.summary_line
+       (eval Casestudies.Pims.architecture Casestudies.Pims.create_portfolio));
+  print_endline
+    (Walkthrough.Report.summary_line
+       (eval Casestudies.Pims.architecture Casestudies.Pims.get_share_prices));
+  print_endline "";
+  print_endline "-- after excising the Loader / Data Access link --";
+  let broken = Casestudies.Pims.broken_architecture in
+  print_endline
+    (Walkthrough.Report.summary_line (eval broken Casestudies.Pims.create_portfolio));
+  Format.printf "%a@." Walkthrough.Report.pp_scenario_result
+    (eval broken Casestudies.Pims.get_share_prices)
+
+(* ------------------------------------------------------------------ *)
+(* FIG5: CRASH high-level architecture                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header "FIG5" "CRASH high-level architecture (paper Fig. 5)";
+  let hl = Casestudies.Crash.high_level_architecture () in
+  print_endline (Adl.Pretty.summary hl);
+  List.iter
+    (fun (org, name) ->
+      Printf.printf "  %-14s %s: Display + Information Gathering Sources + C&C\n" org name)
+    Casestudies.Crash.organizations;
+  print_endline "  all Command and Control centers joined by the emergency ad hoc network";
+  let g = Adl.Graph.of_structure hl in
+  Printf.printf "  fire-cc can reach police-cc: %b\n"
+    (Adl.Graph.reachable g "fire-cc" "police-cc");
+  Printf.printf "  displays only reach their own C&C directly: %b\n"
+    (Adl.Graph.reachable ~policy:Adl.Graph.Direct g "fire-display" "fire-cc"
+    && not (Adl.Graph.reachable ~policy:Adl.Graph.Direct g "fire-display" "police-cc"))
+
+(* ------------------------------------------------------------------ *)
+(* FIG6: the Entity Availability scenario                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "FIG6" "\"Entity Availability\" scenario in ScenarioML (paper Fig. 6)";
+  Format.printf "%a@."
+    (Scenarioml.Pretty.pp_scenario Casestudies.Crash.ontology)
+    Casestudies.Crash.entity_availability;
+  print_endline "ScenarioML serialization:";
+  print_string
+    (Xmlight.Print.element_to_string
+       (Scenarioml.Xml_io.scenario_to_element Casestudies.Crash.entity_availability));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* FIG7: CRASH entity internal architecture                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header "FIG7" "Architecture of each CRASH entity (paper Fig. 7, C2 style)";
+  Format.printf "%a@." Adl.Pretty.pp Casestudies.Crash.entity_architecture;
+  Printf.printf "C2 style violations: %d\n"
+    (List.length (Styles.Check.check_declared Casestudies.Crash.entity_architecture))
+
+(* ------------------------------------------------------------------ *)
+(* FIG8: ontology / scenario / architecture mapping                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  header "FIG8" "CRASH ontology, scenario, and architecture mapping (paper Fig. 8)";
+  Format.printf "%a@."
+    (Scenarioml.Pretty.pp_scenario Casestudies.Crash.ontology)
+    Casestudies.Crash.message_sequence;
+  print_string
+    (Mapping.Pretty.table_to_string ~event_type_label:Casestudies.Crash.event_type_label
+       ~component_label:Casestudies.Crash.component_label Casestudies.Crash.entity_mapping);
+  Printf.printf "\nsendMessage maps to: %s\n"
+    (String.concat ", "
+       (List.map Casestudies.Crash.component_label
+          (Mapping.Types.components_of Casestudies.Crash.entity_mapping "send-message")));
+  print_endline "-- static walkthroughs over the entity architecture --";
+  let set = Casestudies.Crash.entity_scenario_set in
+  List.iter
+    (fun s ->
+      let r =
+        Walkthrough.Engine.evaluate_scenario ~set
+          ~architecture:Casestudies.Crash.entity_architecture
+          ~mapping:Casestudies.Crash.entity_mapping s
+      in
+      print_endline ("  " ^ Walkthrough.Report.summary_line r))
+    set.Scenarioml.Scen.scenarios
+
+(* ------------------------------------------------------------------ *)
+(* WALK-C: availability, dynamic                                      *)
+(* ------------------------------------------------------------------ *)
+
+let crash_avail () =
+  header "WALK-C" "Dynamic evaluation: Entity Availability (paper 4.2)";
+  print_endline "Expectation: the Fire operator is alerted iff the architecture provides";
+  print_endline "a failure-detection mechanism.";
+  let run detector =
+    let r = Casestudies.Crash_sim.run_availability ~detector in
+    Format.printf "failure detector %-3s: %a | operator chart alerted: %b@."
+      (if detector then "ON" else "OFF")
+      Dsim.Checks.pp_availability r.Casestudies.Crash_sim.verdict
+      r.Casestudies.Crash_sim.fire_alerted;
+    r
+  in
+  let on = run true in
+  let _off = run false in
+  print_endline "network trace with the detector on:";
+  Format.printf "%a@." Dsim.Trace_pp.pp_trace on.Casestudies.Crash_sim.events
+
+(* ------------------------------------------------------------------ *)
+(* WALK-D: message ordering, dynamic                                  *)
+(* ------------------------------------------------------------------ *)
+
+let crash_order () =
+  header "WALK-D" "Dynamic evaluation: Message Sequence (paper 4.2)";
+  print_endline "Expectation: the sequence is preserved iff channels are FIFO.";
+  let run fifo =
+    let r = Casestudies.Crash_sim.run_ordering ~fifo () in
+    Format.printf "%-17s: %a@."
+      (if fifo then "FIFO channels" else "jittered channels")
+      Dsim.Checks.pp_ordering r.Casestudies.Crash_sim.verdict
+  in
+  run true;
+  run false;
+  print_endline "";
+  print_endline "the paper's exact workload (2 messages, 5 s apart) under small jitter:";
+  let r =
+    Casestudies.Crash_sim.run_ordering ~messages:2 ~gap:5.0 ~jitter:2.0 ~fifo:false ()
+  in
+  Format.printf "%a@." Dsim.Checks.pp_ordering r.Casestudies.Crash_sim.verdict
+
+(* ------------------------------------------------------------------ *)
+(* COMPLX: the ontology link-complexity claim                         *)
+(* ------------------------------------------------------------------ *)
+
+let complexity () =
+  header "COMPLX" "Mapping complexity with vs without the ontology (paper 1/5)";
+  print_endline "Claim: \"the more extensive the reuse of the ontology definitions in the";
+  print_endline "scenarios, the greater is the reduction in complexity.\"";
+  print_endline "";
+  print_endline "-- measured on the PIMS case study --";
+  let stats = Scenarioml.Stats.of_set Casestudies.Pims.scenario_set in
+  let counts =
+    Mapping.Complexity.measure Casestudies.Pims.mapping ~usage:stats.Scenarioml.Stats.usage
+  in
+  Format.printf "%a@." Scenarioml.Stats.pp stats;
+  Printf.printf
+    "links with ontology: %d (occurrence->definition %d + definition->component %d)\n"
+    counts.Mapping.Complexity.with_ontology counts.Mapping.Complexity.occurrences
+    counts.Mapping.Complexity.definition_links;
+  Printf.printf "links without ontology: %d\nreduction factor: %.2f\n"
+    counts.Mapping.Complexity.without_ontology counts.Mapping.Complexity.reduction;
+  print_endline "";
+  print_endline "-- synthetic sweep (20 event types, fanout 3, 8 components) --";
+  Printf.printf "%8s | %12s | %15s | %9s\n" "reuse" "with ontol." "without ontol." "reduction";
+  Printf.printf "%s\n" (String.make 55 '-');
+  List.iter
+    (fun (r, c) ->
+      Printf.printf "%8d | %12d | %15d | %9.2f\n" r c.Mapping.Complexity.with_ontology
+        c.Mapping.Complexity.without_ontology c.Mapping.Complexity.reduction)
+    (Mapping.Complexity.sweep ~event_types:20 ~fanout:3 ~components:8
+       ~reuse:[ 1; 2; 4; 8; 16; 32; 64 ])
+
+(* ------------------------------------------------------------------ *)
+(* COVER: which components the 22 use cases exercise                  *)
+(* ------------------------------------------------------------------ *)
+
+let cover () =
+  header "COVER" "Component coverage of the PIMS scenarios (paper 3.3)";
+  let result =
+    Walkthrough.Engine.evaluate_set ~set:Casestudies.Pims.scenario_set
+      ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping ()
+  in
+  Format.printf "%a@." Walkthrough.Coverage_report.pp
+    (Walkthrough.Coverage_report.of_set_result Casestudies.Pims.architecture result)
+
+(* ------------------------------------------------------------------ *)
+(* ENTITY-SIM: executing messages on the Fig. 7 architecture          *)
+(* ------------------------------------------------------------------ *)
+
+let entity_sim () =
+  header "ENTITY-SIM" "Executing messages on the entity architecture (Figs. 7/8)";
+  print_endline "The operator composes a message at the User Interface; it must traverse";
+  print_endline "exactly the three components Fig. 8 maps sendMessage to, then the network.";
+  let r = Casestudies.Crash_behavior.run_message_paths () in
+  Printf.printf "outgoing path : %s -> network (%s)\n"
+    (String.concat " -> " r.Casestudies.Crash_behavior.outgoing_path)
+    (if r.Casestudies.Crash_behavior.outgoing_reached_network then "delivered"
+     else "LOST");
+  Printf.printf "incoming path : %s (operator %s)\n"
+    (String.concat " -> " r.Casestudies.Crash_behavior.incoming_path)
+    (if r.Casestudies.Crash_behavior.incoming_informed_ui then "informed"
+     else "NOT informed");
+  print_endline "";
+  print_endline "with the Sharing Info Manager severed from the lower bus:";
+  let broken =
+    Adl.Diff.excise_link_between Casestudies.Crash.entity_architecture
+      "sharing-info-manager" "bus-bottom"
+  in
+  let r2 = Casestudies.Crash_behavior.run_message_paths_on broken in
+  Printf.printf "outgoing path : %s (%s)\n"
+    (String.concat " -> " r2.Casestudies.Crash_behavior.outgoing_path)
+    (if r2.Casestudies.Crash_behavior.outgoing_reached_network then "delivered"
+     else "message LOST before the network")
+
+(* ------------------------------------------------------------------ *)
+(* FAULTS: availability under intermittent failures and partitions    *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  header "FAULTS" "Availability under intermittent failures (extension of WALK-C)";
+  print_endline "Fire sends one request per second for 100 s; Police crash-restarts every";
+  print_endline "10 s, staying down for a growing fraction of each period.";
+  Printf.printf "%10s | %8s | %10s | %8s | %8s\n" "down frac" "sent" "delivered" "ratio"
+    "notices";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun p ->
+      Printf.printf "%10.2f | %8d | %10d | %8.3f | %8d\n"
+        p.Casestudies.Crash_sim.downtime_fraction p.Casestudies.Crash_sim.stats.Dsim.Checks.sent
+        p.Casestudies.Crash_sim.stats.Dsim.Checks.delivered
+        p.Casestudies.Crash_sim.stats.Dsim.Checks.delivery_ratio
+        p.Casestudies.Crash_sim.failure_notices)
+    (Casestudies.Crash_sim.run_fault_sweep
+       ~downtime_fractions:[ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9 ]
+       ());
+  print_endline "";
+  print_endline "Silent partition (no failure detector signal), healing at t=10 of 20:";
+  let stats = Casestudies.Crash_sim.run_partition () in
+  Format.printf "  %a@." Dsim.Checks.pp_stats stats
+
+(* ------------------------------------------------------------------ *)
+(* ABL-POLICY: routed vs direct hop policy                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_policy () =
+  header "ABL-POLICY" "Ablation: Routed vs Direct communication policy";
+  print_endline "The paper's Fig. 4 narrative routes requests \"through intervening";
+  print_endline "connectors and components\" (Routed); the stricter Direct policy only";
+  print_endline "lets connectors relay. Effect on the 22 PIMS walkthroughs:";
+  let count policy =
+    let config = { Walkthrough.Engine.default_config with Walkthrough.Engine.policy } in
+    let r =
+      Walkthrough.Engine.evaluate_set ~config ~set:Casestudies.Pims.scenario_set
+        ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping ()
+    in
+    List.length (List.filter Walkthrough.Verdict.is_consistent r.Walkthrough.Engine.results)
+  in
+  Printf.printf "  Routed: %d/22 consistent\n" (count Adl.Graph.Routed);
+  Printf.printf "  Direct: %d/22 consistent\n" (count Adl.Graph.Direct)
+
+(* ------------------------------------------------------------------ *)
+(* ABL-GENERAL: event generalization vs a flat event vocabulary       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_generalization () =
+  header "ABL-GENERAL" "Ablation: generalized event types vs a flat per-occurrence vocabulary";
+  print_endline "Without generalization every occurrence is its own definition (reuse 1);";
+  print_endline "with the PIMS ontology occurrences share 17 definitions (paper 5).";
+  let stats = Scenarioml.Stats.of_set Casestudies.Pims.scenario_set in
+  let shared =
+    Mapping.Complexity.measure Casestudies.Pims.mapping ~usage:stats.Scenarioml.Stats.usage
+  in
+  (* flat variant: one synthetic event type per occurrence, each mapped
+     with its original fanout *)
+  let flat_usage =
+    List.concat_map
+      (fun (et, n) -> List.init n (fun i -> (Printf.sprintf "%s#%d" et i, 1)))
+      stats.Scenarioml.Stats.usage
+  in
+  let flat_mapping =
+    {
+      Mapping.Types.mapping_id = "flat";
+      ontology_id = "flat";
+      architecture_id = "pims-arch";
+      entries =
+        List.map
+          (fun (et_occ, _) ->
+            let base = List.hd (String.split_on_char '#' et_occ) in
+            {
+              Mapping.Types.event_type = et_occ;
+              components = Mapping.Types.components_of Casestudies.Pims.mapping base;
+              rationale = "flattened";
+            })
+          flat_usage;
+    }
+  in
+  let flat = Mapping.Complexity.measure flat_mapping ~usage:flat_usage in
+  Printf.printf "%24s | %10s | %10s\n" "" "shared" "flat";
+  Printf.printf "%24s | %10d | %10d\n" "distinct definitions"
+    stats.Scenarioml.Stats.distinct_event_types_used (List.length flat_usage);
+  Printf.printf "%24s | %10d | %10d\n" "definition->component" shared.Mapping.Complexity.definition_links
+    flat.Mapping.Complexity.definition_links;
+  Printf.printf "%24s | %10d | %10d\n" "total maintained links" shared.Mapping.Complexity.with_ontology
+    flat.Mapping.Complexity.with_ontology;
+  Printf.printf "link growth without generalization: %.2fx\n"
+    (float_of_int flat.Mapping.Complexity.with_ontology
+    /. float_of_int shared.Mapping.Complexity.with_ontology)
+
+(* ------------------------------------------------------------------ *)
+(* ABL-DYNAMIC: static vs behavioral walkthrough                      *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_dynamic () =
+  header "ABL-DYNAMIC" "Ablation: static walkthrough vs behavioral execution";
+  print_endline "A scenario that saves prices before downloading them: every hop exists";
+  print_endline "structurally, but the Loader's statechart rejects the premature save.";
+  let reordered = Casestudies.Pims_behavior.reordered_get_share_prices in
+  let set =
+    Scenarioml.Scen.make_set ~id:"abl" ~name:"Ablation" Casestudies.Pims.ontology
+      [ reordered ]
+  in
+  let static =
+    Walkthrough.Engine.evaluate_scenario ~set ~architecture:Casestudies.Pims.architecture
+      ~mapping:Casestudies.Pims.mapping reordered
+  in
+  Printf.printf "  static    : %s\n"
+    (match static.Walkthrough.Verdict.verdict with
+    | Walkthrough.Verdict.Consistent -> "CONSISTENT (defect missed)"
+    | Walkthrough.Verdict.Inconsistent -> "INCONSISTENT");
+  let dynamic =
+    Walkthrough.Dynamic.evaluate_scenario ~set ~mapping:Casestudies.Pims.mapping
+      ~charts:Casestudies.Pims_behavior.charts reordered
+  in
+  Printf.printf "  behavioral: %s\n"
+    (if dynamic.Walkthrough.Dynamic.ok then "ACCEPTED" else "REJECTED (defect caught)");
+  Format.printf "%a@." Walkthrough.Dynamic.pp_result dynamic
+
+(* ------------------------------------------------------------------ *)
+(* ABL-INFER: manual vs entity-inferred mapping                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_infer () =
+  header "ABL-INFER" "Ablation: hand-written mapping vs entity-based inference (paper 8)";
+  let associations =
+    [
+      { Mapping.Infer.entity = "user"; responsible = [ "master-controller" ] };
+      { Mapping.Infer.entity = "system"; responsible = [ "master-controller" ] };
+      { Mapping.Infer.entity = "portfolio"; responsible = [ "portfolio-manager" ] };
+      { Mapping.Infer.entity = "transaction"; responsible = [ "transaction-manager" ] };
+      { Mapping.Infer.entity = "share-price"; responsible = [ "loader" ] };
+      { Mapping.Infer.entity = "password"; responsible = [ "authentication" ] };
+      {
+        Mapping.Infer.entity = "repository-data";
+        responsible = [ "data-access"; "data-repository" ];
+      };
+      { Mapping.Infer.entity = "website"; responsible = [ "remote-price-db" ] };
+    ]
+  in
+  let inferred =
+    Mapping.Infer.infer ~id:"pims-inferred" ~ontology:Casestudies.Pims.ontology
+      ~architecture:Casestudies.Pims.architecture associations
+  in
+  Printf.printf "entity associations: %d (vs %d hand-written mapping entries)\n"
+    (List.length associations)
+    (List.length Casestudies.Pims.mapping.Mapping.Types.entries);
+  Printf.printf "inferred entries: %d, links: %d (manual links: %d)\n"
+    (List.length inferred.Mapping.Types.entries)
+    (Mapping.Types.link_count inferred)
+    (Mapping.Types.link_count Casestudies.Pims.mapping);
+  let divergences = Mapping.Infer.compare_mappings Casestudies.Pims.mapping inferred in
+  Printf.printf "divergent event types: %d\n" (List.length divergences);
+  List.iteri
+    (fun i d -> if i < 6 then Format.printf "  %a@." Mapping.Infer.pp_divergence d)
+    divergences
+
+(* ------------------------------------------------------------------ *)
+(* RANK: scenario prioritization                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rank () =
+  header "RANK" "Scenario prioritization (the ranking the paper leaves open, 3.2)";
+  List.iter
+    (fun sc -> Format.printf "  %a@." Scenarioml.Rank.pp_score sc)
+    (Scenarioml.Rank.rank Casestudies.Pims.scenario_set);
+  let top = Scenarioml.Rank.cover Casestudies.Pims.scenario_set 5 in
+  Printf.printf "a 5-scenario evaluation suite: %s\n" (String.concat ", " top)
+
+(* ------------------------------------------------------------------ *)
+(* SCALE: walkthrough cost vs system size                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic chain system: n components in a line, one scenario
+   touching every component in order. *)
+let synthetic_project n =
+  let name i = Printf.sprintf "c%d" i in
+  let ontology =
+    List.fold_left
+      (fun o i ->
+        Ontology.Build.add_event_type ~id:(Printf.sprintf "e%d" i)
+          ~name:(Printf.sprintf "e%d" i)
+          ~template:(Printf.sprintf "step %d happens" i)
+          o)
+      (Ontology.Build.create ~id:"syn" ~name:"Synthetic")
+      (List.init n Fun.id)
+  in
+  let architecture =
+    let with_components =
+      List.fold_left
+        (fun t i ->
+          Adl.Build.add_component ~id:(name i) ~name:(name i) ~responsibilities:[ "r" ] t)
+        (Adl.Build.create ~id:"syn-arch" ~name:"Synthetic chain" ())
+        (List.init n Fun.id)
+    in
+    List.fold_left
+      (fun t i -> Adl.Build.biconnect t (name i) (name (i + 1)))
+      with_components
+      (List.init (n - 1) Fun.id)
+  in
+  let mapping =
+    List.fold_left
+      (fun m i ->
+        Mapping.Build.map ~event_type:(Printf.sprintf "e%d" i) ~to_:[ name i ] m)
+      (Mapping.Build.create ~id:"syn-map" ~ontology ~architecture)
+      (List.init n Fun.id)
+  in
+  let scenario =
+    Scenarioml.Scen.scenario ~id:"walk" ~name:"Walk the chain"
+      (List.init n (fun i ->
+           Scenarioml.Event.typed ~id:(Printf.sprintf "s%d" i)
+             ~event_type:(Printf.sprintf "e%d" i) []))
+  in
+  let set = Scenarioml.Scen.make_set ~id:"syn-set" ~name:"Synthetic" ontology [ scenario ] in
+  (set, architecture, mapping)
+
+let scale_tests =
+  let open Bechamel in
+  List.map
+    (fun n ->
+      let set, architecture, mapping = synthetic_project n in
+      Test.make ~name:(Printf.sprintf "walkthrough-chain-%03d" n)
+        (Staged.stage (fun () ->
+             Walkthrough.Engine.evaluate_set ~set ~architecture ~mapping ())))
+    [ 8; 32; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* PERF: Bechamel micro-benchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pims_xml = lazy (Scenarioml.Xml_io.set_to_string Casestudies.Pims.scenario_set)
+
+let bench_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"xml-parse-pims-scenarios"
+      (Staged.stage (fun () -> Xmlight.Parse.parse_exn (Lazy.force pims_xml)));
+    Test.make ~name:"scenarioml-load-pims"
+      (Staged.stage (fun () -> Scenarioml.Xml_io.set_of_string (Lazy.force pims_xml)));
+    Test.make ~name:"validate-pims-scenarios"
+      (Staged.stage (fun () -> Scenarioml.Validate.check Casestudies.Pims.scenario_set));
+    Test.make ~name:"graph-build-pims"
+      (Staged.stage (fun () -> Adl.Graph.of_structure Casestudies.Pims.architecture));
+    Test.make ~name:"walkthrough-pims-22-scenarios"
+      (Staged.stage (fun () ->
+           Walkthrough.Engine.evaluate_set ~set:Casestudies.Pims.scenario_set
+             ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping
+             ()));
+    Test.make ~name:"walkthrough-one-scenario"
+      (Staged.stage (fun () ->
+           Walkthrough.Engine.evaluate_scenario ~set:Casestudies.Pims.scenario_set
+             ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping
+             Casestudies.Pims.get_share_prices));
+    Test.make ~name:"style-check-c2-entity"
+      (Staged.stage (fun () ->
+           Styles.Check.check_declared Casestudies.Crash.entity_architecture));
+    Test.make ~name:"complexity-sweep"
+      (Staged.stage (fun () ->
+           Mapping.Complexity.sweep ~event_types:50 ~fanout:3 ~components:10
+             ~reuse:[ 1; 10; 100 ]));
+    Test.make ~name:"owl-export-and-closure"
+      (Staged.stage (fun () ->
+           Semweb.Reason.closure
+             (Semweb.Export.full_export Casestudies.Crash.ontology
+                Casestudies.Crash.entity_mapping)));
+    Test.make ~name:"sim-availability"
+      (Staged.stage (fun () -> Casestudies.Crash_sim.run_availability ~detector:true));
+    Test.make ~name:"sim-ordering-8-msgs"
+      (Staged.stage (fun () -> Casestudies.Crash_sim.run_ordering ~fifo:false ()));
+    Test.make ~name:"sim-broadcast-7-peers"
+      (Staged.stage (fun () -> Casestudies.Crash_sim.run_all_peers_broadcast ()));
+    Test.make ~name:"arch-sim-entity-message"
+      (Staged.stage (fun () -> Casestudies.Crash_behavior.run_message_paths ()));
+    Test.make ~name:"bgp-query-crash-export"
+      (Staged.stage
+         (let store =
+            Semweb.Export.full_export Casestudies.Crash.ontology
+              Casestudies.Crash.entity_mapping
+          in
+          fun () ->
+            Semweb.Query.select store
+              [
+                Semweb.Query.pattern (Semweb.Query.v "event")
+                  (Semweb.Query.iri (Semweb.Term.Vocab.sosae "mapsTo"))
+                  (Semweb.Query.v "component");
+              ]));
+  ]
+  @ scale_tests
+
+let bench () =
+  header "PERF" "Bechamel micro-benchmarks (one per pipeline stage)";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  Printf.printf "%-34s | %14s | %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+          in
+          let human t =
+            if t >= 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+            else if t >= 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+            else if t >= 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+            else Printf.sprintf "%8.2f ns" t
+          in
+          Printf.printf "%-34s | %14s | %8.4f\n" name (human estimate) r2)
+        analyzed)
+    bench_tests
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("tab1", tab1);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("crash-avail", crash_avail);
+    ("crash-order", crash_order);
+    ("complexity", complexity);
+    ("cover", cover);
+    ("entity-sim", entity_sim);
+    ("faults", faults);
+    ("abl-policy", ablation_policy);
+    ("abl-general", ablation_generalization);
+    ("abl-dynamic", ablation_dynamic);
+    ("abl-infer", ablation_infer);
+    ("rank", rank);
+  ]
+
+let () =
+  let targets =
+    match Array.to_list Sys.argv with _ :: [] | [] -> [ "all" ] | _ :: rest -> rest
+  in
+  List.iter
+    (fun target ->
+      match target with
+      | "all" ->
+          List.iter (fun (_, f) -> f ()) artifacts;
+          bench ()
+      | "bench" -> bench ()
+      | name -> (
+          match List.assoc_opt name artifacts with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown target %S; known: %s, bench, all\n" name
+                (String.concat ", " (List.map fst artifacts));
+              exit 2))
+    targets

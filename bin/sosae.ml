@@ -1,0 +1,595 @@
+(* SOSAE command-line tool: validate, evaluate, tabulate, export.
+
+   The paper's §8 describes SOSAE (Scenario and Ontology-based Software
+   Architecture Evaluation) as an Eclipse plug-in under development;
+   this is that tool, as a CLI. *)
+
+open Cmdliner
+
+let scenarios_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "scenarios" ] ~docv:"FILE" ~doc:"ScenarioML scenario-set XML file.")
+
+let architecture_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "a"; "architecture" ] ~docv:"FILE" ~doc:"xADL-style architecture XML file.")
+
+let mapping_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "m"; "mapping" ] ~docv:"FILE" ~doc:"Event-type-to-component mapping XML file.")
+
+let load scenarios architecture mapping =
+  match Core.Sosae.load_project ~scenarios ~architecture ~mapping with
+  | p -> Ok p
+  | exception Core.Sosae.Load_error msg -> Error msg
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("sosae: " ^ msg);
+      exit 2
+
+(* ------------------------------ validate -------------------------- *)
+
+let validate_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    let v = Core.Sosae.validate p in
+    Format.printf "%a@." Core.Sosae.pp_validation v;
+    if v.Core.Sosae.ok then 0 else 1
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check ontology, scenarios, architecture, and mapping coverage.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ evaluate -------------------------- *)
+
+let policy_conv =
+  Arg.enum [ ("routed", Adl.Graph.Routed); ("direct", Adl.Graph.Direct) ]
+
+let policy_arg =
+  Arg.(
+    value & opt policy_conv Adl.Graph.Routed
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Communication path policy between successive events: $(b,routed) or $(b,direct).")
+
+let scenario_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"ID" ~doc:"Evaluate only the scenario with this id.")
+
+let behavior_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "b"; "behavior" ] ~docv:"FILE"
+        ~doc:
+          "Statechart bundle XML ($(b,<archBehavior>)); when given, the behavioral \
+           walkthrough runs after the static one.")
+
+let load_behavior = function
+  | None -> []
+  | Some path -> (
+      let text =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Statechart.Bundle.of_string text with
+      | bundle -> bundle.Statechart.Bundle.charts
+      | exception Statechart.Bundle.Malformed m ->
+          prerr_endline ("sosae: in behavior file: " ^ m);
+          exit 2)
+
+let run_behavioral p charts scenario =
+  let r =
+    Walkthrough.Dynamic.evaluate_scenario ~set:p.Core.Sosae.scenarios
+      ~mapping:p.Core.Sosae.mapping ~charts scenario
+  in
+  Format.printf "%a@." Walkthrough.Dynamic.pp_result r;
+  r.Walkthrough.Dynamic.ok
+
+let evaluate_cmd =
+  let run scenarios architecture mapping policy scenario_id behavior =
+    let p = or_die (load scenarios architecture mapping) in
+    let charts = load_behavior behavior in
+    let config = { Walkthrough.Engine.default_config with policy } in
+    match scenario_id with
+    | Some id -> (
+        match Core.Sosae.evaluate_scenario ~config p id with
+        | Some r ->
+            Format.printf "%a@." Walkthrough.Report.pp_scenario_result r;
+            let behavioral_ok =
+              charts = []
+              ||
+              match Scenarioml.Scen.find p.Core.Sosae.scenarios id with
+              | Some scenario -> run_behavioral p charts scenario
+              | None -> true
+            in
+            if Walkthrough.Verdict.is_consistent r && behavioral_ok then 0 else 1
+        | None ->
+            prerr_endline ("sosae: unknown scenario " ^ id);
+            2)
+    | None ->
+        let r = Core.Sosae.evaluate ~config p in
+        Format.printf "%a@." Walkthrough.Report.pp_set_result r;
+        let behavioral_ok =
+          charts = []
+          || List.for_all
+               (run_behavioral p charts)
+               p.Core.Sosae.scenarios.Scenarioml.Scen.scenarios
+        in
+        if r.Walkthrough.Engine.consistent && behavioral_ok then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ scenarios_arg $ architecture_arg $ mapping_arg $ policy_arg
+      $ scenario_id_arg $ behavior_arg)
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Walk scenarios through the architecture and report verdicts.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ table ----------------------------- *)
+
+let table_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    print_string (Mapping.Pretty.table_to_string p.Core.Sosae.mapping);
+    0
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print the event-type/component cross table (paper Table 1).")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ stats ----------------------------- *)
+
+let stats_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    let stats = Scenarioml.Stats.of_set p.Core.Sosae.scenarios in
+    Format.printf "%a@." Scenarioml.Stats.pp stats;
+    let ontology = p.Core.Sosae.scenarios.Scenarioml.Scen.ontology in
+    let counts =
+      Mapping.Complexity.measure p.Core.Sosae.mapping ~usage:stats.Scenarioml.Stats.usage
+    in
+    Format.printf
+      "mapping links with ontology: %d, without: %d (reduction factor %.2f)@."
+      counts.Mapping.Complexity.with_ontology counts.Mapping.Complexity.without_ontology
+      counts.Mapping.Complexity.reduction;
+    Format.printf "%a@." Mapping.Coverage.pp_summary
+      (Mapping.Coverage.summarize ontology p.Core.Sosae.architecture p.Core.Sosae.mapping);
+    0
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Scenario statistics, event-type reuse, and mapping complexity numbers.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ export-owl ------------------------ *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write Turtle here (default stdout).")
+
+let export_owl_cmd =
+  let run scenarios architecture mapping output =
+    let p = or_die (load scenarios architecture mapping) in
+    let store = Core.Sosae.export_owl p in
+    let turtle = Semweb.Turtle.to_string store in
+    (match output with
+    | Some path ->
+        let oc = open_out_bin path in
+        output_string oc turtle;
+        close_out oc
+    | None -> print_string turtle);
+    0
+  in
+  let term =
+    Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "export-owl"
+       ~doc:"Export the ontology and mapping as OWL triples in Turtle (paper §8).")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ report ----------------------------- *)
+
+let report_cmd =
+  let run scenarios architecture mapping output =
+    let p = or_die (load scenarios architecture mapping) in
+    let buf = Buffer.create 4096 in
+    let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    let set = p.Core.Sosae.scenarios in
+    line "# Architecture evaluation report";
+    line "";
+    line "- scenario set: **%s** (%d scenarios)" set.Scenarioml.Scen.set_name
+      (List.length set.Scenarioml.Scen.scenarios);
+    line "- architecture: **%s**%s" p.Core.Sosae.architecture.Adl.Structure.arch_name
+      (match p.Core.Sosae.architecture.Adl.Structure.style with
+      | Some style -> Printf.sprintf " (style: %s)" style
+      | None -> "");
+    line "- mapping: **%s** (%d entries, %d links)"
+      p.Core.Sosae.mapping.Mapping.Types.mapping_id
+      (List.length p.Core.Sosae.mapping.Mapping.Types.entries)
+      (Mapping.Types.link_count p.Core.Sosae.mapping);
+    line "";
+    line "## Validation";
+    line "";
+    line "```";
+    line "%s" (Format.asprintf "%a" Core.Sosae.pp_validation (Core.Sosae.validate p));
+    line "```";
+    line "";
+    line "## Walkthrough verdicts";
+    line "";
+    let result = Core.Sosae.evaluate p in
+    List.iter
+      (fun sr ->
+        line "- %s **%s** — %s%s"
+          (if Walkthrough.Verdict.is_consistent sr then "✅" else "❌")
+          sr.Walkthrough.Verdict.scenario_id sr.Walkthrough.Verdict.scenario_name
+          (if sr.Walkthrough.Verdict.negative then " *(negative)*" else ""))
+      result.Walkthrough.Engine.results;
+    line "";
+    if result.Walkthrough.Engine.style_violations <> [] then begin
+      line "## Style and constraint violations";
+      line "";
+      List.iter
+        (fun v -> line "- `%s`" (Format.asprintf "%a" Styles.Rule.pp_violation v))
+        result.Walkthrough.Engine.style_violations;
+      line ""
+    end;
+    List.iter
+      (fun sr ->
+        if not (Walkthrough.Verdict.is_consistent sr) then begin
+          line "### Detail: %s" sr.Walkthrough.Verdict.scenario_id;
+          line "";
+          line "```";
+          line "%s" (Walkthrough.Report.scenario_result_to_string sr);
+          line "```";
+          line ""
+        end)
+      result.Walkthrough.Engine.results;
+    line "## Component coverage";
+    line "";
+    line "```";
+    line "%s"
+      (Walkthrough.Coverage_report.to_string
+         (Walkthrough.Coverage_report.of_set_result p.Core.Sosae.architecture result));
+    line "```";
+    line "";
+    line "## Scenario statistics";
+    line "";
+    line "```";
+    let stats = Scenarioml.Stats.of_set set in
+    line "%s" (Format.asprintf "%a" Scenarioml.Stats.pp stats);
+    let counts =
+      Mapping.Complexity.measure p.Core.Sosae.mapping ~usage:stats.Scenarioml.Stats.usage
+    in
+    line "mapping links with ontology: %d, without: %d (reduction %.2f)"
+      counts.Mapping.Complexity.with_ontology counts.Mapping.Complexity.without_ontology
+      counts.Mapping.Complexity.reduction;
+    line "```";
+    line "";
+    line "Overall: %s"
+      (if result.Walkthrough.Engine.consistent then "**CONSISTENT**"
+       else "**INCONSISTENT**");
+    (match output with
+    | Some path ->
+        let oc = open_out_bin path in
+        Buffer.output_buffer oc buf;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string (Buffer.contents buf));
+    if result.Walkthrough.Engine.consistent then 0 else 1
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the Markdown report here.")
+  in
+  let term =
+    Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg $ output)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Produce a full Markdown evaluation report (validation, verdicts, coverage).")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ rank ------------------------------ *)
+
+let rank_cmd =
+  let run scenarios architecture mapping top =
+    let p = or_die (load scenarios architecture mapping) in
+    let ranking = Scenarioml.Rank.rank p.Core.Sosae.scenarios in
+    List.iteri
+      (fun i sc ->
+        if i < top then Format.printf "%2d. %a@." (i + 1) Scenarioml.Rank.pp_score sc)
+      ranking;
+    0
+  in
+  let top =
+    Arg.(
+      value & opt int max_int
+      & info [ "top" ] ~docv:"N" ~doc:"Only print the first $(docv) scenarios.")
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg $ top) in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Rank scenarios by marginal event-type coverage (evaluation priority).")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ implied ---------------------------- *)
+
+let implied_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    let candidates =
+      Walkthrough.Implied.implied ~set:p.Core.Sosae.scenarios
+        ~architecture:p.Core.Sosae.architecture ~mapping:p.Core.Sosae.mapping ()
+    in
+    Printf.printf "%d implied event-type successions (executable but never written):\n"
+      (List.length candidates);
+    List.iter
+      (fun c -> Format.printf "  %a@." Walkthrough.Implied.pp_candidate c)
+      candidates;
+    0
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "implied"
+       ~doc:
+         "List event-type successions the architecture can execute but no scenario \
+          exercises (paper 8, after Uchitel et al.).")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ coverage --------------------------- *)
+
+let coverage_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    let result = Core.Sosae.evaluate p in
+    Format.printf "%a@."
+      Walkthrough.Coverage_report.pp
+      (Walkthrough.Coverage_report.of_set_result p.Core.Sosae.architecture result);
+    0
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Report which components the scenario walkthroughs exercise.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ dot -------------------------------- *)
+
+let dot_cmd =
+  let run architecture_file highlight =
+    match Adl.Xml_io.of_string (
+        let ic = open_in_bin architecture_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s)
+    with
+    | arch ->
+        print_string (Adl.Dot.to_dot ~highlight arch);
+        0
+    | exception Adl.Xml_io.Malformed m ->
+        prerr_endline ("sosae: " ^ m);
+        2
+  in
+  let arch_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"ARCH.xml" ~doc:"xADL-style architecture XML file.")
+  in
+  let highlight =
+    Arg.(
+      value & opt_all string []
+      & info [ "highlight" ] ~docv:"BRICK" ~doc:"Brick id to paint red (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render an architecture as Graphviz DOT on stdout.")
+    Term.(const Stdlib.exit $ (const run $ arch_pos $ highlight))
+
+(* ------------------------------ relations -------------------------- *)
+
+let relations_cmd =
+  let run scenarios architecture mapping =
+    let p = or_die (load scenarios architecture mapping) in
+    let relations = Scenarioml.Relate.analyze p.Core.Sosae.scenarios in
+    if relations = [] then print_endline "(no relationships found)"
+    else
+      List.iter
+        (fun r -> Format.printf "%a@." Scenarioml.Relate.pp_relation r)
+        relations;
+    0
+  in
+  let term = Term.(const run $ scenarios_arg $ architecture_arg $ mapping_arg) in
+  Cmd.v
+    (Cmd.info "relations"
+       ~doc:
+         "Report relationships between scenarios: specializations, shared event types, \
+          episode uses.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ prose ----------------------------- *)
+
+let prose_cmd =
+  let run file =
+    let text =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Scenarioml.Text_io.of_prose text with
+    | scenario ->
+        print_string
+          (Xmlight.Print.to_string
+             (Xmlight.Doc.doc (Scenarioml.Xml_io.scenario_to_element scenario)));
+        0
+    | exception Scenarioml.Text_io.Prose_error msg ->
+        prerr_endline ("sosae: " ^ msg);
+        2
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Numbered prose scenario text file.")
+  in
+  Cmd.v
+    (Cmd.info "prose"
+       ~doc:"Convert a numbered prose scenario into ScenarioML XML (simple events).")
+    Term.(const Stdlib.exit $ (const run $ file))
+
+(* ------------------------------ demo ------------------------------ *)
+
+let demo_cmd =
+  let run which =
+    (match which with
+    | `Pims ->
+        let set = Casestudies.Pims.scenario_set in
+        let project =
+          {
+            Core.Sosae.scenarios = set;
+            architecture = Casestudies.Pims.architecture;
+            mapping = Casestudies.Pims.mapping;
+          }
+        in
+        Format.printf "%a@." Core.Sosae.pp_validation (Core.Sosae.validate project);
+        let r = Core.Sosae.evaluate project in
+        List.iter
+          (fun sr -> print_endline (Walkthrough.Report.summary_line sr))
+          r.Walkthrough.Engine.results;
+        print_endline "-- after excising the Loader / Data Access link (paper Fig. 4) --";
+        let broken = { project with Core.Sosae.architecture = Casestudies.Pims.broken_architecture } in
+        List.iter
+          (fun id ->
+            match Core.Sosae.evaluate_scenario broken id with
+            | Some sr -> print_endline (Walkthrough.Report.summary_line sr)
+            | None -> ())
+          [ "create-portfolio"; "get-share-prices" ]
+    | `Crash ->
+        let project =
+          {
+            Core.Sosae.scenarios = Casestudies.Crash.entity_scenario_set;
+            architecture = Casestudies.Crash.entity_architecture;
+            mapping = Casestudies.Crash.entity_mapping;
+          }
+        in
+        let r = Core.Sosae.evaluate project in
+        List.iter
+          (fun sr -> print_endline (Walkthrough.Report.summary_line sr))
+          r.Walkthrough.Engine.results;
+        print_endline "-- dynamic availability (with / without failure detector) --";
+        let a1 = Casestudies.Crash_sim.run_availability ~detector:true in
+        let a2 = Casestudies.Crash_sim.run_availability ~detector:false in
+        Format.printf "detector on : %a@." Dsim.Checks.pp_availability
+          a1.Casestudies.Crash_sim.verdict;
+        Format.printf "detector off: %a@." Dsim.Checks.pp_availability
+          a2.Casestudies.Crash_sim.verdict;
+        print_endline "-- dynamic ordering (FIFO / non-FIFO channels) --";
+        let o1 = Casestudies.Crash_sim.run_ordering ~fifo:true () in
+        let o2 = Casestudies.Crash_sim.run_ordering ~fifo:false () in
+        Format.printf "fifo    : %a@." Dsim.Checks.pp_ordering o1.Casestudies.Crash_sim.verdict;
+        Format.printf "non-fifo: %a@." Dsim.Checks.pp_ordering o2.Casestudies.Crash_sim.verdict;
+        print_endline "-- executing a message on the entity architecture --";
+        let paths = Casestudies.Crash_behavior.run_message_paths () in
+        Printf.printf "outgoing: %s -> network (%b)\n"
+          (String.concat " -> " paths.Casestudies.Crash_behavior.outgoing_path)
+          paths.Casestudies.Crash_behavior.outgoing_reached_network;
+        print_endline "-- 7-peer crisis coordination --";
+        let full = Casestudies.Crash_sim.run_coordination () in
+        let degraded = Casestudies.Crash_sim.run_coordination ~down:[ "police-cc" ] () in
+        Printf.printf "all up     : %d/%d acknowledged\n"
+          full.Casestudies.Crash_sim.acknowledged full.Casestudies.Crash_sim.peers;
+        Printf.printf "police down: %d/%d acknowledged\n"
+          degraded.Casestudies.Crash_sim.acknowledged degraded.Casestudies.Crash_sim.peers);
+    0
+  in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("pims", `Pims); ("crash", `Crash) ])) None
+      & info [] ~docv:"CASE" ~doc:"$(b,pims) or $(b,crash).")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a built-in case study end to end.")
+    Term.(const Stdlib.exit $ (const run $ which))
+
+(* ------------------------------ save-demo ------------------------- *)
+
+let save_demo_cmd =
+  let run dir =
+    let project =
+      {
+        Core.Sosae.scenarios = Casestudies.Pims.scenario_set;
+        architecture = Casestudies.Pims.architecture;
+        mapping = Casestudies.Pims.mapping;
+      }
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Core.Sosae.save_project project
+      ~scenarios:(Filename.concat dir "pims-scenarios.xml")
+      ~architecture:(Filename.concat dir "pims-architecture.xml")
+      ~mapping:(Filename.concat dir "pims-mapping.xml");
+    let oc = open_out_bin (Filename.concat dir "pims-behavior.xml") in
+    output_string oc
+      (Statechart.Bundle.to_string
+         (Statechart.Bundle.make ~id:"pims-behavior" Casestudies.Pims_behavior.charts));
+    close_out oc;
+    Printf.printf "wrote pims-{scenarios,architecture,mapping,behavior}.xml to %s\n" dir;
+    0
+  in
+  let dir =
+    Arg.(value & pos 0 string "." & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "save-demo"
+       ~doc:"Write the PIMS case study as XML files (inputs for the other commands).")
+    Term.(const Stdlib.exit $ (const run $ dir))
+
+let () =
+  let info =
+    Cmd.info "sosae" ~version:Core.Sosae.version
+      ~doc:"Scenario and Ontology-based Software Architecture Evaluation"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            validate_cmd;
+            evaluate_cmd;
+            table_cmd;
+            stats_cmd;
+            export_owl_cmd;
+            report_cmd;
+            rank_cmd;
+            relations_cmd;
+            implied_cmd;
+            coverage_cmd;
+            dot_cmd;
+            prose_cmd;
+            demo_cmd;
+            save_demo_cmd;
+          ]))

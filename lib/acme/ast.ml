@@ -1,0 +1,46 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type property = { prop_name : string; prop_type : string option; prop_value : value }
+
+type port = { port_name : string; port_props : property list }
+
+type role = { role_name : string; role_props : property list }
+
+type component = { comp_name : string; ports : port list; comp_props : property list }
+
+type connector = { conn_name : string; roles : role list; conn_props : property list }
+
+type attachment = {
+  att_component : string;
+  att_port : string;
+  att_connector : string;
+  att_role : string;
+}
+
+type system = {
+  sys_name : string;
+  family : string option;
+  components : component list;
+  connectors : connector list;
+  attachments : attachment list;
+  sys_props : property list;
+}
+
+let property ?typ prop_name prop_value = { prop_name; prop_type = typ; prop_value }
+
+let find_prop props name =
+  Option.map
+    (fun p -> p.prop_value)
+    (List.find_opt (fun p -> String.equal p.prop_name name) props)
+
+let string_prop props name =
+  match find_prop props name with Some (Str s) -> Some s | Some _ | None -> None
+
+let int_prop props name =
+  match find_prop props name with Some (Int i) -> Some i | Some _ | None -> None
+
+let value_to_string = function
+  | Str s -> Printf.sprintf "%S" s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b

@@ -1,0 +1,48 @@
+(** Abstract syntax of a pragmatic Acme subset (paper §8: "We plan to
+    generalize SOSAE to work with a range of ADLs. Our choice for
+    supporting this is the generic ADL Acme, a simple ADL that can be
+    used as a common interchange format").
+
+    Supported: systems with an optional family, components with ports,
+    connectors with roles, attachments, and string/int/float/bool
+    properties on every construct. Not supported: representations,
+    families/styles definitions, design rules. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type property = { prop_name : string; prop_type : string option; prop_value : value }
+
+type port = { port_name : string; port_props : property list }
+
+type role = { role_name : string; role_props : property list }
+
+type component = { comp_name : string; ports : port list; comp_props : property list }
+
+type connector = { conn_name : string; roles : role list; conn_props : property list }
+
+type attachment = {
+  att_component : string;
+  att_port : string;
+  att_connector : string;
+  att_role : string;
+}
+
+type system = {
+  sys_name : string;
+  family : string option;
+  components : component list;
+  connectors : connector list;
+  attachments : attachment list;
+  sys_props : property list;
+}
+
+val property : ?typ:string -> string -> value -> property
+
+val find_prop : property list -> string -> value option
+
+val string_prop : property list -> string -> string option
+
+val int_prop : property list -> string -> int option
+
+val value_to_string : value -> string
+(** Acme literal syntax: quoted strings, bare numbers, true/false. *)

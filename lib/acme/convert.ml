@@ -1,0 +1,319 @@
+exception Conversion_error of string
+
+let conversion_error fmt = Format.kasprintf (fun s -> raise (Conversion_error s)) fmt
+
+(* ---------------------- Structure -> Acme -------------------------- *)
+
+let direction_to_string = function
+  | Adl.Structure.Provided -> "provided"
+  | Adl.Structure.Required -> "required"
+  | Adl.Structure.In_out -> "inout"
+
+let direction_of_string = function
+  | "provided" -> Adl.Structure.Provided
+  | "required" -> Adl.Structure.Required
+  | "inout" -> Adl.Structure.In_out
+  | other -> conversion_error "unknown direction property %S" other
+
+let tag_props tags =
+  List.map (fun (k, v) -> Ast.property ("tag_" ^ k) (Ast.Str v)) tags
+
+let interface_props (i : Adl.Structure.interface) =
+  Ast.property "direction" (Ast.Str (direction_to_string i.Adl.Structure.direction))
+  :: (if String.equal i.Adl.Structure.iface_name i.Adl.Structure.iface_id then []
+      else [ Ast.property "name" (Ast.Str i.Adl.Structure.iface_name) ])
+  @ tag_props i.Adl.Structure.iface_tags
+
+let element_props ~name ~description ~responsibilities ~tags ~had_substructure =
+  [ Ast.property "name" (Ast.Str name) ]
+  @ (if description = "" then []
+     else [ Ast.property "description" (Ast.Str description) ])
+  @ List.mapi
+      (fun i r -> Ast.property (Printf.sprintf "responsibility_%d" (i + 1)) (Ast.Str r))
+      responsibilities
+  @ tag_props tags
+  @ if had_substructure then [ Ast.property "had_substructure" (Ast.Bool true) ] else []
+
+let component_to_acme (c : Adl.Structure.component) =
+  {
+    Ast.comp_name = c.Adl.Structure.comp_id;
+    ports =
+      List.map
+        (fun i ->
+          { Ast.port_name = i.Adl.Structure.iface_id; port_props = interface_props i })
+        c.Adl.Structure.comp_interfaces;
+    comp_props =
+      element_props ~name:c.Adl.Structure.comp_name
+        ~description:c.Adl.Structure.comp_description
+        ~responsibilities:c.Adl.Structure.responsibilities ~tags:c.Adl.Structure.comp_tags
+        ~had_substructure:(c.Adl.Structure.substructure <> None);
+  }
+
+let connector_to_acme (c : Adl.Structure.connector) =
+  {
+    Ast.conn_name = c.Adl.Structure.conn_id;
+    roles =
+      List.map
+        (fun i ->
+          { Ast.role_name = i.Adl.Structure.iface_id; role_props = interface_props i })
+        c.Adl.Structure.conn_interfaces;
+    conn_props =
+      element_props ~name:c.Adl.Structure.conn_name
+        ~description:c.Adl.Structure.conn_description ~responsibilities:[]
+        ~tags:c.Adl.Structure.conn_tags ~had_substructure:false;
+  }
+
+let of_structure (s : Adl.Structure.t) =
+  let is_component id = Adl.Structure.find_component s id <> None in
+  let bridge_counter = ref 0 in
+  let extra_connectors = ref [] in
+  let extra_components = ref [] in
+  let attachments = ref [] in
+  let bridge_role i = { Ast.role_name = Printf.sprintf "r%d" i; role_props = [] } in
+  let bridge_port i = { Ast.port_name = Printf.sprintf "p%d" i; port_props = [] } in
+  List.iter
+    (fun l ->
+      let fa = l.Adl.Structure.link_from.Adl.Structure.anchor in
+      let fi = l.Adl.Structure.link_from.Adl.Structure.interface in
+      let ta = l.Adl.Structure.link_to.Adl.Structure.anchor in
+      let ti = l.Adl.Structure.link_to.Adl.Structure.interface in
+      match (is_component fa, is_component ta) with
+      | true, false ->
+          attachments :=
+            { Ast.att_component = fa; att_port = fi; att_connector = ta; att_role = ti }
+            :: !attachments
+      | false, true ->
+          attachments :=
+            { Ast.att_component = ta; att_port = ti; att_connector = fa; att_role = fi }
+            :: !attachments
+      | true, true ->
+          (* component-to-component: synthesize a connector bridge *)
+          incr bridge_counter;
+          let bridge = Printf.sprintf "bridge_%d" !bridge_counter in
+          extra_connectors :=
+            {
+              Ast.conn_name = bridge;
+              roles = [ bridge_role 1; bridge_role 2 ];
+              conn_props = [ Ast.property "synthesized" (Ast.Bool true) ];
+            }
+            :: !extra_connectors;
+          attachments :=
+            { Ast.att_component = ta; att_port = ti; att_connector = bridge; att_role = "r2" }
+            :: { Ast.att_component = fa; att_port = fi; att_connector = bridge; att_role = "r1" }
+            :: !attachments
+      | false, false ->
+          (* connector-to-connector: synthesize a component bridge *)
+          incr bridge_counter;
+          let bridge = Printf.sprintf "bridge_%d" !bridge_counter in
+          extra_components :=
+            {
+              Ast.comp_name = bridge;
+              ports = [ bridge_port 1; bridge_port 2 ];
+              comp_props = [ Ast.property "synthesized" (Ast.Bool true) ];
+            }
+            :: !extra_components;
+          attachments :=
+            { Ast.att_component = bridge; att_port = "p2"; att_connector = ta; att_role = ti }
+            :: {
+                 Ast.att_component = bridge;
+                 att_port = "p1";
+                 att_connector = fa;
+                 att_role = fi;
+               }
+            :: !attachments)
+    s.Adl.Structure.links;
+  {
+    Ast.sys_name = s.Adl.Structure.arch_id;
+    family = s.Adl.Structure.style;
+    components =
+      List.map component_to_acme s.Adl.Structure.components @ List.rev !extra_components;
+    connectors =
+      List.map connector_to_acme s.Adl.Structure.connectors @ List.rev !extra_connectors;
+    attachments = List.rev !attachments;
+    sys_props = [ Ast.property "name" (Ast.Str s.Adl.Structure.arch_name) ];
+  }
+
+(* ---------------------- Acme -> Structure -------------------------- *)
+
+let is_synthesized props =
+  match Ast.find_prop props "synthesized" with Some (Ast.Bool true) -> true | _ -> false
+
+let props_to_tags props =
+  List.filter_map
+    (fun p ->
+      let n = p.Ast.prop_name in
+      if String.length n > 4 && String.sub n 0 4 = "tag_" then
+        match p.Ast.prop_value with
+        | Ast.Str v -> Some (String.sub n 4 (String.length n - 4), v)
+        | Ast.Int i -> Some (String.sub n 4 (String.length n - 4), string_of_int i)
+        | Ast.Float _ | Ast.Bool _ -> None
+      else None)
+    props
+
+let props_to_responsibilities props =
+  let prefixed =
+    List.filter_map
+      (fun p ->
+        let n = p.Ast.prop_name in
+        let prefix = "responsibility_" in
+        let plen = String.length prefix in
+        if String.length n > plen && String.sub n 0 plen = prefix then
+          match
+            (int_of_string_opt (String.sub n plen (String.length n - plen)), p.Ast.prop_value)
+          with
+          | Some idx, Ast.Str v -> Some (idx, v)
+          | _, (Ast.Str _ | Ast.Int _ | Ast.Float _ | Ast.Bool _) -> None
+        else None)
+      props
+  in
+  List.map snd (List.sort compare prefixed)
+
+let interface_of ~id props =
+  {
+    Adl.Structure.iface_id = id;
+    iface_name = (match Ast.string_prop props "name" with Some n -> n | None -> id);
+    direction =
+      (match Ast.string_prop props "direction" with
+      | Some d -> direction_of_string d
+      | None -> Adl.Structure.In_out);
+    iface_tags = props_to_tags props;
+  }
+
+let to_structure (sys : Ast.system) =
+  let real_components = List.filter (fun c -> not (is_synthesized c.Ast.comp_props)) sys.Ast.components in
+  let real_connectors = List.filter (fun c -> not (is_synthesized c.Ast.conn_props)) sys.Ast.connectors in
+  let synth_component c = is_synthesized c.Ast.comp_props in
+  let synth_connector c = is_synthesized c.Ast.conn_props in
+  let components =
+    List.map
+      (fun c ->
+        {
+          Adl.Structure.comp_id = c.Ast.comp_name;
+          comp_name =
+            (match Ast.string_prop c.Ast.comp_props "name" with
+            | Some n -> n
+            | None -> c.Ast.comp_name);
+          comp_description =
+            (match Ast.string_prop c.Ast.comp_props "description" with
+            | Some d -> d
+            | None -> "");
+          responsibilities = props_to_responsibilities c.Ast.comp_props;
+          comp_interfaces =
+            List.map (fun p -> interface_of ~id:p.Ast.port_name p.Ast.port_props) c.Ast.ports;
+          substructure = None;
+          comp_tags = props_to_tags c.Ast.comp_props;
+        })
+      real_components
+  in
+  let connectors =
+    List.map
+      (fun c ->
+        {
+          Adl.Structure.conn_id = c.Ast.conn_name;
+          conn_name =
+            (match Ast.string_prop c.Ast.conn_props "name" with
+            | Some n -> n
+            | None -> c.Ast.conn_name);
+          conn_description =
+            (match Ast.string_prop c.Ast.conn_props "description" with
+            | Some d -> d
+            | None -> "");
+          conn_interfaces =
+            List.map (fun r -> interface_of ~id:r.Ast.role_name r.Ast.role_props) c.Ast.roles;
+          conn_tags = props_to_tags c.Ast.conn_props;
+        })
+      real_connectors
+  in
+  (* Attachments touching a synthesized bridge collapse pairwise into a
+     direct link; others become component<->connector links. *)
+  let find_component name =
+    List.find_opt (fun c -> String.equal c.Ast.comp_name name) sys.Ast.components
+  in
+  let find_connector name =
+    List.find_opt (fun c -> String.equal c.Ast.conn_name name) sys.Ast.connectors
+  in
+  let direct, bridged =
+    List.partition
+      (fun a ->
+        let conn_is_synth =
+          match find_connector a.Ast.att_connector with
+          | Some c -> synth_connector c
+          | None -> false
+        in
+        let comp_is_synth =
+          match find_component a.Ast.att_component with
+          | Some c -> synth_component c
+          | None -> false
+        in
+        not (conn_is_synth || comp_is_synth))
+      sys.Ast.attachments
+  in
+  let direct_links =
+    List.map
+      (fun a ->
+        {
+          Adl.Structure.link_id =
+            Printf.sprintf "%s.%s->%s.%s" a.Ast.att_component a.Ast.att_port
+              a.Ast.att_connector a.Ast.att_role;
+          link_from =
+            { Adl.Structure.anchor = a.Ast.att_component; interface = a.Ast.att_port };
+          link_to =
+            { Adl.Structure.anchor = a.Ast.att_connector; interface = a.Ast.att_role };
+        })
+      direct
+  in
+  (* Group bridged attachments by their bridge element and collapse. *)
+  let bridge_key a =
+    let conn_is_synth =
+      match find_connector a.Ast.att_connector with Some c -> synth_connector c | None -> false
+    in
+    if conn_is_synth then a.Ast.att_connector else a.Ast.att_component
+  in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let key = bridge_key a in
+      let cur = match Hashtbl.find_opt table key with Some l -> l | None -> [] in
+      Hashtbl.replace table key (cur @ [ a ]))
+    bridged;
+  let bridged_links =
+    Hashtbl.fold
+      (fun key pair acc ->
+        match pair with
+        | [ a1; a2 ] ->
+            let endpoint a =
+              let conn_is_synth =
+                match find_connector a.Ast.att_connector with
+                | Some c -> synth_connector c
+                | None -> false
+              in
+              if conn_is_synth then
+                { Adl.Structure.anchor = a.Ast.att_component; interface = a.Ast.att_port }
+              else { Adl.Structure.anchor = a.Ast.att_connector; interface = a.Ast.att_role }
+            in
+            let p1 = endpoint a1 and p2 = endpoint a2 in
+            {
+              Adl.Structure.link_id =
+                Printf.sprintf "%s.%s->%s.%s" p1.Adl.Structure.anchor
+                  p1.Adl.Structure.interface p2.Adl.Structure.anchor
+                  p2.Adl.Structure.interface;
+              link_from = p1;
+              link_to = p2;
+            }
+            :: acc
+        | other ->
+            conversion_error "bridge %s has %d attachments, expected 2" key
+              (List.length other))
+      table []
+  in
+  {
+    Adl.Structure.arch_id = sys.Ast.sys_name;
+    arch_name =
+      (match Ast.string_prop sys.Ast.sys_props "name" with
+      | Some n -> n
+      | None -> sys.Ast.sys_name);
+    style = sys.Ast.family;
+    components;
+    connectors;
+    links = direct_links @ List.sort compare bridged_links;
+  }

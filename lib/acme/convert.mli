@@ -1,0 +1,31 @@
+(** Conversion between Acme systems and xADL-style structures, making
+    Acme usable as "a common interchange format" (paper §8) for the
+    whole evaluation pipeline.
+
+    Encoding conventions ([of_structure]):
+    - the structure's name and style become the system's [name] property
+      and family;
+    - component/connector names, descriptions, responsibilities
+      ([responsibility_N]) and tags ([tag_K]) become properties;
+    - interfaces become ports/roles with [direction] and [tag_K]
+      properties;
+    - a link joining a component to a connector becomes an attachment;
+    - a link joining two components (or two connectors) has no direct
+      Acme form and is bridged by a synthesized connector (or
+      component) carrying [synthesized = true], collapsed back into a
+      direct link by [to_structure];
+    - substructures are not representable in this Acme subset and are
+      dropped (with a [had_substructure] marker property).
+
+    Round-trip guarantee: [to_structure (of_structure a)] preserves
+    element ids, interfaces with directions and tags, responsibilities,
+    and the communication graph ({!Adl.Graph}); link ids and the
+    from/to orientation of [In_out]-[In_out] links are normalized. *)
+
+val of_structure : Adl.Structure.t -> Ast.system
+
+val to_structure : Ast.system -> Adl.Structure.t
+
+exception Conversion_error of string
+(** Raised by [to_structure] on dangling attachments or malformed
+    synthesized bridges. *)

@@ -1,0 +1,318 @@
+exception Parse_error of { line : int; message : string }
+
+type token =
+  | Ident of string
+  | String_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Lbrace
+  | Rbrace
+  | Equals
+  | Colon
+  | Semi
+  | Dot
+  | Eof
+
+type lexer = { input : string; mutable pos : int; mutable line : int }
+
+let fail lexer fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line = lexer.line; message }))
+    fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lexer =
+  let n = String.length lexer.input in
+  if lexer.pos < n then begin
+    let c = lexer.input.[lexer.pos] in
+    if c = '\n' then begin
+      lexer.line <- lexer.line + 1;
+      lexer.pos <- lexer.pos + 1;
+      skip_ws lexer
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then begin
+      lexer.pos <- lexer.pos + 1;
+      skip_ws lexer
+    end
+    else if c = '/' && lexer.pos + 1 < n && lexer.input.[lexer.pos + 1] = '/' then begin
+      while lexer.pos < n && lexer.input.[lexer.pos] <> '\n' do
+        lexer.pos <- lexer.pos + 1
+      done;
+      skip_ws lexer
+    end
+    else if c = '/' && lexer.pos + 1 < n && lexer.input.[lexer.pos + 1] = '*' then begin
+      lexer.pos <- lexer.pos + 2;
+      let rec close () =
+        if lexer.pos + 1 >= n then fail lexer "unterminated comment"
+        else if lexer.input.[lexer.pos] = '*' && lexer.input.[lexer.pos + 1] = '/' then
+          lexer.pos <- lexer.pos + 2
+        else begin
+          if lexer.input.[lexer.pos] = '\n' then lexer.line <- lexer.line + 1;
+          lexer.pos <- lexer.pos + 1;
+          close ()
+        end
+      in
+      close ();
+      skip_ws lexer
+    end
+  end
+
+let next_token lexer =
+  skip_ws lexer;
+  let n = String.length lexer.input in
+  if lexer.pos >= n then Eof
+  else
+    let c = lexer.input.[lexer.pos] in
+    if c = '{' then begin
+      lexer.pos <- lexer.pos + 1;
+      Lbrace
+    end
+    else if c = '}' then begin
+      lexer.pos <- lexer.pos + 1;
+      Rbrace
+    end
+    else if c = '=' then begin
+      lexer.pos <- lexer.pos + 1;
+      Equals
+    end
+    else if c = ':' then begin
+      lexer.pos <- lexer.pos + 1;
+      Colon
+    end
+    else if c = ';' then begin
+      lexer.pos <- lexer.pos + 1;
+      Semi
+    end
+    else if c = '.' then begin
+      lexer.pos <- lexer.pos + 1;
+      Dot
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      lexer.pos <- lexer.pos + 1;
+      let rec scan () =
+        if lexer.pos >= n then fail lexer "unterminated string literal"
+        else
+          match lexer.input.[lexer.pos] with
+          | '"' -> lexer.pos <- lexer.pos + 1
+          | '\\' when lexer.pos + 1 < n ->
+              (match lexer.input.[lexer.pos + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | other -> Buffer.add_char buf other);
+              lexer.pos <- lexer.pos + 2;
+              scan ()
+          | ch ->
+              Buffer.add_char buf ch;
+              lexer.pos <- lexer.pos + 1;
+              scan ()
+      in
+      scan ();
+      String_lit (Buffer.contents buf)
+    end
+    else if is_digit c || (c = '-' && lexer.pos + 1 < n && is_digit lexer.input.[lexer.pos + 1])
+    then begin
+      let start = lexer.pos in
+      if c = '-' then lexer.pos <- lexer.pos + 1;
+      let is_float = ref false in
+      while
+        lexer.pos < n
+        && (is_digit lexer.input.[lexer.pos]
+           ||
+           if lexer.input.[lexer.pos] = '.' && not !is_float then begin
+             is_float := true;
+             true
+           end
+           else false)
+      do
+        lexer.pos <- lexer.pos + 1
+      done;
+      let text = String.sub lexer.input start (lexer.pos - start) in
+      if !is_float then Float_lit (float_of_string text) else Int_lit (int_of_string text)
+    end
+    else if is_ident_start c then begin
+      let start = lexer.pos in
+      while lexer.pos < n && is_ident_char lexer.input.[lexer.pos] do
+        lexer.pos <- lexer.pos + 1
+      done;
+      Ident (String.sub lexer.input start (lexer.pos - start))
+    end
+    else fail lexer "unexpected character %C" c
+
+(* One-token lookahead parser state. *)
+type parser_state = { lexer : lexer; mutable tok : token }
+
+let advance p = p.tok <- next_token p.lexer
+
+let expect p expected describe =
+  if p.tok = expected then advance p
+  else fail p.lexer "expected %s" describe
+
+let ident p =
+  match p.tok with
+  | Ident name ->
+      advance p;
+      name
+  | String_lit _ | Int_lit _ | Float_lit _ | Lbrace | Rbrace | Equals | Colon | Semi | Dot
+  | Eof ->
+      fail p.lexer "expected an identifier"
+
+let keyword p kw =
+  match p.tok with
+  | Ident name when String.equal name kw -> advance p
+  | _ -> fail p.lexer "expected keyword %S" kw
+
+let literal p =
+  match p.tok with
+  | String_lit s ->
+      advance p;
+      Ast.Str s
+  | Int_lit i ->
+      advance p;
+      Ast.Int i
+  | Float_lit f ->
+      advance p;
+      Ast.Float f
+  | Ident "true" ->
+      advance p;
+      Ast.Bool true
+  | Ident "false" ->
+      advance p;
+      Ast.Bool false
+  | Ident _ | Lbrace | Rbrace | Equals | Colon | Semi | Dot | Eof ->
+      fail p.lexer "expected a literal value"
+
+let optional_semi p = if p.tok = Semi then advance p
+
+let parse_property p =
+  keyword p "Property";
+  let prop_name = ident p in
+  let prop_type =
+    if p.tok = Colon then begin
+      advance p;
+      Some (ident p)
+    end
+    else None
+  in
+  expect p Equals "'='";
+  let prop_value = literal p in
+  expect p Semi "';'";
+  { Ast.prop_name; prop_type; prop_value }
+
+(* Port and Role share shape. *)
+let parse_interface_like p kw =
+  keyword p kw;
+  let name = ident p in
+  let props =
+    if p.tok = Equals then begin
+      advance p;
+      expect p Lbrace "'{'";
+      let rec loop acc =
+        match p.tok with
+        | Rbrace ->
+            advance p;
+            List.rev acc
+        | Ident "Property" -> loop (parse_property p :: acc)
+        | _ -> fail p.lexer "expected Property or '}' in %s body" kw
+      in
+      loop []
+    end
+    else []
+  in
+  expect p Semi "';'";
+  (name, props)
+
+let parse_component p =
+  keyword p "Component";
+  let comp_name = ident p in
+  expect p Equals "'='";
+  expect p Lbrace "'{'";
+  let rec loop ports props =
+    match p.tok with
+    | Rbrace ->
+        advance p;
+        optional_semi p;
+        { Ast.comp_name; ports = List.rev ports; comp_props = List.rev props }
+    | Ident "Port" ->
+        let port_name, port_props = parse_interface_like p "Port" in
+        loop ({ Ast.port_name; port_props } :: ports) props
+    | Ident "Property" -> loop ports (parse_property p :: props)
+    | _ -> fail p.lexer "expected Port, Property or '}' in Component body"
+  in
+  loop [] []
+
+let parse_connector p =
+  keyword p "Connector";
+  let conn_name = ident p in
+  expect p Equals "'='";
+  expect p Lbrace "'{'";
+  let rec loop roles props =
+    match p.tok with
+    | Rbrace ->
+        advance p;
+        optional_semi p;
+        { Ast.conn_name; roles = List.rev roles; conn_props = List.rev props }
+    | Ident "Role" ->
+        let role_name, role_props = parse_interface_like p "Role" in
+        loop ({ Ast.role_name; role_props } :: roles) props
+    | Ident "Property" -> loop roles (parse_property p :: props)
+    | _ -> fail p.lexer "expected Role, Property or '}' in Connector body"
+  in
+  loop [] []
+
+let parse_attachment p =
+  keyword p "Attachment";
+  let att_component = ident p in
+  expect p Dot "'.'";
+  let att_port = ident p in
+  keyword p "to";
+  let att_connector = ident p in
+  expect p Dot "'.'";
+  let att_role = ident p in
+  expect p Semi "';'";
+  { Ast.att_component; att_port; att_connector; att_role }
+
+let system input =
+  let lexer = { input; pos = 0; line = 1 } in
+  let p = { lexer; tok = Eof } in
+  advance p;
+  keyword p "System";
+  let sys_name = ident p in
+  let family =
+    if p.tok = Colon then begin
+      advance p;
+      Some (ident p)
+    end
+    else None
+  in
+  expect p Equals "'='";
+  expect p Lbrace "'{'";
+  let rec loop components connectors attachments props =
+    match p.tok with
+    | Rbrace ->
+        advance p;
+        optional_semi p;
+        if p.tok <> Eof then fail lexer "trailing content after system";
+        {
+          Ast.sys_name;
+          family;
+          components = List.rev components;
+          connectors = List.rev connectors;
+          attachments = List.rev attachments;
+          sys_props = List.rev props;
+        }
+    | Ident "Component" ->
+        loop (parse_component p :: components) connectors attachments props
+    | Ident "Connector" ->
+        loop components (parse_connector p :: connectors) attachments props
+    | Ident "Attachment" ->
+        loop components connectors (parse_attachment p :: attachments) props
+    | Ident "Property" -> loop components connectors attachments (parse_property p :: props)
+    | _ -> fail lexer "expected Component, Connector, Attachment, Property or '}'"
+  in
+  loop [] [] [] []

@@ -1,0 +1,20 @@
+(** Parser for the Acme subset.
+
+    Grammar (informally):
+    {v
+    system      ::= "System" NAME [":" NAME] "=" "{" element* "}" [";"]
+    element     ::= component | connector | attachment | property
+    component   ::= "Component" NAME "=" "{" (port | property)* "}" [";"]
+    connector   ::= "Connector" NAME "=" "{" (role | property)* "}" [";"]
+    port        ::= "Port" NAME ["=" "{" property* "}"] ";"
+    role        ::= "Role" NAME ["=" "{" property* "}"] ";"
+    property    ::= "Property" NAME [":" NAME] "=" literal ";"
+    attachment  ::= "Attachment" NAME "." NAME "to" NAME "." NAME ";"
+    literal     ::= STRING | INT | FLOAT | "true" | "false"
+    v}
+    Comments: [//] to end of line and [/* ... */]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val system : string -> Ast.system
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,67 @@
+let add_property buf indent p =
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "Property ";
+  Buffer.add_string buf p.Ast.prop_name;
+  (match p.Ast.prop_type with
+  | Some t ->
+      Buffer.add_string buf " : ";
+      Buffer.add_string buf t
+  | None -> ());
+  Buffer.add_string buf " = ";
+  Buffer.add_string buf (Ast.value_to_string p.Ast.prop_value);
+  Buffer.add_string buf ";\n"
+
+let add_interface_like buf indent kw name props =
+  Buffer.add_string buf indent;
+  Buffer.add_string buf kw;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf name;
+  if props = [] then Buffer.add_string buf ";\n"
+  else begin
+    Buffer.add_string buf " = {\n";
+    List.iter (add_property buf (indent ^ "  ")) props;
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "};\n"
+  end
+
+let system_to_string (s : Ast.system) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "System ";
+  Buffer.add_string buf s.Ast.sys_name;
+  (match s.Ast.family with
+  | Some f ->
+      Buffer.add_string buf " : ";
+      Buffer.add_string buf f
+  | None -> ());
+  Buffer.add_string buf " = {\n";
+  List.iter (add_property buf "  ") s.Ast.sys_props;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "  Component ";
+      Buffer.add_string buf c.Ast.comp_name;
+      Buffer.add_string buf " = {\n";
+      List.iter (add_property buf "    ") c.Ast.comp_props;
+      List.iter
+        (fun port -> add_interface_like buf "    " "Port" port.Ast.port_name port.Ast.port_props)
+        c.Ast.ports;
+      Buffer.add_string buf "  };\n")
+    s.Ast.components;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "  Connector ";
+      Buffer.add_string buf c.Ast.conn_name;
+      Buffer.add_string buf " = {\n";
+      List.iter (add_property buf "    ") c.Ast.conn_props;
+      List.iter
+        (fun role -> add_interface_like buf "    " "Role" role.Ast.role_name role.Ast.role_props)
+        c.Ast.roles;
+      Buffer.add_string buf "  };\n")
+    s.Ast.connectors;
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "  Attachment %s.%s to %s.%s;\n" a.Ast.att_component a.Ast.att_port
+           a.Ast.att_connector a.Ast.att_role))
+    s.Ast.attachments;
+  Buffer.add_string buf "};\n";
+  Buffer.contents buf

@@ -1,0 +1,4 @@
+(** Acme textual serialization. [system_to_string] output parses back
+    with {!Parse.system} to an equal AST. *)
+
+val system_to_string : Ast.system -> string

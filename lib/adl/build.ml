@@ -1,0 +1,134 @@
+exception Duplicate of string
+
+exception Unknown of string
+
+let create ?style ~id ~name () = Structure.empty ?style ~id ~name ()
+
+let interface ?name ?(tags = []) ~direction id =
+  {
+    Structure.iface_id = id;
+    iface_name = (match name with Some n -> n | None -> id);
+    direction;
+    iface_tags = tags;
+  }
+
+let check_fresh t id =
+  if Structure.find_component t id <> None || Structure.find_connector t id <> None then
+    raise (Duplicate id)
+
+let check_iface_unique ifaces =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      let id = i.Structure.iface_id in
+      if Hashtbl.mem seen id then raise (Duplicate id) else Hashtbl.add seen id ())
+    ifaces
+
+let add_component ?(description = "") ?(responsibilities = []) ?(interfaces = [])
+    ?substructure ?(tags = []) ~id ~name t =
+  check_fresh t id;
+  check_iface_unique interfaces;
+  let c =
+    {
+      Structure.comp_id = id;
+      comp_name = name;
+      comp_description = description;
+      responsibilities;
+      comp_interfaces = interfaces;
+      substructure;
+      comp_tags = tags;
+    }
+  in
+  { t with Structure.components = t.Structure.components @ [ c ] }
+
+let add_connector ?(description = "") ?(interfaces = []) ?(tags = []) ~id ~name t =
+  check_fresh t id;
+  check_iface_unique interfaces;
+  let c =
+    {
+      Structure.conn_id = id;
+      conn_name = name;
+      conn_description = description;
+      conn_interfaces = interfaces;
+      conn_tags = tags;
+    }
+  in
+  { t with Structure.connectors = t.Structure.connectors @ [ c ] }
+
+let resolve t (anchor, iface) =
+  let point = { Structure.anchor; interface = iface } in
+  match Structure.find_interface t point with
+  | Some _ -> point
+  | None -> raise (Unknown (anchor ^ "." ^ iface))
+
+let add_link ?id ~from_ ~to_ t =
+  let link_from = resolve t from_ in
+  let link_to = resolve t to_ in
+  let link_id =
+    match id with
+    | Some i -> i
+    | None ->
+        Printf.sprintf "%s.%s->%s.%s" link_from.Structure.anchor link_from.Structure.interface
+          link_to.Structure.anchor link_to.Structure.interface
+  in
+  if List.exists (fun l -> String.equal l.Structure.link_id link_id) t.Structure.links then
+    raise (Duplicate link_id);
+  { t with Structure.links = t.Structure.links @ [ { Structure.link_id; link_from; link_to } ] }
+
+(* Add an interface to an existing element if not already present. *)
+let ensure_interface t elt iface =
+  let has =
+    List.exists
+      (fun i -> String.equal i.Structure.iface_id iface.Structure.iface_id)
+      (Structure.element_interfaces t elt)
+  in
+  if has then t
+  else
+    match Structure.find_component t elt with
+    | Some c ->
+        let c = { c with Structure.comp_interfaces = c.Structure.comp_interfaces @ [ iface ] } in
+        {
+          t with
+          Structure.components =
+            List.map
+              (fun x -> if String.equal x.Structure.comp_id elt then c else x)
+              t.Structure.components;
+        }
+    | None -> (
+        match Structure.find_connector t elt with
+        | Some c ->
+            let c =
+              { c with Structure.conn_interfaces = c.Structure.conn_interfaces @ [ iface ] }
+            in
+            {
+              t with
+              Structure.connectors =
+                List.map
+                  (fun x -> if String.equal x.Structure.conn_id elt then c else x)
+                  t.Structure.connectors;
+            }
+        | None -> raise (Unknown elt))
+
+let biconnect t a b =
+  let iface id = interface ~direction:Structure.In_out id in
+  let t = ensure_interface t a (iface ("io_" ^ b)) in
+  let t = ensure_interface t b (iface ("io_" ^ a)) in
+  add_link ~from_:(a, "io_" ^ b) ~to_:(b, "io_" ^ a) t
+
+let connect ?via t a b =
+  match via with
+  | None ->
+      let t = ensure_interface t a (interface ~direction:Structure.Required ("to_" ^ b)) in
+      let t = ensure_interface t b (interface ~direction:Structure.Provided ("from_" ^ a)) in
+      add_link ~from_:(a, "to_" ^ b) ~to_:(b, "from_" ^ a) t
+  | Some conn ->
+      let t = ensure_interface t a (interface ~direction:Structure.Required ("to_" ^ conn)) in
+      let t =
+        ensure_interface t conn (interface ~direction:Structure.Provided ("from_" ^ a))
+      in
+      let t =
+        ensure_interface t conn (interface ~direction:Structure.Required ("to_" ^ b))
+      in
+      let t = ensure_interface t b (interface ~direction:Structure.Provided ("from_" ^ conn)) in
+      let t = add_link ~from_:(a, "to_" ^ conn) ~to_:(conn, "from_" ^ a) t in
+      add_link ~from_:(conn, "to_" ^ b) ~to_:(b, "from_" ^ conn) t

@@ -1,0 +1,68 @@
+(** Construction of architecture descriptions with duplicate-id
+    detection and a compact link syntax. *)
+
+exception Duplicate of string
+
+exception Unknown of string
+(** Raised when a link endpoint names an element or interface that does
+    not exist. *)
+
+val create : ?style:string -> id:string -> name:string -> unit -> Structure.t
+
+val interface :
+  ?name:string ->
+  ?tags:(string * string) list ->
+  direction:Structure.direction ->
+  string ->
+  Structure.interface
+(** [interface ~direction id] builds an interface; [name] defaults to the
+    id. *)
+
+val add_component :
+  ?description:string ->
+  ?responsibilities:string list ->
+  ?interfaces:Structure.interface list ->
+  ?substructure:Structure.t ->
+  ?tags:(string * string) list ->
+  id:string ->
+  name:string ->
+  Structure.t ->
+  Structure.t
+
+val add_connector :
+  ?description:string ->
+  ?interfaces:Structure.interface list ->
+  ?tags:(string * string) list ->
+  id:string ->
+  name:string ->
+  Structure.t ->
+  Structure.t
+
+val add_link :
+  ?id:string ->
+  from_:string * string ->
+  to_:string * string ->
+  Structure.t ->
+  Structure.t
+(** [add_link ~from_:(elt, iface) ~to_:(elt, iface) t] wires two
+    interfaces. The link id defaults to ["from.iface->to.iface"].
+    @raise Unknown when an endpoint does not resolve. *)
+
+val biconnect : Structure.t -> string -> string -> Structure.t
+(** [biconnect t a b] wires [a] and [b] bidirectionally: each gains an
+    [In_out] interface ([io_<other>], reused when present) joined by a
+    single link. Models request/reply channels where data flows both
+    ways. *)
+
+val connect :
+  ?via:string ->
+  Structure.t ->
+  string ->
+  string ->
+  Structure.t
+(** [connect t a b] is a convenience that gives [a] a [Required]
+    interface, [b] a [Provided] interface (creating interfaces
+    [to_b] / [from_a], or reusing them), optionally routes through the
+    connector [via] (which gains [Provided]/[Required] interfaces), and
+    adds the link(s). Intended for tests and compact example
+    construction. *)

@@ -1,0 +1,60 @@
+(* Escape only double quotes: backslashes stay as-is so DOT escape
+   sequences like [\n] in labels keep their meaning. *)
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_dot ?(highlight = []) ?(rankdir = "TB") t =
+  let buf = Buffer.create 1024 in
+  let highlighted id = List.exists (String.equal id) highlight in
+  let on_path a b =
+    (* consecutive highlighted bricks form the highlighted edges *)
+    let rec consecutive = function
+      | x :: (y :: _ as rest) ->
+          (String.equal x a && String.equal y b)
+          || (String.equal x b && String.equal y a)
+          || consecutive rest
+      | [ _ ] | [] -> false
+    in
+    consecutive highlight
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" (quote t.Structure.arch_id));
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
+  Buffer.add_string buf "  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun c ->
+      let label =
+        match Structure.layer_of c with
+        | Some layer -> Printf.sprintf "%s\\n(layer %d)" c.Structure.comp_name layer
+        | None -> c.Structure.comp_name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box, label=%s%s];\n" (quote c.Structure.comp_id)
+           (quote label)
+           (if highlighted c.Structure.comp_id then ", color=red, penwidth=2" else "")))
+    t.Structure.components;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=ellipse, style=dashed, label=%s%s];\n"
+           (quote c.Structure.conn_id)
+           (quote c.Structure.conn_name)
+           (if highlighted c.Structure.conn_id then ", color=red, penwidth=2" else "")))
+    t.Structure.connectors;
+  List.iter
+    (fun l ->
+      let a = l.Structure.link_from.Structure.anchor in
+      let b = l.Structure.link_to.Structure.anchor in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [dir=none%s];\n" (quote a) (quote b)
+           (if on_path a b then ", color=red, penwidth=2" else "")))
+    t.Structure.links;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Graphviz DOT export of architectures.
+
+    The paper's tooling (Archipelago/ArchStudio) is graphical; this
+    module renders the structural view for `dot`: components as boxes
+    (labelled with their layer when tagged), connectors as ellipses,
+    links as edges. [highlight] paints a brick path — e.g. a
+    walkthrough hop — in red. *)
+
+val to_dot :
+  ?highlight:string list ->
+  ?rankdir:string ->
+  Structure.t ->
+  string
+(** [rankdir] defaults to ["TB"]. Ids are quoted, so any brick id is
+    safe. *)

@@ -1,0 +1,85 @@
+let pp_interface ppf i =
+  let dir =
+    match i.Structure.direction with
+    | Structure.Provided -> "provided"
+    | Structure.Required -> "required"
+    | Structure.In_out -> "inout"
+  in
+  Format.fprintf ppf "%s (%s)" i.Structure.iface_id dir
+
+let pp ppf t =
+  let style = match t.Structure.style with Some s -> " [" ^ s ^ "]" | None -> "" in
+  Format.fprintf ppf "@[<v>Architecture %s: %s%s@," t.Structure.arch_id t.Structure.arch_name
+    style;
+  List.iter
+    (fun c ->
+      let layer =
+        match Structure.layer_of c with
+        | Some n -> Printf.sprintf " (layer %d)" n
+        | None -> ""
+      in
+      Format.fprintf ppf "  component %s: %s%s@," c.Structure.comp_id c.Structure.comp_name
+        layer;
+      List.iter (fun r -> Format.fprintf ppf "    - %s@," r) c.Structure.responsibilities;
+      if c.Structure.comp_interfaces <> [] then
+        Format.fprintf ppf "    interfaces: %s@,"
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" pp_interface) c.Structure.comp_interfaces));
+      match c.Structure.substructure with
+      | Some sub ->
+          Format.fprintf ppf "    substructure: %d components, %d connectors@,"
+            (List.length sub.Structure.components)
+            (List.length sub.Structure.connectors)
+      | None -> ())
+    t.Structure.components;
+  List.iter
+    (fun c -> Format.fprintf ppf "  connector %s: %s@," c.Structure.conn_id c.Structure.conn_name)
+    t.Structure.connectors;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  link %s: %s.%s -> %s.%s@," l.Structure.link_id
+        l.Structure.link_from.Structure.anchor l.Structure.link_from.Structure.interface
+        l.Structure.link_to.Structure.anchor l.Structure.link_to.Structure.interface)
+    t.Structure.links;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_layered ppf t =
+  let layered, unlayered =
+    List.partition (fun c -> Structure.layer_of c <> None) t.Structure.components
+  in
+  let layers =
+    List.sort_uniq compare (List.filter_map Structure.layer_of layered)
+  in
+  let width =
+    List.fold_left
+      (fun acc c -> max acc (String.length c.Structure.comp_name))
+      20 t.Structure.components
+    + 4
+  in
+  let rule = String.make width '-' in
+  Format.fprintf ppf "@[<v>+%s+@," rule;
+  List.iter
+    (fun layer ->
+      let members = List.filter (fun c -> Structure.layer_of c = Some layer) layered in
+      List.iter
+        (fun c ->
+          let name = c.Structure.comp_name in
+          let padding = String.make (width - String.length name - 2) ' ' in
+          Format.fprintf ppf "| %s%s |  (layer %d)@," name padding layer)
+        members;
+      Format.fprintf ppf "+%s+@," rule)
+    (List.rev layers);
+  List.iter
+    (fun c -> Format.fprintf ppf "  %s (no layer)@," c.Structure.comp_name)
+    unlayered;
+  Format.fprintf ppf "@]"
+
+let summary t =
+  Printf.sprintf "architecture %s%s: %d components, %d connectors, %d links"
+    t.Structure.arch_id
+    (match t.Structure.style with Some s -> " [" ^ s ^ "]" | None -> "")
+    (List.length t.Structure.components)
+    (List.length t.Structure.connectors)
+    (List.length t.Structure.links)

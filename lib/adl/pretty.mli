@@ -1,0 +1,16 @@
+(** Human-readable rendering of architectures (used by the figure
+    reproductions and the CLI). *)
+
+val pp : Format.formatter -> Structure.t -> unit
+(** Components (with layer tags, responsibilities, interfaces),
+    connectors, and links. *)
+
+val to_string : Structure.t -> string
+
+val pp_layered : Format.formatter -> Structure.t -> unit
+(** ASCII box diagram grouping components by their ["layer"] tag,
+    highest layer first — the shape of the paper's Fig. 3. Components
+    without a layer tag are listed below the stack. *)
+
+val summary : Structure.t -> string
+(** One line: id, style, and element counts. *)

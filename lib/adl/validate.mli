@@ -1,0 +1,30 @@
+(** Well-formedness checking of architecture descriptions. *)
+
+type problem =
+  | Duplicate_element of string
+  | Duplicate_interface of { element : string; interface : string }
+  | Duplicate_link of string
+  | Unknown_anchor of { link : string; anchor : string }
+  | Unknown_interface of { link : string; anchor : string; interface : string }
+  | Incompatible_link of string
+      (** neither endpoint can initiate toward the other (e.g. two
+          [Provided] interfaces wired together) *)
+  | Self_link of string
+  | Isolated_element of string  (** element with no link at all *)
+  | Empty_name of string
+  | Missing_responsibilities of string
+      (** component without declared responsibilities: the mapping step
+          requires each component's role to be "specified unambiguously"
+          (paper §3.3) *)
+  | Substructure_problem of { component : string; problem : problem }
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problem_to_string : problem -> string
+
+val check : ?require_responsibilities:bool -> Structure.t -> problem list
+(** All problems in deterministic order. [require_responsibilities]
+    (default true) controls whether {!Missing_responsibilities} is
+    reported. Substructures are checked recursively. *)
+
+val is_wellformed : ?require_responsibilities:bool -> Structure.t -> bool

@@ -1,0 +1,161 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let required e name =
+  match Xmlight.Doc.attr e name with
+  | Some v -> v
+  | None -> malformed "<%s> is missing required attribute %S" e.Xmlight.Doc.tag name
+
+let direction_to_string = function
+  | Structure.Provided -> "provided"
+  | Structure.Required -> "required"
+  | Structure.In_out -> "inout"
+
+let direction_of_string = function
+  | "provided" -> Structure.Provided
+  | "required" -> Structure.Required
+  | "inout" -> Structure.In_out
+  | other -> malformed "unknown interface direction %S" other
+
+let tags_to_elements tags =
+  List.map
+    (fun (name, value) -> Xmlight.Doc.elt ~attrs:[ ("name", name); ("value", value) ] "tag" [])
+    tags
+
+let tags_of_element e =
+  List.map (fun t -> (required t "name", required t "value")) (Xmlight.Doc.find_children e "tag")
+
+let interface_to_element i =
+  Xmlight.Doc.elt
+    ~attrs:
+      [
+        ("id", i.Structure.iface_id);
+        ("name", i.Structure.iface_name);
+        ("direction", direction_to_string i.Structure.direction);
+      ]
+    "interface"
+    (tags_to_elements i.Structure.iface_tags)
+
+let interface_of_element e =
+  {
+    Structure.iface_id = required e "id";
+    iface_name = required e "name";
+    direction = direction_of_string (required e "direction");
+    iface_tags = tags_of_element e;
+  }
+
+let description_to_elements d =
+  if d = "" then [] else [ Xmlight.Doc.elt "description" [ Xmlight.Doc.text d ] ]
+
+let description_of_element e =
+  match Xmlight.Doc.find_child e "description" with
+  | Some d -> Xmlight.Doc.child_text d
+  | None -> ""
+
+let rec component_to_element c =
+  let responsibilities =
+    List.map
+      (fun r -> Xmlight.Doc.elt "responsibility" [ Xmlight.Doc.text r ])
+      c.Structure.responsibilities
+  in
+  let interfaces =
+    List.map interface_to_element c.Structure.comp_interfaces
+  in
+  let sub =
+    match c.Structure.substructure with
+    | Some s -> [ Xmlight.Doc.elt "subArchitecture" [ Xmlight.Doc.Element (to_element s) ] ]
+    | None -> []
+  in
+  Xmlight.Doc.element
+    ~attrs:[ ("id", c.Structure.comp_id); ("name", c.Structure.comp_name) ]
+    "component"
+    (description_to_elements c.Structure.comp_description
+    @ responsibilities @ interfaces
+    @ tags_to_elements c.Structure.comp_tags
+    @ sub)
+
+and connector_to_element c =
+  Xmlight.Doc.element
+    ~attrs:[ ("id", c.Structure.conn_id); ("name", c.Structure.conn_name) ]
+    "connector"
+    (description_to_elements c.Structure.conn_description
+    @ List.map interface_to_element c.Structure.conn_interfaces
+    @ tags_to_elements c.Structure.conn_tags)
+
+and link_to_element l =
+  let point tag p =
+    Xmlight.Doc.elt
+      ~attrs:[ ("anchor", p.Structure.anchor); ("interface", p.Structure.interface) ]
+      tag []
+  in
+  Xmlight.Doc.element
+    ~attrs:[ ("id", l.Structure.link_id) ]
+    "link"
+    [ point "from" l.Structure.link_from; point "to" l.Structure.link_to ]
+
+and to_element t =
+  let attrs =
+    [ ("id", t.Structure.arch_id); ("name", t.Structure.arch_name) ]
+    @ match t.Structure.style with Some s -> [ ("style", s) ] | None -> []
+  in
+  Xmlight.Doc.element ~attrs "archStructure"
+    (List.map (fun c -> Xmlight.Doc.Element (component_to_element c)) t.Structure.components
+    @ List.map (fun c -> Xmlight.Doc.Element (connector_to_element c)) t.Structure.connectors
+    @ List.map (fun l -> Xmlight.Doc.Element (link_to_element l)) t.Structure.links)
+
+let to_string t = Xmlight.Print.to_string (Xmlight.Doc.doc (to_element t))
+
+let rec component_of_element e =
+  let substructure =
+    match Xmlight.Doc.find_child e "subArchitecture" with
+    | Some sub -> (
+        match Xmlight.Doc.find_child sub "archStructure" with
+        | Some arch -> Some (of_element arch)
+        | None -> malformed "<subArchitecture> without <archStructure>")
+    | None -> None
+  in
+  {
+    Structure.comp_id = required e "id";
+    comp_name = required e "name";
+    comp_description = description_of_element e;
+    responsibilities =
+      List.map Xmlight.Doc.child_text (Xmlight.Doc.find_children e "responsibility");
+    comp_interfaces = List.map interface_of_element (Xmlight.Doc.find_children e "interface");
+    substructure;
+    comp_tags = tags_of_element e;
+  }
+
+and connector_of_element e =
+  {
+    Structure.conn_id = required e "id";
+    conn_name = required e "name";
+    conn_description = description_of_element e;
+    conn_interfaces = List.map interface_of_element (Xmlight.Doc.find_children e "interface");
+    conn_tags = tags_of_element e;
+  }
+
+and link_of_element e =
+  let point tag =
+    match Xmlight.Doc.find_child e tag with
+    | Some p -> { Structure.anchor = required p "anchor"; interface = required p "interface" }
+    | None -> malformed "<link id=%S> is missing <%s>" (required e "id") tag
+  in
+  { Structure.link_id = required e "id"; link_from = point "from"; link_to = point "to" }
+
+and of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "archStructure") then
+    malformed "expected <archStructure>, found <%s>" e.Xmlight.Doc.tag;
+  {
+    Structure.arch_id = required e "id";
+    arch_name = required e "name";
+    style = Xmlight.Doc.attr e "style";
+    components = List.map component_of_element (Xmlight.Doc.find_children e "component");
+    connectors = List.map connector_of_element (Xmlight.Doc.find_children e "connector");
+    links = List.map link_of_element (Xmlight.Doc.find_children e "link");
+  }
+
+let of_string s =
+  match Xmlight.Parse.parse s with
+  | Ok doc -> of_element doc.Xmlight.Doc.root
+  | Error e -> malformed "XML error: %s" (Xmlight.Parse.error_to_string e)

@@ -1,0 +1,69 @@
+let ui_chart =
+  let open Statechart.Types in
+  chart ~id:"ui-behavior" ~component:"user-interface" ~initial:"ready"
+    [ state "ready"; state "informed" ]
+    [
+      transition ~source:"ready" ~target:"ready" ~trigger:"compose"
+        ~outputs:[ "sendMessage" ] ();
+      transition ~source:"ready" ~target:"informed" ~trigger:"notifyUp" ();
+      transition ~source:"informed" ~target:"informed" ~trigger:"notifyUp" ();
+    ]
+
+let sharing_chart =
+  let open Statechart.Types in
+  chart ~id:"sharing-behavior" ~component:"sharing-info-manager" ~initial:"ready"
+    [ state "ready" ]
+    [
+      transition ~source:"ready" ~target:"ready" ~trigger:"sendMessage"
+        ~outputs:[ "sendMessage" ] ();
+      transition ~source:"ready" ~target:"ready" ~trigger:"notifyUp"
+        ~outputs:[ "notifyUp" ] ();
+    ]
+
+let communication_chart =
+  let open Statechart.Types in
+  chart ~id:"communication-behavior" ~component:"communication-manager" ~initial:"ready"
+    [ state "ready" ]
+    [
+      transition ~source:"ready" ~target:"ready" ~trigger:"sendMessage"
+        ~outputs:[ "netSend" ] ();
+      transition ~source:"ready" ~target:"ready" ~trigger:"netReceive"
+        ~outputs:[ "notifyUp" ] ();
+    ]
+
+let charts = [ ui_chart; sharing_chart; communication_chart ]
+
+type message_path_run = {
+  outgoing_reached_network : bool;
+  outgoing_path : string list;
+  incoming_informed_ui : bool;
+  incoming_path : string list;
+}
+
+let fired_components sim = List.map (fun (c, _, _) -> c) (Dsim.Arch_sim.reactions sim)
+
+let run_message_paths_on architecture =
+  (* outgoing: the operator composes a message at the UI *)
+  let out = Dsim.Arch_sim.create ~architecture ~charts () in
+  Dsim.Arch_sim.inject out ~component:"user-interface" "compose";
+  Dsim.Arch_sim.run out;
+  let outgoing_reached_network =
+    List.exists (String.equal "netSend") (Dsim.Arch_sim.received_by out "network")
+  in
+  (* incoming: the network hands a message to the communication manager *)
+  let inc = Dsim.Arch_sim.create ~architecture ~charts () in
+  Dsim.Arch_sim.inject inc ~component:"communication-manager" "netReceive";
+  Dsim.Arch_sim.run inc;
+  let incoming_informed_ui =
+    match Dsim.Arch_sim.config_of inc "user-interface" with
+    | Some config -> Statechart.Exec.active config "informed"
+    | None -> false
+  in
+  {
+    outgoing_reached_network;
+    outgoing_path = fired_components out;
+    incoming_informed_ui;
+    incoming_path = fired_components inc;
+  }
+
+let run_message_paths () = run_message_paths_on Crash.entity_architecture

@@ -1,0 +1,201 @@
+open Scenarioml
+
+let typed sid n event_type args =
+  Event.typed
+    ~id:(Printf.sprintf "%s-e%s" sid n)
+    ~event_type
+    (List.map
+       (fun (param, v) ->
+         (* Parameters of organization/network classes reference
+            individuals; everything else is literal text. *)
+         match v with
+         | `I ind -> Event.individual ~param ind
+         | `L s -> Event.literal ~param s)
+       args)
+
+(* -------------------- paper scenarios (entity view) --------------- *)
+
+let entity_availability =
+  let s = "entity-availability" in
+  Scen.scenario ~id:s ~name:"Entity Availability"
+    ~description:
+      "Operationalizes the availability requirement by showing how the system handles the \
+       failure of a component (paper Fig. 6)."
+    ~actors:[ "fire"; "police"; "the-network" ]
+    [
+      typed s "1" "shuts-down" [ ("entity", `I "police") ];
+      typed s "2" "send-request"
+        [ ("sender", `I "fire"); ("receiver", `I "police"); ("message", `L "a request") ];
+      typed s "3" "send-failure-message" [ ("to", `I "fire") ];
+      typed s "4" "receive-failure-message" [ ("entity", `I "fire") ];
+    ]
+
+let message_sequence =
+  let s = "message-sequence" in
+  Scen.scenario ~id:s ~name:"Message Sequence"
+    ~description:
+      "Verifies the reliability requirement: messages sent by a peer are received by other \
+       peers in the same sequence they are sent (paper Fig. 8)."
+    ~actors:[ "fire"; "police" ]
+    [
+      typed s "1" "send-request"
+        [ ("sender", `I "fire"); ("receiver", `I "police"); ("message", `L "the first request") ];
+      typed s "2" "send-request"
+        [
+          ("sender", `I "fire");
+          ("receiver", `I "police");
+          ("message", `L "a second request, 5 seconds later");
+        ];
+      typed s "3" "receive-message"
+        [ ("receiver", `I "police"); ("message", `L "the first") ];
+      typed s "4" "receive-message"
+        [ ("receiver", `I "police"); ("message", `L "the second") ];
+    ]
+
+let situation_report =
+  let s = "situation-report" in
+  Scen.scenario ~id:s ~name:"Situation report reaches the operator"
+    ~actors:[ "fire"; "the-network" ]
+    [
+      typed s "1" "report-situation"
+        [ ("entity", `I "fire"); ("situation", `L "a building collapse") ];
+      typed s "2" "aggregate-data" [ ("entity", `I "fire") ];
+      typed s "3" "display-info"
+        [ ("entity", `I "fire"); ("info", `L "the updated situation picture") ];
+    ]
+
+let coordinated_decision =
+  let s = "coordinated-decision" in
+  Scen.scenario ~id:s ~name:"Coordinated decision and deployment"
+    ~actors:[ "fire"; "red-cross" ]
+    [
+      typed s "1" "receive-message"
+        [ ("receiver", `I "fire"); ("message", `L "a shelter request from the Red Cross") ];
+      typed s "2" "aggregate-data" [ ("entity", `I "fire") ];
+      typed s "3" "make-decision"
+        [ ("entity", `I "fire"); ("decision", `L "open the north shelter") ];
+      typed s "4" "deploy-resources"
+        [ ("entity", `I "fire"); ("resource", `L "two engine companies") ];
+      typed s "5" "send-message"
+        [
+          ("sender", `I "fire");
+          ("receiver", `I "red-cross");
+          ("message", `L "the decision notification");
+        ];
+    ]
+
+let operator_broadcast =
+  let s = "operator-broadcast" in
+  Scen.scenario ~id:s ~name:"Operator broadcast with retries"
+    ~description:"Exercises iteration: the operator re-sends until acknowledged."
+    ~actors:[ "fire"; "police" ]
+    [
+      Event.Iteration
+        {
+          id = s ^ "-i1";
+          bound = Event.One_or_more;
+          body =
+            [
+              typed s "1" "send-message"
+                [
+                  ("sender", `I "fire");
+                  ("receiver", `I "police");
+                  ("message", `L "the broadcast");
+                ];
+            ];
+        };
+      typed s "2" "receive-message"
+        [ ("receiver", `I "police"); ("message", `L "the broadcast") ];
+    ]
+
+let resource_deployment =
+  let s = "resource-deployment" in
+  Scen.scenario ~id:s ~name:"Resource deployment after a decision"
+    ~actors:[ "red-cross" ]
+    [
+      typed s "1" "make-decision"
+        [ ("entity", `I "red-cross"); ("decision", `L "open two shelters") ];
+      typed s "2" "deploy-resources"
+        [ ("entity", `I "red-cross"); ("resource", `L "shelter teams") ];
+      typed s "3" "display-info"
+        [ ("entity", `I "red-cross"); ("info", `L "the deployment status") ];
+    ]
+
+let recover_from_failure =
+  let s = "recover-from-failure" in
+  Scen.scenario ~id:s ~name:"Recover after a failure notice"
+    ~description:
+      "After being alerted of a peer's unavailability, the operator re-sends once the        peer returns."
+    ~actors:[ "fire"; "police"; "the-network" ]
+    [
+      typed s "1" "send-request"
+        [ ("sender", `I "fire"); ("receiver", `I "police"); ("message", `L "a request") ];
+      typed s "2" "receive-failure-message" [ ("entity", `I "fire") ];
+      typed s "3" "display-info"
+        [ ("entity", `I "fire"); ("info", `L "the unavailability alert") ];
+      Event.Optional
+        {
+          id = s ^ "-o4";
+          body =
+            [
+              typed s "4" "send-request"
+                [
+                  ("sender", `I "fire");
+                  ("receiver", `I "police");
+                  ("message", `L "the request, again");
+                ];
+            ];
+        };
+    ]
+
+let entity_level =
+  [
+    entity_availability;
+    message_sequence;
+    situation_report;
+    coordinated_decision;
+    operator_broadcast;
+    resource_deployment;
+    recover_from_failure;
+  ]
+
+(* -------------------- network-level scenarios --------------------- *)
+
+let interorg_cooperation =
+  let s = "interorg-cooperation" in
+  Scen.scenario ~id:s ~name:"Inter-organization cooperation"
+    ~actors:[ "fire"; "police" ]
+    [
+      typed s "1" "report-situation"
+        [ ("entity", `I "fire"); ("situation", `L "a chemical spill") ];
+      typed s "2" "aggregate-data" [ ("entity", `I "fire") ];
+      typed s "3" "send-request"
+        [ ("sender", `I "fire"); ("receiver", `I "police"); ("message", `L "road closure") ];
+      typed s "4" "receive-message"
+        [ ("receiver", `I "police"); ("message", `L "road closure") ];
+      typed s "5" "send-notification"
+        [ ("sender", `I "police"); ("receiver", `I "fire"); ("message", `L "roads closed") ];
+    ]
+
+let availability_network =
+  let s = "availability-network" in
+  Scen.scenario ~id:s ~name:"Entity Availability (network view)"
+    ~actors:[ "fire"; "police"; "the-network" ]
+    [
+      typed s "1" "shuts-down" [ ("entity", `I "police") ];
+      typed s "2" "send-request"
+        [ ("sender", `I "fire"); ("receiver", `I "police"); ("message", `L "a request") ];
+      typed s "3" "send-failure-message" [ ("to", `I "fire") ];
+      typed s "4" "receive-failure-message" [ ("entity", `I "fire") ];
+    ]
+
+let unauthenticated_access =
+  let s = "unauthenticated-access" in
+  Scen.scenario ~id:s ~name:"Unauthenticated entity reaches a peer" ~kind:Scen.Negative
+    ~description:
+      "Negative scenario (paper §3.5): a user with inadequate authentication information \
+       accessing the system. Successful execution implies the system is not secure."
+    ~actors:[ "intruder"; "police" ]
+    [ typed s "1" "rogue-send" [ ("receiver", `I "police") ] ]
+
+let network_level = [ interorg_cooperation; availability_network; unauthenticated_access ]

@@ -1,0 +1,13 @@
+(** CRASH dependability scenarios.
+
+    The two scenarios the paper walks through are reproduced with the
+    paper's exact event sequences: "Entity Availability" (Fig. 6) and
+    "Message Sequence" (part of Fig. 8); further scenarios exercise
+    reporting, decision making, deployment, and the negative
+    unauthenticated-access case. *)
+
+val entity_level : Scenarioml.Scen.t list
+(** Evaluated against the entity-internal architecture. *)
+
+val network_level : Scenarioml.Scen.t list
+(** Evaluated against the high-level multi-peer architecture. *)

@@ -1,0 +1,193 @@
+type availability_run = {
+  detector : bool;
+  verdict : Dsim.Checks.availability_verdict;
+  fire_alerted : bool;
+  events : Dsim.Network.event list;
+}
+
+let fire_peer =
+  {
+    Dsim.Runtime.peer_id = "fire-cc";
+    chart = Crash.fire_chart;
+    routes = [ ("request", "police-cc") ];
+  }
+
+let police_peer =
+  {
+    Dsim.Runtime.peer_id = "police-cc";
+    chart = Crash.police_chart;
+    routes = [ ("notification", "fire-cc") ];
+  }
+
+let run_availability ~detector =
+  let engine = Dsim.Engine.create () in
+  let config = { Dsim.Network.default_config with failure_detector = detector } in
+  let network = Dsim.Network.create ~config engine in
+  let runtime = Dsim.Runtime.create ~network [ fire_peer; police_peer ] in
+  (* (1) The Police Department shuts down its Command and Control. *)
+  Dsim.Network.shutdown network "police-cc";
+  (* (2) Fire's C&C sends a request message to Police's C&C. *)
+  Dsim.Runtime.inject runtime ~peer:"fire-cc" "initiate";
+  Dsim.Engine.run engine;
+  let events = Dsim.Network.trace network in
+  let fire_alerted =
+    match Dsim.Runtime.config_of runtime "fire-cc" with
+    | Some config -> Statechart.Exec.active config "alerted"
+    | None -> false
+  in
+  { detector; verdict = Dsim.Checks.availability events; fire_alerted; events }
+
+type ordering_run = {
+  fifo : bool;
+  verdict : Dsim.Checks.ordering_verdict;
+  events : Dsim.Network.event list;
+}
+
+let run_ordering ?(messages = 8) ?(gap = 0.5) ?(jitter = 5.0) ~fifo () =
+  let engine = Dsim.Engine.create () in
+  let config = { Dsim.Network.default_config with fifo; jitter; default_latency = 1.0 } in
+  let network = Dsim.Network.create ~config engine in
+  let runtime = Dsim.Runtime.create ~network [ fire_peer; police_peer ] in
+  for i = 0 to messages - 1 do
+    Dsim.Engine.schedule engine ~delay:(float_of_int i *. gap) (fun _ ->
+        Dsim.Runtime.inject runtime ~peer:"fire-cc" "initiate")
+  done;
+  Dsim.Engine.run engine;
+  let events = Dsim.Network.trace network in
+  { fifo; verdict = Dsim.Checks.ordering events; events }
+
+type fault_point = {
+  downtime_fraction : float;
+  stats : Dsim.Checks.delivery_stats;
+  failure_notices : int;
+}
+
+let run_fault_sweep ?(duration = 100.0) ?(message_interval = 1.0) ?(period = 10.0)
+    ~downtime_fractions () =
+  List.map
+    (fun downtime_fraction ->
+      let engine = Dsim.Engine.create () in
+      let network = Dsim.Network.create engine in
+      Dsim.Network.add_node network "fire-cc";
+      Dsim.Network.add_node network "police-cc";
+      let cycles = int_of_float (duration /. period) in
+      Dsim.Faults.apply network
+        (Dsim.Faults.periodic_crashes ~node:"police-cc" ~period
+           ~downtime:(downtime_fraction *. period) ~count:cycles);
+      let messages = int_of_float (duration /. message_interval) in
+      for i = 0 to messages - 1 do
+        Dsim.Engine.schedule engine ~delay:(float_of_int i *. message_interval) (fun _ ->
+            ignore (Dsim.Network.send network ~src:"fire-cc" ~dst:"police-cc" "request"))
+      done;
+      Dsim.Engine.run engine;
+      let events = Dsim.Network.trace network in
+      let failure_notices =
+        List.length
+          (List.filter
+             (function Dsim.Network.Failure_notice _ -> true | _ -> false)
+             events)
+      in
+      { downtime_fraction; stats = Dsim.Checks.stats events; failure_notices })
+    downtime_fractions
+
+type coordination_run = {
+  acknowledged : int;
+  peers : int;
+  stats : Dsim.Checks.delivery_stats;
+}
+
+let run_coordination ?(down = []) () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  let others =
+    List.filter_map
+      (fun (org, _) -> if String.equal org "fire" then None else Some (org ^ "-cc"))
+      Crash.organizations
+  in
+  let broadcaster =
+    let open Statechart.Types in
+    chart ~id:"fire-coordination" ~component:"fire-cc" ~initial:"idle"
+      [ state "idle"; state "coordinating" ]
+      [
+        transition ~source:"idle" ~target:"coordinating" ~trigger:"situation"
+          ~outputs:[ "notification" ] ();
+        transition ~source:"coordinating" ~target:"coordinating" ~trigger:"ack" ();
+      ]
+  in
+  let responder org =
+    let open Statechart.Types in
+    chart
+      ~id:(org ^ "-coordination")
+      ~component:org ~initial:"ready"
+      [ state "ready"; state "engaged" ]
+      [
+        transition ~source:"ready" ~target:"engaged" ~trigger:"notification"
+          ~outputs:[ "ack" ] ();
+      ]
+  in
+  let peers =
+    {
+      Dsim.Runtime.peer_id = "fire-cc";
+      chart = broadcaster;
+      routes = List.map (fun dst -> ("notification", dst)) others;
+    }
+    :: List.map
+         (fun org ->
+           { Dsim.Runtime.peer_id = org; chart = responder org; routes = [ ("ack", "fire-cc") ] })
+         others
+  in
+  let runtime = Dsim.Runtime.create ~network peers in
+  List.iter (fun org -> Dsim.Network.shutdown network org) down;
+  Dsim.Runtime.inject runtime ~peer:"fire-cc" "situation";
+  Dsim.Engine.run engine;
+  let acknowledged =
+    List.length
+      (List.filter
+         (fun a ->
+           String.equal a.Dsim.Runtime.peer "fire-cc"
+           && String.equal a.Dsim.Runtime.trigger "ack"
+           && a.Dsim.Runtime.fired <> None)
+         (Dsim.Runtime.actions runtime))
+  in
+  {
+    acknowledged;
+    peers = List.length others;
+    stats = Dsim.Checks.stats (Dsim.Network.trace network);
+  }
+
+let run_partition ?(heal_at = 10.0) ?(duration = 20.0) () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  Dsim.Network.add_node network "fire-cc";
+  Dsim.Network.add_node network "police-cc";
+  Dsim.Faults.apply network
+    [
+      Dsim.Faults.Partition
+        { groups = [ [ "fire-cc" ]; [ "police-cc" ] ]; from_ = 0.0; until = heal_at };
+    ];
+  let messages = int_of_float duration in
+  for i = 0 to messages - 1 do
+    Dsim.Engine.schedule engine ~delay:(float_of_int i) (fun _ ->
+        ignore (Dsim.Network.send network ~src:"fire-cc" ~dst:"police-cc" "request"))
+  done;
+  Dsim.Engine.run engine;
+  Dsim.Checks.stats (Dsim.Network.trace network)
+
+let run_all_peers_broadcast ?(orgs = List.length Crash.organizations) () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  let chosen = List.filteri (fun i _ -> i < max 2 orgs) Crash.organizations in
+  let ids = List.map (fun (org, _) -> org ^ "-cc") chosen in
+  (* Peers that simply absorb requests; the broadcast itself is injected
+     directly through the network. *)
+  List.iter (fun id -> Dsim.Network.add_node network id) ids;
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (String.equal src dst) then
+            ignore (Dsim.Network.send network ~src ~dst "request"))
+        ids)
+    ids;
+  Dsim.Engine.run engine;
+  Dsim.Checks.stats (Dsim.Network.trace network)

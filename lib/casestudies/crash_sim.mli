@@ -1,0 +1,75 @@
+(** Dynamic evaluation of the CRASH dependability scenarios (paper
+    §4.2): "these two quality attributes can be determined effectively
+    only at run-time ... we demonstrate the concept by describing what
+    could have happened when the execution of the scenarios on the
+    architecture is simulated" — here the simulation is real.
+
+    Both experiments run the Fire and Police C&C peers (with their
+    statechart behaviors) on the simulated network. *)
+
+type availability_run = {
+  detector : bool;
+  verdict : Dsim.Checks.availability_verdict;
+  fire_alerted : bool;  (** the Fire peer's chart reached its alerted state *)
+  events : Dsim.Network.event list;
+}
+
+val run_availability : detector:bool -> availability_run
+(** The paper's "Entity Availability" scenario: Police shuts down its
+    C&C, Fire sends it a request. With a failure detector the network
+    reports the failure back and the Fire operator is alerted; without
+    one the failure goes unnoticed. *)
+
+type ordering_run = {
+  fifo : bool;
+  verdict : Dsim.Checks.ordering_verdict;
+  events : Dsim.Network.event list;
+}
+
+val run_ordering :
+  ?messages:int -> ?gap:float -> ?jitter:float -> fifo:bool -> unit -> ordering_run
+(** The paper's "Message Sequence" scenario, generalized to [messages]
+    requests (default 8) sent [gap] seconds apart (default 0.5) over a
+    channel with latency jitter (default 5.0). With FIFO channels the
+    sequence is preserved; without, jitter reorders deliveries. *)
+
+val run_all_peers_broadcast : ?orgs:int -> unit -> Dsim.Checks.delivery_stats
+(** Every organization's C&C broadcasts a request to every other; used
+    by benchmarks and robustness tests. *)
+
+type fault_point = {
+  downtime_fraction : float;  (** fraction of each period Police is down *)
+  stats : Dsim.Checks.delivery_stats;
+  failure_notices : int;
+}
+
+val run_fault_sweep :
+  ?duration:float ->
+  ?message_interval:float ->
+  ?period:float ->
+  downtime_fractions:float list ->
+  unit ->
+  fault_point list
+(** Availability under intermittent failures: Fire sends a request every
+    [message_interval] over [duration] while Police crash-restarts every
+    [period], staying down for [fraction * period]. Delivery ratio falls
+    and failure notices rise with the downtime fraction. *)
+
+type coordination_run = {
+  acknowledged : int;  (** peers whose ack reached the Fire Department *)
+  peers : int;  (** peers other than Fire *)
+  stats : Dsim.Checks.delivery_stats;
+}
+
+val run_coordination : ?down:string list -> unit -> coordination_run
+(** Crisis coordination across all seven organizations: the Fire
+    Department broadcasts a situation notification to every other C&C;
+    each acknowledges. With [down] peers shut down beforehand, their
+    acknowledgements are missing and failure notices come back
+    instead. *)
+
+val run_partition :
+  ?heal_at:float -> ?duration:float -> unit -> Dsim.Checks.delivery_stats
+(** Fire and Police are partitioned from time 0 until [heal_at] (default
+    10) while Fire keeps sending every second until [duration] (default
+    20): messages in the window are lost silently, later ones flow. *)

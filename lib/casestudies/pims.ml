@@ -1,0 +1,247 @@
+(* ------------------------------------------------------------------ *)
+(* Ontology                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"pims-ontology" ~name:"PIMS domain ontology"
+  (* actors *)
+  |> add_class ~id:"actor" ~name:"Actor" ~description:"A participant in PIMS scenarios"
+  |> add_class ~id:"user" ~name:"User" ~super:"actor"
+       ~description:"The investor using PIMS"
+  |> add_class ~id:"system" ~name:"System" ~super:"actor"
+       ~description:"The PIMS application itself"
+  (* domain classes *)
+  |> add_class ~id:"named-item" ~name:"Named item"
+       ~description:"Anything a scenario event can refer to by name"
+  |> add_class ~id:"portfolio" ~name:"Portfolio" ~super:"named-item"
+       ~description:"A named collection of investments"
+  |> add_class ~id:"investment" ~name:"Investment" ~super:"named-item"
+       ~description:"Money placed in an institution or security"
+  |> add_class ~id:"transaction" ~name:"Transaction" ~super:"named-item"
+       ~description:"A buy/sell/deposit/withdraw record"
+  |> add_class ~id:"share" ~name:"Share" ~super:"named-item"
+       ~description:"A stock-market security"
+  |> add_class ~id:"share-price" ~name:"Share price" ~super:"named-item"
+       ~description:"The current market price of a share"
+  |> add_class ~id:"alert" ~name:"Alert" ~super:"named-item"
+       ~description:"A price-threshold notification set by the user"
+  |> add_class ~id:"net-worth" ~name:"Net worth" ~super:"named-item"
+  |> add_class ~id:"rate-of-return" ~name:"Rate of return" ~super:"named-item"
+  |> add_class ~id:"password" ~name:"Password" ~super:"named-item"
+  |> add_class ~id:"repository-data" ~name:"Repository data" ~super:"named-item"
+       ~description:"The persistent state of PIMS"
+  |> add_class ~id:"website" ~name:"Web site" ~super:"named-item"
+       ~description:"A remote source of share prices"
+  (* individuals *)
+  |> add_individual ~id:"the-user" ~name:"the user" ~cls:"user"
+  |> add_individual ~id:"the-system" ~name:"the system" ~cls:"system"
+  |> add_individual ~id:"price-website" ~name:"the share price web site" ~cls:"website"
+  (* event types: user actions *)
+  |> add_event_type ~id:"user-action" ~name:"user action" ~actor:"user"
+       ~template:"The user performs an action"
+  |> add_event_type ~id:"user-initiates" ~name:"user initiates" ~super:"user-action"
+       ~params:[ ("function", "named-item") ]
+       ~template:"The user initiates the \"{function}\" functionality"
+  |> add_event_type ~id:"user-enters" ~name:"user enters" ~super:"user-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The user enters {item}"
+  |> add_event_type ~id:"user-selects" ~name:"user selects" ~super:"user-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The user selects {item}"
+  |> add_event_type ~id:"user-confirms" ~name:"user confirms" ~super:"user-action"
+       ~params:[ ("action", "named-item") ]
+       ~template:"The user confirms {action}"
+  (* event types: system actions *)
+  |> add_event_type ~id:"system-action" ~name:"system action" ~actor:"system"
+       ~template:"The system performs an action"
+  |> add_event_type ~id:"system-prompts" ~name:"system prompts" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system asks the user for {item}"
+  |> add_event_type ~id:"system-creates" ~name:"system creates" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system creates {item}"
+  |> add_event_type ~id:"system-updates" ~name:"system updates" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system updates {item}"
+  |> add_event_type ~id:"system-deletes" ~name:"system deletes" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system deletes {item}"
+  |> add_event_type ~id:"system-displays" ~name:"system displays" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system displays {item}"
+  |> add_event_type ~id:"system-saves" ~name:"system saves" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system saves {item}"
+  |> add_event_type ~id:"system-retrieves" ~name:"system retrieves saved"
+       ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system gets {item} saved from before"
+  |> add_event_type ~id:"system-downloads" ~name:"system downloads" ~super:"system-action"
+       ~params:[ ("item", "named-item"); ("source", "website") ]
+       ~template:"The system downloads {item} from {source}"
+  |> add_event_type ~id:"system-records" ~name:"system records" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system records {item}"
+  |> add_event_type ~id:"system-computes" ~name:"system computes" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system computes {item}"
+  |> add_event_type ~id:"system-validates" ~name:"system validates" ~super:"system-action"
+       ~params:[ ("item", "named-item") ]
+       ~template:"The system validates {item}"
+  |> add_event_type ~id:"system-alerts" ~name:"system alerts" ~super:"system-action"
+       ~params:[ ("message", "named-item") ]
+       ~template:"The system alerts the user: {message}"
+  |> add_event_type ~id:"system-authenticates" ~name:"system authenticates"
+       ~super:"system-action"
+       ~template:"The system authenticates the user"
+  (* glossary *)
+  |> add_term ~id:"pims" ~name:"PIMS"
+       ~definition:"Personal Investment Management System (Jalote's textbook case study)"
+  |> add_term ~id:"current-value" ~name:"current value"
+       ~definition:"Value of an investment at today's downloaded prices"
+
+(* ------------------------------------------------------------------ *)
+(* Architecture (Fig. 3): Layered style                               *)
+(* ------------------------------------------------------------------ *)
+
+let architecture =
+  let open Adl.Build in
+  let biconnect = Adl.Build.biconnect in
+  let business id name responsibilities =
+    add_component ~id ~name ~responsibilities ~tags:[ ("layer", "3") ]
+  in
+  create ~style:"layered" ~id:"pims-arch" ~name:"PIMS layered architecture" ()
+  |> add_component ~id:"master-controller" ~name:"Master Controller"
+       ~description:"Presentation layer"
+       ~responsibilities:
+         [
+           "interact with the user";
+           "collect user input and display results";
+           "invoke modules of the business logic layer";
+         ]
+       ~tags:[ ("layer", "4") ]
+  |> business "authentication" "Authentication"
+       [ "authenticate the user"; "manage passwords" ]
+  |> business "portfolio-manager" "Portfolio Manager"
+       [ "create, rename and delete portfolios"; "manage investments in a portfolio" ]
+  |> business "transaction-manager" "Transaction Manager"
+       [ "record, edit and delete transactions" ]
+  |> business "networth-calculator" "Net Worth Calculator"
+       [ "compute net worth and rates of return" ]
+  |> business "alert-manager" "Alert Manager"
+       [ "manage price alerts"; "raise alerts when thresholds are crossed" ]
+  |> business "loader" "Loader"
+       [ "download current share prices from the Internet"; "hand downloaded data over for saving" ]
+  |> add_component ~id:"data-access" ~name:"Data Access"
+       ~description:"Data access layer separating business logic and repository"
+       ~responsibilities:[ "perform all data retrieval and modification" ]
+       ~tags:[ ("layer", "2") ]
+  |> add_component ~id:"data-repository" ~name:"Data Repository"
+       ~description:"Persistent storage"
+       ~responsibilities:[ "store portfolios, transactions, prices and alerts" ]
+       ~tags:[ ("layer", "1") ]
+  |> add_component ~id:"remote-price-db" ~name:"Remote Share Price Database"
+       ~description:"External web site serving current share prices"
+       ~responsibilities:[ "serve current share prices over the Internet" ]
+       ~tags:[ ("external", "true") ]
+  |> add_connector ~id:"ui-bus" ~name:"UI procedure-call connector"
+       ~description:"Master Controller to business logic invocations"
+  |> add_connector ~id:"internet" ~name:"Internet connector"
+       ~description:"HTTP access to the remote share price web site"
+  (* presentation <-> business, via the UI bus *)
+  |> fun t ->
+  List.fold_left
+    (fun t comp -> biconnect t comp "ui-bus")
+    (biconnect t "master-controller" "ui-bus")
+    [
+      "authentication";
+      "portfolio-manager";
+      "transaction-manager";
+      "networth-calculator";
+      "alert-manager";
+      "loader";
+    ]
+  (* business -> data access (direct links, as in the book's module uses) *)
+  |> fun t ->
+  List.fold_left
+    (fun t comp -> biconnect t comp "data-access")
+    t
+    [
+      "authentication";
+      "portfolio-manager";
+      "transaction-manager";
+      "networth-calculator";
+      "alert-manager";
+      "loader";
+    ]
+  |> fun t ->
+  biconnect t "data-access" "data-repository"
+  |> fun t ->
+  biconnect t "loader" "internet" |> fun t -> biconnect t "internet" "remote-price-db"
+
+let broken_architecture =
+  (* Fig. 4: "we artificially introduced an error in the PIMS
+     architecture by excising the link between the Data Access and
+     Loader components". *)
+  Adl.Diff.excise_link_between architecture "loader" "data-access"
+
+(* ------------------------------------------------------------------ *)
+(* Mapping (Table 1)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mapping =
+  let open Mapping.Build in
+  create ~id:"pims-mapping" ~ontology ~architecture
+  |> map ~event_type:"user-initiates" ~to_:[ "master-controller" ]
+       ~rationale:"all user interaction happens at the presentation layer"
+  |> map ~event_type:"user-enters" ~to_:[ "master-controller" ]
+       ~rationale:"the Master Controller manages the user interface"
+  |> map ~event_type:"user-selects" ~to_:[ "master-controller" ]
+  |> map ~event_type:"user-confirms" ~to_:[ "master-controller" ]
+  |> map ~event_type:"system-prompts" ~to_:[ "master-controller" ]
+  |> map ~event_type:"system-displays" ~to_:[ "master-controller" ]
+  |> map ~event_type:"system-authenticates" ~to_:[ "authentication" ]
+       ~rationale:"the Authentication component is responsible for the authentication task"
+  |> map ~event_type:"system-validates" ~to_:[ "authentication" ]
+  |> map ~event_type:"system-creates"
+       ~to_:[ "portfolio-manager"; "data-access"; "data-repository" ]
+       ~rationale:"creation is business logic persisted through the data access layer"
+  |> map ~event_type:"system-updates"
+       ~to_:[ "portfolio-manager"; "data-access"; "data-repository" ]
+  |> map ~event_type:"system-deletes"
+       ~to_:[ "portfolio-manager"; "data-access"; "data-repository" ]
+  |> map ~event_type:"system-saves" ~to_:[ "loader"; "data-access"; "data-repository" ]
+       ~rationale:
+         "downloaded data flows from the Loader through Data Access to the Data Repository"
+  |> map ~event_type:"system-records"
+       ~to_:[ "transaction-manager"; "data-access"; "data-repository" ]
+       ~rationale:"transactions are business records persisted through the data access layer"
+  |> map ~event_type:"system-retrieves" ~to_:[ "data-access"; "data-repository" ]
+  |> map ~event_type:"system-downloads" ~to_:[ "loader"; "remote-price-db" ]
+       ~rationale:"the Loader fetches prices from the remote share price database"
+  |> map ~event_type:"system-computes" ~to_:[ "networth-calculator" ]
+  |> map ~event_type:"system-alerts" ~to_:[ "alert-manager"; "master-controller" ]
+  (* abstract supertypes are realized by their subtypes' components;
+     mapping them keeps the event-type hierarchy fully covered *)
+  |> map ~event_type:"user-action" ~to_:[ "master-controller" ]
+  |> map ~event_type:"system-action" ~to_:[ "master-controller" ]
+       ~rationale:"a generic system response surfaces at the user interface"
+
+let scenario_set =
+  Scenarioml.Scen.make_set ~id:"pims-scenarios" ~name:"PIMS use-case scenarios" ontology
+    Pims_scenarios.all
+
+let create_portfolio = Scenarioml.Scen.find_exn scenario_set "create-portfolio"
+
+let get_share_prices = Scenarioml.Scen.find_exn scenario_set "get-share-prices"
+
+let event_type_label id =
+  match Ontology.Types.find_event_type ontology id with
+  | Some e -> e.Ontology.Types.event_name
+  | None -> id
+
+let component_label id =
+  match Adl.Structure.find_component architecture id with
+  | Some c -> c.Adl.Structure.comp_name
+  | None -> id

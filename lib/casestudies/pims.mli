@@ -1,0 +1,40 @@
+(** The PIMS case study (paper §4.1).
+
+    PIMS — the Personal Investment Management System from Jalote's
+    textbook — "is used by customers to keep track of their invested
+    money in institutions such as banks and in the stock market". Its
+    requirements comprise 22 use cases (authored here after the book's
+    published use-case list, see {!Pims_scenarios}); its architecture is
+    layered: presentation ("Master Controller"), business logic, data
+    access, and data repository, plus the remote share-price web site. *)
+
+val ontology : Ontology.Types.t
+(** Actors, domain classes, individuals, and the generalized event
+    types ("user enters {item}", "system downloads {item}", ...) used by
+    all 22 use cases. *)
+
+val architecture : Adl.Structure.t
+(** The intact layered architecture of the paper's Fig. 3. *)
+
+val broken_architecture : Adl.Structure.t
+(** Fig. 4's faulty variant: the link between the "Loader" and "Data
+    Access" components excised. *)
+
+val mapping : Mapping.Types.t
+(** The event-type-to-component mapping (Table 1). *)
+
+val scenario_set : Scenarioml.Scen.set
+(** All 22 use-case scenarios over {!ontology}. *)
+
+val create_portfolio : Scenarioml.Scen.t
+(** The paper's first focal scenario. *)
+
+val get_share_prices : Scenarioml.Scen.t
+(** The paper's second focal scenario ("Get the current prices of
+    shares"). *)
+
+val event_type_label : string -> string
+(** Human name of an event type (for the Table 1 rendering). *)
+
+val component_label : string -> string
+(** Human name of a component (for the Table 1 rendering). *)

@@ -1,0 +1,72 @@
+let loader_chart =
+  let open Statechart.Types in
+  chart ~id:"loader-behavior" ~component:"loader" ~initial:"idle"
+    [ state "idle"; state "loaded" ]
+    [
+      transition ~source:"idle" ~target:"loaded" ~trigger:"system-downloads" ();
+      transition ~source:"loaded" ~target:"loaded" ~trigger:"system-downloads" ();
+      transition ~source:"loaded" ~target:"idle" ~trigger:"system-saves" ();
+    ]
+
+let master_controller_chart =
+  let open Statechart.Types in
+  let accepts =
+    [
+      "user-action";
+      "user-initiates";
+      "user-enters";
+      "user-selects";
+      "user-confirms";
+      "system-action";
+      "system-prompts";
+      "system-displays";
+      "system-alerts";
+    ]
+  in
+  chart ~id:"master-controller-behavior" ~component:"master-controller" ~initial:"ready"
+    [ state "ready" ]
+    (List.map
+       (fun trigger -> transition ~source:"ready" ~target:"ready" ~trigger ())
+       accepts)
+
+let data_access_chart =
+  let open Statechart.Types in
+  let accepts =
+    [
+      "system-creates";
+      "system-updates";
+      "system-deletes";
+      "system-saves";
+      "system-retrieves";
+      "system-records";
+    ]
+  in
+  chart ~id:"data-access-behavior" ~component:"data-access" ~initial:"ready"
+    [ state "ready" ]
+    (List.map
+       (fun trigger -> transition ~source:"ready" ~target:"ready" ~trigger ())
+       accepts)
+
+let charts = [ loader_chart; master_controller_chart; data_access_chart ]
+
+let reordered_get_share_prices =
+  let open Scenarioml in
+  let typed id event_type args =
+    Event.typed ~id ~event_type (List.map (fun (p, value) -> Event.literal ~param:p value) args)
+  in
+  Scen.scenario ~id:"get-share-prices-reordered"
+    ~name:"Get share prices (save before download)"
+    ~description:
+      "A defective ordering: statically every hop exists, but the Loader cannot save \
+       prices it has not downloaded."
+    ~actors:[ "the-user"; "the-system" ]
+    [
+      typed "r1" "user-initiates" [ ("function", "download current share prices") ];
+      typed "r2" "system-saves" [ ("item", "the current share prices") ];
+      Event.typed ~id:"r3" ~event_type:"system-downloads"
+        [
+          Event.literal ~param:"item" "the current share prices";
+          Event.individual ~param:"source" "price-website";
+        ];
+      typed "r4" "system-displays" [ ("item", "the current share prices") ];
+    ]

@@ -1,0 +1,107 @@
+let version = "1.0.0"
+
+type project = {
+  scenarios : Scenarioml.Scen.set;
+  architecture : Adl.Structure.t;
+  mapping : Mapping.Types.t;
+}
+
+type validation = {
+  ontology_problems : Ontology.Wellformed.problem list;
+  scenario_problems : Scenarioml.Validate.problem list;
+  architecture_problems : Adl.Validate.problem list;
+  coverage_problems : Mapping.Coverage.problem list;
+  ok : bool;
+}
+
+let validate ?require_responsibilities p =
+  let ontology = p.scenarios.Scenarioml.Scen.ontology in
+  let ontology_problems = Ontology.Wellformed.check ontology in
+  let scenario_problems = Scenarioml.Validate.check p.scenarios in
+  let architecture_problems = Adl.Validate.check ?require_responsibilities p.architecture in
+  let coverage_problems = Mapping.Coverage.check ontology p.architecture p.mapping in
+  {
+    ontology_problems;
+    scenario_problems;
+    architecture_problems;
+    coverage_problems;
+    ok =
+      ontology_problems = [] && scenario_problems = [] && architecture_problems = []
+      && coverage_problems = [];
+  }
+
+let evaluate ?config p =
+  Walkthrough.Engine.evaluate_set ?config ~set:p.scenarios ~architecture:p.architecture
+    ~mapping:p.mapping ()
+
+let evaluate_scenario ?config p id =
+  Option.map
+    (Walkthrough.Engine.evaluate_scenario ?config ~set:p.scenarios
+       ~architecture:p.architecture ~mapping:p.mapping)
+    (Scenarioml.Scen.find p.scenarios id)
+
+let evaluate_behavioral ?config p bundle =
+  List.map
+    (Walkthrough.Dynamic.evaluate_scenario ?config ~set:p.scenarios ~mapping:p.mapping
+       ~charts:bundle.Statechart.Bundle.charts)
+    p.scenarios.Scenarioml.Scen.scenarios
+
+let export_owl p =
+  Semweb.Export.full_export p.scenarios.Scenarioml.Scen.ontology p.mapping
+
+exception Load_error of string
+
+let load_error fmt = Format.kasprintf (fun s -> raise (Load_error s)) fmt
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> s
+  | exception Sys_error msg -> load_error "cannot read %s: %s" path msg
+
+let load_project ~scenarios ~architecture ~mapping =
+  let scenarios =
+    match Scenarioml.Xml_io.set_of_string (read_file scenarios) with
+    | s -> s
+    | exception Scenarioml.Xml_io.Malformed m -> load_error "in %s: %s" scenarios m
+  in
+  let architecture_v =
+    match Adl.Xml_io.of_string (read_file architecture) with
+    | a -> a
+    | exception Adl.Xml_io.Malformed m -> load_error "in %s: %s" architecture m
+  in
+  let mapping_v =
+    match Mapping.Xml_io.of_string (read_file mapping) with
+    | m -> m
+    | exception Mapping.Xml_io.Malformed m -> load_error "in %s: %s" mapping m
+  in
+  { scenarios; architecture = architecture_v; mapping = mapping_v }
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let save_project p ~scenarios ~architecture ~mapping =
+  write_file scenarios (Scenarioml.Xml_io.set_to_string p.scenarios);
+  write_file architecture (Adl.Xml_io.to_string p.architecture);
+  write_file mapping (Mapping.Xml_io.to_string p.mapping)
+
+let pp_validation ppf v =
+  let section name pp problems =
+    if problems <> [] then begin
+      Format.fprintf ppf "%s:@," name;
+      List.iter (fun p -> Format.fprintf ppf "  %a@," pp p) problems
+    end
+  in
+  Format.fprintf ppf "@[<v>";
+  section "Ontology" Ontology.Wellformed.pp_problem v.ontology_problems;
+  section "Scenarios" Scenarioml.Validate.pp_problem v.scenario_problems;
+  section "Architecture" Adl.Validate.pp_problem v.architecture_problems;
+  section "Mapping coverage" Mapping.Coverage.pp_problem v.coverage_problems;
+  Format.fprintf ppf "%s@]" (if v.ok then "all artifacts valid" else "validation problems found")

@@ -1,0 +1,67 @@
+(** SOSAE — Scenario and Ontology-based Software Architecture
+    Evaluation: the umbrella API tying the four steps of the paper's
+    approach together (Fig. 1):
+
+    1. requirements-level scenarios in ScenarioML ({!Scenarioml});
+    2. architecture description in an xADL-style ADL ({!Adl},
+       {!Statechart});
+    3. the ontology-to-component mapping ({!Mapping});
+    4. walkthrough evaluation ({!Walkthrough}) plus dynamic simulation
+       ({!Dsim}).
+
+    A {!project} bundles the three artifacts; {!validate} checks each
+    artifact individually and the references between them; {!evaluate}
+    runs the full walkthrough evaluation. *)
+
+val version : string
+
+type project = {
+  scenarios : Scenarioml.Scen.set;
+  architecture : Adl.Structure.t;
+  mapping : Mapping.Types.t;
+}
+
+type validation = {
+  ontology_problems : Ontology.Wellformed.problem list;
+  scenario_problems : Scenarioml.Validate.problem list;
+  architecture_problems : Adl.Validate.problem list;
+  coverage_problems : Mapping.Coverage.problem list;
+  ok : bool;
+}
+
+val validate : ?require_responsibilities:bool -> project -> validation
+
+val evaluate : ?config:Walkthrough.Engine.config -> project -> Walkthrough.Engine.set_result
+(** Walk every scenario of the project through its architecture. *)
+
+val evaluate_scenario :
+  ?config:Walkthrough.Engine.config ->
+  project ->
+  string ->
+  Walkthrough.Verdict.scenario_result option
+(** Evaluate one scenario by id; [None] when the id is unknown. *)
+
+val evaluate_behavioral :
+  ?config:Walkthrough.Dynamic.config ->
+  project ->
+  Statechart.Bundle.t ->
+  Walkthrough.Dynamic.result list
+(** Behavioral walkthrough of every scenario over the bundle's
+    statecharts (paper §3.5's "simulating the behavior of the matched
+    components"). *)
+
+val export_owl : project -> Semweb.Store.t
+(** Ontology + mapping as OWL triples (paper §8). *)
+
+exception Load_error of string
+
+val load_project :
+  scenarios:string -> architecture:string -> mapping:string -> project
+(** Read the three artifacts from XML files.
+    @raise Load_error on I/O, XML, or schema errors. *)
+
+val save_project :
+  project -> scenarios:string -> architecture:string -> mapping:string -> unit
+(** Write the three artifacts to XML files. *)
+
+val pp_validation : Format.formatter -> validation -> unit

@@ -1,0 +1,129 @@
+type node_kind =
+  | Chart_component of { chart : Statechart.Types.t; mutable config : Statechart.Exec.config }
+  | Plain_component
+  | Connector
+
+type t = {
+  engine : Engine.t;
+  network : Network.t;
+  hop_budget : int;
+  nodes : (string, node_kind) Hashtbl.t;
+  neighbors : (string, string list) Hashtbl.t;
+  mutable log : (string * string * string list) list;  (* newest first *)
+}
+
+(* Payloads travel tagged with a remaining hop budget: "ttl:payload". *)
+let encode ttl payload = Printf.sprintf "%d:%s" ttl payload
+
+let decode raw =
+  match String.index_opt raw ':' with
+  | Some i -> (
+      match int_of_string_opt (String.sub raw 0 i) with
+      | Some ttl -> (ttl, String.sub raw (i + 1) (String.length raw - i - 1))
+      | None -> (0, raw))
+  | None -> (0, raw)
+
+let neighbors_of t id =
+  match Hashtbl.find_opt t.neighbors id with Some l -> l | None -> []
+
+let send_to_neighbors t ~from_ ~except ttl payload =
+  List.iter
+    (fun neighbor ->
+      if not (List.exists (String.equal neighbor) except) then
+        ignore (Network.send t.network ~src:from_ ~dst:neighbor (encode ttl payload)))
+    (neighbors_of t from_)
+
+let react t id kind ~came_from trigger =
+  match kind with
+  | Chart_component state ->
+      let reaction = Statechart.Exec.step state.chart state.config trigger in
+      state.config <- reaction.Statechart.Exec.new_config;
+      (match reaction.Statechart.Exec.fired with
+      | Some _ ->
+          t.log <- (id, trigger, reaction.Statechart.Exec.outputs) :: t.log;
+          List.iter
+            (fun output ->
+              send_to_neighbors t ~from_:id ~except:came_from t.hop_budget output)
+            reaction.Statechart.Exec.outputs
+      | None -> ())
+  | Plain_component -> ()
+  | Connector -> ()
+
+let on_receive t id kind _net message =
+  let ttl, payload = decode message.Network.payload in
+  match kind with
+  | Connector ->
+      if ttl > 0 then
+        send_to_neighbors t ~from_:id ~except:[ message.Network.src ] (ttl - 1) payload
+  | Chart_component _ | Plain_component ->
+      react t id kind ~came_from:[ message.Network.src ] payload
+
+let create ?config ?(hop_budget = 16) ~architecture ~charts () =
+  let engine = Engine.create () in
+  let network = Network.create ?config engine in
+  let t =
+    {
+      engine;
+      network;
+      hop_budget;
+      nodes = Hashtbl.create 16;
+      neighbors = Hashtbl.create 16;
+      log = [];
+    }
+  in
+  let add_neighbor a b =
+    let cur = neighbors_of t a in
+    if not (List.exists (String.equal b) cur) then Hashtbl.replace t.neighbors a (cur @ [ b ])
+  in
+  List.iter
+    (fun l ->
+      let a = l.Adl.Structure.link_from.Adl.Structure.anchor in
+      let b = l.Adl.Structure.link_to.Adl.Structure.anchor in
+      add_neighbor a b;
+      add_neighbor b a)
+    architecture.Adl.Structure.links;
+  let register id kind =
+    Hashtbl.replace t.nodes id kind;
+    Network.add_node network ~on_receive:(on_receive t id kind) id
+  in
+  List.iter
+    (fun c ->
+      let id = c.Adl.Structure.comp_id in
+      match List.find_opt (fun ch -> String.equal ch.Statechart.Types.component id) charts with
+      | Some chart ->
+          register id
+            (Chart_component { chart; config = Statechart.Exec.initial_config chart })
+      | None -> register id Plain_component)
+    architecture.Adl.Structure.components;
+  List.iter
+    (fun c -> register c.Adl.Structure.conn_id Connector)
+    architecture.Adl.Structure.connectors;
+  t
+
+let engine t = t.engine
+
+let inject t ~component trigger =
+  match Hashtbl.find_opt t.nodes component with
+  | Some kind -> react t component kind ~came_from:[] trigger
+  | None -> ()
+
+let run t = Engine.run t.engine
+
+let trace t = Network.trace t.network
+
+let received_by t id =
+  List.filter_map
+    (function
+      | Network.Delivered { message; _ } when String.equal message.Network.dst id ->
+          Some (snd (decode message.Network.payload))
+      | Network.Delivered _ | Network.Sent _ | Network.Dropped _ | Network.Failure_notice _
+      | Network.Shutdown _ | Network.Restart _ ->
+          None)
+    (trace t)
+
+let config_of t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some (Chart_component state) -> Some state.config
+  | Some (Plain_component | Connector) | None -> None
+
+let reactions t = List.rev t.log

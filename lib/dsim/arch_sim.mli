@@ -1,0 +1,45 @@
+(** Executing an architecture: every brick of a structure becomes a
+    simulated node; components react through their statecharts and emit
+    over their links, connectors relay messages onward — "a mechanism
+    for automatically 'executing' the scenarios on the architecture"
+    (paper §8).
+
+    Semantics:
+    - every component and connector is a network node; every structural
+      link is a (bidirectional) channel;
+    - a component with a statechart reacts to a delivered payload as a
+      trigger; transition outputs are sent to every neighbor except the
+      element the triggering message came from;
+    - components without a chart absorb messages;
+    - connectors relay every payload to every neighbor except the
+      sender, decrementing a hop budget (default 16) that protects
+      cyclic topologies from infinite flooding. *)
+
+type t
+
+val create :
+  ?config:Network.config ->
+  ?hop_budget:int ->
+  architecture:Adl.Structure.t ->
+  charts:Statechart.Types.t list ->
+  unit ->
+  t
+
+val engine : t -> Engine.t
+
+val inject : t -> component:string -> string -> unit
+(** Trigger a component's chart directly (a local stimulus); its outputs
+    are sent to all its neighbors. *)
+
+val run : t -> unit
+(** Drain the simulation. *)
+
+val trace : t -> Network.event list
+
+val received_by : t -> string -> string list
+(** Payloads delivered to a brick, in order (hop budgets stripped). *)
+
+val config_of : t -> string -> Statechart.Exec.config option
+
+val reactions : t -> (string * string * string list) list
+(** Chronological (component, trigger, outputs) chart reactions. *)

@@ -1,0 +1,127 @@
+type availability_verdict = {
+  requests_to_down_nodes : int;
+  failure_notices : int;
+  alerted : bool;
+}
+
+let availability events =
+  let down_msgs =
+    List.filter_map
+      (function
+        | Network.Dropped { message; reason = Network.Node_down; _ } ->
+            Some message.Network.msg_id
+        | Network.Dropped _ | Network.Sent _ | Network.Delivered _
+        | Network.Failure_notice _ | Network.Shutdown _ | Network.Restart _ ->
+            None)
+      events
+  in
+  let noticed =
+    List.filter_map
+      (function
+        | Network.Failure_notice { message; _ } -> Some message.Network.msg_id
+        | Network.Sent _ | Network.Delivered _ | Network.Dropped _ | Network.Shutdown _
+        | Network.Restart _ ->
+            None)
+      events
+  in
+  {
+    requests_to_down_nodes = List.length down_msgs;
+    failure_notices = List.length noticed;
+    alerted =
+      down_msgs <> []
+      && List.for_all (fun id -> List.exists (Int.equal id) noticed) down_msgs;
+  }
+
+type ordering_verdict = {
+  channels_checked : int;
+  out_of_order_pairs : (Network.message * Network.message) list;
+  preserved : bool;
+}
+
+let ordering events =
+  let deliveries =
+    List.filter_map
+      (function
+        | Network.Delivered { message; _ } -> Some message
+        | Network.Sent _ | Network.Dropped _ | Network.Failure_notice _
+        | Network.Shutdown _ | Network.Restart _ ->
+            None)
+      events
+  in
+  let channels =
+    List.sort_uniq compare
+      (List.map (fun m -> (m.Network.src, m.Network.dst)) deliveries)
+  in
+  let out_of_order =
+    List.concat_map
+      (fun (src, dst) ->
+        let channel_deliveries =
+          List.filter
+            (fun m -> String.equal m.Network.src src && String.equal m.Network.dst dst)
+            deliveries
+        in
+        (* Delivery order is the list order; compare send order. *)
+        let rec inversions = function
+          | a :: (b :: _ as rest) ->
+              let tail = inversions rest in
+              if a.Network.msg_id > b.Network.msg_id then (a, b) :: tail else tail
+          | [ _ ] | [] -> []
+        in
+        inversions channel_deliveries)
+      channels
+  in
+  {
+    channels_checked = List.length channels;
+    out_of_order_pairs = out_of_order;
+    preserved = out_of_order = [];
+  }
+
+type delivery_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+  mean_latency : float;
+  max_latency : float;
+}
+
+let stats events =
+  let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  let total_latency = ref 0.0 and max_latency = ref 0.0 in
+  List.iter
+    (function
+      | Network.Sent _ -> incr sent
+      | Network.Delivered { message; at } ->
+          incr delivered;
+          let l = at -. message.Network.sent_at in
+          total_latency := !total_latency +. l;
+          if l > !max_latency then max_latency := l
+      | Network.Dropped _ -> incr dropped
+      | Network.Failure_notice _ | Network.Shutdown _ | Network.Restart _ -> ())
+    events;
+  {
+    sent = !sent;
+    delivered = !delivered;
+    dropped = !dropped;
+    delivery_ratio =
+      (if !sent = 0 then 1.0 else float_of_int !delivered /. float_of_int !sent);
+    mean_latency =
+      (if !delivered = 0 then 0.0 else !total_latency /. float_of_int !delivered);
+    max_latency = !max_latency;
+  }
+
+let pp_availability ppf v =
+  Format.fprintf ppf "requests to down nodes: %d, failure notices: %d -> %s"
+    v.requests_to_down_nodes v.failure_notices
+    (if v.alerted then "ALERTED (availability failure detected)"
+     else "NOT ALERTED (failure goes unnoticed)")
+
+let pp_ordering ppf v =
+  Format.fprintf ppf "channels: %d, out-of-order deliveries: %d -> %s" v.channels_checked
+    (List.length v.out_of_order_pairs)
+    (if v.preserved then "ORDER PRESERVED" else "ORDER VIOLATED")
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "sent %d, delivered %d, dropped %d (ratio %.3f), latency mean %.3f max %.3f" s.sent
+    s.delivered s.dropped s.delivery_ratio s.mean_latency s.max_latency

@@ -1,0 +1,48 @@
+(** Dependability checkers over network traces — the dynamic analogues
+    of the CRASH walkthroughs (paper §4.2).
+
+    Availability: "If the architecture provides a mechanism for
+    detecting the availability of the entities, then the [sender] will
+    receive an error message alerting the unavailability ... Otherwise
+    [it] will not receive any alert."
+
+    Reliability (message sequence): "If the first message sent ...
+    arrives first ... then the order is preserved; otherwise the order
+    [is] not preserved." *)
+
+type availability_verdict = {
+  requests_to_down_nodes : int;
+  failure_notices : int;
+  alerted : bool;  (** every request toward a down node was alerted *)
+}
+
+val availability : Network.event list -> availability_verdict
+(** A request "toward a down node" is one that was dropped with
+    [Node_down] or whose destination was down at send time (fast
+    failure path: a notice with no matching drop). *)
+
+type ordering_verdict = {
+  channels_checked : int;
+  out_of_order_pairs : (Network.message * Network.message) list;
+  preserved : bool;
+}
+
+val ordering : Network.event list -> ordering_verdict
+(** Per channel (src, dst): delivery order must equal send order. *)
+
+type delivery_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+  mean_latency : float;  (** over delivered messages; 0 when none *)
+  max_latency : float;
+}
+
+val stats : Network.event list -> delivery_stats
+
+val pp_availability : Format.formatter -> availability_verdict -> unit
+
+val pp_ordering : Format.formatter -> ordering_verdict -> unit
+
+val pp_stats : Format.formatter -> delivery_stats -> unit

@@ -1,0 +1,34 @@
+type t = { queue : (t -> unit) Heap.t; mutable clock : float }
+
+let create () = { queue = Heap.create (); clock = 0.0 }
+
+let now t = t.clock
+
+let schedule t ~delay action =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  Heap.push t.queue ~time:(t.clock +. delay) action
+
+let schedule_at t ~time action =
+  let time = if time < t.clock then t.clock else time in
+  Heap.push t.queue ~time action
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, action) ->
+      t.clock <- time;
+      action t;
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> not (Heap.is_empty t.queue)
+    | Some limit -> (
+        match Heap.peek_time t.queue with Some next -> next <= limit | None -> false)
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,28 @@
+(** Discrete-event simulation core: a virtual clock and an event queue
+    of scheduled actions. Actions may schedule further actions. Runs
+    are deterministic: equal-time actions execute in scheduling order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (starts at 0.0). *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Schedule an action [delay] time units from now. Negative delays are
+    clamped to 0. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Schedule at an absolute time; times before [now] are clamped to
+    [now]. *)
+
+val run : ?until:float -> t -> unit
+(** Process actions in time order until the queue empties or the clock
+    passes [until] (actions scheduled strictly after [until] remain
+    queued; the clock is left at the last executed action's time). *)
+
+val step : t -> bool
+(** Process a single action; [false] when the queue is empty. *)
+
+val pending : t -> int

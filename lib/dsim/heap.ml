@@ -1,0 +1,73 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable count : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; count = 0; next_seq = 0 }
+
+let is_empty h = h.count = 0
+
+let size h = h.count
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.count && before h.data.(left) h.data.(!smallest) then smallest := left;
+  if right < h.count && before h.data.(right) h.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.count = capacity then begin
+    let fresh = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit h.data 0 fresh 0 h.count;
+    h.data <- fresh
+  end
+
+let push h ~time payload =
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.count) <- entry;
+  h.count <- h.count + 1;
+  sift_up h (h.count - 1)
+
+let pop h =
+  if h.count = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.count <- h.count - 1;
+    if h.count > 0 then begin
+      h.data.(0) <- h.data.(h.count);
+      sift_down h 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.count = 0 then None else Some h.data.(0).time
+
+let clear h =
+  h.data <- [||];
+  h.count <- 0

@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [(time, sequence)] — the simulator's event
+    queue. Ties in time break by insertion sequence, which makes
+    simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insertion order among equal times is preserved. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest (time, earliest-inserted) element, removed. *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

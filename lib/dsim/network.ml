@@ -1,0 +1,185 @@
+type message = {
+  msg_id : int;
+  src : string;
+  dst : string;
+  payload : string;
+  sent_at : float;
+}
+
+type drop_reason = Node_down | Random_loss | Partitioned
+
+type event =
+  | Sent of message
+  | Delivered of { message : message; at : float }
+  | Dropped of { message : message; at : float; reason : drop_reason }
+  | Failure_notice of { message : message; at : float }
+  | Shutdown of { node : string; at : float }
+  | Restart of { node : string; at : float }
+
+type config = {
+  default_latency : float;
+  jitter : float;
+  drop_probability : float;
+  fifo : bool;
+  failure_detector : bool;
+  detect_delay : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    default_latency = 1.0;
+    jitter = 0.0;
+    drop_probability = 0.0;
+    fifo = true;
+    failure_detector = true;
+    detect_delay = 2.0;
+    seed = 42;
+  }
+
+type node = {
+  mutable up : bool;
+  mutable on_receive : (t -> message -> unit) option;
+  mutable on_failure : (t -> message -> unit) option;
+}
+
+and t = {
+  engine : Engine.t;
+  config : config;
+  nodes : (string, node) Hashtbl.t;
+  latencies : (string * string, float) Hashtbl.t;
+  blocked : (string * string, unit) Hashtbl.t;
+  (* earliest admissible next delivery time per channel (FIFO mode) *)
+  channel_front : (string * string, float) Hashtbl.t;
+  mutable events : event list;  (* newest first *)
+  mutable next_id : int;
+  rng : Random.State.t;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    config;
+    nodes = Hashtbl.create 16;
+    latencies = Hashtbl.create 16;
+    blocked = Hashtbl.create 16;
+    channel_front = Hashtbl.create 16;
+    events = [];
+    next_id = 0;
+    rng = Random.State.make [| config.seed |];
+  }
+
+let record t e = t.events <- e :: t.events
+
+let add_node t ?on_receive ?on_failure id =
+  Hashtbl.replace t.nodes id { up = true; on_receive; on_failure }
+
+let set_latency t ~src ~dst latency = Hashtbl.replace t.latencies (src, dst) latency
+
+let block t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+
+let unblock t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+
+let is_blocked t ~src ~dst = Hashtbl.mem t.blocked (src, dst)
+
+let find_node t id = Hashtbl.find_opt t.nodes id
+
+let is_up t id = match find_node t id with Some n -> n.up | None -> false
+
+let shutdown t id =
+  (match find_node t id with Some n -> n.up <- false | None -> ());
+  record t (Shutdown { node = id; at = Engine.now t.engine })
+
+let restart t id =
+  (match find_node t id with Some n -> n.up <- true | None -> ());
+  record t (Restart { node = id; at = Engine.now t.engine })
+
+let latency_of t ~src ~dst =
+  match Hashtbl.find_opt t.latencies (src, dst) with
+  | Some l -> l
+  | None -> t.config.default_latency
+
+let notify_failure t message =
+  if t.config.failure_detector then
+    Engine.schedule t.engine ~delay:t.config.detect_delay (fun _ ->
+        record t (Failure_notice { message; at = Engine.now t.engine });
+        match find_node t message.src with
+        | Some { up = true; on_failure = Some handler; _ } -> handler t message
+        | Some _ | None -> ())
+
+let deliver t message =
+  let at = Engine.now t.engine in
+  if is_blocked t ~src:message.src ~dst:message.dst then
+    record t (Dropped { message; at; reason = Partitioned })
+  else
+  match find_node t message.dst with
+  | Some ({ up = true; _ } as node) -> (
+      record t (Delivered { message; at });
+      match node.on_receive with Some handler -> handler t message | None -> ())
+  | Some { up = false; _ } | None ->
+      record t (Dropped { message; at; reason = Node_down });
+      notify_failure t message
+
+let send t ~src ~dst payload =
+  let message =
+    { msg_id = t.next_id; src; dst; payload; sent_at = Engine.now t.engine }
+  in
+  t.next_id <- t.next_id + 1;
+  record t (Sent message);
+  if not (is_up t dst) then begin
+    (* Fast failure path: the destination is already down. *)
+    record t (Dropped { message; at = Engine.now t.engine; reason = Node_down });
+    notify_failure t message
+  end
+  else if
+    t.config.drop_probability > 0.0
+    && Random.State.float t.rng 1.0 < t.config.drop_probability
+  then
+    Engine.schedule t.engine ~delay:(latency_of t ~src ~dst) (fun _ ->
+        record t (Dropped { message; at = Engine.now t.engine; reason = Random_loss }))
+  else begin
+    let base = latency_of t ~src ~dst in
+    let jitter =
+      if t.config.jitter > 0.0 then Random.State.float t.rng t.config.jitter else 0.0
+    in
+    let raw_arrival = Engine.now t.engine +. base +. jitter in
+    let arrival =
+      if t.config.fifo then begin
+        let front =
+          match Hashtbl.find_opt t.channel_front (src, dst) with
+          | Some f -> f
+          | None -> 0.0
+        in
+        let arrival = if raw_arrival <= front then front +. 1e-9 else raw_arrival in
+        Hashtbl.replace t.channel_front (src, dst) arrival;
+        arrival
+      end
+      else raw_arrival
+    in
+    Engine.schedule_at t.engine ~time:arrival (fun _ -> deliver t message)
+  end;
+  message
+
+let engine t = t.engine
+
+let trace t =
+  let time_of = function
+    | Sent m -> m.sent_at
+    | Delivered { at; _ } | Dropped { at; _ } | Failure_notice { at; _ }
+    | Shutdown { at; _ } | Restart { at; _ } ->
+        at
+  in
+  (* events are recorded newest-first in occurrence order; reversing is
+     already chronological, but sort stably by time to be explicit. *)
+  List.stable_sort
+    (fun a b -> compare (time_of a) (time_of b))
+    (List.rev t.events)
+
+let deliveries_between t ~src ~dst =
+  List.filter_map
+    (function
+      | Delivered { message; _ }
+        when String.equal message.src src && String.equal message.dst dst ->
+          Some message
+      | Delivered _ | Sent _ | Dropped _ | Failure_notice _ | Shutdown _ | Restart _ -> None)
+    (trace t)

@@ -1,0 +1,75 @@
+type peer = {
+  peer_id : string;
+  chart : Statechart.Types.t;
+  routes : (string * string) list;
+}
+
+type action = {
+  at : float;
+  peer : string;
+  trigger : string;
+  fired : string option;
+  emitted : string list;
+}
+
+type peer_state = { peer : peer; mutable config : Statechart.Exec.config }
+
+type t = {
+  network : Network.t;
+  failure_trigger : string;
+  guards : string -> bool;
+  peers : (string, peer_state) Hashtbl.t;
+  mutable log : action list;  (* newest first *)
+}
+
+let react t state trigger =
+  let reaction =
+    Statechart.Exec.step ~guards:t.guards state.peer.chart state.config trigger
+  in
+  state.config <- reaction.Statechart.Exec.new_config;
+  let emitted = reaction.Statechart.Exec.outputs in
+  t.log <-
+    {
+      at = Engine.now (Network.engine t.network);
+      peer = state.peer.peer_id;
+      trigger;
+      fired =
+        Option.map (fun tr -> tr.Statechart.Types.tr_id) reaction.Statechart.Exec.fired;
+      emitted;
+    }
+    :: t.log;
+  List.iter
+    (fun output ->
+      List.iter
+        (fun (event, dst) ->
+          if String.equal event output then
+            ignore (Network.send t.network ~src:state.peer.peer_id ~dst output))
+        state.peer.routes)
+    emitted
+
+let create ?(failure_trigger = "networkFailure") ?(guards = fun _ -> true) ~network peers =
+  let t =
+    { network; failure_trigger; guards; peers = Hashtbl.create 16; log = [] }
+  in
+  List.iter
+    (fun p ->
+      let state = { peer = p; config = Statechart.Exec.initial_config p.chart } in
+      Hashtbl.replace t.peers p.peer_id state;
+      Network.add_node network
+        ~on_receive:(fun _net msg -> react t state msg.Network.payload)
+        ~on_failure:(fun _net _msg -> react t state t.failure_trigger)
+        p.peer_id)
+    peers;
+  t
+
+let inject t ~peer trigger =
+  match Hashtbl.find_opt t.peers peer with
+  | Some state -> react t state trigger
+  | None -> ()
+
+let config_of t peer =
+  Option.map (fun s -> s.config) (Hashtbl.find_opt t.peers peer)
+
+let actions t = List.rev t.log
+
+let network t = t.network

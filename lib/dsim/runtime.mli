@@ -1,0 +1,49 @@
+(** Hosting statechart-driven peers on the simulated network.
+
+    Each peer is a network node whose behavior is a statechart: a
+    delivered message's payload is the trigger; the transition's output
+    events become outgoing messages, routed by the peer's route table
+    (output event name → destination node). A failure notice triggers
+    the chart with the configured [failure_trigger]. This is the
+    "simulating the behavior of the matched components" the paper
+    sketches for dynamic, quality-attribute walkthroughs (§4.2). *)
+
+type peer = {
+  peer_id : string;
+  chart : Statechart.Types.t;
+  routes : (string * string) list;
+      (** output event -> destination node; repeated keys broadcast the
+          output to several destinations *)
+}
+
+type t
+
+val create :
+  ?failure_trigger:string ->
+  ?guards:(string -> bool) ->
+  network:Network.t ->
+  peer list ->
+  t
+(** Registers every peer on the network. [failure_trigger] defaults to
+    ["networkFailure"]. Outputs with no route are recorded as internal
+    actions but not sent. *)
+
+val inject : t -> peer:string -> string -> unit
+(** Deliver an event name directly to a peer's chart at the current
+    simulation time (models local stimuli, e.g. a user action). *)
+
+val config_of : t -> string -> Statechart.Exec.config option
+(** Current statechart configuration of a peer. *)
+
+type action = {
+  at : float;
+  peer : string;
+  trigger : string;
+  fired : string option;  (** transition id, [None] when dropped *)
+  emitted : string list;
+}
+
+val actions : t -> action list
+(** Chronological log of chart reactions across all peers. *)
+
+val network : t -> Network.t

@@ -1,0 +1,26 @@
+let pp_message ppf m =
+  Format.fprintf ppf "#%d %s->%s %S" m.Network.msg_id m.Network.src m.Network.dst
+    m.Network.payload
+
+let pp_event ppf = function
+  | Network.Sent m -> Format.fprintf ppf "%8.3f  SENT      %a" m.Network.sent_at pp_message m
+  | Network.Delivered { message; at } ->
+      Format.fprintf ppf "%8.3f  DELIVERED %a" at pp_message message
+  | Network.Dropped { message; at; reason } ->
+      Format.fprintf ppf "%8.3f  DROPPED   %a (%s)" at pp_message message
+        (match reason with
+        | Network.Node_down -> "node down"
+        | Network.Random_loss -> "random loss"
+        | Network.Partitioned -> "partitioned")
+  | Network.Failure_notice { message; at } ->
+      Format.fprintf ppf "%8.3f  FAILURE   notice to %s about %a" at message.Network.src
+        pp_message message
+  | Network.Shutdown { node; at } -> Format.fprintf ppf "%8.3f  SHUTDOWN  %s" at node
+  | Network.Restart { node; at } -> Format.fprintf ppf "%8.3f  RESTART   %s" at node
+
+let pp_trace ppf events =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_event e) events;
+  Format.fprintf ppf "@]"
+
+let trace_to_string events = Format.asprintf "%a" pp_trace events

@@ -1,0 +1,7 @@
+(** Rendering of network traces. *)
+
+val pp_event : Format.formatter -> Network.event -> unit
+
+val pp_trace : Format.formatter -> Network.event list -> unit
+
+val trace_to_string : Network.event list -> string

@@ -1,0 +1,25 @@
+(** Construction of mappings. *)
+
+exception Duplicate of string
+
+val create : id:string -> ontology:Ontology.Types.t -> architecture:Adl.Structure.t -> Types.t
+(** Empty mapping carrying the ids of the given ontology and
+    architecture. *)
+
+val map :
+  ?rationale:string -> event_type:string -> to_:string list -> Types.t -> Types.t
+(** Add an entry.
+    @raise Duplicate if the event type is already mapped (use
+    {!extend} to add components to an existing entry). *)
+
+val extend : event_type:string -> to_:string list -> Types.t -> Types.t
+(** Add components to an existing entry (creating it when absent);
+    duplicates are ignored. *)
+
+val unmap_component : string -> Types.t -> Types.t
+(** Remove a component from every entry (entries left with no
+    components are kept, recording the gap). *)
+
+val rename_event_type : old_id:string -> new_id:string -> Types.t -> Types.t
+
+val rename_component : old_id:string -> new_id:string -> Types.t -> Types.t

@@ -1,0 +1,57 @@
+type counts = {
+  with_ontology : int;
+  without_ontology : int;
+  definition_links : int;
+  occurrences : int;
+  reduction : float;
+}
+
+let measure t ~usage =
+  let definition_links = Types.link_count t in
+  let occurrences = List.fold_left (fun acc (_, n) -> acc + n) 0 usage in
+  let without_ontology =
+    List.fold_left
+      (fun acc (et, n) -> acc + (n * List.length (Types.components_of t et)))
+      0 usage
+  in
+  let with_ontology = occurrences + definition_links in
+  {
+    with_ontology;
+    without_ontology;
+    definition_links;
+    occurrences;
+    reduction =
+      (if with_ontology = 0 then 1.0
+       else float_of_int without_ontology /. float_of_int with_ontology);
+  }
+
+let synthetic_usage ~event_types ~occurrences_per_type =
+  List.init event_types (fun i -> (Printf.sprintf "et%d" (i + 1), occurrences_per_type))
+
+let synthetic_mapping ~event_types ~fanout ~components =
+  let entries =
+    List.init event_types (fun i ->
+        let targets =
+          List.init fanout (fun j ->
+              Printf.sprintf "c%d" (1 + ((i + j) mod components)))
+        in
+        {
+          Types.event_type = Printf.sprintf "et%d" (i + 1);
+          components = targets;
+          rationale = "synthetic";
+        })
+  in
+  {
+    Types.mapping_id = "synthetic";
+    ontology_id = "synthetic-ontology";
+    architecture_id = "synthetic-architecture";
+    entries;
+  }
+
+let sweep ~event_types ~fanout ~components ~reuse =
+  let mapping = synthetic_mapping ~event_types ~fanout ~components in
+  List.map
+    (fun r ->
+      let usage = synthetic_usage ~event_types ~occurrences_per_type:r in
+      (r, measure mapping ~usage))
+    reuse

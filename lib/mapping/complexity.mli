@@ -1,0 +1,43 @@
+(** The paper's link-complexity model (§1):
+
+    "Without the ontology, each appearance of a scenario element is
+    linked individually to all relevant architecture elements; with the
+    ontology, the appearances are linked to its definition in the
+    ontology, and only that definition is linked to the architecture
+    elements. The more extensive the reuse of the ontology definitions
+    in the scenarios, the greater is the reduction in complexity."
+
+    [usage] is the per-event-type occurrence count across all scenarios
+    (from [Scenarioml.Stats.usage] or synthesized for sweeps). *)
+
+type counts = {
+  with_ontology : int;
+      (** occurrence→definition links + definition→component links *)
+  without_ontology : int;  (** occurrence→component links *)
+  definition_links : int;  (** definition→component links only *)
+  occurrences : int;
+  reduction : float;  (** without / with; > 1 means the ontology wins *)
+}
+
+val measure : Types.t -> usage:(string * int) list -> counts
+(** Event types in [usage] that are absent from the mapping contribute
+    occurrence links but no component links. *)
+
+val synthetic_usage :
+  event_types:int -> occurrences_per_type:int -> (string * int) list
+(** Uniform usage profile ["et1" .. "etN"], each occurring the given
+    number of times — the reuse-sweep workload. *)
+
+val synthetic_mapping :
+  event_types:int -> fanout:int -> components:int -> Types.t
+(** Mapping where event type [i] maps to [fanout] components chosen
+    round-robin among [components] component ids ["c1" .. "cM"]. *)
+
+val sweep :
+  event_types:int ->
+  fanout:int ->
+  components:int ->
+  reuse:int list ->
+  (int * counts) list
+(** For each reuse level r (occurrences per event type), the counts for
+    the synthetic system — the COMPLX experiment series. *)

@@ -1,0 +1,124 @@
+type problem =
+  | Unmapped_event_type of string
+  | Entry_without_components of string
+  | Unmapped_component of string
+  | Unknown_event_type of string
+  | Unknown_component of { event_type : string; component : string }
+  | Duplicate_entry of string
+
+let pp_problem ppf = function
+  | Unmapped_event_type id -> Format.fprintf ppf "event type %S is not mapped" id
+  | Entry_without_components id ->
+      Format.fprintf ppf "event type %S is mapped to no components" id
+  | Unmapped_component id -> Format.fprintf ppf "component %S is mapped to by no event type" id
+  | Unknown_event_type id ->
+      Format.fprintf ppf "mapping refers to unknown event type %S" id
+  | Unknown_component { event_type; component } ->
+      Format.fprintf ppf "event type %S maps to unknown component %S" event_type component
+  | Duplicate_entry id -> Format.fprintf ppf "event type %S has several mapping entries" id
+
+let problem_to_string p = Format.asprintf "%a" pp_problem p
+
+let check ontology architecture t =
+  let defined_event_types =
+    List.map (fun e -> e.Ontology.Types.event_id) ontology.Ontology.Types.event_types
+  in
+  let components =
+    List.map (fun c -> c.Adl.Structure.comp_id) architecture.Adl.Structure.components
+  in
+  let duplicates =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun e ->
+        let id = e.Types.event_type in
+        if Hashtbl.mem seen id then Some (Duplicate_entry id)
+        else begin
+          Hashtbl.add seen id ();
+          None
+        end)
+      t.Types.entries
+  in
+  let mapped_directly_or_inherited id =
+    Types.find t id <> None
+    || List.exists
+         (fun ancestor -> Types.find t ancestor <> None)
+         (Ontology.Subsume.event_ancestors ontology id)
+  in
+  let unmapped_event_types =
+    List.filter_map
+      (fun id ->
+        if mapped_directly_or_inherited id then None else Some (Unmapped_event_type id))
+      defined_event_types
+  in
+  let empty_entries =
+    List.filter_map
+      (fun e ->
+        if e.Types.components = [] then Some (Entry_without_components e.Types.event_type)
+        else None)
+      t.Types.entries
+  in
+  let mapped_to = Types.mapped_components t in
+  let unmapped_components =
+    List.filter_map
+      (fun id ->
+        if List.exists (String.equal id) mapped_to then None else Some (Unmapped_component id))
+      components
+  in
+  let unknown_event_types =
+    List.filter_map
+      (fun e ->
+        if List.exists (String.equal e.Types.event_type) defined_event_types then None
+        else Some (Unknown_event_type e.Types.event_type))
+      t.Types.entries
+  in
+  let unknown_components =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (fun c ->
+            if List.exists (String.equal c) components then None
+            else Some (Unknown_component { event_type = e.Types.event_type; component = c }))
+          e.Types.components)
+      t.Types.entries
+  in
+  duplicates @ unmapped_event_types @ empty_entries @ unmapped_components
+  @ unknown_event_types @ unknown_components
+
+let is_total ontology architecture t = check ontology architecture t = []
+
+type summary = {
+  event_types_total : int;
+  event_types_mapped : int;
+  components_total : int;
+  components_mapped : int;
+  links : int;
+  avg_components_per_event_type : float;
+  avg_event_types_per_component : float;
+}
+
+let summarize ontology architecture t =
+  let event_types_total = List.length ontology.Ontology.Types.event_types in
+  let entries_with_components =
+    List.filter (fun e -> e.Types.components <> []) t.Types.entries
+  in
+  let event_types_mapped = List.length entries_with_components in
+  let components_total = List.length architecture.Adl.Structure.components in
+  let components_mapped = List.length (Types.mapped_components t) in
+  let links = Types.link_count t in
+  let avg a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  {
+    event_types_total;
+    event_types_mapped;
+    components_total;
+    components_mapped;
+    links;
+    avg_components_per_event_type = avg links event_types_mapped;
+    avg_event_types_per_component = avg links components_mapped;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>event types mapped: %d/%d@,components mapped to: %d/%d@,links: %d@,\
+     avg components per event type: %.2f@,avg event types per component: %.2f@]"
+    s.event_types_mapped s.event_types_total s.components_mapped s.components_total s.links
+    s.avg_components_per_event_type s.avg_event_types_per_component

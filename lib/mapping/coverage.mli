@@ -1,0 +1,42 @@
+(** Mapping coverage and referential integrity.
+
+    The paper's Table 1 exhibits the property that "each ontology event
+    type is mapped at least to one component and each component is
+    mapped to by at least one ontology event type" (§4.1); these checks
+    make that property (and dangling references) explicit. *)
+
+type problem =
+  | Unmapped_event_type of string
+      (** defined in the ontology with no entry of its own and no mapped
+          ancestor event type (sub-typed events inherit their super's
+          realization, paper §5) *)
+  | Entry_without_components of string  (** entry with an empty component list *)
+  | Unmapped_component of string  (** component no event type maps to *)
+  | Unknown_event_type of string  (** entry refers outside the ontology *)
+  | Unknown_component of { event_type : string; component : string }
+      (** entry refers outside the architecture *)
+  | Duplicate_entry of string
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problem_to_string : problem -> string
+
+val check : Ontology.Types.t -> Adl.Structure.t -> Types.t -> problem list
+
+val is_total : Ontology.Types.t -> Adl.Structure.t -> Types.t -> bool
+(** No problems at all: every event type mapped, every component mapped
+    to, and every reference resolves. *)
+
+type summary = {
+  event_types_total : int;
+  event_types_mapped : int;
+  components_total : int;
+  components_mapped : int;
+  links : int;
+  avg_components_per_event_type : float;
+  avg_event_types_per_component : float;
+}
+
+val summarize : Ontology.Types.t -> Adl.Structure.t -> Types.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,77 @@
+type association = { entity : string; responsible : string list }
+
+let infer ~id ~ontology ~architecture associations =
+  let covers assoc cls =
+    Ontology.Subsume.class_subsumes ontology ~super:assoc.entity ~sub:cls
+  in
+  (* The actor class is inherited along the event-type hierarchy, like
+     parameters. *)
+  let rec inherited_actor (et : Ontology.Types.event_type) =
+    match et.Ontology.Types.actor with
+    | Some a -> Some a
+    | None -> (
+        match et.Ontology.Types.event_super with
+        | Some super ->
+            Option.bind (Ontology.Types.find_event_type ontology super) inherited_actor
+        | None -> None)
+  in
+  let entry (et : Ontology.Types.event_type) =
+    let classes =
+      (match inherited_actor et with Some a -> [ a ] | None -> [])
+      @ List.map
+          (fun p -> p.Ontology.Types.param_class)
+          (Ontology.Subsume.inherited_params ontology et)
+    in
+    let components =
+      List.fold_left
+        (fun acc assoc ->
+          if List.exists (covers assoc) classes then
+            List.fold_left
+              (fun acc c -> if List.exists (String.equal c) acc then acc else acc @ [ c ])
+              acc assoc.responsible
+          else acc)
+        [] associations
+    in
+    if components = [] then None
+    else
+      Some
+        {
+          Types.event_type = et.Ontology.Types.event_id;
+          components;
+          rationale = "inferred from domain-entity associations";
+        }
+  in
+  {
+    Types.mapping_id = id;
+    ontology_id = ontology.Ontology.Types.ontology_id;
+    architecture_id = architecture.Adl.Structure.arch_id;
+    entries = List.filter_map entry ontology.Ontology.Types.event_types;
+  }
+
+type divergence = {
+  event_type : string;
+  only_manual : string list;
+  only_inferred : string list;
+}
+
+let compare_mappings manual inferred =
+  let event_types =
+    List.fold_left
+      (fun acc et -> if List.exists (String.equal et) acc then acc else acc @ [ et ])
+      (Types.mapped_event_types manual)
+      (Types.mapped_event_types inferred)
+  in
+  List.filter_map
+    (fun event_type ->
+      let m = Types.components_of manual event_type in
+      let i = Types.components_of inferred event_type in
+      let only_manual = List.filter (fun c -> not (List.exists (String.equal c) i)) m in
+      let only_inferred = List.filter (fun c -> not (List.exists (String.equal c) m)) i in
+      if only_manual = [] && only_inferred = [] then None
+      else Some { event_type; only_manual; only_inferred })
+    event_types
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "%s: manual-only {%s}, inferred-only {%s}" d.event_type
+    (String.concat ", " d.only_manual)
+    (String.concat ", " d.only_inferred)

@@ -1,0 +1,43 @@
+(** Entity-based mapping inference — the paper's §8 hypothesis:
+    "the events that map to a specific component can be determined by
+    the domain entities that appear in those events, rather than the
+    actions the events describe ... defining the mapping links in terms
+    of finer-grained elements such as domain classes shows promise to
+    provide mappings that can adapt under evolution more naturally and
+    efficiently."
+
+    Instead of mapping each event type by hand, the architect associates
+    *domain classes* with the components responsible for them; the
+    event-type mapping is then derived: an event type maps to the
+    components associated with its actor class and with each of its
+    (inherited) parameter classes. Associations are subsumption-aware:
+    associating a superclass covers all its subclasses. *)
+
+type association = {
+  entity : string;  (** a domain-class id *)
+  responsible : string list;  (** component ids, in order *)
+}
+
+val infer :
+  id:string ->
+  ontology:Ontology.Types.t ->
+  architecture:Adl.Structure.t ->
+  association list ->
+  Types.t
+(** Derived mapping: for each event type of the ontology, the union (in
+    association order, deduplicated) of the components of every
+    association whose entity subsumes the event's actor class (own or
+    inherited from a super event type) or one of its inherited parameter
+    classes. Event types gathering no components get no entry. *)
+
+type divergence = {
+  event_type : string;
+  only_manual : string list;  (** components only the manual mapping has *)
+  only_inferred : string list;
+}
+
+val compare_mappings : Types.t -> Types.t -> divergence list
+(** Per event type appearing in either mapping, the symmetric
+    difference of component sets; agreement yields no entry. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

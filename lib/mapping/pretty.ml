@@ -1,0 +1,55 @@
+let pp ppf t =
+  Format.fprintf ppf "@[<v>Mapping %s: %s -> %s@," t.Types.mapping_id t.Types.ontology_id
+    t.Types.architecture_id;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s -> %s%s@," e.Types.event_type
+        (match e.Types.components with [] -> "(nothing)" | l -> String.concat ", " l)
+        (if e.Types.rationale = "" then "" else "  // " ^ e.Types.rationale))
+    t.Types.entries;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_table ?(event_type_label = fun id -> id) ?(component_label = fun id -> id) ppf t =
+  let components = Types.mapped_components t in
+  let row_labels = List.map (fun e -> event_type_label e.Types.event_type) t.Types.entries in
+  let col_labels = List.map component_label components in
+  let row_width =
+    List.fold_left (fun acc l -> max acc (String.length l)) 10 row_labels
+  in
+  let col_widths = List.map (fun l -> max 3 (String.length l)) col_labels in
+  let pad s w =
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  let center s w =
+    let n = String.length s in
+    if n >= w then s
+    else
+      let left = (w - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (w - n - left) ' '
+  in
+  (* header *)
+  Format.fprintf ppf "%s |" (pad "" row_width);
+  List.iter2 (fun l w -> Format.fprintf ppf " %s |" (center l w)) col_labels col_widths;
+  Format.pp_print_newline ppf ();
+  let rule_len =
+    row_width + 2 + List.fold_left (fun acc w -> acc + w + 3) 0 col_widths
+  in
+  Format.fprintf ppf "%s@," (String.make rule_len '-');
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s |" (pad (event_type_label e.Types.event_type) row_width);
+      List.iter2
+        (fun c w ->
+          let mark =
+            if List.exists (String.equal c) e.Types.components then "X" else ""
+          in
+          Format.fprintf ppf " %s |" (center mark w))
+        components col_widths;
+      Format.pp_print_newline ppf ())
+    t.Types.entries
+
+let table_to_string ?event_type_label ?component_label t =
+  Format.asprintf "@[<v>%a@]" (pp_table ?event_type_label ?component_label) t

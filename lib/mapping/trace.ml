@@ -1,0 +1,45 @@
+type impact = {
+  changed : string;
+  impacted_event_types : string list;
+  impacted_components : string list;
+}
+
+let of_event_type_change t event_type =
+  {
+    changed = event_type;
+    impacted_event_types = [ event_type ];
+    impacted_components = Types.components_of t event_type;
+  }
+
+let of_component_change t component =
+  {
+    changed = component;
+    impacted_event_types = Types.event_types_of t component;
+    impacted_components = [ component ];
+  }
+
+let no_impact changed = { changed; impacted_event_types = []; impacted_components = [] }
+
+let of_arch_op t op =
+  match op with
+  | Adl.Diff.Remove_component id -> of_component_change t id
+  | Adl.Diff.Rename_element { old_id; new_id = _ } -> of_component_change t old_id
+  | Adl.Diff.Add_component c -> no_impact c.Adl.Structure.comp_id
+  | Adl.Diff.Add_connector c -> no_impact c.Adl.Structure.conn_id
+  | Adl.Diff.Remove_connector id -> no_impact id
+  | Adl.Diff.Add_link l -> no_impact l.Adl.Structure.link_id
+  | Adl.Diff.Remove_link id -> no_impact id
+
+let apply_arch_op t op =
+  match op with
+  | Adl.Diff.Remove_component id -> Build.unmap_component id t
+  | Adl.Diff.Rename_element { old_id; new_id } -> Build.rename_component ~old_id ~new_id t
+  | Adl.Diff.Add_component _ | Adl.Diff.Add_connector _ | Adl.Diff.Remove_connector _
+  | Adl.Diff.Add_link _ | Adl.Diff.Remove_link _ ->
+      t
+
+let pp_impact ppf i =
+  Format.fprintf ppf "@[<v>change to %s impacts:@,  event types: %s@,  components: %s@]"
+    i.changed
+    (match i.impacted_event_types with [] -> "(none)" | l -> String.concat ", " l)
+    (match i.impacted_components with [] -> "(none)" | l -> String.concat ", " l)

@@ -1,0 +1,28 @@
+(** Traceability and change-impact analysis over the mapping.
+
+    "By explicitly mapping event types in the ontology to components in
+    the architectural description, requirements changes in the scenarios
+    can be traced to the architecture and vice versa" (paper §7). *)
+
+type impact = {
+  changed : string;  (** the changed element's id *)
+  impacted_event_types : string list;
+  impacted_components : string list;
+}
+
+val of_event_type_change : Types.t -> string -> impact
+(** Components affected when an event type's meaning changes. *)
+
+val of_component_change : Types.t -> string -> impact
+(** Event types (hence scenarios) affected when a component changes. *)
+
+val of_arch_op : Types.t -> Adl.Diff.op -> impact
+(** Impact of an architecture edit: which event types lose (or gain)
+    realization. Link edits impact nothing in the mapping itself. *)
+
+val apply_arch_op : Types.t -> Adl.Diff.op -> Types.t
+(** Keep the mapping synchronized with an architecture edit:
+    removals drop the component from entries, renames propagate;
+    additions and link edits leave the mapping unchanged. *)
+
+val pp_impact : Format.formatter -> impact -> unit

@@ -1,0 +1,58 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let required e name =
+  match Xmlight.Doc.attr e name with
+  | Some v -> v
+  | None -> malformed "<%s> is missing required attribute %S" e.Xmlight.Doc.tag name
+
+let entry_to_element e =
+  let targets =
+    List.map
+      (fun c -> Xmlight.Doc.elt ~attrs:[ ("component", c) ] "to" [])
+      e.Types.components
+  in
+  let rationale =
+    if e.Types.rationale = "" then []
+    else [ Xmlight.Doc.elt "rationale" [ Xmlight.Doc.text e.Types.rationale ] ]
+  in
+  Xmlight.Doc.element ~attrs:[ ("eventType", e.Types.event_type) ] "map" (targets @ rationale)
+
+let to_element t =
+  Xmlight.Doc.element
+    ~attrs:
+      [
+        ("id", t.Types.mapping_id);
+        ("ontology", t.Types.ontology_id);
+        ("architecture", t.Types.architecture_id);
+      ]
+    "mapping"
+    (List.map (fun e -> Xmlight.Doc.Element (entry_to_element e)) t.Types.entries)
+
+let to_string t = Xmlight.Print.to_string (Xmlight.Doc.doc (to_element t))
+
+let entry_of_element e =
+  {
+    Types.event_type = required e "eventType";
+    components = List.map (fun c -> required c "component") (Xmlight.Doc.find_children e "to");
+    rationale =
+      (match Xmlight.Doc.find_child e "rationale" with
+      | Some r -> Xmlight.Doc.child_text r
+      | None -> "");
+  }
+
+let of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "mapping") then
+    malformed "expected <mapping>, found <%s>" e.Xmlight.Doc.tag;
+  {
+    Types.mapping_id = required e "id";
+    ontology_id = required e "ontology";
+    architecture_id = required e "architecture";
+    entries = List.map entry_of_element (Xmlight.Doc.find_children e "map");
+  }
+
+let of_string s =
+  match Xmlight.Parse.parse s with
+  | Ok doc -> of_element doc.Xmlight.Doc.root
+  | Error e -> malformed "XML error: %s" (Xmlight.Parse.error_to_string e)

@@ -1,0 +1,59 @@
+exception Duplicate of string
+
+let defined t id =
+  Types.find_class t id <> None
+  || Types.find_individual t id <> None
+  || Types.find_event_type t id <> None
+  || Types.find_term t id <> None
+
+let check_fresh t id = if defined t id then raise (Duplicate id)
+
+let create ~id ~name = Types.empty ~id ~name
+
+let add_class ?(description = "") ?super ~id ~name t =
+  check_fresh t id;
+  let c =
+    { Types.class_id = id; class_name = name; class_description = description; class_super = super }
+  in
+  { t with Types.classes = t.Types.classes @ [ c ] }
+
+let add_individual ?(description = "") ~id ~name ~cls t =
+  check_fresh t id;
+  let i = { Types.ind_id = id; ind_name = name; ind_class = cls; ind_description = description } in
+  { t with Types.individuals = t.Types.individuals @ [ i ] }
+
+let add_event_type ?super ?(params = []) ?actor ~id ~name ~template t =
+  check_fresh t id;
+  let params =
+    List.map (fun (param_name, param_class) -> { Types.param_name; param_class }) params
+  in
+  let e =
+    {
+      Types.event_id = id;
+      event_name = name;
+      template;
+      event_super = super;
+      params;
+      actor;
+    }
+  in
+  { t with Types.event_types = t.Types.event_types @ [ e ] }
+
+let add_term ~id ~name ~definition t =
+  check_fresh t id;
+  let tm = { Types.term_id = id; term_name = name; term_definition = definition } in
+  { t with Types.terms = t.Types.terms @ [ tm ] }
+
+let merge a b =
+  let check_all ids = List.iter (check_fresh a) ids in
+  check_all (List.map (fun c -> c.Types.class_id) b.Types.classes);
+  check_all (List.map (fun i -> i.Types.ind_id) b.Types.individuals);
+  check_all (List.map (fun e -> e.Types.event_id) b.Types.event_types);
+  check_all (List.map (fun tm -> tm.Types.term_id) b.Types.terms);
+  {
+    a with
+    Types.classes = a.Types.classes @ b.Types.classes;
+    individuals = a.Types.individuals @ b.Types.individuals;
+    event_types = a.Types.event_types @ b.Types.event_types;
+    terms = a.Types.terms @ b.Types.terms;
+  }

@@ -1,0 +1,32 @@
+(** Construction of ontologies with immediate duplicate-id detection.
+
+    All [add_*] functions return the ontology extended with the new
+    definition appended (definition order is preserved for printing).
+    @raise Duplicate if the id is already defined by any definition kind. *)
+
+exception Duplicate of string
+
+val create : id:string -> name:string -> Types.t
+
+val add_class :
+  ?description:string -> ?super:string -> id:string -> name:string -> Types.t -> Types.t
+
+val add_individual :
+  ?description:string -> id:string -> name:string -> cls:string -> Types.t -> Types.t
+
+val add_event_type :
+  ?super:string ->
+  ?params:(string * string) list ->
+  ?actor:string ->
+  id:string ->
+  name:string ->
+  template:string ->
+  Types.t ->
+  Types.t
+(** [params] are (parameter name, constraining class id) pairs. *)
+
+val add_term : id:string -> name:string -> definition:string -> Types.t -> Types.t
+
+val merge : Types.t -> Types.t -> Types.t
+(** [merge a b] appends [b]'s definitions to [a].
+    @raise Duplicate on any id collision. Keeps [a]'s id and name. *)

@@ -1,0 +1,158 @@
+type op =
+  | Add_class of Types.domain_class
+  | Remove_class of string
+  | Add_event_type of Types.event_type
+  | Remove_event_type of string
+  | Rename_event_type of { old_id : string; new_id : string }
+  | Rename_class of { old_id : string; new_id : string }
+  | Retemplate of { event_id : string; template : string }
+
+exception Apply_error of string
+
+let apply_error fmt = Format.kasprintf (fun s -> raise (Apply_error s)) fmt
+
+let defined t id =
+  Types.find_class t id <> None
+  || Types.find_individual t id <> None
+  || Types.find_event_type t id <> None
+  || Types.find_term t id <> None
+
+let class_referents t id =
+  let subclasses =
+    List.filter_map
+      (fun c ->
+        if c.Types.class_super = Some id then Some ("class " ^ c.Types.class_id) else None)
+      t.Types.classes
+  in
+  let individuals =
+    List.filter_map
+      (fun i ->
+        if String.equal i.Types.ind_class id then Some ("individual " ^ i.Types.ind_id)
+        else None)
+      t.Types.individuals
+  in
+  let events =
+    List.filter_map
+      (fun e ->
+        let uses_param =
+          List.exists (fun p -> String.equal p.Types.param_class id) e.Types.params
+        in
+        let uses_actor = e.Types.actor = Some id in
+        if uses_param || uses_actor then Some ("event type " ^ e.Types.event_id) else None)
+      t.Types.event_types
+  in
+  subclasses @ individuals @ events
+
+let apply t op =
+  match op with
+  | Add_class c ->
+      if defined t c.Types.class_id then
+        apply_error "add class: id %S already exists" c.Types.class_id;
+      { t with Types.classes = t.Types.classes @ [ c ] }
+  | Remove_class id -> (
+      if Types.find_class t id = None then apply_error "remove class: unknown id %S" id;
+      match class_referents t id with
+      | [] ->
+          {
+            t with
+            Types.classes =
+              List.filter (fun c -> not (String.equal c.Types.class_id id)) t.Types.classes;
+          }
+      | referents ->
+          apply_error "remove class %S: still referenced by %s" id
+            (String.concat ", " referents))
+  | Add_event_type e ->
+      if defined t e.Types.event_id then
+        apply_error "add event type: id %S already exists" e.Types.event_id;
+      { t with Types.event_types = t.Types.event_types @ [ e ] }
+  | Remove_event_type id ->
+      if Types.find_event_type t id = None then
+        apply_error "remove event type: unknown id %S" id;
+      let subtypes =
+        List.filter (fun e -> e.Types.event_super = Some id) t.Types.event_types
+      in
+      if subtypes <> [] then
+        apply_error "remove event type %S: still the supertype of %s" id
+          (String.concat ", " (List.map (fun e -> e.Types.event_id) subtypes));
+      {
+        t with
+        Types.event_types =
+          List.filter (fun e -> not (String.equal e.Types.event_id id)) t.Types.event_types;
+      }
+  | Rename_event_type { old_id; new_id } ->
+      if Types.find_event_type t old_id = None then
+        apply_error "rename event type: unknown id %S" old_id;
+      if defined t new_id then apply_error "rename event type: id %S already exists" new_id;
+      {
+        t with
+        Types.event_types =
+          List.map
+            (fun e ->
+              let e =
+                if String.equal e.Types.event_id old_id then
+                  { e with Types.event_id = new_id }
+                else e
+              in
+              if e.Types.event_super = Some old_id then
+                { e with Types.event_super = Some new_id }
+              else e)
+            t.Types.event_types;
+      }
+  | Rename_class { old_id; new_id } ->
+      if Types.find_class t old_id = None then
+        apply_error "rename class: unknown id %S" old_id;
+      if defined t new_id then apply_error "rename class: id %S already exists" new_id;
+      let rename id = if String.equal id old_id then new_id else id in
+      {
+        t with
+        Types.classes =
+          List.map
+            (fun c ->
+              {
+                c with
+                Types.class_id = rename c.Types.class_id;
+                class_super = Option.map rename c.Types.class_super;
+              })
+            t.Types.classes;
+        individuals =
+          List.map
+            (fun i -> { i with Types.ind_class = rename i.Types.ind_class })
+            t.Types.individuals;
+        event_types =
+          List.map
+            (fun e ->
+              {
+                e with
+                Types.actor = Option.map rename e.Types.actor;
+                params =
+                  List.map
+                    (fun p -> { p with Types.param_class = rename p.Types.param_class })
+                    e.Types.params;
+              })
+            t.Types.event_types;
+      }
+  | Retemplate { event_id; template } ->
+      if Types.find_event_type t event_id = None then
+        apply_error "retemplate: unknown event type %S" event_id;
+      {
+        t with
+        Types.event_types =
+          List.map
+            (fun e ->
+              if String.equal e.Types.event_id event_id then { e with Types.template }
+              else e)
+            t.Types.event_types;
+      }
+
+let apply_all t ops = List.fold_left apply t ops
+
+let pp_op ppf = function
+  | Add_class c -> Format.fprintf ppf "add class %s" c.Types.class_id
+  | Remove_class id -> Format.fprintf ppf "remove class %s" id
+  | Add_event_type e -> Format.fprintf ppf "add event type %s" e.Types.event_id
+  | Remove_event_type id -> Format.fprintf ppf "remove event type %s" id
+  | Rename_event_type { old_id; new_id } ->
+      Format.fprintf ppf "rename event type %s -> %s" old_id new_id
+  | Rename_class { old_id; new_id } ->
+      Format.fprintf ppf "rename class %s -> %s" old_id new_id
+  | Retemplate { event_id; _ } -> Format.fprintf ppf "retemplate %s" event_id

@@ -1,0 +1,31 @@
+(** Ontology evolution operations.
+
+    "Requirements can evolve while the pre-established mapping assists
+    developers in locating impacted components" (paper §7). These
+    operations are the requirements-side counterpart of {!Adl.Diff}:
+    explicit edits to the ontology that the mapping (via
+    [Mapping.Trace]/[Mapping.Build]) and the scenarios (via
+    [Scenarioml.Refactor]) are synchronized against. *)
+
+type op =
+  | Add_class of Types.domain_class
+  | Remove_class of string
+      (** fails when individuals, parameters, actors, or subclasses
+          still refer to the class *)
+  | Add_event_type of Types.event_type
+  | Remove_event_type of string  (** fails when subtypes still refer to it *)
+  | Rename_event_type of { old_id : string; new_id : string }
+      (** supertype references follow the rename *)
+  | Rename_class of { old_id : string; new_id : string }
+      (** superclass, individual, parameter, and actor references follow *)
+  | Retemplate of { event_id : string; template : string }
+
+exception Apply_error of string
+
+val apply : Types.t -> op -> Types.t
+(** @raise Apply_error when the op does not apply (unknown or duplicate
+    ids, lingering references). *)
+
+val apply_all : Types.t -> op list -> Types.t
+
+val pp_op : Format.formatter -> op -> unit

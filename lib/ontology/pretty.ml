@@ -1,0 +1,55 @@
+let pp_event_type t ppf e =
+  Format.fprintf ppf "eventType %s (%s)" e.Types.event_id e.Types.event_name;
+  (match e.Types.event_super with
+  | Some s -> Format.fprintf ppf " super=%s" s
+  | None -> ());
+  (match e.Types.actor with
+  | Some a -> Format.fprintf ppf " actor=%s" a
+  | None -> ());
+  let params = Subsume.inherited_params t e in
+  if params <> [] then begin
+    let pp_param ppf p =
+      Format.fprintf ppf "%s:%s" p.Types.param_name p.Types.param_class
+    in
+    Format.fprintf ppf " (%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_param) params
+  end;
+  Format.fprintf ppf "@,  \"%s\"" e.Types.template
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>Ontology %s: %s@," t.Types.ontology_id t.Types.ontology_name;
+  if t.Types.classes <> [] then begin
+    Format.fprintf ppf "Domain classes:@,";
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "  instanceType %s (%s)%s@," c.Types.class_id c.Types.class_name
+          (match c.Types.class_super with Some s -> " super=" ^ s | None -> ""))
+      t.Types.classes
+  end;
+  if t.Types.individuals <> [] then begin
+    Format.fprintf ppf "Individuals:@,";
+    List.iter
+      (fun i ->
+        Format.fprintf ppf "  instance %s (%s) : %s@," i.Types.ind_id i.Types.ind_name
+          i.Types.ind_class)
+      t.Types.individuals
+  end;
+  if t.Types.event_types <> [] then begin
+    Format.fprintf ppf "Event types:@,";
+    List.iter (fun e -> Format.fprintf ppf "  @[<v>%a@]@," (pp_event_type t) e) t.Types.event_types
+  end;
+  if t.Types.terms <> [] then begin
+    Format.fprintf ppf "Terms:@,";
+    List.iter
+      (fun tm ->
+        Format.fprintf ppf "  term %s (%s): %s@," tm.Types.term_id tm.Types.term_name
+          tm.Types.term_definition)
+      t.Types.terms
+  end;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let summary t =
+  Printf.sprintf "ontology %s: %d classes, %d individuals, %d event types, %d terms"
+    t.Types.ontology_id (List.length t.Types.classes) (List.length t.Types.individuals)
+    (List.length t.Types.event_types) (List.length t.Types.terms)

@@ -1,0 +1,14 @@
+(** Human-readable rendering of ontologies (used by the figure
+    reproductions and the CLI). *)
+
+val pp_event_type : Types.t -> Format.formatter -> Types.event_type -> unit
+(** One event type with its supertype, actor, parameters and template. *)
+
+val pp : Format.formatter -> Types.t -> unit
+(** Whole ontology, grouped by definition kind. *)
+
+val to_string : Types.t -> string
+
+val summary : Types.t -> string
+(** One-line count summary, e.g. ["ontology pims: 8 classes, 3 individuals,
+    12 event types, 4 terms"]. *)

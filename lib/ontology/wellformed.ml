@@ -1,0 +1,200 @@
+type problem =
+  | Duplicate_id of string
+  | Unknown_class_super of { class_id : string; super : string }
+  | Unknown_event_super of { event_id : string; super : string }
+  | Class_cycle of string list
+  | Event_cycle of string list
+  | Unknown_individual_class of { ind_id : string; cls : string }
+  | Unknown_param_class of { event_id : string; param : string; cls : string }
+  | Unknown_actor_class of { event_id : string; actor : string }
+  | Empty_name of string
+  | Empty_template of string
+  | Unbound_placeholder of { event_id : string; placeholder : string }
+
+let pp_problem ppf = function
+  | Duplicate_id id -> Format.fprintf ppf "duplicate id %S" id
+  | Unknown_class_super { class_id; super } ->
+      Format.fprintf ppf "class %S refers to unknown superclass %S" class_id super
+  | Unknown_event_super { event_id; super } ->
+      Format.fprintf ppf "event type %S refers to unknown super event type %S" event_id super
+  | Class_cycle ids ->
+      Format.fprintf ppf "class subsumption cycle: %s" (String.concat " -> " ids)
+  | Event_cycle ids ->
+      Format.fprintf ppf "event subsumption cycle: %s" (String.concat " -> " ids)
+  | Unknown_individual_class { ind_id; cls } ->
+      Format.fprintf ppf "individual %S has unknown class %S" ind_id cls
+  | Unknown_param_class { event_id; param; cls } ->
+      Format.fprintf ppf "event type %S parameter %S has unknown class %S" event_id param cls
+  | Unknown_actor_class { event_id; actor } ->
+      Format.fprintf ppf "event type %S has unknown actor class %S" event_id actor
+  | Empty_name id -> Format.fprintf ppf "definition %S has an empty name" id
+  | Empty_template id -> Format.fprintf ppf "event type %S has an empty template" id
+  | Unbound_placeholder { event_id; placeholder } ->
+      Format.fprintf ppf "event type %S uses placeholder {%s} with no matching parameter"
+        event_id placeholder
+
+let problem_to_string p = Format.asprintf "%a" pp_problem p
+
+let placeholders s =
+  let n = String.length s in
+  let rec loop acc i =
+    if i >= n then List.rev acc
+    else if s.[i] = '{' then
+      match String.index_from_opt s i '}' with
+      | Some j ->
+          let key = String.sub s (i + 1) (j - i - 1) in
+          let acc = if List.exists (String.equal key) acc then acc else key :: acc in
+          loop acc (j + 1)
+      | None -> List.rev acc
+    else loop acc (i + 1)
+  in
+  loop [] 0
+
+let duplicates t =
+  let all_ids =
+    List.map (fun c -> c.Types.class_id) t.Types.classes
+    @ List.map (fun i -> i.Types.ind_id) t.Types.individuals
+    @ List.map (fun e -> e.Types.event_id) t.Types.event_types
+    @ List.map (fun tm -> tm.Types.term_id) t.Types.terms
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun id ->
+      if Hashtbl.mem seen id then Some (Duplicate_id id)
+      else begin
+        Hashtbl.add seen id ();
+        None
+      end)
+    all_ids
+
+(* Detect cycles in a supertype relation restricted to known ids. *)
+let cycles ids super_of mk =
+  let rec walk visited id =
+    if List.exists (String.equal id) visited then
+      Some (List.rev (id :: visited))
+    else
+      match super_of id with
+      | Some parent when List.exists (String.equal parent) ids -> walk (id :: visited) parent
+      | Some _ | None -> None
+  in
+  List.filter_map
+    (fun id -> match walk [] id with Some cyc -> Some (mk cyc) | None -> None)
+    ids
+
+let check t =
+  let class_ids = List.map (fun c -> c.Types.class_id) t.Types.classes in
+  let known_class id = List.exists (String.equal id) class_ids in
+  let event_ids = List.map (fun e -> e.Types.event_id) t.Types.event_types in
+  let known_event id = List.exists (String.equal id) event_ids in
+  let dup = duplicates t in
+  let class_super_problems =
+    List.filter_map
+      (fun c ->
+        match c.Types.class_super with
+        | Some super when not (known_class super) ->
+            Some (Unknown_class_super { class_id = c.Types.class_id; super })
+        | Some _ | None -> None)
+      t.Types.classes
+  in
+  let event_super_problems =
+    List.filter_map
+      (fun e ->
+        match e.Types.event_super with
+        | Some super when not (known_event super) ->
+            Some (Unknown_event_super { event_id = e.Types.event_id; super })
+        | Some _ | None -> None)
+      t.Types.event_types
+  in
+  let class_cycles =
+    cycles class_ids
+      (fun id -> match Types.find_class t id with Some c -> c.Types.class_super | None -> None)
+      (fun c -> Class_cycle c)
+  in
+  let event_cycles =
+    cycles event_ids
+      (fun id ->
+        match Types.find_event_type t id with Some e -> e.Types.event_super | None -> None)
+      (fun c -> Event_cycle c)
+  in
+  (* Report each distinct cycle once: keep only cycles whose first id is
+     the smallest on the cycle. *)
+  let canonical = function
+    | Class_cycle (first :: rest) | Event_cycle (first :: rest) ->
+        List.for_all (fun id -> String.compare first id <= 0) rest
+    | Class_cycle [] | Event_cycle [] -> false
+    | _ -> true
+  in
+  let class_cycles = List.filter canonical class_cycles in
+  let event_cycles = List.filter canonical event_cycles in
+  let individual_problems =
+    List.filter_map
+      (fun i ->
+        if known_class i.Types.ind_class then None
+        else Some (Unknown_individual_class { ind_id = i.Types.ind_id; cls = i.Types.ind_class }))
+      t.Types.individuals
+  in
+  let param_problems =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (fun p ->
+            if known_class p.Types.param_class then None
+            else
+              Some
+                (Unknown_param_class
+                   {
+                     event_id = e.Types.event_id;
+                     param = p.Types.param_name;
+                     cls = p.Types.param_class;
+                   }))
+          e.Types.params)
+      t.Types.event_types
+  in
+  let actor_problems =
+    List.filter_map
+      (fun e ->
+        match e.Types.actor with
+        | Some actor when not (known_class actor) ->
+            Some (Unknown_actor_class { event_id = e.Types.event_id; actor })
+        | Some _ | None -> None)
+      t.Types.event_types
+  in
+  let empty_names =
+    List.filter_map
+      (fun (id, name) -> if String.trim name = "" then Some (Empty_name id) else None)
+      (List.map (fun c -> (c.Types.class_id, c.Types.class_name)) t.Types.classes
+      @ List.map (fun i -> (i.Types.ind_id, i.Types.ind_name)) t.Types.individuals
+      @ List.map (fun e -> (e.Types.event_id, e.Types.event_name)) t.Types.event_types
+      @ List.map (fun tm -> (tm.Types.term_id, tm.Types.term_name)) t.Types.terms)
+  in
+  let empty_templates =
+    List.filter_map
+      (fun e ->
+        if String.trim e.Types.template = "" then Some (Empty_template e.Types.event_id)
+        else None)
+      t.Types.event_types
+  in
+  let has_event_cycle =
+    List.exists (function Event_cycle _ -> true | _ -> false) event_cycles
+  in
+  let placeholder_problems =
+    (* Inherited parameters are only meaningful on acyclic hierarchies. *)
+    if has_event_cycle then []
+    else
+      List.concat_map
+        (fun e ->
+          let bound =
+            List.map (fun p -> p.Types.param_name) (Subsume.inherited_params t e)
+          in
+          List.filter_map
+            (fun ph ->
+              if List.exists (String.equal ph) bound then None
+              else Some (Unbound_placeholder { event_id = e.Types.event_id; placeholder = ph }))
+            (placeholders e.Types.template))
+        t.Types.event_types
+  in
+  dup @ class_super_problems @ event_super_problems @ class_cycles @ event_cycles
+  @ individual_problems @ param_problems @ actor_problems @ empty_names @ empty_templates
+  @ placeholder_problems
+
+let is_wellformed t = check t = []

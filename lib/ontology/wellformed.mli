@@ -1,0 +1,34 @@
+(** Well-formedness checking of an ontology.
+
+    A well-formed ontology has: unique ids across all definition kinds;
+    resolvable supertype references with acyclic chains; individuals
+    whose class exists; event-type parameters constrained by existing
+    classes; actor references to existing classes; non-empty names and
+    templates; and template placeholders that match declared (or
+    inherited) parameter names. *)
+
+type problem =
+  | Duplicate_id of string
+  | Unknown_class_super of { class_id : string; super : string }
+  | Unknown_event_super of { event_id : string; super : string }
+  | Class_cycle of string list  (** ids on the cycle *)
+  | Event_cycle of string list
+  | Unknown_individual_class of { ind_id : string; cls : string }
+  | Unknown_param_class of { event_id : string; param : string; cls : string }
+  | Unknown_actor_class of { event_id : string; actor : string }
+  | Empty_name of string  (** id of the offending definition *)
+  | Empty_template of string
+  | Unbound_placeholder of { event_id : string; placeholder : string }
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problem_to_string : problem -> string
+
+val check : Types.t -> problem list
+(** All problems, in a deterministic order. Empty means well-formed. *)
+
+val is_wellformed : Types.t -> bool
+
+val placeholders : string -> string list
+(** The [{name}] placeholders occurring in a template, in order,
+    without duplicates. *)

@@ -1,0 +1,131 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let opt_attr name value attrs =
+  match value with Some v -> attrs @ [ (name, v) ] | None -> attrs
+
+let class_to_element (c : Types.domain_class) =
+  let attrs =
+    opt_attr "super" c.Types.class_super
+      [ ("id", c.Types.class_id); ("name", c.Types.class_name) ]
+  in
+  let children =
+    if c.Types.class_description = "" then []
+    else [ Xmlight.Doc.elt "description" [ Xmlight.Doc.text c.Types.class_description ] ]
+  in
+  Xmlight.Doc.elt ~attrs "instanceType" children
+
+let individual_to_element (i : Types.individual) =
+  let attrs =
+    [ ("id", i.Types.ind_id); ("name", i.Types.ind_name); ("type", i.Types.ind_class) ]
+  in
+  let children =
+    if i.Types.ind_description = "" then []
+    else [ Xmlight.Doc.elt "description" [ Xmlight.Doc.text i.Types.ind_description ] ]
+  in
+  Xmlight.Doc.elt ~attrs "instance" children
+
+let event_to_element (e : Types.event_type) =
+  let attrs =
+    opt_attr "actor" e.Types.actor
+      (opt_attr "super" e.Types.event_super
+         [ ("id", e.Types.event_id); ("name", e.Types.event_name) ])
+  in
+  let params =
+    List.map
+      (fun p ->
+        Xmlight.Doc.elt
+          ~attrs:[ ("name", p.Types.param_name); ("type", p.Types.param_class) ]
+          "parameter" [])
+      e.Types.params
+  in
+  let template = Xmlight.Doc.elt "template" [ Xmlight.Doc.text e.Types.template ] in
+  Xmlight.Doc.elt ~attrs "eventType" (params @ [ template ])
+
+let term_to_element (tm : Types.term) =
+  Xmlight.Doc.elt
+    ~attrs:[ ("id", tm.Types.term_id); ("name", tm.Types.term_name) ]
+    "term"
+    [ Xmlight.Doc.text tm.Types.term_definition ]
+
+let to_element t =
+  Xmlight.Doc.element
+    ~attrs:[ ("id", t.Types.ontology_id); ("name", t.Types.ontology_name) ]
+    "ontology"
+    (List.map class_to_element t.Types.classes
+    @ List.map individual_to_element t.Types.individuals
+    @ List.map event_to_element t.Types.event_types
+    @ List.map term_to_element t.Types.terms)
+
+let to_string t = Xmlight.Print.to_string (Xmlight.Doc.doc (to_element t))
+
+let required e name =
+  match Xmlight.Doc.attr e name with
+  | Some v -> v
+  | None -> malformed "<%s> is missing required attribute %S" e.Xmlight.Doc.tag name
+
+let description_of e =
+  match Xmlight.Doc.find_child e "description" with
+  | Some d -> Xmlight.Doc.child_text d
+  | None -> ""
+
+let class_of_element e =
+  {
+    Types.class_id = required e "id";
+    class_name = required e "name";
+    class_description = description_of e;
+    class_super = Xmlight.Doc.attr e "super";
+  }
+
+let individual_of_element e =
+  {
+    Types.ind_id = required e "id";
+    ind_name = required e "name";
+    ind_class = required e "type";
+    ind_description = description_of e;
+  }
+
+let event_of_element e =
+  let params =
+    List.map
+      (fun p -> { Types.param_name = required p "name"; param_class = required p "type" })
+      (Xmlight.Doc.find_children e "parameter")
+  in
+  let template =
+    match Xmlight.Doc.find_child e "template" with
+    | Some t -> Xmlight.Doc.child_text t
+    | None -> malformed "<eventType id=%S> is missing <template>" (required e "id")
+  in
+  {
+    Types.event_id = required e "id";
+    event_name = required e "name";
+    template;
+    event_super = Xmlight.Doc.attr e "super";
+    params;
+    actor = Xmlight.Doc.attr e "actor";
+  }
+
+let term_of_element e =
+  {
+    Types.term_id = required e "id";
+    term_name = required e "name";
+    term_definition = Xmlight.Doc.child_text e;
+  }
+
+let of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "ontology") then
+    malformed "expected <ontology>, found <%s>" e.Xmlight.Doc.tag;
+  {
+    Types.ontology_id = required e "id";
+    ontology_name = required e "name";
+    classes = List.map class_of_element (Xmlight.Doc.find_children e "instanceType");
+    individuals = List.map individual_of_element (Xmlight.Doc.find_children e "instance");
+    event_types = List.map event_of_element (Xmlight.Doc.find_children e "eventType");
+    terms = List.map term_of_element (Xmlight.Doc.find_children e "term");
+  }
+
+let of_string s =
+  match Xmlight.Parse.parse s with
+  | Ok doc -> of_element doc.Xmlight.Doc.root
+  | Error e -> malformed "XML error: %s" (Xmlight.Parse.error_to_string e)

@@ -1,0 +1,107 @@
+type arg = { arg_param : string; arg_value : value }
+
+and value =
+  | Individual of string
+  | Literal of string
+  | Fresh of { label : string; cls : string }
+
+type temporal = Sequence | Any_order
+
+type iteration_bound = Zero_or_more | One_or_more | Exactly of int
+
+type t =
+  | Simple of { id : string; text : string }
+  | Typed of { id : string; event_type : string; args : arg list }
+  | Compound of { id : string; pattern : temporal; body : t list }
+  | Alternation of { id : string; branches : t list list }
+  | Iteration of { id : string; bound : iteration_bound; body : t list }
+  | Optional of { id : string; body : t list }
+  | Episode of { id : string; scenario : string }
+
+let id = function
+  | Simple { id; _ }
+  | Typed { id; _ }
+  | Compound { id; _ }
+  | Alternation { id; _ }
+  | Iteration { id; _ }
+  | Optional { id; _ }
+  | Episode { id; _ } ->
+      id
+
+let individual ~param v = { arg_param = param; arg_value = Individual v }
+
+let literal ~param v = { arg_param = param; arg_value = Literal v }
+
+let fresh ~param ~label ~cls = { arg_param = param; arg_value = Fresh { label; cls } }
+
+let simple ~id text = Simple { id; text }
+
+let typed ~id ~event_type args = Typed { id; event_type; args }
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Simple _ | Typed _ | Episode _ -> acc
+  | Compound { body; _ } | Iteration { body; _ } | Optional { body; _ } ->
+      List.fold_left (fold f) acc body
+  | Alternation { branches; _ } ->
+      List.fold_left (fun acc branch -> List.fold_left (fold f) acc branch) acc branches
+
+let all_ids e = List.rev (fold (fun acc e -> id e :: acc) [] e)
+
+let typed_event_types e =
+  List.rev
+    (fold
+       (fun acc e ->
+         match e with
+         | Typed { event_type; _ } -> event_type :: acc
+         | Simple _ | Compound _ | Alternation _ | Iteration _ | Optional _ | Episode _ -> acc)
+       [] e)
+
+let size e = fold (fun acc _ -> acc + 1) 0 e
+
+let rec depth = function
+  | Simple _ | Typed _ | Episode _ -> 1
+  | Compound { body; _ } | Iteration { body; _ } | Optional { body; _ } -> 1 + depth_of_list body
+  | Alternation { branches; _ } ->
+      1 + List.fold_left (fun acc b -> max acc (depth_of_list b)) 0 branches
+
+and depth_of_list body = List.fold_left (fun acc e -> max acc (depth e)) 0 body
+
+let arg_text ontology arg =
+  match arg.arg_value with
+  | Literal s -> s
+  | Fresh { label; _ } -> label
+  | Individual ind_id -> (
+      match Ontology.Types.find_individual ontology ind_id with
+      | Some i -> i.Ontology.Types.ind_name
+      | None -> ind_id)
+
+let rec render ontology e =
+  match e with
+  | Simple { text; _ } -> text
+  | Typed { event_type; args; _ } -> (
+      match Ontology.Types.find_event_type ontology event_type with
+      | Some et ->
+          let bindings = List.map (fun a -> (a.arg_param, arg_text ontology a)) args in
+          Ontology.Types.expand_template et bindings
+      | None -> Printf.sprintf "<unresolved event type %s>" event_type)
+  | Compound { pattern; body; _ } ->
+      let sep = match pattern with Sequence -> "; then " | Any_order -> " and (in any order) " in
+      String.concat sep (List.map (render ontology) body)
+  | Alternation { branches; _ } ->
+      let branch body = String.concat "; then " (List.map (render ontology) body) in
+      "either " ^ String.concat " or " (List.map branch branches)
+  | Iteration { bound; body; _ } ->
+      let how =
+        match bound with
+        | Zero_or_more -> "zero or more times"
+        | One_or_more -> "one or more times"
+        | Exactly n -> Printf.sprintf "%d times" n
+      in
+      Printf.sprintf "repeat %s: %s" how
+        (String.concat "; then " (List.map (render ontology) body))
+  | Optional { body; _ } ->
+      Printf.sprintf "optionally: %s"
+        (String.concat "; then " (List.map (render ontology) body))
+  | Episode { scenario; _ } -> Printf.sprintf "episode of scenario %s" scenario

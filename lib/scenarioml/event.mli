@@ -1,0 +1,78 @@
+(** ScenarioML events.
+
+    ScenarioML divides scenarios into events: natural-language simple
+    events; typed events instantiating an ontology event type; compound
+    events consisting of subevents in a temporal pattern; event schemas
+    for alternation and iteration; and episodes that reuse an entire
+    scenario as a single event of another (paper, §2). *)
+
+type arg = {
+  arg_param : string;  (** parameter name of the event type *)
+  arg_value : value;
+}
+
+and value =
+  | Individual of string  (** reference to an ontology individual id *)
+  | Literal of string  (** literal text *)
+  | Fresh of { label : string; cls : string }
+      (** an individual "newly created or identified during the course
+          of a scenario" (paper §2): a label for it plus its domain
+          class *)
+
+type temporal =
+  | Sequence  (** subevents occur in the given order *)
+  | Any_order  (** subevents all occur, order unconstrained *)
+
+type iteration_bound =
+  | Zero_or_more
+  | One_or_more
+  | Exactly of int
+
+type t =
+  | Simple of { id : string; text : string }
+      (** natural-language event whose meaning is understood by humans *)
+  | Typed of { id : string; event_type : string; args : arg list }
+      (** [typedEvent]: references and reuses a defined [eventType] *)
+  | Compound of { id : string; pattern : temporal; body : t list }
+  | Alternation of { id : string; branches : t list list }
+      (** exactly one branch occurs *)
+  | Iteration of { id : string; bound : iteration_bound; body : t list }
+  | Optional of { id : string; body : t list }
+  | Episode of { id : string; scenario : string }
+      (** reuse of an entire scenario as a single event *)
+
+val id : t -> string
+
+val individual : param:string -> string -> arg
+(** Argument bound to an ontology individual. *)
+
+val literal : param:string -> string -> arg
+
+val fresh : param:string -> label:string -> cls:string -> arg
+(** Argument denoting an individual created in the scenario itself. *)
+
+val simple : id:string -> string -> t
+
+val typed : id:string -> event_type:string -> arg list -> t
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over an event and all its subevents (episodes are not
+    expanded: the [Episode] node itself is visited). *)
+
+val all_ids : t -> string list
+(** Ids of the event and all subevents, preorder. *)
+
+val typed_event_types : t -> string list
+(** Event-type ids referenced by [Typed] events in the subtree, in
+    occurrence order, with duplicates. *)
+
+val size : t -> int
+(** Number of event nodes in the subtree. *)
+
+val depth : t -> int
+(** Nesting depth; a leaf has depth 1. *)
+
+val render : Ontology.Types.t -> t -> string
+(** Human-readable text of an event: simple events verbatim; typed
+    events via template expansion with individual names substituted;
+    structured events summarized. *)

@@ -1,0 +1,107 @@
+type instance = {
+  scenario : string;
+  event_id : string;
+  event_type : string;
+  args : (string * string) list;
+}
+
+let resolve ontology arg =
+  let text =
+    match arg.Event.arg_value with
+    | Event.Literal s -> s
+    | Event.Fresh { label; _ } -> label
+    | Event.Individual id -> (
+        match Ontology.Types.find_individual ontology id with
+        | Some i -> i.Ontology.Types.ind_name
+        | None -> id)
+  in
+  (arg.Event.arg_param, text)
+
+let collect set =
+  let ontology = set.Scen.ontology in
+  List.concat_map
+    (fun s ->
+      let gather acc e =
+        match e with
+        | Event.Typed { id; event_type; args } ->
+            {
+              scenario = s.Scen.scenario_id;
+              event_id = id;
+              event_type;
+              args = List.map (resolve ontology) args;
+            }
+            :: acc
+        | Event.Simple _ | Event.Compound _ | Event.Alternation _ | Event.Iteration _
+        | Event.Optional _ | Event.Episode _ ->
+            acc
+      in
+      List.rev (List.fold_left (fun acc e -> Event.fold gather acc e) [] s.Scen.events))
+    set.Scen.scenarios
+
+let by_event_type set =
+  let all = collect set in
+  let order =
+    List.fold_left
+      (fun acc i ->
+        if List.exists (String.equal i.event_type) acc then acc else acc @ [ i.event_type ])
+      [] all
+  in
+  List.map
+    (fun et -> (et, List.filter (fun i -> String.equal i.event_type et) all))
+    order
+
+type relationship = Identical_args | Differ_in of string list
+
+let relate a b =
+  if not (String.equal a.event_type b.event_type) then None
+  else begin
+    let params =
+      List.fold_left
+        (fun acc (p, _) -> if List.exists (String.equal p) acc then acc else acc @ [ p ])
+        [] (a.args @ b.args)
+    in
+    let differing =
+      List.filter
+        (fun p -> List.assoc_opt p a.args <> List.assoc_opt p b.args)
+        params
+    in
+    match differing with [] -> Some Identical_args | ps -> Some (Differ_in ps)
+  end
+
+let argument_profile set event_type =
+  let mine =
+    List.filter (fun i -> String.equal i.event_type event_type) (collect set)
+  in
+  let params =
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc (p, _) -> if List.exists (String.equal p) acc then acc else acc @ [ p ])
+          acc i.args)
+      [] mine
+  in
+  List.map
+    (fun p ->
+      let values =
+        List.fold_left
+          (fun acc i ->
+            match List.assoc_opt p i.args with
+            | Some v when not (List.exists (String.equal v) acc) -> acc @ [ v ]
+            | Some _ | None -> acc)
+          [] mine
+      in
+      (p, values))
+    params
+
+let duplication_ratio set event_type =
+  let mine =
+    List.filter (fun i -> String.equal i.event_type event_type) (collect set)
+  in
+  match mine with
+  | [] -> 1.0
+  | _ ->
+      let distinct =
+        List.length
+          (List.sort_uniq compare (List.map (fun i -> List.sort compare i.args) mine))
+      in
+      float_of_int (List.length mine) /. float_of_int distinct

@@ -1,0 +1,40 @@
+(** Analysis of event-type instances across a scenario set.
+
+    ScenarioML supports "explicit relationships among a parameterized
+    event type's instances with different arguments" (paper §2); the
+    paper's §8 proposes exploiting them for finer-grained mappings. This
+    module collects every [typedEvent] instance, resolves its argument
+    texts, and reports per-type argument profiles and pairwise instance
+    relationships. *)
+
+type instance = {
+  scenario : string;
+  event_id : string;
+  event_type : string;
+  args : (string * string) list;  (** parameter -> resolved text *)
+}
+
+val collect : Scen.set -> instance list
+(** All typed-event instances across the set, scenario order. Argument
+    values resolve individuals to their names and fresh individuals to
+    their labels. *)
+
+val by_event_type : Scen.set -> (string * instance list) list
+(** Grouped by event type, types in first-occurrence order. *)
+
+type relationship =
+  | Identical_args  (** the reuse the paper's complexity argument counts *)
+  | Differ_in of string list  (** parameters whose values differ *)
+
+val relate : instance -> instance -> relationship option
+(** [None] when the instances have different event types. *)
+
+val argument_profile : Scen.set -> string -> (string * string list) list
+(** For one event type: each parameter with its distinct argument values
+    across all instances, in first-use order. The PIMS profile of
+    [user-initiates]'s [function] parameter, for example, enumerates the
+    system's 22 functionalities. *)
+
+val duplication_ratio : Scen.set -> string -> float
+(** instances / distinct argument vectors for one event type; 1.0 means
+    every instance differs, higher means verbatim reuse. *)

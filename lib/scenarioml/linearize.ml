@@ -1,0 +1,100 @@
+type step = { step_event : Event.t; step_scenario : string }
+
+type trace = step list
+
+type config = { iteration_unroll : int; max_traces : int }
+
+let default_config = { iteration_unroll = 1; max_traces = 256 }
+
+type result = { traces : trace list; truncated : bool }
+
+(* All the enumeration below threads a [truncated] flag through a record
+   of state; every list of alternatives is capped at [max_traces]. *)
+type state = { config : config; mutable truncated : bool }
+
+let cap st alternatives =
+  let n = st.config.max_traces in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  let rec length_exceeds k = function
+    | [] -> false
+    | _ :: rest -> if k = 0 then true else length_exceeds (k - 1) rest
+  in
+  if length_exceeds n alternatives then begin
+    st.truncated <- true;
+    take n alternatives
+  end
+  else alternatives
+
+(* Cartesian concatenation of alternative lists: sequences [xs] then [ys]. *)
+let product st xs ys =
+  cap st (List.concat_map (fun x -> List.map (fun y -> x @ y) ys) xs)
+
+let rec permutations st = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let insert_everywhere perm =
+        let rec inserts prefix = function
+          | [] -> [ List.rev (x :: prefix) ]
+          | y :: tail ->
+              List.rev_append prefix (x :: y :: tail) :: inserts (y :: prefix) tail
+        in
+        inserts [] perm
+      in
+      cap st (List.concat_map insert_everywhere (permutations st rest))
+
+let rec event_traces st set scenario_id visited e : trace list =
+  match e with
+  | Event.Simple _ | Event.Typed _ ->
+      [ [ { step_event = e; step_scenario = scenario_id } ] ]
+  | Event.Compound { pattern = Event.Sequence; body; _ } ->
+      sequence_traces st set scenario_id visited body
+  | Event.Compound { pattern = Event.Any_order; body; _ } ->
+      let orders = permutations st body in
+      cap st
+        (List.concat_map (fun order -> sequence_traces st set scenario_id visited order) orders)
+  | Event.Alternation { branches; _ } ->
+      cap st
+        (List.concat_map (fun branch -> sequence_traces st set scenario_id visited branch) branches)
+  | Event.Iteration { bound; body; _ } ->
+      let unroll = st.config.iteration_unroll in
+      let counts =
+        match bound with
+        | Event.Zero_or_more -> List.init (unroll + 1) (fun i -> i)
+        | Event.One_or_more -> List.init (max unroll 1) (fun i -> i + 1)
+        | Event.Exactly n -> [ max n 0 ]
+      in
+      let once = sequence_traces st set scenario_id visited body in
+      let rec repeat k =
+        if k <= 0 then [ [] ] else product st once (repeat (k - 1))
+      in
+      cap st (List.concat_map repeat counts)
+  | Event.Optional { body; _ } ->
+      cap st ([] :: sequence_traces st set scenario_id visited body)
+  | Event.Episode { scenario; _ } ->
+      if List.exists (String.equal scenario) visited then [ [] ]
+      else (
+        match Scen.find set scenario with
+        | None -> [ [] ]
+        | Some s -> sequence_traces st set scenario (scenario :: visited) s.Scen.events)
+
+and sequence_traces st set scenario_id visited events =
+  List.fold_left
+    (fun acc e -> product st acc (event_traces st set scenario_id visited e))
+    [ [] ] events
+
+let scenario ?(config = default_config) set s =
+  let st = { config; truncated = false } in
+  let traces =
+    sequence_traces st set s.Scen.scenario_id [ s.Scen.scenario_id ] s.Scen.events
+  in
+  { traces; truncated = st.truncated }
+
+let first_trace set s =
+  let { traces; _ } = scenario ~config:{ iteration_unroll = 1; max_traces = 1 } set s in
+  match traces with [] -> [] | t :: _ -> t
+
+let render_trace ontology trace =
+  List.map (fun step -> Event.render ontology step.step_event) trace

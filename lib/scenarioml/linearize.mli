@@ -1,0 +1,38 @@
+(** Linearization of a scenario into primitive traces.
+
+    The walkthrough engine (paper §3.5) walks "the sequence of the events
+    in the scenario". Structured events induce several possible
+    sequences: alternations contribute one trace per branch, optional
+    events two, iterations are unrolled a configurable number of times,
+    any-order compounds contribute every permutation, and episodes are
+    expanded in place (cyclic episode references are cut). Linearization
+    enumerates these sequences as traces of primitive (simple or typed)
+    events. *)
+
+type step = {
+  step_event : Event.t;  (** always [Simple] or [Typed] *)
+  step_scenario : string;  (** scenario the step originates from (episodes) *)
+}
+
+type trace = step list
+
+type config = {
+  iteration_unroll : int;  (** unrollings for [Zero_or_more]/[One_or_more] *)
+  max_traces : int;  (** enumeration cap; [truncated] is set when hit *)
+}
+
+val default_config : config
+(** [iteration_unroll = 1], [max_traces = 256]. *)
+
+type result = { traces : trace list; truncated : bool }
+
+val scenario : ?config:config -> Scen.set -> Scen.t -> result
+(** All traces of a scenario. On a scenario with no structured events
+    this is a single trace with its events in order. *)
+
+val first_trace : Scen.set -> Scen.t -> trace
+(** The first trace (alternations take their first branch, optionals are
+    included, iterations unrolled once). *)
+
+val render_trace : Ontology.Types.t -> trace -> string list
+(** One line of text per step. *)

@@ -1,0 +1,62 @@
+let rec pp_event_at ontology depth ppf e =
+  let pad = String.make (2 * depth) ' ' in
+  match e with
+  | Event.Simple { id; text } -> Format.fprintf ppf "%s[%s] %s" pad id text
+  | Event.Typed { id; event_type; _ } ->
+      Format.fprintf ppf "%s[%s] %s  (typedEvent %s)" pad id
+        (Event.render ontology e) event_type
+  | Event.Compound { id; pattern; body } ->
+      let order =
+        match pattern with Event.Sequence -> "sequence" | Event.Any_order -> "any order"
+      in
+      Format.fprintf ppf "%s[%s] compound (%s):" pad id order;
+      List.iter (fun c -> Format.fprintf ppf "@,%a" (pp_event_at ontology (depth + 1)) c) body
+  | Event.Alternation { id; branches } ->
+      Format.fprintf ppf "%s[%s] alternation:" pad id;
+      List.iteri
+        (fun i body ->
+          Format.fprintf ppf "@,%s  branch %d:" pad (i + 1);
+          List.iter
+            (fun c -> Format.fprintf ppf "@,%a" (pp_event_at ontology (depth + 2)) c)
+            body)
+        branches
+  | Event.Iteration { id; bound; body } ->
+      let how =
+        match bound with
+        | Event.Zero_or_more -> "zero or more"
+        | Event.One_or_more -> "one or more"
+        | Event.Exactly n -> string_of_int n
+      in
+      Format.fprintf ppf "%s[%s] iteration (%s):" pad id how;
+      List.iter (fun c -> Format.fprintf ppf "@,%a" (pp_event_at ontology (depth + 1)) c) body
+  | Event.Optional { id; body } ->
+      Format.fprintf ppf "%s[%s] optional:" pad id;
+      List.iter (fun c -> Format.fprintf ppf "@,%a" (pp_event_at ontology (depth + 1)) c) body
+  | Event.Episode { id; scenario } ->
+      Format.fprintf ppf "%s[%s] episode of %s" pad id scenario
+
+let pp_event ontology ppf e = pp_event_at ontology 0 ppf e
+
+let pp_scenario ontology ppf s =
+  let kind = match s.Scen.kind with Scen.Positive -> "" | Scen.Negative -> " (negative)" in
+  Format.fprintf ppf "@[<v>Scenario %s: %s%s@," s.Scen.scenario_id s.Scen.scenario_name kind;
+  if s.Scen.description <> "" then Format.fprintf ppf "  %s@," s.Scen.description;
+  if s.Scen.actors <> [] then
+    Format.fprintf ppf "  actors: %s@," (String.concat ", " s.Scen.actors);
+  List.iteri
+    (fun i e ->
+      Format.fprintf ppf "  (%d) @[<v>%a@]@," (i + 1) (pp_event_at ontology 0) e)
+    s.Scen.events;
+  Format.fprintf ppf "@]"
+
+let pp_set ppf set =
+  Format.fprintf ppf "@[<v>Scenario set %s: %s@,@," set.Scen.set_id set.Scen.set_name;
+  Format.fprintf ppf "%a@,@," Ontology.Pretty.pp set.Scen.ontology;
+  List.iter
+    (fun s -> Format.fprintf ppf "%a@," (pp_scenario set.Scen.ontology) s)
+    set.Scen.scenarios;
+  Format.fprintf ppf "@]"
+
+let scenario_to_string ontology s = Format.asprintf "%a" (pp_scenario ontology) s
+
+let set_to_string set = Format.asprintf "%a" pp_set set

@@ -1,0 +1,78 @@
+type score = {
+  scenario : string;
+  distinct_event_types : int;
+  marginal_event_types : int;
+  structured_events : int;
+  negative : bool;
+  total : float;
+}
+
+let distinct_types s = List.sort_uniq String.compare (Scen.typed_event_types s)
+
+let structured_count s =
+  let count acc e =
+    match e with
+    | Event.Alternation _ | Event.Iteration _ | Event.Optional _ | Event.Episode _ ->
+        acc + 1
+    | Event.Simple _ | Event.Typed _ | Event.Compound _ -> acc
+  in
+  List.fold_left (fun acc e -> Event.fold count acc e) 0 s.Scen.events
+
+let score_of ~covered s =
+  let types = distinct_types s in
+  let marginal =
+    List.length (List.filter (fun t -> not (List.exists (String.equal t) covered)) types)
+  in
+  let structured = structured_count s in
+  let negative = Scen.is_negative s in
+  {
+    scenario = s.Scen.scenario_id;
+    distinct_event_types = List.length types;
+    marginal_event_types = marginal;
+    structured_events = structured;
+    negative;
+    total =
+      (3.0 *. float_of_int marginal)
+      +. float_of_int (List.length types)
+      +. (0.5 *. float_of_int structured)
+      +. (if negative then 1.0 else 0.0);
+  }
+
+let rank set =
+  let rec loop covered remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let scored = List.map (fun s -> (s, score_of ~covered s)) remaining in
+        let better (s1, sc1) (s2, sc2) =
+          if sc1.total <> sc2.total then compare sc2.total sc1.total
+          else if sc1.distinct_event_types <> sc2.distinct_event_types then
+            compare sc2.distinct_event_types sc1.distinct_event_types
+          else if sc1.negative <> sc2.negative then compare sc2.negative sc1.negative
+          else String.compare s1.Scen.scenario_id s2.Scen.scenario_id
+        in
+        (match List.sort better scored with
+        | (best, best_score) :: _ ->
+            let covered =
+              List.fold_left
+                (fun acc t -> if List.exists (String.equal t) acc then acc else t :: acc)
+                covered (distinct_types best)
+            in
+            let remaining =
+              List.filter
+                (fun s -> not (String.equal s.Scen.scenario_id best.Scen.scenario_id))
+                remaining
+            in
+            loop covered remaining (best_score :: acc)
+        | [] -> List.rev acc)
+  in
+  loop [] set.Scen.scenarios []
+
+let cover set n =
+  List.filteri (fun i _ -> i < n) (rank set) |> List.map (fun sc -> sc.scenario)
+
+let pp_score ppf sc =
+  Format.fprintf ppf "%-28s total %5.1f (marginal %d, distinct %d, structured %d%s)"
+    sc.scenario sc.total sc.marginal_event_types sc.distinct_event_types
+    sc.structured_events
+    (if sc.negative then ", negative" else "")

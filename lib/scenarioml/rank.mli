@@ -1,0 +1,31 @@
+(** Scenario prioritization.
+
+    "Our approach does not propose a method for ranking scenarios by
+    importance, so that limited evaluation time can be focused on the
+    most important ones" (paper §3.2) — this module supplies the missing
+    heuristic: scenarios are scored by how much *new* evaluation
+    coverage they buy. *)
+
+type score = {
+  scenario : string;
+  distinct_event_types : int;  (** distinct event types the scenario uses *)
+  marginal_event_types : int;
+      (** event types not used by any higher-ranked scenario (computed
+          greedily) *)
+  structured_events : int;  (** alternations/iterations/options/episodes *)
+  negative : bool;
+  total : float;
+}
+
+val rank : Scen.set -> score list
+(** Greedy ranking: repeatedly pick the scenario adding the most
+    not-yet-covered event types (ties: more distinct event types, then
+    negative scenarios first, then id order). [total] combines marginal
+    coverage (weight 3), distinct usage (1), structure (0.5), and a
+    negative-scenario bonus (1). *)
+
+val cover : Scen.set -> int -> string list
+(** The first [n] scenario ids of the ranking — a small suite whose
+    union covers event types greedily. *)
+
+val pp_score : Format.formatter -> score -> unit

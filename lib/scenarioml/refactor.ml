@@ -1,0 +1,84 @@
+let map_events f set =
+  {
+    set with
+    Scen.scenarios =
+      List.map
+        (fun s -> { s with Scen.events = List.map f s.Scen.events })
+        set.Scen.scenarios;
+  }
+
+let rec map_event f e =
+  let e = f e in
+  match e with
+  | Event.Simple _ | Event.Typed _ | Event.Episode _ -> e
+  | Event.Compound { id; pattern; body } ->
+      Event.Compound { id; pattern; body = List.map (map_event f) body }
+  | Event.Alternation { id; branches } ->
+      Event.Alternation { id; branches = List.map (List.map (map_event f)) branches }
+  | Event.Iteration { id; bound; body } ->
+      Event.Iteration { id; bound; body = List.map (map_event f) body }
+  | Event.Optional { id; body } ->
+      Event.Optional { id; body = List.map (map_event f) body }
+
+let rename_event_type ~old_id ~new_id set =
+  let rename e =
+    match e with
+    | Event.Typed { id; event_type; args } when String.equal event_type old_id ->
+        Event.Typed { id; event_type = new_id; args }
+    | Event.Typed _ | Event.Simple _ | Event.Compound _ | Event.Alternation _
+    | Event.Iteration _ | Event.Optional _ | Event.Episode _ ->
+        e
+  in
+  map_events (map_event rename) set
+
+let rename_individual ~old_id ~new_id set =
+  let rename_arg a =
+    match a.Event.arg_value with
+    | Event.Individual id when String.equal id old_id ->
+        { a with Event.arg_value = Event.Individual new_id }
+    | Event.Individual _ | Event.Literal _ | Event.Fresh _ -> a
+  in
+  let rename e =
+    match e with
+    | Event.Typed { id; event_type; args } ->
+        Event.Typed { id; event_type; args = List.map rename_arg args }
+    | Event.Simple _ | Event.Compound _ | Event.Alternation _ | Event.Iteration _
+    | Event.Optional _ | Event.Episode _ ->
+        e
+  in
+  let set = map_events (map_event rename) set in
+  {
+    set with
+    Scen.scenarios =
+      List.map
+        (fun s ->
+          {
+            s with
+            Scen.actors =
+              List.map (fun a -> if String.equal a old_id then new_id else a) s.Scen.actors;
+          })
+        set.Scen.scenarios;
+  }
+
+let rename_scenario ~old_id ~new_id set =
+  let rename e =
+    match e with
+    | Event.Episode { id; scenario } when String.equal scenario old_id ->
+        Event.Episode { id; scenario = new_id }
+    | Event.Episode _ | Event.Simple _ | Event.Typed _ | Event.Compound _
+    | Event.Alternation _ | Event.Iteration _ | Event.Optional _ ->
+        e
+  in
+  let set = map_events (map_event rename) set in
+  {
+    set with
+    Scen.scenarios =
+      List.map
+        (fun s ->
+          if String.equal s.Scen.scenario_id old_id then
+            { s with Scen.scenario_id = new_id }
+          else s)
+        set.Scen.scenarios;
+  }
+
+let with_ontology ontology set = { set with Scen.ontology }

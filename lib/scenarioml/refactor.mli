@@ -1,0 +1,18 @@
+(** Scenario-side refactorings that keep a scenario set synchronized
+    with ontology evolution ({!Ontology.Evolve}) — "requirements can
+    evolve while the pre-established mapping assists developers"
+    (paper §7). The set's embedded ontology is not modified here; apply
+    the corresponding [Ontology.Evolve] op and rebuild the set. *)
+
+val rename_event_type : old_id:string -> new_id:string -> Scen.set -> Scen.set
+(** Every [typedEvent] referencing [old_id] now references [new_id]. *)
+
+val rename_individual : old_id:string -> new_id:string -> Scen.set -> Scen.set
+(** Every individual argument and actor reference follows. *)
+
+val rename_scenario : old_id:string -> new_id:string -> Scen.set -> Scen.set
+(** The scenario's id and every episode referencing it follow. *)
+
+val with_ontology : Ontology.Types.t -> Scen.set -> Scen.set
+(** Replace the set's embedded ontology (after applying evolution ops to
+    it). *)

@@ -1,0 +1,91 @@
+let step_specializes ontology sub_step super_step =
+  match
+    (sub_step.Linearize.step_event, super_step.Linearize.step_event)
+  with
+  | Event.Typed { event_type = sub_type; _ }, Event.Typed { event_type = super_type; _ } ->
+      Ontology.Subsume.event_subsumes ontology ~super:super_type ~sub:sub_type
+  | Event.Simple { text = a; _ }, Event.Simple { text = b; _ } -> String.equal a b
+  | ( ( Event.Simple _ | Event.Typed _ | Event.Compound _ | Event.Alternation _
+      | Event.Iteration _ | Event.Optional _ | Event.Episode _ ),
+      _ ) ->
+      false
+
+let trace_specializes ontology sub_trace super_trace =
+  List.length sub_trace = List.length super_trace
+  && List.for_all2 (step_specializes ontology) sub_trace super_trace
+
+let specializes ?(config = Linearize.default_config) set ~sub ~super =
+  let ontology = set.Scen.ontology in
+  let sub_traces = (Linearize.scenario ~config set sub).Linearize.traces in
+  let super_traces = (Linearize.scenario ~config set super).Linearize.traces in
+  sub_traces <> []
+  && List.for_all
+       (fun st ->
+         List.exists (fun sup -> trace_specializes ontology st sup) super_traces)
+       sub_traces
+
+let shared_event_types a b =
+  let ta = List.sort_uniq String.compare (Scen.typed_event_types a) in
+  let tb = List.sort_uniq String.compare (Scen.typed_event_types b) in
+  List.filter (fun t -> List.exists (String.equal t) tb) ta
+
+type relation =
+  | Specializes of { sub : string; super : string }
+  | Shares of { left : string; right : string; event_types : string list }
+  | Uses_episode of { scenario : string; episode : string }
+
+let analyze ?config set =
+  let scenarios = set.Scen.scenarios in
+  let episodes =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun ep -> Uses_episode { scenario = s.Scen.scenario_id; episode = ep })
+          (List.sort_uniq String.compare (Scen.episodes s)))
+      scenarios
+  in
+  let pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if String.compare a.Scen.scenario_id b.Scen.scenario_id < 0 then Some (a, b)
+            else None)
+          scenarios)
+      scenarios
+  in
+  let specializations =
+    List.concat_map
+      (fun (a, b) ->
+        let ab =
+          if specializes ?config set ~sub:a ~super:b then
+            [ Specializes { sub = a.Scen.scenario_id; super = b.Scen.scenario_id } ]
+          else []
+        in
+        let ba =
+          if specializes ?config set ~sub:b ~super:a then
+            [ Specializes { sub = b.Scen.scenario_id; super = a.Scen.scenario_id } ]
+          else []
+        in
+        ab @ ba)
+      pairs
+  in
+  let sharing =
+    List.filter_map
+      (fun (a, b) ->
+        match shared_event_types a b with
+        | [] -> None
+        | event_types ->
+            Some
+              (Shares
+                 { left = a.Scen.scenario_id; right = b.Scen.scenario_id; event_types }))
+      pairs
+  in
+  episodes @ specializations @ sharing
+
+let pp_relation ppf = function
+  | Specializes { sub; super } -> Format.fprintf ppf "%s specializes %s" sub super
+  | Shares { left; right; event_types } ->
+      Format.fprintf ppf "%s and %s share {%s}" left right (String.concat ", " event_types)
+  | Uses_episode { scenario; episode } ->
+      Format.fprintf ppf "%s uses %s as an episode" scenario episode

@@ -1,0 +1,30 @@
+(** Relationships between scenarios (after Alspaugh's "Relationships
+    between scenarios", the ScenarioML foundation the paper builds on).
+
+    Supported relationships:
+    - *specializes*: scenario A specializes B when A's traces pair up
+      with B's traces of the same length, each of A's typed events
+      instantiating the same or a subtype of B's event type at that
+      position (simple events must match textually);
+    - *shares events*: the event types two scenarios have in common;
+    - *episode dependency*: A uses B as an episode. *)
+
+val specializes :
+  ?config:Linearize.config -> Scen.set -> sub:Scen.t -> super:Scen.t -> bool
+(** Every trace of [sub] specializes some trace of [super]; [sub]'s
+    trace set must be non-empty. *)
+
+val shared_event_types : Scen.t -> Scen.t -> string list
+(** Sorted, without duplicates. *)
+
+type relation =
+  | Specializes of { sub : string; super : string }
+  | Shares of { left : string; right : string; event_types : string list }
+  | Uses_episode of { scenario : string; episode : string }
+
+val analyze : ?config:Linearize.config -> Scen.set -> relation list
+(** All pairwise relationships in the set: episode uses, proper
+    specializations (excluding identical ids), and sharing pairs with at
+    least one common event type (each unordered pair reported once). *)
+
+val pp_relation : Format.formatter -> relation -> unit

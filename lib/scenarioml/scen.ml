@@ -1,0 +1,43 @@
+type kind = Positive | Negative
+
+type t = {
+  scenario_id : string;
+  scenario_name : string;
+  description : string;
+  kind : kind;
+  actors : string list;
+  events : Event.t list;
+}
+
+type set = {
+  set_id : string;
+  set_name : string;
+  ontology : Ontology.Types.t;
+  scenarios : t list;
+}
+
+let scenario ?(description = "") ?(kind = Positive) ?(actors = []) ~id ~name events =
+  { scenario_id = id; scenario_name = name; description; kind; actors; events }
+
+let make_set ~id ~name ontology scenarios =
+  { set_id = id; set_name = name; ontology; scenarios }
+
+let find set id = List.find_opt (fun s -> String.equal s.scenario_id id) set.scenarios
+
+let find_exn set id = match find set id with Some s -> s | None -> raise Not_found
+
+let event_count t = List.fold_left (fun acc e -> acc + Event.size e) 0 t.events
+
+let typed_event_types t = List.concat_map Event.typed_event_types t.events
+
+let episodes t =
+  let collect acc e =
+    match e with
+    | Event.Episode { scenario; _ } -> scenario :: acc
+    | Event.Simple _ | Event.Typed _ | Event.Compound _ | Event.Alternation _
+    | Event.Iteration _ | Event.Optional _ ->
+        acc
+  in
+  List.rev (List.fold_left (fun acc e -> Event.fold collect acc e) [] t.events)
+
+let is_negative t = match t.kind with Negative -> true | Positive -> false

@@ -1,0 +1,53 @@
+(** Scenarios and scenario sets.
+
+    A scenario is a named temporal pattern of events with declared
+    actors. Scenarios may be [Positive] (the behaviour must be
+    supported) or [Negative] (an undesirable behaviour: the architecture
+    is inconsistent if the scenario *can* execute — paper §3.5). A
+    scenario set groups the scenarios of a system together with the
+    ontology they are written against. *)
+
+type kind = Positive | Negative
+
+type t = {
+  scenario_id : string;
+  scenario_name : string;
+  description : string;
+  kind : kind;
+  actors : string list;  (** ids of ontology classes or individuals *)
+  events : Event.t list;  (** top level is a sequence *)
+}
+
+type set = {
+  set_id : string;
+  set_name : string;
+  ontology : Ontology.Types.t;
+  scenarios : t list;
+}
+
+val scenario :
+  ?description:string ->
+  ?kind:kind ->
+  ?actors:string list ->
+  id:string ->
+  name:string ->
+  Event.t list ->
+  t
+
+val make_set : id:string -> name:string -> Ontology.Types.t -> t list -> set
+
+val find : set -> string -> t option
+
+val find_exn : set -> string -> t
+(** @raise Not_found if no scenario has the id. *)
+
+val event_count : t -> int
+(** Total event nodes across the scenario's top-level events. *)
+
+val typed_event_types : t -> string list
+(** All event-type references in the scenario, with duplicates. *)
+
+val episodes : t -> string list
+(** Ids of scenarios referenced as episodes, with duplicates. *)
+
+val is_negative : t -> bool

@@ -1,0 +1,85 @@
+type event_kind_counts = {
+  simple : int;
+  typed : int;
+  compound : int;
+  alternation : int;
+  iteration : int;
+  optional : int;
+  episode : int;
+}
+
+type t = {
+  scenario_count : int;
+  negative_count : int;
+  event_nodes : int;
+  kinds : event_kind_counts;
+  typed_occurrences : int;
+  distinct_event_types_used : int;
+  usage : (string * int) list;
+  reuse_factor : float;
+}
+
+let zero_kinds =
+  { simple = 0; typed = 0; compound = 0; alternation = 0; iteration = 0; optional = 0; episode = 0 }
+
+let count_kind k e =
+  match e with
+  | Event.Simple _ -> { k with simple = k.simple + 1 }
+  | Event.Typed _ -> { k with typed = k.typed + 1 }
+  | Event.Compound _ -> { k with compound = k.compound + 1 }
+  | Event.Alternation _ -> { k with alternation = k.alternation + 1 }
+  | Event.Iteration _ -> { k with iteration = k.iteration + 1 }
+  | Event.Optional _ -> { k with optional = k.optional + 1 }
+  | Event.Episode _ -> { k with episode = k.episode + 1 }
+
+let of_set set =
+  let scenarios = set.Scen.scenarios in
+  let kinds =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc e -> Event.fold count_kind acc e) acc s.Scen.events)
+      zero_kinds scenarios
+  in
+  let occurrences = List.concat_map Scen.typed_event_types scenarios in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun et ->
+      let n = match Hashtbl.find_opt table et with Some n -> n | None -> 0 in
+      Hashtbl.replace table et (n + 1))
+    occurrences;
+  let usage =
+    Hashtbl.fold (fun et n acc -> (et, n) :: acc) table []
+    |> List.sort (fun (a, na) (b, nb) ->
+           if na <> nb then compare nb na else String.compare a b)
+  in
+  let typed_occurrences = List.length occurrences in
+  let distinct = List.length usage in
+  {
+    scenario_count = List.length scenarios;
+    negative_count = List.length (List.filter Scen.is_negative scenarios);
+    event_nodes = List.fold_left (fun acc s -> acc + Scen.event_count s) 0 scenarios;
+    kinds;
+    typed_occurrences;
+    distinct_event_types_used = distinct;
+    usage;
+    reuse_factor =
+      (if distinct = 0 then 1.0 else float_of_int typed_occurrences /. float_of_int distinct);
+  }
+
+let unused_event_types set =
+  let used = List.concat_map Scen.typed_event_types set.Scen.scenarios in
+  List.filter_map
+    (fun et ->
+      let id = et.Ontology.Types.event_id in
+      if List.exists (String.equal id) used then None else Some id)
+    set.Scen.ontology.Ontology.Types.event_types
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d scenarios (%d negative), %d event nodes@,\
+     kinds: %d simple, %d typed, %d compound, %d alternation, %d iteration, %d optional, %d \
+     episode@,\
+     typed occurrences: %d over %d distinct event types (reuse factor %.2f)@]"
+    t.scenario_count t.negative_count t.event_nodes t.kinds.simple t.kinds.typed
+    t.kinds.compound t.kinds.alternation t.kinds.iteration t.kinds.optional t.kinds.episode
+    t.typed_occurrences t.distinct_event_types_used t.reuse_factor

@@ -1,0 +1,37 @@
+(** Statistics over scenario sets.
+
+    The paper's central complexity argument (§1, §5) rests on event-type
+    *reuse*: "the more extensive the reuse of the ontology definitions in
+    the scenarios, the greater is the reduction in complexity". These
+    statistics quantify reuse and feed the complexity benchmarks. *)
+
+type event_kind_counts = {
+  simple : int;
+  typed : int;
+  compound : int;
+  alternation : int;
+  iteration : int;
+  optional : int;
+  episode : int;
+}
+
+type t = {
+  scenario_count : int;
+  negative_count : int;
+  event_nodes : int;  (** all event nodes across all scenarios *)
+  kinds : event_kind_counts;
+  typed_occurrences : int;  (** total [Typed] events *)
+  distinct_event_types_used : int;
+  usage : (string * int) list;
+      (** per event type: occurrence count, sorted descending then by id *)
+  reuse_factor : float;
+      (** typed occurrences / distinct event types used; 1.0 = no reuse *)
+}
+
+val of_set : Scen.set -> t
+
+val unused_event_types : Scen.set -> string list
+(** Event types defined in the ontology but never instantiated by any
+    scenario, in definition order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+type suggestion = {
+  event_type : string;
+  score : float;
+  bindings : (string * string) list;
+}
+
+let tokenize text =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char buf c
+      else if c >= 'A' && c <= 'Z' then Buffer.add_char buf (Char.lowercase_ascii c)
+      else flush ())
+    text;
+  flush ();
+  List.rev !tokens
+
+(* Template tokens with placeholders removed. *)
+let template_tokens template =
+  let without_placeholders =
+    (* drop {name} spans *)
+    let buf = Buffer.create (String.length template) in
+    let n = String.length template in
+    let rec loop i =
+      if i >= n then ()
+      else if template.[i] = '{' then
+        match String.index_from_opt template i '}' with
+        | Some j ->
+            Buffer.add_char buf ' ';
+            loop (j + 1)
+        | None -> Buffer.add_char buf ' '
+      else begin
+        Buffer.add_char buf template.[i];
+        loop (i + 1)
+      end
+    in
+    loop 0;
+    Buffer.contents buf
+  in
+  tokenize without_placeholders
+
+let overlap_score template_toks text_toks =
+  match template_toks with
+  | [] -> 0.0
+  | _ ->
+      let hits =
+        List.length
+          (List.filter (fun t -> List.exists (String.equal t) text_toks) template_toks)
+      in
+      float_of_int hits /. float_of_int (List.length template_toks)
+
+(* Single-placeholder binding: the template is prefix{p}suffix; if the
+   text starts with prefix and ends with suffix, the middle binds p.
+   Comparison is case-insensitive and tolerant of a trailing period. *)
+let try_bind template text =
+  match (String.index_opt template '{', String.index_opt template '}') with
+  | Some open_, Some close
+    when close > open_
+         && not (String.contains_from template close '{')
+         (* exactly one placeholder *) ->
+      let param = String.sub template (open_ + 1) (close - open_ - 1) in
+      let prefix = String.lowercase_ascii (String.trim (String.sub template 0 open_)) in
+      let suffix =
+        String.lowercase_ascii
+          (String.trim (String.sub template (close + 1) (String.length template - close - 1)))
+      in
+      let text =
+        let t = String.trim text in
+        let t =
+          if String.length t > 0 && t.[String.length t - 1] = '.' then
+            String.sub t 0 (String.length t - 1)
+          else t
+        in
+        t
+      in
+      let lower = String.lowercase_ascii text in
+      let starts =
+        prefix = ""
+        || String.length lower >= String.length prefix
+           && String.sub lower 0 (String.length prefix) = prefix
+      in
+      let ends =
+        suffix = ""
+        || String.length lower >= String.length suffix
+           && String.sub lower
+                (String.length lower - String.length suffix)
+                (String.length suffix)
+              = suffix
+      in
+      if starts && ends then begin
+        let from_ = if prefix = "" then 0 else String.length prefix in
+        let until =
+          if suffix = "" then String.length text
+          else String.length text - String.length suffix
+        in
+        if until > from_ then
+          let value = String.trim (String.sub text from_ (until - from_)) in
+          if value = "" then [] else [ (param, value) ]
+        else []
+      end
+      else []
+  | _, _ -> []
+
+let for_text ?(limit = 3) ontology text =
+  let text_toks = tokenize text in
+  let scored =
+    List.filter_map
+      (fun (et : Ontology.Types.event_type) ->
+        let score = overlap_score (template_tokens et.Ontology.Types.template) text_toks in
+        if score <= 0.0 then None
+        else
+          Some
+            {
+              event_type = et.Ontology.Types.event_id;
+              score;
+              bindings = try_bind et.Ontology.Types.template text;
+            })
+      ontology.Ontology.Types.event_types
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.score <> b.score then compare b.score a.score
+        else compare (List.length b.bindings) (List.length a.bindings))
+      scored
+  in
+  List.filteri (fun i _ -> i < limit) sorted
+
+let type_event ontology event =
+  match event with
+  | Event.Simple { id; text } -> (
+      match for_text ~limit:1 ontology text with
+      | [ best ] when best.score >= 0.5 -> (
+          match Ontology.Types.find_event_type ontology best.event_type with
+          | Some et ->
+              let params = Ontology.Subsume.inherited_params ontology et in
+              let all_bound =
+                List.for_all
+                  (fun p -> List.mem_assoc p.Ontology.Types.param_name best.bindings)
+                  params
+              in
+              if all_bound then
+                Event.typed ~id ~event_type:best.event_type
+                  (List.map
+                     (fun (param, value) -> Event.literal ~param value)
+                     best.bindings)
+              else event
+          | None -> event)
+      | _ :: _ | [] -> event)
+  | Event.Typed _ | Event.Compound _ | Event.Alternation _ | Event.Iteration _
+  | Event.Optional _ | Event.Episode _ ->
+      event
+
+let type_scenario ontology s =
+  { s with Scen.events = List.map (type_event ontology) s.Scen.events }

@@ -1,0 +1,27 @@
+(** Assisted typing of prose events against an ontology.
+
+    The paper's workflow starts from prose scenarios ("the scenarios
+    will be described in the Scenario Workbench and automatically loaded
+    in SOSAE", §8); turning each prose event into a [typedEvent] is an
+    authoring step this module assists: given a natural-language event,
+    rank the ontology's event types by template similarity and, where a
+    template has a single placeholder, extract the argument text. *)
+
+type suggestion = {
+  event_type : string;
+  score : float;  (** in [0, 1]; token overlap with the template *)
+  bindings : (string * string) list;
+      (** extracted arguments (single-placeholder templates only) *)
+}
+
+val for_text : ?limit:int -> Ontology.Types.t -> string -> suggestion list
+(** Best-first suggestions (default limit 3); zero-score candidates are
+    dropped. *)
+
+val type_event : Ontology.Types.t -> Event.t -> Event.t
+(** Replace a [Simple] event by a [Typed] one when the best suggestion
+    scores at least 0.5 and binds every declared parameter (others are
+    returned unchanged); structured events are left untouched. *)
+
+val type_scenario : Ontology.Types.t -> Scen.t -> Scen.t
+(** {!type_event} over every top-level event of the scenario. *)

@@ -1,0 +1,106 @@
+exception Prose_error of string
+
+let slug name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char buf c
+      else if c >= 'A' && c <= 'Z' then Buffer.add_char buf (Char.lowercase_ascii c)
+      else if c = ' ' || c = '-' || c = '_' then Buffer.add_char buf '-')
+    name;
+  match Buffer.contents buf with "" -> "scenario" | s -> s
+
+(* Strip a leading event number: "(1)", "1.", "1)", "(4.a.1)", "4.a.1.".
+   Returns the remaining text, or None when the line is not numbered. *)
+let strip_number line =
+  let n = String.length line in
+  let is_number_char c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || c = '.'
+  in
+  let rest_from i =
+    let rec skip i = if i < n && line.[i] = ' ' then skip (i + 1) else i in
+    String.sub line (skip i) (n - skip i)
+  in
+  if n = 0 then None
+  else if line.[0] = '(' then
+    match String.index_opt line ')' with
+    | Some close when close > 1 ->
+        let label = String.sub line 1 (close - 1) in
+        if String.for_all is_number_char label && String.exists (fun c -> c >= '0' && c <= '9') label
+        then Some (rest_from (close + 1))
+        else None
+    | Some _ | None -> None
+  else if line.[0] >= '0' && line.[0] <= '9' then begin
+    (* consume number chars, then an optional '.' or ')' *)
+    let rec scan i = if i < n && is_number_char line.[i] then scan (i + 1) else i in
+    let stop = scan 0 in
+    if stop < n && line.[stop] = ')' then Some (rest_from (stop + 1))
+    else if stop > 0 && line.[stop - 1] = '.' then Some (rest_from stop)
+    else if stop < n && line.[stop] = ' ' then Some (rest_from stop)
+    else None
+  end
+  else None
+
+let of_prose ?id input =
+  let lines = String.split_on_char '\n' input in
+  let name = ref "" in
+  let kind = ref Scen.Positive in
+  let events = ref [] in
+  let flush_continuation text =
+    match !events with
+    | [] -> ()
+    | last :: rest -> events := (last ^ " " ^ text) :: rest
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else
+        let lower = String.lowercase_ascii line in
+        let header prefix =
+          if
+            String.length lower >= String.length prefix
+            && String.sub lower 0 (String.length prefix) = prefix
+          then
+            Some
+              (String.trim
+                 (String.sub line (String.length prefix)
+                    (String.length line - String.length prefix)))
+          else None
+        in
+        match header "negative scenario:" with
+        | Some n ->
+            name := n;
+            kind := Scen.Negative
+        | None -> (
+            match header "scenario:" with
+            | Some n -> name := n
+            | None -> (
+                match strip_number line with
+                | Some text -> events := text :: !events
+                | None -> flush_continuation line)))
+    lines;
+  let events = List.rev !events in
+  if events = [] then raise (Prose_error "no numbered events found");
+  let scenario_name = if !name = "" then "Untitled scenario" else !name in
+  let scenario_id = match id with Some i -> i | None -> slug scenario_name in
+  Scen.scenario ~kind:!kind ~id:scenario_id ~name:scenario_name
+    (List.mapi
+       (fun i text ->
+         Event.simple ~id:(Printf.sprintf "%s-e%d" scenario_id (i + 1)) text)
+       events)
+
+let to_prose ontology set s =
+  let buf = Buffer.create 256 in
+  let label = match s.Scen.kind with Scen.Negative -> "Negative scenario" | Scen.Positive -> "Scenario" in
+  Buffer.add_string buf (Printf.sprintf "%s: %s\n" label s.Scen.scenario_name);
+  let trace = Linearize.first_trace set s in
+  List.iteri
+    (fun i step ->
+      let text = Event.render ontology step.Linearize.step_event in
+      let period =
+        if String.length text > 0 && text.[String.length text - 1] = '.' then "" else "."
+      in
+      Buffer.add_string buf (Printf.sprintf "(%d) %s%s\n" (i + 1) text period))
+    trace;
+  Buffer.contents buf

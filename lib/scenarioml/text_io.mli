@@ -1,0 +1,28 @@
+(** Prose scenarios — the form stakeholders write and the paper prints.
+
+    [of_prose] turns a numbered natural-language scenario (the format of
+    the paper's §4.1 use-case listings) into a ScenarioML scenario of
+    simple events; structuring and typing the events against an ontology
+    is then an (assisted) authoring step. [to_prose] renders any
+    scenario back as numbered prose via its first trace.
+
+    Accepted input:
+    {v
+    Scenario: Create portfolio
+    (1) User initiates the "create portfolio" functionality.
+    (2) System asks the user for the portfolio name.
+    3. User enters the portfolio name.
+    4) An empty portfolio is created.
+    v}
+    A leading [Scenario: NAME] (or [Negative scenario: NAME]) line is
+    optional; numbering may be [(1)], [1.], [1)], or hierarchical
+    ([4.a.1]); unnumbered non-blank lines continue the previous event. *)
+
+exception Prose_error of string
+
+val of_prose : ?id:string -> string -> Scen.t
+(** [id] defaults to a slug of the scenario name.
+    @raise Prose_error when no events can be extracted. *)
+
+val to_prose : Ontology.Types.t -> Scen.set -> Scen.t -> string
+(** Numbered prose of the scenario's first trace. *)

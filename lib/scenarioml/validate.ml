@@ -1,0 +1,223 @@
+type problem =
+  | Duplicate_scenario_id of string
+  | Duplicate_event_id of { scenario : string; event : string }
+  | Unknown_event_type of { scenario : string; event : string; event_type : string }
+  | Unknown_param of { scenario : string; event : string; param : string }
+  | Missing_arg of { scenario : string; event : string; param : string }
+  | Unknown_individual of { scenario : string; event : string; individual : string }
+  | Arg_class_mismatch of {
+      scenario : string;
+      event : string;
+      param : string;
+      expected : string;
+      actual : string;
+    }
+  | Unknown_actor of { scenario : string; actor : string }
+  | Unknown_episode of { scenario : string; event : string; episode : string }
+  | Episode_cycle of string list
+  | Bad_iteration_count of { scenario : string; event : string; count : int }
+  | Empty_alternation of { scenario : string; event : string }
+
+let pp_problem ppf = function
+  | Duplicate_scenario_id id -> Format.fprintf ppf "duplicate scenario id %S" id
+  | Duplicate_event_id { scenario; event } ->
+      Format.fprintf ppf "scenario %S: duplicate event id %S" scenario event
+  | Unknown_event_type { scenario; event; event_type } ->
+      Format.fprintf ppf "scenario %S event %S: unknown event type %S" scenario event event_type
+  | Unknown_param { scenario; event; param } ->
+      Format.fprintf ppf "scenario %S event %S: argument for undeclared parameter %S" scenario
+        event param
+  | Missing_arg { scenario; event; param } ->
+      Format.fprintf ppf "scenario %S event %S: no argument for parameter %S" scenario event
+        param
+  | Unknown_individual { scenario; event; individual } ->
+      Format.fprintf ppf "scenario %S event %S: unknown individual %S" scenario event individual
+  | Arg_class_mismatch { scenario; event; param; expected; actual } ->
+      Format.fprintf ppf
+        "scenario %S event %S: parameter %S expects class %S but the individual has class %S"
+        scenario event param expected actual
+  | Unknown_actor { scenario; actor } ->
+      Format.fprintf ppf "scenario %S: unknown actor %S" scenario actor
+  | Unknown_episode { scenario; event; episode } ->
+      Format.fprintf ppf "scenario %S event %S: unknown episode scenario %S" scenario event
+        episode
+  | Episode_cycle ids ->
+      Format.fprintf ppf "episode cycle: %s" (String.concat " -> " ids)
+  | Bad_iteration_count { scenario; event; count } ->
+      Format.fprintf ppf "scenario %S event %S: invalid iteration count %d" scenario event count
+  | Empty_alternation { scenario; event } ->
+      Format.fprintf ppf "scenario %S event %S: alternation with no branches" scenario event
+
+let problem_to_string p = Format.asprintf "%a" pp_problem p
+
+let check_typed_event ontology scenario eid event_type args =
+  match Ontology.Types.find_event_type ontology event_type with
+  | None -> [ Unknown_event_type { scenario; event = eid; event_type } ]
+  | Some et ->
+      let params = Ontology.Subsume.inherited_params ontology et in
+      let declared p =
+        List.exists (fun q -> String.equal q.Ontology.Types.param_name p) params
+      in
+      let supplied p =
+        List.exists (fun a -> String.equal a.Event.arg_param p) args
+      in
+      let unknown_params =
+        List.filter_map
+          (fun a ->
+            if declared a.Event.arg_param then None
+            else Some (Unknown_param { scenario; event = eid; param = a.Event.arg_param }))
+          args
+      in
+      let missing =
+        List.filter_map
+          (fun p ->
+            if supplied p.Ontology.Types.param_name then None
+            else Some (Missing_arg { scenario; event = eid; param = p.Ontology.Types.param_name }))
+          params
+      in
+      let value_problems =
+        List.concat_map
+          (fun a ->
+            match a.Event.arg_value with
+            | Event.Literal _ -> []
+            | Event.Fresh { label = _; cls } -> (
+                if Ontology.Types.find_class ontology cls = None then
+                  [ Unknown_individual { scenario; event = eid; individual = cls } ]
+                else
+                  match
+                    List.find_opt
+                      (fun p -> String.equal p.Ontology.Types.param_name a.Event.arg_param)
+                      params
+                  with
+                  | None -> []
+                  | Some p ->
+                      let expected = p.Ontology.Types.param_class in
+                      if Ontology.Subsume.class_subsumes ontology ~super:expected ~sub:cls
+                      then []
+                      else
+                        [
+                          Arg_class_mismatch
+                            {
+                              scenario;
+                              event = eid;
+                              param = a.Event.arg_param;
+                              expected;
+                              actual = cls;
+                            };
+                        ])
+            | Event.Individual ind_id -> (
+                match Ontology.Types.find_individual ontology ind_id with
+                | None -> [ Unknown_individual { scenario; event = eid; individual = ind_id } ]
+                | Some ind -> (
+                    match
+                      List.find_opt
+                        (fun p -> String.equal p.Ontology.Types.param_name a.Event.arg_param)
+                        params
+                    with
+                    | None -> []
+                    | Some p ->
+                        let expected = p.Ontology.Types.param_class in
+                        let actual = ind.Ontology.Types.ind_class in
+                        if Ontology.Subsume.class_subsumes ontology ~super:expected ~sub:actual
+                        then []
+                        else
+                          [
+                            Arg_class_mismatch
+                              { scenario; event = eid; param = a.Event.arg_param; expected; actual };
+                          ])))
+          args
+      in
+      unknown_params @ missing @ value_problems
+
+let check_scenario set s =
+  let ontology = set.Scen.ontology in
+  let sid = s.Scen.scenario_id in
+  (* duplicate event ids *)
+  let ids = List.concat_map Event.all_ids s.Scen.events in
+  let seen = Hashtbl.create 16 in
+  let dup_ids =
+    List.filter_map
+      (fun id ->
+        if Hashtbl.mem seen id then Some (Duplicate_event_id { scenario = sid; event = id })
+        else begin
+          Hashtbl.add seen id ();
+          None
+        end)
+      ids
+  in
+  let actor_problems =
+    List.filter_map
+      (fun actor ->
+        if
+          Ontology.Types.find_class ontology actor <> None
+          || Ontology.Types.find_individual ontology actor <> None
+        then None
+        else Some (Unknown_actor { scenario = sid; actor }))
+      s.Scen.actors
+  in
+  let per_event acc e =
+    match e with
+    | Event.Typed { id; event_type; args } ->
+        acc @ check_typed_event ontology sid id event_type args
+    | Event.Episode { id; scenario } ->
+        if Scen.find set scenario = None then
+          acc @ [ Unknown_episode { scenario = sid; event = id; episode = scenario } ]
+        else acc
+    | Event.Iteration { id; bound = Event.Exactly n; _ } when n < 0 ->
+        acc @ [ Bad_iteration_count { scenario = sid; event = id; count = n } ]
+    | Event.Alternation { id; branches } when branches = [] ->
+        acc @ [ Empty_alternation { scenario = sid; event = id } ]
+    | Event.Simple _ | Event.Compound _ | Event.Alternation _ | Event.Iteration _
+    | Event.Optional _ ->
+        acc
+  in
+  let event_problems =
+    List.fold_left (fun acc e -> Event.fold per_event acc e) [] s.Scen.events
+  in
+  dup_ids @ actor_problems @ event_problems
+
+let episode_cycles set =
+  let deps s = Scen.episodes s in
+  let rec walk visited sid =
+    if List.exists (String.equal sid) visited then Some (List.rev (sid :: visited))
+    else
+      match Scen.find set sid with
+      | None -> None
+      | Some s ->
+          let rec try_deps = function
+            | [] -> None
+            | d :: rest -> (
+                match walk (sid :: visited) d with Some c -> Some c | None -> try_deps rest)
+          in
+          try_deps (deps s)
+  in
+  let cycles =
+    List.filter_map (fun s -> walk [] s.Scen.scenario_id) set.Scen.scenarios
+  in
+  (* keep each cycle once: smallest id first on the path *)
+  let canonical = function
+    | first :: rest -> List.for_all (fun id -> String.compare first id <= 0) rest
+    | [] -> false
+  in
+  List.filter_map
+    (fun c -> if canonical c then Some (Episode_cycle c) else None)
+    cycles
+
+let check set =
+  let seen = Hashtbl.create 16 in
+  let dup_scenarios =
+    List.filter_map
+      (fun s ->
+        let id = s.Scen.scenario_id in
+        if Hashtbl.mem seen id then Some (Duplicate_scenario_id id)
+        else begin
+          Hashtbl.add seen id ();
+          None
+        end)
+      set.Scen.scenarios
+  in
+  dup_scenarios
+  @ List.concat_map (check_scenario set) set.Scen.scenarios
+  @ episode_cycles set
+
+let is_valid set = check set = []

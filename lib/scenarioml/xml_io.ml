@@ -1,0 +1,184 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let required e name =
+  match Xmlight.Doc.attr e name with
+  | Some v -> v
+  | None -> malformed "<%s> is missing required attribute %S" e.Xmlight.Doc.tag name
+
+let arg_to_element a =
+  let value_attrs =
+    match a.Event.arg_value with
+    | Event.Individual id -> [ ("ref", id) ]
+    | Event.Literal s -> [ ("value", s) ]
+    | Event.Fresh { label; cls } -> [ ("new", label); ("type", cls) ]
+  in
+  Xmlight.Doc.elt ~attrs:(("param", a.Event.arg_param) :: value_attrs) "arg" []
+
+let rec event_to_element e =
+  match e with
+  | Event.Simple { id; text } ->
+      Xmlight.Doc.element ~attrs:[ ("id", id) ] "event" [ Xmlight.Doc.text text ]
+  | Event.Typed { id; event_type; args } ->
+      Xmlight.Doc.element
+        ~attrs:[ ("id", id); ("type", event_type) ]
+        "typedEvent" (List.map arg_to_element args)
+  | Event.Compound { id; pattern; body } ->
+      let order = match pattern with Event.Sequence -> "sequence" | Event.Any_order -> "any" in
+      Xmlight.Doc.element
+        ~attrs:[ ("id", id); ("order", order) ]
+        "compound"
+        (List.map (fun e -> Xmlight.Doc.Element (event_to_element e)) body)
+  | Event.Alternation { id; branches } ->
+      let branch body =
+        Xmlight.Doc.elt "branch" (List.map (fun e -> Xmlight.Doc.Element (event_to_element e)) body)
+      in
+      Xmlight.Doc.element ~attrs:[ ("id", id) ] "alternation" (List.map branch branches)
+  | Event.Iteration { id; bound; body } ->
+      let bound_attr =
+        match bound with
+        | Event.Zero_or_more -> "zeroOrMore"
+        | Event.One_or_more -> "oneOrMore"
+        | Event.Exactly n -> string_of_int n
+      in
+      Xmlight.Doc.element
+        ~attrs:[ ("id", id); ("bound", bound_attr) ]
+        "iteration"
+        (List.map (fun e -> Xmlight.Doc.Element (event_to_element e)) body)
+  | Event.Optional { id; body } ->
+      Xmlight.Doc.element ~attrs:[ ("id", id) ] "optional"
+        (List.map (fun e -> Xmlight.Doc.Element (event_to_element e)) body)
+  | Event.Episode { id; scenario } ->
+      Xmlight.Doc.element ~attrs:[ ("id", id); ("scenario", scenario) ] "episode" []
+
+let arg_of_element e =
+  let param = required e "param" in
+  match
+    (Xmlight.Doc.attr e "ref", Xmlight.Doc.attr e "value", Xmlight.Doc.attr e "new")
+  with
+  | Some id, None, None -> Event.individual ~param id
+  | None, Some v, None -> Event.literal ~param v
+  | None, None, Some label -> Event.fresh ~param ~label ~cls:(required e "type")
+  | None, None, None -> malformed "<arg param=%S> has neither ref, value nor new" param
+  | _, _, _ -> malformed "<arg param=%S> mixes ref/value/new" param
+
+let rec event_of_element e =
+  let id = required e "id" in
+  match e.Xmlight.Doc.tag with
+  | "event" -> Event.Simple { id; text = Xmlight.Doc.child_text e }
+  | "typedEvent" ->
+      Event.Typed
+        {
+          id;
+          event_type = required e "type";
+          args = List.map arg_of_element (Xmlight.Doc.find_children e "arg");
+        }
+  | "compound" ->
+      let pattern =
+        match Xmlight.Doc.attr_default e "order" "sequence" with
+        | "sequence" -> Event.Sequence
+        | "any" -> Event.Any_order
+        | other -> malformed "<compound id=%S>: unknown order %S" id other
+      in
+      Event.Compound { id; pattern; body = events_of e }
+  | "alternation" ->
+      let branches =
+        List.map (fun b -> events_of b) (Xmlight.Doc.find_children e "branch")
+      in
+      Event.Alternation { id; branches }
+  | "iteration" ->
+      let bound =
+        match required e "bound" with
+        | "zeroOrMore" -> Event.Zero_or_more
+        | "oneOrMore" -> Event.One_or_more
+        | n -> (
+            match int_of_string_opt n with
+            | Some k -> Event.Exactly k
+            | None -> malformed "<iteration id=%S>: bad bound %S" id n)
+      in
+      Event.Iteration { id; bound; body = events_of e }
+  | "optional" -> Event.Optional { id; body = events_of e }
+  | "episode" -> Event.Episode { id; scenario = required e "scenario" }
+  | tag -> malformed "unknown event element <%s>" tag
+
+and events_of e =
+  List.filter_map
+    (fun c ->
+      match c.Xmlight.Doc.tag with
+      | "event" | "typedEvent" | "compound" | "alternation" | "iteration" | "optional"
+      | "episode" ->
+          Some (event_of_element c)
+      | _ -> None)
+    (Xmlight.Doc.children_elements e)
+
+let scenario_to_element s =
+  let kind = match s.Scen.kind with Scen.Positive -> "positive" | Scen.Negative -> "negative" in
+  let description =
+    if s.Scen.description = "" then []
+    else [ Xmlight.Doc.elt "description" [ Xmlight.Doc.text s.Scen.description ] ]
+  in
+  let actors =
+    List.map (fun a -> Xmlight.Doc.elt ~attrs:[ ("ref", a) ] "actor" []) s.Scen.actors
+  in
+  let events =
+    Xmlight.Doc.elt "events"
+      (List.map (fun e -> Xmlight.Doc.Element (event_to_element e)) s.Scen.events)
+  in
+  Xmlight.Doc.element
+    ~attrs:[ ("id", s.Scen.scenario_id); ("name", s.Scen.scenario_name); ("kind", kind) ]
+    "scenario"
+    (description @ actors @ [ events ])
+
+let scenario_of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "scenario") then
+    malformed "expected <scenario>, found <%s>" e.Xmlight.Doc.tag;
+  let kind =
+    match Xmlight.Doc.attr_default e "kind" "positive" with
+    | "positive" -> Scen.Positive
+    | "negative" -> Scen.Negative
+    | other -> malformed "unknown scenario kind %S" other
+  in
+  let description =
+    match Xmlight.Doc.find_child e "description" with
+    | Some d -> Xmlight.Doc.child_text d
+    | None -> ""
+  in
+  let actors =
+    List.map (fun a -> required a "ref") (Xmlight.Doc.find_children e "actor")
+  in
+  let events =
+    match Xmlight.Doc.find_child e "events" with
+    | Some evs -> events_of evs
+    | None -> malformed "<scenario id=%S> is missing <events>" (required e "id")
+  in
+  Scen.scenario ~description ~kind ~actors ~id:(required e "id") ~name:(required e "name")
+    events
+
+let set_to_element set =
+  Xmlight.Doc.element
+    ~attrs:[ ("id", set.Scen.set_id); ("name", set.Scen.set_name) ]
+    "scenarioSet"
+    (Xmlight.Doc.Element (Ontology.Xml_io.to_element set.Scen.ontology)
+    :: List.map (fun s -> Xmlight.Doc.Element (scenario_to_element s)) set.Scen.scenarios)
+
+let set_of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "scenarioSet") then
+    malformed "expected <scenarioSet>, found <%s>" e.Xmlight.Doc.tag;
+  let ontology =
+    match Xmlight.Doc.find_child e "ontology" with
+    | Some o -> (
+        match Ontology.Xml_io.of_element o with
+        | o -> o
+        | exception Ontology.Xml_io.Malformed m -> malformed "in <ontology>: %s" m)
+    | None -> malformed "<scenarioSet> is missing <ontology>"
+  in
+  Scen.make_set ~id:(required e "id") ~name:(required e "name") ontology
+    (List.map scenario_of_element (Xmlight.Doc.find_children e "scenario"))
+
+let set_to_string set = Xmlight.Print.to_string (Xmlight.Doc.doc (set_to_element set))
+
+let set_of_string s =
+  match Xmlight.Parse.parse s with
+  | Ok doc -> set_of_element doc.Xmlight.Doc.root
+  | Error e -> malformed "XML error: %s" (Xmlight.Parse.error_to_string e)

@@ -1,0 +1,40 @@
+(** ScenarioML XML reading and writing for scenarios and scenario sets.
+
+    Concrete syntax (paper vocabulary):
+    {v
+    <scenarioSet id name>
+      <ontology .../>            (see Ontology.Xml_io)
+      <scenario id name kind="positive|negative">
+        <description>...</description>
+        <actor ref="..."/>*
+        <events> EVENT* </events>
+      </scenario>*
+    </scenarioSet>
+    v}
+    where EVENT is one of [<event id>text</event>],
+    [<typedEvent id type> <arg param ref|value/>* </typedEvent>],
+    [<compound id order="sequence|any">EVENT*</compound>],
+    [<alternation id> <branch>EVENT*</branch>* </alternation>],
+    [<iteration id bound="zeroOrMore|oneOrMore|N">EVENT*</iteration>],
+    [<optional id>EVENT*</optional>], and
+    [<episode id scenario="..."/>]. *)
+
+exception Malformed of string
+
+val event_to_element : Event.t -> Xmlight.Doc.element
+
+val event_of_element : Xmlight.Doc.element -> Event.t
+(** @raise Malformed on schema errors. *)
+
+val scenario_to_element : Scen.t -> Xmlight.Doc.element
+
+val scenario_of_element : Xmlight.Doc.element -> Scen.t
+
+val set_to_element : Scen.set -> Xmlight.Doc.element
+
+val set_of_element : Xmlight.Doc.element -> Scen.set
+
+val set_to_string : Scen.set -> string
+
+val set_of_string : string -> Scen.set
+(** @raise Malformed on XML or schema errors. *)

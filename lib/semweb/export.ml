@@ -1,0 +1,107 @@
+open Term.Vocab
+
+let iri_of id = sosae id
+
+let label name = Term.lit name
+
+let ontology_to_store (o : Ontology.Types.t) =
+  let store = Store.create () in
+  let add s p ob = ignore (Store.add store (Term.triple s p ob)) in
+  (* vocabulary scaffolding *)
+  add (Term.Iri (sosae "EventType")) rdf_type (Term.Iri owl_class);
+  add (Term.Iri (sosae "mapsTo")) rdf_type (Term.Iri owl_object_property);
+  add (Term.Iri (sosae "actor")) rdf_type (Term.Iri owl_object_property);
+  List.iter
+    (fun c ->
+      let s = Term.Iri (iri_of c.Ontology.Types.class_id) in
+      add s rdf_type (Term.Iri owl_class);
+      add s rdfs_label (label c.Ontology.Types.class_name);
+      if c.Ontology.Types.class_description <> "" then
+        add s rdfs_comment (label c.Ontology.Types.class_description);
+      match c.Ontology.Types.class_super with
+      | Some super -> add s rdfs_sub_class_of (Term.Iri (iri_of super))
+      | None -> ())
+    o.Ontology.Types.classes;
+  List.iter
+    (fun i ->
+      let s = Term.Iri (iri_of i.Ontology.Types.ind_id) in
+      add s rdf_type (Term.Iri owl_named_individual);
+      add s rdf_type (Term.Iri (iri_of i.Ontology.Types.ind_class));
+      add s rdfs_label (label i.Ontology.Types.ind_name))
+    o.Ontology.Types.individuals;
+  List.iter
+    (fun e ->
+      let s = Term.Iri (iri_of e.Ontology.Types.event_id) in
+      add s rdf_type (Term.Iri (sosae "EventType"));
+      add s rdf_type (Term.Iri owl_class);
+      add s rdfs_label (label e.Ontology.Types.event_name);
+      add s (sosae "template") (label e.Ontology.Types.template);
+      (match e.Ontology.Types.event_super with
+      | Some super -> add s rdfs_sub_class_of (Term.Iri (iri_of super))
+      | None -> ());
+      (match e.Ontology.Types.actor with
+      | Some actor -> add s (sosae "actor") (Term.Iri (iri_of actor))
+      | None -> ());
+      List.iteri
+        (fun idx p ->
+          let b = Term.blank (Printf.sprintf "%s_param%d" e.Ontology.Types.event_id idx) in
+          add s (sosae "parameter") b;
+          add b (sosae "paramName") (label p.Ontology.Types.param_name);
+          add b (sosae "paramClass") (Term.Iri (iri_of p.Ontology.Types.param_class)))
+        e.Ontology.Types.params)
+    o.Ontology.Types.event_types;
+  List.iter
+    (fun tm ->
+      let s = Term.Iri (iri_of tm.Ontology.Types.term_id) in
+      add s rdfs_label (label tm.Ontology.Types.term_name);
+      add s rdfs_comment (label tm.Ontology.Types.term_definition))
+    o.Ontology.Types.terms;
+  store
+
+let mapping_to_store (m : Mapping.Types.t) =
+  let store = Store.create () in
+  let add s p ob = ignore (Store.add store (Term.triple s p ob)) in
+  add (Term.Iri (sosae "Component")) rdf_type (Term.Iri owl_class);
+  List.iter
+    (fun entry ->
+      let s = Term.Iri (iri_of entry.Mapping.Types.event_type) in
+      List.iter
+        (fun comp ->
+          let c = Term.Iri (iri_of comp) in
+          add c rdf_type (Term.Iri (sosae "Component"));
+          add s (sosae "mapsTo") c)
+        entry.Mapping.Types.components)
+    m.Mapping.Types.entries;
+  store
+
+let full_export o m =
+  let store = ontology_to_store o in
+  ignore (Store.add_all store (Store.to_list (mapping_to_store m)));
+  store
+
+let components_realizing store ~event_type =
+  let closed = Reason.closure store in
+  let prefix = sosae "" in
+  let strip iri =
+    let n = String.length prefix in
+    if String.length iri > n && String.sub iri 0 n = prefix then
+      String.sub iri n (String.length iri - n)
+    else iri
+  in
+  (* the event type and all its (event) superclasses *)
+  let supers =
+    Term.Iri (iri_of event_type)
+    :: Store.objects closed ~subj:(Term.Iri (iri_of event_type)) ~pred:rdfs_sub_class_of
+  in
+  let components =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Term.Iri _ -> (
+            List.filter_map
+              (function Term.Iri c -> Some (strip c) | Term.Blank _ | Term.Lit _ -> None)
+              (Store.objects closed ~subj:s ~pred:(sosae "mapsTo")))
+        | Term.Blank _ | Term.Lit _ -> [])
+      supers
+  in
+  List.sort_uniq String.compare components

@@ -1,0 +1,72 @@
+type pattern_term = Var of string | Const of Term.t
+
+type pattern = { subj : pattern_term; pred : pattern_term; obj : pattern_term }
+
+let pattern subj pred obj = { subj; pred; obj }
+
+let v name = Var name
+
+let iri i = Const (Term.iri i)
+
+let lit s = Const (Term.lit s)
+
+type binding = (string * Term.t) list
+
+(* Match one pattern position against a term under a binding; returns
+   the (possibly extended) binding, or None on mismatch. *)
+let match_term binding pattern_term term =
+  match pattern_term with
+  | Const t -> if Term.equal t term then Some binding else None
+  | Var name -> (
+      match List.assoc_opt name binding with
+      | Some bound -> if Term.equal bound term then Some binding else None
+      | None -> Some ((name, term) :: binding))
+
+let match_pattern binding p triple =
+  Option.bind (match_term binding p.subj triple.Term.subj) (fun binding ->
+      Option.bind (match_term binding p.pred (Term.Iri triple.Term.pred)) (fun binding ->
+          match_term binding p.obj triple.Term.obj))
+
+(* Use the store indexes where the pattern's subject or predicate is
+   already determined by the binding. *)
+let candidates store binding p =
+  let subj =
+    match p.subj with
+    | Const t -> Some t
+    | Var name -> List.assoc_opt name binding
+  in
+  let pred =
+    match p.pred with
+    | Const (Term.Iri i) -> Some i
+    | Const (Term.Blank _ | Term.Lit _) -> None
+    | Var name -> (
+        match List.assoc_opt name binding with
+        | Some (Term.Iri i) -> Some i
+        | Some (Term.Blank _ | Term.Lit _) | None -> None)
+  in
+  Store.query store ?subj ?pred ()
+
+let select ?(reason = false) store patterns =
+  let store = if reason then Reason.closure store else store in
+  let step solutions p =
+    List.concat_map
+      (fun binding ->
+        List.filter_map
+          (fun triple -> match_pattern binding p triple)
+          (candidates store binding p))
+      solutions
+  in
+  let raw = List.fold_left step [ [] ] patterns in
+  let normalize binding =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) binding
+  in
+  let normalized = List.map normalize raw in
+  List.fold_left
+    (fun acc b -> if List.exists (( = ) b) acc then acc else acc @ [ b ])
+    [] normalized
+
+let ask ?reason store patterns = select ?reason store patterns <> []
+
+let bindings_to_string binding =
+  String.concat ", "
+    (List.map (fun (name, term) -> Printf.sprintf "?%s = %s" name (Term.to_string term)) binding)

@@ -1,0 +1,41 @@
+(** Basic-graph-pattern queries over a store — the query slice of the
+    paper's §8 ambition to "make use of existing OWL tools and
+    reasoners": conjunctive triple patterns with shared variables,
+    evaluated against the raw store or its reasoned closure.
+
+    {[
+      (* every organization and what it maps to *)
+      Query.select store
+        [
+          pattern (v "org") Term.Vocab.rdf_type (iri organization_class);
+          pattern (v "org") (Term.Vocab.sosae "mapsTo") (v "component");
+        ]
+    ]} *)
+
+type pattern_term =
+  | Var of string  (** binds/matches a variable by name *)
+  | Const of Term.t
+
+type pattern = { subj : pattern_term; pred : pattern_term; obj : pattern_term }
+
+val pattern : pattern_term -> pattern_term -> pattern_term -> pattern
+
+val v : string -> pattern_term
+
+val iri : string -> pattern_term
+
+val lit : string -> pattern_term
+
+type binding = (string * Term.t) list
+(** Variable name to bound term; variables in alphabetical order. *)
+
+val select : ?reason:bool -> Store.t -> pattern list -> binding list
+(** All solutions to the conjunction. With [reason] (default false) the
+    patterns are evaluated against {!Reason.closure} of the store.
+    Solutions are deduplicated; order follows store insertion order of
+    the first pattern. An empty pattern list yields one empty binding. *)
+
+val ask : ?reason:bool -> Store.t -> pattern list -> bool
+(** Is there at least one solution? *)
+
+val bindings_to_string : binding -> string

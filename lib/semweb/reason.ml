@@ -1,0 +1,137 @@
+open Term.Vocab
+
+(* One round of rule application; returns the number of new triples. *)
+let apply_rules store =
+  let added = ref 0 in
+  let add triple = if Store.add store triple then incr added in
+  let iri_of = function Term.Iri i -> Some i | Term.Blank _ | Term.Lit _ -> None in
+  (* rdfs11: subClassOf transitivity *)
+  List.iter
+    (fun t1 ->
+      match iri_of t1.Term.obj with
+      | Some mid ->
+          List.iter
+            (fun t2 -> add (Term.triple t1.Term.subj rdfs_sub_class_of t2.Term.obj))
+            (Store.query store ~subj:(Term.Iri mid) ~pred:rdfs_sub_class_of ())
+      | None -> ())
+    (Store.query store ~pred:rdfs_sub_class_of ());
+  (* rdfs9: type inheritance along subClassOf *)
+  List.iter
+    (fun t ->
+      match iri_of t.Term.obj with
+      | Some cls ->
+          List.iter
+            (fun sc -> add (Term.triple t.Term.subj rdf_type sc.Term.obj))
+            (Store.query store ~subj:(Term.Iri cls) ~pred:rdfs_sub_class_of ())
+      | None -> ())
+    (Store.query store ~pred:rdf_type ());
+  (* rdfs5: subPropertyOf transitivity *)
+  List.iter
+    (fun t1 ->
+      match iri_of t1.Term.obj with
+      | Some mid ->
+          List.iter
+            (fun t2 -> add (Term.triple t1.Term.subj rdfs_sub_property_of t2.Term.obj))
+            (Store.query store ~subj:(Term.Iri mid) ~pred:rdfs_sub_property_of ())
+      | None -> ())
+    (Store.query store ~pred:rdfs_sub_property_of ());
+  (* rdfs7: property inheritance; rdfs2/rdfs3: domain and range *)
+  List.iter
+    (fun decl ->
+      match (iri_of decl.Term.subj, decl.Term.pred) with
+      | Some prop, pred_iri ->
+          if String.equal pred_iri rdfs_sub_property_of then begin
+            match iri_of decl.Term.obj with
+            | Some super ->
+                List.iter
+                  (fun use -> add (Term.triple use.Term.subj super use.Term.obj))
+                  (Store.query store ~pred:prop ())
+            | None -> ()
+          end
+          else if String.equal pred_iri rdfs_domain then begin
+            List.iter
+              (fun use -> add (Term.triple use.Term.subj rdf_type decl.Term.obj))
+              (Store.query store ~pred:prop ())
+          end
+          else if String.equal pred_iri rdfs_range then begin
+            List.iter
+              (fun use ->
+                match use.Term.obj with
+                | Term.Iri _ | Term.Blank _ ->
+                    add (Term.triple use.Term.obj rdf_type decl.Term.obj)
+                | Term.Lit _ -> ())
+              (Store.query store ~pred:prop ())
+          end
+          else if String.equal pred_iri owl_inverse_of then begin
+            match iri_of decl.Term.obj with
+            | Some inverse ->
+                List.iter
+                  (fun use ->
+                    match use.Term.obj with
+                    | Term.Iri _ | Term.Blank _ ->
+                        add (Term.triple use.Term.obj inverse use.Term.subj)
+                    | Term.Lit _ -> ())
+                  (Store.query store ~pred:prop ());
+                List.iter
+                  (fun use ->
+                    match use.Term.obj with
+                    | Term.Iri _ | Term.Blank _ ->
+                        add (Term.triple use.Term.obj prop use.Term.subj)
+                    | Term.Lit _ -> ())
+                  (Store.query store ~pred:inverse ())
+            | None -> ()
+          end
+      | None, _ -> ())
+    (Store.to_list store);
+  !added
+
+let closure input =
+  let store = Store.copy input in
+  let rec fixpoint () = if apply_rules store > 0 then fixpoint () in
+  fixpoint ();
+  store
+
+let entails store triple =
+  let closed = closure store in
+  Store.mem closed triple
+
+let instances_of store cls =
+  let closed = closure store in
+  Store.subjects closed ~pred:rdf_type ~obj:(Term.Iri cls)
+
+let subclasses_of store cls =
+  let closed = closure store in
+  let proper =
+    List.filter_map
+      (function Term.Iri i -> Some i | Term.Blank _ | Term.Lit _ -> None)
+      (Store.subjects closed ~pred:rdfs_sub_class_of ~obj:(Term.Iri cls))
+  in
+  if List.exists (String.equal cls) proper then proper else cls :: proper
+
+type clash = { individual : Term.t; class_a : string; class_b : string }
+
+let inconsistencies store =
+  let closed = closure store in
+  let disjoint_pairs =
+    List.filter_map
+      (fun t ->
+        match (t.Term.subj, t.Term.obj) with
+        | Term.Iri a, Term.Iri b -> Some (a, b)
+        | _, _ -> None)
+      (Store.query closed ~pred:owl_disjoint_with ())
+  in
+  List.concat_map
+    (fun (a, b) ->
+      let in_a = Store.subjects closed ~pred:rdf_type ~obj:(Term.Iri a) in
+      let in_b = Store.subjects closed ~pred:rdf_type ~obj:(Term.Iri b) in
+      List.filter_map
+        (fun x ->
+          if List.exists (Term.equal x) in_b then
+            Some { individual = x; class_a = a; class_b = b }
+          else None)
+        in_a)
+    disjoint_pairs
+
+let pp_clash ppf c =
+  Format.fprintf ppf "%s is typed by disjoint classes <%s> and <%s>"
+    (Term.to_string c.individual) c.class_a c.class_b

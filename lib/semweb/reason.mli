@@ -1,0 +1,29 @@
+(** Forward-chaining RDFS/OWL-Lite-style reasoner.
+
+    Computes the closure of a store under:
+    - subclass transitivity (rdfs11) and type inheritance (rdfs9);
+    - subproperty transitivity (rdfs5) and inheritance (rdfs7);
+    - domain (rdfs2) and range (rdfs3) typing;
+    - [owl:inverseOf] symmetry of assertions.
+
+    Consistency: reports individuals typed by two classes declared
+    [owl:disjointWith] (directly or via subclassing). *)
+
+val closure : Store.t -> Store.t
+(** A new store containing the input plus all derived triples. The
+    input store is not modified. *)
+
+val entails : Store.t -> Term.triple -> bool
+(** Naive entailment: is the triple in the closure? *)
+
+val instances_of : Store.t -> string -> Term.t list
+(** Individuals typed (after closure) by the class IRI. *)
+
+val subclasses_of : Store.t -> string -> string list
+(** Proper and improper subclasses (after closure), as IRIs. *)
+
+type clash = { individual : Term.t; class_a : string; class_b : string }
+
+val inconsistencies : Store.t -> clash list
+
+val pp_clash : Format.formatter -> clash -> unit

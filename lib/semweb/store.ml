@@ -1,0 +1,82 @@
+type t = {
+  mutable triples : Term.triple list;  (* newest first *)
+  all : (Term.triple, unit) Hashtbl.t;
+  by_subject : (Term.t, Term.triple list) Hashtbl.t;
+  by_predicate : (string, Term.triple list) Hashtbl.t;
+}
+
+let create () =
+  {
+    triples = [];
+    all = Hashtbl.create 64;
+    by_subject = Hashtbl.create 64;
+    by_predicate = Hashtbl.create 64;
+  }
+
+let mem t triple = Hashtbl.mem t.all triple
+
+let push tbl key triple =
+  let cur = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+  Hashtbl.replace tbl key (triple :: cur)
+
+let add t triple =
+  if mem t triple then false
+  else begin
+    Hashtbl.replace t.all triple ();
+    t.triples <- triple :: t.triples;
+    push t.by_subject triple.Term.subj triple;
+    push t.by_predicate triple.Term.pred triple;
+    true
+  end
+
+let add_all t triples =
+  List.fold_left (fun acc triple -> if add t triple then acc + 1 else acc) 0 triples
+
+let remove t triple =
+  if not (mem t triple) then false
+  else begin
+    Hashtbl.remove t.all triple;
+    t.triples <- List.filter (fun x -> Term.compare_triple x triple <> 0) t.triples;
+    let drop tbl key =
+      match Hashtbl.find_opt tbl key with
+      | Some l ->
+          Hashtbl.replace tbl key (List.filter (fun x -> Term.compare_triple x triple <> 0) l)
+      | None -> ()
+    in
+    drop t.by_subject triple.Term.subj;
+    drop t.by_predicate triple.Term.pred;
+    true
+  end
+
+let size t = Hashtbl.length t.all
+
+let matches ?subj ?pred ?obj triple =
+  (match subj with Some s -> Term.equal s triple.Term.subj | None -> true)
+  && (match pred with Some p -> String.equal p triple.Term.pred | None -> true)
+  && match obj with Some o -> Term.equal o triple.Term.obj | None -> true
+
+let query t ?subj ?pred ?obj () =
+  let candidates =
+    match (subj, pred) with
+    | Some s, _ -> (
+        match Hashtbl.find_opt t.by_subject s with Some l -> List.rev l | None -> [])
+    | None, Some p -> (
+        match Hashtbl.find_opt t.by_predicate p with Some l -> List.rev l | None -> [])
+    | None, None -> List.rev t.triples
+  in
+  List.filter (matches ?subj ?pred ?obj) candidates
+
+let objects t ~subj ~pred =
+  List.map (fun triple -> triple.Term.obj) (query t ~subj ~pred ())
+
+let subjects t ~pred ~obj =
+  List.map (fun triple -> triple.Term.subj) (query t ~pred ~obj ())
+
+let fold f t acc = List.fold_left (fun acc triple -> f triple acc) acc (List.rev t.triples)
+
+let to_list t = List.rev t.triples
+
+let copy t =
+  let fresh = create () in
+  ignore (add_all fresh (to_list t));
+  fresh

@@ -1,0 +1,36 @@
+(** In-memory triple store with pattern queries.
+
+    Triples are kept deduplicated; [query] matches a pattern where
+    [None] is a wildcard. Indexed by subject and by predicate for the
+    access paths the reasoner uses. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Term.triple -> bool
+(** [true] when the triple was new. *)
+
+val add_all : t -> Term.triple list -> int
+(** Number of triples actually added. *)
+
+val mem : t -> Term.triple -> bool
+
+val remove : t -> Term.triple -> bool
+(** [true] when the triple was present. *)
+
+val size : t -> int
+
+val query : t -> ?subj:Term.t -> ?pred:string -> ?obj:Term.t -> unit -> Term.triple list
+(** All matching triples, in insertion order. *)
+
+val objects : t -> subj:Term.t -> pred:string -> Term.t list
+
+val subjects : t -> pred:string -> obj:Term.t -> Term.t list
+
+val fold : (Term.triple -> 'a -> 'a) -> t -> 'a -> 'a
+(** Insertion order. *)
+
+val to_list : t -> Term.triple list
+
+val copy : t -> t

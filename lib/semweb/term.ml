@@ -1,0 +1,63 @@
+type literal = { value : string; datatype : string option; lang : string option }
+
+type t = Iri of string | Blank of string | Lit of literal
+
+type triple = { subj : t; pred : string; obj : t }
+
+let iri s = Iri s
+
+let blank s = Blank s
+
+let lit ?datatype ?lang value = Lit { value; datatype; lang }
+
+let triple subj pred obj = { subj; pred; obj }
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let compare_triple = Stdlib.compare
+
+let to_string = function
+  | Iri i -> "<" ^ i ^ ">"
+  | Blank b -> "_:" ^ b
+  | Lit { value; datatype = Some dt; _ } -> Printf.sprintf "%S^^<%s>" value dt
+  | Lit { value; lang = Some l; _ } -> Printf.sprintf "%S@%s" value l
+  | Lit { value; _ } -> Printf.sprintf "%S" value
+
+let triple_to_string t =
+  Printf.sprintf "%s <%s> %s ." (to_string t.subj) t.pred (to_string t.obj)
+
+module Vocab = struct
+  let rdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+
+  let rdfs = "http://www.w3.org/2000/01/rdf-schema#"
+
+  let owl = "http://www.w3.org/2002/07/owl#"
+
+  let rdf_type = rdf ^ "type"
+
+  let rdfs_sub_class_of = rdfs ^ "subClassOf"
+
+  let rdfs_sub_property_of = rdfs ^ "subPropertyOf"
+
+  let rdfs_domain = rdfs ^ "domain"
+
+  let rdfs_range = rdfs ^ "range"
+
+  let rdfs_label = rdfs ^ "label"
+
+  let rdfs_comment = rdfs ^ "comment"
+
+  let owl_class = owl ^ "Class"
+
+  let owl_object_property = owl ^ "ObjectProperty"
+
+  let owl_named_individual = owl ^ "NamedIndividual"
+
+  let owl_disjoint_with = owl ^ "disjointWith"
+
+  let owl_inverse_of = owl ^ "inverseOf"
+
+  let sosae local = "http://sosae.example.org/ns#" ^ local
+end

@@ -1,0 +1,67 @@
+(** RDF terms and triples — the minimal semantic-web substrate for the
+    paper's §8 move "toward the use of the OWL web ontology language". *)
+
+type literal = {
+  value : string;
+  datatype : string option;  (** datatype IRI *)
+  lang : string option;
+}
+
+type t =
+  | Iri of string
+  | Blank of string  (** blank-node label, without the [_:] prefix *)
+  | Lit of literal
+
+type triple = { subj : t; pred : string; obj : t }
+(** Predicates are always IRIs. *)
+
+val iri : string -> t
+
+val blank : string -> t
+
+val lit : ?datatype:string -> ?lang:string -> string -> t
+
+val triple : t -> string -> t -> triple
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val compare_triple : triple -> triple -> int
+
+val to_string : t -> string
+(** NTriples-like rendering: [<iri>], [_:label], ["value"@lang] /
+    ["value"^^<dt>]. *)
+
+val triple_to_string : triple -> string
+
+(** Well-known vocabulary IRIs. *)
+module Vocab : sig
+  val rdf_type : string
+
+  val rdfs_sub_class_of : string
+
+  val rdfs_sub_property_of : string
+
+  val rdfs_domain : string
+
+  val rdfs_range : string
+
+  val rdfs_label : string
+
+  val rdfs_comment : string
+
+  val owl_class : string
+
+  val owl_object_property : string
+
+  val owl_named_individual : string
+
+  val owl_disjoint_with : string
+
+  val owl_inverse_of : string
+
+  val sosae : string -> string
+  (** Terms in this reproduction's own namespace
+      [http://sosae.example.org/ns#]. *)
+end

@@ -1,0 +1,316 @@
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let default_prefixes =
+  [
+    ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+    ("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+    ("owl", "http://www.w3.org/2002/07/owl#");
+    ("sosae", "http://sosae.example.org/ns#");
+  ]
+
+(* --- serialization --- *)
+
+let shorten prefixes iri =
+  let rec find = function
+    | [] -> None
+    | (p, ns) :: rest ->
+        let n = String.length ns in
+        if String.length iri > n && String.sub iri 0 n = ns then
+          let local = String.sub iri n (String.length iri - n) in
+          let ok =
+            local <> ""
+            && String.for_all
+                 (fun c ->
+                   (c >= 'a' && c <= 'z')
+                   || (c >= 'A' && c <= 'Z')
+                   || (c >= '0' && c <= '9')
+                   || c = '_' || c = '-')
+                 local
+          in
+          if ok then Some (p ^ ":" ^ local) else find rest
+        else find rest
+  in
+  find prefixes
+
+let term_to_turtle prefixes = function
+  | Term.Iri i -> (
+      match shorten prefixes i with Some s -> s | None -> "<" ^ i ^ ">")
+  | Term.Blank b -> "_:" ^ b
+  | Term.Lit { value; datatype = Some dt; _ } ->
+      Printf.sprintf "%S^^%s"
+        value
+        (match shorten prefixes dt with Some s -> s | None -> "<" ^ dt ^ ">")
+  | Term.Lit { value; lang = Some l; _ } -> Printf.sprintf "%S@%s" value l
+  | Term.Lit { value; _ } -> Printf.sprintf "%S" value
+
+let pred_to_turtle prefixes p =
+  if String.equal p Term.Vocab.rdf_type then "a"
+  else match shorten prefixes p with Some s -> s | None -> "<" ^ p ^ ">"
+
+let to_string ?(prefixes = default_prefixes) store =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (p, ns) -> Buffer.add_string buf (Printf.sprintf "@prefix %s: <%s> .\n" p ns))
+    prefixes;
+  Buffer.add_char buf '\n';
+  (* Group triples by subject (insertion order of first occurrence). *)
+  let triples = Store.to_list store in
+  let subjects =
+    List.fold_left
+      (fun acc t ->
+        if List.exists (Term.equal t.Term.subj) acc then acc else acc @ [ t.Term.subj ])
+      [] triples
+  in
+  List.iter
+    (fun subj ->
+      let mine = List.filter (fun t -> Term.equal t.Term.subj subj) triples in
+      let preds =
+        List.fold_left
+          (fun acc t ->
+            if List.exists (String.equal t.Term.pred) acc then acc else acc @ [ t.Term.pred ])
+          [] mine
+      in
+      Buffer.add_string buf (term_to_turtle prefixes subj);
+      List.iteri
+        (fun i pred ->
+          let objs =
+            List.filter_map
+              (fun t -> if String.equal t.Term.pred pred then Some t.Term.obj else None)
+              mine
+          in
+          if i > 0 then Buffer.add_string buf " ;";
+          Buffer.add_string buf
+            (Printf.sprintf "\n  %s %s" (pred_to_turtle prefixes pred)
+               (String.concat ", " (List.map (term_to_turtle prefixes) objs))))
+        preds;
+      Buffer.add_string buf " .\n")
+    subjects;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type token =
+  | Tok_iri of string
+  | Tok_pname of string * string  (* prefix, local *)
+  | Tok_blank of string
+  | Tok_literal of Term.literal
+  | Tok_a
+  | Tok_dot
+  | Tok_semi
+  | Tok_comma
+  | Tok_prefix_directive
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let emit tok = tokens := tok :: !tokens in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.'
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '<' then begin
+      let close =
+        match String.index_from_opt input !i '>' with
+        | Some j -> j
+        | None -> parse_error "unterminated IRI"
+      in
+      emit (Tok_iri (String.sub input (!i + 1) (close - !i - 1)));
+      i := close + 1
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec scan () =
+        if !i >= n then parse_error "unterminated string literal"
+        else
+          match input.[!i] with
+          | '"' -> incr i
+          | '\\' ->
+              if !i + 1 >= n then parse_error "dangling escape";
+              (match input.[!i + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | other -> parse_error "unsupported escape \\%c" other);
+              i := !i + 2;
+              scan ()
+          | ch ->
+              Buffer.add_char buf ch;
+              incr i;
+              scan ()
+      in
+      scan ();
+      let value = Buffer.contents buf in
+      (* optional @lang or ^^datatype *)
+      if !i < n && input.[!i] = '@' then begin
+        incr i;
+        let start = !i in
+        while !i < n && is_name_char input.[!i] do
+          incr i
+        done;
+        emit (Tok_literal { Term.value; datatype = None; lang = Some (String.sub input start (!i - start)) })
+      end
+      else if !i + 1 < n && input.[!i] = '^' && input.[!i + 1] = '^' then begin
+        i := !i + 2;
+        if !i < n && input.[!i] = '<' then begin
+          let close =
+            match String.index_from_opt input !i '>' with
+            | Some j -> j
+            | None -> parse_error "unterminated datatype IRI"
+          in
+          let dt = String.sub input (!i + 1) (close - !i - 1) in
+          i := close + 1;
+          emit (Tok_literal { Term.value; datatype = Some dt; lang = None })
+        end
+        else begin
+          (* prefixed datatype: prefix:local *)
+          let start = !i in
+          while !i < n && (is_name_char input.[!i] || input.[!i] = ':') do
+            incr i
+          done;
+          let dt = String.sub input start (!i - start) in
+          emit (Tok_literal { Term.value; datatype = Some dt; lang = None })
+        end
+      end
+      else emit (Tok_literal { Term.value; datatype = None; lang = None })
+    end
+    else if c = '.' && (!i + 1 >= n || not (is_name_char input.[!i + 1])) then begin
+      emit Tok_dot;
+      incr i
+    end
+    else if c = ';' then begin
+      emit Tok_semi;
+      incr i
+    end
+    else if c = ',' then begin
+      emit Tok_comma;
+      incr i
+    end
+    else if c = '@' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_name_char input.[!j] do
+        incr j
+      done;
+      let word = String.sub input start (!j - start) in
+      if String.equal word "prefix" then begin
+        emit Tok_prefix_directive;
+        i := !j
+      end
+      else parse_error "unsupported directive @%s" word
+    end
+    else if c = '_' && !i + 1 < n && input.[!i + 1] = ':' then begin
+      let start = !i + 2 in
+      let j = ref start in
+      while !j < n && is_name_char input.[!j] do
+        incr j
+      done;
+      emit (Tok_blank (String.sub input start (!j - start)));
+      i := !j
+    end
+    else begin
+      (* bare word: either "a" or prefix:local (possibly empty prefix) *)
+      let start = !i in
+      let j = ref start in
+      while !j < n && (is_name_char input.[!j] || input.[!j] = ':') do
+        incr j
+      done;
+      if !j = start then parse_error "unexpected character %C" c;
+      (* don't swallow a trailing '.' that ends the statement *)
+      let word_end =
+        if !j > start && input.[!j - 1] = '.' then !j - 1 else !j
+      in
+      let word = String.sub input start (word_end - start) in
+      i := word_end;
+      if String.equal word "a" then emit Tok_a
+      else
+        match String.index_opt word ':' with
+        | Some k ->
+            emit
+              (Tok_pname
+                 (String.sub word 0 k, String.sub word (k + 1) (String.length word - k - 1)))
+        | None -> parse_error "unexpected token %S" word
+    end
+  done;
+  List.rev !tokens
+
+let of_string input =
+  let store = Store.create () in
+  let prefixes = Hashtbl.create 8 in
+  List.iter (fun (p, ns) -> Hashtbl.replace prefixes p ns) default_prefixes;
+  let expand prefix local =
+    match Hashtbl.find_opt prefixes prefix with
+    | Some ns -> ns ^ local
+    | None -> parse_error "unknown prefix %S" prefix
+  in
+  let resolve_datatype = function
+    | None -> None
+    | Some dt ->
+        if String.contains dt ':' && not (String.length dt > 4 && String.sub dt 0 4 = "http")
+        then begin
+          match String.index_opt dt ':' with
+          | Some k ->
+              Some (expand (String.sub dt 0 k) (String.sub dt (k + 1) (String.length dt - k - 1)))
+          | None -> Some dt
+        end
+        else Some dt
+  in
+  let term_of = function
+    | Tok_iri i -> Term.Iri i
+    | Tok_pname (p, l) -> Term.Iri (expand p l)
+    | Tok_blank b -> Term.Blank b
+    | Tok_literal l -> Term.Lit { l with Term.datatype = resolve_datatype l.Term.datatype }
+    | Tok_a -> Term.Iri Term.Vocab.rdf_type
+    | Tok_dot | Tok_semi | Tok_comma | Tok_prefix_directive ->
+        parse_error "expected a term"
+  in
+  let pred_of = function
+    | Tok_a -> Term.Vocab.rdf_type
+    | Tok_iri i -> i
+    | Tok_pname (p, l) -> expand p l
+    | Tok_blank _ | Tok_literal _ | Tok_dot | Tok_semi | Tok_comma | Tok_prefix_directive ->
+        parse_error "expected a predicate"
+  in
+  let rec statements = function
+    | [] -> ()
+    | Tok_prefix_directive :: Tok_pname (p, "") :: Tok_iri ns :: Tok_dot :: rest ->
+        Hashtbl.replace prefixes p ns;
+        statements rest
+    | Tok_prefix_directive :: _ -> parse_error "malformed @prefix directive"
+    | tok :: rest ->
+        let subj = term_of tok in
+        predicate_list subj rest
+  and predicate_list subj = function
+    | tok :: rest ->
+        let pred = pred_of tok in
+        object_list subj pred rest
+    | [] -> parse_error "unexpected end of input after subject"
+  and object_list subj pred = function
+    | tok :: rest -> (
+        let obj = term_of tok in
+        ignore (Store.add store (Term.triple subj pred obj));
+        match rest with
+        | Tok_comma :: rest -> object_list subj pred rest
+        | Tok_semi :: rest -> predicate_list subj rest
+        | Tok_dot :: rest -> statements rest
+        | [] -> parse_error "missing final '.'"
+        | _ -> parse_error "expected ',', ';' or '.' after object")
+    | [] -> parse_error "unexpected end of input after predicate"
+  in
+  statements (tokenize input);
+  store

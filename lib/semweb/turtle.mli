@@ -1,0 +1,17 @@
+(** Turtle serialization and parsing (a pragmatic subset).
+
+    Supported on input: [@prefix] directives, prefixed names, full IRIs
+    in angle brackets, blank nodes ([_:label]), the [a] keyword, string
+    literals with [@lang] or [^^datatype], predicate lists with [;] and
+    object lists with [,], and [#] comments. Not supported: collections,
+    anonymous blank nodes ([\[...\]]), multi-line strings, numeric/bool
+    shorthand. *)
+
+exception Parse_error of string
+
+val to_string : ?prefixes:(string * string) list -> Store.t -> string
+(** Serialize grouping by subject, with [;]/[,] abbreviation. Default
+    prefixes: rdf, rdfs, owl, sosae. *)
+
+val of_string : string -> Store.t
+(** @raise Parse_error on unsupported or malformed input. *)

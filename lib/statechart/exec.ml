@@ -1,0 +1,188 @@
+type config = string list
+
+type reaction = {
+  new_config : config;
+  outputs : string list;
+  fired : Types.transition option;
+}
+
+exception Bad_chart of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad_chart s)) fmt
+
+(* Descend from a state to a leaf, accumulating the entered path.
+   [prefer] lets a caller steer the descent (history states): when it
+   returns a valid substate id, that substate is entered instead of the
+   declared initial. *)
+let rec enter ?(prefer = fun _ -> None) chart s =
+  if s.Types.substates = [] then [ s.Types.state_id ]
+  else
+    let chosen =
+      match prefer s.Types.state_id with
+      | Some sub when List.exists (fun c -> String.equal c.Types.state_id sub) s.Types.substates
+        ->
+          Some sub
+      | Some _ | None -> s.Types.initial
+    in
+    match chosen with
+    | None -> bad "composite state %S has no initial substate" s.Types.state_id
+    | Some init -> (
+        match
+          List.find_opt (fun c -> String.equal c.Types.state_id init) s.Types.substates
+        with
+        | Some sub -> s.Types.state_id :: enter ~prefer chart sub
+        | None -> bad "state %S: initial %S is not a substate" s.Types.state_id init)
+
+let initial_config ?prefer chart =
+  match Types.find_state chart chart.Types.chart_initial with
+  | None -> bad "chart %S: unknown initial state %S" chart.Types.chart_id chart.Types.chart_initial
+  | Some s ->
+      (* The initial state may itself be nested; include its ancestors. *)
+      Types.ancestors chart s.Types.state_id @ enter ?prefer chart s
+
+let active config id = List.exists (String.equal id) config
+
+let leaf = function
+  | [] -> bad "empty configuration"
+  | config -> List.nth config (List.length config - 1)
+
+(* States on [new_config] that were not active in [old_config]: the
+   suffix after the longest common prefix. *)
+let entered_states ~old_config ~new_config =
+  let rec strip a b =
+    match (a, b) with
+    | x :: xs, y :: ys when String.equal x y -> strip xs ys
+    | _, rest -> rest
+  in
+  strip old_config new_config
+
+let entry_outputs chart entered =
+  List.concat_map
+    (fun id ->
+      match Types.find_state chart id with
+      | Some s -> s.Types.entry_outputs
+      | None -> [])
+    entered
+
+let step ?(guards = fun _ -> true) ?prefer chart config event =
+  let enabled tr =
+    String.equal tr.Types.trigger event
+    && active config tr.Types.source
+    && match tr.Types.guard with Some g -> guards g | None -> true
+  in
+  (* Innermost source first: a source deeper in the active path wins. *)
+  let depth_of id =
+    let rec find i = function
+      | [] -> -1
+      | x :: rest -> if String.equal x id then i else find (i + 1) rest
+    in
+    find 0 config
+  in
+  let candidates = List.filter enabled chart.Types.transitions in
+  let best =
+    List.fold_left
+      (fun acc tr ->
+        match acc with
+        | None -> Some tr
+        | Some cur ->
+            if depth_of tr.Types.source > depth_of cur.Types.source then Some tr else acc)
+      None candidates
+  in
+  match best with
+  | None -> { new_config = config; outputs = []; fired = None }
+  | Some tr -> (
+      match Types.find_state chart tr.Types.target with
+      | None -> bad "transition %S: unknown target %S" tr.Types.tr_id tr.Types.target
+      | Some target ->
+          let new_config =
+            Types.ancestors chart target.Types.state_id @ enter ?prefer chart target
+          in
+          let entered = entered_states ~old_config:config ~new_config in
+          {
+            new_config;
+            outputs = tr.Types.outputs @ entry_outputs chart entered;
+            fired = Some tr;
+          })
+
+type run_step = { event : string; reaction : reaction }
+
+let run ?guards chart events =
+  let config = initial_config chart in
+  let final, steps =
+    List.fold_left
+      (fun (config, steps) event ->
+        let reaction = step ?guards chart config event in
+        (reaction.new_config, { event; reaction } :: steps))
+      (config, []) events
+  in
+  (final, List.rev steps)
+
+module Machine = struct
+  type m = {
+    chart : Types.t;
+    guards : string -> bool;
+    mutable current : config;
+    (* last active substate of each history composite *)
+    memory : (string, string) Hashtbl.t;
+  }
+
+  let remember m config =
+    (* for each consecutive (parent, child) on the active path, record
+       the child when the parent declares history *)
+    let rec walk = function
+      | parent :: (child :: _ as rest) ->
+          (match Types.find_state m.chart parent with
+          | Some { Types.history = true; _ } -> Hashtbl.replace m.memory parent child
+          | Some _ | None -> ());
+          walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk config
+
+  let create ?(guards = fun _ -> true) chart =
+    let m = { chart; guards; current = []; memory = Hashtbl.create 4 } in
+    m.current <- initial_config chart;
+    remember m m.current;
+    m
+
+  let config m = m.current
+
+  let send m event =
+    let prefer id = Hashtbl.find_opt m.memory id in
+    let reaction = step ~guards:m.guards ~prefer m.chart m.current event in
+    m.current <- reaction.new_config;
+    remember m m.current;
+    reaction
+
+  let send_all m events = List.map (send m) events
+end
+
+let reachable_states chart =
+  (* Fixpoint over configurations: from each known configuration, try
+     every transition trigger. Configurations are finite (paths in the
+     state tree), so this terminates. *)
+  let seen_configs = Hashtbl.create 16 in
+  let seen_states = Hashtbl.create 16 in
+  let key config = String.concat "/" config in
+  let record config = List.iter (fun s -> Hashtbl.replace seen_states s ()) config in
+  let triggers =
+    List.sort_uniq String.compare (List.map (fun tr -> tr.Types.trigger) chart.Types.transitions)
+  in
+  let queue = Queue.create () in
+  let start = initial_config chart in
+  Hashtbl.replace seen_configs (key start) ();
+  record start;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let config = Queue.pop queue in
+    List.iter
+      (fun event ->
+        let { new_config; _ } = step chart config event in
+        if not (Hashtbl.mem seen_configs (key new_config)) then begin
+          Hashtbl.replace seen_configs (key new_config) ();
+          record new_config;
+          Queue.push new_config queue
+        end)
+      triggers
+  done;
+  List.filter (Hashtbl.mem seen_states) (Types.state_ids chart)

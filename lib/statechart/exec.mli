@@ -1,0 +1,73 @@
+(** Step semantics for statecharts.
+
+    A configuration is the path of active states from a top-level state
+    down to a leaf. Delivering an event fires the innermost enabled
+    transition whose source lies on the active path, whose trigger
+    matches, and whose guard (if any) evaluates true under the supplied
+    guard environment. Entering a composite state descends through
+    [initial] substates to a leaf. Unmatched events are dropped (the
+    chart simply does not react). Transition priority: innermost source
+    first; among transitions with the same source, document order. *)
+
+type config = string list
+(** Active state ids, outermost first; the last element is the leaf. *)
+
+type reaction = {
+  new_config : config;
+  outputs : string list;  (** emitted event names, in order *)
+  fired : Types.transition option;  (** [None] when the event was dropped *)
+}
+
+exception Bad_chart of string
+(** Raised when execution encounters a structural error (unknown initial
+    or target state); {!Validate.check} reports these statically. *)
+
+val initial_config : ?prefer:(string -> string option) -> Types.t -> config
+(** [prefer] steers the descent into composite states (used by
+    {!Machine} for history); invalid suggestions fall back to the
+    declared initial. *)
+
+val active : config -> string -> bool
+(** Is the state id on the active path? *)
+
+val leaf : config -> string
+(** @raise Bad_chart on the empty configuration. *)
+
+val step :
+  ?guards:(string -> bool) ->
+  ?prefer:(string -> string option) ->
+  Types.t ->
+  config ->
+  string ->
+  reaction
+(** [step chart config event] delivers one event. [guards] defaults to
+    every guard evaluating [true]. Outputs are the fired transition's
+    outputs followed by the [entry_outputs] of every newly entered
+    state, outermost first. *)
+
+type run_step = { event : string; reaction : reaction }
+
+val run : ?guards:(string -> bool) -> Types.t -> string list -> config * run_step list
+(** Deliver a sequence of events from the initial configuration,
+    returning the final configuration and the per-event reactions. *)
+
+(** Stateful executor adding UML-style history: on re-entry, a
+    composite state marked [history] resumes its last active substate
+    instead of its initial one. *)
+module Machine : sig
+  type m
+
+  val create : ?guards:(string -> bool) -> Types.t -> m
+
+  val config : m -> config
+
+  val send : m -> string -> reaction
+  (** Deliver one event, advancing the machine and its history. *)
+
+  val send_all : m -> string list -> reaction list
+end
+
+val reachable_states : Types.t -> string list
+(** States on some configuration reachable from the initial one by any
+    event sequence, assuming all guards can be true; used by
+    {!Validate} for dead-state detection. *)

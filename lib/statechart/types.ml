@@ -1,0 +1,82 @@
+type state = {
+  state_id : string;
+  state_name : string;
+  substates : state list;
+  initial : string option;
+  entry_outputs : string list;
+  history : bool;
+}
+
+type transition = {
+  tr_id : string;
+  source : string;
+  target : string;
+  trigger : string;
+  guard : string option;
+  outputs : string list;
+}
+
+type t = {
+  chart_id : string;
+  component : string;
+  states : state list;
+  chart_initial : string;
+  transitions : transition list;
+}
+
+let state ?name ?(substates = []) ?initial ?(entry = []) ?(history = false) id =
+  {
+    state_id = id;
+    state_name = (match name with Some n -> n | None -> id);
+    substates;
+    initial;
+    entry_outputs = entry;
+    history;
+  }
+
+let transition ?id ?guard ?(outputs = []) ~source ~target ~trigger () =
+  let tr_id =
+    match id with
+    | Some i -> i
+    | None -> Printf.sprintf "%s--%s->%s" source trigger target
+  in
+  { tr_id; source; target; trigger; guard; outputs }
+
+let chart ~id ~component ~initial states transitions =
+  { chart_id = id; component; states; chart_initial = initial; transitions }
+
+let all_states t =
+  let rec walk acc s = List.fold_left walk (acc @ [ s ]) s.substates in
+  List.fold_left walk [] t.states
+
+let find_state t id = List.find_opt (fun s -> String.equal s.state_id id) (all_states t)
+
+let state_ids t = List.map (fun s -> s.state_id) (all_states t)
+
+let parent_of t id =
+  let rec search parent s =
+    if String.equal s.state_id id then parent
+    else
+      let rec among = function
+        | [] -> None
+        | c :: rest -> (
+            match search (Some s.state_id) c with Some p -> Some p | None -> among rest)
+      in
+      among s.substates
+  in
+  let rec top = function
+    | [] -> None
+    | s :: rest -> ( match search None s with Some p -> Some p | None -> if String.equal s.state_id id then None else top rest)
+  in
+  (* [search None s] returns None both when not found and when found at
+     top level; disambiguate by membership. *)
+  let found =
+    List.exists (fun s -> String.equal s.state_id id) (all_states t)
+  in
+  if not found then None else top t.states
+
+let ancestors t id =
+  let rec loop acc id =
+    match parent_of t id with Some p -> loop (p :: acc) p | None -> List.rev acc
+  in
+  loop [] id

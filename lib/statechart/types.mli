@@ -1,0 +1,75 @@
+(** Statechart behavioral descriptions, after the xADL statechart
+    extension the paper adopts for behavioral architecture description
+    (Naslavsky et al., WADS 2004).
+
+    A statechart belongs to a component and describes how it reacts to
+    incoming events: hierarchical states (composite states carry their
+    own initial substate), and transitions with a triggering event name,
+    an optional named guard, and a list of emitted output events. *)
+
+type state = {
+  state_id : string;
+  state_name : string;
+  substates : state list;  (** empty for simple states *)
+  initial : string option;  (** required when [substates] is non-empty *)
+  entry_outputs : string list;  (** events emitted whenever the state is entered *)
+  history : bool;
+      (** composite states only: re-entry resumes the last active
+          substate instead of [initial] (see {!Machine}) *)
+}
+
+type transition = {
+  tr_id : string;
+  source : string;  (** state id *)
+  target : string;  (** state id *)
+  trigger : string;  (** incoming event name *)
+  guard : string option;  (** named predicate, evaluated by the caller *)
+  outputs : string list;  (** event names emitted when the transition fires *)
+}
+
+type t = {
+  chart_id : string;
+  component : string;  (** id of the component this chart describes *)
+  states : state list;
+  chart_initial : string;  (** id of the initially active top-level state *)
+  transitions : transition list;
+}
+
+val state :
+  ?name:string ->
+  ?substates:state list ->
+  ?initial:string ->
+  ?entry:string list ->
+  ?history:bool ->
+  string ->
+  state
+(** [state id] builds a state; [name] defaults to the id, [entry] to []
+    and [history] to false. *)
+
+val transition :
+  ?id:string ->
+  ?guard:string ->
+  ?outputs:string list ->
+  source:string ->
+  target:string ->
+  trigger:string ->
+  unit ->
+  transition
+(** The id defaults to ["source--trigger->target"]. *)
+
+val chart :
+  id:string -> component:string -> initial:string -> state list -> transition list -> t
+
+val all_states : t -> state list
+(** Every state in the chart, preorder. *)
+
+val find_state : t -> string -> state option
+
+val state_ids : t -> string list
+
+val parent_of : t -> string -> string option
+(** Id of the parent state, or [None] for top-level states and unknown
+    ids. *)
+
+val ancestors : t -> string -> string list
+(** Proper ancestors, nearest first. *)

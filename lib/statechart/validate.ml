@@ -1,0 +1,130 @@
+type problem =
+  | Duplicate_state of string
+  | Duplicate_transition of string
+  | Unknown_initial of { chart : string; initial : string }
+  | Composite_without_initial of string
+  | Initial_not_substate of { state : string; initial : string }
+  | Unknown_source of { transition : string; source : string }
+  | Unknown_target of { transition : string; target : string }
+  | Nondeterministic of { state : string; trigger : string; transitions : string list }
+  | Unreachable_state of string
+
+let pp_problem ppf = function
+  | Duplicate_state id -> Format.fprintf ppf "duplicate state id %S" id
+  | Duplicate_transition id -> Format.fprintf ppf "duplicate transition id %S" id
+  | Unknown_initial { chart; initial } ->
+      Format.fprintf ppf "chart %S: unknown initial state %S" chart initial
+  | Composite_without_initial id ->
+      Format.fprintf ppf "composite state %S has no initial substate" id
+  | Initial_not_substate { state; initial } ->
+      Format.fprintf ppf "state %S: initial %S is not one of its substates" state initial
+  | Unknown_source { transition; source } ->
+      Format.fprintf ppf "transition %S: unknown source state %S" transition source
+  | Unknown_target { transition; target } ->
+      Format.fprintf ppf "transition %S: unknown target state %S" transition target
+  | Nondeterministic { state; trigger; transitions } ->
+      Format.fprintf ppf
+        "state %S reacts to trigger %S with several unguarded transitions: %s" state trigger
+        (String.concat ", " transitions)
+  | Unreachable_state id -> Format.fprintf ppf "state %S is unreachable" id
+
+let problem_to_string p = Format.asprintf "%a" pp_problem p
+
+let check t =
+  let states = Types.all_states t in
+  let ids = List.map (fun s -> s.Types.state_id) states in
+  let seen = Hashtbl.create 16 in
+  let duplicate_states =
+    List.filter_map
+      (fun id ->
+        if Hashtbl.mem seen id then Some (Duplicate_state id)
+        else begin
+          Hashtbl.add seen id ();
+          None
+        end)
+      ids
+  in
+  let duplicate_transitions =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun tr ->
+        let id = tr.Types.tr_id in
+        if Hashtbl.mem seen id then Some (Duplicate_transition id)
+        else begin
+          Hashtbl.add seen id ();
+          None
+        end)
+      t.Types.transitions
+  in
+  let known id = List.exists (String.equal id) ids in
+  let initial_problems =
+    if known t.Types.chart_initial then []
+    else [ Unknown_initial { chart = t.Types.chart_id; initial = t.Types.chart_initial } ]
+  in
+  let composite_problems =
+    List.concat_map
+      (fun s ->
+        if s.Types.substates = [] then []
+        else
+          match s.Types.initial with
+          | None -> [ Composite_without_initial s.Types.state_id ]
+          | Some init ->
+              if List.exists (fun c -> String.equal c.Types.state_id init) s.Types.substates
+              then []
+              else [ Initial_not_substate { state = s.Types.state_id; initial = init } ])
+      states
+  in
+  let endpoint_problems =
+    List.concat_map
+      (fun tr ->
+        let src =
+          if known tr.Types.source then []
+          else [ Unknown_source { transition = tr.Types.tr_id; source = tr.Types.source } ]
+        in
+        let tgt =
+          if known tr.Types.target then []
+          else [ Unknown_target { transition = tr.Types.tr_id; target = tr.Types.target } ]
+        in
+        src @ tgt)
+      t.Types.transitions
+  in
+  let nondeterminism =
+    let unguarded = List.filter (fun tr -> tr.Types.guard = None) t.Types.transitions in
+    let keys =
+      List.sort_uniq compare
+        (List.map (fun tr -> (tr.Types.source, tr.Types.trigger)) unguarded)
+    in
+    List.filter_map
+      (fun (source, trigger) ->
+        let group =
+          List.filter
+            (fun tr ->
+              String.equal tr.Types.source source && String.equal tr.Types.trigger trigger)
+            unguarded
+        in
+        if List.length group > 1 then
+          Some
+            (Nondeterministic
+               {
+                 state = source;
+                 trigger;
+                 transitions = List.map (fun tr -> tr.Types.tr_id) group;
+               })
+        else None)
+      keys
+  in
+  let structural = initial_problems @ composite_problems @ endpoint_problems in
+  let unreachable =
+    (* Reachability analysis executes the chart; only run it when the
+       structure is sound. *)
+    if structural <> [] || duplicate_states <> [] then []
+    else
+      let reachable = Exec.reachable_states t in
+      List.filter_map
+        (fun id ->
+          if List.exists (String.equal id) reachable then None else Some (Unreachable_state id))
+        ids
+  in
+  duplicate_states @ duplicate_transitions @ structural @ nondeterminism @ unreachable
+
+let is_wellformed t = check t = []

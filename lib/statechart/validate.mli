@@ -1,0 +1,22 @@
+(** Static checking of statecharts. *)
+
+type problem =
+  | Duplicate_state of string
+  | Duplicate_transition of string
+  | Unknown_initial of { chart : string; initial : string }
+  | Composite_without_initial of string  (** composite state id *)
+  | Initial_not_substate of { state : string; initial : string }
+  | Unknown_source of { transition : string; source : string }
+  | Unknown_target of { transition : string; target : string }
+  | Nondeterministic of { state : string; trigger : string; transitions : string list }
+      (** several unguarded transitions from the same source on the same
+          trigger *)
+  | Unreachable_state of string
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problem_to_string : problem -> string
+
+val check : Types.t -> problem list
+
+val is_wellformed : Types.t -> bool

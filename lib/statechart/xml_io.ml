@@ -1,0 +1,83 @@
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let required e name =
+  match Xmlight.Doc.attr e name with
+  | Some v -> v
+  | None -> malformed "<%s> is missing required attribute %S" e.Xmlight.Doc.tag name
+
+let rec state_to_element s =
+  let attrs =
+    [ ("id", s.Types.state_id); ("name", s.Types.state_name) ]
+    @ (match s.Types.initial with Some i -> [ ("initial", i) ] | None -> [])
+    @ if s.Types.history then [ ("history", "true") ] else []
+  in
+  Xmlight.Doc.element ~attrs "state"
+    (List.map
+       (fun o -> Xmlight.Doc.elt "onEntry" [ Xmlight.Doc.text o ])
+       s.Types.entry_outputs
+    @ List.map (fun c -> Xmlight.Doc.Element (state_to_element c)) s.Types.substates)
+
+let transition_to_element tr =
+  let attrs =
+    [
+      ("id", tr.Types.tr_id);
+      ("from", tr.Types.source);
+      ("to", tr.Types.target);
+      ("trigger", tr.Types.trigger);
+    ]
+    @ match tr.Types.guard with Some g -> [ ("guard", g) ] | None -> []
+  in
+  Xmlight.Doc.element ~attrs "transition"
+    (List.map (fun o -> Xmlight.Doc.elt "output" [ Xmlight.Doc.text o ]) tr.Types.outputs)
+
+let to_element t =
+  Xmlight.Doc.element
+    ~attrs:
+      [
+        ("id", t.Types.chart_id);
+        ("component", t.Types.component);
+        ("initial", t.Types.chart_initial);
+      ]
+    "statechart"
+    (List.map (fun s -> Xmlight.Doc.Element (state_to_element s)) t.Types.states
+    @ List.map (fun tr -> Xmlight.Doc.Element (transition_to_element tr)) t.Types.transitions)
+
+let to_string t = Xmlight.Print.to_string (Xmlight.Doc.doc (to_element t))
+
+let rec state_of_element e =
+  {
+    Types.state_id = required e "id";
+    state_name = Xmlight.Doc.attr_default e "name" (required e "id");
+    substates = List.map state_of_element (Xmlight.Doc.find_children e "state");
+    initial = Xmlight.Doc.attr e "initial";
+    entry_outputs = List.map Xmlight.Doc.child_text (Xmlight.Doc.find_children e "onEntry");
+    history = Xmlight.Doc.attr_default e "history" "false" = "true";
+  }
+
+let transition_of_element e =
+  {
+    Types.tr_id = required e "id";
+    source = required e "from";
+    target = required e "to";
+    trigger = required e "trigger";
+    guard = Xmlight.Doc.attr e "guard";
+    outputs = List.map Xmlight.Doc.child_text (Xmlight.Doc.find_children e "output");
+  }
+
+let of_element e =
+  if not (String.equal e.Xmlight.Doc.tag "statechart") then
+    malformed "expected <statechart>, found <%s>" e.Xmlight.Doc.tag;
+  {
+    Types.chart_id = required e "id";
+    component = required e "component";
+    states = List.map state_of_element (Xmlight.Doc.find_children e "state");
+    chart_initial = required e "initial";
+    transitions = List.map transition_of_element (Xmlight.Doc.find_children e "transition");
+  }
+
+let of_string s =
+  match Xmlight.Parse.parse s with
+  | Ok doc -> of_element doc.Xmlight.Doc.root
+  | Error e -> malformed "XML error: %s" (Xmlight.Parse.error_to_string e)

@@ -1,0 +1,59 @@
+let side_of arch point =
+  match Adl.Structure.find_interface arch point with
+  | Some i -> Adl.Structure.interface_tag i "side"
+  | None -> None
+
+let is_component arch id = Adl.Structure.find_component arch id <> None
+
+let no_direct_rule =
+  Rule.make ~id:"c2.no-direct"
+    ~description:"components communicate only through connectors" (fun arch ->
+      List.filter_map
+        (fun l ->
+          let a = l.Adl.Structure.link_from.Adl.Structure.anchor in
+          let b = l.Adl.Structure.link_to.Adl.Structure.anchor in
+          if is_component arch a && is_component arch b then
+            Some
+              (Rule.violation ~rule:"c2.no-direct" ~subject:l.Adl.Structure.link_id
+                 (Printf.sprintf "components %s and %s are linked directly" a b))
+          else None)
+        arch.Adl.Structure.links)
+
+let side_rule =
+  Rule.make ~id:"c2.side" ~description:"linked interfaces declare a C2 side" (fun arch ->
+      List.concat_map
+        (fun l ->
+          let check p =
+            match side_of arch p with
+            | Some "top" | Some "bottom" -> []
+            | Some other ->
+                [
+                  Rule.violation ~rule:"c2.side"
+                    ~subject:(p.Adl.Structure.anchor ^ "." ^ p.Adl.Structure.interface)
+                    (Printf.sprintf "invalid side %S" other);
+                ]
+            | None ->
+                [
+                  Rule.violation ~rule:"c2.side"
+                    ~subject:(p.Adl.Structure.anchor ^ "." ^ p.Adl.Structure.interface)
+                    "interface has no \"side\" tag";
+                ]
+          in
+          check l.Adl.Structure.link_from @ check l.Adl.Structure.link_to)
+        arch.Adl.Structure.links)
+
+let topology_rule =
+  Rule.make ~id:"c2.topology"
+    ~description:"links join a top side to a bottom side" (fun arch ->
+      List.filter_map
+        (fun l ->
+          match (side_of arch l.Adl.Structure.link_from, side_of arch l.Adl.Structure.link_to) with
+          | Some "top", Some "bottom" | Some "bottom", Some "top" -> None
+          | Some a, Some b ->
+              Some
+                (Rule.violation ~rule:"c2.topology" ~subject:l.Adl.Structure.link_id
+                   (Printf.sprintf "link joins side %S to side %S" a b))
+          | None, _ | _, None -> None)
+        arch.Adl.Structure.links)
+
+let rules = [ no_direct_rule; side_rule; topology_rule ]

@@ -1,0 +1,25 @@
+let registry =
+  [
+    ("layered", Layered.rules);
+    ("layered-strict", Layered.strict_rules);
+    ("c2", C2.rules);
+    ("client-server", Client_server.rules);
+    ("pipe-filter", Pipe_filter.rules);
+  ]
+
+let known_styles = List.map fst registry
+
+let rules_for name = List.assoc_opt name registry
+
+let check_declared arch =
+  match arch.Adl.Structure.style with
+  | None -> []
+  | Some style -> (
+      match rules_for style with
+      | Some rules -> Rule.check_all rules arch
+      | None -> [])
+
+let conforms arch style =
+  match rules_for style with
+  | Some rules -> Rule.check_all rules arch = []
+  | None -> true

@@ -1,0 +1,85 @@
+let role_of c = Adl.Structure.component_tag c "role"
+
+let clients arch =
+  List.filter_map
+    (fun c -> if role_of c = Some "client" then Some c.Adl.Structure.comp_id else None)
+    arch.Adl.Structure.components
+
+let servers arch =
+  List.filter_map
+    (fun c -> if role_of c = Some "server" then Some c.Adl.Structure.comp_id else None)
+    arch.Adl.Structure.components
+
+let role_rule =
+  Rule.make ~id:"cs.role" ~description:"every component declares a client/server role"
+    (fun arch ->
+      List.filter_map
+        (fun c ->
+          match role_of c with
+          | Some "client" | Some "server" -> None
+          | Some other ->
+              Some
+                (Rule.violation ~rule:"cs.role" ~subject:c.Adl.Structure.comp_id
+                   (Printf.sprintf "invalid role %S" other))
+          | None ->
+              Some
+                (Rule.violation ~rule:"cs.role" ~subject:c.Adl.Structure.comp_id
+                   "component has no \"role\" tag"))
+        arch.Adl.Structure.components)
+
+(* Reachability from [a] to [b] avoiding all elements in [blocked]
+   (except as source). Connectors relay; components relay too (a client
+   could bounce through another client). *)
+let reaches_avoiding g a b blocked =
+  let visited = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.replace visited a ();
+  Queue.push a queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem visited v) then
+          if String.equal v b then found := true
+          else if not (List.exists (String.equal v) blocked) then begin
+            Hashtbl.replace visited v ();
+            Queue.push v queue
+          end)
+      (Adl.Graph.successors g u)
+  done;
+  !found
+
+let no_client_client_rule =
+  Rule.make ~id:"cs.no-client-client"
+    ~description:"clients communicate only through a server" (fun arch ->
+      let g = Adl.Graph.of_structure arch in
+      let clients = clients arch in
+      let servers = servers arch in
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if String.equal a b then None
+              else if reaches_avoiding g a b servers then
+                Some
+                  (Rule.violation ~rule:"cs.no-client-client" ~subject:(a ^ "->" ^ b)
+                     "clients can communicate bypassing every server")
+              else None)
+            clients)
+        clients)
+
+let server_reach_rule =
+  Rule.make ~id:"cs.server-reach" ~description:"every client can reach a server" (fun arch ->
+      let g = Adl.Graph.of_structure arch in
+      let servers = servers arch in
+      List.filter_map
+        (fun a ->
+          if List.exists (fun s -> Adl.Graph.reachable g a s) servers then None
+          else
+            Some
+              (Rule.violation ~rule:"cs.server-reach" ~subject:a
+                 "client cannot reach any server"))
+        (clients arch))
+
+let rules = [ role_rule; no_client_client_rule; server_reach_rule ]

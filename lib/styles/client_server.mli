@@ -1,0 +1,12 @@
+(** The client–server style, including the paper's §3.5 example
+    constraint: "Clients need to communicate through a central server" —
+    violated "if the architecture allows two clients to communicate
+    directly, bypassing the central server."
+
+    Components carry a [("role", "client" | "server")] tag. Rules:
+    - [cs.role]: every component declares a role;
+    - [cs.no-client-client]: no communication path from a client to a
+      client avoids every server;
+    - [cs.server-reach]: every client can reach some server. *)
+
+val rules : Rule.t list

@@ -1,0 +1,41 @@
+(** Communication constraints imposed by the requirements (paper §3.5:
+    "Another possible inconsistency occurs when the structural
+    description of the architecture violates constraints imposed by the
+    requirements. For instance ... 'Clients need to communicate through
+    a central server.'").
+
+    Constraints are written in a small textual language, one per line:
+    {v
+    connect a -> b            # a must be able to communicate to b
+    forbid  a -> b            # a must not be able to communicate to b
+    route   a -> b via m      # every a-to-b path passes through m
+    mediate a -> b            # a reaches b through connectors only
+    acyclic                   # the communication graph has no cycles
+    v}
+    [#] starts a comment; blank lines are ignored. Element names may be
+    any brick id. *)
+
+type t =
+  | Connect of { src : string; dst : string }
+  | Forbid of { src : string; dst : string }
+  | Route_via of { src : string; dst : string; via : string }
+  | Mediate of { src : string; dst : string }
+  | Acyclic
+
+exception Syntax_error of { line : int; message : string }
+
+val parse : string -> t list
+(** Parse a constraint document.
+    @raise Syntax_error on malformed lines. *)
+
+val to_string : t -> string
+(** The textual form, re-parsable by {!parse}. *)
+
+val check : Adl.Structure.t -> t list -> Rule.violation list
+(** Violations (rule ids [constraint.connect], [constraint.forbid],
+    [constraint.route], [constraint.mediate], [constraint.acyclic]).
+    Constraints naming unknown elements are violations of the
+    constraint itself ([constraint.unknown]). *)
+
+val as_rule : t list -> Rule.t
+(** Package a constraint set as a style rule for {!Rule.check_all}. *)

@@ -1,0 +1,96 @@
+let layer_span arch =
+  List.filter_map
+    (fun c ->
+      match Adl.Structure.layer_of c with
+      | Some n -> Some (c.Adl.Structure.comp_id, n)
+      | None -> None)
+    arch.Adl.Structure.components
+
+(* Component-to-component communication edges, attributing paths through
+   connectors to the component pair they join. *)
+let component_edges arch =
+  let g = Adl.Graph.of_structure arch in
+  let components = List.map (fun c -> c.Adl.Structure.comp_id) arch.Adl.Structure.components in
+  let edges_from a =
+    (* BFS across connectors only. *)
+    let visited = Hashtbl.create 8 in
+    let queue = Queue.create () in
+    let reached = ref [] in
+    Queue.push a queue;
+    Hashtbl.replace visited a ();
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.replace visited v ();
+            if Adl.Graph.is_connector g v then Queue.push v queue
+            else reached := v :: !reached
+          end)
+        (Adl.Graph.successors g u)
+    done;
+    List.map (fun b -> (a, b)) (List.rev !reached)
+  in
+  List.concat_map edges_from components
+
+let tag_rule =
+  Rule.make ~id:"layered.tag"
+    ~description:"every non-external component declares a layer" (fun arch ->
+      List.filter_map
+        (fun c ->
+          match (Adl.Structure.layer_of c, Adl.Structure.component_tag c "external") with
+          | Some _, _ | None, Some "true" -> None
+          | None, (Some _ | None) ->
+              Some
+                (Rule.violation ~rule:"layered.tag" ~subject:c.Adl.Structure.comp_id
+                   "component has no integer \"layer\" tag"))
+        arch.Adl.Structure.components)
+
+let layer_of_exn arch id =
+  match Adl.Structure.find_component arch id with
+  | Some c -> Adl.Structure.layer_of c
+  | None -> None
+
+let downward_rule =
+  Rule.make ~id:"layered.downward"
+    ~description:"components only initiate communication to the same or immediately lower layer"
+    (fun arch ->
+      List.filter_map
+        (fun (a, b) ->
+          match (layer_of_exn arch a, layer_of_exn arch b) with
+          | Some la, Some lb when lb > la || la - lb > 1 ->
+              Some
+                (Rule.violation ~rule:"layered.downward" ~subject:(a ^ "->" ^ b)
+                   (Printf.sprintf "layer %d initiates to layer %d" la lb))
+          | Some _, Some _ | None, _ | _, None -> None)
+        (component_edges arch))
+
+let skip_rule =
+  Rule.make ~id:"layered.skip"
+    ~description:"no communication edge skips a layer" (fun arch ->
+      List.filter_map
+        (fun (a, b) ->
+          match (layer_of_exn arch a, layer_of_exn arch b) with
+          | Some la, Some lb when abs (la - lb) > 1 ->
+              Some
+                (Rule.violation ~rule:"layered.skip" ~subject:(a ^ "->" ^ b)
+                   (Printf.sprintf "edge spans layers %d and %d" la lb))
+          | Some _, Some _ | None, _ | _, None -> None)
+        (component_edges arch))
+
+let strict_rule =
+  Rule.make ~id:"layered.strict"
+    ~description:"no upward communication at all" (fun arch ->
+      List.filter_map
+        (fun (a, b) ->
+          match (layer_of_exn arch a, layer_of_exn arch b) with
+          | Some la, Some lb when lb > la ->
+              Some
+                (Rule.violation ~rule:"layered.strict" ~subject:(a ^ "->" ^ b)
+                   (Printf.sprintf "layer %d initiates upward to layer %d" la lb))
+          | Some _, Some _ | None, _ | _, None -> None)
+        (component_edges arch))
+
+let rules = [ tag_rule; skip_rule ]
+
+let strict_rules = rules @ [ downward_rule; strict_rule ]

@@ -1,0 +1,24 @@
+(** The Layered architectural style (the PIMS architecture's style).
+
+    Components carry a ["layer"] tag with an integer value; higher
+    numbers are higher layers (the presentation layer on top).
+    Components tagged [("external", "true")] (e.g. a remote web site)
+    are outside the stack and exempt. Connectors are transparent: an
+    edge through a connector is attributed to the component pair it
+    joins.
+
+    Base rules (request/reply channels between adjacent layers are
+    legal, so replies flowing upward are not flagged):
+    - [layered.tag]: every non-external component declares a layer;
+    - [layered.skip]: no communication edge skips a layer (in either
+      direction). *)
+
+val rules : Rule.t list
+
+val strict_rules : Rule.t list
+(** {!rules} plus [layered.downward] (initiate only to the same or the
+    immediately lower layer) and [layered.strict] (no upward
+    communication at all — callbacks up the stack are disallowed). *)
+
+val layer_span : Adl.Structure.t -> (string * int) list
+(** The declared layer of every layered component. *)

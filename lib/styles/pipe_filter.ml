@@ -1,0 +1,58 @@
+let mediated_rule =
+  Rule.make ~id:"pf.mediated" ~description:"filters link only to pipes" (fun arch ->
+      let is_component id = Adl.Structure.find_component arch id <> None in
+      List.filter_map
+        (fun l ->
+          let a = l.Adl.Structure.link_from.Adl.Structure.anchor in
+          let b = l.Adl.Structure.link_to.Adl.Structure.anchor in
+          if is_component a = is_component b then
+            Some
+              (Rule.violation ~rule:"pf.mediated" ~subject:l.Adl.Structure.link_id
+                 (if is_component a then "filter linked directly to filter"
+                  else "pipe linked directly to pipe"))
+          else None)
+        arch.Adl.Structure.links)
+
+let pipe_arity_rule =
+  Rule.make ~id:"pf.pipe-arity" ~description:"a pipe joins exactly two elements" (fun arch ->
+      List.filter_map
+        (fun c ->
+          let id = c.Adl.Structure.conn_id in
+          let anchored =
+            List.filter
+              (fun l ->
+                String.equal l.Adl.Structure.link_from.Adl.Structure.anchor id
+                || String.equal l.Adl.Structure.link_to.Adl.Structure.anchor id)
+              arch.Adl.Structure.links
+          in
+          let n = List.length anchored in
+          if n = 2 then None
+          else
+            Some
+              (Rule.violation ~rule:"pf.pipe-arity" ~subject:id
+                 (Printf.sprintf "pipe is anchored by %d links, expected 2" n)))
+        arch.Adl.Structure.connectors)
+
+let acyclic_rule =
+  Rule.make ~id:"pf.acyclic" ~description:"the filter graph is acyclic" (fun arch ->
+      let g = Adl.Graph.of_structure arch in
+      let nodes = Adl.Graph.nodes g in
+      (* Detect a cycle with DFS colors. *)
+      let color = Hashtbl.create 16 in
+      let cycle_node = ref None in
+      let rec visit u =
+        match Hashtbl.find_opt color u with
+        | Some `Gray -> cycle_node := Some u
+        | Some `Black -> ()
+        | None ->
+            Hashtbl.replace color u `Gray;
+            List.iter (fun v -> if !cycle_node = None then visit v) (Adl.Graph.successors g u);
+            Hashtbl.replace color u `Black
+      in
+      List.iter (fun u -> if !cycle_node = None then visit u) nodes;
+      match !cycle_node with
+      | Some u ->
+          [ Rule.violation ~rule:"pf.acyclic" ~subject:u "element participates in a cycle" ]
+      | None -> [])
+
+let rules = [ mediated_rule; pipe_arity_rule; acyclic_rule ]

@@ -1,0 +1,8 @@
+(** The pipe-and-filter style. Components are filters, connectors are
+    pipes. Rules:
+    - [pf.mediated]: filters link only to pipes;
+    - [pf.pipe-arity]: a pipe joins exactly two elements (one upstream,
+      one downstream);
+    - [pf.acyclic]: the filter graph is acyclic. *)
+
+val rules : Rule.t list

@@ -1,0 +1,62 @@
+type component_coverage = {
+  component : string;
+  scenarios : string list;
+  events_placed : int;
+}
+
+type t = { covered : component_coverage list; unexercised : string list }
+
+let of_set_result architecture (result : Engine.set_result) =
+  let table : (string, string list * int) Hashtbl.t = Hashtbl.create 16 in
+  let touch component scenario =
+    let scenarios, count =
+      match Hashtbl.find_opt table component with Some x -> x | None -> ([], 0)
+    in
+    let scenarios =
+      if List.exists (String.equal scenario) scenarios then scenarios
+      else scenarios @ [ scenario ]
+    in
+    Hashtbl.replace table component (scenarios, count + 1)
+  in
+  List.iter
+    (fun sr ->
+      List.iter
+        (fun trace ->
+          List.iter
+            (fun step ->
+              List.iter
+                (fun c -> touch c sr.Verdict.scenario_id)
+                step.Verdict.components)
+            trace.Verdict.steps)
+        sr.Verdict.traces)
+    result.Engine.results;
+  let component_ids =
+    List.map (fun c -> c.Adl.Structure.comp_id) architecture.Adl.Structure.components
+  in
+  let covered =
+    List.filter_map
+      (fun component ->
+        match Hashtbl.find_opt table component with
+        | Some (scenarios, events_placed) -> Some { component; scenarios; events_placed }
+        | None -> None)
+      component_ids
+  in
+  let unexercised =
+    List.filter (fun c -> not (Hashtbl.mem table c)) component_ids
+  in
+  { covered; unexercised }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>Component coverage:@,";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-22s %3d placements, %2d scenarios@," c.component
+        c.events_placed (List.length c.scenarios))
+    t.covered;
+  (match t.unexercised with
+  | [] -> Format.fprintf ppf "  every component is exercised by some scenario@,"
+  | l ->
+      Format.fprintf ppf "  UNEXERCISED: %s@," (String.concat ", " l));
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,25 @@
+(** Which components the scenarios actually exercise.
+
+    "The mapping can be done at the subcomponent-level, which can give
+    more detailed information about the fitness of the architecture in
+    regard to requirements" (paper §3.3). This report inverts a set
+    evaluation: per component, the scenarios whose walkthroughs placed
+    an event on it; components never exercised are candidates for
+    missing requirements (or dead architecture). *)
+
+type component_coverage = {
+  component : string;
+  scenarios : string list;  (** scenario ids, first-touch order *)
+  events_placed : int;  (** total step placements across all traces *)
+}
+
+type t = {
+  covered : component_coverage list;  (** exercised components *)
+  unexercised : string list;  (** components no scenario touched *)
+}
+
+val of_set_result : Adl.Structure.t -> Engine.set_result -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

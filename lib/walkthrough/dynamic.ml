@@ -1,0 +1,155 @@
+type behavioral_mismatch = {
+  step : int;
+  component : string;
+  trigger : string;
+  active_states : string list;
+}
+
+type step_exec = {
+  exec_index : int;
+  exec_trigger : string option;
+  reactions : (string * string list) list;
+  mismatches : behavioral_mismatch list;
+}
+
+type trace_exec = {
+  exec_trace_index : int;
+  steps : step_exec list;
+  accepted : bool;
+  final_configs : (string * Statechart.Exec.config) list;
+}
+
+type result = { scenario_id : string; traces : trace_exec list; ok : bool }
+
+type config = {
+  trigger_of : Scenarioml.Event.t -> string option;
+  guards : string -> bool;
+  linearize : Scenarioml.Linearize.config;
+}
+
+let default_trigger = function
+  | Scenarioml.Event.Typed { event_type; _ } -> Some event_type
+  | Scenarioml.Event.Simple _ | Scenarioml.Event.Compound _
+  | Scenarioml.Event.Alternation _ | Scenarioml.Event.Iteration _
+  | Scenarioml.Event.Optional _ | Scenarioml.Event.Episode _ ->
+      None
+
+let default_config =
+  {
+    trigger_of = default_trigger;
+    guards = (fun _ -> true);
+    linearize = Scenarioml.Linearize.default_config;
+  }
+
+(* Mutable chart states for one trace execution. *)
+let fresh_states charts =
+  List.map (fun chart -> (chart.Statechart.Types.component, ref (Statechart.Exec.initial_config chart), chart)) charts
+
+let placed_components ontology mapping event =
+  match event with
+  | Scenarioml.Event.Typed { event_type; _ } -> (
+      match Mapping.Types.components_of mapping event_type with
+      | [] ->
+          (* inherit the nearest mapped ancestor's placement, as the
+             static engine does *)
+          let rec up id =
+            match Ontology.Types.find_event_type ontology id with
+            | Some { Ontology.Types.event_super = Some super; _ } -> (
+                match Mapping.Types.components_of mapping super with
+                | [] -> up super
+                | components -> components)
+            | Some { Ontology.Types.event_super = None; _ } | None -> []
+          in
+          up event_type
+      | components -> components)
+  | Scenarioml.Event.Simple _ | Scenarioml.Event.Compound _
+  | Scenarioml.Event.Alternation _ | Scenarioml.Event.Iteration _
+  | Scenarioml.Event.Optional _ | Scenarioml.Event.Episode _ ->
+      []
+
+let execute_trace config ontology mapping charts trace_index trace =
+  let states = fresh_states charts in
+  let chart_of component =
+    List.find_opt (fun (c, _, _) -> String.equal c component) states
+  in
+  let steps =
+    List.mapi
+      (fun i step ->
+        let exec_index = i + 1 in
+        let event = step.Scenarioml.Linearize.step_event in
+        match config.trigger_of event with
+        | None -> { exec_index; exec_trigger = None; reactions = []; mismatches = [] }
+        | Some trigger ->
+            let components = placed_components ontology mapping event in
+            let reactions, mismatches =
+              List.fold_left
+                (fun (reactions, mismatches) component ->
+                  match chart_of component with
+                  | None -> (reactions, mismatches)
+                  | Some (_, state, chart) ->
+                      let reaction =
+                        Statechart.Exec.step ~guards:config.guards chart !state trigger
+                      in
+                      state := reaction.Statechart.Exec.new_config;
+                      (match reaction.Statechart.Exec.fired with
+                      | Some _ ->
+                          ( reactions @ [ (component, reaction.Statechart.Exec.outputs) ],
+                            mismatches )
+                      | None ->
+                          ( reactions,
+                            mismatches
+                            @ [
+                                {
+                                  step = exec_index;
+                                  component;
+                                  trigger;
+                                  active_states = reaction.Statechart.Exec.new_config;
+                                };
+                              ] )))
+                ([], []) components
+            in
+            { exec_index; exec_trigger = Some trigger; reactions; mismatches })
+      trace
+  in
+  let accepted = List.for_all (fun s -> s.mismatches = []) steps in
+  {
+    exec_trace_index = trace_index;
+    steps;
+    accepted;
+    final_configs = List.map (fun (c, state, _) -> (c, !state)) states;
+  }
+
+let evaluate_scenario ?(config = default_config) ~set ~mapping ~charts s =
+  let ontology = set.Scenarioml.Scen.ontology in
+  let { Scenarioml.Linearize.traces; _ } =
+    Scenarioml.Linearize.scenario ~config:config.linearize set s
+  in
+  let executed =
+    List.mapi (fun i t -> execute_trace config ontology mapping charts (i + 1) t) traces
+  in
+  let ok =
+    if Scenarioml.Scen.is_negative s then
+      List.for_all (fun t -> not t.accepted) executed
+    else List.for_all (fun t -> t.accepted) executed
+  in
+  { scenario_id = s.Scenarioml.Scen.scenario_id; traces = executed; ok }
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf
+    "step %d: component %S rejects trigger %S (active states: %s)" m.step m.component
+    m.trigger
+    (String.concat "/" m.active_states)
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>behavioral walkthrough of %s: %s@," r.scenario_id
+    (if r.ok then "ACCEPTED" else "REJECTED");
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  trace %d: %s@," t.exec_trace_index
+        (if t.accepted then "accepted" else "rejected");
+      List.iter
+        (fun s ->
+          List.iter (fun m -> Format.fprintf ppf "    !! %a@," pp_mismatch m) s.mismatches)
+        t.steps)
+    r.traces;
+  Format.fprintf ppf "@]"

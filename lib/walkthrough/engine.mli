@@ -1,0 +1,71 @@
+(** The walkthrough engine.
+
+    "The task of evaluating an architecture against a set of scenarios
+    consists of going through the sequence of the events in the
+    scenarios, using the established mapping to match events to
+    components, while simulating the behavior of the matched
+    components. The resulting architecture behavior is then evaluated
+    for inconsistencies with the scenario" (paper §3.5).
+
+    For each linearized trace of a scenario, each event is matched to
+    its mapped components; for each pair of successive events, some
+    component of the first must be able to communicate with some
+    component of the second through the structure (under the configured
+    path policy). A positive scenario is consistent when *every* trace
+    walks; a negative scenario is consistent when *no* trace walks. *)
+
+type simple_event_policy =
+  | Skip_simple  (** simple events are narrative: no placement required *)
+  | Report_simple  (** simple events are reported as unplaceable *)
+
+type config = {
+  policy : Adl.Graph.policy;  (** communication path policy *)
+  simple_events : simple_event_policy;
+  linearize : Scenarioml.Linearize.config;
+  check_style : bool;  (** include declared-style violations *)
+  check_internal : bool;
+      (** an event mapped to several components is realized by that
+          chain in order; check each consecutive pair can communicate *)
+  internal_policy : Adl.Graph.policy;
+      (** policy for the realization chain; default [Direct]: the data
+          handoff inside one event cannot be routed through unrelated
+          components (Fig. 4: "other paths do not support transfer of
+          this data") *)
+  constraints : Styles.Constraint_lang.t list;
+      (** requirements-imposed communication constraints, checked with
+          the declared style and reported as style violations *)
+  placement_hook : (Scenarioml.Event.t -> string list option) option;
+      (** when set and returning [Some components], overrides the
+          mapping's placement for that event — the hook for
+          argument-sensitive placement (paper §8: events "map to a
+          specific component ... determined by the domain entities that
+          appear in those events") *)
+}
+
+val default_config : config
+(** [Routed] paths, [Skip_simple], default linearization, style and
+    internal-chain checks on. *)
+
+val evaluate_scenario :
+  ?config:config ->
+  set:Scenarioml.Scen.set ->
+  architecture:Adl.Structure.t ->
+  mapping:Mapping.Types.t ->
+  Scenarioml.Scen.t ->
+  Verdict.scenario_result
+
+type set_result = {
+  results : Verdict.scenario_result list;
+  style_violations : Styles.Rule.violation list;
+  coverage_problems : Mapping.Coverage.problem list;
+  consistent : bool;
+      (** every scenario consistent, no style violations (when checked) *)
+}
+
+val evaluate_set :
+  ?config:config ->
+  set:Scenarioml.Scen.set ->
+  architecture:Adl.Structure.t ->
+  mapping:Mapping.Types.t ->
+  unit ->
+  set_result

@@ -1,0 +1,73 @@
+type candidate = { first : string; second : string; witness_path : string list }
+
+let typed_sequence trace =
+  List.filter_map
+    (fun step ->
+      match step.Scenarioml.Linearize.step_event with
+      | Scenarioml.Event.Typed { event_type; _ } -> Some event_type
+      | Scenarioml.Event.Simple _ | Scenarioml.Event.Compound _
+      | Scenarioml.Event.Alternation _ | Scenarioml.Event.Iteration _
+      | Scenarioml.Event.Optional _ | Scenarioml.Event.Episode _ ->
+          None)
+    trace
+
+let rec pairs_of = function
+  | a :: (b :: _ as rest) -> (a, b) :: pairs_of rest
+  | [ _ ] | [] -> []
+
+let successions_in_scenarios ?(config = Scenarioml.Linearize.default_config) set =
+  let all =
+    List.concat_map
+      (fun s ->
+        let { Scenarioml.Linearize.traces; _ } =
+          Scenarioml.Linearize.scenario ~config set s
+        in
+        List.concat_map (fun t -> pairs_of (typed_sequence t)) traces)
+      set.Scenarioml.Scen.scenarios
+  in
+  List.sort_uniq compare all
+
+let implied ?(config = Scenarioml.Linearize.default_config)
+    ?(policy = Adl.Graph.Routed) ~set ~architecture ~mapping () =
+  let written = successions_in_scenarios ~config set in
+  let graph = Adl.Graph.of_structure architecture in
+  let mapped =
+    List.filter
+      (fun et -> Mapping.Types.components_of mapping et <> [])
+      (List.map (fun e -> e.Ontology.Types.event_id)
+         set.Scenarioml.Scen.ontology.Ontology.Types.event_types)
+  in
+  let connectable a b =
+    let ca = Mapping.Types.components_of mapping a in
+    let cb = Mapping.Types.components_of mapping b in
+    let shared = List.filter (fun c -> List.exists (String.equal c) cb) ca in
+    match shared with
+    | c :: _ -> Some [ c ]
+    | [] ->
+        List.fold_left
+          (fun acc x ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                List.fold_left
+                  (fun acc y ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> Adl.Graph.path ~policy graph x y)
+                  None cb)
+          None ca
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if List.exists (fun (x, y) -> String.equal x a && String.equal y b) written then None
+          else
+            match connectable a b with
+            | Some witness_path -> Some { first = a; second = b; witness_path }
+            | None -> None)
+        mapped)
+    mapped
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%s -> %s (via %s)" c.first c.second (String.concat " -> " c.witness_path)

@@ -1,0 +1,29 @@
+(** Implied-scenario detection (the paper's §8 future-work item, after
+    Uchitel et al.): event-type successions that the architecture and
+    mapping *can* execute but that no written scenario exercises. Such
+    pairs are candidates for review — either missing requirements or
+    undesired behaviours the architecture permits. *)
+
+type candidate = {
+  first : string;  (** event type *)
+  second : string;  (** event type *)
+  witness_path : string list;  (** brick path realizing the succession *)
+}
+
+val successions_in_scenarios :
+  ?config:Scenarioml.Linearize.config -> Scenarioml.Scen.set -> (string * string) list
+(** Ordered pairs of event types occurring as consecutive typed events
+    in some linearized trace, without duplicates. *)
+
+val implied :
+  ?config:Scenarioml.Linearize.config ->
+  ?policy:Adl.Graph.policy ->
+  set:Scenarioml.Scen.set ->
+  architecture:Adl.Structure.t ->
+  mapping:Mapping.Types.t ->
+  unit ->
+  candidate list
+(** Pairs of mapped event types whose component sets can communicate in
+    the architecture but which appear consecutively in no scenario. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

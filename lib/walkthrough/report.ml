@@ -1,0 +1,87 @@
+let pp_step ppf s =
+  let placement =
+    match s.Verdict.components with
+    | [] -> ""
+    | l -> Printf.sprintf "  @ %s" (String.concat ", " l)
+  in
+  let hop =
+    match s.Verdict.hop with
+    | Some h when List.length h.Verdict.via > 1 ->
+        Printf.sprintf "\n      path: %s" (String.concat " -> " h.Verdict.via)
+    | Some _ | None -> ""
+  in
+  let marker = if s.Verdict.step_problems = [] then "  " else "??" in
+  Format.fprintf ppf "%s (%d) %s%s%s" marker s.Verdict.index s.Verdict.text placement hop;
+  List.iter
+    (fun p -> Format.fprintf ppf "@,      !! %a" Verdict.pp_inconsistency p)
+    s.Verdict.step_problems
+
+let pp_trace ppf t =
+  Format.fprintf ppf "@[<v>trace %d: %s@," t.Verdict.trace_index
+    (if t.Verdict.walked then "walks" else "FAILS");
+  List.iter (fun s -> Format.fprintf ppf "%a@," pp_step s) t.Verdict.steps;
+  Format.fprintf ppf "@]"
+
+let pp_scenario_result ppf r =
+  let kind = if r.Verdict.negative then " (negative)" else "" in
+  let verdict =
+    match r.Verdict.verdict with
+    | Verdict.Consistent -> "CONSISTENT"
+    | Verdict.Inconsistent -> "INCONSISTENT"
+  in
+  Format.fprintf ppf "@[<v>== %s: %s%s -> %s@," r.Verdict.scenario_id
+    r.Verdict.scenario_name kind verdict;
+  if r.Verdict.truncated then
+    Format.fprintf ppf "   (trace enumeration truncated)@,";
+  List.iter (fun t -> Format.fprintf ppf "%a" pp_trace t) r.Verdict.traces;
+  List.iter
+    (fun i -> Format.fprintf ppf "   inconsistency: %a@," Verdict.pp_inconsistency i)
+    r.Verdict.inconsistencies;
+  Format.fprintf ppf "@]"
+
+let pp_set_result ppf (r : Engine.set_result) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun sr -> Format.fprintf ppf "%a@," pp_scenario_result sr) r.Engine.results;
+  if r.Engine.style_violations <> [] then begin
+    Format.fprintf ppf "Style violations:@,";
+    List.iter
+      (fun v -> Format.fprintf ppf "  %a@," Styles.Rule.pp_violation v)
+      r.Engine.style_violations
+  end;
+  if r.Engine.coverage_problems <> [] then begin
+    Format.fprintf ppf "Mapping coverage:@,";
+    List.iter
+      (fun p -> Format.fprintf ppf "  %a@," Mapping.Coverage.pp_problem p)
+      r.Engine.coverage_problems
+  end;
+  Format.fprintf ppf "Overall: %s@]"
+    (if r.Engine.consistent then "CONSISTENT" else "INCONSISTENT")
+
+let scenario_result_to_string r = Format.asprintf "%a" pp_scenario_result r
+
+let set_result_to_string r = Format.asprintf "%a" pp_set_result r
+
+let summary_line r =
+  Printf.sprintf "%s: %s (%d trace%s)%s" r.Verdict.scenario_id
+    (match r.Verdict.verdict with
+    | Verdict.Consistent -> "CONSISTENT"
+    | Verdict.Inconsistent -> "INCONSISTENT")
+    (List.length r.Verdict.traces)
+    (if List.length r.Verdict.traces = 1 then "" else "s")
+    (if r.Verdict.negative then " [negative]" else "")
+
+let trace_to_dot architecture t =
+  let highlight =
+    List.concat_map
+      (fun s ->
+        let hop_bricks =
+          match s.Verdict.hop with Some h -> h.Verdict.via | None -> []
+        in
+        let failing_bricks =
+          if s.Verdict.step_problems = [] then [] else s.Verdict.components
+        in
+        hop_bricks @ failing_bricks)
+      t.Verdict.steps
+  in
+  (* dedupe but keep order: consecutive pairs drive edge highlighting *)
+  Adl.Dot.to_dot ~highlight architecture

@@ -1,0 +1,20 @@
+(** Rendering of walkthrough results, in the numbered-step style of the
+    paper's Fig. 4 (failing hops are marked with [??]). *)
+
+val pp_trace : Format.formatter -> Verdict.trace_result -> unit
+
+val pp_scenario_result : Format.formatter -> Verdict.scenario_result -> unit
+
+val pp_set_result : Format.formatter -> Engine.set_result -> unit
+
+val scenario_result_to_string : Verdict.scenario_result -> string
+
+val set_result_to_string : Engine.set_result -> string
+
+val summary_line : Verdict.scenario_result -> string
+(** e.g. ["create-portfolio: CONSISTENT (1 trace)"]. *)
+
+val trace_to_dot :
+  Adl.Structure.t -> Verdict.trace_result -> string
+(** Graphviz DOT of the architecture with the trace's hop paths (and the
+    components of failing steps) highlighted — a textual Fig. 4. *)

@@ -1,0 +1,25 @@
+let path e tags =
+  let step acc tag = List.concat_map (fun e -> Doc.find_children e tag) acc in
+  List.fold_left step [e] tags
+
+let first e tags = match path e tags with [] -> None | x :: _ -> Some x
+
+let with_attr name value es =
+  List.filter
+    (fun e -> match Doc.attr e name with Some v -> String.equal v value | None -> false)
+    es
+
+let by_id e ~id_attr value =
+  let rec search e =
+    match Doc.attr e id_attr with
+    | Some v when String.equal v value -> Some e
+    | Some _ | None ->
+        let rec among = function
+          | [] -> None
+          | c :: rest -> ( match search c with Some r -> Some r | None -> among rest)
+        in
+        among (Doc.children_elements e)
+  in
+  search e
+
+let texts e tags = List.map Doc.child_text (path e tags)

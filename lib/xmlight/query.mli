@@ -1,0 +1,20 @@
+(** Small query combinators over the DOM, in the spirit of a drastically
+    reduced XPath: tag paths, attribute predicates, and collection. *)
+
+val path : Doc.element -> string list -> Doc.element list
+(** [path e [t1; t2; ...]] follows child axes: all elements reached by
+    taking a [t1] child of [e], then a [t2] child of that, and so on.
+    The empty path yields [[e]]. *)
+
+val first : Doc.element -> string list -> Doc.element option
+(** First element reached by {!path}, in document order. *)
+
+val with_attr : string -> string -> Doc.element list -> Doc.element list
+(** Keep elements whose attribute [name] equals [value]. *)
+
+val by_id : Doc.element -> id_attr:string -> string -> Doc.element option
+(** Search the whole subtree for an element whose [id_attr] attribute
+    equals the given value. *)
+
+val texts : Doc.element -> string list -> string list
+(** Trimmed text content of every element reached by {!path}. *)

@@ -1,0 +1,168 @@
+(* Tests for the Acme interchange substrate (paper 8). *)
+
+let sample_text =
+  {|
+// a small layered system
+System demo : layered = {
+  Property name = "Demo system";
+  Component ui = {
+    Property name = "User Interface";
+    Property responsibility_1 = "talk to the user";
+    Property tag_layer = "2";
+    Port out = { Property direction = "required"; };
+  };
+  Component store = {
+    Property name = "Store";
+    Property tag_layer = "1";
+    Port in = { Property direction = "provided"; };
+  };
+  Connector bus = {
+    Role top;
+    Role bottom;
+  };
+  Attachment ui.out to bus.top;
+  Attachment store.in to bus.bottom;
+};
+|}
+
+let test_parse () =
+  let sys = Acme.Parse.system sample_text in
+  Alcotest.(check string) "name" "demo" sys.Acme.Ast.sys_name;
+  Alcotest.(check (option string)) "family" (Some "layered") sys.Acme.Ast.family;
+  Alcotest.(check int) "components" 2 (List.length sys.Acme.Ast.components);
+  Alcotest.(check int) "connectors" 1 (List.length sys.Acme.Ast.connectors);
+  Alcotest.(check int) "attachments" 2 (List.length sys.Acme.Ast.attachments);
+  let ui = List.hd sys.Acme.Ast.components in
+  Alcotest.(check (option string)) "prop" (Some "User Interface")
+    (Acme.Ast.string_prop ui.Acme.Ast.comp_props "name");
+  Alcotest.(check int) "ports" 1 (List.length ui.Acme.Ast.ports)
+
+let test_parse_literals_and_comments () =
+  let sys =
+    Acme.Parse.system
+      {|System x = {
+        /* block comment
+           over lines */
+        Property i : int = 42;
+        Property f : float = 2.5;
+        Property b : bool = true;
+        Property s : string = "with \"escape\" and \n";
+      };|}
+  in
+  Alcotest.(check (option int)) "int" (Some 42) (Acme.Ast.int_prop sys.Acme.Ast.sys_props "i");
+  Alcotest.(check bool) "float" true
+    (match Acme.Ast.find_prop sys.Acme.Ast.sys_props "f" with
+    | Some (Acme.Ast.Float f) -> f = 2.5
+    | _ -> false);
+  Alcotest.(check bool) "bool" true
+    (Acme.Ast.find_prop sys.Acme.Ast.sys_props "b" = Some (Acme.Ast.Bool true))
+
+let test_parse_errors () =
+  let fails s =
+    match Acme.Parse.system s with exception Acme.Parse.Parse_error _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "not a system" true (fails "Component x = {};");
+  Alcotest.(check bool) "unterminated" true (fails "System x = {");
+  Alcotest.(check bool) "bad attachment" true
+    (fails "System x = { Attachment a to b; };");
+  Alcotest.(check bool) "junk after" true (fails "System x = {}; garbage")
+
+let test_print_parse_roundtrip () =
+  let sys = Acme.Parse.system sample_text in
+  let printed = Acme.Print.system_to_string sys in
+  let reparsed = Acme.Parse.system printed in
+  Alcotest.(check bool) "ast round trip" true (sys = reparsed)
+
+let graphs_agree a b =
+  let ga = Adl.Graph.of_structure a and gb = Adl.Graph.of_structure b in
+  List.sort String.compare (Adl.Graph.nodes ga)
+  = List.sort String.compare (Adl.Graph.nodes gb)
+  && List.for_all
+       (fun u ->
+         List.sort String.compare (Adl.Graph.successors ga u)
+         = List.sort String.compare (Adl.Graph.successors gb u))
+       (Adl.Graph.nodes ga)
+
+let test_structure_roundtrip_pims () =
+  let original = Casestudies.Pims.architecture in
+  let acme = Acme.Convert.of_structure original in
+  let text = Acme.Print.system_to_string acme in
+  let back = Acme.Convert.to_structure (Acme.Parse.system text) in
+  Alcotest.(check (list string)) "brick ids preserved"
+    (Adl.Structure.brick_ids original |> List.sort String.compare)
+    (Adl.Structure.brick_ids back |> List.sort String.compare);
+  Alcotest.(check bool) "communication graph preserved" true (graphs_agree original back);
+  Alcotest.(check (option string)) "style preserved" (Some "layered") back.Adl.Structure.style;
+  let mc = Adl.Structure.component_exn back "master-controller" in
+  Alcotest.(check int) "responsibilities preserved" 3
+    (List.length mc.Adl.Structure.responsibilities);
+  Alcotest.(check (option int)) "layer tag preserved" (Some 4) (Adl.Structure.layer_of mc)
+
+let test_structure_roundtrip_crash () =
+  (* the CRASH entity has interface side tags and conn-comp links *)
+  let original = Casestudies.Crash.entity_architecture in
+  let back =
+    Acme.Convert.to_structure
+      (Acme.Parse.system (Acme.Print.system_to_string (Acme.Convert.of_structure original)))
+  in
+  Alcotest.(check bool) "communication graph preserved" true (graphs_agree original back);
+  (* side tags survive, so the C2 style still passes *)
+  Alcotest.(check (list string)) "still conforms to C2" []
+    (List.map (fun v -> v.Styles.Rule.rule) (Styles.Check.check_declared back))
+
+let test_fig4_through_acme () =
+  (* the whole Fig. 4 experiment works on an architecture that made a
+     round trip through Acme text *)
+  let via_acme arch =
+    Acme.Convert.to_structure
+      (Acme.Parse.system (Acme.Print.system_to_string (Acme.Convert.of_structure arch)))
+  in
+  let set = Casestudies.Pims.scenario_set in
+  let eval arch s =
+    Walkthrough.Engine.evaluate_scenario ~set ~architecture:arch
+      ~mapping:Casestudies.Pims.mapping s
+  in
+  let intact = via_acme Casestudies.Pims.architecture in
+  let broken = via_acme Casestudies.Pims.broken_architecture in
+  Alcotest.(check bool) "intact: prices walk" true
+    (Walkthrough.Verdict.is_consistent (eval intact Casestudies.Pims.get_share_prices));
+  Alcotest.(check bool) "broken: create portfolio walks" true
+    (Walkthrough.Verdict.is_consistent (eval broken Casestudies.Pims.create_portfolio));
+  Alcotest.(check bool) "broken: prices fail" false
+    (Walkthrough.Verdict.is_consistent (eval broken Casestudies.Pims.get_share_prices))
+
+let test_synthesized_bridges () =
+  (* component-component and connector-connector links need bridges *)
+  let arch =
+    let open Adl.Build in
+    create ~id:"br" ~name:"Bridges" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_component ~id:"b" ~name:"B"
+    |> add_connector ~id:"k1" ~name:"K1"
+    |> add_connector ~id:"k2" ~name:"K2"
+    |> fun t ->
+    biconnect t "a" "b" |> fun t ->
+    biconnect t "k1" "k2" |> fun t -> biconnect t "a" "k1"
+  in
+  let acme = Acme.Convert.of_structure arch in
+  Alcotest.(check int) "one synthesized connector" 3 (List.length acme.Acme.Ast.connectors);
+  Alcotest.(check int) "one synthesized component" 3 (List.length acme.Acme.Ast.components);
+  let back = Acme.Convert.to_structure acme in
+  Alcotest.(check (list string)) "bridges collapsed"
+    [ "a"; "b"; "k1"; "k2" ]
+    (List.sort String.compare (Adl.Structure.brick_ids back));
+  Alcotest.(check bool) "graph preserved" true (graphs_agree arch back);
+  Alcotest.(check int) "three links" 3 (List.length back.Adl.Structure.links)
+
+let suite =
+  [
+    Alcotest.test_case "parse a system" `Quick test_parse;
+    Alcotest.test_case "literals and comments" `Quick test_parse_literals_and_comments;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse round trip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "PIMS structure round trip" `Quick test_structure_roundtrip_pims;
+    Alcotest.test_case "CRASH entity round trip (C2 tags)" `Quick
+      test_structure_roundtrip_crash;
+    Alcotest.test_case "Fig. 4 reproduced through Acme" `Quick test_fig4_through_acme;
+    Alcotest.test_case "synthesized bridges collapse" `Quick test_synthesized_bridges;
+  ]

@@ -1,0 +1,321 @@
+(* Unit and property tests for the architecture description library. *)
+
+let linear_arch =
+  (* a -> b -> c via direct bidirectional links, d isolated-by-design *)
+  let open Adl.Build in
+  create ~style:"layered" ~id:"t" ~name:"Test arch" ()
+  |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "start" ] ~tags:[ ("layer", "3") ]
+  |> add_component ~id:"b" ~name:"B" ~responsibilities:[ "middle" ] ~tags:[ ("layer", "2") ]
+  |> add_component ~id:"c" ~name:"C" ~responsibilities:[ "end" ] ~tags:[ ("layer", "1") ]
+  |> fun t ->
+  biconnect t "a" "b" |> fun t -> biconnect t "b" "c"
+
+let connected_arch =
+  let open Adl.Build in
+  create ~id:"t2" ~name:"With connector" ()
+  |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "r" ]
+  |> add_component ~id:"b" ~name:"B" ~responsibilities:[ "r" ]
+  |> add_component ~id:"c" ~name:"C" ~responsibilities:[ "r" ]
+  |> add_connector ~id:"bus" ~name:"Bus"
+  |> fun t ->
+  biconnect t "a" "bus" |> fun t ->
+  biconnect t "bus" "b" |> fun t -> biconnect t "b" "c"
+
+let test_lookups () =
+  Alcotest.(check bool) "component" true (Adl.Structure.find_component linear_arch "a" <> None);
+  Alcotest.(check bool) "connector" true
+    (Adl.Structure.find_connector connected_arch "bus" <> None);
+  Alcotest.(check (list string)) "brick ids" [ "a"; "b"; "c" ]
+    (Adl.Structure.brick_ids linear_arch);
+  Alcotest.(check int) "size" 5 (Adl.Structure.size linear_arch);
+  let a = Adl.Structure.component_exn linear_arch "a" in
+  Alcotest.(check (option int)) "layer" (Some 3) (Adl.Structure.layer_of a)
+
+let test_duplicates_rejected () =
+  Alcotest.check_raises "dup component" (Adl.Build.Duplicate "a") (fun () ->
+      ignore (Adl.Build.add_component ~id:"a" ~name:"A2" linear_arch));
+  Alcotest.check_raises "unknown link endpoint" (Adl.Build.Unknown "ghost.i") (fun () ->
+      ignore (Adl.Build.add_link ~from_:("ghost", "i") ~to_:("a", "io_b") linear_arch))
+
+let test_connect_via () =
+  let open Adl.Build in
+  let t =
+    create ~id:"v" ~name:"V" ()
+    |> add_component ~id:"x" ~name:"X"
+    |> add_component ~id:"y" ~name:"Y"
+    |> add_connector ~id:"pipe" ~name:"Pipe"
+  in
+  let t = connect ~via:"pipe" t "x" "y" in
+  let g = Adl.Graph.of_structure t in
+  Alcotest.(check bool) "x reaches y via pipe" true (Adl.Graph.reachable g "x" "y");
+  Alcotest.(check bool) "not backwards" false (Adl.Graph.reachable g "y" "x");
+  (match Adl.Graph.path g "x" "y" with
+  | Some p -> Alcotest.(check (list string)) "path" [ "x"; "pipe"; "y" ] p
+  | None -> Alcotest.fail "no path");
+  let t2 = connect t "y" "x" in
+  let g2 = Adl.Graph.of_structure t2 in
+  Alcotest.(check bool) "now backwards too" true (Adl.Graph.adjacent g2 "y" "x")
+
+let test_graph_policies () =
+  let g = Adl.Graph.of_structure connected_arch in
+  Alcotest.(check bool) "direct through connector" true
+    (Adl.Graph.reachable ~policy:Adl.Graph.Direct g "a" "b");
+  (* a -> c requires relaying through component b *)
+  Alcotest.(check bool) "routed through component" true
+    (Adl.Graph.reachable ~policy:Adl.Graph.Routed g "a" "c");
+  Alcotest.(check bool) "direct blocked by component" false
+    (Adl.Graph.reachable ~policy:Adl.Graph.Direct g "a" "c");
+  Alcotest.(check bool) "self" true (Adl.Graph.reachable ~policy:Adl.Graph.Direct g "a" "a");
+  Alcotest.(check bool) "is_connector" true (Adl.Graph.is_connector g "bus");
+  Alcotest.(check int) "edges" 6 (Adl.Graph.edge_count g)
+
+let test_graph_components () =
+  let island =
+    Adl.Build.add_component ~id:"lone" ~name:"Lone" connected_arch
+  in
+  let g = Adl.Graph.of_structure island in
+  let components = Adl.Graph.undirected_components g in
+  Alcotest.(check int) "two islands" 2 (List.length components);
+  let indeg, outdeg = Adl.Graph.degree g "bus" in
+  Alcotest.(check (pair int int)) "bus degree" (2, 2) (indeg, outdeg)
+
+let test_validate_clean () =
+  Alcotest.(check (list string)) "no problems" []
+    (List.map Adl.Validate.problem_to_string (Adl.Validate.check linear_arch))
+
+let test_validate_problems () =
+  let has arch predicate = List.exists predicate (Adl.Validate.check arch) in
+  let no_resp =
+    Adl.Build.(
+      create ~id:"w" ~name:"W" ()
+      |> add_component ~id:"a" ~name:"A"
+      |> add_component ~id:"b" ~name:"B")
+  in
+  Alcotest.(check bool) "missing responsibilities" true
+    (has no_resp (function Adl.Validate.Missing_responsibilities _ -> true | _ -> false));
+  Alcotest.(check bool) "isolated" true
+    (has no_resp (function Adl.Validate.Isolated_element _ -> true | _ -> false));
+  Alcotest.(check bool) "relaxed check skips responsibilities" false
+    (List.exists
+       (function Adl.Validate.Missing_responsibilities _ -> true | _ -> false)
+       (Adl.Validate.check ~require_responsibilities:false no_resp));
+  let self_link =
+    let open Adl.Build in
+    create ~id:"w" ~name:"W" ()
+    |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "r" ]
+    |> fun t -> biconnect t "a" "a"
+  in
+  Alcotest.(check bool) "self link" true
+    (has self_link (function Adl.Validate.Self_link _ -> true | _ -> false));
+  let incompatible =
+    let open Adl.Build in
+    create ~id:"w" ~name:"W" ()
+    |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "r" ]
+         ~interfaces:[ interface ~direction:Adl.Structure.Provided "p" ]
+    |> add_component ~id:"b" ~name:"B" ~responsibilities:[ "r" ]
+         ~interfaces:[ interface ~direction:Adl.Structure.Provided "p" ]
+    |> add_link ~from_:("a", "p") ~to_:("b", "p")
+  in
+  Alcotest.(check bool) "incompatible directions" true
+    (has incompatible (function Adl.Validate.Incompatible_link _ -> true | _ -> false));
+  (* dangling anchors are only constructible by hand *)
+  let dangling =
+    {
+      linear_arch with
+      Adl.Structure.links =
+        [
+          {
+            Adl.Structure.link_id = "bad";
+            link_from = { Adl.Structure.anchor = "ghost"; interface = "i" };
+            link_to = { Adl.Structure.anchor = "a"; interface = "io_b" };
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "unknown anchor" true
+    (has dangling (function Adl.Validate.Unknown_anchor _ -> true | _ -> false));
+  let bad_iface =
+    {
+      linear_arch with
+      Adl.Structure.links =
+        [
+          {
+            Adl.Structure.link_id = "bad";
+            link_from = { Adl.Structure.anchor = "a"; interface = "ghost" };
+            link_to = { Adl.Structure.anchor = "b"; interface = "io_a" };
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "unknown interface" true
+    (has bad_iface (function Adl.Validate.Unknown_interface _ -> true | _ -> false))
+
+let test_substructure_validation () =
+  let inner =
+    Adl.Build.(create ~id:"inner" ~name:"Inner" () |> add_component ~id:"x" ~name:"X")
+  in
+  let outer =
+    Adl.Build.(
+      create ~id:"outer" ~name:"Outer" ()
+      |> add_component ~id:"c" ~name:"C" ~responsibilities:[ "r" ] ~substructure:inner)
+  in
+  Alcotest.(check bool) "nested problem surfaced" true
+    (List.exists
+       (function Adl.Validate.Substructure_problem _ -> true | _ -> false)
+       (Adl.Validate.check outer))
+
+let test_diff_ops () =
+  let removed = Adl.Diff.apply linear_arch (Adl.Diff.Remove_component "b") in
+  Alcotest.(check bool) "component gone" true
+    (Adl.Structure.find_component removed "b" = None);
+  Alcotest.(check int) "links pruned" 0 (List.length removed.Adl.Structure.links);
+  let renamed =
+    Adl.Diff.apply linear_arch (Adl.Diff.Rename_element { old_id = "b"; new_id = "mid" })
+  in
+  Alcotest.(check bool) "renamed" true (Adl.Structure.find_component renamed "mid" <> None);
+  let g = Adl.Graph.of_structure renamed in
+  Alcotest.(check bool) "links follow rename" true (Adl.Graph.reachable g "a" "mid");
+  Alcotest.(check bool) "errors on unknown" true
+    (match Adl.Diff.apply linear_arch (Adl.Diff.Remove_component "ghost") with
+    | exception Adl.Diff.Apply_error _ -> true
+    | _ -> false)
+
+let test_excise () =
+  let excised = Adl.Diff.excise_link_between linear_arch "a" "b" in
+  let g = Adl.Graph.of_structure excised in
+  Alcotest.(check bool) "a cut from b" false (Adl.Graph.reachable g "a" "b");
+  Alcotest.(check bool) "b still reaches c" true (Adl.Graph.reachable g "b" "c");
+  Alcotest.(check bool) "no such link" true
+    (match Adl.Diff.excise_link_between linear_arch "a" "c" with
+    | exception Adl.Diff.Apply_error _ -> true
+    | _ -> false)
+
+let test_diff_roundtrip () =
+  let target =
+    let open Adl.Build in
+    create ~style:"layered" ~id:"t" ~name:"Test arch" ()
+    |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "start" ]
+         ~tags:[ ("layer", "3") ]
+    |> add_component ~id:"c" ~name:"C" ~responsibilities:[ "end" ] ~tags:[ ("layer", "1") ]
+    |> add_component ~id:"d" ~name:"D" ~responsibilities:[ "new" ]
+    |> fun t -> biconnect t "a" "c"
+  in
+  let script = Adl.Diff.diff linear_arch target in
+  let applied = Adl.Diff.apply_all linear_arch script in
+  let ids t = List.sort String.compare (Adl.Structure.brick_ids t) in
+  let link_ids t =
+    List.sort String.compare (List.map (fun l -> l.Adl.Structure.link_id) t.Adl.Structure.links)
+  in
+  Alcotest.(check (list string)) "same elements" (ids target) (ids applied);
+  Alcotest.(check (list string)) "same links" (link_ids target) (link_ids applied)
+
+let test_xml_roundtrip () =
+  let sub = Adl.Build.(create ~id:"s" ~name:"Sub" () |> add_component ~id:"inner" ~name:"I") in
+  let arch =
+    let open Adl.Build in
+    create ~style:"c2" ~id:"x" ~name:"Xml arch" ()
+    |> add_component ~id:"a" ~name:"A" ~description:"the A"
+         ~responsibilities:[ "r1"; "r2" ]
+         ~interfaces:
+           [
+             interface ~direction:Adl.Structure.Provided ~tags:[ ("side", "top") ] "i1";
+             interface ~direction:Adl.Structure.Required "i2";
+             interface ~direction:Adl.Structure.In_out "i3";
+           ]
+         ~tags:[ ("layer", "1"); ("external", "false") ]
+    |> add_component ~id:"b" ~name:"B" ~substructure:sub
+    |> add_connector ~id:"k" ~name:"K" ~description:"conn"
+         ~interfaces:[ interface ~direction:Adl.Structure.In_out "i" ]
+    |> add_link ~id:"l1" ~from_:("a", "i2") ~to_:("k", "i")
+  in
+  let xml = Adl.Xml_io.to_string arch in
+  let reparsed = Adl.Xml_io.of_string xml in
+  Alcotest.(check bool) "identical" true (reparsed = arch)
+
+let test_xml_malformed () =
+  let bad s =
+    match Adl.Xml_io.of_string s with
+    | exception Adl.Xml_io.Malformed _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "wrong root" true (bad "<x id=\"a\" name=\"b\"/>");
+  Alcotest.(check bool) "bad direction" true
+    (bad
+       "<archStructure id=\"a\" name=\"b\"><component id=\"c\" name=\"C\"><interface \
+        id=\"i\" name=\"i\" direction=\"sideways\"/></component></archStructure>")
+
+let test_pretty () =
+  let text = Adl.Pretty.to_string linear_arch in
+  Testutil.check_contains "component line" text "component a: A";
+  Testutil.check_contains "link line" text "a.io_b -> b.io_a";
+  let layered = Format.asprintf "%a" Adl.Pretty.pp_layered linear_arch in
+  Testutil.check_contains "top layer first" layered "A";
+  Testutil.check_contains "summary" (Adl.Pretty.summary linear_arch) "3 components"
+
+let test_dot_export () =
+  let dot = Adl.Dot.to_dot ~highlight:[ "a"; "b" ] linear_arch in
+  Testutil.check_contains "digraph" dot "digraph \"t\"";
+  Testutil.check_contains "component box" dot "\"a\" [shape=box";
+  Testutil.check_contains "layer label" dot "(layer 3)";
+  Testutil.check_contains "highlight" dot "color=red";
+  Testutil.check_contains "edge" dot "\"a\" -> \"b\"";
+  let with_conn = Adl.Dot.to_dot connected_arch in
+  Testutil.check_contains "connector ellipse" with_conn "\"bus\" [shape=ellipse";
+  (* unhighlighted graphs have no red *)
+  Alcotest.(check bool) "no spurious highlight" false
+    (Testutil.contains (Adl.Dot.to_dot linear_arch) "color=red")
+
+(* --- property: a random chain architecture is fully reachable from
+   its head, and excising any link cuts exactly the tail --- *)
+
+let prop_chain_reachability =
+  QCheck2.Test.make ~name:"chain reachability and excision" ~count:50
+    QCheck2.Gen.(int_range 2 12)
+    (fun n ->
+      let name i = Printf.sprintf "n%d" i in
+      let arch =
+        List.fold_left
+          (fun t i ->
+            Adl.Build.add_component ~id:(name i) ~name:(name i)
+              ~responsibilities:[ "r" ] t)
+          (Adl.Build.create ~id:"chain" ~name:"Chain" ())
+          (List.init n (fun i -> i))
+      in
+      let arch =
+        List.fold_left
+          (fun t i -> Adl.Build.biconnect t (name i) (name (i + 1)))
+          arch
+          (List.init (n - 1) (fun i -> i))
+      in
+      let g = Adl.Graph.of_structure arch in
+      let all_reachable =
+        List.for_all (fun i -> Adl.Graph.reachable g (name 0) (name i)) (List.init n Fun.id)
+      in
+      let cut = n / 2 in
+      if cut >= n - 1 then all_reachable
+      else
+        let excised = Adl.Diff.excise_link_between arch (name cut) (name (cut + 1)) in
+        let g2 = Adl.Graph.of_structure excised in
+        all_reachable
+        && (not (Adl.Graph.reachable g2 (name 0) (name (n - 1))))
+        && Adl.Graph.reachable g2 (name 0) (name cut))
+
+let suite =
+  [
+    Alcotest.test_case "lookups" `Quick test_lookups;
+    Alcotest.test_case "duplicates and unknowns rejected" `Quick test_duplicates_rejected;
+    Alcotest.test_case "connect via connector" `Quick test_connect_via;
+    Alcotest.test_case "graph path policies" `Quick test_graph_policies;
+    Alcotest.test_case "undirected components and degrees" `Quick test_graph_components;
+    Alcotest.test_case "valid architecture is clean" `Quick test_validate_clean;
+    Alcotest.test_case "each validation problem detected" `Quick test_validate_problems;
+    Alcotest.test_case "substructure validation" `Quick test_substructure_validation;
+    Alcotest.test_case "diff operations" `Quick test_diff_ops;
+    Alcotest.test_case "link excision (Fig. 4 operation)" `Quick test_excise;
+    Alcotest.test_case "diff/apply round trip" `Quick test_diff_roundtrip;
+    Alcotest.test_case "XML round trip" `Quick test_xml_roundtrip;
+    Alcotest.test_case "malformed XML rejected" `Quick test_xml_malformed;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+    Alcotest.test_case "Graphviz DOT export" `Quick test_dot_export;
+    QCheck_alcotest.to_alcotest prop_chain_reachability;
+  ]

@@ -1,0 +1,319 @@
+(* The paper's claims, as tests: every artifact of §4 validates, and
+   every walkthrough/simulation outcome matches the published result. *)
+
+(* ------------------------------ PIMS ------------------------------ *)
+
+let pims_project =
+  {
+    Core.Sosae.scenarios = Casestudies.Pims.scenario_set;
+    architecture = Casestudies.Pims.architecture;
+    mapping = Casestudies.Pims.mapping;
+  }
+
+let test_pims_artifacts_valid () =
+  let v = Core.Sosae.validate pims_project in
+  Alcotest.(check bool) "all valid" true v.Core.Sosae.ok
+
+let test_pims_22_use_cases () =
+  (* "In total the system's requirements comprise 22 use cases." *)
+  Alcotest.(check int) "22 use cases" 22
+    (List.length Casestudies.Pims.scenario_set.Scenarioml.Scen.scenarios)
+
+let test_pims_focal_scenarios_shape () =
+  (* "Create portfolio" main scenario has 4 events; "Get the current
+     prices of shares" main scenario has 4 events (paper 4.1) *)
+  let main_trace s =
+    Scenarioml.Linearize.first_trace Casestudies.Pims.scenario_set s
+  in
+  Alcotest.(check int) "create portfolio main: 4 events" 4
+    (List.length (main_trace Casestudies.Pims.create_portfolio));
+  Alcotest.(check int) "get prices main: 4 events" 4
+    (List.length (main_trace Casestudies.Pims.get_share_prices))
+
+let test_pims_layered_style () =
+  Alcotest.(check (list string)) "conforms to layered" []
+    (List.map (fun v -> v.Styles.Rule.rule)
+       (Styles.Check.check_declared Casestudies.Pims.architecture))
+
+let test_pims_table1_property () =
+  (* "Each ontology event type is mapped at least to one component and
+     each component is mapped to by at least by one ontology event
+     type." *)
+  Alcotest.(check bool) "mapping total" true
+    (Mapping.Coverage.is_total Casestudies.Pims.ontology Casestudies.Pims.architecture
+       Casestudies.Pims.mapping)
+
+let test_pims_intact_walkthroughs () =
+  (* "the PIMS architecture ... is consistent with all the scenarios
+     describing the system functional requirements" *)
+  let r = Core.Sosae.evaluate pims_project in
+  List.iter
+    (fun sr ->
+      if not (Walkthrough.Verdict.is_consistent sr) then
+        Alcotest.failf "scenario %s unexpectedly inconsistent"
+          sr.Walkthrough.Verdict.scenario_id)
+    r.Walkthrough.Engine.results;
+  Alcotest.(check bool) "set consistent" true r.Walkthrough.Engine.consistent
+
+let test_pims_fig4_walkthrough () =
+  (* "our expectation was that the walkthrough of the Create portfolio
+     scenario would succeed while the Get the current prices of shares
+     scenario would fail" *)
+  let broken = { pims_project with Core.Sosae.architecture = Casestudies.Pims.broken_architecture } in
+  (match Core.Sosae.evaluate_scenario broken "create-portfolio" with
+  | Some r ->
+      Alcotest.(check bool) "create portfolio succeeds" true
+        (Walkthrough.Verdict.is_consistent r)
+  | None -> Alcotest.fail "scenario missing");
+  match Core.Sosae.evaluate_scenario broken "get-share-prices" with
+  | Some r ->
+      Alcotest.(check bool) "get prices fails" false (Walkthrough.Verdict.is_consistent r);
+      (* failure is at the fourth event, on the Loader -> Data Access hop *)
+      let failing =
+        List.concat_map
+          (fun t -> List.filter (fun s -> s.Walkthrough.Verdict.step_problems <> []) t.Walkthrough.Verdict.steps)
+          r.Walkthrough.Verdict.traces
+      in
+      (match failing with
+      | [ step ] -> (
+          Alcotest.(check int) "fails at event 4" 4 step.Walkthrough.Verdict.index;
+          match step.Walkthrough.Verdict.step_problems with
+          | [ Walkthrough.Verdict.Missing_link { from_components; to_components; _ } ] ->
+              Alcotest.(check (list string)) "from loader" [ "loader" ] from_components;
+              Alcotest.(check (list string)) "to data access" [ "data-access" ] to_components
+          | _ -> Alcotest.fail "expected exactly one missing link")
+      | _ -> Alcotest.fail "expected exactly one failing step")
+  | None -> Alcotest.fail "scenario missing"
+
+let test_pims_event_examples_from_paper () =
+  (* the mapping examples quoted in 3.4 *)
+  Alcotest.(check (list string)) "user enters -> Master Controller" [ "master-controller" ]
+    (Mapping.Types.components_of Casestudies.Pims.mapping "user-enters");
+  Alcotest.(check (list string)) "authenticate -> Authentication" [ "authentication" ]
+    (Mapping.Types.components_of Casestudies.Pims.mapping "system-authenticates")
+
+let test_pims_xml_roundtrip () =
+  let dir = Filename.temp_file "pims" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let s = Filename.concat dir "s.xml"
+  and a = Filename.concat dir "a.xml"
+  and m = Filename.concat dir "m.xml" in
+  Core.Sosae.save_project pims_project ~scenarios:s ~architecture:a ~mapping:m;
+  let reloaded = Core.Sosae.load_project ~scenarios:s ~architecture:a ~mapping:m in
+  Alcotest.(check bool) "scenarios identical" true
+    (reloaded.Core.Sosae.scenarios = pims_project.Core.Sosae.scenarios);
+  Alcotest.(check bool) "architecture identical" true
+    (reloaded.Core.Sosae.architecture = pims_project.Core.Sosae.architecture);
+  Alcotest.(check bool) "mapping identical" true
+    (reloaded.Core.Sosae.mapping = pims_project.Core.Sosae.mapping);
+  List.iter Sys.remove [ s; a; m ];
+  Sys.rmdir dir
+
+(* ------------------------------ CRASH ----------------------------- *)
+
+let test_crash_artifacts_valid () =
+  Alcotest.(check (list string)) "ontology" []
+    (List.map Ontology.Wellformed.problem_to_string
+       (Ontology.Wellformed.check Casestudies.Crash.ontology));
+  Alcotest.(check (list string)) "entity scenarios" []
+    (List.map Scenarioml.Validate.problem_to_string
+       (Scenarioml.Validate.check Casestudies.Crash.entity_scenario_set));
+  Alcotest.(check (list string)) "network scenarios" []
+    (List.map Scenarioml.Validate.problem_to_string
+       (Scenarioml.Validate.check Casestudies.Crash.network_scenario_set));
+  Alcotest.(check (list string)) "entity architecture" []
+    (List.map Adl.Validate.problem_to_string
+       (Adl.Validate.check Casestudies.Crash.entity_architecture))
+
+let test_crash_seven_organizations () =
+  Alcotest.(check int) "7 orgs" 7 (List.length Casestudies.Crash.organizations);
+  let hl = Casestudies.Crash.high_level_architecture () in
+  (* 3 subsystems per org + the shared emergency network connector *)
+  Alcotest.(check int) "components" 21 (List.length hl.Adl.Structure.components);
+  Alcotest.(check int) "connectors" 8 (List.length hl.Adl.Structure.connectors)
+
+let test_crash_c2_conformance () =
+  Alcotest.(check (list string)) "entity conforms to C2" []
+    (List.map (fun v -> v.Styles.Rule.rule)
+       (Styles.Check.check_declared Casestudies.Crash.entity_architecture))
+
+let test_crash_fig8_mapping () =
+  (* "the event type sendMessage is mapped to three components: User
+     Interface, Sharing Info Manager, and Communication Manager" *)
+  Alcotest.(check (list string)) "sendMessage mapping"
+    [ "user-interface"; "sharing-info-manager"; "communication-manager" ]
+    (Mapping.Types.components_of Casestudies.Crash.entity_mapping "send-message")
+
+let test_crash_scenarios_shape () =
+  (* both paper scenarios have exactly 4 events in a chain *)
+  let steps s =
+    List.length (Scenarioml.Linearize.first_trace Casestudies.Crash.entity_scenario_set s)
+  in
+  Alcotest.(check int) "availability: 4" 4 (steps Casestudies.Crash.entity_availability);
+  Alcotest.(check int) "sequence: 4" 4 (steps Casestudies.Crash.message_sequence)
+
+let test_crash_static_walkthroughs () =
+  let set = Casestudies.Crash.entity_scenario_set in
+  let r =
+    Walkthrough.Engine.evaluate_set ~set
+      ~architecture:Casestudies.Crash.entity_architecture
+      ~mapping:Casestudies.Crash.entity_mapping ()
+  in
+  List.iter
+    (fun sr ->
+      Alcotest.(check bool)
+        (sr.Walkthrough.Verdict.scenario_id ^ " consistent")
+        true
+        (Walkthrough.Verdict.is_consistent sr))
+    r.Walkthrough.Engine.results
+
+let test_crash_availability_dynamic () =
+  (* "If the architecture provides a mechanism for detecting the
+     availability of the entities, then the ... Fire Department's
+     Command and Control ... will receive an error message ...
+     Otherwise [it] will not receive any alert." *)
+  let with_detector = Casestudies.Crash_sim.run_availability ~detector:true in
+  Alcotest.(check bool) "alerted with detector" true
+    with_detector.Casestudies.Crash_sim.verdict.Dsim.Checks.alerted;
+  Alcotest.(check bool) "operator chart alerted" true
+    with_detector.Casestudies.Crash_sim.fire_alerted;
+  let without = Casestudies.Crash_sim.run_availability ~detector:false in
+  Alcotest.(check bool) "silent without detector" false
+    without.Casestudies.Crash_sim.verdict.Dsim.Checks.alerted;
+  Alcotest.(check bool) "operator never alerted" false
+    without.Casestudies.Crash_sim.fire_alerted
+
+let test_crash_ordering_dynamic () =
+  (* "If first message sent ... arrives first ... then the order is
+     preserved; otherwise the order not preserved." *)
+  let fifo = Casestudies.Crash_sim.run_ordering ~fifo:true () in
+  Alcotest.(check bool) "fifo preserves" true
+    fifo.Casestudies.Crash_sim.verdict.Dsim.Checks.preserved;
+  let jittered = Casestudies.Crash_sim.run_ordering ~fifo:false () in
+  Alcotest.(check bool) "jitter violates" false
+    jittered.Casestudies.Crash_sim.verdict.Dsim.Checks.preserved
+
+let test_crash_paper_gap_matches () =
+  (* the paper's exact parameters: the second message follows the first
+     after 5 seconds — with modest jitter FIFO-less channels still keep
+     that pair ordered, showing why the generalized workload matters *)
+  let wide_gap =
+    Casestudies.Crash_sim.run_ordering ~messages:2 ~gap:5.0 ~jitter:2.0 ~fifo:false ()
+  in
+  Alcotest.(check bool) "5s gap survives small jitter" true
+    wide_gap.Casestudies.Crash_sim.verdict.Dsim.Checks.preserved
+
+let test_crash_negative_scenario () =
+  let nset = Casestudies.Crash.network_scenario_set in
+  let eval arch =
+    Walkthrough.Engine.evaluate_scenario ~set:nset ~architecture:arch
+      ~mapping:Casestudies.Crash.network_mapping Casestudies.Crash.unauthenticated_access
+  in
+  Alcotest.(check bool) "secure architecture passes" true
+    (Walkthrough.Verdict.is_consistent
+       (eval (Casestudies.Crash.high_level_architecture ~orgs:2 ())));
+  let flagged = eval Casestudies.Crash.vulnerable_architecture in
+  Alcotest.(check bool) "vulnerable architecture flagged" false
+    (Walkthrough.Verdict.is_consistent flagged);
+  Alcotest.(check bool) "as negative-scenario execution" true
+    (List.exists
+       (function
+         | Walkthrough.Verdict.Negative_scenario_executes _ -> true
+         | _ -> false)
+       flagged.Walkthrough.Verdict.inconsistencies)
+
+let test_crash_coordination () =
+  let full = Casestudies.Crash_sim.run_coordination () in
+  Alcotest.(check int) "six peers" 6 full.Casestudies.Crash_sim.peers;
+  Alcotest.(check int) "all acknowledge" 6 full.Casestudies.Crash_sim.acknowledged;
+  let degraded =
+    Casestudies.Crash_sim.run_coordination ~down:[ "police-cc"; "hospital-cc" ] ()
+  in
+  Alcotest.(check int) "two peers missing" 4 degraded.Casestudies.Crash_sim.acknowledged;
+  Alcotest.(check int) "their notifications dropped" 2
+    degraded.Casestudies.Crash_sim.stats.Dsim.Checks.dropped
+
+let test_crash_broadcast_robustness () =
+  let stats = Casestudies.Crash_sim.run_all_peers_broadcast () in
+  Alcotest.(check int) "7*6 messages" 42 stats.Dsim.Checks.sent;
+  Alcotest.(check int) "all delivered" 42 stats.Dsim.Checks.delivered
+
+let test_crash_entity_execution () =
+  (* executing messages on the Fig. 7 architecture reproduces Fig. 8's
+     three-component realization of sendMessage, in both directions *)
+  let r = Casestudies.Crash_behavior.run_message_paths () in
+  Alcotest.(check bool) "outgoing reaches the network" true
+    r.Casestudies.Crash_behavior.outgoing_reached_network;
+  Alcotest.(check (list string)) "outgoing path is Fig. 8's"
+    [ "user-interface"; "sharing-info-manager"; "communication-manager" ]
+    r.Casestudies.Crash_behavior.outgoing_path;
+  Alcotest.(check bool) "incoming informs the operator" true
+    r.Casestudies.Crash_behavior.incoming_informed_ui;
+  Alcotest.(check (list string)) "incoming path reversed"
+    [ "communication-manager"; "sharing-info-manager"; "user-interface" ]
+    r.Casestudies.Crash_behavior.incoming_path;
+  (* severing the sharing manager from the lower bus breaks the path *)
+  let broken =
+    Adl.Diff.excise_link_between Casestudies.Crash.entity_architecture
+      "sharing-info-manager" "bus-bottom"
+  in
+  let r2 = Casestudies.Crash_behavior.run_message_paths_on broken in
+  Alcotest.(check bool) "broken entity cannot send" false
+    r2.Casestudies.Crash_behavior.outgoing_reached_network
+
+let test_crash_partition () =
+  let stats = Casestudies.Crash_sim.run_partition ~heal_at:10.0 ~duration:20.0 () in
+  Alcotest.(check int) "twenty sent" 20 stats.Dsim.Checks.sent;
+  (* messages sent before t=9 arrive at t+1 <= 10 while still blocked;
+     the partition is silent, so they are simply lost *)
+  Alcotest.(check bool) "in-window messages lost" true (stats.Dsim.Checks.dropped > 0);
+  Alcotest.(check bool) "post-heal messages flow" true (stats.Dsim.Checks.delivered > 0);
+  Alcotest.(check int) "nothing unaccounted" 20
+    (stats.Dsim.Checks.delivered + stats.Dsim.Checks.dropped)
+
+let test_crash_charts_wellformed () =
+  Alcotest.(check (list string)) "fire chart" []
+    (List.map Statechart.Validate.problem_to_string
+       (Statechart.Validate.check Casestudies.Crash.fire_chart));
+  Alcotest.(check (list string)) "police chart" []
+    (List.map Statechart.Validate.problem_to_string
+       (Statechart.Validate.check Casestudies.Crash.police_chart))
+
+let suite =
+  [
+    Alcotest.test_case "PIMS: artifacts valid" `Quick test_pims_artifacts_valid;
+    Alcotest.test_case "PIMS: 22 use cases" `Quick test_pims_22_use_cases;
+    Alcotest.test_case "PIMS: focal scenarios have the paper's shape" `Quick
+      test_pims_focal_scenarios_shape;
+    Alcotest.test_case "PIMS: layered style conformance" `Quick test_pims_layered_style;
+    Alcotest.test_case "PIMS: Table 1 coverage property" `Quick test_pims_table1_property;
+    Alcotest.test_case "PIMS: all intact walkthroughs succeed" `Quick
+      test_pims_intact_walkthroughs;
+    Alcotest.test_case "PIMS: Fig. 4 failure reproduced exactly" `Quick
+      test_pims_fig4_walkthrough;
+    Alcotest.test_case "PIMS: 3.4 mapping examples" `Quick
+      test_pims_event_examples_from_paper;
+    Alcotest.test_case "PIMS: project XML round trip" `Quick test_pims_xml_roundtrip;
+    Alcotest.test_case "CRASH: artifacts valid" `Quick test_crash_artifacts_valid;
+    Alcotest.test_case "CRASH: seven organizations (Fig. 5)" `Quick
+      test_crash_seven_organizations;
+    Alcotest.test_case "CRASH: C2 conformance (Fig. 7)" `Quick test_crash_c2_conformance;
+    Alcotest.test_case "CRASH: Fig. 8 sendMessage mapping" `Quick test_crash_fig8_mapping;
+    Alcotest.test_case "CRASH: scenario shapes (Fig. 6)" `Quick test_crash_scenarios_shape;
+    Alcotest.test_case "CRASH: static walkthroughs" `Quick test_crash_static_walkthroughs;
+    Alcotest.test_case "CRASH: availability flips with the detector" `Quick
+      test_crash_availability_dynamic;
+    Alcotest.test_case "CRASH: ordering flips with FIFO" `Quick test_crash_ordering_dynamic;
+    Alcotest.test_case "CRASH: the paper's 5-second gap" `Quick test_crash_paper_gap_matches;
+    Alcotest.test_case "CRASH: negative scenario flags the vulnerable variant" `Quick
+      test_crash_negative_scenario;
+    Alcotest.test_case "CRASH: all-peer broadcast" `Quick test_crash_broadcast_robustness;
+    Alcotest.test_case "CRASH: coordination with failed peers" `Quick
+      test_crash_coordination;
+    Alcotest.test_case "CRASH: silent partition" `Quick test_crash_partition;
+    Alcotest.test_case "CRASH: behavior charts well-formed" `Quick
+      test_crash_charts_wellformed;
+    Alcotest.test_case "CRASH: executing messages on the entity architecture" `Quick
+      test_crash_entity_execution;
+  ]

@@ -1,0 +1,127 @@
+(* End-to-end tests driving the actual sosae binary (made available by
+   the dune (deps ...) clause as ../bin/sosae.exe). *)
+
+let sosae = "../bin/sosae.exe"
+
+let workdir = lazy (Filename.temp_file "sosae-cli" "" |> fun f ->
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f)
+
+let artifact name = Filename.concat (Lazy.force workdir) name
+
+let run ?(expect = 0) args =
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" sosae (String.concat " " args)
+      (Filename.quote (artifact "last-output.txt"))
+  in
+  let code = Sys.command cmd in
+  if code <> expect then begin
+    let ic = open_in (artifact "last-output.txt") in
+    let n = in_channel_length ic in
+    let out = really_input_string ic n in
+    close_in ic;
+    Alcotest.failf "`sosae %s` exited %d (expected %d):\n%s" (String.concat " " args) code
+      expect out
+  end
+
+let last_output () =
+  let ic = open_in (artifact "last-output.txt") in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let std_args =
+  lazy
+    [
+      "-s";
+      artifact "pims-scenarios.xml";
+      "-a";
+      artifact "pims-architecture.xml";
+      "-m";
+      artifact "pims-mapping.xml";
+    ]
+
+let test_save_demo_and_validate () =
+  run [ "save-demo"; Lazy.force workdir ];
+  Alcotest.(check bool) "scenarios written" true
+    (Sys.file_exists (artifact "pims-scenarios.xml"));
+  Alcotest.(check bool) "behavior written" true
+    (Sys.file_exists (artifact "pims-behavior.xml"));
+  run ("validate" :: Lazy.force std_args);
+  Testutil.check_contains "validation output" (last_output ()) "all artifacts valid"
+
+let test_evaluate () =
+  run ("evaluate" :: Lazy.force std_args);
+  Testutil.check_contains "overall verdict" (last_output ()) "Overall: CONSISTENT";
+  run ("evaluate" :: Lazy.force std_args @ [ "--scenario"; "get-share-prices" ]);
+  Testutil.check_contains "single scenario" (last_output ()) "get-share-prices";
+  run ~expect:2 ("evaluate" :: Lazy.force std_args @ [ "--scenario"; "nope" ])
+
+let test_evaluate_broken_architecture () =
+  (* write the Fig. 4 broken architecture and expect exit 1 *)
+  let oc = open_out_bin (artifact "broken.xml") in
+  output_string oc (Adl.Xml_io.to_string Casestudies.Pims.broken_architecture);
+  close_out oc;
+  run ~expect:1
+    [
+      "evaluate";
+      "-s";
+      artifact "pims-scenarios.xml";
+      "-a";
+      artifact "broken.xml";
+      "-m";
+      artifact "pims-mapping.xml";
+      "--scenario";
+      "get-share-prices";
+    ];
+  Testutil.check_contains "failure detail" (last_output ()) "no communication path"
+
+let test_behavioral_flag () =
+  run
+    ("evaluate" :: Lazy.force std_args
+    @ [ "-b"; artifact "pims-behavior.xml"; "--scenario"; "get-share-prices" ]);
+  Testutil.check_contains "behavioral section" (last_output ()) "behavioral walkthrough"
+
+let test_reporting_commands () =
+  run ("table" :: Lazy.force std_args);
+  Testutil.check_contains "table mark" (last_output ()) "X";
+  run ("stats" :: Lazy.force std_args);
+  Testutil.check_contains "reuse factor" (last_output ()) "reuse factor";
+  run ("rank" :: Lazy.force std_args @ [ "--top"; "3" ]);
+  run ("relations" :: Lazy.force std_args);
+  run ("implied" :: Lazy.force std_args);
+  Testutil.check_contains "implied count" (last_output ()) "implied event-type successions";
+  run ("coverage" :: Lazy.force std_args);
+  Testutil.check_contains "coverage" (last_output ()) "Component coverage";
+  run ("report" :: Lazy.force std_args @ [ "-o"; artifact "report.md" ]);
+  Alcotest.(check bool) "report written" true (Sys.file_exists (artifact "report.md"))
+
+let test_dot_and_owl () =
+  run [ "dot"; artifact "pims-architecture.xml"; "--highlight"; "loader" ];
+  Testutil.check_contains "dot output" (last_output ()) "digraph";
+  run ("export-owl" :: Lazy.force std_args @ [ "-o"; artifact "model.ttl" ]);
+  Alcotest.(check bool) "turtle written" true (Sys.file_exists (artifact "model.ttl"))
+
+let test_prose () =
+  let oc = open_out_bin (artifact "scenario.txt") in
+  output_string oc "Scenario: From the CLI\n(1) Something happens.\n";
+  close_out oc;
+  run [ "prose"; artifact "scenario.txt" ];
+  Testutil.check_contains "scenario xml" (last_output ()) "<scenario id=\"from-the-cli\"";
+  run [ "demo"; "pims" ];
+  Testutil.check_contains "demo" (last_output ()) "after excising"
+
+let suite =
+  [
+    Alcotest.test_case "save-demo + validate" `Quick test_save_demo_and_validate;
+    Alcotest.test_case "evaluate (whole set, one scenario, unknown)" `Quick test_evaluate;
+    Alcotest.test_case "evaluate the broken architecture" `Quick
+      test_evaluate_broken_architecture;
+    Alcotest.test_case "behavioral flag" `Quick test_behavioral_flag;
+    Alcotest.test_case "table/stats/rank/relations/implied/coverage/report" `Quick
+      test_reporting_commands;
+    Alcotest.test_case "dot and export-owl" `Quick test_dot_and_owl;
+    Alcotest.test_case "prose and demo" `Quick test_prose;
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the requirements-constraint language (paper 3.5). *)
+
+open Styles
+
+let arch =
+  (* c1 -> srv -> c2, plus a backdoor c1 -> c2 used by tests *)
+  let open Adl.Build in
+  create ~id:"net" ~name:"Net" ()
+  |> add_component ~id:"c1" ~name:"Client 1" ~responsibilities:[ "r" ]
+  |> add_component ~id:"c2" ~name:"Client 2" ~responsibilities:[ "r" ]
+  |> add_component ~id:"srv" ~name:"Server" ~responsibilities:[ "r" ]
+  |> add_connector ~id:"wire" ~name:"Wire"
+  |> fun t ->
+  biconnect t "c1" "wire" |> fun t ->
+  biconnect t "wire" "srv" |> fun t -> biconnect t "srv" "c2"
+
+let with_backdoor = Adl.Build.biconnect arch "c1" "c2"
+
+let rules violations = List.map (fun v -> v.Rule.rule) violations
+
+let test_parse () =
+  let text =
+    "# comment line\n\
+     connect c1 -> srv\n\
+     \n\
+     forbid c1 -> c2   # inline comment\n\
+     route c1 -> c2 via srv\n\
+     mediate c1 -> srv\n\
+     acyclic\n"
+  in
+  let parsed = Constraint_lang.parse text in
+  Alcotest.(check int) "five constraints" 5 (List.length parsed);
+  (* to_string round-trips through parse *)
+  let printed = String.concat "\n" (List.map Constraint_lang.to_string parsed) in
+  Alcotest.(check bool) "round trip" true (Constraint_lang.parse printed = parsed)
+
+let test_parse_errors () =
+  Alcotest.(check bool) "bad keyword" true
+    (match Constraint_lang.parse "destroy a -> b" with
+    | exception Constraint_lang.Syntax_error { line = 1; _ } -> true
+    | _ -> false);
+  Alcotest.(check bool) "line number" true
+    (match Constraint_lang.parse "connect a -> b\nnonsense here" with
+    | exception Constraint_lang.Syntax_error { line = 2; _ } -> true
+    | _ -> false)
+
+let test_connect () =
+  Alcotest.(check (list string)) "satisfied" []
+    (rules (Constraint_lang.check arch [ Constraint_lang.Connect { src = "c1"; dst = "c2" } ]));
+  let cut = Adl.Diff.excise_link_between arch "srv" "c2" in
+  Alcotest.(check (list string)) "violated" [ "constraint.connect" ]
+    (rules (Constraint_lang.check cut [ Constraint_lang.Connect { src = "c1"; dst = "c2" } ]))
+
+let test_forbid () =
+  Alcotest.(check (list string)) "reachable pair violates forbid" [ "constraint.forbid" ]
+    (rules (Constraint_lang.check arch [ Constraint_lang.Forbid { src = "c1"; dst = "c2" } ]));
+  let cut = Adl.Diff.excise_link_between arch "srv" "c2" in
+  Alcotest.(check (list string)) "unreachable pair satisfies" []
+    (rules (Constraint_lang.check cut [ Constraint_lang.Forbid { src = "c1"; dst = "c2" } ]))
+
+let test_route_via () =
+  (* the paper's example: clients must communicate through the server *)
+  let c = [ Constraint_lang.Route_via { src = "c1"; dst = "c2"; via = "srv" } ] in
+  Alcotest.(check (list string)) "mediated topology satisfies" []
+    (rules (Constraint_lang.check arch c));
+  Alcotest.(check (list string)) "backdoor bypass detected" [ "constraint.route" ]
+    (rules (Constraint_lang.check with_backdoor c));
+  let cut = Adl.Diff.excise_link_between arch "srv" "c2" in
+  Alcotest.(check (list string)) "no path at all also violates" [ "constraint.route" ]
+    (rules (Constraint_lang.check cut c))
+
+let test_mediate () =
+  Alcotest.(check (list string)) "connector-mediated ok" []
+    (rules (Constraint_lang.check arch [ Constraint_lang.Mediate { src = "c1"; dst = "srv" } ]));
+  (* c1 -> c2 must relay through srv (a component): not mediated *)
+  Alcotest.(check (list string)) "component relay violates mediate" [ "constraint.mediate" ]
+    (rules (Constraint_lang.check arch [ Constraint_lang.Mediate { src = "c1"; dst = "c2" } ]))
+
+let test_acyclic () =
+  Alcotest.(check (list string)) "biconnected graphs cycle" [ "constraint.acyclic" ]
+    (rules (Constraint_lang.check arch [ Constraint_lang.Acyclic ]));
+  let dag =
+    let open Adl.Build in
+    create ~id:"dag" ~name:"Dag" ()
+    |> add_component ~id:"a" ~name:"A" ~responsibilities:[ "r" ]
+    |> add_component ~id:"b" ~name:"B" ~responsibilities:[ "r" ]
+    |> fun t -> connect t "a" "b"
+  in
+  Alcotest.(check (list string)) "dag is acyclic" []
+    (rules (Constraint_lang.check dag [ Constraint_lang.Acyclic ]))
+
+let test_unknown_elements () =
+  Alcotest.(check (list string)) "unknown flagged" [ "constraint.unknown" ]
+    (rules (Constraint_lang.check arch [ Constraint_lang.Connect { src = "ghost"; dst = "c1" } ]))
+
+let test_engine_integration () =
+  (* constraints surface as style violations in set evaluation *)
+  let ontology =
+    Ontology.Build.(
+      create ~id:"o" ~name:"O"
+      |> add_event_type ~id:"e" ~name:"e" ~template:"event")
+  in
+  let set =
+    Scenarioml.Scen.make_set ~id:"s" ~name:"S" ontology
+      [
+        Scenarioml.Scen.scenario ~id:"one" ~name:"One"
+          [ Scenarioml.Event.typed ~id:"x" ~event_type:"e" [] ];
+      ]
+  in
+  let mapping =
+    Mapping.Build.(create ~id:"m" ~ontology ~architecture:with_backdoor
+    |> map ~event_type:"e" ~to_:[ "c1" ])
+  in
+  let config =
+    {
+      Walkthrough.Engine.default_config with
+      Walkthrough.Engine.constraints =
+        Constraint_lang.parse "route c1 -> c2 via srv";
+    }
+  in
+  let r =
+    Walkthrough.Engine.evaluate_set ~config ~set ~architecture:with_backdoor ~mapping ()
+  in
+  Alcotest.(check (list string)) "violation surfaced" [ "constraint.route" ]
+    (rules r.Walkthrough.Engine.style_violations);
+  Alcotest.(check bool) "set inconsistent" false r.Walkthrough.Engine.consistent
+
+let test_as_rule () =
+  let rule = Constraint_lang.as_rule [ Constraint_lang.Forbid { src = "c1"; dst = "c2" } ] in
+  Alcotest.(check bool) "usable as style rule" true
+    (Rule.check_all [ rule ] arch <> [])
+
+let suite =
+  [
+    Alcotest.test_case "parsing" `Quick test_parse;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "connect" `Quick test_connect;
+    Alcotest.test_case "forbid" `Quick test_forbid;
+    Alcotest.test_case "route via (the paper's server example)" `Quick test_route_via;
+    Alcotest.test_case "mediate" `Quick test_mediate;
+    Alcotest.test_case "acyclic" `Quick test_acyclic;
+    Alcotest.test_case "unknown elements" `Quick test_unknown_elements;
+    Alcotest.test_case "engine integration" `Quick test_engine_integration;
+    Alcotest.test_case "as a style rule" `Quick test_as_rule;
+  ]

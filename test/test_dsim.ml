@@ -1,0 +1,515 @@
+(* Tests for the discrete-event simulator: heap, engine, network,
+   runtime, and the dependability checkers. *)
+
+(* ------------------------------ heap ------------------------------ *)
+
+let test_heap_basic () =
+  let h = Dsim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Dsim.Heap.is_empty h);
+  Dsim.Heap.push h ~time:3.0 "c";
+  Dsim.Heap.push h ~time:1.0 "a";
+  Dsim.Heap.push h ~time:2.0 "b";
+  Alcotest.(check int) "size" 3 (Dsim.Heap.size h);
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Dsim.Heap.peek_time h);
+  let order = List.init 3 (fun _ -> match Dsim.Heap.pop h with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "drained" true (Dsim.Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Dsim.Heap.create () in
+  List.iter (fun x -> Dsim.Heap.push h ~time:1.0 x) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> match Dsim.Heap.pop h with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "ties in insertion order" [ "first"; "second"; "third" ]
+    order
+
+let prop_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let h = Dsim.Heap.create () in
+      List.iter (fun t -> Dsim.Heap.push h ~time:t t) times;
+      let rec drain acc =
+        match Dsim.Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length times
+      && popped = List.sort compare popped)
+
+(* ------------------------------ engine ---------------------------- *)
+
+let test_engine_ordering () =
+  let engine = Dsim.Engine.create () in
+  let log = ref [] in
+  Dsim.Engine.schedule engine ~delay:5.0 (fun e ->
+      log := ("b", Dsim.Engine.now e) :: !log);
+  Dsim.Engine.schedule engine ~delay:1.0 (fun e ->
+      log := ("a", Dsim.Engine.now e) :: !log;
+      (* actions may schedule more actions *)
+      Dsim.Engine.schedule e ~delay:1.0 (fun e ->
+          log := ("a2", Dsim.Engine.now e) :: !log));
+  Dsim.Engine.run engine;
+  Alcotest.(check (list (pair string (float 0.001)))) "order and clock"
+    [ ("a", 1.0); ("a2", 2.0); ("b", 5.0) ]
+    (List.rev !log);
+  Alcotest.(check int) "drained" 0 (Dsim.Engine.pending engine)
+
+let test_engine_until () =
+  let engine = Dsim.Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> Dsim.Engine.schedule engine ~delay:d (fun _ -> incr count))
+    [ 1.0; 2.0; 3.0; 10.0 ];
+  Dsim.Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "only early actions" 3 !count;
+  Alcotest.(check int) "late action pending" 1 (Dsim.Engine.pending engine);
+  Dsim.Engine.run engine;
+  Alcotest.(check int) "all eventually" 4 !count
+
+let test_engine_negative_delay_clamped () =
+  let engine = Dsim.Engine.create () in
+  let seen = ref (-1.0) in
+  Dsim.Engine.schedule engine ~delay:(-5.0) (fun e -> seen := Dsim.Engine.now e);
+  Dsim.Engine.run engine;
+  Alcotest.(check (float 0.0)) "clamped to now" 0.0 !seen
+
+(* ------------------------------ network --------------------------- *)
+
+let run_network ?config setup =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create ?config engine in
+  setup network;
+  Dsim.Engine.run engine;
+  Dsim.Network.trace network
+
+let test_network_delivery () =
+  let received = ref [] in
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n
+          ~on_receive:(fun _ m -> received := m.Dsim.Network.payload :: !received)
+          "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "hello");
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "world"))
+  in
+  Alcotest.(check (list string)) "handler saw messages" [ "hello"; "world" ]
+    (List.rev !received);
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "sent" 2 stats.Dsim.Checks.sent;
+  Alcotest.(check int) "delivered" 2 stats.Dsim.Checks.delivered;
+  Alcotest.(check (float 0.001)) "latency is the default" 1.0 stats.Dsim.Checks.mean_latency
+
+let test_network_down_node_with_detector () =
+  let failures = ref 0 in
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n ~on_failure:(fun _ _ -> incr failures) "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Network.shutdown n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "ping"))
+  in
+  Alcotest.(check int) "failure handler ran" 1 !failures;
+  let v = Dsim.Checks.availability trace in
+  Alcotest.(check bool) "alerted" true v.Dsim.Checks.alerted;
+  Alcotest.(check int) "one down request" 1 v.Dsim.Checks.requests_to_down_nodes
+
+let test_network_down_node_without_detector () =
+  let failures = ref 0 in
+  let config = { Dsim.Network.default_config with failure_detector = false } in
+  let trace =
+    run_network ~config (fun n ->
+        Dsim.Network.add_node n ~on_failure:(fun _ _ -> incr failures) "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Network.shutdown n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "ping"))
+  in
+  Alcotest.(check int) "no failure handler" 0 !failures;
+  let v = Dsim.Checks.availability trace in
+  Alcotest.(check bool) "not alerted" false v.Dsim.Checks.alerted
+
+let test_network_in_flight_loss () =
+  (* the node goes down after the send but before delivery *)
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "ping");
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:0.5 (fun _ ->
+            Dsim.Network.shutdown n "b"))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "dropped in flight" 1 stats.Dsim.Checks.dropped;
+  Alcotest.(check int) "nothing delivered" 0 stats.Dsim.Checks.delivered
+
+let test_network_restart () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Network.shutdown n "b";
+        Dsim.Network.restart n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "ping"))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "delivered after restart" 1 stats.Dsim.Checks.delivered
+
+let test_network_random_loss () =
+  let config =
+    { Dsim.Network.default_config with drop_probability = 1.0; failure_detector = false }
+  in
+  let trace =
+    run_network ~config (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "doomed"))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "dropped" 1 stats.Dsim.Checks.dropped;
+  Alcotest.(check int) "not delivered" 0 stats.Dsim.Checks.delivered
+
+let test_fifo_vs_jitter () =
+  let burst n net =
+    Dsim.Network.add_node net "a";
+    Dsim.Network.add_node net "b";
+    for i = 0 to n - 1 do
+      Dsim.Engine.schedule (Dsim.Network.engine net) ~delay:(0.1 *. float_of_int i)
+        (fun _ -> ignore (Dsim.Network.send net ~src:"a" ~dst:"b" "m"))
+    done
+  in
+  let fifo_trace =
+    run_network
+      ~config:{ Dsim.Network.default_config with jitter = 5.0; fifo = true }
+      (burst 10)
+  in
+  Alcotest.(check bool) "fifo preserves order" true
+    (Dsim.Checks.ordering fifo_trace).Dsim.Checks.preserved;
+  let jittery_trace =
+    run_network
+      ~config:{ Dsim.Network.default_config with jitter = 5.0; fifo = false }
+      (burst 10)
+  in
+  Alcotest.(check bool) "jitter breaks order" false
+    (Dsim.Checks.ordering jittery_trace).Dsim.Checks.preserved
+
+let test_deliveries_between () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  Dsim.Network.add_node network "a";
+  Dsim.Network.add_node network "b";
+  Dsim.Network.add_node network "c";
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"b" "one");
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"c" "other");
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"b" "two");
+  Dsim.Engine.run engine;
+  Alcotest.(check (list string)) "channel filtered, in order" [ "one"; "two" ]
+    (List.map
+       (fun m -> m.Dsim.Network.payload)
+       (Dsim.Network.deliveries_between network ~src:"a" ~dst:"b"))
+
+let test_latency_override () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Network.set_latency n ~src:"a" ~dst:"b" 7.5;
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "slow"))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check (float 0.001)) "override honored" 7.5 stats.Dsim.Checks.max_latency
+
+(* ------------------------------ faults ---------------------------- *)
+
+let test_partition_blocks_and_heals () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n
+          [ Dsim.Faults.Partition { groups = [ [ "a" ]; [ "b" ] ]; from_ = 0.0; until = 5.0 } ];
+        (* delivered at t=3 (blocked) and t=8 (healed) *)
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:2.0 (fun _ ->
+            ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "early"));
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:7.0 (fun _ ->
+            ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "late")))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "one dropped" 1 stats.Dsim.Checks.dropped;
+  Alcotest.(check int) "one delivered" 1 stats.Dsim.Checks.delivered;
+  Alcotest.(check bool) "partition drop reason" true
+    (List.exists
+       (function
+         | Dsim.Network.Dropped { reason = Dsim.Network.Partitioned; _ } -> true
+         | _ -> false)
+       trace);
+  (* partitions are silent: no failure notices *)
+  Alcotest.(check bool) "silent" true
+    (not
+       (List.exists
+          (function Dsim.Network.Failure_notice _ -> true | _ -> false)
+          trace))
+
+let test_partition_intra_group_flows () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a1";
+        Dsim.Network.add_node n "a2";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n
+          [
+            Dsim.Faults.Partition
+              { groups = [ [ "a1"; "a2" ]; [ "b" ] ]; from_ = 0.0; until = 100.0 };
+          ];
+        ignore (Dsim.Network.send n ~src:"a1" ~dst:"a2" "intra");
+        ignore (Dsim.Network.send n ~src:"a1" ~dst:"b" "inter"))
+  in
+  let delivered payload =
+    List.exists
+      (function
+        | Dsim.Network.Delivered { message; _ } ->
+            String.equal message.Dsim.Network.payload payload
+        | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "intra-group delivered" true (delivered "intra");
+  Alcotest.(check bool) "inter-group dropped" false (delivered "inter")
+
+let test_crash_restart_fault () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n
+          [ Dsim.Faults.Crash_restart { node = "b"; at = 5.0; downtime = 5.0 } ];
+        List.iter
+          (fun d ->
+            Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:d (fun _ ->
+                ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "m")))
+          [ 1.0; 6.0; 12.0 ])
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "two delivered (before and after)" 2 stats.Dsim.Checks.delivered;
+  Alcotest.(check int) "one dropped (during)" 1 stats.Dsim.Checks.dropped
+
+let test_periodic_crashes_plan () =
+  let plan = Dsim.Faults.periodic_crashes ~node:"x" ~period:10.0 ~downtime:2.0 ~count:3 in
+  Alcotest.(check int) "three cycles" 3 (List.length plan);
+  match plan with
+  | Dsim.Faults.Crash_restart { at; _ } :: _ ->
+      Alcotest.(check (float 0.001)) "first at one period" 10.0 at
+  | _ -> Alcotest.fail "expected crash/restart faults"
+
+let test_fault_sweep_monotone () =
+  let points =
+    Casestudies.Crash_sim.run_fault_sweep ~duration:50.0
+      ~downtime_fractions:[ 0.0; 0.5; 0.9 ]
+      ()
+  in
+  match
+    List.map
+      (fun (p : Casestudies.Crash_sim.fault_point) ->
+        p.Casestudies.Crash_sim.stats.Dsim.Checks.delivery_ratio)
+      points
+  with
+  | [ r0; r50; r90 ] ->
+      Alcotest.(check (float 0.001)) "no downtime, full delivery" 1.0 r0;
+      Alcotest.(check bool) "monotone degradation" true (r0 > r50 && r50 > r90)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+(* ------------------------------ runtime --------------------------- *)
+
+let ping_chart =
+  Statechart.Types.chart ~id:"ping" ~component:"a" ~initial:"idle"
+    [ Statechart.Types.state "idle"; Statechart.Types.state "done" ]
+    [
+      Statechart.Types.transition ~source:"idle" ~target:"idle" ~trigger:"go"
+        ~outputs:[ "ping" ] ();
+      Statechart.Types.transition ~source:"idle" ~target:"done" ~trigger:"pong" ();
+    ]
+
+let pong_chart =
+  Statechart.Types.chart ~id:"pong" ~component:"b" ~initial:"idle"
+    [ Statechart.Types.state "idle" ]
+    [
+      Statechart.Types.transition ~source:"idle" ~target:"idle" ~trigger:"ping"
+        ~outputs:[ "pong" ] ();
+    ]
+
+let test_runtime_ping_pong () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  let runtime =
+    Dsim.Runtime.create ~network
+      [
+        { Dsim.Runtime.peer_id = "a"; chart = ping_chart; routes = [ ("ping", "b") ] };
+        { Dsim.Runtime.peer_id = "b"; chart = pong_chart; routes = [ ("pong", "a") ] };
+      ]
+  in
+  Dsim.Runtime.inject runtime ~peer:"a" "go";
+  Dsim.Engine.run engine;
+  (match Dsim.Runtime.config_of runtime "a" with
+  | Some config -> Alcotest.(check (list string)) "a finished" [ "done" ] config
+  | None -> Alcotest.fail "peer a missing");
+  let actions = Dsim.Runtime.actions runtime in
+  Alcotest.(check int) "three reactions" 3 (List.length actions);
+  Alcotest.(check (list string)) "triggers in order" [ "go"; "ping"; "pong" ]
+    (List.map (fun a -> a.Dsim.Runtime.trigger) actions)
+
+let test_runtime_failure_trigger () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  let chart =
+    Statechart.Types.chart ~id:"c" ~component:"a" ~initial:"idle"
+      [ Statechart.Types.state "idle"; Statechart.Types.state "alerted" ]
+      [
+        Statechart.Types.transition ~source:"idle" ~target:"idle" ~trigger:"go"
+          ~outputs:[ "ping" ] ();
+        Statechart.Types.transition ~source:"idle" ~target:"alerted"
+          ~trigger:"networkFailure" ();
+      ]
+  in
+  let runtime =
+    Dsim.Runtime.create ~network
+      [ { Dsim.Runtime.peer_id = "a"; chart; routes = [ ("ping", "ghost") ] } ]
+  in
+  Dsim.Runtime.inject runtime ~peer:"a" "go";
+  Dsim.Engine.run engine;
+  match Dsim.Runtime.config_of runtime "a" with
+  | Some config -> Alcotest.(check (list string)) "alerted" [ "alerted" ] config
+  | None -> Alcotest.fail "peer missing"
+
+let test_trace_pp () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "x"))
+  in
+  let text = Dsim.Trace_pp.trace_to_string trace in
+  Testutil.check_contains "sent line" text "SENT";
+  Testutil.check_contains "delivered line" text "DELIVERED"
+
+(* ------------------------------ arch_sim -------------------------- *)
+
+let line_architecture =
+  let open Adl.Build in
+  create ~id:"line" ~name:"Line" ()
+  |> add_component ~id:"a" ~name:"A"
+  |> add_component ~id:"b" ~name:"B"
+  |> add_component ~id:"c" ~name:"C"
+  |> add_connector ~id:"k1" ~name:"K1"
+  |> add_connector ~id:"k2" ~name:"K2"
+  |> fun t ->
+  biconnect t "a" "k1" |> fun t ->
+  biconnect t "k1" "b" |> fun t ->
+  biconnect t "b" "k2" |> fun t -> biconnect t "k2" "c"
+
+let relay_chart component trigger output =
+  Statechart.Types.chart
+    ~id:(component ^ "-chart")
+    ~component ~initial:"s"
+    [ Statechart.Types.state "s" ]
+    [ Statechart.Types.transition ~source:"s" ~target:"s" ~trigger ~outputs:[ output ] () ]
+
+let test_arch_sim_relay () =
+  let charts = [ relay_chart "a" "go" "ping"; relay_chart "b" "ping" "pong" ] in
+  let sim = Dsim.Arch_sim.create ~architecture:line_architecture ~charts () in
+  Dsim.Arch_sim.inject sim ~component:"a" "go";
+  Dsim.Arch_sim.run sim;
+  (* a emits ping -> k1 relays -> b fires, emits pong -> k2 relays -> c
+     absorbs (and k1 relays pong back toward a, which absorbs it) *)
+  Alcotest.(check bool) "c received pong" true
+    (List.exists (String.equal "pong") (Dsim.Arch_sim.received_by sim "c"));
+  Alcotest.(check (list (pair string string))) "reactions"
+    [ ("a", "go"); ("b", "ping") ]
+    (List.map (fun (c, t, _) -> (c, t)) (Dsim.Arch_sim.reactions sim))
+
+let test_arch_sim_hop_budget () =
+  (* a ring of connectors floods but terminates thanks to the budget *)
+  let ring =
+    let open Adl.Build in
+    create ~id:"ring" ~name:"Ring" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_connector ~id:"k1" ~name:"K1"
+    |> add_connector ~id:"k2" ~name:"K2"
+    |> add_connector ~id:"k3" ~name:"K3"
+    |> fun t ->
+    biconnect t "a" "k1" |> fun t ->
+    biconnect t "k1" "k2" |> fun t ->
+    biconnect t "k2" "k3" |> fun t -> biconnect t "k3" "k1"
+  in
+  let charts = [ relay_chart "a" "go" "flood" ] in
+  let sim = Dsim.Arch_sim.create ~hop_budget:4 ~architecture:ring ~charts () in
+  Dsim.Arch_sim.inject sim ~component:"a" "go";
+  Dsim.Arch_sim.run sim;
+  (* termination is the assertion; the trace is finite *)
+  Alcotest.(check bool) "finite trace" true (List.length (Dsim.Arch_sim.trace sim) < 100)
+
+let test_arch_sim_plain_components_absorb () =
+  let charts = [ relay_chart "a" "go" "ping" ] in
+  let sim = Dsim.Arch_sim.create ~architecture:line_architecture ~charts () in
+  Dsim.Arch_sim.inject sim ~component:"a" "go";
+  Dsim.Arch_sim.run sim;
+  (* b has no chart: it absorbs ping, nothing reaches c *)
+  Alcotest.(check (list string)) "nothing past b" []
+    (Dsim.Arch_sim.received_by sim "c");
+  Alcotest.(check bool) "b received it" true
+    (List.exists (String.equal "ping") (Dsim.Arch_sim.received_by sim "b"))
+
+(* --- property: with FIFO and no loss, every message is delivered
+   exactly once and in order, whatever the send schedule --- *)
+
+let prop_fifo_delivery =
+  QCheck2.Test.make ~name:"fifo lossless networks deliver everything in order" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 40) (float_bound_inclusive 10.0))
+    (fun delays ->
+      let engine = Dsim.Engine.create () in
+      let network = Dsim.Network.create engine in
+      Dsim.Network.add_node network "a";
+      Dsim.Network.add_node network "b";
+      List.iter
+        (fun d ->
+          Dsim.Engine.schedule engine ~delay:d (fun _ ->
+              ignore (Dsim.Network.send network ~src:"a" ~dst:"b" "m")))
+        delays;
+      Dsim.Engine.run engine;
+      let trace = Dsim.Network.trace network in
+      let stats = Dsim.Checks.stats trace in
+      let ordering = Dsim.Checks.ordering trace in
+      stats.Dsim.Checks.sent = List.length delays
+      && stats.Dsim.Checks.delivered = List.length delays
+      && ordering.Dsim.Checks.preserved)
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap breaks ties by insertion" `Quick test_heap_fifo_ties;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    Alcotest.test_case "engine runs actions in time order" `Quick test_engine_ordering;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "negative delays clamp" `Quick test_engine_negative_delay_clamped;
+    Alcotest.test_case "network delivery" `Quick test_network_delivery;
+    Alcotest.test_case "down node with failure detector" `Quick
+      test_network_down_node_with_detector;
+    Alcotest.test_case "down node without failure detector" `Quick
+      test_network_down_node_without_detector;
+    Alcotest.test_case "in-flight loss on shutdown" `Quick test_network_in_flight_loss;
+    Alcotest.test_case "restart" `Quick test_network_restart;
+    Alcotest.test_case "random loss" `Quick test_network_random_loss;
+    Alcotest.test_case "fifo vs jitter ordering" `Quick test_fifo_vs_jitter;
+    Alcotest.test_case "latency override" `Quick test_latency_override;
+    Alcotest.test_case "deliveries between" `Quick test_deliveries_between;
+    Alcotest.test_case "partition blocks and heals" `Quick test_partition_blocks_and_heals;
+    Alcotest.test_case "partition: intra-group flows" `Quick
+      test_partition_intra_group_flows;
+    Alcotest.test_case "crash/restart fault" `Quick test_crash_restart_fault;
+    Alcotest.test_case "periodic crash plan" `Quick test_periodic_crashes_plan;
+    Alcotest.test_case "fault sweep monotone" `Quick test_fault_sweep_monotone;
+    Alcotest.test_case "runtime ping-pong" `Quick test_runtime_ping_pong;
+    Alcotest.test_case "arch_sim: relay through the structure" `Quick test_arch_sim_relay;
+    Alcotest.test_case "arch_sim: hop budget halts floods" `Quick test_arch_sim_hop_budget;
+    Alcotest.test_case "arch_sim: chartless components absorb" `Quick
+      test_arch_sim_plain_components_absorb;
+    Alcotest.test_case "runtime failure trigger" `Quick test_runtime_failure_trigger;
+    Alcotest.test_case "trace pretty printing" `Quick test_trace_pp;
+    QCheck_alcotest.to_alcotest prop_fifo_delivery;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for the behavioral (statechart-driven) walkthrough. *)
+
+open Scenarioml
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"O"
+  |> add_event_type ~id:"req" ~name:"request" ~template:"A request arrives"
+  |> add_event_type ~id:"ack" ~name:"acknowledge" ~template:"The request is acknowledged"
+  |> add_event_type ~id:"close" ~name:"close" ~template:"The case is closed"
+  |> add_event_type ~id:"req-urgent" ~name:"urgent request" ~super:"req"
+       ~template:"An urgent request arrives"
+
+let architecture =
+  let open Adl.Build in
+  create ~id:"a" ~name:"A" ()
+  |> add_component ~id:"srv" ~name:"Server" ~responsibilities:[ "serve" ]
+  |> add_component ~id:"log" ~name:"Log" ~responsibilities:[ "log" ]
+  |> fun t -> biconnect t "srv" "log"
+
+let mapping =
+  let open Mapping.Build in
+  create ~id:"m" ~ontology ~architecture
+  |> map ~event_type:"req" ~to_:[ "srv" ]
+  |> map ~event_type:"ack" ~to_:[ "srv"; "log" ]
+  |> map ~event_type:"close" ~to_:[ "srv" ]
+
+(* protocol: a request must precede its ack; close only after ack *)
+let srv_chart =
+  let open Statechart.Types in
+  chart ~id:"srv-b" ~component:"srv" ~initial:"idle"
+    [ state "idle"; state "pending"; state "acked" ]
+    [
+      transition ~source:"idle" ~target:"pending" ~trigger:"req" ();
+      transition ~source:"pending" ~target:"acked" ~trigger:"ack" ~outputs:[ "logged" ] ();
+      transition ~source:"acked" ~target:"idle" ~trigger:"close" ();
+    ]
+
+let charts = [ srv_chart ]
+
+let typed id event_type = Event.typed ~id ~event_type []
+
+let scenario ?kind id events = Scen.scenario ?kind ~id ~name:id events
+
+let eval ?config s =
+  let set = Scen.make_set ~id:"s" ~name:"S" ontology [ s ] in
+  Walkthrough.Dynamic.evaluate_scenario ?config ~set ~mapping ~charts s
+
+let test_accepting_run () =
+  let r =
+    eval (scenario "good" [ typed "e1" "req"; typed "e2" "ack"; typed "e3" "close" ])
+  in
+  Alcotest.(check bool) "accepted" true r.Walkthrough.Dynamic.ok;
+  match r.Walkthrough.Dynamic.traces with
+  | [ t ] ->
+      Alcotest.(check bool) "trace accepted" true t.Walkthrough.Dynamic.accepted;
+      (* outputs recorded on the ack step *)
+      let step2 = List.nth t.Walkthrough.Dynamic.steps 1 in
+      Alcotest.(check (list (pair string (list string)))) "reaction outputs"
+        [ ("srv", [ "logged" ]) ]
+        step2.Walkthrough.Dynamic.reactions;
+      (* final configuration returned to idle *)
+      Alcotest.(check bool) "final config" true
+        (List.assoc_opt "srv" t.Walkthrough.Dynamic.final_configs = Some [ "idle" ])
+  | _ -> Alcotest.fail "expected one trace"
+
+let test_order_violation_rejected () =
+  let r = eval (scenario "bad" [ typed "e1" "ack"; typed "e2" "req" ]) in
+  Alcotest.(check bool) "rejected" false r.Walkthrough.Dynamic.ok;
+  match r.Walkthrough.Dynamic.traces with
+  | [ t ] -> (
+      let mismatches = List.concat_map (fun s -> s.Walkthrough.Dynamic.mismatches) t.Walkthrough.Dynamic.steps in
+      match mismatches with
+      | [ m ] ->
+          Alcotest.(check int) "at step 1" 1 m.Walkthrough.Dynamic.step;
+          Alcotest.(check string) "component" "srv" m.Walkthrough.Dynamic.component;
+          Alcotest.(check string) "trigger" "ack" m.Walkthrough.Dynamic.trigger
+      | _ -> Alcotest.fail "expected exactly one mismatch")
+  | _ -> Alcotest.fail "expected one trace"
+
+let test_chartless_components_vacuous () =
+  (* "log" has no chart; ack maps to [srv; log] and still works *)
+  let r = eval (scenario "s" [ typed "e1" "req"; typed "e2" "ack" ]) in
+  Alcotest.(check bool) "vacuous accept" true r.Walkthrough.Dynamic.ok
+
+let test_supertype_trigger_placement () =
+  (* req-urgent is unmapped: placed via its super req -> srv; its
+     trigger is its own id, which srv's chart does not know: rejected *)
+  let r = eval (scenario "u" [ typed "e1" "req-urgent" ]) in
+  Alcotest.(check bool) "unknown trigger rejected" false r.Walkthrough.Dynamic.ok;
+  (* a trigger_of that generalizes to the mapped ancestor accepts *)
+  let generalize event =
+    match event with
+    | Event.Typed { event_type; _ } ->
+        let rec up id =
+          if Mapping.Types.components_of mapping id <> [] then Some id
+          else
+            match Ontology.Types.find_event_type ontology id with
+            | Some { Ontology.Types.event_super = Some super; _ } -> up super
+            | Some { Ontology.Types.event_super = None; _ } | None -> Some id
+        in
+        up event_type
+    | _ -> None
+  in
+  let config = { Walkthrough.Dynamic.default_config with Walkthrough.Dynamic.trigger_of = generalize } in
+  let r2 = eval ~config (scenario "u2" [ typed "e1" "req-urgent" ]) in
+  Alcotest.(check bool) "generalized trigger accepted" true r2.Walkthrough.Dynamic.ok
+
+let test_negative_scenario_semantics () =
+  (* a negative scenario is OK when the behavior rejects it *)
+  let r = eval (scenario ~kind:Scen.Negative "neg" [ typed "e1" "close" ]) in
+  Alcotest.(check bool) "rejected run makes negative ok" true r.Walkthrough.Dynamic.ok;
+  let r2 = eval (scenario ~kind:Scen.Negative "neg2" [ typed "e1" "req" ]) in
+  Alcotest.(check bool) "accepted run flags negative" false r2.Walkthrough.Dynamic.ok
+
+let test_alternation_traces () =
+  let s =
+    scenario "alt"
+      [
+        typed "e0" "req";
+        Event.Alternation
+          { id = "a"; branches = [ [ typed "b1" "ack" ]; [ typed "b2" "close" ] ] };
+      ]
+  in
+  let r = eval s in
+  (* branch 1 (req;ack) accepted, branch 2 (req;close) rejected *)
+  Alcotest.(check int) "two traces" 2 (List.length r.Walkthrough.Dynamic.traces);
+  Alcotest.(check bool) "overall rejected" false r.Walkthrough.Dynamic.ok;
+  Alcotest.(check (list bool)) "per-trace" [ true; false ]
+    (List.map (fun t -> t.Walkthrough.Dynamic.accepted) r.Walkthrough.Dynamic.traces)
+
+(* ---- the PIMS behavioral demonstration ---- *)
+
+let pims_eval s =
+  Walkthrough.Dynamic.evaluate_scenario ~set:Casestudies.Pims.scenario_set
+    ~mapping:Casestudies.Pims.mapping ~charts:Casestudies.Pims_behavior.charts s
+
+let test_pims_download_then_save () =
+  let r = pims_eval Casestudies.Pims.get_share_prices in
+  Alcotest.(check bool) "the paper's scenario is accepted" true r.Walkthrough.Dynamic.ok
+
+let test_pims_save_before_download () =
+  (* statically consistent... *)
+  let reordered = Casestudies.Pims_behavior.reordered_get_share_prices in
+  let set =
+    Scenarioml.Scen.make_set ~id:"x" ~name:"X" Casestudies.Pims.ontology [ reordered ]
+  in
+  let static =
+    Walkthrough.Engine.evaluate_scenario ~set
+      ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping
+      reordered
+  in
+  Alcotest.(check bool) "static walkthrough passes" true
+    (Walkthrough.Verdict.is_consistent static);
+  (* ...but behaviorally rejected at the premature save *)
+  let dynamic =
+    Walkthrough.Dynamic.evaluate_scenario ~set ~mapping:Casestudies.Pims.mapping
+      ~charts:Casestudies.Pims_behavior.charts reordered
+  in
+  Alcotest.(check bool) "behavioral walkthrough rejects" false dynamic.Walkthrough.Dynamic.ok;
+  let mismatch =
+    List.concat_map
+      (fun t -> List.concat_map (fun s -> s.Walkthrough.Dynamic.mismatches) t.Walkthrough.Dynamic.steps)
+      dynamic.Walkthrough.Dynamic.traces
+  in
+  match mismatch with
+  | [ m ] ->
+      Alcotest.(check string) "the loader rejects" "loader" m.Walkthrough.Dynamic.component;
+      Alcotest.(check string) "on the save" "system-saves" m.Walkthrough.Dynamic.trigger
+  | _ -> Alcotest.fail "expected exactly one mismatch"
+
+let test_render () =
+  let r = eval (scenario "bad" [ typed "e1" "ack" ]) in
+  let text = Format.asprintf "%a" Walkthrough.Dynamic.pp_result r in
+  Testutil.check_contains "verdict" text "REJECTED";
+  Testutil.check_contains "mismatch" text "rejects trigger"
+
+let suite =
+  [
+    Alcotest.test_case "accepting run with outputs" `Quick test_accepting_run;
+    Alcotest.test_case "order violation rejected" `Quick test_order_violation_rejected;
+    Alcotest.test_case "chartless components vacuous" `Quick
+      test_chartless_components_vacuous;
+    Alcotest.test_case "supertype placement and trigger generalization" `Quick
+      test_supertype_trigger_placement;
+    Alcotest.test_case "negative scenario semantics" `Quick test_negative_scenario_semantics;
+    Alcotest.test_case "alternation traces" `Quick test_alternation_traces;
+    Alcotest.test_case "PIMS: paper scenario accepted" `Quick test_pims_download_then_save;
+    Alcotest.test_case "PIMS: save-before-download caught only behaviorally" `Quick
+      test_pims_save_before_download;
+    Alcotest.test_case "result rendering" `Quick test_render;
+  ]

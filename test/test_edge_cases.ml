@@ -1,0 +1,163 @@
+(* Edge cases across the pipeline: empty artifacts, degenerate
+   scenarios, and boundary behaviors that deserve pinning. *)
+
+open Scenarioml
+
+let ontology =
+  Ontology.Build.(
+    create ~id:"o" ~name:"O" |> add_event_type ~id:"e" ~name:"e" ~template:"event")
+
+let architecture =
+  Adl.Build.(
+    create ~id:"a" ~name:"A" ()
+    |> add_component ~id:"only" ~name:"Only" ~responsibilities:[ "r" ])
+
+let mapping =
+  Mapping.Build.(
+    create ~id:"m" ~ontology ~architecture |> map ~event_type:"e" ~to_:[ "only" ])
+
+let test_empty_scenario () =
+  (* a scenario with no events walks vacuously *)
+  let s = Scen.scenario ~id:"empty" ~name:"Empty" [] in
+  let set = Scen.make_set ~id:"s" ~name:"S" ontology [ s ] in
+  let r = Walkthrough.Engine.evaluate_scenario ~set ~architecture ~mapping s in
+  Alcotest.(check bool) "vacuously consistent" true (Walkthrough.Verdict.is_consistent r);
+  Alcotest.(check int) "one empty trace" 1 (List.length r.Walkthrough.Verdict.traces)
+
+let test_zero_trace_scenario () =
+  (* an empty alternation has no traces at all: positive scenarios are
+     vacuously consistent, and validation flags the construct *)
+  let s =
+    Scen.scenario ~id:"no-traces" ~name:"No traces"
+      [ Event.Alternation { id = "alt"; branches = [] } ]
+  in
+  let set = Scen.make_set ~id:"s" ~name:"S" ontology [ s ] in
+  Alcotest.(check int) "zero traces" 0
+    (List.length (Linearize.scenario set s).Linearize.traces);
+  let r = Walkthrough.Engine.evaluate_scenario ~set ~architecture ~mapping s in
+  Alcotest.(check bool) "vacuously consistent" true (Walkthrough.Verdict.is_consistent r);
+  Alcotest.(check bool) "but validation flags it" true
+    (List.exists
+       (function Validate.Empty_alternation _ -> true | _ -> false)
+       (Validate.check set))
+
+let test_single_component_architecture () =
+  (* one component, no links: valid (nothing to link to), and a
+     scenario whose events all land there needs no hops *)
+  Alcotest.(check (list string)) "valid" []
+    (List.map Adl.Validate.problem_to_string (Adl.Validate.check architecture));
+  let s = Scen.scenario ~id:"s" ~name:"S"
+      [ Event.typed ~id:"e1" ~event_type:"e" []; Event.typed ~id:"e2" ~event_type:"e" [] ]
+  in
+  let set = Scen.make_set ~id:"x" ~name:"X" ontology [ s ] in
+  let r = Walkthrough.Engine.evaluate_scenario ~set ~architecture ~mapping s in
+  Alcotest.(check bool) "same-component hops are trivial" true
+    (Walkthrough.Verdict.is_consistent r)
+
+let test_empty_set_evaluation () =
+  let set = Scen.make_set ~id:"s" ~name:"S" ontology [] in
+  let r = Walkthrough.Engine.evaluate_set ~set ~architecture ~mapping () in
+  Alcotest.(check int) "no results" 0 (List.length r.Walkthrough.Engine.results);
+  Alcotest.(check bool) "consistent" true r.Walkthrough.Engine.consistent
+
+let test_empty_ontology_and_mapping () =
+  let empty_ontology = Ontology.Build.create ~id:"eo" ~name:"Empty" in
+  Alcotest.(check bool) "empty ontology is well-formed" true
+    (Ontology.Wellformed.is_wellformed empty_ontology);
+  let empty_mapping =
+    Mapping.Build.create ~id:"em" ~ontology:empty_ontology ~architecture
+  in
+  (* the only problem is the unmapped component *)
+  Alcotest.(check int) "one coverage problem" 1
+    (List.length (Mapping.Coverage.check empty_ontology architecture empty_mapping))
+
+let test_empty_architecture () =
+  let empty_arch = Adl.Build.create ~id:"ea" ~name:"Empty" () in
+  Alcotest.(check (list string)) "valid" []
+    (List.map Adl.Validate.problem_to_string (Adl.Validate.check empty_arch));
+  let g = Adl.Graph.of_structure empty_arch in
+  Alcotest.(check (list string)) "no nodes" [] (Adl.Graph.nodes g);
+  Alcotest.(check int) "no edges" 0 (Adl.Graph.edge_count g);
+  (* a typed event cannot be placed on an empty architecture *)
+  let s = Scen.scenario ~id:"s" ~name:"S" [ Event.typed ~id:"e1" ~event_type:"e" [] ] in
+  let set = Scen.make_set ~id:"x" ~name:"X" ontology [ s ] in
+  let r =
+    Walkthrough.Engine.evaluate_scenario ~set ~architecture:empty_arch ~mapping s
+  in
+  (* the mapping still names "only", which does not exist: the internal
+     chain check passes trivially (single element), but coverage
+     reports the dangling reference *)
+  Alcotest.(check bool) "coverage catches dangling mapping" true
+    (List.exists
+       (function Mapping.Coverage.Unknown_component _ -> true | _ -> false)
+       (Mapping.Coverage.check ontology empty_arch mapping));
+  ignore r
+
+let test_unicode_text_roundtrip () =
+  (* non-ASCII scenario text survives the XML round trip *)
+  let s =
+    Scen.scenario ~id:"s" ~name:"Ünïcode — ça marche"
+      [ Event.simple ~id:"e1" "Füllt das Formular aus — 完了" ]
+  in
+  let set = Scen.make_set ~id:"x" ~name:"X" ontology [ s ] in
+  Alcotest.(check bool) "identical after round trip" true
+    (Xml_io.set_of_string (Xml_io.set_to_string set) = set)
+
+let test_whitespace_and_crlf_prose () =
+  let s = Text_io.of_prose "Scenario: CRLF\r\n(1) First thing.\r\n(2) Second thing.\r\n" in
+  Alcotest.(check int) "two events" 2 (List.length s.Scen.events);
+  match s.Scen.events with
+  | Event.Simple { text; _ } :: _ ->
+      Alcotest.(check string) "trimmed" "First thing." text
+  | _ -> Alcotest.fail "expected simple events"
+
+let test_deeply_nested_events () =
+  (* 30 levels of nested optionals still linearize within the cap *)
+  let rec nest depth =
+    if depth = 0 then Event.typed ~id:"leaf" ~event_type:"e" []
+    else Event.Optional { id = Printf.sprintf "o%d" depth; body = [ nest (depth - 1) ] }
+  in
+  let s = Scen.scenario ~id:"deep" ~name:"Deep" [ nest 30 ] in
+  let set = Scen.make_set ~id:"x" ~name:"X" ontology [ s ] in
+  let config = { Linearize.iteration_unroll = 1; max_traces = 8 } in
+  let { Linearize.traces; truncated } = Linearize.scenario ~config set s in
+  Alcotest.(check bool) "capped" true truncated;
+  Alcotest.(check bool) "within bound" true (List.length traces <= 8);
+  Alcotest.(check int) "depth accessor" 31 (Event.depth (nest 30))
+
+let test_engine_time_ties () =
+  (* simultaneous actions run in scheduling order *)
+  let engine = Dsim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> Dsim.Engine.schedule engine ~delay:1.0 (fun _ -> log := tag :: !log))
+    [ "first"; "second"; "third" ];
+  Dsim.Engine.run engine;
+  Alcotest.(check (list string)) "fifo ties" [ "first"; "second"; "third" ]
+    (List.rev !log)
+
+let test_self_message () =
+  (* a node can message itself *)
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  let got = ref 0 in
+  Dsim.Network.add_node network ~on_receive:(fun _ _ -> incr got) "a";
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"a" "note");
+  Dsim.Engine.run engine;
+  Alcotest.(check int) "delivered to self" 1 !got
+
+let suite =
+  [
+    Alcotest.test_case "empty scenario" `Quick test_empty_scenario;
+    Alcotest.test_case "zero-trace scenario" `Quick test_zero_trace_scenario;
+    Alcotest.test_case "single-component architecture" `Quick
+      test_single_component_architecture;
+    Alcotest.test_case "empty scenario set" `Quick test_empty_set_evaluation;
+    Alcotest.test_case "empty ontology and mapping" `Quick test_empty_ontology_and_mapping;
+    Alcotest.test_case "empty architecture" `Quick test_empty_architecture;
+    Alcotest.test_case "unicode round trip" `Quick test_unicode_text_roundtrip;
+    Alcotest.test_case "CRLF prose" `Quick test_whitespace_and_crlf_prose;
+    Alcotest.test_case "deeply nested events" `Quick test_deeply_nested_events;
+    Alcotest.test_case "engine time ties" `Quick test_engine_time_ties;
+    Alcotest.test_case "self messages" `Quick test_self_message;
+  ]

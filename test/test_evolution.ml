@@ -1,0 +1,179 @@
+(* Tests for co-evolution: ontology edits, scenario refactorings, and
+   mapping synchronization (paper 7). *)
+
+open Scenarioml
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"O"
+  |> add_class ~id:"thing" ~name:"Thing"
+  |> add_class ~id:"gadget" ~name:"Gadget" ~super:"thing"
+  |> add_individual ~id:"g1" ~name:"the gadget" ~cls:"gadget"
+  |> add_event_type ~id:"use" ~name:"use" ~actor:"thing"
+       ~params:[ ("what", "gadget") ]
+       ~template:"use {what}"
+  |> add_event_type ~id:"use-hard" ~name:"use hard" ~super:"use" ~template:"use {what} hard"
+
+(* ------------------------------ evolve ----------------------------- *)
+
+let test_rename_event_type () =
+  let o =
+    Ontology.Evolve.apply ontology
+      (Ontology.Evolve.Rename_event_type { old_id = "use"; new_id = "operate" })
+  in
+  Alcotest.(check bool) "renamed" true (Ontology.Types.find_event_type o "operate" <> None);
+  Alcotest.(check bool) "old gone" true (Ontology.Types.find_event_type o "use" = None);
+  (match Ontology.Types.find_event_type o "use-hard" with
+  | Some e -> Alcotest.(check (option string)) "super follows" (Some "operate") e.Ontology.Types.event_super
+  | None -> Alcotest.fail "subtype missing");
+  Alcotest.(check bool) "still well-formed" true (Ontology.Wellformed.is_wellformed o)
+
+let test_rename_class () =
+  let o =
+    Ontology.Evolve.apply ontology
+      (Ontology.Evolve.Rename_class { old_id = "gadget"; new_id = "device" })
+  in
+  (match Ontology.Types.find_individual o "g1" with
+  | Some i -> Alcotest.(check string) "individual follows" "device" i.Ontology.Types.ind_class
+  | None -> Alcotest.fail "individual missing");
+  (match Ontology.Types.find_event_type o "use" with
+  | Some e ->
+      Alcotest.(check string) "param follows" "device"
+        (List.hd e.Ontology.Types.params).Ontology.Types.param_class
+  | None -> Alcotest.fail "event missing");
+  Alcotest.(check bool) "still well-formed" true (Ontology.Wellformed.is_wellformed o)
+
+let test_remove_guards () =
+  Alcotest.(check bool) "class with referents refuses" true
+    (match Ontology.Evolve.apply ontology (Ontology.Evolve.Remove_class "gadget") with
+    | exception Ontology.Evolve.Apply_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "supertype with subtypes refuses" true
+    (match Ontology.Evolve.apply ontology (Ontology.Evolve.Remove_event_type "use") with
+    | exception Ontology.Evolve.Apply_error _ -> true
+    | _ -> false);
+  (* removing the leaf works *)
+  let o = Ontology.Evolve.apply ontology (Ontology.Evolve.Remove_event_type "use-hard") in
+  Alcotest.(check bool) "leaf removed" true
+    (Ontology.Types.find_event_type o "use-hard" = None)
+
+let test_retemplate_and_add () =
+  let o =
+    Ontology.Evolve.apply_all ontology
+      [
+        Ontology.Evolve.Retemplate { event_id = "use"; template = "operate {what} now" };
+        Ontology.Evolve.Add_class
+          {
+            Ontology.Types.class_id = "widget";
+            class_name = "Widget";
+            class_description = "";
+            class_super = Some "thing";
+          };
+      ]
+  in
+  (match Ontology.Types.find_event_type o "use" with
+  | Some e -> Alcotest.(check string) "template" "operate {what} now" e.Ontology.Types.template
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "class added" true (Ontology.Types.find_class o "widget" <> None);
+  Alcotest.(check bool) "duplicate add refuses" true
+    (match
+       Ontology.Evolve.apply o
+         (Ontology.Evolve.Add_class
+            {
+              Ontology.Types.class_id = "widget";
+              class_name = "W";
+              class_description = "";
+              class_super = None;
+            })
+     with
+    | exception Ontology.Evolve.Apply_error _ -> true
+    | _ -> false)
+
+(* ------------------------------ refactor --------------------------- *)
+
+let base_set =
+  let s1 =
+    Scen.scenario ~id:"first" ~name:"First" ~actors:[ "g1" ]
+      [
+        Event.typed ~id:"e1" ~event_type:"use"
+          [ Event.individual ~param:"what" "g1" ];
+      ]
+  in
+  let s2 =
+    Scen.scenario ~id:"second" ~name:"Second"
+      [
+        Event.Optional
+          {
+            id = "opt";
+            body =
+              [
+                Event.typed ~id:"e2" ~event_type:"use"
+                  [ Event.literal ~param:"what" "anything" ];
+              ];
+          };
+        Event.Episode { id = "ep"; scenario = "first" };
+      ]
+  in
+  Scen.make_set ~id:"s" ~name:"S" ontology [ s1; s2 ]
+
+let test_full_coevolution () =
+  (* rename the event type everywhere: ontology, scenarios, mapping *)
+  let architecture =
+    Adl.Build.(
+      create ~id:"a" ~name:"A" ()
+      |> add_component ~id:"c" ~name:"C" ~responsibilities:[ "r" ])
+  in
+  let mapping =
+    Mapping.Build.(create ~id:"m" ~ontology ~architecture |> map ~event_type:"use" ~to_:[ "c" ])
+  in
+  let evolved_ontology =
+    Ontology.Evolve.apply ontology
+      (Ontology.Evolve.Rename_event_type { old_id = "use"; new_id = "operate" })
+  in
+  let evolved_set =
+    base_set
+    |> Refactor.rename_event_type ~old_id:"use" ~new_id:"operate"
+    |> Refactor.with_ontology evolved_ontology
+  in
+  let evolved_mapping =
+    Mapping.Build.rename_event_type ~old_id:"use" ~new_id:"operate" mapping
+  in
+  (* everything still validates and evaluates *)
+  Alcotest.(check (list string)) "scenarios validate" []
+    (List.map Validate.problem_to_string (Validate.check evolved_set));
+  Alcotest.(check (list string)) "coverage total" []
+    (List.map Mapping.Coverage.problem_to_string
+       (Mapping.Coverage.check evolved_ontology architecture evolved_mapping));
+  let r =
+    Walkthrough.Engine.evaluate_set ~set:evolved_set ~architecture
+      ~mapping:evolved_mapping ()
+  in
+  Alcotest.(check bool) "still consistent" true r.Walkthrough.Engine.consistent;
+  (* nested events were renamed too *)
+  let second = Scen.find_exn evolved_set "second" in
+  Alcotest.(check (list string)) "nested rename" [ "operate" ]
+    (Scen.typed_event_types second)
+
+let test_rename_individual_and_scenario () =
+  let set = Refactor.rename_individual ~old_id:"g1" ~new_id:"gadget-one" base_set in
+  let first = Scen.find_exn set "first" in
+  Alcotest.(check (list string)) "actor renamed" [ "gadget-one" ] first.Scen.actors;
+  (match first.Scen.events with
+  | [ Event.Typed { args = [ { Event.arg_value = Event.Individual v; _ } ]; _ } ] ->
+      Alcotest.(check string) "arg renamed" "gadget-one" v
+  | _ -> Alcotest.fail "unexpected events");
+  let set2 = Refactor.rename_scenario ~old_id:"first" ~new_id:"primary" base_set in
+  Alcotest.(check bool) "scenario renamed" true (Scen.find set2 "primary" <> None);
+  let second = Scen.find_exn set2 "second" in
+  Alcotest.(check (list string)) "episode follows" [ "primary" ] (Scen.episodes second)
+
+let suite =
+  [
+    Alcotest.test_case "rename event type (supers follow)" `Quick test_rename_event_type;
+    Alcotest.test_case "rename class (all referents follow)" `Quick test_rename_class;
+    Alcotest.test_case "removals guard lingering references" `Quick test_remove_guards;
+    Alcotest.test_case "retemplate and add" `Quick test_retemplate_and_add;
+    Alcotest.test_case "full co-evolution round" `Quick test_full_coevolution;
+    Alcotest.test_case "rename individuals and scenarios" `Quick
+      test_rename_individual_and_scenario;
+  ]

@@ -1,0 +1,151 @@
+(* Tests for entity-based mapping inference (paper 8). *)
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"O"
+  |> add_class ~id:"actor" ~name:"Actor"
+  |> add_class ~id:"user" ~name:"User" ~super:"actor"
+  |> add_class ~id:"record" ~name:"Record"
+  |> add_class ~id:"invoice" ~name:"Invoice" ~super:"record"
+  |> add_class ~id:"payment" ~name:"Payment" ~super:"record"
+  |> add_event_type ~id:"touch" ~name:"touch" ~actor:"user"
+       ~params:[ ("what", "record") ]
+       ~template:"touch {what}"
+  |> add_event_type ~id:"bill" ~name:"bill" ~actor:"user"
+       ~params:[ ("what", "invoice") ]
+       ~template:"bill {what}"
+  |> add_event_type ~id:"pay" ~name:"pay" ~super:"bill"
+       ~params:[ ("with", "payment") ]
+       ~template:"pay {what} with {with}"
+  |> add_event_type ~id:"idle" ~name:"idle" ~template:"nothing happens"
+
+let architecture =
+  let open Adl.Build in
+  create ~id:"a" ~name:"A" ()
+  |> add_component ~id:"ui" ~name:"UI" ~responsibilities:[ "r" ]
+  |> add_component ~id:"billing" ~name:"Billing" ~responsibilities:[ "r" ]
+  |> add_component ~id:"ledger" ~name:"Ledger" ~responsibilities:[ "r" ]
+  |> add_connector ~id:"bus" ~name:"Bus"
+  |> fun t ->
+  biconnect t "ui" "bus" |> fun t ->
+  biconnect t "billing" "bus" |> fun t -> biconnect t "ledger" "bus"
+
+let associations =
+  [
+    { Mapping.Infer.entity = "user"; responsible = [ "ui" ] };
+    { Mapping.Infer.entity = "invoice"; responsible = [ "billing" ] };
+    { Mapping.Infer.entity = "payment"; responsible = [ "ledger" ] };
+    { Mapping.Infer.entity = "record"; responsible = [ "ledger" ] };
+  ]
+
+let inferred = Mapping.Infer.infer ~id:"inf" ~ontology ~architecture associations
+
+let test_actor_and_params () =
+  (* touch: actor user -> ui; param record -> ledger (record assoc) *)
+  Alcotest.(check (list string)) "touch" [ "ui"; "ledger" ]
+    (Mapping.Types.components_of inferred "touch");
+  (* bill: actor user -> ui; param invoice: invoice assoc + record assoc
+     does NOT cover invoice (association on the subclass side only when
+     the association entity subsumes the class) -- record subsumes
+     invoice, so both billing and ledger apply *)
+  Alcotest.(check (list string)) "bill" [ "ui"; "billing"; "ledger" ]
+    (Mapping.Types.components_of inferred "bill")
+
+let test_inherited_params () =
+  (* pay inherits {what: invoice} from bill and adds {with: payment} *)
+  Alcotest.(check (list string)) "pay" [ "ui"; "billing"; "ledger" ]
+    (Mapping.Types.components_of inferred "pay")
+
+let test_uncovered_event_type () =
+  Alcotest.(check (list string)) "idle has no entry" []
+    (Mapping.Types.components_of inferred "idle");
+  Alcotest.(check bool) "no empty entries" true
+    (List.for_all (fun e -> e.Mapping.Types.components <> []) inferred.Mapping.Types.entries)
+
+let test_compare_mappings () =
+  let manual =
+    Mapping.Build.(
+      create ~id:"man" ~ontology ~architecture
+      |> map ~event_type:"touch" ~to_:[ "ui"; "ledger" ]
+      |> map ~event_type:"bill" ~to_:[ "billing" ]
+      |> map ~event_type:"idle" ~to_:[ "ui" ])
+  in
+  let divergences = Mapping.Infer.compare_mappings manual inferred in
+  (* touch agrees; bill diverges (manual lacks ui+ledger); idle and pay
+     exist on one side only *)
+  Alcotest.(check bool) "touch agrees" true
+    (not
+       (List.exists
+          (fun d -> String.equal d.Mapping.Infer.event_type "touch")
+          divergences));
+  let bill = List.find (fun d -> String.equal d.Mapping.Infer.event_type "bill") divergences in
+  Alcotest.(check (list string)) "bill manual-only" [] bill.Mapping.Infer.only_manual;
+  Alcotest.(check (list string)) "bill inferred-only" [ "ui"; "ledger" ]
+    bill.Mapping.Infer.only_inferred;
+  let idle = List.find (fun d -> String.equal d.Mapping.Infer.event_type "idle") divergences in
+  Alcotest.(check (list string)) "idle manual-only" [ "ui" ] idle.Mapping.Infer.only_manual
+
+let test_inferred_mapping_evaluates () =
+  (* the derived mapping drives a walkthrough just like a manual one *)
+  let scenario =
+    Scenarioml.Scen.scenario ~id:"s" ~name:"S"
+      [
+        Scenarioml.Event.typed ~id:"e1" ~event_type:"touch"
+          [ Scenarioml.Event.literal ~param:"what" "a record" ];
+        Scenarioml.Event.typed ~id:"e2" ~event_type:"bill"
+          [ Scenarioml.Event.literal ~param:"what" "an invoice" ];
+      ]
+  in
+  let set = Scenarioml.Scen.make_set ~id:"x" ~name:"X" ontology [ scenario ] in
+  let r =
+    Walkthrough.Engine.evaluate_scenario ~set ~architecture ~mapping:inferred scenario
+  in
+  Alcotest.(check bool) "walks" true (Walkthrough.Verdict.is_consistent r)
+
+let test_pims_inference_sanity () =
+  (* infer a PIMS mapping from coarse entity associations and check it
+     covers at least as many event types as it claims *)
+  let associations =
+    [
+      { Mapping.Infer.entity = "user"; responsible = [ "master-controller" ] };
+      { Mapping.Infer.entity = "system"; responsible = [ "master-controller" ] };
+      { Mapping.Infer.entity = "portfolio"; responsible = [ "portfolio-manager" ] };
+      { Mapping.Infer.entity = "transaction"; responsible = [ "transaction-manager" ] };
+      { Mapping.Infer.entity = "share-price"; responsible = [ "loader" ] };
+      { Mapping.Infer.entity = "password"; responsible = [ "authentication" ] };
+      {
+        Mapping.Infer.entity = "repository-data";
+        responsible = [ "data-access"; "data-repository" ];
+      };
+      { Mapping.Infer.entity = "website"; responsible = [ "remote-price-db" ] };
+    ]
+  in
+  let inferred =
+    Mapping.Infer.infer ~id:"pims-inferred" ~ontology:Casestudies.Pims.ontology
+      ~architecture:Casestudies.Pims.architecture associations
+  in
+  (* every event type with an actor gets at least the UI component *)
+  Alcotest.(check bool) "nonempty" true (inferred.Mapping.Types.entries <> []);
+  Alcotest.(check bool) "user events at the UI" true
+    (List.exists (String.equal "master-controller")
+       (Mapping.Types.components_of inferred "user-enters"));
+  (* downloads mention the web site *)
+  Alcotest.(check bool) "downloads reach the remote db" true
+    (List.exists (String.equal "remote-price-db")
+       (Mapping.Types.components_of inferred "system-downloads"));
+  let divergences =
+    Mapping.Infer.compare_mappings Casestudies.Pims.mapping inferred
+  in
+  Alcotest.(check bool) "divergence report non-trivial" true (divergences <> [])
+
+let suite =
+  [
+    Alcotest.test_case "actor and parameter classes" `Quick test_actor_and_params;
+    Alcotest.test_case "inherited parameters" `Quick test_inherited_params;
+    Alcotest.test_case "uncovered event types get no entry" `Quick
+      test_uncovered_event_type;
+    Alcotest.test_case "mapping comparison" `Quick test_compare_mappings;
+    Alcotest.test_case "inferred mapping drives the walkthrough" `Quick
+      test_inferred_mapping_evaluates;
+    Alcotest.test_case "PIMS inference sanity" `Quick test_pims_inference_sanity;
+  ]

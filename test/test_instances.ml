@@ -1,0 +1,91 @@
+(* Tests for event-instance analysis and argument-sensitive placement. *)
+
+open Scenarioml
+
+let test_collect_and_group () =
+  let instances = Instances.collect Casestudies.Pims.scenario_set in
+  Alcotest.(check int) "98 typed instances" 98 (List.length instances);
+  let grouped = Instances.by_event_type Casestudies.Pims.scenario_set in
+  Alcotest.(check int) "17 event types used" 17 (List.length grouped);
+  let initiates = List.assoc "user-initiates" grouped in
+  Alcotest.(check int) "one initiation per use case" 22 (List.length initiates)
+
+let test_argument_profile () =
+  let profile =
+    Instances.argument_profile Casestudies.Pims.scenario_set "user-initiates"
+  in
+  match profile with
+  | [ ("function", values) ] ->
+      (* the function parameter enumerates the system's functionalities *)
+      Alcotest.(check int) "22 distinct functionalities" 22 (List.length values);
+      Alcotest.(check bool) "includes create portfolio" true
+        (List.exists (String.equal "create portfolio") values)
+  | _ -> Alcotest.fail "expected exactly the function parameter"
+
+let test_relate () =
+  let mk id args =
+    {
+      Instances.scenario = "s";
+      event_id = id;
+      event_type = "et";
+      args;
+    }
+  in
+  Alcotest.(check bool) "identical" true
+    (Instances.relate (mk "a" [ ("p", "x") ]) (mk "b" [ ("p", "x") ])
+    = Some Instances.Identical_args);
+  Alcotest.(check bool) "differ in p" true
+    (Instances.relate (mk "a" [ ("p", "x") ]) (mk "b" [ ("p", "y") ])
+    = Some (Instances.Differ_in [ "p" ]));
+  Alcotest.(check bool) "missing param counts as differing" true
+    (Instances.relate (mk "a" [ ("p", "x"); ("q", "1") ]) (mk "b" [ ("p", "x") ])
+    = Some (Instances.Differ_in [ "q" ]));
+  let other = { (mk "c" []) with Instances.event_type = "other" } in
+  Alcotest.(check bool) "different types unrelated" true
+    (Instances.relate (mk "a" []) other = None)
+
+let test_duplication_ratio () =
+  (* system-authenticates has no parameters: all instances identical *)
+  let r = Instances.duplication_ratio Casestudies.Pims.scenario_set "system-authenticates" in
+  Alcotest.(check bool) "verbatim reuse > 1" true (r > 1.0);
+  (* user-initiates instances all differ *)
+  Alcotest.(check (float 0.001)) "all distinct" 1.0
+    (Instances.duplication_ratio Casestudies.Pims.scenario_set "user-initiates");
+  Alcotest.(check (float 0.001)) "unused type" 1.0
+    (Instances.duplication_ratio Casestudies.Pims.scenario_set "ghost")
+
+let test_placement_hook () =
+  (* CRASH network view: place send/receive events on the org the
+     arguments name, instead of the mapping's fixed components *)
+  let set = Casestudies.Crash.network_scenario_set in
+  let config =
+    {
+      Walkthrough.Engine.default_config with
+      Walkthrough.Engine.placement_hook = Some Casestudies.Crash.network_placement_hook;
+    }
+  in
+  let scenario = Scen.find_exn set "interorg-cooperation" in
+  let r =
+    Walkthrough.Engine.evaluate_scenario ~config ~set
+      ~architecture:(Casestudies.Crash.high_level_architecture ~orgs:2 ())
+      ~mapping:Casestudies.Crash.network_mapping scenario
+  in
+  Alcotest.(check bool) "walks with argument-derived placement" true
+    (Walkthrough.Verdict.is_consistent r);
+  (* the police reply is now placed on police-cc because the sender
+     argument says so *)
+  match r.Walkthrough.Verdict.traces with
+  | [ t ] ->
+      let step5 = List.nth t.Walkthrough.Verdict.steps 4 in
+      Alcotest.(check (list string)) "arg-derived placement" [ "police-cc" ]
+        step5.Walkthrough.Verdict.components
+  | _ -> Alcotest.fail "expected one trace"
+
+let suite =
+  [
+    Alcotest.test_case "collect and group instances" `Quick test_collect_and_group;
+    Alcotest.test_case "argument profiles" `Quick test_argument_profile;
+    Alcotest.test_case "instance relationships" `Quick test_relate;
+    Alcotest.test_case "duplication ratios" `Quick test_duplication_ratio;
+    Alcotest.test_case "argument-sensitive placement hook" `Quick test_placement_hook;
+  ]

@@ -1,0 +1,109 @@
+(* End-to-end pipeline tests through the umbrella Sosae API, plus the
+   OWL export path. *)
+
+let project =
+  {
+    Core.Sosae.scenarios = Casestudies.Pims.scenario_set;
+    architecture = Casestudies.Pims.architecture;
+    mapping = Casestudies.Pims.mapping;
+  }
+
+let test_validate_pipeline () =
+  let v = Core.Sosae.validate project in
+  Alcotest.(check bool) "ok" true v.Core.Sosae.ok;
+  Testutil.check_contains "report text"
+    (Format.asprintf "%a" Core.Sosae.pp_validation v)
+    "all artifacts valid";
+  (* break each artifact and watch the right section light up *)
+  let broken_mapping =
+    Mapping.Build.map ~event_type:"ghost" ~to_:[ "nowhere" ] project.Core.Sosae.mapping
+  in
+  let v2 = Core.Sosae.validate { project with Core.Sosae.mapping = broken_mapping } in
+  Alcotest.(check bool) "coverage problems found" true
+    (v2.Core.Sosae.coverage_problems <> []);
+  Alcotest.(check bool) "not ok" false v2.Core.Sosae.ok
+
+let test_evaluate_pipeline () =
+  let r = Core.Sosae.evaluate project in
+  Alcotest.(check int) "22 results" 22 (List.length r.Walkthrough.Engine.results);
+  Alcotest.(check bool) "consistent" true r.Walkthrough.Engine.consistent;
+  Alcotest.(check bool) "unknown scenario" true
+    (Core.Sosae.evaluate_scenario project "nope" = None)
+
+let test_config_threading () =
+  (* the Direct policy is stricter: hops may no longer pass through
+     intervening components, so some PIMS hops fail *)
+  let config =
+    { Walkthrough.Engine.default_config with Walkthrough.Engine.policy = Adl.Graph.Direct }
+  in
+  let routed = Core.Sosae.evaluate project in
+  let direct = Core.Sosae.evaluate ~config project in
+  let count_consistent r =
+    List.length (List.filter Walkthrough.Verdict.is_consistent r.Walkthrough.Engine.results)
+  in
+  Alcotest.(check bool) "direct is no more permissive" true
+    (count_consistent direct <= count_consistent routed)
+
+let test_load_errors () =
+  Alcotest.(check bool) "missing file" true
+    (match
+       Core.Sosae.load_project ~scenarios:"/nonexistent/s.xml"
+         ~architecture:"/nonexistent/a.xml" ~mapping:"/nonexistent/m.xml"
+     with
+    | exception Core.Sosae.Load_error _ -> true
+    | _ -> false);
+  let tmp = Filename.temp_file "bad" ".xml" in
+  let oc = open_out tmp in
+  output_string oc "<notAScenarioSet/>";
+  close_out oc;
+  Alcotest.(check bool) "wrong schema" true
+    (match Core.Sosae.load_project ~scenarios:tmp ~architecture:tmp ~mapping:tmp with
+    | exception Core.Sosae.Load_error _ -> true
+    | _ -> false);
+  Sys.remove tmp
+
+let test_owl_export_pipeline () =
+  let store = Core.Sosae.export_owl project in
+  Alcotest.(check bool) "substantial export" true (Semweb.Store.size store > 100);
+  (* the walkthrough's supertype fallback agrees with the OWL reasoner *)
+  let via_reasoner =
+    Semweb.Export.components_realizing store ~event_type:"system-downloads"
+  in
+  let via_mapping =
+    List.sort String.compare
+      (Mapping.Types.components_of project.Core.Sosae.mapping "system-downloads"
+      @ Mapping.Types.components_of project.Core.Sosae.mapping "system-action")
+  in
+  Alcotest.(check (list string)) "reasoner agrees with mapping" via_mapping via_reasoner;
+  (* turtle round trip of the full project export *)
+  let reparsed = Semweb.Turtle.of_string (Semweb.Turtle.to_string store) in
+  Alcotest.(check int) "turtle round trip" (Semweb.Store.size store)
+    (Semweb.Store.size reparsed)
+
+let test_behavioral_pipeline () =
+  let bundle =
+    Statechart.Bundle.make ~id:"pims-behavior" Casestudies.Pims_behavior.charts
+  in
+  let results = Core.Sosae.evaluate_behavioral project bundle in
+  Alcotest.(check int) "all 22 executed" 22 (List.length results);
+  (* get-share-prices is accepted behaviorally (download precedes save) *)
+  let prices =
+    List.find
+      (fun r -> String.equal r.Walkthrough.Dynamic.scenario_id "get-share-prices")
+      results
+  in
+  Alcotest.(check bool) "accepted" true prices.Walkthrough.Dynamic.ok
+
+let test_version () =
+  Alcotest.(check bool) "version string" true (String.length Core.Sosae.version > 0)
+
+let suite =
+  [
+    Alcotest.test_case "validation pipeline" `Quick test_validate_pipeline;
+    Alcotest.test_case "evaluation pipeline" `Quick test_evaluate_pipeline;
+    Alcotest.test_case "policy threading" `Quick test_config_threading;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "OWL export pipeline" `Quick test_owl_export_pipeline;
+    Alcotest.test_case "behavioral pipeline" `Quick test_behavioral_pipeline;
+    Alcotest.test_case "version" `Quick test_version;
+  ]

@@ -1,0 +1,262 @@
+(* Unit and property tests for the ScenarioML ontology. *)
+
+let sample =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"Sample"
+  |> add_class ~id:"actor" ~name:"Actor"
+  |> add_class ~id:"user" ~name:"User" ~super:"actor"
+  |> add_class ~id:"admin" ~name:"Admin" ~super:"user"
+  |> add_class ~id:"thing" ~name:"Thing"
+  |> add_individual ~id:"alice" ~name:"Alice" ~cls:"admin"
+  |> add_individual ~id:"bob" ~name:"Bob" ~cls:"user"
+  |> add_event_type ~id:"acts" ~name:"acts" ~actor:"actor"
+       ~params:[ ("what", "thing") ]
+       ~template:"Someone acts on {what}"
+  |> add_event_type ~id:"edits" ~name:"edits" ~super:"acts"
+       ~params:[ ("how", "thing") ]
+       ~template:"Edits {what} by {how}"
+  |> add_term ~id:"glossary-x" ~name:"X" ~definition:"a thing called X"
+
+let test_lookup () =
+  Alcotest.(check bool) "class" true (Ontology.Types.find_class sample "user" <> None);
+  Alcotest.(check bool) "individual" true
+    (Ontology.Types.find_individual sample "alice" <> None);
+  Alcotest.(check bool) "event" true (Ontology.Types.find_event_type sample "edits" <> None);
+  Alcotest.(check bool) "term" true (Ontology.Types.find_term sample "glossary-x" <> None);
+  Alcotest.(check bool) "missing" true (Ontology.Types.find_class sample "ghost" = None);
+  Alcotest.(check int) "size" 9 (Ontology.Types.size sample)
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate id" (Ontology.Build.Duplicate "user") (fun () ->
+      ignore (Ontology.Build.add_class ~id:"user" ~name:"Again" sample))
+
+let test_merge () =
+  let other =
+    Ontology.Build.create ~id:"p" ~name:"Other"
+    |> Ontology.Build.add_class ~id:"fresh" ~name:"Fresh"
+  in
+  let merged = Ontology.Build.merge sample other in
+  Alcotest.(check bool) "both present" true
+    (Ontology.Types.find_class merged "fresh" <> None
+    && Ontology.Types.find_class merged "user" <> None);
+  Alcotest.check_raises "collision" (Ontology.Build.Duplicate "actor") (fun () ->
+      ignore
+        (Ontology.Build.merge sample
+           (Ontology.Build.create ~id:"q" ~name:"Q"
+           |> Ontology.Build.add_class ~id:"actor" ~name:"Clash")))
+
+let test_subsumption () =
+  Alcotest.(check (list string)) "ancestors" [ "user"; "actor" ]
+    (Ontology.Subsume.class_ancestors sample "admin");
+  Alcotest.(check bool) "reflexive" true
+    (Ontology.Subsume.class_subsumes sample ~super:"user" ~sub:"user");
+  Alcotest.(check bool) "transitive" true
+    (Ontology.Subsume.class_subsumes sample ~super:"actor" ~sub:"admin");
+  Alcotest.(check bool) "not symmetric" false
+    (Ontology.Subsume.class_subsumes sample ~super:"admin" ~sub:"actor");
+  Alcotest.(check (list string)) "descendants" [ "user"; "admin" ]
+    (Ontology.Subsume.class_descendants sample "actor");
+  Alcotest.(check bool) "event subsume" true
+    (Ontology.Subsume.event_subsumes sample ~super:"acts" ~sub:"edits")
+
+let test_event_roots_and_common_ancestor () =
+  Alcotest.(check (list string)) "roots" [ "acts" ]
+    (List.map (fun e -> e.Ontology.Types.event_id) (Ontology.Subsume.event_roots sample));
+  Alcotest.(check (option string)) "common" (Some "acts")
+    (Ontology.Subsume.common_event_ancestor sample "edits" "acts");
+  Alcotest.(check (option string)) "self" (Some "edits")
+    (Ontology.Subsume.common_event_ancestor sample "edits" "edits")
+
+let test_inherited_params () =
+  let edits = Ontology.Types.event_type_exn sample "edits" in
+  let params = Ontology.Subsume.inherited_params sample edits in
+  Alcotest.(check (list string)) "inherited then own" [ "what"; "how" ]
+    (List.map (fun p -> p.Ontology.Types.param_name) params)
+
+let test_individuals_of_class () =
+  Alcotest.(check (list string)) "subsumed individuals" [ "alice"; "bob" ]
+    (List.map
+       (fun i -> i.Ontology.Types.ind_id)
+       (Ontology.Subsume.individuals_of_class sample "user"));
+  Alcotest.(check int) "admins only" 1
+    (List.length (Ontology.Subsume.individuals_of_class sample "admin"))
+
+let test_template_expansion () =
+  let acts = Ontology.Types.event_type_exn sample "acts" in
+  Alcotest.(check string) "expanded" "Someone acts on the door"
+    (Ontology.Types.expand_template acts [ ("what", "the door") ]);
+  Alcotest.(check string) "unbound kept" "Someone acts on {what}"
+    (Ontology.Types.expand_template acts []);
+  let weird =
+    { acts with Ontology.Types.template = "{a}{a} and {b" }
+  in
+  Alcotest.(check string) "double and dangling" "xx and {b"
+    (Ontology.Types.expand_template weird [ ("a", "x") ])
+
+let test_placeholders () =
+  Alcotest.(check (list string)) "found" [ "a"; "b" ]
+    (Ontology.Wellformed.placeholders "{a} then {b} then {a}")
+
+let test_wellformed_ok () =
+  Alcotest.(check (list string)) "no problems" []
+    (List.map Ontology.Wellformed.problem_to_string (Ontology.Wellformed.check sample))
+
+let test_wellformed_problems () =
+  let has_problem ontology predicate =
+    List.exists predicate (Ontology.Wellformed.check ontology)
+  in
+  let base = Ontology.Build.create ~id:"w" ~name:"W" in
+  let unknown_super =
+    Ontology.Build.add_class ~id:"c" ~name:"C" ~super:"ghost" base
+  in
+  Alcotest.(check bool) "unknown class super" true
+    (has_problem unknown_super (function
+      | Ontology.Wellformed.Unknown_class_super _ -> true
+      | _ -> false));
+  let cyclic =
+    {
+      sample with
+      Ontology.Types.classes =
+        List.map
+          (fun c ->
+            if String.equal c.Ontology.Types.class_id "actor" then
+              { c with Ontology.Types.class_super = Some "admin" }
+            else c)
+          sample.Ontology.Types.classes;
+    }
+  in
+  Alcotest.(check bool) "class cycle" true
+    (has_problem cyclic (function Ontology.Wellformed.Class_cycle _ -> true | _ -> false));
+  let bad_ind =
+    Ontology.Build.add_individual ~id:"i" ~name:"I" ~cls:"ghost" base
+  in
+  Alcotest.(check bool) "unknown individual class" true
+    (has_problem bad_ind (function
+      | Ontology.Wellformed.Unknown_individual_class _ -> true
+      | _ -> false));
+  let bad_param =
+    Ontology.Build.add_event_type ~id:"e" ~name:"E" ~params:[ ("p", "ghost") ]
+      ~template:"x {p}" base
+  in
+  Alcotest.(check bool) "unknown param class" true
+    (has_problem bad_param (function
+      | Ontology.Wellformed.Unknown_param_class _ -> true
+      | _ -> false));
+  let bad_actor =
+    Ontology.Build.add_event_type ~id:"e" ~name:"E" ~actor:"ghost" ~template:"x" base
+  in
+  Alcotest.(check bool) "unknown actor" true
+    (has_problem bad_actor (function
+      | Ontology.Wellformed.Unknown_actor_class _ -> true
+      | _ -> false));
+  let empty_template = Ontology.Build.add_event_type ~id:"e" ~name:"E" ~template:"  " base in
+  Alcotest.(check bool) "empty template" true
+    (has_problem empty_template (function
+      | Ontology.Wellformed.Empty_template _ -> true
+      | _ -> false));
+  let unbound =
+    Ontology.Build.add_event_type ~id:"e" ~name:"E" ~template:"uses {ghost}" base
+  in
+  Alcotest.(check bool) "unbound placeholder" true
+    (has_problem unbound (function
+      | Ontology.Wellformed.Unbound_placeholder _ -> true
+      | _ -> false))
+
+let test_xml_roundtrip () =
+  let xml = Ontology.Xml_io.to_string sample in
+  let reparsed = Ontology.Xml_io.of_string xml in
+  Alcotest.(check int) "same size" (Ontology.Types.size sample)
+    (Ontology.Types.size reparsed);
+  Alcotest.(check bool) "same content" true (reparsed = sample)
+
+let test_xml_malformed () =
+  Alcotest.(check bool) "wrong root" true
+    (match Ontology.Xml_io.of_string "<wrong id=\"a\" name=\"b\"/>" with
+    | exception Ontology.Xml_io.Malformed _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing template" true
+    (match
+       Ontology.Xml_io.of_string
+         "<ontology id=\"o\" name=\"n\"><eventType id=\"e\" name=\"e\"/></ontology>"
+     with
+    | exception Ontology.Xml_io.Malformed _ -> true
+    | _ -> false)
+
+let test_pretty () =
+  let s = Ontology.Pretty.to_string sample in
+  Alcotest.(check bool) "mentions classes" true
+    (Testutil.contains s "instanceType user");
+  Alcotest.(check bool) "mentions events" true
+    (Testutil.contains s "eventType edits");
+  Alcotest.(check bool) "summary counts" true
+    (Testutil.contains (Ontology.Pretty.summary sample) "4 classes")
+
+(* --- property: subsumption on random forests agrees with the chain oracle --- *)
+
+let gen_forest =
+  (* classes c0..c(n-1); each may have a super among strictly earlier
+     ones, guaranteeing acyclicity *)
+  QCheck2.Gen.(
+    let* n = int_range 1 15 in
+    let* supers =
+      flatten_l
+        (List.init n (fun i ->
+             if i = 0 then return None
+             else
+               let* pick = int_range (-1) (i - 1) in
+               return (if pick < 0 then None else Some pick)))
+    in
+    return (n, supers))
+
+let forest_ontology (n, supers) =
+  let name i = Printf.sprintf "c%d" i in
+  List.fold_left
+    (fun o i ->
+      let super = Option.map name (List.nth supers i) in
+      Ontology.Build.add_class ?super ~id:(name i) ~name:(name i) o)
+    (Ontology.Build.create ~id:"rand" ~name:"Random")
+    (List.init n (fun i -> i))
+
+let prop_subsumption =
+  QCheck2.Test.make ~name:"class subsumption equals the super-chain oracle" ~count:100
+    gen_forest (fun ((n, supers) as forest) ->
+      let ontology = forest_ontology forest in
+      let name i = Printf.sprintf "c%d" i in
+      let rec chain i acc =
+        match List.nth supers i with Some p -> chain p (p :: acc) | None -> acc
+      in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              let expected = i = j || List.exists (Int.equal j) (chain i []) in
+              Bool.equal expected
+                (Ontology.Subsume.class_subsumes ontology ~super:(name j) ~sub:(name i)))
+            (List.init n (fun j -> j)))
+        (List.init n (fun i -> i)))
+
+let prop_wellformed_random_forest =
+  QCheck2.Test.make ~name:"acyclic random forests are well-formed" ~count:100 gen_forest
+    (fun forest -> Ontology.Wellformed.is_wellformed (forest_ontology forest))
+
+let suite =
+  [
+    Alcotest.test_case "lookups and size" `Quick test_lookup;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "class and event subsumption" `Quick test_subsumption;
+    Alcotest.test_case "event roots and common ancestor" `Quick
+      test_event_roots_and_common_ancestor;
+    Alcotest.test_case "inherited parameters" `Quick test_inherited_params;
+    Alcotest.test_case "individuals of a class" `Quick test_individuals_of_class;
+    Alcotest.test_case "template expansion" `Quick test_template_expansion;
+    Alcotest.test_case "placeholder scanning" `Quick test_placeholders;
+    Alcotest.test_case "well-formed sample" `Quick test_wellformed_ok;
+    Alcotest.test_case "each well-formedness problem detected" `Quick
+      test_wellformed_problems;
+    Alcotest.test_case "XML round trip" `Quick test_xml_roundtrip;
+    Alcotest.test_case "malformed XML rejected" `Quick test_xml_malformed;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+    QCheck_alcotest.to_alcotest prop_subsumption;
+    QCheck_alcotest.to_alcotest prop_wellformed_random_forest;
+  ]

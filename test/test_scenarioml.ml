@@ -1,0 +1,438 @@
+(* Unit and property tests for ScenarioML events, scenarios,
+   validation, linearization, and statistics. *)
+
+open Scenarioml
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"Test domain"
+  |> add_class ~id:"actor" ~name:"Actor"
+  |> add_class ~id:"user" ~name:"User" ~super:"actor"
+  |> add_class ~id:"doc" ~name:"Document"
+  |> add_individual ~id:"alice" ~name:"Alice" ~cls:"user"
+  |> add_individual ~id:"report" ~name:"the report" ~cls:"doc"
+  |> add_event_type ~id:"opens" ~name:"opens"
+       ~params:[ ("what", "doc") ]
+       ~template:"The user opens {what}"
+  |> add_event_type ~id:"saves" ~name:"saves"
+       ~params:[ ("what", "doc") ]
+       ~template:"The user saves {what}"
+  |> add_event_type ~id:"closes" ~name:"closes" ~template:"The user closes the editor"
+
+let typed id event_type args = Event.typed ~id ~event_type args
+
+let open_report id = typed id "opens" [ Event.individual ~param:"what" "report" ]
+
+let save_report id = typed id "saves" [ Event.literal ~param:"what" "the report" ]
+
+let simple_scenario =
+  Scen.scenario ~id:"edit" ~name:"Edit the report" ~actors:[ "alice" ]
+    [ open_report "e1"; save_report "e2"; typed "e3" "closes" [] ]
+
+let set_of scenarios = Scen.make_set ~id:"s" ~name:"Set" ontology scenarios
+
+(* ------------------------- events --------------------------------- *)
+
+let test_event_accessors () =
+  let e =
+    Event.Compound
+      {
+        id = "c";
+        pattern = Event.Sequence;
+        body = [ open_report "a"; Event.Optional { id = "o"; body = [ save_report "b" ] } ];
+      }
+  in
+  Alcotest.(check string) "id" "c" (Event.id e);
+  Alcotest.(check (list string)) "all ids" [ "c"; "a"; "o"; "b" ] (Event.all_ids e);
+  Alcotest.(check int) "size" 4 (Event.size e);
+  Alcotest.(check int) "depth" 3 (Event.depth e);
+  Alcotest.(check (list string)) "typed refs" [ "opens"; "saves" ]
+    (Event.typed_event_types e)
+
+let test_render () =
+  Alcotest.(check string) "individual resolved" "The user opens the report"
+    (Event.render ontology (open_report "x"));
+  Alcotest.(check string) "literal" "The user saves the report"
+    (Event.render ontology (save_report "x"));
+  Alcotest.(check string) "unknown type" "<unresolved event type ghost>"
+    (Event.render ontology (typed "x" "ghost" []));
+  let alternation =
+    Event.Alternation { id = "a"; branches = [ [ open_report "1" ]; [ save_report "2" ] ] }
+  in
+  Testutil.check_contains "alternation rendering"
+    (Event.render ontology alternation) "either";
+  let iteration =
+    Event.Iteration { id = "i"; bound = Event.Exactly 3; body = [ open_report "1" ] }
+  in
+  Testutil.check_contains "iteration rendering" (Event.render ontology iteration) "3 times"
+
+let test_scenario_accessors () =
+  Alcotest.(check int) "event count" 3 (Scen.event_count simple_scenario);
+  Alcotest.(check (list string)) "typed" [ "opens"; "saves"; "closes" ]
+    (Scen.typed_event_types simple_scenario);
+  Alcotest.(check bool) "positive" false (Scen.is_negative simple_scenario);
+  let set = set_of [ simple_scenario ] in
+  Alcotest.(check bool) "find" true (Scen.find set "edit" <> None);
+  Alcotest.(check bool) "find missing" true (Scen.find set "nope" = None)
+
+let test_fresh_individuals () =
+  (* an individual newly created during the scenario (paper 2) *)
+  let e =
+    Event.typed ~id:"e" ~event_type:"opens"
+      [ Event.fresh ~param:"what" ~label:"a new draft" ~cls:"doc" ]
+  in
+  Alcotest.(check string) "rendered with its label" "The user opens a new draft"
+    (Event.render ontology e);
+  let ok = Scen.scenario ~id:"s" ~name:"S" [ e ] in
+  Alcotest.(check (list string)) "validates" []
+    (List.map Validate.problem_to_string (Validate.check (set_of [ ok ])));
+  (* wrong class for the parameter *)
+  let bad =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        Event.typed ~id:"e" ~event_type:"opens"
+          [ Event.fresh ~param:"what" ~label:"someone" ~cls:"user" ];
+      ]
+  in
+  Alcotest.(check bool) "class mismatch detected" true
+    (List.exists
+       (function Validate.Arg_class_mismatch _ -> true | _ -> false)
+       (Validate.check (set_of [ bad ])));
+  (* unknown class *)
+  let ghost =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        Event.typed ~id:"e" ~event_type:"opens"
+          [ Event.fresh ~param:"what" ~label:"x" ~cls:"ghost" ];
+      ]
+  in
+  Alcotest.(check bool) "unknown class detected" true
+    (List.exists
+       (function Validate.Unknown_individual _ -> true | _ -> false)
+       (Validate.check (set_of [ ghost ])));
+  (* XML round trip *)
+  let set = set_of [ ok ] in
+  Alcotest.(check bool) "xml round trip" true
+    (Xml_io.set_of_string (Xml_io.set_to_string set) = set)
+
+(* ------------------------- validation ----------------------------- *)
+
+let problems scenarios = Validate.check (set_of scenarios)
+
+let test_validation_clean () =
+  Alcotest.(check (list string)) "no problems" []
+    (List.map Validate.problem_to_string (problems [ simple_scenario ]))
+
+let first_problem_matches name scenarios predicate =
+  match List.filter predicate (problems scenarios) with
+  | _ :: _ -> ()
+  | [] -> Alcotest.failf "%s: expected problem not reported" name
+
+let test_validation_problems () =
+  first_problem_matches "unknown event type"
+    [ Scen.scenario ~id:"s1" ~name:"S" [ typed "e" "ghost" [] ] ]
+    (function Validate.Unknown_event_type _ -> true | _ -> false);
+  first_problem_matches "unknown param"
+    [
+      Scen.scenario ~id:"s1" ~name:"S"
+        [ typed "e" "closes" [ Event.literal ~param:"ghost" "v" ] ];
+    ]
+    (function Validate.Unknown_param _ -> true | _ -> false);
+  first_problem_matches "missing arg"
+    [ Scen.scenario ~id:"s1" ~name:"S" [ typed "e" "opens" [] ] ]
+    (function Validate.Missing_arg _ -> true | _ -> false);
+  first_problem_matches "unknown individual"
+    [
+      Scen.scenario ~id:"s1" ~name:"S"
+        [ typed "e" "opens" [ Event.individual ~param:"what" "ghost" ] ];
+    ]
+    (function Validate.Unknown_individual _ -> true | _ -> false);
+  first_problem_matches "class mismatch"
+    [
+      Scen.scenario ~id:"s1" ~name:"S"
+        [ typed "e" "opens" [ Event.individual ~param:"what" "alice" ] ];
+    ]
+    (function Validate.Arg_class_mismatch _ -> true | _ -> false);
+  first_problem_matches "unknown actor"
+    [ Scen.scenario ~id:"s1" ~name:"S" ~actors:[ "ghost" ] [ typed "e" "closes" [] ] ]
+    (function Validate.Unknown_actor _ -> true | _ -> false);
+  first_problem_matches "unknown episode"
+    [
+      Scen.scenario ~id:"s1" ~name:"S" [ Event.Episode { id = "e"; scenario = "ghost" } ];
+    ]
+    (function Validate.Unknown_episode _ -> true | _ -> false);
+  first_problem_matches "duplicate event ids"
+    [ Scen.scenario ~id:"s1" ~name:"S" [ typed "e" "closes" []; typed "e" "closes" [] ] ]
+    (function Validate.Duplicate_event_id _ -> true | _ -> false);
+  first_problem_matches "duplicate scenarios"
+    [ simple_scenario; simple_scenario ]
+    (function Validate.Duplicate_scenario_id _ -> true | _ -> false);
+  first_problem_matches "bad iteration count"
+    [
+      Scen.scenario ~id:"s1" ~name:"S"
+        [ Event.Iteration { id = "i"; bound = Event.Exactly (-2); body = [] } ];
+    ]
+    (function Validate.Bad_iteration_count _ -> true | _ -> false);
+  first_problem_matches "empty alternation"
+    [ Scen.scenario ~id:"s1" ~name:"S" [ Event.Alternation { id = "a"; branches = [] } ] ]
+    (function Validate.Empty_alternation _ -> true | _ -> false)
+
+let test_episode_cycle () =
+  let a =
+    Scen.scenario ~id:"a" ~name:"A" [ Event.Episode { id = "ea"; scenario = "b" } ]
+  in
+  let b =
+    Scen.scenario ~id:"b" ~name:"B" [ Event.Episode { id = "eb"; scenario = "a" } ]
+  in
+  first_problem_matches "cycle" [ a; b ] (function
+    | Validate.Episode_cycle _ -> true
+    | _ -> false)
+
+let test_subtype_args_validate () =
+  (* a typed event may supply args declared by an inherited parameter *)
+  let ontology =
+    Ontology.Build.add_event_type ~id:"opens-archived" ~name:"opens archived"
+      ~super:"opens" ~template:"Opens archived {what}" ontology
+  in
+  let scenario =
+    Scen.scenario ~id:"s" ~name:"S"
+      [ typed "e" "opens-archived" [ Event.individual ~param:"what" "report" ] ]
+  in
+  let set = Scen.make_set ~id:"x" ~name:"X" ontology [ scenario ] in
+  Alcotest.(check (list string)) "inherited param accepted" []
+    (List.map Validate.problem_to_string (Validate.check set))
+
+(* ------------------------- linearization -------------------------- *)
+
+let trace_texts set s =
+  let { Linearize.traces; _ } = Linearize.scenario set s in
+  List.map (fun t -> Linearize.render_trace ontology t) traces
+
+let test_linearize_plain () =
+  let set = set_of [ simple_scenario ] in
+  let traces = trace_texts set simple_scenario in
+  Alcotest.(check int) "one trace" 1 (List.length traces);
+  Alcotest.(check int) "three steps" 3 (List.length (List.hd traces))
+
+let test_linearize_alternation () =
+  let s =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        open_report "e0";
+        Event.Alternation
+          {
+            id = "a";
+            branches = [ [ save_report "b1" ]; [ typed "b2" "closes" [] ]; [] ];
+          };
+      ]
+  in
+  let { Linearize.traces; truncated } = Linearize.scenario (set_of [ s ]) s in
+  Alcotest.(check int) "three traces" 3 (List.length traces);
+  Alcotest.(check bool) "not truncated" false truncated
+
+let test_linearize_optional_iteration () =
+  let s =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        Event.Optional { id = "o"; body = [ open_report "e1" ] };
+        Event.Iteration { id = "i"; bound = Event.Zero_or_more; body = [ save_report "e2" ] };
+      ]
+  in
+  (* optional: 2 choices; zero-or-more with unroll 1: counts 0 and 1. *)
+  let { Linearize.traces; _ } = Linearize.scenario (set_of [ s ]) s in
+  Alcotest.(check int) "2 * 2 traces" 4 (List.length traces);
+  let s2 =
+    Scen.scenario ~id:"s2" ~name:"S2"
+      [ Event.Iteration { id = "i"; bound = Event.Exactly 3; body = [ save_report "e2" ] } ]
+  in
+  let { Linearize.traces; _ } = Linearize.scenario (set_of [ s2 ]) s2 in
+  Alcotest.(check int) "one trace" 1 (List.length traces);
+  Alcotest.(check int) "3 steps" 3 (List.length (List.hd traces))
+
+let test_linearize_any_order () =
+  let s =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        Event.Compound
+          {
+            id = "c";
+            pattern = Event.Any_order;
+            body = [ open_report "e1"; save_report "e2"; typed "e3" "closes" [] ];
+          };
+      ]
+  in
+  let { Linearize.traces; _ } = Linearize.scenario (set_of [ s ]) s in
+  Alcotest.(check int) "3! permutations" 6 (List.length traces)
+
+let test_linearize_episode () =
+  let inner = Scen.scenario ~id:"inner" ~name:"Inner" [ save_report "i1" ] in
+  let outer =
+    Scen.scenario ~id:"outer" ~name:"Outer"
+      [ open_report "o1"; Event.Episode { id = "ep"; scenario = "inner" } ]
+  in
+  let set = set_of [ inner; outer ] in
+  let { Linearize.traces; _ } = Linearize.scenario set outer in
+  (match traces with
+  | [ steps ] ->
+      Alcotest.(check int) "expanded" 2 (List.length steps);
+      Alcotest.(check (list string)) "step provenance" [ "outer"; "inner" ]
+        (List.map (fun st -> st.Linearize.step_scenario) steps)
+  | _ -> Alcotest.fail "expected one trace");
+  (* self-referential episodes are cut, not looped *)
+  let cyclic =
+    Scen.scenario ~id:"cyc" ~name:"Cyc"
+      [ open_report "c1"; Event.Episode { id = "ep"; scenario = "cyc" } ]
+  in
+  let set = set_of [ cyclic ] in
+  let { Linearize.traces; _ } = Linearize.scenario set cyclic in
+  Alcotest.(check int) "cycle cut" 1 (List.length (List.hd traces))
+
+let test_linearize_truncation () =
+  let branches = List.init 4 (fun i -> [ typed (Printf.sprintf "b%d" i) "closes" [] ]) in
+  let s =
+    Scen.scenario ~id:"s" ~name:"S"
+      [
+        Event.Alternation { id = "a1"; branches };
+        Event.Alternation
+          {
+            id = "a2";
+            branches =
+              List.map
+                (List.map (function
+                  | Event.Typed t -> Event.Typed { t with id = t.id ^ "x" }
+                  | e -> e))
+                branches;
+          };
+      ]
+  in
+  let config = { Linearize.iteration_unroll = 1; max_traces = 5 } in
+  let { Linearize.traces; truncated } = Linearize.scenario ~config (set_of [ s ]) s in
+  Alcotest.(check bool) "truncated" true truncated;
+  Alcotest.(check bool) "capped" true (List.length traces <= 5)
+
+let test_first_trace () =
+  let set = set_of [ simple_scenario ] in
+  Alcotest.(check int) "first trace steps" 3
+    (List.length (Linearize.first_trace set simple_scenario))
+
+(* ------------------------- stats ---------------------------------- *)
+
+let test_stats () =
+  let s2 =
+    Scen.scenario ~id:"again" ~name:"Again" ~kind:Scen.Negative
+      [ open_report "x1"; open_report "x2" ]
+  in
+  let set = set_of [ simple_scenario; s2 ] in
+  let stats = Stats.of_set set in
+  Alcotest.(check int) "scenarios" 2 stats.Stats.scenario_count;
+  Alcotest.(check int) "negatives" 1 stats.Stats.negative_count;
+  Alcotest.(check int) "typed" 5 stats.Stats.typed_occurrences;
+  Alcotest.(check int) "distinct" 3 stats.Stats.distinct_event_types_used;
+  (match stats.Stats.usage with
+  | ("opens", 3) :: _ -> ()
+  | other ->
+      Alcotest.failf "unexpected usage head: %s"
+        (String.concat ","
+           (List.map (fun (e, n) -> Printf.sprintf "%s=%d" e n) other)));
+  Alcotest.(check (float 0.01)) "reuse" (5.0 /. 3.0) stats.Stats.reuse_factor;
+  Alcotest.(check (list string)) "unused" [] (Stats.unused_event_types set);
+  let set_small = set_of [ s2 ] in
+  Alcotest.(check (list string)) "unused saves/closes" [ "saves"; "closes" ]
+    (Stats.unused_event_types set_small)
+
+(* ------------------------- XML ------------------------------------ *)
+
+let test_xml_roundtrip () =
+  let complex =
+    Scen.scenario ~id:"cx" ~name:"Complex" ~description:"all constructs"
+      ~kind:Scen.Negative ~actors:[ "alice" ]
+      [
+        Event.simple ~id:"s1" "a simple event";
+        open_report "t1";
+        Event.Compound
+          { id = "c1"; pattern = Event.Any_order; body = [ save_report "t2" ] };
+        Event.Alternation
+          { id = "a1"; branches = [ [ typed "t3" "closes" [] ]; [ save_report "t4" ] ] };
+        Event.Iteration { id = "i1"; bound = Event.One_or_more; body = [ open_report "t5" ] };
+        Event.Iteration { id = "i2"; bound = Event.Exactly 2; body = [ save_report "t6" ] };
+        Event.Optional { id = "o1"; body = [ typed "t7" "closes" [] ] };
+        Event.Episode { id = "ep1"; scenario = "edit" };
+      ]
+  in
+  let set = set_of [ simple_scenario; complex ] in
+  let xml = Xml_io.set_to_string set in
+  let reparsed = Xml_io.set_of_string xml in
+  Alcotest.(check bool) "identical" true (reparsed = set)
+
+let test_xml_malformed () =
+  let bad s =
+    match Xml_io.set_of_string s with
+    | exception Xml_io.Malformed _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "wrong root" true (bad "<nope id=\"a\" name=\"b\"/>");
+  Alcotest.(check bool) "missing ontology" true
+    (bad "<scenarioSet id=\"a\" name=\"b\"/>")
+
+let test_pretty () =
+  let text = Pretty.scenario_to_string ontology simple_scenario in
+  Testutil.check_contains "scenario header" text "Edit the report";
+  Testutil.check_contains "rendered event" text "The user opens the report";
+  let set_text = Pretty.set_to_string (set_of [ simple_scenario ]) in
+  Testutil.check_contains "ontology included" set_text "Ontology o"
+
+(* --- property: alternation-only scenarios have a trace per branch
+   product; all traces are distinct --- *)
+
+let gen_branch_sizes = QCheck2.Gen.(list_size (int_range 1 4) (int_range 1 3))
+
+let prop_alternation_product =
+  QCheck2.Test.make ~name:"alternation traces = product of branch counts" ~count:100
+    gen_branch_sizes (fun sizes ->
+      let counter = ref 0 in
+      let events =
+        List.map
+          (fun branches ->
+            Event.Alternation
+              {
+                id =
+                  (incr counter;
+                   Printf.sprintf "alt%d" !counter);
+                branches =
+                  List.init branches (fun _ ->
+                      incr counter;
+                      [ typed (Printf.sprintf "e%d" !counter) "closes" [] ]);
+              })
+          sizes
+      in
+      let s = Scen.scenario ~id:"p" ~name:"P" events in
+      let config = { Linearize.iteration_unroll = 1; max_traces = 100000 } in
+      let { Linearize.traces; truncated } = Linearize.scenario ~config (set_of [ s ]) s in
+      let expected = List.fold_left ( * ) 1 sizes in
+      (not truncated) && List.length traces = expected)
+
+let suite =
+  [
+    Alcotest.test_case "event accessors" `Quick test_event_accessors;
+    Alcotest.test_case "event rendering" `Quick test_render;
+    Alcotest.test_case "scenario accessors" `Quick test_scenario_accessors;
+    Alcotest.test_case "fresh (newly created) individuals" `Quick test_fresh_individuals;
+    Alcotest.test_case "valid set is clean" `Quick test_validation_clean;
+    Alcotest.test_case "each validation problem detected" `Quick test_validation_problems;
+    Alcotest.test_case "episode cycles detected" `Quick test_episode_cycle;
+    Alcotest.test_case "inherited parameters validate" `Quick test_subtype_args_validate;
+    Alcotest.test_case "linearize: plain sequence" `Quick test_linearize_plain;
+    Alcotest.test_case "linearize: alternation" `Quick test_linearize_alternation;
+    Alcotest.test_case "linearize: optional and iteration" `Quick
+      test_linearize_optional_iteration;
+    Alcotest.test_case "linearize: any-order permutations" `Quick test_linearize_any_order;
+    Alcotest.test_case "linearize: episodes expand, cycles cut" `Quick
+      test_linearize_episode;
+    Alcotest.test_case "linearize: truncation cap" `Quick test_linearize_truncation;
+    Alcotest.test_case "first trace" `Quick test_first_trace;
+    Alcotest.test_case "statistics and reuse factor" `Quick test_stats;
+    Alcotest.test_case "XML round trip (all constructs)" `Quick test_xml_roundtrip;
+    Alcotest.test_case "malformed XML rejected" `Quick test_xml_malformed;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+    QCheck_alcotest.to_alcotest prop_alternation_product;
+  ]

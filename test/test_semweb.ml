@@ -1,0 +1,271 @@
+(* Tests for the semantic-web substrate: store, Turtle, reasoner, and
+   the ScenarioML export. *)
+
+open Semweb
+
+let v = Term.Vocab.sosae
+
+let t s p o = Term.triple s p o
+
+let test_store_basics () =
+  let store = Store.create () in
+  let tr = t (Term.iri (v "a")) (v "p") (Term.iri (v "b")) in
+  Alcotest.(check bool) "added" true (Store.add store tr);
+  Alcotest.(check bool) "dedup" false (Store.add store tr);
+  Alcotest.(check int) "size" 1 (Store.size store);
+  Alcotest.(check bool) "mem" true (Store.mem store tr);
+  Alcotest.(check bool) "removed" true (Store.remove store tr);
+  Alcotest.(check int) "empty" 0 (Store.size store);
+  Alcotest.(check bool) "remove absent" false (Store.remove store tr)
+
+let test_store_queries () =
+  let store = Store.create () in
+  let a = Term.iri (v "a") and b = Term.iri (v "b") and c = Term.iri (v "c") in
+  ignore (Store.add_all store [ t a (v "p") b; t a (v "q") c; t b (v "p") c ]);
+  Alcotest.(check int) "by subject" 2 (List.length (Store.query store ~subj:a ()));
+  Alcotest.(check int) "by predicate" 2 (List.length (Store.query store ~pred:(v "p") ()));
+  Alcotest.(check int) "by object" 2 (List.length (Store.query store ~obj:c ()));
+  Alcotest.(check int) "exact" 1
+    (List.length (Store.query store ~subj:a ~pred:(v "p") ~obj:b ()));
+  Alcotest.(check int) "objects" 1 (List.length (Store.objects store ~subj:a ~pred:(v "p")));
+  Alcotest.(check int) "subjects" 1 (List.length (Store.subjects store ~pred:(v "p") ~obj:c));
+  Alcotest.(check int) "fold" 3 (Store.fold (fun _ n -> n + 1) store 0);
+  let copy = Store.copy store in
+  ignore (Store.add copy (t c (v "p") a));
+  Alcotest.(check int) "copy is independent" 3 (Store.size store)
+
+let test_term_rendering () =
+  Alcotest.(check string) "iri" "<http://x/y>" (Term.to_string (Term.iri "http://x/y"));
+  Alcotest.(check string) "blank" "_:b1" (Term.to_string (Term.blank "b1"));
+  Alcotest.(check string) "lang" "\"hi\"@en" (Term.to_string (Term.lit ~lang:"en" "hi"));
+  Testutil.check_contains "datatype"
+    (Term.to_string (Term.lit ~datatype:"http://dt" "5"))
+    "^^<http://dt>"
+
+let test_turtle_roundtrip () =
+  let store = Store.create () in
+  let a = Term.iri (v "alpha") and b = Term.iri (v "beta") in
+  ignore
+    (Store.add_all store
+       [
+         t a Term.Vocab.rdf_type (Term.iri Term.Vocab.owl_class);
+         t a Term.Vocab.rdfs_label (Term.lit "Alpha thing");
+         t a (v "rel") b;
+         t a (v "rel") (Term.blank "node1");
+         t (Term.blank "node1") (v "val") (Term.lit ~lang:"en" "hello");
+         t b (v "count") (Term.lit ~datatype:"http://www.w3.org/2001/XMLSchema#int" "3");
+       ]);
+  let turtle = Turtle.to_string store in
+  let reparsed = Turtle.of_string turtle in
+  Alcotest.(check int) "same size" (Store.size store) (Store.size reparsed);
+  List.iter
+    (fun tr ->
+      if not (Store.mem reparsed tr) then
+        Alcotest.failf "missing triple after round trip: %s" (Term.triple_to_string tr))
+    (Store.to_list store)
+
+let test_turtle_parsing_features () =
+  let store =
+    Turtle.of_string
+      "@prefix ex: <http://example.org/> .\n\
+       # a comment\n\
+       ex:a a ex:Klass ;\n\
+       \  ex:p ex:b, ex:c .\n\
+       <http://example.org/d> ex:q \"lit\" ."
+  in
+  Alcotest.(check int) "triples" 4 (Store.size store);
+  Alcotest.(check bool) "a keyword expands" true
+    (Store.mem store
+       (t (Term.iri "http://example.org/a") Term.Vocab.rdf_type
+          (Term.iri "http://example.org/Klass")))
+
+let test_turtle_errors () =
+  let fails s = match Turtle.of_string s with exception Turtle.Parse_error _ -> true | _ -> false in
+  Alcotest.(check bool) "unknown prefix" true (fails "nope:a nope:b nope:c .");
+  Alcotest.(check bool) "missing dot" true (fails "@prefix ex: <http://e/> .\nex:a ex:b ex:c");
+  Alcotest.(check bool) "unterminated string" true
+    (fails "@prefix ex: <http://e/> .\nex:a ex:b \"oops .")
+
+let test_reasoner_subclass () =
+  let store = Store.create () in
+  let cls n = Term.iri (v n) in
+  ignore
+    (Store.add_all store
+       [
+         t (cls "cat") Term.Vocab.rdfs_sub_class_of (cls "mammal");
+         t (cls "mammal") Term.Vocab.rdfs_sub_class_of (cls "animal");
+         t (Term.iri (v "tom")) Term.Vocab.rdf_type (cls "cat");
+       ]);
+  Alcotest.(check bool) "transitive subclass" true
+    (Reason.entails store (t (cls "cat") Term.Vocab.rdfs_sub_class_of (cls "animal")));
+  Alcotest.(check bool) "type inheritance" true
+    (Reason.entails store (t (Term.iri (v "tom")) Term.Vocab.rdf_type (cls "animal")));
+  Alcotest.(check int) "instances of animal" 1
+    (List.length (Reason.instances_of store (v "animal")));
+  Alcotest.(check (list string)) "subclasses" [ "animal"; "mammal"; "cat" ]
+    (List.map
+       (fun iri ->
+         String.sub iri (String.length (v "")) (String.length iri - String.length (v "")))
+       (Reason.subclasses_of store (v "animal")))
+
+let test_reasoner_properties () =
+  let store = Store.create () in
+  let n x = Term.iri (v x) in
+  ignore
+    (Store.add_all store
+       [
+         t (n "hasPet") Term.Vocab.rdfs_sub_property_of (n "keeps");
+         t (n "hasPet") Term.Vocab.rdfs_domain (n "person");
+         t (n "hasPet") Term.Vocab.rdfs_range (n "animal");
+         t (n "owns") Term.Vocab.owl_inverse_of (n "ownedBy");
+         t (n "alice") (v "hasPet") (n "tom");
+         t (n "alice") (v "owns") (n "house");
+       ]);
+  Alcotest.(check bool) "subproperty inheritance" true
+    (Reason.entails store (t (n "alice") (v "keeps") (n "tom")));
+  Alcotest.(check bool) "domain" true
+    (Reason.entails store (t (n "alice") Term.Vocab.rdf_type (n "person")));
+  Alcotest.(check bool) "range" true
+    (Reason.entails store (t (n "tom") Term.Vocab.rdf_type (n "animal")));
+  Alcotest.(check bool) "inverse" true
+    (Reason.entails store (t (n "house") (v "ownedBy") (n "alice")))
+
+let test_reasoner_clash () =
+  let store = Store.create () in
+  let n x = Term.iri (v x) in
+  ignore
+    (Store.add_all store
+       [
+         t (n "dog") Term.Vocab.owl_disjoint_with (n "cat");
+         t (n "rex") Term.Vocab.rdf_type (n "dog");
+         t (n "rex") Term.Vocab.rdf_type (n "cat");
+         t (n "tom") Term.Vocab.rdf_type (n "cat");
+       ]);
+  let clashes = Reason.inconsistencies store in
+  Alcotest.(check int) "one clash" 1 (List.length clashes);
+  (match clashes with
+  | [ c ] -> Alcotest.(check string) "rex" "<http://sosae.example.org/ns#rex>"
+      (Term.to_string c.Reason.individual)
+  | _ -> Alcotest.fail "expected exactly one clash");
+  Alcotest.(check int) "clean store has none" 0
+    (List.length (Reason.inconsistencies (Store.create ())))
+
+let test_bgp_query () =
+  let store = Store.create () in
+  let n x = Term.iri (v x) in
+  ignore
+    (Store.add_all store
+       [
+         t (n "fire") Term.Vocab.rdf_type (n "org");
+         t (n "police") Term.Vocab.rdf_type (n "org");
+         t (n "fire") (v "partner") (n "police");
+         t (n "police") (v "partner") (n "fire");
+         t (n "fire") Term.Vocab.rdfs_label (Term.lit "Fire Dept");
+       ]);
+  (* single pattern, one variable *)
+  let orgs =
+    Query.select store
+      [ Query.pattern (Query.v "x") (Query.iri Term.Vocab.rdf_type) (Query.iri (v "org")) ]
+  in
+  Alcotest.(check int) "two orgs" 2 (List.length orgs);
+  (* join across two patterns with a shared variable *)
+  let partnered =
+    Query.select store
+      [
+        Query.pattern (Query.v "a") (Query.iri Term.Vocab.rdf_type) (Query.iri (v "org"));
+        Query.pattern (Query.v "a") (Query.iri (v "partner")) (Query.v "b");
+      ]
+  in
+  Alcotest.(check int) "two partnered pairs" 2 (List.length partnered);
+  (* repeated variable forces equality: nobody partners themselves *)
+  let selfies =
+    Query.select store
+      [ Query.pattern (Query.v "a") (Query.iri (v "partner")) (Query.v "a") ]
+  in
+  Alcotest.(check int) "no self partners" 0 (List.length selfies);
+  (* literal constants *)
+  Alcotest.(check bool) "ask with literal" true
+    (Query.ask store
+       [
+         Query.pattern (Query.v "who") (Query.iri Term.Vocab.rdfs_label)
+           (Query.lit "Fire Dept");
+       ]);
+  (* empty pattern list: one empty solution *)
+  Alcotest.(check int) "empty query" 1 (List.length (Query.select store []));
+  Testutil.check_contains "binding rendering"
+    (Query.bindings_to_string (List.hd orgs))
+    "?x ="
+
+let test_bgp_query_with_reasoning () =
+  let store = Store.create () in
+  let n x = Term.iri (v x) in
+  ignore
+    (Store.add_all store
+       [
+         t (n "dept") Term.Vocab.rdfs_sub_class_of (n "org");
+         t (n "fire") Term.Vocab.rdf_type (n "dept");
+       ]);
+  let q =
+    [ Query.pattern (Query.v "x") (Query.iri Term.Vocab.rdf_type) (Query.iri (v "org")) ]
+  in
+  Alcotest.(check int) "raw store misses it" 0 (List.length (Query.select store q));
+  Alcotest.(check int) "reasoned query finds it" 1
+    (List.length (Query.select ~reason:true store q))
+
+let test_bgp_on_crash_export () =
+  (* which components realize which mapped event types, via BGP *)
+  let store =
+    Export.full_export Casestudies.Crash.ontology Casestudies.Crash.entity_mapping
+  in
+  let rows =
+    Query.select store
+      [
+        Query.pattern (Query.v "event") (Query.iri (Term.Vocab.sosae "mapsTo"))
+          (Query.v "component");
+      ]
+  in
+  Alcotest.(check int) "one row per mapping link"
+    (Mapping.Types.link_count Casestudies.Crash.entity_mapping)
+    (List.length rows)
+
+let test_export_ontology () =
+  let store = Export.ontology_to_store Casestudies.Crash.ontology in
+  Alcotest.(check bool) "non-empty" true (Store.size store > 50);
+  (* subclass: send-request < send-message < communicates *)
+  Alcotest.(check bool) "event subsumption exported" true
+    (Reason.entails store
+       (t
+          (Term.iri (Export.iri_of "send-request"))
+          Term.Vocab.rdfs_sub_class_of
+          (Term.iri (Export.iri_of "communicates"))));
+  (* organizations are individuals of the organization class *)
+  Alcotest.(check int) "7 organizations" 7
+    (List.length (Reason.instances_of store (Export.iri_of "organization")))
+
+let test_export_mapping_query () =
+  let store =
+    Export.full_export Casestudies.Crash.ontology Casestudies.Crash.entity_mapping
+  in
+  let components = Export.components_realizing store ~event_type:"send-request" in
+  Alcotest.(check (list string)) "inherited realization"
+    [ "communication-manager"; "sharing-info-manager"; "user-interface" ]
+    components
+
+let suite =
+  [
+    Alcotest.test_case "store add/remove/dedup" `Quick test_store_basics;
+    Alcotest.test_case "store queries" `Quick test_store_queries;
+    Alcotest.test_case "term rendering" `Quick test_term_rendering;
+    Alcotest.test_case "turtle round trip" `Quick test_turtle_roundtrip;
+    Alcotest.test_case "turtle parsing features" `Quick test_turtle_parsing_features;
+    Alcotest.test_case "turtle errors" `Quick test_turtle_errors;
+    Alcotest.test_case "reasoner: subclass rules" `Quick test_reasoner_subclass;
+    Alcotest.test_case "reasoner: property rules" `Quick test_reasoner_properties;
+    Alcotest.test_case "reasoner: disjointness clashes" `Quick test_reasoner_clash;
+    Alcotest.test_case "BGP queries" `Quick test_bgp_query;
+    Alcotest.test_case "BGP queries over the closure" `Quick test_bgp_query_with_reasoning;
+    Alcotest.test_case "BGP over the CRASH export" `Quick test_bgp_on_crash_export;
+    Alcotest.test_case "export: CRASH ontology" `Quick test_export_ontology;
+    Alcotest.test_case "export: mapping query via reasoner" `Quick
+      test_export_mapping_query;
+  ]

@@ -1,0 +1,300 @@
+(* Unit and property tests for statecharts and their step semantics. *)
+
+open Statechart
+
+let flat_chart =
+  Types.chart ~id:"door" ~component:"door" ~initial:"closed"
+    [ Types.state "closed"; Types.state "open"; Types.state "locked" ]
+    [
+      Types.transition ~source:"closed" ~target:"open" ~trigger:"open" ~outputs:[ "creak" ] ();
+      Types.transition ~source:"open" ~target:"closed" ~trigger:"close" ();
+      Types.transition ~source:"closed" ~target:"locked" ~trigger:"lock"
+        ~guard:"hasKey" ();
+      Types.transition ~source:"locked" ~target:"closed" ~trigger:"unlock" ~guard:"hasKey" ();
+    ]
+
+let hier_chart =
+  Types.chart ~id:"player" ~component:"player" ~initial:"off"
+    [
+      Types.state "off";
+      Types.state ~substates:[ Types.state "playing"; Types.state "paused" ]
+        ~initial:"playing" "on";
+    ]
+    [
+      Types.transition ~source:"off" ~target:"on" ~trigger:"power" ();
+      Types.transition ~source:"on" ~target:"off" ~trigger:"power" ();
+      Types.transition ~source:"playing" ~target:"paused" ~trigger:"pause" ();
+      Types.transition ~source:"paused" ~target:"playing" ~trigger:"pause" ();
+      (* inner transition shadows the outer one on the same trigger *)
+      Types.transition ~source:"paused" ~target:"off" ~trigger:"power" ();
+    ]
+
+let test_tree_accessors () =
+  Alcotest.(check (list string)) "all states" [ "off"; "on"; "playing"; "paused" ]
+    (Types.state_ids hier_chart);
+  Alcotest.(check (option string)) "parent" (Some "on") (Types.parent_of hier_chart "playing");
+  Alcotest.(check (option string)) "top parent" None (Types.parent_of hier_chart "on");
+  Alcotest.(check (option string)) "unknown" None (Types.parent_of hier_chart "ghost");
+  Alcotest.(check (list string)) "ancestors" [ "on" ] (Types.ancestors hier_chart "paused")
+
+let test_flat_stepping () =
+  let c0 = Exec.initial_config flat_chart in
+  Alcotest.(check (list string)) "initial" [ "closed" ] c0;
+  let r = Exec.step flat_chart c0 "open" in
+  Alcotest.(check (list string)) "opened" [ "open" ] r.Exec.new_config;
+  Alcotest.(check (list string)) "outputs" [ "creak" ] r.Exec.outputs;
+  Alcotest.(check bool) "fired" true (r.Exec.fired <> None);
+  let r2 = Exec.step flat_chart r.Exec.new_config "open" in
+  Alcotest.(check bool) "dropped event" true (r2.Exec.fired = None);
+  Alcotest.(check (list string)) "unchanged" [ "open" ] r2.Exec.new_config
+
+let test_guards () =
+  let c0 = Exec.initial_config flat_chart in
+  let no_key = Exec.step ~guards:(fun _ -> false) flat_chart c0 "lock" in
+  Alcotest.(check bool) "guard blocks" true (no_key.Exec.fired = None);
+  let with_key = Exec.step ~guards:(String.equal "hasKey") flat_chart c0 "lock" in
+  Alcotest.(check (list string)) "guard admits" [ "locked" ] with_key.Exec.new_config
+
+let test_hierarchy () =
+  let c0 = Exec.initial_config hier_chart in
+  Alcotest.(check (list string)) "initial leaf" [ "off" ] c0;
+  let on = Exec.step hier_chart c0 "power" in
+  Alcotest.(check (list string)) "enters initial substate" [ "on"; "playing" ]
+    on.Exec.new_config;
+  Alcotest.(check bool) "active parent" true (Exec.active on.Exec.new_config "on");
+  Alcotest.(check string) "leaf" "playing" (Exec.leaf on.Exec.new_config);
+  let paused = Exec.step hier_chart on.Exec.new_config "pause" in
+  Alcotest.(check (list string)) "paused" [ "on"; "paused" ] paused.Exec.new_config;
+  (* the inner paused->off transition wins over on->off *)
+  let off = Exec.step hier_chart paused.Exec.new_config "power" in
+  (match off.Exec.fired with
+  | Some tr -> Alcotest.(check string) "inner wins" "paused--power->off" tr.Types.tr_id
+  | None -> Alcotest.fail "no transition fired");
+  (* outer transition fires when only the parent matches *)
+  let off2 = Exec.step hier_chart on.Exec.new_config "power" in
+  (match off2.Exec.fired with
+  | Some tr -> Alcotest.(check string) "outer" "on--power->off" tr.Types.tr_id
+  | None -> Alcotest.fail "no transition fired")
+
+let test_run () =
+  let final, steps = Exec.run flat_chart [ "open"; "close"; "open"; "bogus" ] in
+  Alcotest.(check (list string)) "final" [ "open" ] final;
+  Alcotest.(check int) "steps" 4 (List.length steps);
+  let fired = List.filter (fun s -> s.Exec.reaction.Exec.fired <> None) steps in
+  Alcotest.(check int) "fired count" 3 (List.length fired)
+
+let test_reachable_states () =
+  Alcotest.(check (list string)) "all reachable" [ "closed"; "open"; "locked" ]
+    (Exec.reachable_states flat_chart);
+  let with_dead =
+    Types.chart ~id:"d" ~component:"d" ~initial:"a"
+      [ Types.state "a"; Types.state "b"; Types.state "dead" ]
+      [ Types.transition ~source:"a" ~target:"b" ~trigger:"go" () ]
+  in
+  Alcotest.(check (list string)) "dead excluded" [ "a"; "b" ]
+    (Exec.reachable_states with_dead)
+
+let test_validate_clean () =
+  Alcotest.(check (list string)) "flat" []
+    (List.map Validate.problem_to_string (Validate.check flat_chart));
+  Alcotest.(check (list string)) "hier" []
+    (List.map Validate.problem_to_string (Validate.check hier_chart))
+
+let test_validate_problems () =
+  let has chart predicate = List.exists predicate (Validate.check chart) in
+  let bad_initial =
+    Types.chart ~id:"c" ~component:"c" ~initial:"ghost" [ Types.state "a" ] []
+  in
+  Alcotest.(check bool) "unknown initial" true
+    (has bad_initial (function Validate.Unknown_initial _ -> true | _ -> false));
+  let no_sub_initial =
+    Types.chart ~id:"c" ~component:"c" ~initial:"p"
+      [ Types.state ~substates:[ Types.state "q" ] "p" ]
+      []
+  in
+  Alcotest.(check bool) "composite without initial" true
+    (has no_sub_initial (function
+      | Validate.Composite_without_initial _ -> true
+      | _ -> false));
+  let wrong_sub_initial =
+    Types.chart ~id:"c" ~component:"c" ~initial:"p"
+      [ Types.state ~substates:[ Types.state "q" ] ~initial:"ghost" "p" ]
+      []
+  in
+  Alcotest.(check bool) "initial not substate" true
+    (has wrong_sub_initial (function
+      | Validate.Initial_not_substate _ -> true
+      | _ -> false));
+  let bad_endpoints =
+    Types.chart ~id:"c" ~component:"c" ~initial:"a" [ Types.state "a" ]
+      [ Types.transition ~source:"ghost" ~target:"gone" ~trigger:"t" () ]
+  in
+  Alcotest.(check bool) "unknown source" true
+    (has bad_endpoints (function Validate.Unknown_source _ -> true | _ -> false));
+  Alcotest.(check bool) "unknown target" true
+    (has bad_endpoints (function Validate.Unknown_target _ -> true | _ -> false));
+  let nondeterministic =
+    Types.chart ~id:"c" ~component:"c" ~initial:"a"
+      [ Types.state "a"; Types.state "b" ]
+      [
+        Types.transition ~id:"t1" ~source:"a" ~target:"b" ~trigger:"go" ();
+        Types.transition ~id:"t2" ~source:"a" ~target:"a" ~trigger:"go" ();
+      ]
+  in
+  Alcotest.(check bool) "nondeterministic" true
+    (has nondeterministic (function Validate.Nondeterministic _ -> true | _ -> false));
+  let unreachable =
+    Types.chart ~id:"c" ~component:"c" ~initial:"a"
+      [ Types.state "a"; Types.state "island" ]
+      [ Types.transition ~source:"island" ~target:"a" ~trigger:"t" () ]
+  in
+  Alcotest.(check bool) "unreachable" true
+    (has unreachable (function Validate.Unreachable_state _ -> true | _ -> false))
+
+let test_xml_roundtrip () =
+  let xml = Xml_io.to_string hier_chart in
+  let reparsed = Xml_io.of_string xml in
+  Alcotest.(check bool) "identical" true (reparsed = hier_chart);
+  let xml2 = Xml_io.to_string flat_chart in
+  Alcotest.(check bool) "flat identical" true (Xml_io.of_string xml2 = flat_chart)
+
+let test_xml_malformed () =
+  Alcotest.(check bool) "wrong root" true
+    (match Xml_io.of_string "<nope id=\"a\"/>" with
+    | exception Xml_io.Malformed _ -> true
+    | _ -> false)
+
+let test_entry_outputs () =
+  let chart =
+    Types.chart ~id:"lamp" ~component:"lamp" ~initial:"off"
+      [
+        Types.state "off";
+        Types.state ~entry:[ "glow" ]
+          ~substates:[ Types.state ~entry:[ "warm" ] "low"; Types.state "high" ]
+          ~initial:"low" "on";
+      ]
+      [
+        Types.transition ~source:"off" ~target:"on" ~trigger:"switch"
+          ~outputs:[ "click" ] ();
+        Types.transition ~source:"low" ~target:"high" ~trigger:"brighter" ();
+        Types.transition ~source:"on" ~target:"off" ~trigger:"switch" ();
+      ]
+  in
+  let c0 = Exec.initial_config chart in
+  let r = Exec.step chart c0 "switch" in
+  (* transition outputs first, then entered states outermost-in *)
+  Alcotest.(check (list string)) "entry outputs appended" [ "click"; "glow"; "warm" ]
+    r.Exec.outputs;
+  (* moving within "on" does not re-enter it *)
+  let r2 = Exec.step chart r.Exec.new_config "brighter" in
+  Alcotest.(check (list string)) "no re-entry outputs" [] r2.Exec.outputs
+
+let test_history_machine () =
+  let chart =
+    Types.chart ~id:"player" ~component:"p" ~initial:"off"
+      [
+        Types.state "off";
+        Types.state ~history:true
+          ~substates:[ Types.state "playing"; Types.state "paused" ]
+          ~initial:"playing" "on";
+      ]
+      [
+        Types.transition ~source:"off" ~target:"on" ~trigger:"power" ();
+        Types.transition ~source:"on" ~target:"off" ~trigger:"power" ();
+        Types.transition ~source:"playing" ~target:"paused" ~trigger:"pause" ();
+      ]
+  in
+  let m = Exec.Machine.create chart in
+  ignore (Exec.Machine.send_all m [ "power"; "pause"; "power" ]);
+  Alcotest.(check (list string)) "off again" [ "off" ] (Exec.Machine.config m);
+  ignore (Exec.Machine.send m "power");
+  (* history resumes paused, not the initial playing *)
+  Alcotest.(check (list string)) "history resumes paused" [ "on"; "paused" ]
+    (Exec.Machine.config m);
+  (* the pure step (no history) resumes the initial substate *)
+  let pure = Exec.step chart [ "off" ] "power" in
+  Alcotest.(check (list string)) "pure step resumes initial" [ "on"; "playing" ]
+    pure.Exec.new_config
+
+let test_history_xml_roundtrip () =
+  let chart =
+    Types.chart ~id:"h" ~component:"c" ~initial:"a"
+      [
+        Types.state ~entry:[ "hello" ] "a";
+        Types.state ~history:true ~substates:[ Types.state "x" ] ~initial:"x" "b";
+      ]
+      [ Types.transition ~source:"a" ~target:"b" ~trigger:"go" () ]
+  in
+  Alcotest.(check bool) "round trip" true
+    (Xml_io.of_string (Xml_io.to_string chart) = chart)
+
+(* ------------------------- bundles -------------------------------- *)
+
+let test_bundle () =
+  let bundle = Bundle.make ~id:"b" [ flat_chart; hier_chart ] in
+  Alcotest.(check (list string)) "components" [ "door"; "player" ]
+    (Bundle.components bundle);
+  Alcotest.(check bool) "chart_for" true (Bundle.chart_for bundle "door" <> None);
+  Alcotest.(check bool) "missing" true (Bundle.chart_for bundle "ghost" = None);
+  Alcotest.(check (list string)) "clean" []
+    (List.map (Format.asprintf "%a" Bundle.pp_problem) (Bundle.check bundle));
+  let dup = Bundle.make ~id:"d" [ flat_chart; flat_chart ] in
+  Alcotest.(check bool) "duplicate component" true
+    (List.exists
+       (function Bundle.Duplicate_component _ -> true | Bundle.Chart_problem _ -> false)
+       (Bundle.check dup))
+
+let test_bundle_xml_roundtrip () =
+  let bundle = Bundle.make ~id:"b" [ flat_chart; hier_chart ] in
+  let xml = Bundle.to_string bundle in
+  Alcotest.(check bool) "identical" true (Bundle.of_string xml = bundle);
+  Alcotest.(check bool) "wrong root" true
+    (match Bundle.of_string "<x id=\"a\"/>" with
+    | exception Bundle.Malformed _ -> true
+    | _ -> false)
+
+(* --- property: stepping is deterministic and stays within the chart's
+   states --- *)
+
+let gen_events = QCheck2.Gen.(list_size (int_range 0 30) (oneofl [ "open"; "close"; "lock"; "unlock"; "noise" ]))
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"same events give the same run" ~count:100 gen_events
+    (fun events ->
+      let run () = Exec.run ~guards:(fun _ -> true) flat_chart events in
+      let final1, steps1 = run () in
+      let final2, steps2 = run () in
+      final1 = final2 && List.length steps1 = List.length steps2)
+
+let prop_configs_valid =
+  QCheck2.Test.make ~name:"every configuration is a path of known states" ~count:100
+    gen_events (fun events ->
+      let ids = Types.state_ids flat_chart in
+      let _, steps = Exec.run flat_chart events in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun st -> List.exists (String.equal st) ids)
+            s.Exec.reaction.Exec.new_config)
+        steps)
+
+let suite =
+  [
+    Alcotest.test_case "state tree accessors" `Quick test_tree_accessors;
+    Alcotest.test_case "flat stepping and outputs" `Quick test_flat_stepping;
+    Alcotest.test_case "guards" `Quick test_guards;
+    Alcotest.test_case "hierarchy: entry and priority" `Quick test_hierarchy;
+    Alcotest.test_case "run over an event list" `Quick test_run;
+    Alcotest.test_case "reachable states" `Quick test_reachable_states;
+    Alcotest.test_case "valid charts are clean" `Quick test_validate_clean;
+    Alcotest.test_case "each validation problem detected" `Quick test_validate_problems;
+    Alcotest.test_case "XML round trip" `Quick test_xml_roundtrip;
+    Alcotest.test_case "malformed XML rejected" `Quick test_xml_malformed;
+    Alcotest.test_case "entry outputs" `Quick test_entry_outputs;
+    Alcotest.test_case "history machine" `Quick test_history_machine;
+    Alcotest.test_case "history/entry XML round trip" `Quick test_history_xml_roundtrip;
+    Alcotest.test_case "behavior bundles" `Quick test_bundle;
+    Alcotest.test_case "bundle XML round trip" `Quick test_bundle_xml_roundtrip;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_configs_valid;
+  ]

@@ -1,0 +1,205 @@
+(* Tests for the architectural style rules. *)
+
+let rule_ids violations = List.sort_uniq String.compare (List.map (fun v -> v.Styles.Rule.rule) violations)
+
+(* ------------------------------ layered --------------------------- *)
+
+let layered ?(skip = false) () =
+  (* 3 layers; when [skip] is set, an extra edge jumps from layer 3 to
+     layer 1 directly *)
+  let open Adl.Build in
+  let t =
+    create ~style:"layered" ~id:"l" ~name:"Layered" ()
+    |> add_component ~id:"ui" ~name:"UI" ~tags:[ ("layer", "3") ]
+    |> add_component ~id:"logic" ~name:"Logic" ~tags:[ ("layer", "2") ]
+    |> add_component ~id:"store" ~name:"Store" ~tags:[ ("layer", "1") ]
+    |> fun t ->
+    biconnect t "ui" "logic" |> fun t -> biconnect t "logic" "store"
+  in
+  if skip then Adl.Build.biconnect t "ui" "store" else t
+
+let test_layered_ok () =
+  Alcotest.(check (list string)) "clean" [] (rule_ids (Styles.Check.check_declared (layered ())))
+
+let test_layered_skip () =
+  let violations = Styles.Check.check_declared (layered ~skip:true ()) in
+  Alcotest.(check bool) "skip flagged" true (List.mem "layered.skip" (rule_ids violations))
+
+let test_layered_tag () =
+  let arch = Adl.Build.add_component ~id:"untagged" ~name:"U" (layered ()) in
+  let arch = Adl.Build.biconnect arch "untagged" "logic" in
+  let violations = Styles.Rule.check_all Styles.Layered.rules arch in
+  Alcotest.(check bool) "tag flagged" true (List.mem "layered.tag" (rule_ids violations));
+  (* external components are exempt *)
+  let arch2 =
+    Adl.Build.add_component ~id:"ext" ~name:"E" ~tags:[ ("external", "true") ] (layered ())
+  in
+  let arch2 = Adl.Build.biconnect arch2 "ext" "logic" in
+  Alcotest.(check (list string)) "external exempt" []
+    (rule_ids (Styles.Rule.check_all Styles.Layered.rules arch2))
+
+let test_layered_strict () =
+  (* bidirectional links mean upward communication exists: the strict
+     variant flags it, the base rules do not *)
+  let arch = layered () in
+  Alcotest.(check (list string)) "base clean" []
+    (rule_ids (Styles.Rule.check_all Styles.Layered.rules arch));
+  let strict = Styles.Rule.check_all Styles.Layered.strict_rules arch in
+  Alcotest.(check bool) "strict flags upward" true
+    (List.mem "layered.strict" (rule_ids strict))
+
+let test_layer_span () =
+  Alcotest.(check (list (pair string int))) "span"
+    [ ("ui", 3); ("logic", 2); ("store", 1) ]
+    (Styles.Layered.layer_span (layered ()))
+
+(* ------------------------------ C2 -------------------------------- *)
+
+let test_c2_ok () =
+  Alcotest.(check (list string)) "crash entity conforms" []
+    (rule_ids (Styles.Check.check_declared Casestudies.Crash.entity_architecture))
+
+let test_c2_violations () =
+  let open Adl.Build in
+  (* direct component-to-component link, no side tags *)
+  let bad =
+    create ~style:"c2" ~id:"b" ~name:"Bad" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_component ~id:"b" ~name:"B"
+    |> fun t -> biconnect t "a" "b"
+  in
+  let ids = rule_ids (Styles.Check.check_declared bad) in
+  Alcotest.(check bool) "no-direct" true (List.mem "c2.no-direct" ids);
+  Alcotest.(check bool) "side" true (List.mem "c2.side" ids);
+  (* top wired to top *)
+  let twisted =
+    create ~style:"c2" ~id:"t" ~name:"Twisted" ()
+    |> add_component ~id:"a" ~name:"A"
+         ~interfaces:
+           [
+             interface ~direction:Adl.Structure.In_out ~tags:[ ("side", "top") ] "i";
+           ]
+    |> add_connector ~id:"k" ~name:"K"
+         ~interfaces:
+           [
+             interface ~direction:Adl.Structure.In_out ~tags:[ ("side", "top") ] "i";
+           ]
+    |> add_link ~from_:("a", "i") ~to_:("k", "i")
+  in
+  Alcotest.(check bool) "topology" true
+    (List.mem "c2.topology" (rule_ids (Styles.Check.check_declared twisted)))
+
+(* ------------------------------ client-server --------------------- *)
+
+let client_server ~direct =
+  let open Adl.Build in
+  let t =
+    create ~style:"client-server" ~id:"cs" ~name:"CS" ()
+    |> add_component ~id:"c1" ~name:"Client 1" ~tags:[ ("role", "client") ]
+    |> add_component ~id:"c2" ~name:"Client 2" ~tags:[ ("role", "client") ]
+    |> add_component ~id:"srv" ~name:"Server" ~tags:[ ("role", "server") ]
+    |> fun t ->
+    biconnect t "c1" "srv" |> fun t -> biconnect t "c2" "srv"
+  in
+  if direct then Adl.Build.biconnect t "c1" "c2" else t
+
+let test_cs_ok () =
+  Alcotest.(check (list string)) "mediated clients fine" []
+    (rule_ids (Styles.Check.check_declared (client_server ~direct:false)))
+
+let test_cs_bypass () =
+  (* the paper's 3.5 example: "Clients need to communicate through a
+     central server" violated by a direct client-client link *)
+  let violations = Styles.Check.check_declared (client_server ~direct:true) in
+  Alcotest.(check bool) "bypass flagged" true
+    (List.mem "cs.no-client-client" (rule_ids violations))
+
+let test_cs_role_and_reach () =
+  let open Adl.Build in
+  let arch =
+    create ~style:"client-server" ~id:"cs2" ~name:"CS2" ()
+    |> add_component ~id:"c1" ~name:"C1" ~tags:[ ("role", "client") ]
+    |> add_component ~id:"x" ~name:"X"
+  in
+  let ids = rule_ids (Styles.Check.check_declared arch) in
+  Alcotest.(check bool) "role missing" true (List.mem "cs.role" ids);
+  Alcotest.(check bool) "server unreachable" true (List.mem "cs.server-reach" ids)
+
+(* ------------------------------ pipe-filter ----------------------- *)
+
+let test_pf_ok () =
+  let open Adl.Build in
+  let arch =
+    create ~style:"pipe-filter" ~id:"pf" ~name:"PF" ()
+    |> add_component ~id:"src" ~name:"Source"
+    |> add_component ~id:"sink" ~name:"Sink"
+    |> add_connector ~id:"pipe" ~name:"Pipe"
+    |> fun t -> connect ~via:"pipe" t "src" "sink"
+  in
+  Alcotest.(check (list string)) "clean" [] (rule_ids (Styles.Check.check_declared arch))
+
+let test_pf_violations () =
+  let open Adl.Build in
+  let direct =
+    create ~style:"pipe-filter" ~id:"pf2" ~name:"PF2" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_component ~id:"b" ~name:"B"
+    |> fun t -> biconnect t "a" "b"
+  in
+  Alcotest.(check bool) "filters linked directly" true
+    (List.mem "pf.mediated" (rule_ids (Styles.Check.check_declared direct)));
+  let cyclic =
+    create ~style:"pipe-filter" ~id:"pf3" ~name:"PF3" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_component ~id:"b" ~name:"B"
+    |> add_connector ~id:"p1" ~name:"P1"
+    |> add_connector ~id:"p2" ~name:"P2"
+    |> fun t ->
+    connect ~via:"p1" t "a" "b" |> fun t -> connect ~via:"p2" t "b" "a"
+  in
+  Alcotest.(check bool) "cycle" true
+    (List.mem "pf.acyclic" (rule_ids (Styles.Check.check_declared cyclic)));
+  let fat_pipe =
+    create ~style:"pipe-filter" ~id:"pf4" ~name:"PF4" ()
+    |> add_component ~id:"a" ~name:"A"
+    |> add_component ~id:"b" ~name:"B"
+    |> add_component ~id:"c" ~name:"C"
+    |> add_connector ~id:"p" ~name:"P"
+    |> fun t ->
+    connect ~via:"p" t "a" "b" |> fun t -> biconnect t "c" "p"
+  in
+  Alcotest.(check bool) "pipe arity" true
+    (List.mem "pf.pipe-arity" (rule_ids (Styles.Check.check_declared fat_pipe)))
+
+(* ------------------------------ registry -------------------------- *)
+
+let test_registry () =
+  Alcotest.(check (list string)) "known styles"
+    [ "layered"; "layered-strict"; "c2"; "client-server"; "pipe-filter" ]
+    Styles.Check.known_styles;
+  Alcotest.(check bool) "unknown style conforms vacuously" true
+    (Styles.Check.conforms (layered ()) "baroque");
+  Alcotest.(check bool) "undeclared style unchecked" true
+    (Styles.Check.check_declared
+       (Adl.Build.create ~id:"plain" ~name:"Plain" ())
+    = []);
+  Alcotest.(check bool) "conforms" true (Styles.Check.conforms (layered ()) "layered");
+  Alcotest.(check bool) "does not conform" false
+    (Styles.Check.conforms (layered ~skip:true ()) "layered")
+
+let suite =
+  [
+    Alcotest.test_case "layered: clean stack" `Quick test_layered_ok;
+    Alcotest.test_case "layered: layer skipping flagged" `Quick test_layered_skip;
+    Alcotest.test_case "layered: missing tags, external exemption" `Quick test_layered_tag;
+    Alcotest.test_case "layered: strict variant" `Quick test_layered_strict;
+    Alcotest.test_case "layered: layer span" `Quick test_layer_span;
+    Alcotest.test_case "c2: CRASH entity conforms" `Quick test_c2_ok;
+    Alcotest.test_case "c2: violations" `Quick test_c2_violations;
+    Alcotest.test_case "client-server: mediated clients" `Quick test_cs_ok;
+    Alcotest.test_case "client-server: bypass (paper 3.5)" `Quick test_cs_bypass;
+    Alcotest.test_case "client-server: roles and reach" `Quick test_cs_role_and_reach;
+    Alcotest.test_case "pipe-filter: clean pipeline" `Quick test_pf_ok;
+    Alcotest.test_case "pipe-filter: violations" `Quick test_pf_violations;
+    Alcotest.test_case "style registry" `Quick test_registry;
+  ]

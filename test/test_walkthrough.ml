@@ -1,0 +1,282 @@
+(* Tests for the walkthrough engine on a purpose-built small system. *)
+
+open Scenarioml
+
+let ontology =
+  let open Ontology.Build in
+  create ~id:"o" ~name:"O"
+  |> add_class ~id:"thing" ~name:"Thing"
+  |> add_event_type ~id:"enter" ~name:"enter" ~template:"User enters data"
+  |> add_event_type ~id:"process" ~name:"process" ~template:"System processes"
+  |> add_event_type ~id:"persist" ~name:"persist" ~template:"System persists"
+  |> add_event_type ~id:"process-fast" ~name:"process fast" ~super:"process"
+       ~template:"System processes quickly"
+  |> add_event_type ~id:"orphan" ~name:"orphan" ~template:"Unplaced event"
+
+let architecture =
+  let open Adl.Build in
+  create ~id:"a" ~name:"A" ()
+  |> add_component ~id:"ui" ~name:"UI" ~responsibilities:[ "input" ]
+  |> add_component ~id:"logic" ~name:"Logic" ~responsibilities:[ "compute" ]
+  |> add_component ~id:"db" ~name:"DB" ~responsibilities:[ "store" ]
+  |> add_connector ~id:"bus" ~name:"Bus"
+  |> fun t ->
+  biconnect t "ui" "bus" |> fun t ->
+  biconnect t "bus" "logic" |> fun t -> biconnect t "logic" "db"
+
+let mapping =
+  let open Mapping.Build in
+  create ~id:"m" ~ontology ~architecture
+  |> map ~event_type:"enter" ~to_:[ "ui" ]
+  |> map ~event_type:"process" ~to_:[ "logic" ]
+  |> map ~event_type:"persist" ~to_:[ "logic"; "db" ]
+
+let typed id event_type = Event.typed ~id ~event_type []
+
+let scenario ?kind id events = Scen.scenario ?kind ~id ~name:id events
+
+let set_of scenarios = Scen.make_set ~id:"s" ~name:"S" ontology scenarios
+
+let eval ?config ?(arch = architecture) ?(mapping = mapping) s =
+  let set = set_of [ s ] in
+  Walkthrough.Engine.evaluate_scenario ?config ~set ~architecture:arch ~mapping s
+
+let test_pass () =
+  let r = eval (scenario "ok" [ typed "e1" "enter"; typed "e2" "process"; typed "e3" "persist" ]) in
+  Alcotest.(check bool) "consistent" true (Walkthrough.Verdict.is_consistent r);
+  (match r.Walkthrough.Verdict.traces with
+  | [ t ] ->
+      Alcotest.(check bool) "walked" true t.Walkthrough.Verdict.walked;
+      (match List.nth t.Walkthrough.Verdict.steps 1 with
+      | { Walkthrough.Verdict.hop = Some h; _ } ->
+          Alcotest.(check (list string)) "hop path" [ "ui"; "bus"; "logic" ]
+            h.Walkthrough.Verdict.via
+      | _ -> Alcotest.fail "expected a hop on step 2")
+  | _ -> Alcotest.fail "expected one trace")
+
+let test_missing_link () =
+  let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
+  let r =
+    eval ~arch:broken (scenario "save" [ typed "e1" "process"; typed "e2" "persist" ])
+  in
+  Alcotest.(check bool) "inconsistent" false (Walkthrough.Verdict.is_consistent r);
+  Alcotest.(check bool) "missing link reported" true
+    (List.exists
+       (function Walkthrough.Verdict.Missing_link _ -> true | _ -> false)
+       r.Walkthrough.Verdict.inconsistencies)
+
+let test_internal_chain () =
+  (* persist maps to [logic; db]: the chain inside one event *)
+  let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
+  let r = eval ~arch:broken (scenario "only" [ typed "e1" "persist" ]) in
+  Alcotest.(check bool) "chain break detected" false (Walkthrough.Verdict.is_consistent r);
+  let relaxed =
+    {
+      Walkthrough.Engine.default_config with
+      Walkthrough.Engine.check_internal = false;
+    }
+  in
+  let r2 = eval ~config:relaxed ~arch:broken (scenario "only" [ typed "e1" "persist" ]) in
+  Alcotest.(check bool) "relaxed config ignores chains" true
+    (Walkthrough.Verdict.is_consistent r2)
+
+let test_unmapped_event_type () =
+  let r = eval (scenario "lost" [ typed "e1" "orphan" ]) in
+  Alcotest.(check bool) "inconsistent" false (Walkthrough.Verdict.is_consistent r);
+  Alcotest.(check bool) "reported" true
+    (List.exists
+       (function Walkthrough.Verdict.Unmapped_event_type _ -> true | _ -> false)
+       r.Walkthrough.Verdict.inconsistencies)
+
+let test_supertype_fallback () =
+  (* process-fast is unmapped but inherits process -> logic (paper 5) *)
+  let r = eval (scenario "fast" [ typed "e1" "enter"; typed "e2" "process-fast" ]) in
+  Alcotest.(check bool) "consistent via supertype" true (Walkthrough.Verdict.is_consistent r);
+  match r.Walkthrough.Verdict.traces with
+  | [ t ] ->
+      let step2 = List.nth t.Walkthrough.Verdict.steps 1 in
+      Alcotest.(check (list string)) "placed at super's components" [ "logic" ]
+        step2.Walkthrough.Verdict.components
+  | _ -> Alcotest.fail "expected one trace"
+
+let test_simple_event_policies () =
+  let s =
+    scenario "narrative"
+      [ typed "e1" "enter"; Event.simple ~id:"e2" "time passes"; typed "e3" "process" ]
+  in
+  let r = eval s in
+  Alcotest.(check bool) "skipped by default" true (Walkthrough.Verdict.is_consistent r);
+  (* the narrative step must not break hop continuity: e3 hops from ui *)
+  (match r.Walkthrough.Verdict.traces with
+  | [ t ] -> (
+      match List.nth t.Walkthrough.Verdict.steps 2 with
+      | { Walkthrough.Verdict.hop = Some h; _ } ->
+          Alcotest.(check string) "hop from ui" "ui" h.Walkthrough.Verdict.hop_from
+      | _ -> Alcotest.fail "expected hop")
+  | _ -> Alcotest.fail "one trace");
+  let strict =
+    {
+      Walkthrough.Engine.default_config with
+      Walkthrough.Engine.simple_events = Walkthrough.Engine.Report_simple;
+    }
+  in
+  let r2 = eval ~config:strict s in
+  Alcotest.(check bool) "reported when strict" false (Walkthrough.Verdict.is_consistent r2)
+
+let test_negative_semantics () =
+  (* a negative scenario that CAN execute is an inconsistency *)
+  let bad = scenario ~kind:Scen.Negative "neg" [ typed "e1" "enter"; typed "e2" "process" ] in
+  let r = eval bad in
+  Alcotest.(check bool) "executing negative flagged" false
+    (Walkthrough.Verdict.is_consistent r);
+  Alcotest.(check bool) "specific inconsistency" true
+    (List.exists
+       (function
+         | Walkthrough.Verdict.Negative_scenario_executes _ -> true
+         | _ -> false)
+       r.Walkthrough.Verdict.inconsistencies);
+  (* one that cannot execute is fine *)
+  let impossible =
+    scenario ~kind:Scen.Negative "neg2" [ typed "e1" "orphan" ]
+  in
+  Alcotest.(check bool) "non-executing negative consistent" true
+    (Walkthrough.Verdict.is_consistent (eval impossible))
+
+let test_alternation_requires_all_branches () =
+  let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
+  let s =
+    scenario "alts"
+      [
+        typed "e1" "enter";
+        Event.Alternation
+          { id = "a"; branches = [ [ typed "b1" "process" ]; [ typed "b2" "persist" ] ] };
+      ]
+  in
+  let r = eval ~arch:broken s in
+  (* branch 1 walks, branch 2 does not: positive scenarios need all *)
+  Alcotest.(check int) "two traces" 2 (List.length r.Walkthrough.Verdict.traces);
+  Alcotest.(check bool) "inconsistent overall" false (Walkthrough.Verdict.is_consistent r)
+
+let test_evaluate_set () =
+  let set =
+    set_of
+      [
+        scenario "one" [ typed "e1" "enter" ];
+        scenario "two" [ typed "e2" "orphan" ];
+      ]
+  in
+  let r = Walkthrough.Engine.evaluate_set ~set ~architecture ~mapping () in
+  Alcotest.(check int) "both evaluated" 2 (List.length r.Walkthrough.Engine.results);
+  Alcotest.(check bool) "set inconsistent" false r.Walkthrough.Engine.consistent;
+  Alcotest.(check bool) "coverage problems listed" true
+    (r.Walkthrough.Engine.coverage_problems <> [])
+
+let test_style_violations_in_set () =
+  let styled =
+    let open Adl.Build in
+    create ~style:"c2" ~id:"sa" ~name:"SA" ()
+    |> add_component ~id:"x" ~name:"X" ~responsibilities:[ "r" ]
+    |> add_component ~id:"y" ~name:"Y" ~responsibilities:[ "r" ]
+    |> fun t -> biconnect t "x" "y"
+  in
+  let m =
+    Mapping.Build.(
+      create ~id:"m2" ~ontology ~architecture:styled
+      |> map ~event_type:"enter" ~to_:[ "x" ])
+  in
+  let set = set_of [ scenario "s" [ typed "e1" "enter" ] ] in
+  let r = Walkthrough.Engine.evaluate_set ~set ~architecture:styled ~mapping:m () in
+  Alcotest.(check bool) "style violations surfaced" true
+    (r.Walkthrough.Engine.style_violations <> []);
+  Alcotest.(check bool) "set inconsistent" false r.Walkthrough.Engine.consistent;
+  let relaxed =
+    { Walkthrough.Engine.default_config with Walkthrough.Engine.check_style = false }
+  in
+  let r2 =
+    Walkthrough.Engine.evaluate_set ~config:relaxed ~set ~architecture:styled ~mapping:m ()
+  in
+  Alcotest.(check (list string)) "style checks off" []
+    (List.map (fun v -> v.Styles.Rule.rule) r2.Walkthrough.Engine.style_violations)
+
+let test_implied () =
+  let set = set_of [ scenario "s" [ typed "e1" "enter"; typed "e2" "process" ] ] in
+  let written = Walkthrough.Implied.successions_in_scenarios set in
+  Alcotest.(check (list (pair string string))) "written pair" [ ("enter", "process") ] written;
+  let candidates = Walkthrough.Implied.implied ~set ~architecture ~mapping () in
+  (* (enter, process) is written; everything else connectable is implied *)
+  Alcotest.(check bool) "does not contain written" true
+    (not
+       (List.exists
+          (fun c ->
+            String.equal c.Walkthrough.Implied.first "enter"
+            && String.equal c.Walkthrough.Implied.second "process")
+          candidates));
+  Alcotest.(check bool) "contains process->persist" true
+    (List.exists
+       (fun c ->
+         String.equal c.Walkthrough.Implied.first "process"
+         && String.equal c.Walkthrough.Implied.second "persist")
+       candidates)
+
+let test_coverage_report () =
+  let set =
+    set_of
+      [
+        scenario "one" [ typed "e1" "enter"; typed "e2" "process" ];
+        scenario "two" [ typed "e3" "enter" ];
+      ]
+  in
+  let result = Walkthrough.Engine.evaluate_set ~set ~architecture ~mapping () in
+  let report = Walkthrough.Coverage_report.of_set_result architecture result in
+  let ui =
+    List.find
+      (fun c -> String.equal c.Walkthrough.Coverage_report.component "ui")
+      report.Walkthrough.Coverage_report.covered
+  in
+  Alcotest.(check int) "ui placements" 2 ui.Walkthrough.Coverage_report.events_placed;
+  Alcotest.(check (list string)) "ui scenarios" [ "one"; "two" ]
+    ui.Walkthrough.Coverage_report.scenarios;
+  Alcotest.(check (list string)) "db unexercised" [ "db" ]
+    report.Walkthrough.Coverage_report.unexercised;
+  Testutil.check_contains "rendered" (Walkthrough.Coverage_report.to_string report)
+    "UNEXERCISED: db"
+
+let test_report_rendering () =
+  let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
+  let r = eval ~arch:broken (scenario "save" [ typed "e1" "process"; typed "e2" "persist" ]) in
+  let text = Walkthrough.Report.scenario_result_to_string r in
+  Testutil.check_contains "verdict" text "INCONSISTENT";
+  Testutil.check_contains "failure marker" text "??";
+  Testutil.check_contains "problem text" text "no communication path";
+  let line = Walkthrough.Report.summary_line r in
+  Testutil.check_contains "summary" line "save: INCONSISTENT"
+
+let test_trace_to_dot () =
+  let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
+  let r = eval ~arch:broken (scenario "save" [ typed "e1" "process"; typed "e2" "persist" ]) in
+  match r.Walkthrough.Verdict.traces with
+  | [ t ] ->
+      let dot = Walkthrough.Report.trace_to_dot broken t in
+      Testutil.check_contains "digraph" dot "digraph";
+      Testutil.check_contains "failing components highlighted" dot "color=red"
+  | _ -> Alcotest.fail "expected one trace"
+
+let suite =
+  [
+    Alcotest.test_case "successful walkthrough with hop paths" `Quick test_pass;
+    Alcotest.test_case "missing link detected" `Quick test_missing_link;
+    Alcotest.test_case "internal realization chain" `Quick test_internal_chain;
+    Alcotest.test_case "unmapped event type" `Quick test_unmapped_event_type;
+    Alcotest.test_case "supertype placement fallback" `Quick test_supertype_fallback;
+    Alcotest.test_case "simple event policies" `Quick test_simple_event_policies;
+    Alcotest.test_case "negative scenario semantics" `Quick test_negative_semantics;
+    Alcotest.test_case "alternation requires all branches" `Quick
+      test_alternation_requires_all_branches;
+    Alcotest.test_case "set evaluation" `Quick test_evaluate_set;
+    Alcotest.test_case "style violations in set results" `Quick
+      test_style_violations_in_set;
+    Alcotest.test_case "implied successions" `Quick test_implied;
+    Alcotest.test_case "component coverage report" `Quick test_coverage_report;
+    Alcotest.test_case "report rendering (Fig. 4 shape)" `Quick test_report_rendering;
+    Alcotest.test_case "walkthrough trace as DOT" `Quick test_trace_to_dot;
+  ]

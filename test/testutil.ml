@@ -1,0 +1,10 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let check_contains what haystack needle =
+  if not (contains haystack needle) then
+    Alcotest.failf "%s: expected to find %S in:\n%s" what needle haystack

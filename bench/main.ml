@@ -340,7 +340,7 @@ let ablation_policy () =
   print_endline "connectors and components\" (Routed); the stricter Direct policy only";
   print_endline "lets connectors relay. Effect on the 22 PIMS walkthroughs:";
   let count policy =
-    let config = { Walkthrough.Engine.default_config with Walkthrough.Engine.policy } in
+    let config = Walkthrough.Engine.config ~policy () in
     let r =
       Walkthrough.Engine.evaluate_set ~config ~set:Casestudies.Pims.scenario_set
         ~architecture:Casestudies.Pims.architecture ~mapping:Casestudies.Pims.mapping ()
@@ -538,6 +538,168 @@ let scale_tests =
 (* PERF: Bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* INCR: full vs incremental re-evaluation after an edit              *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain of [components], walked by [scenarios] scenarios that each
+   touch a contiguous segment of [span] components (segments spread
+   evenly over the chain). Excising one link in the middle then only
+   dirties the scenarios whose segment crosses it — the workload shape
+   an evaluation session exploits. *)
+let synthetic_suite ~components ~scenarios ~span =
+  let name i = Printf.sprintf "c%d" i in
+  let ontology =
+    List.fold_left
+      (fun o i ->
+        Ontology.Build.add_event_type ~id:(Printf.sprintf "e%d" i)
+          ~name:(Printf.sprintf "e%d" i)
+          ~template:(Printf.sprintf "step %d happens" i)
+          o)
+      (Ontology.Build.create ~id:"syn" ~name:"Synthetic")
+      (List.init components Fun.id)
+  in
+  let architecture =
+    let with_components =
+      List.fold_left
+        (fun t i ->
+          Adl.Build.add_component ~id:(name i) ~name:(name i) ~responsibilities:[ "r" ] t)
+        (Adl.Build.create ~id:"syn-arch" ~name:"Synthetic chain" ())
+        (List.init components Fun.id)
+    in
+    List.fold_left
+      (fun t i -> Adl.Build.biconnect t (name i) (name (i + 1)))
+      with_components
+      (List.init (components - 1) Fun.id)
+  in
+  let mapping =
+    List.fold_left
+      (fun m i ->
+        Mapping.Build.map ~event_type:(Printf.sprintf "e%d" i) ~to_:[ name i ] m)
+      (Mapping.Build.create ~id:"syn-map" ~ontology ~architecture)
+      (List.init components Fun.id)
+  in
+  let span = min span components in
+  let scenario k =
+    let start = if scenarios = 1 then 0 else k * (components - span) / (scenarios - 1) in
+    Scenarioml.Scen.scenario
+      ~id:(Printf.sprintf "seg%d" k)
+      ~name:(Printf.sprintf "Walk %d..%d" start (start + span - 1))
+      (List.init span (fun i ->
+           Scenarioml.Event.typed
+             ~id:(Printf.sprintf "s%d-%d" k i)
+             ~event_type:(Printf.sprintf "e%d" (start + i))
+             []))
+  in
+  let set =
+    Scenarioml.Scen.make_set ~id:"syn-set" ~name:"Synthetic" ontology
+      (List.init scenarios scenario)
+  in
+  (set, architecture, mapping)
+
+let links_between architecture a b =
+  List.filter
+    (fun l ->
+      let f = l.Adl.Structure.link_from.Adl.Structure.anchor
+      and t = l.Adl.Structure.link_to.Adl.Structure.anchor in
+      (String.equal f a && String.equal t b) || (String.equal f b && String.equal t a))
+    architecture.Adl.Structure.links
+
+let incr_json : Walkthrough.Json.t list ref = ref []
+
+(* Timed comparison: after excising the links between [a] and [b],
+   re-evaluate the whole suite. "full" runs a fresh evaluation; the
+   session applies the diff to a warm cache and re-evaluates only what
+   the excision touched. Warming the sessions (the state a long-lived
+   tool already has) is not timed. *)
+let incr_case ~label ~reps ~a ~b (set, architecture, mapping) =
+  let ops =
+    List.map
+      (fun l -> Adl.Diff.Remove_link l.Adl.Structure.link_id)
+      (links_between architecture a b)
+  in
+  assert (ops <> []);
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let broken = Adl.Diff.apply_all architecture ops in
+  let full_ms =
+    time_ms (fun () ->
+        for _ = 1 to reps do
+          ignore (Walkthrough.Engine.evaluate_set ~set ~architecture:broken ~mapping ())
+        done)
+  in
+  let project = { Core.Sosae.scenarios = set; architecture; mapping } in
+  let sessions =
+    List.init reps (fun _ ->
+        let s = Core.Sosae.Session.create project in
+        ignore (Core.Sosae.Session.evaluate s);
+        s)
+  in
+  let incr_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun s ->
+            Core.Sosae.Session.apply_diff s ops;
+            ignore (Core.Sosae.Session.evaluate s))
+          sessions)
+  in
+  let stats = Core.Sosae.Session.stats (List.hd sessions) in
+  let total = List.length set.Scenarioml.Scen.scenarios in
+  let re_evaluated = stats.Core.Sosae.Session.evaluations - total in
+  let speedup = full_ms /. incr_ms in
+  Printf.printf "%-26s | %9.2f | %9.2f | %7.1fx | %5d of %d\n" label
+    (full_ms /. float_of_int reps)
+    (incr_ms /. float_of_int reps)
+    speedup re_evaluated total;
+  incr_json :=
+    Walkthrough.Json.Obj
+      [
+        ("suite", Walkthrough.Json.String label);
+        ("scenarios", Walkthrough.Json.Int total);
+        ("reps", Walkthrough.Json.Int reps);
+        ("full_ms_per_rep", Walkthrough.Json.Float (full_ms /. float_of_int reps));
+        ("incremental_ms_per_rep", Walkthrough.Json.Float (incr_ms /. float_of_int reps));
+        ("speedup", Walkthrough.Json.Float speedup);
+        ("re_evaluated", Walkthrough.Json.Int re_evaluated);
+      ]
+    :: !incr_json;
+  speedup
+
+let incr () =
+  header "INCR" "Full vs incremental re-evaluation after a single-link excision";
+  print_endline "Each suite is re-evaluated after excising one link: \"full\" evaluates";
+  print_endline "every scenario afresh; \"incremental\" replays a warm Sosae.Session";
+  print_endline "(per-rep times; \"dirty\" = scenarios the session re-walked).";
+  print_endline "";
+  Printf.printf "%-26s | %9s | %9s | %8s | %s\n" "suite" "full ms" "incr ms" "speedup"
+    "dirty";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let chain components =
+    let scenarios = components / 8 and span = 12 in
+    let mid = components / 2 in
+    let label = Printf.sprintf "chain-%04d (%d scen.)" components scenarios in
+    incr_case ~label
+      ~reps:(max 3 (2048 / components))
+      ~a:(Printf.sprintf "c%d" mid)
+      ~b:(Printf.sprintf "c%d" (mid + 1))
+      (synthetic_suite ~components ~scenarios ~span)
+  in
+  let _ = chain 64 in
+  let _ = chain 256 in
+  let largest = chain 1024 in
+  let pims =
+    incr_case ~label:"pims-excise-loader-da" ~reps:100 ~a:"loader" ~b:"data-access"
+      ( Casestudies.Pims.scenario_set,
+        Casestudies.Pims.architecture,
+        Casestudies.Pims.mapping )
+  in
+  print_endline "";
+  Printf.printf "largest chain speedup: %.1fx, PIMS speedup: %.1fx%s\n" largest pims
+    (if largest >= 2.0 then " (acceptance: >= 2x ok)" else " (below 2x target!)")
+
 let pims_xml = lazy (Scenarioml.Xml_io.set_to_string Casestudies.Pims.scenario_set)
 
 let bench_tests =
@@ -597,6 +759,8 @@ let bench_tests =
   ]
   @ scale_tests
 
+let micro_json : Walkthrough.Json.t list ref = ref []
+
 let bench () =
   header "PERF" "Bechamel micro-benchmarks (one per pipeline stage)";
   let open Bechamel in
@@ -625,9 +789,39 @@ let bench () =
             else if t >= 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
             else Printf.sprintf "%8.2f ns" t
           in
-          Printf.printf "%-34s | %14s | %8.4f\n" name (human estimate) r2)
+          Printf.printf "%-34s | %14s | %8.4f\n" name (human estimate) r2;
+          micro_json :=
+            Walkthrough.Json.Obj
+              [
+                ("name", Walkthrough.Json.String name);
+                ("ns_per_run", Walkthrough.Json.Float estimate);
+                ("r_square", Walkthrough.Json.Float r2);
+              ]
+            :: !micro_json)
         analyzed)
     bench_tests
+
+let bench_json_file = "BENCH_walkthrough.json"
+
+(* Machine-readable companion of the PERF/INCR tables, for tooling and
+   for EXPERIMENTS.md to cite stable numbers. *)
+let write_bench_json () =
+  if !micro_json <> [] || !incr_json <> [] then begin
+    let json =
+      Walkthrough.Json.Obj
+        [
+          ("schema", Walkthrough.Json.String "sosae-bench/1");
+          ("sosae_version", Walkthrough.Json.String Core.Sosae.version);
+          ("micro", Walkthrough.Json.List (List.rev !micro_json));
+          ("incremental", Walkthrough.Json.List (List.rev !incr_json));
+        ]
+    in
+    let oc = open_out bench_json_file in
+    output_string oc (Walkthrough.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" bench_json_file
+  end
 
 (* ------------------------------------------------------------------ *)
 (* driver                                                             *)
@@ -666,13 +860,16 @@ let () =
       match target with
       | "all" ->
           List.iter (fun (_, f) -> f ()) artifacts;
-          bench ()
+          bench ();
+          incr ()
       | "bench" -> bench ()
+      | "incr" -> incr ()
       | name -> (
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown target %S; known: %s, bench, all\n" name
+              Printf.eprintf "unknown target %S; known: %s, bench, incr, all\n" name
                 (String.concat ", " (List.map fst artifacts));
               exit 2))
-    targets
+    targets;
+  write_bench_json ()

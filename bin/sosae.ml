@@ -25,9 +25,8 @@ let mapping_arg =
     & info [ "m"; "mapping" ] ~docv:"FILE" ~doc:"Event-type-to-component mapping XML file.")
 
 let load scenarios architecture mapping =
-  match Core.Sosae.load_project ~scenarios ~architecture ~mapping with
-  | p -> Ok p
-  | exception Core.Sosae.Load_error msg -> Error msg
+  Result.map_error Core.Sosae.load_error_to_string
+    (Core.Sosae.load_project_result ~scenarios ~architecture ~mapping)
 
 let or_die = function
   | Ok x -> x
@@ -92,29 +91,36 @@ let load_behavior = function
           prerr_endline ("sosae: in behavior file: " ^ m);
           exit 2)
 
-let run_behavioral p charts scenario =
+let run_behavioral ?(quiet = false) p charts scenario =
   let r =
     Walkthrough.Dynamic.evaluate_scenario ~set:p.Core.Sosae.scenarios
       ~mapping:p.Core.Sosae.mapping ~charts scenario
   in
-  Format.printf "%a@." Walkthrough.Dynamic.pp_result r;
+  if not quiet then Format.printf "%a@." Walkthrough.Dynamic.pp_result r;
   r.Walkthrough.Dynamic.ok
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print machine-readable JSON verdicts instead of the Fig. 4-style report.")
+
 let evaluate_cmd =
-  let run scenarios architecture mapping policy scenario_id behavior =
+  let run scenarios architecture mapping policy scenario_id behavior json =
     let p = or_die (load scenarios architecture mapping) in
     let charts = load_behavior behavior in
-    let config = { Walkthrough.Engine.default_config with policy } in
+    let config = Walkthrough.Engine.config ~policy () in
     match scenario_id with
     | Some id -> (
         match Core.Sosae.evaluate_scenario ~config p id with
         | Some r ->
-            Format.printf "%a@." Walkthrough.Report.pp_scenario_result r;
+            if json then print_endline (Walkthrough.Report.scenario_result_to_json r)
+            else Format.printf "%a@." Walkthrough.Report.pp_scenario_result r;
             let behavioral_ok =
               charts = []
               ||
               match Scenarioml.Scen.find p.Core.Sosae.scenarios id with
-              | Some scenario -> run_behavioral p charts scenario
+              | Some scenario -> run_behavioral ~quiet:json p charts scenario
               | None -> true
             in
             if Walkthrough.Verdict.is_consistent r && behavioral_ok then 0 else 1
@@ -123,11 +129,12 @@ let evaluate_cmd =
             2)
     | None ->
         let r = Core.Sosae.evaluate ~config p in
-        Format.printf "%a@." Walkthrough.Report.pp_set_result r;
+        if json then print_endline (Walkthrough.Report.set_result_to_json r)
+        else Format.printf "%a@." Walkthrough.Report.pp_set_result r;
         let behavioral_ok =
           charts = []
           || List.for_all
-               (run_behavioral p charts)
+               (run_behavioral ~quiet:json p charts)
                p.Core.Sosae.scenarios.Scenarioml.Scen.scenarios
         in
         if r.Walkthrough.Engine.consistent && behavioral_ok then 0 else 1
@@ -135,10 +142,133 @@ let evaluate_cmd =
   let term =
     Term.(
       const run $ scenarios_arg $ architecture_arg $ mapping_arg $ policy_arg
-      $ scenario_id_arg $ behavior_arg)
+      $ scenario_id_arg $ behavior_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Walk scenarios through the architecture and report verdicts.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------ session ---------------------------- *)
+
+(* Repeated evaluation across architecture edits, the paper's §4.1
+   evolution experiment as a workflow: evaluate, edit, re-evaluate —
+   with unchanged verdicts served from the session cache. *)
+let session_cmd =
+  let run scenarios architecture mapping policy json excisions then_files =
+    let p = or_die (load scenarios architecture mapping) in
+    let config = Walkthrough.Engine.config ~policy () in
+    let session = Core.Sosae.Session.create ~config p in
+    let print_round label result (before : Core.Sosae.Session.stats)
+        (after : Core.Sosae.Session.stats) =
+      if json then
+        print_endline
+          (Walkthrough.Json.to_string
+             (Walkthrough.Json.Obj
+                [
+                  ("round", Walkthrough.Json.String label);
+                  ( "re_evaluated",
+                    Walkthrough.Json.Int (after.evaluations - before.evaluations) );
+                  ( "served_from_cache",
+                    Walkthrough.Json.Int
+                      (after.cache_hits - before.cache_hits
+                      + (after.replay_hits - before.replay_hits)) );
+                  ("result", Walkthrough.Report.json_of_set_result result);
+                ]))
+      else begin
+        Printf.printf "-- %s --\n" label;
+        List.iter
+          (fun r -> print_endline ("  " ^ Walkthrough.Report.summary_line r))
+          result.Walkthrough.Engine.results;
+        Printf.printf "  re-evaluated %d scenario(s), served %d from cache\n"
+          (after.evaluations - before.evaluations)
+          (after.cache_hits - before.cache_hits + (after.replay_hits - before.replay_hits))
+      end
+    in
+    let round label =
+      let before = Core.Sosae.Session.stats session in
+      let result = Core.Sosae.Session.evaluate session in
+      print_round label result before (Core.Sosae.Session.stats session);
+      result
+    in
+    let initial = round "initial architecture" in
+    let after_excisions =
+      List.fold_left
+        (fun _ (a, b) ->
+          let current = (Core.Sosae.Session.project session).Core.Sosae.architecture in
+          let doomed =
+            List.filter
+              (fun l ->
+                let fa = l.Adl.Structure.link_from.Adl.Structure.anchor in
+                let ta = l.Adl.Structure.link_to.Adl.Structure.anchor in
+                (String.equal fa a && String.equal ta b)
+                || (String.equal fa b && String.equal ta a))
+              current.Adl.Structure.links
+          in
+          if doomed = [] then begin
+            prerr_endline (Printf.sprintf "sosae: no link between %S and %S" a b);
+            exit 2
+          end;
+          Core.Sosae.Session.apply_diff session
+            (List.map (fun l -> Adl.Diff.Remove_link l.Adl.Structure.link_id) doomed);
+          round (Printf.sprintf "after excising %s -- %s" a b))
+        initial excisions
+    in
+    let final =
+      List.fold_left
+        (fun _ file ->
+          let current = (Core.Sosae.Session.project session).Core.Sosae.architecture in
+          let next =
+            match
+              Core.Sosae.load_project_result ~scenarios ~architecture:file ~mapping
+            with
+            | Ok p -> p.Core.Sosae.architecture
+            | Error e ->
+                prerr_endline ("sosae: " ^ Core.Sosae.load_error_to_string e);
+                exit 2
+          in
+          Core.Sosae.Session.apply_diff session (Adl.Diff.diff current next);
+          round (Printf.sprintf "after evolving to %s" file))
+        after_excisions then_files
+    in
+    if not json then
+      Format.printf "session: %a@." Core.Sosae.Session.pp_stats
+        (Core.Sosae.Session.stats session);
+    if final.Walkthrough.Engine.consistent then 0 else 1
+  in
+  let excise_arg =
+    let brick_pair =
+      Arg.conv
+        ( (fun s ->
+            match String.split_on_char ',' s with
+            | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
+            | _ -> Error (`Msg "expected two brick ids separated by a comma")),
+          fun ppf (a, b) -> Format.fprintf ppf "%s,%s" a b )
+    in
+    Arg.(
+      value & opt_all brick_pair []
+      & info [ "excise" ] ~docv:"A,B"
+          ~doc:
+            "Excise every link between bricks $(docv) and re-evaluate incrementally \
+             (repeatable, applied in order; the paper's Fig. 4 experiment).")
+  in
+  let then_arg =
+    Arg.(
+      value & opt_all file []
+      & info [ "then" ] ~docv:"ARCH.xml"
+          ~doc:
+            "After the excisions, diff the current architecture against $(docv), apply \
+             the edit script, and re-evaluate incrementally (repeatable).")
+  in
+  let term =
+    Term.(
+      const run $ scenarios_arg $ architecture_arg $ mapping_arg $ policy_arg $ json_arg
+      $ excise_arg $ then_arg)
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Evaluate, apply architecture edits, and re-evaluate incrementally: unchanged \
+          verdicts are served from the session cache.")
     Term.(const Stdlib.exit $ term)
 
 (* ------------------------------ table ----------------------------- *)
@@ -580,6 +710,7 @@ let () =
           [
             validate_cmd;
             evaluate_cmd;
+            session_cmd;
             table_cmd;
             stats_cmd;
             export_owl_cmd;

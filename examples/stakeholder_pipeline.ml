@@ -72,7 +72,7 @@ let () =
     Scenarioml.Scen.make_set ~id:"stakeholder" ~name:"Stakeholder scenarios" ontology
       [ typed ]
   in
-  let config = { Walkthrough.Engine.default_config with Walkthrough.Engine.constraints } in
+  let config = Walkthrough.Engine.config ~constraints () in
   let result =
     Walkthrough.Engine.evaluate_set ~config ~set ~architecture
       ~mapping:Casestudies.Pims.mapping ()

@@ -1,0 +1,103 @@
+(* One full BFS tree per (policy, source), shared by every query from
+   that source. The exploration order matches Graph.bfs exactly (same
+   queue discipline, same relay rule), so reconstructed paths are
+   identical to the ones Graph.path returns — Graph.bfs merely stops
+   early once the target is discovered, at which point the parents on
+   the source-to-target chain are already final. *)
+
+type tree = (string, string) Hashtbl.t
+(* discovered brick -> parent; the source maps to itself *)
+
+type t = {
+  g : Graph.t;
+  trees : (Graph.policy * string, tree) Hashtbl.t;
+  mutable sources : int;
+  mutable queries : int;
+  mutable memo_hits : int;
+}
+
+let create g = { g; trees = Hashtbl.create 16; sources = 0; queries = 0; memo_hits = 0 }
+
+let of_structure s = create (Graph.of_structure s)
+
+let graph t = t.g
+
+let explore g policy source =
+  let parent : tree = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.replace parent source source;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let may_relay =
+      String.equal u source
+      || match policy with Graph.Routed -> true | Graph.Direct -> Graph.is_connector g u
+    in
+    if may_relay then
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem parent v) then begin
+            Hashtbl.replace parent v u;
+            Queue.push v queue
+          end)
+        (Graph.successors g u)
+  done;
+  parent
+
+let tree t policy source =
+  match Hashtbl.find_opt t.trees (policy, source) with
+  | Some tr ->
+      t.memo_hits <- t.memo_hits + 1;
+      tr
+  | None ->
+      let tr = explore t.g policy source in
+      Hashtbl.replace t.trees (policy, source) tr;
+      t.sources <- t.sources + 1;
+      tr
+
+type query = {
+  q_policy : Graph.policy;
+  q_source : string;
+  q_target : string;
+  q_answer : string list option;
+}
+
+type recorder = { mutable log : query list (* reversed *) }
+
+let recorder () = { log = [] }
+
+let recorded r = List.rev r.log
+
+let path_answer t policy source target =
+  t.queries <- t.queries + 1;
+  if String.equal source target then Some [ source ]
+  else
+    let tr = tree t policy source in
+    if not (Hashtbl.mem tr target) then None
+    else begin
+      let rec build acc v =
+        if String.equal v source then source :: acc else build (v :: acc) (Hashtbl.find tr v)
+      in
+      Some (build [] target)
+    end
+
+let path ?(policy = Graph.Routed) ?record t source target =
+  let answer = path_answer t policy source target in
+  (match record with
+  | Some r ->
+      r.log <- { q_policy = policy; q_source = source; q_target = target; q_answer = answer } :: r.log
+  | None -> ());
+  answer
+
+let reachable ?policy ?record t source target = path ?policy ?record t source target <> None
+
+let replay t log =
+  List.for_all
+    (fun q -> path_answer t q.q_policy q.q_source q.q_target = q.q_answer)
+    log
+
+type stats = { sources : int; queries : int; memo_hits : int }
+
+let stats (t : t) = { sources = t.sources; queries = t.queries; memo_hits = t.memo_hits }
+
+let fingerprint (s : Structure.t) = Digest.to_hex (Digest.string (Marshal.to_string s []))

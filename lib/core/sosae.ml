@@ -1,4 +1,4 @@
-let version = "1.0.0"
+let version = "1.1.0"
 
 type project = {
   scenarios : Scenarioml.Scen.set;
@@ -49,38 +49,294 @@ let evaluate_behavioral ?config p bundle =
 let export_owl p =
   Semweb.Export.full_export p.scenarios.Scenarioml.Scen.ontology p.mapping
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation sessions: cached + incremental re-evaluation            *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type entry = {
+    e_fingerprint : string;
+    e_result : Walkthrough.Verdict.scenario_result;
+    e_queries : Adl.Reach.query list;
+  }
+
+  type stats = {
+    evaluations : int;
+    cache_hits : int;
+    replays : int;
+    replay_hits : int;
+  }
+
+  let zero_stats = { evaluations = 0; cache_hits = 0; replays = 0; replay_hits = 0 }
+
+  type t = {
+    config : Walkthrough.Engine.config;
+    mutable project : project;
+    mutable reach : Adl.Reach.t;
+    mutable fingerprint : string;
+    cache : (string, entry) Hashtbl.t;
+    mutable checks :
+      (string * (Styles.Rule.violation list * Mapping.Coverage.problem list)) option;
+        (** style violations + coverage problems, keyed by the
+            architecture fingerprint they were computed against *)
+    mutable stats : stats;
+  }
+
+  let create ?(config = Walkthrough.Engine.default_config) project =
+    {
+      config;
+      project;
+      reach = Adl.Reach.of_structure project.architecture;
+      fingerprint = Adl.Reach.fingerprint project.architecture;
+      cache = Hashtbl.create 16;
+      checks = None;
+      stats = zero_stats;
+    }
+
+  let project t = t.project
+
+  let config t = t.config
+
+  let stats t = t.stats
+
+  let reach t = t.reach
+
+  let invalidate ?scenario t =
+    match scenario with
+    | Some id -> Hashtbl.remove t.cache id
+    | None ->
+        Hashtbl.reset t.cache;
+        t.checks <- None
+
+  let evaluate_fresh t s =
+    let record = Adl.Reach.recorder () in
+    let result =
+      Walkthrough.Engine.evaluate_scenario ~config:t.config ~reach:t.reach ~record
+        ~set:t.project.scenarios ~architecture:t.project.architecture
+        ~mapping:t.project.mapping s
+    in
+    Hashtbl.replace t.cache s.Scenarioml.Scen.scenario_id
+      {
+        e_fingerprint = t.fingerprint;
+        e_result = result;
+        e_queries = Adl.Reach.recorded record;
+      };
+    t.stats <- { t.stats with evaluations = t.stats.evaluations + 1 };
+    result
+
+  (* The verdict of a scenario is a deterministic function of the
+     scenario, mapping, configuration, and the answers to the
+     reachability queries the walk performs — and the query set itself
+     does not depend on the architecture. So when replaying a cached
+     entry's query log against the current oracle returns the recorded
+     answers, the cached verdict is exactly what a fresh evaluation
+     would rebuild, and is served as-is. *)
+  let evaluate_one t s =
+    let id = s.Scenarioml.Scen.scenario_id in
+    match Hashtbl.find_opt t.cache id with
+    | Some e when String.equal e.e_fingerprint t.fingerprint ->
+        t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+        e.e_result
+    | Some e ->
+        t.stats <- { t.stats with replays = t.stats.replays + 1 };
+        if Adl.Reach.replay t.reach e.e_queries then begin
+          t.stats <- { t.stats with replay_hits = t.stats.replay_hits + 1 };
+          Hashtbl.replace t.cache id { e with e_fingerprint = t.fingerprint };
+          e.e_result
+        end
+        else evaluate_fresh t s
+    | None -> evaluate_fresh t s
+
+  let evaluate_scenario t id =
+    Option.map (evaluate_one t) (Scenarioml.Scen.find t.project.scenarios id)
+
+  let architecture_checks t =
+    match t.checks with
+    | Some (fp, checks) when String.equal fp t.fingerprint -> checks
+    | Some _ | None ->
+        let checks =
+          ( Walkthrough.Engine.check_architecture t.config t.project.architecture,
+            Mapping.Coverage.check t.project.scenarios.Scenarioml.Scen.ontology
+              t.project.architecture t.project.mapping )
+        in
+        t.checks <- Some (t.fingerprint, checks);
+        checks
+
+  let evaluate t =
+    let results =
+      List.map (evaluate_one t) t.project.scenarios.Scenarioml.Scen.scenarios
+    in
+    let style_violations, coverage_problems = architecture_checks t in
+    {
+      Walkthrough.Engine.results;
+      style_violations;
+      coverage_problems;
+      consistent =
+        List.for_all Walkthrough.Verdict.is_consistent results
+        && style_violations = [];
+    }
+
+  let set_architecture t architecture =
+    t.project <- { t.project with architecture };
+    t.reach <- Adl.Reach.of_structure architecture;
+    t.fingerprint <- Adl.Reach.fingerprint architecture
+
+  (* Pure link removal admits a shortcut stronger than replay. Removing
+     links cannot create communication, so a recorded "no path" answer
+     stays "no path"; and a recorded path none of whose hops crosses a
+     removed anchor pair is reproduced unchanged by BFS on the pruned
+     graph (pruning edges outside the path does not disturb the
+     discovery of its bricks). An entry whose logged answers avoid
+     every removed pair is therefore revalidated in O(log) — without
+     consulting, or even building, the new oracle's trees. *)
+  let removed_pairs architecture ops =
+    let links = architecture.Adl.Structure.links in
+    let rec collect acc = function
+      | [] -> Some acc
+      | Adl.Diff.Remove_link id :: rest -> (
+          match
+            List.find_opt (fun l -> String.equal l.Adl.Structure.link_id id) links
+          with
+          | Some l ->
+              collect
+                (( l.Adl.Structure.link_from.Adl.Structure.anchor,
+                   l.Adl.Structure.link_to.Adl.Structure.anchor )
+                :: acc)
+                rest
+          | None -> None)
+      | _ :: _ -> None
+    in
+    collect [] ops
+
+  let crosses_removed pairs via =
+    let removed x y =
+      List.exists
+        (fun (a, b) ->
+          (String.equal x a && String.equal y b)
+          || (String.equal x b && String.equal y a))
+        pairs
+    in
+    let rec scan = function
+      | x :: (y :: _ as rest) -> removed x y || scan rest
+      | _ -> false
+    in
+    scan via
+
+  let entry_untouched pairs e =
+    List.for_all
+      (fun q ->
+        match q.Adl.Reach.q_answer with
+        | None -> true
+        | Some via -> not (crosses_removed pairs via))
+      e.e_queries
+
+  let apply_diff t ops =
+    let old_fp = t.fingerprint in
+    let pairs = removed_pairs t.project.architecture ops in
+    set_architecture t (Adl.Diff.apply_all t.project.architecture ops);
+    match pairs with
+    | None -> ()
+    | Some pairs ->
+        let revalidated =
+          Hashtbl.fold
+            (fun id e acc ->
+              if String.equal e.e_fingerprint old_fp && entry_untouched pairs e then
+                (id, { e with e_fingerprint = t.fingerprint }) :: acc
+              else acc)
+            t.cache []
+        in
+        List.iter (fun (id, e) -> Hashtbl.replace t.cache id e) revalidated
+
+  let pp_stats ppf s =
+    Format.fprintf ppf
+      "evaluations: %d, cache hits: %d, replays: %d (%d reused, %d re-evaluated)"
+      s.evaluations s.cache_hits s.replays s.replay_hits (s.replays - s.replay_hits)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Loading and saving projects                                        *)
+(* ------------------------------------------------------------------ *)
+
 exception Load_error of string
 
-let load_error fmt = Format.kasprintf (fun s -> raise (Load_error s)) fmt
+type artifact = Scenarios | Architecture | Mapping
 
-let read_file path =
+type load_error =
+  | Io_error of { artifact : artifact; file : string; message : string }
+  | Xml_error of { artifact : artifact; file : string; message : string }
+  | Schema_error of { artifact : artifact; file : string; message : string }
+
+let artifact_name = function
+  | Scenarios -> "scenario set"
+  | Architecture -> "architecture"
+  | Mapping -> "mapping"
+
+let pp_load_error ppf = function
+  | Io_error { artifact; file; message } ->
+      Format.fprintf ppf "cannot read %s file %s: %s" (artifact_name artifact) file
+        message
+  | Xml_error { artifact; file; message } ->
+      Format.fprintf ppf "malformed XML in %s file %s: %s" (artifact_name artifact) file
+        message
+  | Schema_error { artifact; file; message } ->
+      Format.fprintf ppf "invalid %s in %s: %s" (artifact_name artifact) file message
+
+let load_error_to_string e = Format.asprintf "%a" pp_load_error e
+
+let read_file artifact file =
   match
-    let ic = open_in_bin path in
+    let ic = open_in_bin file in
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
     s
   with
-  | s -> s
-  | exception Sys_error msg -> load_error "cannot read %s: %s" path msg
+  | s -> Ok s
+  | exception Sys_error message -> Error (Io_error { artifact; file; message })
+
+(* Parse the document twice on the failure path only: one cheap
+   well-formedness pass distinguishes XML errors from schema errors. *)
+let load_artifact artifact file of_string malformed =
+  match read_file artifact file with
+  | Error _ as e -> e
+  | Ok text -> (
+      match of_string text with
+      | v -> Ok v
+      | exception exn -> (
+          match malformed exn with
+          | None -> raise exn
+          | Some message -> (
+              match Xmlight.Parse.parse text with
+              | Error err ->
+                  Error
+                    (Xml_error
+                       { artifact; file; message = Xmlight.Parse.error_to_string err })
+              | Ok _ -> Error (Schema_error { artifact; file; message }))))
+
+let ( let* ) = Result.bind
+
+let load_project_result ~scenarios ~architecture ~mapping =
+  let* scenarios =
+    load_artifact Scenarios scenarios Scenarioml.Xml_io.set_of_string (function
+      | Scenarioml.Xml_io.Malformed m -> Some m
+      | _ -> None)
+  in
+  let* architecture =
+    load_artifact Architecture architecture Adl.Xml_io.of_string (function
+      | Adl.Xml_io.Malformed m -> Some m
+      | _ -> None)
+  in
+  let* mapping =
+    load_artifact Mapping mapping Mapping.Xml_io.of_string (function
+      | Mapping.Xml_io.Malformed m -> Some m
+      | _ -> None)
+  in
+  Ok { scenarios; architecture; mapping }
 
 let load_project ~scenarios ~architecture ~mapping =
-  let scenarios =
-    match Scenarioml.Xml_io.set_of_string (read_file scenarios) with
-    | s -> s
-    | exception Scenarioml.Xml_io.Malformed m -> load_error "in %s: %s" scenarios m
-  in
-  let architecture_v =
-    match Adl.Xml_io.of_string (read_file architecture) with
-    | a -> a
-    | exception Adl.Xml_io.Malformed m -> load_error "in %s: %s" architecture m
-  in
-  let mapping_v =
-    match Mapping.Xml_io.of_string (read_file mapping) with
-    | m -> m
-    | exception Mapping.Xml_io.Malformed m -> load_error "in %s: %s" mapping m
-  in
-  { scenarios; architecture = architecture_v; mapping = mapping_v }
+  match load_project_result ~scenarios ~architecture ~mapping with
+  | Ok p -> p
+  | Error e -> raise (Load_error (load_error_to_string e))
 
 let write_file path content =
   let oc = open_out_bin path in
@@ -105,3 +361,17 @@ let pp_validation ppf v =
   section "Architecture" Adl.Validate.pp_problem v.architecture_problems;
   section "Mapping coverage" Mapping.Coverage.pp_problem v.coverage_problems;
   Format.fprintf ppf "%s@]" (if v.ok then "all artifacts valid" else "validation problems found")
+
+let json_of_validation v =
+  let problems pp l = Walkthrough.Json.strings (List.map (Format.asprintf "%a" pp) l) in
+  Walkthrough.Json.Obj
+    [
+      ("ok", Walkthrough.Json.Bool v.ok);
+      ("ontology_problems", problems Ontology.Wellformed.pp_problem v.ontology_problems);
+      ("scenario_problems", problems Scenarioml.Validate.pp_problem v.scenario_problems);
+      ( "architecture_problems",
+        problems Adl.Validate.pp_problem v.architecture_problems );
+      ("coverage_problems", problems Mapping.Coverage.pp_problem v.coverage_problems);
+    ]
+
+let validation_to_json v = Walkthrough.Json.to_string (json_of_validation v)

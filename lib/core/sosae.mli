@@ -11,7 +11,10 @@
 
     A {!project} bundles the three artifacts; {!validate} checks each
     artifact individually and the references between them; {!evaluate}
-    runs the full walkthrough evaluation. *)
+    runs the full walkthrough evaluation once. For repeated evaluation
+    of the same project across architecture edits — the paper's §4.1
+    evolution experiment, or any heavy re-evaluation workload — use
+    {!Session}, which caches verdicts and re-evaluates incrementally. *)
 
 val version : string
 
@@ -53,15 +56,110 @@ val evaluate_behavioral :
 val export_owl : project -> Semweb.Store.t
 (** Ontology + mapping as OWL triples (paper §8). *)
 
+(** Stateful evaluation sessions over one project.
+
+    A session holds a memoized reachability oracle ({!Adl.Reach}) for
+    the current architecture and a per-scenario verdict cache. Each
+    cached verdict carries the log of reachability queries its walk
+    performed; after an architecture edit ({!Session.apply_diff}), a
+    scenario is re-evaluated only when replaying its log against the
+    new oracle changes some answer — i.e. only when the edit actually
+    touches the communication its walk relied on. Served verdicts are
+    bit-for-bit the ones a fresh evaluation would produce.
+
+    The paper's Fig. 4 experiment in session form: excising the
+    Loader–Data Access link re-evaluates "Get the current prices of
+    shares" (its hop crossed the excised link) while "Create portfolio"
+    is served from cache. *)
+module Session : sig
+  type t
+
+  val create : ?config:Walkthrough.Engine.config -> project -> t
+  (** The config is fixed for the session's lifetime. *)
+
+  val project : t -> project
+  (** The current project (reflects {!apply_diff} edits). *)
+
+  val config : t -> Walkthrough.Engine.config
+
+  val reach : t -> Adl.Reach.t
+  (** The session's oracle for the current architecture. *)
+
+  val evaluate : t -> Walkthrough.Engine.set_result
+  (** Evaluate every scenario, serving unchanged verdicts from cache.
+      Equal to {!val:evaluate} on the session's current project. *)
+
+  val evaluate_scenario : t -> string -> Walkthrough.Verdict.scenario_result option
+  (** One scenario by id, through the cache; [None] when unknown. *)
+
+  val apply_diff : t -> Adl.Diff.op list -> unit
+  (** Apply evolution operations to the session's architecture. Cached
+      verdicts are kept and revalidated lazily (by query replay) at the
+      next evaluation. When every op is a [Remove_link], entries whose
+      logged answers never crossed a removed link are revalidated
+      immediately, without replay: removals cannot create communication,
+      and recorded paths that avoid the removed links survive untouched.
+      @raise Adl.Diff.Apply_error when an op does not apply. *)
+
+  val set_architecture : t -> Adl.Structure.t -> unit
+  (** Replace the architecture wholesale; same cache semantics as
+      {!apply_diff}. *)
+
+  val invalidate : ?scenario:string -> t -> unit
+  (** Drop one scenario's cached verdict, or the whole cache. *)
+
+  type stats = {
+    evaluations : int;  (** full scenario walks performed *)
+    cache_hits : int;  (** verdicts served with no architecture change *)
+    replays : int;  (** query-log replays after an architecture change *)
+    replay_hits : int;  (** replays that allowed reusing the verdict *)
+  }
+
+  val stats : t -> stats
+  (** Cumulative since {!create}. *)
+
+  val pp_stats : Format.formatter -> stats -> unit
+end
+
+(** {1 Loading and saving projects} *)
+
+type artifact = Scenarios | Architecture | Mapping
+
+type load_error =
+  | Io_error of { artifact : artifact; file : string; message : string }
+      (** the file cannot be read *)
+  | Xml_error of { artifact : artifact; file : string; message : string }
+      (** the file is not well-formed XML *)
+  | Schema_error of { artifact : artifact; file : string; message : string }
+      (** well-formed XML that is not a valid document of its kind *)
+
+val load_project_result :
+  scenarios:string ->
+  architecture:string ->
+  mapping:string ->
+  (project, load_error) result
+(** Read the three artifacts from XML files; the first failing artifact
+    (in scenarios, architecture, mapping order) is reported. *)
+
+val pp_load_error : Format.formatter -> load_error -> unit
+
+val load_error_to_string : load_error -> string
+
 exception Load_error of string
 
 val load_project :
   scenarios:string -> architecture:string -> mapping:string -> project
-(** Read the three artifacts from XML files.
-    @raise Load_error on I/O, XML, or schema errors. *)
+(** Raising convenience over {!load_project_result}.
+    @raise Load_error with {!load_error_to_string} of the failure. *)
 
 val save_project :
   project -> scenarios:string -> architecture:string -> mapping:string -> unit
 (** Write the three artifacts to XML files. *)
 
 val pp_validation : Format.formatter -> validation -> unit
+
+val json_of_validation : validation -> Walkthrough.Json.t
+
+val validation_to_json : validation -> string
+(** Machine-readable {!validation}, the companion of
+    {!Walkthrough.Report.set_result_to_json}. *)

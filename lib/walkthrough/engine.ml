@@ -11,17 +11,41 @@ type config = {
   placement_hook : (Scenarioml.Event.t -> string list option) option;
 }
 
-let default_config =
+let config ?(policy = Adl.Graph.Routed) ?(simple_events = Skip_simple)
+    ?(linearize = Scenarioml.Linearize.default_config) ?(check_style = true)
+    ?(check_internal = true) ?(internal_policy = Adl.Graph.Direct) ?(constraints = [])
+    ?placement_hook () =
   {
-    policy = Adl.Graph.Routed;
-    simple_events = Skip_simple;
-    linearize = Scenarioml.Linearize.default_config;
-    check_style = true;
-    check_internal = true;
-    internal_policy = Adl.Graph.Direct;
-    constraints = [];
-    placement_hook = None;
+    policy;
+    simple_events;
+    linearize;
+    check_style;
+    check_internal;
+    internal_policy;
+    constraints;
+    placement_hook;
   }
+
+let default_config = config ()
+
+let with_policy policy c = { c with policy }
+
+let with_simple_events simple_events c = { c with simple_events }
+
+let with_linearize linearize c = { c with linearize }
+
+let with_style_checks check_style c = { c with check_style }
+
+let with_internal_checks ?policy check_internal c =
+  {
+    c with
+    check_internal;
+    internal_policy = Option.value policy ~default:c.internal_policy;
+  }
+
+let with_constraints constraints c = { c with constraints }
+
+let with_placement_hook hook c = { c with placement_hook = Some hook }
 
 (* Components of one step; [None] means "no placement required" (simple
    event under [Skip_simple]). *)
@@ -68,7 +92,7 @@ let place config mapping ontology step =
       (* Linearization only emits primitive steps. *)
       `Narrative)
 
-let connect_hop config graph from_components to_components =
+let connect_hop config ?record reach from_components to_components =
   (* Some component of the previous step must communicate with some
      component of this step. Components shared by both steps connect
      trivially. *)
@@ -83,7 +107,7 @@ let connect_hop config graph from_components to_components =
           (fun a ->
             List.filter_map
               (fun b ->
-                match Adl.Graph.path ~policy:config.policy graph a b with
+                match Adl.Reach.path ~policy:config.policy ?record reach a b with
                 | Some via -> Some { Verdict.hop_from = a; hop_to = b; via }
                 | None -> None)
               to_components)
@@ -99,7 +123,7 @@ let connect_hop config graph from_components to_components =
               else acc)
         None candidate
 
-let walk_trace config set mapping graph trace_index trace =
+let walk_trace config ?record set mapping reach trace_index trace =
   let ontology = set.Scenarioml.Scen.ontology in
   let rec loop index prev_components acc = function
     | [] -> List.rev acc
@@ -148,7 +172,7 @@ let walk_trace config set mapping graph trace_index trace =
               match prev_components with
               | [] -> (None, [])
               | prev -> (
-                  match connect_hop config graph prev components with
+                  match connect_hop config ?record reach prev components with
                   | Some hop -> (Some hop, [])
                   | None ->
                       ( None,
@@ -174,7 +198,8 @@ let walk_trace config set mapping graph trace_index trace =
                       let tail = chain rest in
                       if
                         String.equal a b
-                        || Adl.Graph.reachable ~policy:config.internal_policy graph a b
+                        || Adl.Reach.reachable ~policy:config.internal_policy ?record reach
+                             a b
                       then tail
                       else
                         Verdict.Missing_link
@@ -202,13 +227,18 @@ let walk_trace config set mapping graph trace_index trace =
   in
   { Verdict.trace_index; steps; walked }
 
-let evaluate_scenario ?(config = default_config) ~set ~architecture ~mapping s =
-  let graph = Adl.Graph.of_structure architecture in
+let evaluate_scenario ?(config = default_config) ?reach ?record ~set ~architecture
+    ~mapping s =
+  let reach =
+    match reach with Some r -> r | None -> Adl.Reach.of_structure architecture
+  in
   let { Scenarioml.Linearize.traces; truncated } =
     Scenarioml.Linearize.scenario ~config:config.linearize set s
   in
   let results =
-    List.mapi (fun i trace -> walk_trace config set mapping graph (i + 1) trace) traces
+    List.mapi
+      (fun i trace -> walk_trace config ?record set mapping reach (i + 1) trace)
+      traces
   in
   let negative = Scenarioml.Scen.is_negative s in
   let verdict, inconsistencies =
@@ -254,16 +284,20 @@ type set_result = {
   consistent : bool;
 }
 
-let evaluate_set ?(config = default_config) ~set ~architecture ~mapping () =
+let check_architecture config architecture =
+  (if config.check_style then Styles.Check.check_declared architecture else [])
+  @ Styles.Constraint_lang.check architecture config.constraints
+
+let evaluate_set ?(config = default_config) ?reach ~set ~architecture ~mapping () =
+  let reach =
+    match reach with Some r -> r | None -> Adl.Reach.of_structure architecture
+  in
   let results =
     List.map
-      (evaluate_scenario ~config ~set ~architecture ~mapping)
+      (evaluate_scenario ~config ~reach ~set ~architecture ~mapping)
       set.Scenarioml.Scen.scenarios
   in
-  let style_violations =
-    (if config.check_style then Styles.Check.check_declared architecture else [])
-    @ Styles.Constraint_lang.check architecture config.constraints
-  in
+  let style_violations = check_architecture config architecture in
   let coverage_problems =
     Mapping.Coverage.check set.Scenarioml.Scen.ontology architecture mapping
   in

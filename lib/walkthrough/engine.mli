@@ -12,7 +12,13 @@
     component of the first must be able to communicate with some
     component of the second through the structure (under the configured
     path policy). A positive scenario is consistent when *every* trace
-    walks; a negative scenario is consistent when *no* trace walks. *)
+    walks; a negative scenario is consistent when *no* trace walks.
+
+    Communication queries go through an {!Adl.Reach} oracle. Callers
+    evaluating repeatedly against the same architecture should build the
+    oracle once and pass it as [?reach]; each call otherwise builds a
+    fresh one. [Sosae.Session] layers caching and incremental
+    re-evaluation on top of this. *)
 
 type simple_event_policy =
   | Skip_simple  (** simple events are narrative: no placement required *)
@@ -42,17 +48,57 @@ type config = {
           appear in those events") *)
 }
 
+val config :
+  ?policy:Adl.Graph.policy ->
+  ?simple_events:simple_event_policy ->
+  ?linearize:Scenarioml.Linearize.config ->
+  ?check_style:bool ->
+  ?check_internal:bool ->
+  ?internal_policy:Adl.Graph.policy ->
+  ?constraints:Styles.Constraint_lang.t list ->
+  ?placement_hook:(Scenarioml.Event.t -> string list option) ->
+  unit ->
+  config
+(** Build a configuration without spelling out the whole record; every
+    omitted field takes its {!default_config} value. *)
+
 val default_config : config
-(** [Routed] paths, [Skip_simple], default linearization, style and
-    internal-chain checks on. *)
+(** [config ()]: [Routed] paths, [Skip_simple], default linearization,
+    style and internal-chain checks on. *)
+
+(** Functional updates, for deriving one configuration from another:
+    [default_config |> with_policy Direct |> with_constraints cs]. *)
+
+val with_policy : Adl.Graph.policy -> config -> config
+
+val with_simple_events : simple_event_policy -> config -> config
+
+val with_linearize : Scenarioml.Linearize.config -> config -> config
+
+val with_style_checks : bool -> config -> config
+
+val with_internal_checks : ?policy:Adl.Graph.policy -> bool -> config -> config
+(** [with_internal_checks ~policy on c] toggles the realization-chain
+    check; [policy] also replaces the chain policy when given. *)
+
+val with_constraints : Styles.Constraint_lang.t list -> config -> config
+
+val with_placement_hook :
+  (Scenarioml.Event.t -> string list option) -> config -> config
 
 val evaluate_scenario :
   ?config:config ->
+  ?reach:Adl.Reach.t ->
+  ?record:Adl.Reach.recorder ->
   set:Scenarioml.Scen.set ->
   architecture:Adl.Structure.t ->
   mapping:Mapping.Types.t ->
   Scenarioml.Scen.t ->
   Verdict.scenario_result
+(** [reach], when given, must have been built from [architecture] (or an
+    architecture with the same communication graph); [record] captures
+    the reachability queries the walk performs, for later
+    {!Adl.Reach.replay}. *)
 
 type set_result = {
   results : Verdict.scenario_result list;
@@ -62,8 +108,13 @@ type set_result = {
       (** every scenario consistent, no style violations (when checked) *)
 }
 
+val check_architecture : config -> Adl.Structure.t -> Styles.Rule.violation list
+(** The per-architecture checks of {!evaluate_set}: declared-style rules
+    (under [check_style]) plus the configured constraints. *)
+
 val evaluate_set :
   ?config:config ->
+  ?reach:Adl.Reach.t ->
   set:Scenarioml.Scen.set ->
   architecture:Adl.Structure.t ->
   mapping:Mapping.Types.t ->

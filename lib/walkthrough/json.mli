@@ -1,0 +1,22 @@
+(** Minimal JSON document builder for machine-readable reports.
+
+    Construction and serialization only (the reports are write-only:
+    verdicts, bench results); no parsing. Strings are escaped per RFC
+    8259; non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val strings : string list -> t
+(** [List] of [String]s. *)

@@ -14,6 +14,22 @@ val set_result_to_string : Engine.set_result -> string
 val summary_line : Verdict.scenario_result -> string
 (** e.g. ["create-portfolio: CONSISTENT (1 trace)"]. *)
 
+(** {1 Machine-readable verdicts}
+
+    JSON mirrors of the pretty-printers above, for tooling built on the
+    CLI's [evaluate --json] (and the shared story with
+    [Sosae.validation_to_json]). *)
+
+val json_of_inconsistency : Verdict.inconsistency -> Json.t
+
+val json_of_scenario_result : Verdict.scenario_result -> Json.t
+
+val json_of_set_result : Engine.set_result -> Json.t
+
+val scenario_result_to_json : Verdict.scenario_result -> string
+
+val set_result_to_json : Engine.set_result -> string
+
 val trace_to_dot :
   Adl.Structure.t -> Verdict.trace_result -> string
 (** Graphviz DOT of the architecture with the trace's hop paths (and the

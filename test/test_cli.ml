@@ -104,6 +104,56 @@ let test_dot_and_owl () =
   run ("export-owl" :: Lazy.force std_args @ [ "-o"; artifact "model.ttl" ]);
   Alcotest.(check bool) "turtle written" true (Sys.file_exists (artifact "model.ttl"))
 
+let test_evaluate_json () =
+  run ("evaluate" :: Lazy.force std_args @ [ "--json" ]);
+  let out = last_output () in
+  Testutil.check_contains "overall flag" out "\"consistent\":true";
+  Testutil.check_contains "scenario array" out "\"scenarios\":[";
+  run ~expect:1
+    [
+      "evaluate";
+      "-s";
+      artifact "pims-scenarios.xml";
+      "-a";
+      artifact "broken.xml";
+      "-m";
+      artifact "pims-mapping.xml";
+      "--json";
+      "--scenario";
+      "get-share-prices";
+    ];
+  let out = last_output () in
+  Testutil.check_contains "verdict field" out "\"verdict\":\"inconsistent\"";
+  Testutil.check_contains "inconsistency kind" out "\"kind\":\"missing-link\""
+
+let test_session_subcommand () =
+  (* the Fig. 4 experiment as an incremental session: excise the
+     Loader / Data Access link and re-evaluate *)
+  run ~expect:1
+    ("session" :: Lazy.force std_args @ [ "--excise"; "loader,data-access" ]);
+  let out = last_output () in
+  Testutil.check_contains "initial round" out "-- initial architecture --";
+  Testutil.check_contains "edit round" out "after excising loader -- data-access";
+  Testutil.check_contains "prices fail" out "get-share-prices: INCONSISTENT";
+  Testutil.check_contains "portfolio kept" out "create-portfolio: CONSISTENT";
+  Testutil.check_contains "cache served" out "served 19 from cache";
+  Testutil.check_contains "stats line" out "evaluations:";
+  (* evolving back to the intact architecture heals the verdict *)
+  run
+    ("session" :: Lazy.force std_args
+    @ [
+        "--excise"; "loader,data-access"; "--then"; artifact "pims-architecture.xml";
+      ]);
+  Testutil.check_contains "healed" (last_output ()) "re-evaluated 3 scenario(s)";
+  run ~expect:2
+    ("session" :: Lazy.force std_args @ [ "--excise"; "loader,nope" ]);
+  Testutil.check_contains "unknown pair" (last_output ()) "no link between";
+  run ~expect:1
+    ("session" :: Lazy.force std_args @ [ "--json"; "--excise"; "loader,data-access" ]);
+  let out = last_output () in
+  Testutil.check_contains "json round" out "\"round\":\"initial architecture\"";
+  Testutil.check_contains "json served" out "\"served_from_cache\":19"
+
 let test_prose () =
   let oc = open_out_bin (artifact "scenario.txt") in
   output_string oc "Scenario: From the CLI\n(1) Something happens.\n";
@@ -123,5 +173,7 @@ let suite =
     Alcotest.test_case "table/stats/rank/relations/implied/coverage/report" `Quick
       test_reporting_commands;
     Alcotest.test_case "dot and export-owl" `Quick test_dot_and_owl;
+    Alcotest.test_case "evaluate --json" `Quick test_evaluate_json;
+    Alcotest.test_case "session (excise + evolve + json)" `Quick test_session_subcommand;
     Alcotest.test_case "prose and demo" `Quick test_prose;
   ]

@@ -112,11 +112,8 @@ let test_engine_integration () =
     |> map ~event_type:"e" ~to_:[ "c1" ])
   in
   let config =
-    {
-      Walkthrough.Engine.default_config with
-      Walkthrough.Engine.constraints =
-        Constraint_lang.parse "route c1 -> c2 via srv";
-    }
+    Walkthrough.Engine.(
+      default_config |> with_constraints (Constraint_lang.parse "route c1 -> c2 via srv"))
   in
   let r =
     Walkthrough.Engine.evaluate_set ~config ~set ~architecture:with_backdoor ~mapping ()

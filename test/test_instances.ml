@@ -59,10 +59,7 @@ let test_placement_hook () =
      arguments name, instead of the mapping's fixed components *)
   let set = Casestudies.Crash.network_scenario_set in
   let config =
-    {
-      Walkthrough.Engine.default_config with
-      Walkthrough.Engine.placement_hook = Some Casestudies.Crash.network_placement_hook;
-    }
+    Walkthrough.Engine.config ~placement_hook:Casestudies.Crash.network_placement_hook ()
   in
   let scenario = Scen.find_exn set "interorg-cooperation" in
   let r =

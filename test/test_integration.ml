@@ -33,9 +33,7 @@ let test_evaluate_pipeline () =
 let test_config_threading () =
   (* the Direct policy is stricter: hops may no longer pass through
      intervening components, so some PIMS hops fail *)
-  let config =
-    { Walkthrough.Engine.default_config with Walkthrough.Engine.policy = Adl.Graph.Direct }
-  in
+  let config = Walkthrough.Engine.config ~policy:Adl.Graph.Direct () in
   let routed = Core.Sosae.evaluate project in
   let direct = Core.Sosae.evaluate ~config project in
   let count_consistent r =

@@ -19,6 +19,7 @@ let () =
       ("acme", Test_acme.suite);
       ("casestudies", Test_casestudies.suite);
       ("integration", Test_integration.suite);
+      ("session", Test_session.suite);
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("evolution", Test_evolution.suite);

@@ -70,12 +70,7 @@ let test_internal_chain () =
   let broken = Adl.Diff.excise_link_between architecture "logic" "db" in
   let r = eval ~arch:broken (scenario "only" [ typed "e1" "persist" ]) in
   Alcotest.(check bool) "chain break detected" false (Walkthrough.Verdict.is_consistent r);
-  let relaxed =
-    {
-      Walkthrough.Engine.default_config with
-      Walkthrough.Engine.check_internal = false;
-    }
-  in
+  let relaxed = Walkthrough.Engine.(default_config |> with_internal_checks false) in
   let r2 = eval ~config:relaxed ~arch:broken (scenario "only" [ typed "e1" "persist" ]) in
   Alcotest.(check bool) "relaxed config ignores chains" true
     (Walkthrough.Verdict.is_consistent r2)
@@ -115,10 +110,7 @@ let test_simple_event_policies () =
       | _ -> Alcotest.fail "expected hop")
   | _ -> Alcotest.fail "one trace");
   let strict =
-    {
-      Walkthrough.Engine.default_config with
-      Walkthrough.Engine.simple_events = Walkthrough.Engine.Report_simple;
-    }
+    Walkthrough.Engine.(config ~simple_events:Report_simple ())
   in
   let r2 = eval ~config:strict s in
   Alcotest.(check bool) "reported when strict" false (Walkthrough.Verdict.is_consistent r2)
@@ -189,9 +181,7 @@ let test_style_violations_in_set () =
   Alcotest.(check bool) "style violations surfaced" true
     (r.Walkthrough.Engine.style_violations <> []);
   Alcotest.(check bool) "set inconsistent" false r.Walkthrough.Engine.consistent;
-  let relaxed =
-    { Walkthrough.Engine.default_config with Walkthrough.Engine.check_style = false }
-  in
+  let relaxed = Walkthrough.Engine.(default_config |> with_style_checks false) in
   let r2 =
     Walkthrough.Engine.evaluate_set ~config:relaxed ~set ~architecture:styled ~mapping:m ()
   in

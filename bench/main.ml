@@ -620,6 +620,10 @@ let incr_case ~label ~reps ~a ~b (set, architecture, mapping) =
   in
   assert (ops <> []);
   let time_ms f =
+    (* compacting first puts both measurements in the same heap state,
+       so earlier targets (the allocation-heavy micro-benchmarks in
+       particular) don't skew whichever section happens to run next *)
+    Gc.compact ();
     let t0 = Unix.gettimeofday () in
     f ();
     (Unix.gettimeofday () -. t0) *. 1000.0
@@ -668,6 +672,10 @@ let incr_case ~label ~reps ~a ~b (set, architecture, mapping) =
     :: !incr_json;
   speedup
 
+(* CI smoke mode: tiny suites and rep counts, just enough to catch
+   bit-rot in the harness itself (set SOSAE_BENCH_SMOKE=1). *)
+let smoke = Sys.getenv_opt "SOSAE_BENCH_SMOKE" <> None
+
 let incr () =
   header "INCR" "Full vs incremental re-evaluation after a single-link excision";
   print_endline "Each suite is re-evaluated after excising one link: \"full\" evaluates";
@@ -682,16 +690,22 @@ let incr () =
     let mid = components / 2 in
     let label = Printf.sprintf "chain-%04d (%d scen.)" components scenarios in
     incr_case ~label
-      ~reps:(max 3 (2048 / components))
+      ~reps:(if smoke then 2 else max 3 (2048 / components))
       ~a:(Printf.sprintf "c%d" mid)
       ~b:(Printf.sprintf "c%d" (mid + 1))
       (synthetic_suite ~components ~scenarios ~span)
   in
   let _ = chain 64 in
-  let _ = chain 256 in
-  let largest = chain 1024 in
+  let largest =
+    if smoke then chain 128
+    else begin
+      let _ = chain 256 in
+      chain 1024
+    end
+  in
   let pims =
-    incr_case ~label:"pims-excise-loader-da" ~reps:100 ~a:"loader" ~b:"data-access"
+    incr_case ~label:"pims-excise-loader-da" ~reps:(if smoke then 5 else 100) ~a:"loader"
+      ~b:"data-access"
       ( Casestudies.Pims.scenario_set,
         Casestudies.Pims.architecture,
         Casestudies.Pims.mapping )
@@ -699,6 +713,74 @@ let incr () =
   print_endline "";
   Printf.printf "largest chain speedup: %.1fx, PIMS speedup: %.1fx%s\n" largest pims
     (if largest >= 2.0 then " (acceptance: >= 2x ok)" else " (below 2x target!)")
+
+(* ------------------------------------------------------------------ *)
+(* SCALE: parallel suite evaluation vs number of domains              *)
+(* ------------------------------------------------------------------ *)
+
+let scale_json : Walkthrough.Json.t list ref = ref []
+
+let scale_case ~label ~reps (set, architecture, mapping) =
+  let project = { Core.Sosae.scenarios = set; architecture; mapping } in
+  let time_ms jobs =
+    ignore (Core.Sosae.evaluate ~jobs project) (* warm-up, not timed *);
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Core.Sosae.evaluate ~jobs project)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int reps
+  in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let timings = List.map (fun jobs -> (jobs, time_ms jobs)) jobs_list in
+  let base = List.assoc 1 timings in
+  let rows =
+    List.map
+      (fun (jobs, ms) ->
+        let speedup = base /. ms in
+        Printf.printf "%-26s | %4d | %9.2f | %7.2fx\n" label jobs ms speedup;
+        Walkthrough.Json.Obj
+          [
+            ("jobs", Walkthrough.Json.Int jobs);
+            ("ms_per_eval", Walkthrough.Json.Float ms);
+            ("speedup", Walkthrough.Json.Float speedup);
+          ])
+      timings
+  in
+  scale_json :=
+    Walkthrough.Json.Obj
+      [
+        ("suite", Walkthrough.Json.String label);
+        ("scenarios", Walkthrough.Json.Int (List.length set.Scenarioml.Scen.scenarios));
+        ("reps", Walkthrough.Json.Int reps);
+        ("cores", Walkthrough.Json.Int (Core.Sosae.default_jobs ()));
+        ("runs", Walkthrough.Json.List rows);
+      ]
+    :: !scale_json;
+  base /. List.assoc 4 timings
+
+let scale () =
+  header "SCALE" "Suite evaluation wall-clock vs domain-pool size (--jobs)";
+  Printf.printf
+    "Every scenario of a suite is an independent walkthrough; Sosae.evaluate ~jobs\n\
+     fans them out over an OCaml 5 domain pool (per-rep times; host reports %d\n\
+     recommended domain(s) — speedup > 1 needs more than one core).\n\n"
+    (Core.Sosae.default_jobs ());
+  Printf.printf "%-26s | %4s | %9s | %8s\n" "suite" "jobs" "ms/eval" "speedup";
+  Printf.printf "%s\n" (String.make 56 '-');
+  let chain components =
+    let scenarios = components / 8 and span = 12 in
+    scale_case
+      ~label:(Printf.sprintf "chain-%04d (%d scen.)" components scenarios)
+      ~reps:(if smoke then 2 else max 3 (4096 / components))
+      (synthetic_suite ~components ~scenarios ~span)
+  in
+  let _ = chain 64 in
+  let largest = if smoke then chain 128 else begin let _ = chain 256 in chain 1024 end in
+  print_endline "";
+  Printf.printf "largest chain speedup at jobs=4: %.2fx%s\n" largest
+    (if largest >= 2.0 then " (acceptance: >= 2x ok)"
+     else " (below 2x target — needs >= 4 cores)")
 
 let pims_xml = lazy (Scenarioml.Xml_io.set_to_string Casestudies.Pims.scenario_set)
 
@@ -803,18 +885,38 @@ let bench () =
 
 let bench_json_file = "BENCH_walkthrough.json"
 
-(* Machine-readable companion of the PERF/INCR tables, for tooling and
-   for EXPERIMENTS.md to cite stable numbers. *)
+(* Machine-readable companion of the PERF/INCR/SCALE tables, for
+   tooling and for EXPERIMENTS.md to cite stable numbers. Sections
+   whose target did not run in this invocation are carried over from
+   the existing file instead of being clobbered with empty lists. *)
 let write_bench_json () =
-  if !micro_json <> [] || !incr_json <> [] then begin
+  let sections =
+    [ ("micro", !micro_json); ("incremental", !incr_json); ("scale", !scale_json) ]
+  in
+  if List.exists (fun (_, fresh) -> fresh <> []) sections then begin
+    let existing =
+      if not (Sys.file_exists bench_json_file) then []
+      else begin
+        let ic = open_in_bin bench_json_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Walkthrough.Json.of_string s with
+        | Ok (Walkthrough.Json.Obj fields) -> fields
+        | Ok _ | Error _ -> []
+      end
+    in
+    let section (name, fresh) =
+      if fresh <> [] then Some (name, Walkthrough.Json.List (List.rev fresh))
+      else Option.map (fun kept -> (name, kept)) (List.assoc_opt name existing)
+    in
     let json =
       Walkthrough.Json.Obj
-        [
-          ("schema", Walkthrough.Json.String "sosae-bench/1");
-          ("sosae_version", Walkthrough.Json.String Core.Sosae.version);
-          ("micro", Walkthrough.Json.List (List.rev !micro_json));
-          ("incremental", Walkthrough.Json.List (List.rev !incr_json));
-        ]
+        ([
+           ("schema", Walkthrough.Json.String "sosae-bench/1");
+           ("sosae_version", Walkthrough.Json.String Core.Sosae.version);
+         ]
+        @ List.filter_map section sections)
     in
     let oc = open_out bench_json_file in
     output_string oc (Walkthrough.Json.to_string json);
@@ -861,14 +963,16 @@ let () =
       | "all" ->
           List.iter (fun (_, f) -> f ()) artifacts;
           bench ();
-          incr ()
+          incr ();
+          scale ()
       | "bench" -> bench ()
       | "incr" -> incr ()
+      | "scale" -> scale ()
       | name -> (
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown target %S; known: %s, bench, incr, all\n" name
+              Printf.eprintf "unknown target %S; known: %s, bench, incr, scale, all\n" name
                 (String.concat ", " (List.map fst artifacts));
               exit 2))
     targets;

@@ -105,8 +105,19 @@ let json_arg =
     & info [ "json" ]
         ~doc:"Print machine-readable JSON verdicts instead of the Fig. 4-style report.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate scenarios on $(docv) parallel domains; $(b,0) (the default) picks \
+           the machine's recommended domain count, $(b,1) forces the sequential path. \
+           Verdicts and their order are identical for every $(docv).")
+
+let resolve_jobs jobs = if jobs <= 0 then Core.Sosae.default_jobs () else jobs
+
 let evaluate_cmd =
-  let run scenarios architecture mapping policy scenario_id behavior json =
+  let run scenarios architecture mapping policy scenario_id behavior json jobs =
     let p = or_die (load scenarios architecture mapping) in
     let charts = load_behavior behavior in
     let config = Walkthrough.Engine.config ~policy () in
@@ -128,7 +139,7 @@ let evaluate_cmd =
             prerr_endline ("sosae: unknown scenario " ^ id);
             2)
     | None ->
-        let r = Core.Sosae.evaluate ~config p in
+        let r = Core.Sosae.evaluate ~config ~jobs:(resolve_jobs jobs) p in
         if json then print_endline (Walkthrough.Report.set_result_to_json r)
         else Format.printf "%a@." Walkthrough.Report.pp_set_result r;
         let behavioral_ok =
@@ -142,7 +153,7 @@ let evaluate_cmd =
   let term =
     Term.(
       const run $ scenarios_arg $ architecture_arg $ mapping_arg $ policy_arg
-      $ scenario_id_arg $ behavior_arg $ json_arg)
+      $ scenario_id_arg $ behavior_arg $ json_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Walk scenarios through the architecture and report verdicts.")
@@ -154,8 +165,9 @@ let evaluate_cmd =
    evolution experiment as a workflow: evaluate, edit, re-evaluate —
    with unchanged verdicts served from the session cache. *)
 let session_cmd =
-  let run scenarios architecture mapping policy json excisions then_files =
+  let run scenarios architecture mapping policy json jobs excisions then_files =
     let p = or_die (load scenarios architecture mapping) in
+    let jobs = resolve_jobs jobs in
     let config = Walkthrough.Engine.config ~policy () in
     let session = Core.Sosae.Session.create ~config p in
     let print_round label result (before : Core.Sosae.Session.stats)
@@ -186,7 +198,7 @@ let session_cmd =
     in
     let round label =
       let before = Core.Sosae.Session.stats session in
-      let result = Core.Sosae.Session.evaluate session in
+      let result = Core.Sosae.Session.evaluate ~jobs session in
       print_round label result before (Core.Sosae.Session.stats session);
       result
     in
@@ -262,7 +274,7 @@ let session_cmd =
   let term =
     Term.(
       const run $ scenarios_arg $ architecture_arg $ mapping_arg $ policy_arg $ json_arg
-      $ excise_arg $ then_arg)
+      $ jobs_arg $ excise_arg $ then_arg)
   in
   Cmd.v
     (Cmd.info "session"

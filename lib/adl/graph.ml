@@ -1,21 +1,21 @@
 type policy = Direct | Routed
 
+(* Compact core: bricks are interned to dense ints (components first,
+   then connectors — first-occurrence order of [Structure.brick_ids]),
+   and both adjacency directions are stored as CSR arrays
+   ([succ_off.(u) .. succ_off.(u+1)) indexes [succ_tgt]). BFS works
+   entirely on ints with a flat parent array doubling as the visited
+   set; strings only appear at the API boundary. *)
 type t = {
-  node_list : string list;
-  connector_set : (string, unit) Hashtbl.t;
-  succ : (string, string list) Hashtbl.t;
-  pred : (string, string list) Hashtbl.t;
-  mutable edges : int;
+  node_list : string list;  (* brick ids as given, for [nodes] *)
+  tab : Symtab.t;
+  connector : bool array;
+  succ_off : int array;
+  succ_tgt : int array;
+  pred_off : int array;
+  pred_tgt : int array;
+  edges : int;
 }
-
-let add_edge g a b =
-  let cur = match Hashtbl.find_opt g.succ a with Some l -> l | None -> [] in
-  if not (List.exists (String.equal b) cur) then begin
-    Hashtbl.replace g.succ a (cur @ [ b ]);
-    let back = match Hashtbl.find_opt g.pred b with Some l -> l | None -> [] in
-    Hashtbl.replace g.pred b (back @ [ a ]);
-    g.edges <- g.edges + 1
-  end
 
 let can_initiate = function
   | Structure.Required | Structure.In_out -> true
@@ -25,17 +25,48 @@ let can_accept = function
   | Structure.Provided | Structure.In_out -> true
   | Structure.Required -> false
 
+(* Turn an edge list (insertion order, deduplicated) into CSR arrays.
+   Filling in insertion order keeps each node's adjacency in the order
+   the edges were added, matching the list-based implementation this
+   replaced. *)
+let csr n edges select =
+  let off = Array.make (n + 1) 0 in
+  List.iter (fun e -> let u, _ = select e in off.(u + 1) <- off.(u + 1) + 1) edges;
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let cursor = Array.copy off in
+  let tgt = Array.make (List.length edges) 0 in
+  List.iter
+    (fun e ->
+      let u, v = select e in
+      tgt.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edges;
+  (off, tgt)
+
 let of_structure s =
-  let g =
-    {
-      node_list = Structure.brick_ids s;
-      connector_set = Hashtbl.create 16;
-      succ = Hashtbl.create 16;
-      pred = Hashtbl.create 16;
-      edges = 0;
-    }
+  let node_list = Structure.brick_ids s in
+  let tab = Symtab.of_list node_list in
+  let n = Symtab.size tab in
+  let connector = Array.make n false in
+  List.iter
+    (fun c ->
+      match Symtab.find tab c.Structure.conn_id with
+      | Some i -> connector.(i) <- true
+      | None -> ())
+    s.Structure.connectors;
+  (* Gather directed edges in insertion order; the hashtable dedup
+     keeps construction O(E) where appending to per-node lists with a
+     linear membership scan was O(E^2) on dense architectures. *)
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add_edge a b =
+    if not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.add seen (a, b) ();
+      edges := (a, b) :: !edges
+    end
   in
-  List.iter (fun c -> Hashtbl.replace g.connector_set c.Structure.conn_id ()) s.Structure.connectors;
   List.iter
     (fun l ->
       let fa = l.Structure.link_from.Structure.anchor in
@@ -43,96 +74,175 @@ let of_structure s =
       match
         (Structure.find_interface s l.Structure.link_from, Structure.find_interface s l.Structure.link_to)
       with
-      | Some fi, Some ti ->
-          if can_initiate fi.Structure.direction && can_accept ti.Structure.direction then
-            add_edge g fa ta;
-          if can_initiate ti.Structure.direction && can_accept fi.Structure.direction then
-            add_edge g ta fa
+      | Some fi, Some ti -> (
+          match (Symtab.find tab fa, Symtab.find tab ta) with
+          | Some fa, Some ta ->
+              if can_initiate fi.Structure.direction && can_accept ti.Structure.direction then
+                add_edge fa ta;
+              if can_initiate ti.Structure.direction && can_accept fi.Structure.direction then
+                add_edge ta fa
+          | None, _ | _, None -> ())
       | None, _ | _, None -> ())
     s.Structure.links;
-  g
+  let edges = List.rev !edges in
+  let succ_off, succ_tgt = csr n edges (fun (a, b) -> (a, b)) in
+  let pred_off, pred_tgt = csr n edges (fun (a, b) -> (b, a)) in
+  {
+    node_list;
+    tab;
+    connector;
+    succ_off;
+    succ_tgt;
+    pred_off;
+    pred_tgt;
+    edges = List.length edges;
+  }
 
 let nodes g = g.node_list
 
-let is_connector g id = Hashtbl.mem g.connector_set id
+let is_connector g id =
+  match Symtab.find g.tab id with Some i -> g.connector.(i) | None -> false
 
-let successors g id = match Hashtbl.find_opt g.succ id with Some l -> l | None -> []
+let slice off tgt i = Array.to_list (Array.sub tgt off.(i) (off.(i + 1) - off.(i)))
 
-let predecessors g id = match Hashtbl.find_opt g.pred id with Some l -> l | None -> []
+let successors g id =
+  match Symtab.find g.tab id with
+  | Some i -> List.map (Symtab.name g.tab) (slice g.succ_off g.succ_tgt i)
+  | None -> []
 
-let adjacent g a b = List.exists (String.equal b) (successors g a)
+let predecessors g id =
+  match Symtab.find g.tab id with
+  | Some i -> List.map (Symtab.name g.tab) (slice g.pred_off g.pred_tgt i)
+  | None -> []
 
-(* BFS from [a] to [b]; under [Direct] policy intermediate hops must be
-   connectors (source and target may be anything). *)
-let bfs policy g a b =
+let adjacent g a b =
+  match (Symtab.find g.tab a, Symtab.find g.tab b) with
+  | Some a, Some b ->
+      let rec scan i = i < g.succ_off.(a + 1) && (g.succ_tgt.(i) = b || scan (i + 1)) in
+      scan g.succ_off.(a)
+  | None, _ | _, None -> false
+
+let may_relay policy g source u =
+  u = source || (match policy with Routed -> true | Direct -> g.connector.(u))
+
+(* Int BFS from [source]; stops once [target] (when >= 0) is
+   discovered. Returns the parent array: [parent.(v) >= 0] iff [v] was
+   discovered, the source maps to itself. Exploration order (FIFO
+   queue, successors in CSR order) matches the original string BFS, so
+   reconstructed paths are identical. *)
+let bfs_core policy g source target =
+  let n = Symtab.size g.tab in
+  let parent = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  parent.(source) <- source;
+  queue.(!tail) <- source;
+  incr tail;
+  let found = ref false in
+  while (not !found) && !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    if may_relay policy g source u then
+      for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+        let v = g.succ_tgt.(i) in
+        if parent.(v) < 0 then begin
+          parent.(v) <- u;
+          if v = target then found := true
+          else begin
+            queue.(!tail) <- v;
+            incr tail
+          end
+        end
+      done
+  done;
+  parent
+
+let build_path g parent source target =
+  let rec build acc v =
+    if v = source then Symtab.name g.tab source :: acc
+    else build (Symtab.name g.tab v :: acc) parent.(v)
+  in
+  build [] target
+
+let path ?(policy = Routed) g a b =
   if String.equal a b then Some [ a ]
-  else begin
-    let parent = Hashtbl.create 16 in
-    let queue = Queue.create () in
-    Hashtbl.replace parent a a;
-    Queue.push a queue;
-    let found = ref false in
-    while (not !found) && not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      let may_relay =
-        String.equal u a || match policy with Routed -> true | Direct -> is_connector g u
-      in
-      if may_relay then
-        List.iter
-          (fun v ->
-            if not (Hashtbl.mem parent v) then begin
-              Hashtbl.replace parent v u;
-              if String.equal v b then found := true else Queue.push v queue
-            end)
-          (successors g u)
-    done;
-    if not !found then None
-    else begin
-      let rec build acc v =
-        if String.equal v a then a :: acc else build (v :: acc) (Hashtbl.find parent v)
-      in
-      Some (build [] b)
-    end
-  end
+  else
+    match (Symtab.find g.tab a, Symtab.find g.tab b) with
+    | Some sa, Some sb ->
+        let parent = bfs_core policy g sa sb in
+        if parent.(sb) < 0 then None else Some (build_path g parent sa sb)
+    | None, _ | _, None -> None
 
-let path ?(policy = Routed) g a b = bfs policy g a b
-
-let reachable ?(policy = Routed) g a b = path ~policy g a b <> None
+let reachable ?(policy = Routed) g a b =
+  String.equal a b
+  ||
+  match (Symtab.find g.tab a, Symtab.find g.tab b) with
+  | Some sa, Some sb -> (bfs_core policy g sa sb).(sb) >= 0
+  | None, _ | _, None -> false
 
 let undirected_components g =
-  let visited = Hashtbl.create 16 in
-  let neighbors id = successors g id @ predecessors g id in
+  let n = Symtab.size g.tab in
+  let visited = Bytes.make n '\000' in
+  let queue = Array.make n 0 in
   let component start =
     let acc = ref [] in
-    let queue = Queue.create () in
-    Hashtbl.replace visited start ();
-    Queue.push start queue;
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      acc := u :: !acc;
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem visited v) then begin
-            Hashtbl.replace visited v ();
-            Queue.push v queue
-          end)
-        (neighbors u)
+    let head = ref 0 and tail = ref 0 in
+    Bytes.set visited start '\001';
+    queue.(!tail) <- start;
+    incr tail;
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      acc := Symtab.name g.tab u :: !acc;
+      let visit i =
+        let v = i in
+        if Bytes.get visited v = '\000' then begin
+          Bytes.set visited v '\001';
+          queue.(!tail) <- v;
+          incr tail
+        end
+      in
+      for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+        visit g.succ_tgt.(i)
+      done;
+      for i = g.pred_off.(u) to g.pred_off.(u + 1) - 1 do
+        visit g.pred_tgt.(i)
+      done
     done;
     List.sort String.compare !acc
   in
-  let comps =
-    List.filter_map
-      (fun id -> if Hashtbl.mem visited id then None else Some (component id))
-      g.node_list
-  in
+  let comps = ref [] in
+  for i = n - 1 downto 0 do
+    if Bytes.get visited i = '\000' then comps := component i :: !comps
+  done;
   List.sort
     (fun a b ->
       match (a, b) with
       | x :: _, y :: _ -> String.compare x y
       | [], _ -> -1
       | _, [] -> 1)
-    comps
+    !comps
 
-let degree g id = (List.length (predecessors g id), List.length (successors g id))
+let degree g id =
+  match Symtab.find g.tab id with
+  | Some i -> (g.pred_off.(i + 1) - g.pred_off.(i), g.succ_off.(i + 1) - g.succ_off.(i))
+  | None -> (0, 0)
 
 let edge_count g = g.edges
+
+module Core = struct
+  let node_count g = Symtab.size g.tab
+
+  let index g id = Symtab.find g.tab id
+
+  let label g i = Symtab.name g.tab i
+
+  let is_connector g i = g.connector.(i)
+
+  let iter_succ g u f =
+    for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+      f g.succ_tgt.(i)
+    done
+
+  let bfs_tree policy g source = bfs_core policy g source (-1)
+end

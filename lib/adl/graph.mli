@@ -17,7 +17,10 @@
 type policy = Direct | Routed
 
 type t
-(** Immutable communication graph built from a structure. *)
+(** Immutable communication graph built from a structure. Internally
+    the graph is compact: brick ids are interned to dense ints
+    ({!Symtab}) and adjacency lives in CSR arrays; the string API below
+    is a thin boundary layer over it (see {!Core} for the int view). *)
 
 val of_structure : Structure.t -> t
 
@@ -49,3 +52,29 @@ val degree : t -> string -> int * int
 (** (in-degree, out-degree) in the communication graph. *)
 
 val edge_count : t -> int
+
+(** The interned-int view of the graph, for callers that keep per-node
+    state of their own (e.g. {!Reach}'s memoized BFS trees): node
+    handles are dense ints in [0 .. node_count-1], components first
+    then connectors, definition order. *)
+module Core : sig
+  val node_count : t -> int
+
+  val index : t -> string -> int option
+  (** Dense handle of a brick id; [None] for unknown ids. *)
+
+  val label : t -> int -> string
+  (** Inverse of {!index}. *)
+
+  val is_connector : t -> int -> bool
+
+  val iter_succ : t -> int -> (int -> unit) -> unit
+  (** Apply a function to each successor handle, in edge order. *)
+
+  val bfs_tree : policy -> t -> int -> int array
+  (** Full BFS tree from a source handle under the policy's relay rule:
+      [tree.(v)] is the parent handle of [v], the source maps to
+      itself, [-1] means unreached. Exploration order matches
+      {!val:path}, so a source-to-target parent walk reconstructs
+      exactly the path {!val:path} returns. *)
+end

@@ -1,16 +1,18 @@
 (* One full BFS tree per (policy, source), shared by every query from
-   that source. The exploration order matches Graph.bfs exactly (same
-   queue discipline, same relay rule), so reconstructed paths are
-   identical to the ones Graph.path returns — Graph.bfs merely stops
+   that source. On the compact core a tree is a flat int array of
+   parent handles ([Graph.Core.bfs_tree]), so memoizing a source costs
+   one O(V+E) sweep and two words per node — cheap enough that a
+   session can afford a tree per queried source even on large
+   architectures. The exploration order matches Graph.path exactly
+   (same queue discipline, same relay rule), so reconstructed paths are
+   identical to the ones Graph.path returns — Graph.path merely stops
    early once the target is discovered, at which point the parents on
    the source-to-target chain are already final. *)
 
-type tree = (string, string) Hashtbl.t
-(* discovered brick -> parent; the source maps to itself *)
-
 type t = {
   g : Graph.t;
-  trees : (Graph.policy * string, tree) Hashtbl.t;
+  trees : (Graph.policy * int, int array) Hashtbl.t;
+  (* source handle -> parent handles; the source maps to itself *)
   mutable sources : int;
   mutable queries : int;
   mutable memo_hits : int;
@@ -22,35 +24,13 @@ let of_structure s = create (Graph.of_structure s)
 
 let graph t = t.g
 
-let explore g policy source =
-  let parent : tree = Hashtbl.create 16 in
-  let queue = Queue.create () in
-  Hashtbl.replace parent source source;
-  Queue.push source queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let may_relay =
-      String.equal u source
-      || match policy with Graph.Routed -> true | Graph.Direct -> Graph.is_connector g u
-    in
-    if may_relay then
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem parent v) then begin
-            Hashtbl.replace parent v u;
-            Queue.push v queue
-          end)
-        (Graph.successors g u)
-  done;
-  parent
-
 let tree t policy source =
   match Hashtbl.find_opt t.trees (policy, source) with
   | Some tr ->
       t.memo_hits <- t.memo_hits + 1;
       tr
   | None ->
-      let tr = explore t.g policy source in
+      let tr = Graph.Core.bfs_tree policy t.g source in
       Hashtbl.replace t.trees (policy, source) tr;
       t.sources <- t.sources + 1;
       tr
@@ -72,14 +52,18 @@ let path_answer t policy source target =
   t.queries <- t.queries + 1;
   if String.equal source target then Some [ source ]
   else
-    let tr = tree t policy source in
-    if not (Hashtbl.mem tr target) then None
-    else begin
-      let rec build acc v =
-        if String.equal v source then source :: acc else build (v :: acc) (Hashtbl.find tr v)
-      in
-      Some (build [] target)
-    end
+    match (Graph.Core.index t.g source, Graph.Core.index t.g target) with
+    | Some si, Some ti ->
+        let tr = tree t policy si in
+        if tr.(ti) < 0 then None
+        else begin
+          let rec build acc v =
+            if v = si then Graph.Core.label t.g si :: acc
+            else build (Graph.Core.label t.g v :: acc) tr.(v)
+          in
+          Some (build [] ti)
+        end
+    | None, _ | _, None -> None
 
 let path ?(policy = Graph.Routed) ?record t source target =
   let answer = path_answer t policy source target in

@@ -1,0 +1,27 @@
+type t = { ids : string array; index : (string, int) Hashtbl.t }
+
+let of_list ids =
+  let index = Hashtbl.create (2 * List.length ids + 1) in
+  let fresh =
+    List.filter
+      (fun id ->
+        if Hashtbl.mem index id then false
+        else begin
+          Hashtbl.add index id (Hashtbl.length index);
+          true
+        end)
+      ids
+  in
+  { ids = Array.of_list fresh; index }
+
+let size t = Array.length t.ids
+
+let find t id = Hashtbl.find_opt t.index id
+
+let mem t id = Hashtbl.mem t.index id
+
+let name t i =
+  if i < 0 || i >= Array.length t.ids then invalid_arg "Symtab.name";
+  t.ids.(i)
+
+let names t = Array.to_list t.ids

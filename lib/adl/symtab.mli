@@ -1,0 +1,29 @@
+(** Symbol interning: a frozen bijection between a structure's brick
+    ids (strings) and dense integers [0 .. size-1].
+
+    The compact graph core ({!Graph}, {!Reach}) keys all per-node state
+    by these dense ints — adjacency in CSR arrays, BFS visited-sets and
+    parent trees in flat arrays — and only converts back to strings at
+    the API boundary. Indices follow first-occurrence order of the id
+    list the table was built from, so for a structure they are:
+    components in definition order, then connectors. *)
+
+type t
+
+val of_list : string list -> t
+(** Intern each id at its first occurrence; duplicates collapse onto
+    the first index. *)
+
+val size : t -> int
+
+val find : t -> string -> int option
+(** Dense index of an id; [None] for ids the table never saw. *)
+
+val mem : t -> string -> bool
+
+val name : t -> int -> string
+(** Inverse of {!find}.
+    @raise Invalid_argument when the index is out of bounds. *)
+
+val names : t -> string list
+(** All interned ids in index order. *)

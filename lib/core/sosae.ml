@@ -30,9 +30,76 @@ let validate ?require_responsibilities p =
       && coverage_problems = [];
   }
 
-let evaluate ?config p =
-  Walkthrough.Engine.evaluate_set ?config ~set:p.scenarios ~architecture:p.architecture
-    ~mapping:p.mapping ()
+(* ------------------------------------------------------------------ *)
+(* Parallel suite evaluation on a domain pool                         *)
+(* ------------------------------------------------------------------ *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Scenario walkthroughs are independent of each other: a verdict is a
+   pure function of (scenario, set, architecture, mapping, config) —
+   the shared Reach oracle only memoizes, it never changes answers. So
+   the suite fans out over a Domain pool: an atomic counter hands out
+   scenario indices, each worker owns a private oracle (Reach memoizes
+   into unsynchronized hashtables, so oracles are never shared across
+   domains), and results land in a slot array indexed by the
+   scenario's suite position. Whichever domain computes a scenario,
+   slot [i] holds the exact verdict the sequential path would have
+   produced — output ordering and content are deterministic. *)
+let suite_results ~config ~jobs ~set ~architecture ~mapping scenarios =
+  let scenarios = Array.of_list scenarios in
+  let n = Array.length scenarios in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then begin
+    let reach = Adl.Reach.of_structure architecture in
+    Array.to_list
+      (Array.map
+         (Walkthrough.Engine.evaluate_scenario ~config ~reach ~set ~architecture
+            ~mapping)
+         scenarios)
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let reach = Adl.Reach.of_structure architecture in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some
+              (Walkthrough.Engine.evaluate_scenario ~config ~reach ~set ~architecture
+                 ~mapping scenarios.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let evaluate_suite ?(config = Walkthrough.Engine.default_config) ?jobs p scenarios =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  suite_results ~config ~jobs ~set:p.scenarios ~architecture:p.architecture
+    ~mapping:p.mapping scenarios
+
+let evaluate ?(config = Walkthrough.Engine.default_config) ?jobs p =
+  let results = evaluate_suite ~config ?jobs p p.scenarios.Scenarioml.Scen.scenarios in
+  let style_violations = Walkthrough.Engine.check_architecture config p.architecture in
+  let coverage_problems =
+    Mapping.Coverage.check p.scenarios.Scenarioml.Scen.ontology p.architecture p.mapping
+  in
+  {
+    Walkthrough.Engine.results;
+    style_violations;
+    coverage_problems;
+    consistent =
+      List.for_all Walkthrough.Verdict.is_consistent results && style_violations = [];
+  }
 
 let evaluate_scenario ?config p id =
   Option.map
@@ -55,7 +122,7 @@ let export_owl p =
 
 module Session = struct
   type entry = {
-    e_fingerprint : string;
+    e_revision : int;
     e_result : Walkthrough.Verdict.scenario_result;
     e_queries : Adl.Reach.query list;
   }
@@ -69,16 +136,24 @@ module Session = struct
 
   let zero_stats = { evaluations = 0; cache_hits = 0; replays = 0; replay_hits = 0 }
 
+  (* The architecture revision is a session-local counter bumped on
+     every [set_architecture]; equal revisions mean the entry was
+     computed against the session's current architecture. A content
+     digest would also validate entries across a no-op replacement, but
+     hashing the whole structure on every edit (and comparing digests
+     per scenario) dominated the incremental path on small projects —
+     a replaced-then-identical architecture is rare enough to leave to
+     the replay check. *)
   type t = {
     config : Walkthrough.Engine.config;
     mutable project : project;
     mutable reach : Adl.Reach.t;
-    mutable fingerprint : string;
+    mutable revision : int;
     cache : (string, entry) Hashtbl.t;
     mutable checks :
-      (string * (Styles.Rule.violation list * Mapping.Coverage.problem list)) option;
+      (int * (Styles.Rule.violation list * Mapping.Coverage.problem list)) option;
         (** style violations + coverage problems, keyed by the
-            architecture fingerprint they were computed against *)
+            architecture revision they were computed against *)
     mutable stats : stats;
   }
 
@@ -87,7 +162,7 @@ module Session = struct
       config;
       project;
       reach = Adl.Reach.of_structure project.architecture;
-      fingerprint = Adl.Reach.fingerprint project.architecture;
+      revision = 0;
       cache = Hashtbl.create 16;
       checks = None;
       stats = zero_stats;
@@ -108,21 +183,25 @@ module Session = struct
         Hashtbl.reset t.cache;
         t.checks <- None
 
-  let evaluate_fresh t s =
+  (* [reach] is the oracle the walk queries — the session's own on the
+     sequential path, a worker-private one on the parallel path. The
+     query log (and thus the verdict) is the same either way. *)
+  let walk_fresh t reach s =
     let record = Adl.Reach.recorder () in
     let result =
-      Walkthrough.Engine.evaluate_scenario ~config:t.config ~reach:t.reach ~record
+      Walkthrough.Engine.evaluate_scenario ~config:t.config ~reach ~record
         ~set:t.project.scenarios ~architecture:t.project.architecture
         ~mapping:t.project.mapping s
     in
+    (result, Adl.Reach.recorded record)
+
+  let store_fresh t s (result, queries) =
     Hashtbl.replace t.cache s.Scenarioml.Scen.scenario_id
-      {
-        e_fingerprint = t.fingerprint;
-        e_result = result;
-        e_queries = Adl.Reach.recorded record;
-      };
+      { e_revision = t.revision; e_result = result; e_queries = queries };
     t.stats <- { t.stats with evaluations = t.stats.evaluations + 1 };
     result
+
+  let evaluate_fresh t s = store_fresh t s (walk_fresh t t.reach s)
 
   (* The verdict of a scenario is a deterministic function of the
      scenario, mapping, configuration, and the answers to the
@@ -131,41 +210,97 @@ module Session = struct
      entry's query log against the current oracle returns the recorded
      answers, the cached verdict is exactly what a fresh evaluation
      would rebuild, and is served as-is. *)
-  let evaluate_one t s =
+  (* First phase of [evaluate_one]: serve the verdict from cache when
+     the entry is current or its query log replays unchanged; report
+     [`Stale] (without evaluating) otherwise. *)
+  let cached_verdict t s =
     let id = s.Scenarioml.Scen.scenario_id in
     match Hashtbl.find_opt t.cache id with
-    | Some e when String.equal e.e_fingerprint t.fingerprint ->
+    | Some e when e.e_revision = t.revision ->
         t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
-        e.e_result
+        `Hit e.e_result
     | Some e ->
         t.stats <- { t.stats with replays = t.stats.replays + 1 };
         if Adl.Reach.replay t.reach e.e_queries then begin
           t.stats <- { t.stats with replay_hits = t.stats.replay_hits + 1 };
-          Hashtbl.replace t.cache id { e with e_fingerprint = t.fingerprint };
-          e.e_result
+          Hashtbl.replace t.cache id { e with e_revision = t.revision };
+          `Hit e.e_result
         end
-        else evaluate_fresh t s
-    | None -> evaluate_fresh t s
+        else `Stale
+    | None -> `Stale
+
+  let evaluate_one t s =
+    match cached_verdict t s with `Hit r -> r | `Stale -> evaluate_fresh t s
 
   let evaluate_scenario t id =
     Option.map (evaluate_one t) (Scenarioml.Scen.find t.project.scenarios id)
 
   let architecture_checks t =
     match t.checks with
-    | Some (fp, checks) when String.equal fp t.fingerprint -> checks
+    | Some (rev, checks) when rev = t.revision -> checks
     | Some _ | None ->
         let checks =
           ( Walkthrough.Engine.check_architecture t.config t.project.architecture,
             Mapping.Coverage.check t.project.scenarios.Scenarioml.Scen.ontology
               t.project.architecture t.project.mapping )
         in
-        t.checks <- Some (t.fingerprint, checks);
+        t.checks <- Some (t.revision, checks);
         checks
 
-  let evaluate t =
-    let results =
-      List.map (evaluate_one t) t.project.scenarios.Scenarioml.Scen.scenarios
-    in
+  (* With [jobs > 1], cache lookups and replays stay on the calling
+     domain (they touch the session's mutable state), and only the
+     scenarios found stale fan out over the domain pool — each worker
+     walks with a private oracle, logs land back in the cache
+     afterwards. Identical results and cache contents to the
+     sequential path. *)
+  let evaluate_many t jobs scenarios =
+    if jobs <= 1 then List.map (evaluate_one t) scenarios
+    else begin
+      let classified =
+        List.map (fun s -> (s, cached_verdict t s)) scenarios
+      in
+      let stale =
+        Array.of_list
+          (List.filter_map
+             (function s, `Stale -> Some s | _, `Hit _ -> None)
+             classified)
+      in
+      let n = Array.length stale in
+      let jobs = max 1 (min jobs n) in
+      let fresh = Array.make n None in
+      if n > 0 then begin
+        let next = Atomic.make 0 in
+        let worker () =
+          let reach = Adl.Reach.of_structure t.project.architecture in
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              fresh.(i) <- Some (walk_fresh t reach stale.(i));
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join helpers
+      end;
+      let cursor = ref 0 in
+      List.map
+        (fun (s, verdict) ->
+          match verdict with
+          | `Hit r -> r
+          | `Stale ->
+              let walked =
+                match fresh.(!cursor) with Some w -> w | None -> assert false
+              in
+              incr cursor;
+              store_fresh t s walked)
+        classified
+    end
+
+  let evaluate ?(jobs = 1) t =
+    let results = evaluate_many t jobs t.project.scenarios.Scenarioml.Scen.scenarios in
     let style_violations, coverage_problems = architecture_checks t in
     {
       Walkthrough.Engine.results;
@@ -179,7 +314,7 @@ module Session = struct
   let set_architecture t architecture =
     t.project <- { t.project with architecture };
     t.reach <- Adl.Reach.of_structure architecture;
-    t.fingerprint <- Adl.Reach.fingerprint architecture
+    t.revision <- t.revision + 1
 
   (* Pure link removal admits a shortcut stronger than replay. Removing
      links cannot create communication, so a recorded "no path" answer
@@ -231,7 +366,7 @@ module Session = struct
       e.e_queries
 
   let apply_diff t ops =
-    let old_fp = t.fingerprint in
+    let old_revision = t.revision in
     let pairs = removed_pairs t.project.architecture ops in
     set_architecture t (Adl.Diff.apply_all t.project.architecture ops);
     match pairs with
@@ -240,8 +375,8 @@ module Session = struct
         let revalidated =
           Hashtbl.fold
             (fun id e acc ->
-              if String.equal e.e_fingerprint old_fp && entry_untouched pairs e then
-                (id, { e with e_fingerprint = t.fingerprint }) :: acc
+              if e.e_revision = old_revision && entry_untouched pairs e then
+                (id, { e with e_revision = t.revision }) :: acc
               else acc)
             t.cache []
         in

@@ -34,8 +34,30 @@ type validation = {
 
 val validate : ?require_responsibilities:bool -> project -> validation
 
-val evaluate : ?config:Walkthrough.Engine.config -> project -> Walkthrough.Engine.set_result
-(** Walk every scenario of the project through its architecture. *)
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the worker count {!evaluate}
+    and {!evaluate_suite} use when [~jobs] is not given. *)
+
+val evaluate :
+  ?config:Walkthrough.Engine.config -> ?jobs:int -> project -> Walkthrough.Engine.set_result
+(** Walk every scenario of the project through its architecture.
+
+    Scenarios are evaluated on a pool of [jobs] OCaml domains (default
+    {!default_jobs}; [jobs <= 1] runs the plain sequential path). Each
+    worker owns a private {!Adl.Reach} oracle, so no evaluation state
+    is shared across domains; since a scenario's verdict is a pure
+    function of the project and config, the result — content and
+    order — is identical to a sequential run for every [jobs]. *)
+
+val evaluate_suite :
+  ?config:Walkthrough.Engine.config ->
+  ?jobs:int ->
+  project ->
+  Scenarioml.Scen.t list ->
+  Walkthrough.Verdict.scenario_result list
+(** Evaluate just the given scenarios (a sub-suite) against the
+    project's architecture, in the given order, on the same domain
+    pool as {!evaluate}. No style or coverage checks. *)
 
 val evaluate_scenario :
   ?config:Walkthrough.Engine.config ->
@@ -85,9 +107,13 @@ module Session : sig
   val reach : t -> Adl.Reach.t
   (** The session's oracle for the current architecture. *)
 
-  val evaluate : t -> Walkthrough.Engine.set_result
+  val evaluate : ?jobs:int -> t -> Walkthrough.Engine.set_result
   (** Evaluate every scenario, serving unchanged verdicts from cache.
-      Equal to {!val:evaluate} on the session's current project. *)
+      Equal to {!val:evaluate} on the session's current project. With
+      [jobs > 1] (default [1]) the scenarios that do need a fresh walk
+      — cache misses and failed replays — run on a domain pool, each
+      worker with a private oracle; results, cache contents, and stats
+      match the sequential path exactly. *)
 
   val evaluate_scenario : t -> string -> Walkthrough.Verdict.scenario_result option
   (** One scenario by id, through the cache; [None] when unknown. *)

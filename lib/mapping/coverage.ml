@@ -19,6 +19,9 @@ let pp_problem ppf = function
 
 let problem_to_string p = Format.asprintf "%a" pp_problem p
 
+(* One hashtable index per id space, so the whole check is linear in
+   ontology + architecture + mapping size (it sits on every
+   Engine.evaluate_set call, including large synthetic suites). *)
 let check ontology architecture t =
   let defined_event_types =
     List.map (fun e -> e.Ontology.Types.event_id) ontology.Ontology.Types.event_types
@@ -26,6 +29,15 @@ let check ontology architecture t =
   let components =
     List.map (fun c -> c.Adl.Structure.comp_id) architecture.Adl.Structure.components
   in
+  let set_of ids =
+    let tbl = Hashtbl.create (List.length ids * 2) in
+    List.iter (fun id -> Hashtbl.replace tbl id ()) ids;
+    tbl
+  in
+  let defined_set = set_of defined_event_types in
+  let component_set = set_of components in
+  let entry_set = set_of (List.map (fun e -> e.Types.event_type) t.Types.entries) in
+  let mapped_to_set = set_of (List.concat_map (fun e -> e.Types.components) t.Types.entries) in
   let duplicates =
     let seen = Hashtbl.create 16 in
     List.filter_map
@@ -39,9 +51,9 @@ let check ontology architecture t =
       t.Types.entries
   in
   let mapped_directly_or_inherited id =
-    Types.find t id <> None
+    Hashtbl.mem entry_set id
     || List.exists
-         (fun ancestor -> Types.find t ancestor <> None)
+         (fun ancestor -> Hashtbl.mem entry_set ancestor)
          (Ontology.Subsume.event_ancestors ontology id)
   in
   let unmapped_event_types =
@@ -57,17 +69,16 @@ let check ontology architecture t =
         else None)
       t.Types.entries
   in
-  let mapped_to = Types.mapped_components t in
   let unmapped_components =
     List.filter_map
       (fun id ->
-        if List.exists (String.equal id) mapped_to then None else Some (Unmapped_component id))
+        if Hashtbl.mem mapped_to_set id then None else Some (Unmapped_component id))
       components
   in
   let unknown_event_types =
     List.filter_map
       (fun e ->
-        if List.exists (String.equal e.Types.event_type) defined_event_types then None
+        if Hashtbl.mem defined_set e.Types.event_type then None
         else Some (Unknown_event_type e.Types.event_type))
       t.Types.entries
   in
@@ -76,7 +87,7 @@ let check ontology architecture t =
       (fun e ->
         List.filter_map
           (fun c ->
-            if List.exists (String.equal c) components then None
+            if Hashtbl.mem component_set c then None
             else Some (Unknown_component { event_type = e.Types.event_type; component = c }))
           e.Types.components)
       t.Types.entries

@@ -7,29 +7,41 @@ let layer_span arch =
     arch.Adl.Structure.components
 
 (* Component-to-component communication edges, attributing paths through
-   connectors to the component pair they join. *)
+   connectors to the component pair they join. Runs on the graph's
+   interned-int core with a flat visited set: the per-component BFS is
+   on the hot path of every evaluation of a layered architecture. *)
 let component_edges arch =
   let g = Adl.Graph.of_structure arch in
+  let module C = Adl.Graph.Core in
+  let n = C.node_count g in
+  let visited = Bytes.create (max n 1) in
+  let queue = Array.make (max n 1) 0 in
   let components = List.map (fun c -> c.Adl.Structure.comp_id) arch.Adl.Structure.components in
   let edges_from a =
-    (* BFS across connectors only. *)
-    let visited = Hashtbl.create 8 in
-    let queue = Queue.create () in
-    let reached = ref [] in
-    Queue.push a queue;
-    Hashtbl.replace visited a ();
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem visited v) then begin
-            Hashtbl.replace visited v ();
-            if Adl.Graph.is_connector g v then Queue.push v queue
-            else reached := v :: !reached
-          end)
-        (Adl.Graph.successors g u)
-    done;
-    List.map (fun b -> (a, b)) (List.rev !reached)
+    match C.index g a with
+    | None -> []
+    | Some ai ->
+        (* BFS across connectors only. *)
+        Bytes.fill visited 0 n '\000';
+        Bytes.set visited ai '\001';
+        let head = ref 0 and tail = ref 0 in
+        queue.(!tail) <- ai;
+        incr tail;
+        let reached = ref [] in
+        while !head < !tail do
+          let u = queue.(!head) in
+          incr head;
+          C.iter_succ g u (fun v ->
+              if Bytes.get visited v = '\000' then begin
+                Bytes.set visited v '\001';
+                if C.is_connector g v then begin
+                  queue.(!tail) <- v;
+                  incr tail
+                end
+                else reached := v :: !reached
+              end)
+        done;
+        List.rev_map (fun b -> (a, C.label g b)) !reached
   in
   List.concat_map edges_from components
 
@@ -46,18 +58,25 @@ let tag_rule =
                    "component has no integer \"layer\" tag"))
         arch.Adl.Structure.components)
 
-let layer_of_exn arch id =
-  match Adl.Structure.find_component arch id with
-  | Some c -> Adl.Structure.layer_of c
-  | None -> None
+(* Layer lookups happen once per communication edge; index them. *)
+let layer_table arch =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      match Adl.Structure.layer_of c with
+      | Some n -> Hashtbl.replace tbl c.Adl.Structure.comp_id n
+      | None -> ())
+    arch.Adl.Structure.components;
+  tbl
 
 let downward_rule =
   Rule.make ~id:"layered.downward"
     ~description:"components only initiate communication to the same or immediately lower layer"
     (fun arch ->
+      let layers = layer_table arch in
       List.filter_map
         (fun (a, b) ->
-          match (layer_of_exn arch a, layer_of_exn arch b) with
+          match (Hashtbl.find_opt layers a, Hashtbl.find_opt layers b) with
           | Some la, Some lb when lb > la || la - lb > 1 ->
               Some
                 (Rule.violation ~rule:"layered.downward" ~subject:(a ^ "->" ^ b)
@@ -68,9 +87,10 @@ let downward_rule =
 let skip_rule =
   Rule.make ~id:"layered.skip"
     ~description:"no communication edge skips a layer" (fun arch ->
+      let layers = layer_table arch in
       List.filter_map
         (fun (a, b) ->
-          match (layer_of_exn arch a, layer_of_exn arch b) with
+          match (Hashtbl.find_opt layers a, Hashtbl.find_opt layers b) with
           | Some la, Some lb when abs (la - lb) > 1 ->
               Some
                 (Rule.violation ~rule:"layered.skip" ~subject:(a ^ "->" ^ b)
@@ -81,9 +101,10 @@ let skip_rule =
 let strict_rule =
   Rule.make ~id:"layered.strict"
     ~description:"no upward communication at all" (fun arch ->
+      let layers = layer_table arch in
       List.filter_map
         (fun (a, b) ->
-          match (layer_of_exn arch a, layer_of_exn arch b) with
+          match (Hashtbl.find_opt layers a, Hashtbl.find_opt layers b) with
           | Some la, Some lb when lb > la ->
               Some
                 (Rule.violation ~rule:"layered.strict" ~subject:(a ^ "->" ^ b)

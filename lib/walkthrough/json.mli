@@ -1,8 +1,9 @@
-(** Minimal JSON document builder for machine-readable reports.
+(** Minimal JSON document builder (and reader) for machine-readable
+    reports.
 
-    Construction and serialization only (the reports are write-only:
-    verdicts, bench results); no parsing. Strings are escaped per RFC
-    8259; non-finite floats serialize as [null]. *)
+    Strings are escaped per RFC 8259; non-finite floats serialize as
+    [null]. {!of_string} parses documents this module wrote (plus
+    whitespace) — enough to read a report back and merge into it. *)
 
 type t =
   | Null
@@ -20,3 +21,12 @@ val to_buffer : Buffer.t -> t -> unit
 
 val strings : string list -> t
 (** [List] of [String]s. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. Numbers without [.]/[e] parse as [Int]
+    (falling back to [Float] when out of [int] range), others as
+    [Float]. *)
+
+val member : string -> t -> t option
+(** First field of that name when the value is an [Obj]; [None]
+    otherwise. *)

@@ -1,0 +1,145 @@
+(* The list-and-hashtable communication graph that Adl.Graph used
+   before the interned-ID/CSR rewrite, kept verbatim as a reference
+   oracle: Test_graph_props checks that the compact implementation
+   answers every query — successors, reachability, paths, components —
+   identically on random architectures. Keep this in sync with nothing;
+   it is intentionally frozen. *)
+
+open Adl
+
+type policy = Direct | Routed
+
+type t = {
+  node_list : string list;
+  connector_set : (string, unit) Hashtbl.t;
+  succ : (string, string list) Hashtbl.t;
+  pred : (string, string list) Hashtbl.t;
+  mutable edges : int;
+}
+
+let add_edge g a b =
+  let cur = match Hashtbl.find_opt g.succ a with Some l -> l | None -> [] in
+  if not (List.exists (String.equal b) cur) then begin
+    Hashtbl.replace g.succ a (cur @ [ b ]);
+    let back = match Hashtbl.find_opt g.pred b with Some l -> l | None -> [] in
+    Hashtbl.replace g.pred b (back @ [ a ]);
+    g.edges <- g.edges + 1
+  end
+
+let can_initiate = function
+  | Structure.Required | Structure.In_out -> true
+  | Structure.Provided -> false
+
+let can_accept = function
+  | Structure.Provided | Structure.In_out -> true
+  | Structure.Required -> false
+
+let of_structure s =
+  let g =
+    {
+      node_list = Structure.brick_ids s;
+      connector_set = Hashtbl.create 16;
+      succ = Hashtbl.create 16;
+      pred = Hashtbl.create 16;
+      edges = 0;
+    }
+  in
+  List.iter (fun c -> Hashtbl.replace g.connector_set c.Structure.conn_id ()) s.Structure.connectors;
+  List.iter
+    (fun l ->
+      let fa = l.Structure.link_from.Structure.anchor in
+      let ta = l.Structure.link_to.Structure.anchor in
+      match
+        (Structure.find_interface s l.Structure.link_from, Structure.find_interface s l.Structure.link_to)
+      with
+      | Some fi, Some ti ->
+          if can_initiate fi.Structure.direction && can_accept ti.Structure.direction then
+            add_edge g fa ta;
+          if can_initiate ti.Structure.direction && can_accept fi.Structure.direction then
+            add_edge g ta fa
+      | None, _ | _, None -> ())
+    s.Structure.links;
+  g
+
+let nodes g = g.node_list
+
+let is_connector g id = Hashtbl.mem g.connector_set id
+
+let successors g id = match Hashtbl.find_opt g.succ id with Some l -> l | None -> []
+
+let predecessors g id = match Hashtbl.find_opt g.pred id with Some l -> l | None -> []
+
+let adjacent g a b = List.exists (String.equal b) (successors g a)
+
+let bfs policy g a b =
+  if String.equal a b then Some [ a ]
+  else begin
+    let parent = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.replace parent a a;
+    Queue.push a queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let may_relay =
+        String.equal u a || match policy with Routed -> true | Direct -> is_connector g u
+      in
+      if may_relay then
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem parent v) then begin
+              Hashtbl.replace parent v u;
+              if String.equal v b then found := true else Queue.push v queue
+            end)
+          (successors g u)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc v =
+        if String.equal v a then a :: acc else build (v :: acc) (Hashtbl.find parent v)
+      in
+      Some (build [] b)
+    end
+  end
+
+let path ?(policy = Routed) g a b = bfs policy g a b
+
+let reachable ?(policy = Routed) g a b = path ~policy g a b <> None
+
+let undirected_components g =
+  let visited = Hashtbl.create 16 in
+  let neighbors id = successors g id @ predecessors g id in
+  let component start =
+    let acc = ref [] in
+    let queue = Queue.create () in
+    Hashtbl.replace visited start ();
+    Queue.push start queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      acc := u :: !acc;
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.replace visited v ();
+            Queue.push v queue
+          end)
+        (neighbors u)
+    done;
+    List.sort String.compare !acc
+  in
+  let comps =
+    List.filter_map
+      (fun id -> if Hashtbl.mem visited id then None else Some (component id))
+      g.node_list
+  in
+  List.sort
+    (fun a b ->
+      match (a, b) with
+      | x :: _, y :: _ -> String.compare x y
+      | [], _ -> -1
+      | _, [] -> 1)
+    comps
+
+let degree g id = (List.length (predecessors g id), List.length (successors g id))
+
+let edge_count g = g.edges

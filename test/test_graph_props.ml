@@ -1,0 +1,157 @@
+(* The interned-ID/CSR Adl.Graph against the frozen pre-rewrite
+   implementation (Graph_reference): on random architectures every
+   query must answer identically — the rewrite changed representation,
+   not semantics. Plus representation-independent path validity. *)
+
+(* Random architectures: components c0.., connectors k0.., wired with a
+   mix of bidirectional channels, directed require/provide links, and
+   connector-routed links, so the direction filtering in of_structure
+   is exercised, not just In_out edges. *)
+type wire = Bi of int * int | Dir of int * int | Via of int * int * int
+
+let gen_spec =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* m = int_range 0 3 in
+    let endpoint = int_range 0 (n + m - 1) in
+    let* wires =
+      list_size (int_range 0 14)
+        (oneof
+           [
+             map (fun (a, b) -> Bi (a, b)) (pair endpoint endpoint);
+             map (fun (a, b) -> Dir (a, b)) (pair endpoint endpoint);
+             map (fun ((a, b), k) -> Via (a, b, k)) (pair (pair endpoint endpoint) (int_range 0 2));
+           ])
+    in
+    return (n, m, wires))
+
+let build_spec (n, m, wires) =
+  let brick i = if i < n then Printf.sprintf "c%d" i else Printf.sprintf "k%d" (i - n) in
+  let base =
+    List.fold_left
+      (fun t i -> Adl.Build.add_component ~id:(Printf.sprintf "c%d" i) ~name:"C" t)
+      (Adl.Build.create ~id:"rand" ~name:"Random" ())
+      (List.init n Fun.id)
+  in
+  let base =
+    List.fold_left
+      (fun t i -> Adl.Build.add_connector ~id:(Printf.sprintf "k%d" i) ~name:"K" t)
+      base (List.init m Fun.id)
+  in
+  List.fold_left
+    (fun t wire ->
+      let wired =
+        match wire with
+        | Bi (a, b) when a <> b -> (fun () -> Adl.Build.biconnect t (brick a) (brick b))
+        | Dir (a, b) when a <> b -> (fun () -> Adl.Build.connect t (brick a) (brick b))
+        | Via (a, b, k) when a <> b && m > 0 ->
+            fun () ->
+              Adl.Build.connect ~via:(Printf.sprintf "k%d" (k mod m)) t (brick a) (brick b)
+        | _ -> fun () -> t
+      in
+      match wired () with
+      | t -> t
+      | exception Adl.Build.Duplicate _ -> t
+      | exception Adl.Build.Unknown _ -> t)
+    base wires
+
+let queries g = "ghost" :: Adl.Graph.nodes g
+
+let pairs g =
+  let ids = queries g in
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) ids) ids
+
+let with_both spec check =
+  let arch = build_spec spec in
+  check (Adl.Graph.of_structure arch) (Graph_reference.of_structure arch)
+
+let prop_structure_agrees =
+  QCheck2.Test.make ~name:"graph: nodes/successors/degree match the reference" ~count:200
+    gen_spec (fun spec ->
+      with_both spec (fun g r ->
+          Adl.Graph.nodes g = Graph_reference.nodes r
+          && Adl.Graph.edge_count g = Graph_reference.edge_count r
+          && List.for_all
+               (fun id ->
+                 Adl.Graph.successors g id = Graph_reference.successors r id
+                 && Adl.Graph.predecessors g id = Graph_reference.predecessors r id
+                 && Adl.Graph.degree g id = Graph_reference.degree r id
+                 && Adl.Graph.is_connector g id = Graph_reference.is_connector r id)
+               (queries g)))
+
+let prop_adjacent_reachable_agree =
+  QCheck2.Test.make ~name:"graph: adjacent and reachable match the reference" ~count:200
+    gen_spec (fun spec ->
+      with_both spec (fun g r ->
+          List.for_all
+            (fun (a, b) ->
+              Adl.Graph.adjacent g a b = Graph_reference.adjacent r a b
+              && Adl.Graph.reachable ~policy:Adl.Graph.Routed g a b
+                 = Graph_reference.reachable ~policy:Graph_reference.Routed r a b
+              && Adl.Graph.reachable ~policy:Adl.Graph.Direct g a b
+                 = Graph_reference.reachable ~policy:Graph_reference.Direct r a b)
+            (pairs g)))
+
+let prop_paths_agree =
+  QCheck2.Test.make ~name:"graph: BFS paths are byte-identical to the reference"
+    ~count:200 gen_spec (fun spec ->
+      with_both spec (fun g r ->
+          List.for_all
+            (fun (a, b) ->
+              Adl.Graph.path ~policy:Adl.Graph.Routed g a b
+              = Graph_reference.path ~policy:Graph_reference.Routed r a b
+              && Adl.Graph.path ~policy:Adl.Graph.Direct g a b
+                 = Graph_reference.path ~policy:Graph_reference.Direct r a b)
+            (pairs g)))
+
+let prop_components_agree =
+  QCheck2.Test.make ~name:"graph: undirected components match the reference" ~count:200
+    gen_spec (fun spec ->
+      with_both spec (fun g r ->
+          Adl.Graph.undirected_components g = Graph_reference.undirected_components r))
+
+(* Validity, independent of any reference: a returned path starts at the
+   source, ends at the target, follows existing edges, and under Direct
+   policy routes only through connectors. *)
+let valid_path g policy a b = function
+  | None -> true
+  | Some [] -> false
+  | Some (h :: _ as p) ->
+      let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+      let rec edges_ok = function
+        | x :: (y :: _ as tl) -> Adl.Graph.adjacent g x y && edges_ok tl
+        | [ _ ] | [] -> true
+      in
+      let intermediates_ok =
+        match (policy, p) with
+        | Adl.Graph.Routed, _ | _, ([] | [ _ ]) -> true
+        | Adl.Graph.Direct, _ :: rest ->
+            let rec inner = function
+              | [ _ ] | [] -> true
+              | x :: tl -> Adl.Graph.is_connector g x && inner tl
+            in
+            inner rest
+      in
+      String.equal h a && String.equal (last p) b && edges_ok p && intermediates_ok
+
+let prop_paths_valid =
+  QCheck2.Test.make
+    ~name:"graph: paths follow edges; Direct intermediates are connectors" ~count:200
+    gen_spec (fun spec ->
+      let arch = build_spec spec in
+      let g = Adl.Graph.of_structure arch in
+      List.for_all
+        (fun (a, b) ->
+          valid_path g Adl.Graph.Routed a b (Adl.Graph.path ~policy:Adl.Graph.Routed g a b)
+          && valid_path g Adl.Graph.Direct a b
+               (Adl.Graph.path ~policy:Adl.Graph.Direct g a b))
+        (List.filter (fun (a, b) -> not (String.equal a b)) (pairs g)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_structure_agrees;
+    QCheck_alcotest.to_alcotest prop_adjacent_reachable_agree;
+    QCheck_alcotest.to_alcotest prop_paths_agree;
+    QCheck_alcotest.to_alcotest prop_components_agree;
+    QCheck_alcotest.to_alcotest prop_paths_valid;
+  ]

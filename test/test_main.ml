@@ -20,6 +20,7 @@ let () =
       ("casestudies", Test_casestudies.suite);
       ("integration", Test_integration.suite);
       ("session", Test_session.suite);
+      ("graph-props", Test_graph_props.suite);
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("evolution", Test_evolution.suite);

@@ -226,6 +226,42 @@ let prop_session_equals_fresh =
              agrees ())
            edits)
 
+(* The domain-pool evaluation paths must be observationally equal to the
+   sequential ones: same results in the same order, and — for sessions —
+   the same cache statistics, since only stale walks fan out. *)
+let prop_parallel_equals_sequential =
+  QCheck2.Test.make ~name:"evaluate on a domain pool = sequential evaluate" ~count:50
+    QCheck2.Gen.(
+      tup3 gen_arch_spec
+        (list_size (int_range 1 4) (list_size (int_range 1 5) (int_range 0 (event_types - 1))))
+        (int_range 2 5))
+    (fun (spec, scenario_specs, jobs) ->
+      let project = build_project spec scenario_specs in
+      Core.Sosae.evaluate ~jobs project = Core.Sosae.evaluate ~jobs:1 project
+      && Core.Sosae.evaluate_suite ~jobs project
+           project.Core.Sosae.scenarios.Scenarioml.Scen.scenarios
+         = Core.Sosae.evaluate_suite ~jobs:1 project
+             project.Core.Sosae.scenarios.Scenarioml.Scen.scenarios)
+
+let prop_session_parallel_equals_sequential =
+  QCheck2.Test.make ~name:"session: parallel evaluate = sequential, stats included"
+    ~count:40
+    QCheck2.Gen.(
+      tup4 gen_arch_spec
+        (list_size (int_range 1 4) (list_size (int_range 1 5) (int_range 0 (event_types - 1))))
+        gen_arch_spec (int_range 2 5))
+    (fun (spec, scenario_specs, spec', jobs) ->
+      let run jobs =
+        let project = build_project spec scenario_specs in
+        let session = Session.create project in
+        let first = Session.evaluate ~jobs session in
+        (* an edit leaves a mix of cached, replayable and stale entries *)
+        Session.set_architecture session (build_arch spec');
+        let second = Session.evaluate ~jobs session in
+        (first, second, Session.stats session)
+      in
+      run jobs = run 1)
+
 let suite =
   [
     Alcotest.test_case "pims: cache hits on repeat evaluation" `Quick test_cache_hits;
@@ -236,4 +272,6 @@ let suite =
     Alcotest.test_case "invalidate forces re-evaluation" `Quick test_invalidate;
     Alcotest.test_case "evaluate_scenario through the cache" `Quick test_evaluate_scenario;
     QCheck_alcotest.to_alcotest prop_session_equals_fresh;
+    QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_session_parallel_equals_sequential;
   ]

@@ -605,7 +605,7 @@ let links_between architecture a b =
       (String.equal f a && String.equal t b) || (String.equal f b && String.equal t a))
     architecture.Adl.Structure.links
 
-let incr_json : Walkthrough.Json.t list ref = ref []
+let incr_json : Jsonlight.t list ref = ref []
 
 (* Timed comparison: after excising the links between [a] and [b],
    re-evaluate the whole suite. "full" runs a fresh evaluation; the
@@ -659,15 +659,15 @@ let incr_case ~label ~reps ~a ~b (set, architecture, mapping) =
     (incr_ms /. float_of_int reps)
     speedup re_evaluated total;
   incr_json :=
-    Walkthrough.Json.Obj
+    Jsonlight.Obj
       [
-        ("suite", Walkthrough.Json.String label);
-        ("scenarios", Walkthrough.Json.Int total);
-        ("reps", Walkthrough.Json.Int reps);
-        ("full_ms_per_rep", Walkthrough.Json.Float (full_ms /. float_of_int reps));
-        ("incremental_ms_per_rep", Walkthrough.Json.Float (incr_ms /. float_of_int reps));
-        ("speedup", Walkthrough.Json.Float speedup);
-        ("re_evaluated", Walkthrough.Json.Int re_evaluated);
+        ("suite", Jsonlight.String label);
+        ("scenarios", Jsonlight.Int total);
+        ("reps", Jsonlight.Int reps);
+        ("full_ms_per_rep", Jsonlight.Float (full_ms /. float_of_int reps));
+        ("incremental_ms_per_rep", Jsonlight.Float (incr_ms /. float_of_int reps));
+        ("speedup", Jsonlight.Float speedup);
+        ("re_evaluated", Jsonlight.Int re_evaluated);
       ]
     :: !incr_json;
   speedup
@@ -718,7 +718,7 @@ let incr () =
 (* SCALE: parallel suite evaluation vs number of domains              *)
 (* ------------------------------------------------------------------ *)
 
-let scale_json : Walkthrough.Json.t list ref = ref []
+let scale_json : Jsonlight.t list ref = ref []
 
 let scale_case ~label ~reps (set, architecture, mapping) =
   let project = { Core.Sosae.scenarios = set; architecture; mapping } in
@@ -739,22 +739,22 @@ let scale_case ~label ~reps (set, architecture, mapping) =
       (fun (jobs, ms) ->
         let speedup = base /. ms in
         Printf.printf "%-26s | %4d | %9.2f | %7.2fx\n" label jobs ms speedup;
-        Walkthrough.Json.Obj
+        Jsonlight.Obj
           [
-            ("jobs", Walkthrough.Json.Int jobs);
-            ("ms_per_eval", Walkthrough.Json.Float ms);
-            ("speedup", Walkthrough.Json.Float speedup);
+            ("jobs", Jsonlight.Int jobs);
+            ("ms_per_eval", Jsonlight.Float ms);
+            ("speedup", Jsonlight.Float speedup);
           ])
       timings
   in
   scale_json :=
-    Walkthrough.Json.Obj
+    Jsonlight.Obj
       [
-        ("suite", Walkthrough.Json.String label);
-        ("scenarios", Walkthrough.Json.Int (List.length set.Scenarioml.Scen.scenarios));
-        ("reps", Walkthrough.Json.Int reps);
-        ("cores", Walkthrough.Json.Int (Core.Sosae.default_jobs ()));
-        ("runs", Walkthrough.Json.List rows);
+        ("suite", Jsonlight.String label);
+        ("scenarios", Jsonlight.Int (List.length set.Scenarioml.Scen.scenarios));
+        ("reps", Jsonlight.Int reps);
+        ("cores", Jsonlight.Int (Core.Sosae.default_jobs ()));
+        ("runs", Jsonlight.List rows);
       ]
     :: !scale_json;
   base /. List.assoc 4 timings
@@ -781,6 +781,119 @@ let scale () =
   Printf.printf "largest chain speedup at jobs=4: %.2fx%s\n" largest
     (if largest >= 2.0 then " (acceptance: >= 2x ok)"
      else " (below 2x target — needs >= 4 cores)")
+
+(* ------------------------------------------------------------------ *)
+(* SERVE: HTTP evaluation-server throughput                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_json : Jsonlight.t list ref = ref []
+
+(* nearest-rank quantile over a sorted latency array *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* [clients] keep-alive connections each issue [requests] back-to-back
+   requests; per-request latency is measured client-side, so the
+   quantiles include the full loopback round trip. *)
+let serve_case daemon ~label ~clients ~requests ~meth ~target ~body =
+  let port = Server.Daemon.port daemon in
+  let latencies = Array.make (clients * requests) 0.0 in
+  let errors = Atomic.make 0 in
+  let worker ci =
+    let c = Server.Client.connect ~port () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        for ri = 0 to requests - 1 do
+          let t0 = Unix.gettimeofday () in
+          (match Server.Client.request c ?body meth target with
+          | Ok { Server.Client.status = 200; _ } -> ()
+          | Ok _ | Error _ -> Atomic.incr errors);
+          latencies.((ci * requests) + ri) <- Unix.gettimeofday () -. t0
+        done)
+  in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun ci -> Thread.create worker ci) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let total = clients * requests in
+  let rps = float_of_int total /. wall in
+  let ms q = quantile latencies q *. 1000.0 in
+  Printf.printf "%-28s | %8.0f req/s | p50 %7.3f ms | p90 %7.3f | p99 %7.3f | err %d\n"
+    label rps (ms 0.5) (ms 0.9) (ms 0.99) (Atomic.get errors);
+  serve_json :=
+    Jsonlight.Obj
+      [
+        ("case", Jsonlight.String label);
+        ("clients", Jsonlight.Int clients);
+        ("requests", Jsonlight.Int total);
+        ("requests_per_second", Jsonlight.Float rps);
+        ("p50_ms", Jsonlight.Float (ms 0.5));
+        ("p90_ms", Jsonlight.Float (ms 0.9));
+        ("p99_ms", Jsonlight.Float (ms 0.99));
+        ("errors", Jsonlight.Int (Atomic.get errors));
+      ]
+    :: !serve_json;
+  rps
+
+let serve () =
+  header "SERVE" "HTTP evaluation server (in-process daemon, loopback TCP)";
+  print_endline "Requests from concurrent keep-alive clients against one PIMS session;";
+  print_endline "\"evaluate\" runs the full 22-scenario suite through the warm verdict";
+  print_endline "cache on every request.";
+  print_endline "";
+  let daemon =
+    Server.Daemon.start
+      ~config:
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.port = 0;
+          workers = (if smoke then 2 else 8);
+          queue_capacity = 256;
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop daemon)
+    (fun () ->
+      let registry = (Server.Daemon.ctx daemon).Server.Api.registry in
+      (match
+         Server.Registry.add registry ~id:"pims"
+           {
+             Core.Sosae.scenarios = Casestudies.Pims.scenario_set;
+             architecture = Casestudies.Pims.architecture;
+             mapping = Casestudies.Pims.mapping;
+           }
+       with
+      | Ok () -> ()
+      | Error `Conflict -> assert false);
+      (* warm the verdict cache so "evaluate" measures serving, not the
+         one-time first walk *)
+      (match Server.Registry.with_session registry "pims" (fun s ->
+           ignore (Core.Sosae.Session.evaluate s))
+       with
+      | Ok () -> ()
+      | Error `Not_found -> assert false);
+      let clients = if smoke then 2 else 8 in
+      let health_rps =
+        serve_case daemon ~label:"GET /health" ~clients
+          ~requests:(if smoke then 25 else 500)
+          ~meth:Server.Http.GET ~target:"/health" ~body:None
+      in
+      let evaluate_rps =
+        serve_case daemon ~label:"POST evaluate (warm cache)" ~clients
+          ~requests:(if smoke then 5 else 100)
+          ~meth:Server.Http.POST ~target:"/sessions/pims/evaluate"
+          ~body:(Some "{}")
+      in
+      print_endline "";
+      Printf.printf "protocol ceiling %.0f req/s, cached full-suite evaluation %.0f req/s%s\n"
+        health_rps evaluate_rps
+        (if evaluate_rps >= 50.0 then " (acceptance: >= 50 req/s ok)"
+         else " (below 50 req/s target!)"))
 
 let pims_xml = lazy (Scenarioml.Xml_io.set_to_string Casestudies.Pims.scenario_set)
 
@@ -841,7 +954,7 @@ let bench_tests =
   ]
   @ scale_tests
 
-let micro_json : Walkthrough.Json.t list ref = ref []
+let micro_json : Jsonlight.t list ref = ref []
 
 let bench () =
   header "PERF" "Bechamel micro-benchmarks (one per pipeline stage)";
@@ -873,11 +986,11 @@ let bench () =
           in
           Printf.printf "%-34s | %14s | %8.4f\n" name (human estimate) r2;
           micro_json :=
-            Walkthrough.Json.Obj
+            Jsonlight.Obj
               [
-                ("name", Walkthrough.Json.String name);
-                ("ns_per_run", Walkthrough.Json.Float estimate);
-                ("r_square", Walkthrough.Json.Float r2);
+                ("name", Jsonlight.String name);
+                ("ns_per_run", Jsonlight.Float estimate);
+                ("r_square", Jsonlight.Float r2);
               ]
             :: !micro_json)
         analyzed)
@@ -891,7 +1004,12 @@ let bench_json_file = "BENCH_walkthrough.json"
    the existing file instead of being clobbered with empty lists. *)
 let write_bench_json () =
   let sections =
-    [ ("micro", !micro_json); ("incremental", !incr_json); ("scale", !scale_json) ]
+    [
+      ("micro", !micro_json);
+      ("incremental", !incr_json);
+      ("scale", !scale_json);
+      ("serve", !serve_json);
+    ]
   in
   if List.exists (fun (_, fresh) -> fresh <> []) sections then begin
     let existing =
@@ -901,25 +1019,25 @@ let write_bench_json () =
         let n = in_channel_length ic in
         let s = really_input_string ic n in
         close_in ic;
-        match Walkthrough.Json.of_string s with
-        | Ok (Walkthrough.Json.Obj fields) -> fields
+        match Jsonlight.of_string s with
+        | Ok (Jsonlight.Obj fields) -> fields
         | Ok _ | Error _ -> []
       end
     in
     let section (name, fresh) =
-      if fresh <> [] then Some (name, Walkthrough.Json.List (List.rev fresh))
+      if fresh <> [] then Some (name, Jsonlight.List (List.rev fresh))
       else Option.map (fun kept -> (name, kept)) (List.assoc_opt name existing)
     in
     let json =
-      Walkthrough.Json.Obj
+      Jsonlight.Obj
         ([
-           ("schema", Walkthrough.Json.String "sosae-bench/1");
-           ("sosae_version", Walkthrough.Json.String Core.Sosae.version);
+           ("schema", Jsonlight.String "sosae-bench/1");
+           ("sosae_version", Jsonlight.String Core.Sosae.version);
          ]
         @ List.filter_map section sections)
     in
     let oc = open_out bench_json_file in
-    output_string oc (Walkthrough.Json.to_string json);
+    output_string oc (Jsonlight.to_string json);
     output_char oc '\n';
     close_out oc;
     Printf.printf "\nwrote %s\n" bench_json_file
@@ -964,15 +1082,18 @@ let () =
           List.iter (fun (_, f) -> f ()) artifacts;
           bench ();
           incr ();
-          scale ()
+          scale ();
+          serve ()
       | "bench" -> bench ()
       | "incr" -> incr ()
       | "scale" -> scale ()
+      | "serve" -> serve ()
       | name -> (
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown target %S; known: %s, bench, incr, scale, all\n" name
+              Printf.eprintf "unknown target %S; known: %s, bench, incr, scale, serve, all\n"
+                name
                 (String.concat ", " (List.map fst artifacts));
               exit 2))
     targets;

@@ -174,14 +174,14 @@ let session_cmd =
         (after : Core.Sosae.Session.stats) =
       if json then
         print_endline
-          (Walkthrough.Json.to_string
-             (Walkthrough.Json.Obj
+          (Jsonlight.to_string
+             (Jsonlight.Obj
                 [
-                  ("round", Walkthrough.Json.String label);
+                  ("round", Jsonlight.String label);
                   ( "re_evaluated",
-                    Walkthrough.Json.Int (after.evaluations - before.evaluations) );
+                    Jsonlight.Int (after.evaluations - before.evaluations) );
                   ( "served_from_cache",
-                    Walkthrough.Json.Int
+                    Jsonlight.Int
                       (after.cache_hits - before.cache_hits
                       + (after.replay_hits - before.replay_hits)) );
                   ("result", Walkthrough.Report.json_of_set_result result);
@@ -711,6 +711,76 @@ let save_demo_cmd =
        ~doc:"Write the PIMS case study as XML files (inputs for the other commands).")
     Term.(const Stdlib.exit $ (const run $ dir))
 
+(* ------------------------------ serve ----------------------------- *)
+
+let serve_cmd =
+  let run port host unix_path jobs workers queue timeout =
+    Server.Daemon.run
+      ~config:
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.port;
+          host;
+          unix_path;
+          jobs = (if jobs <= 0 then None else Some jobs);
+          workers;
+          queue_capacity = queue;
+          read_timeout = timeout;
+          write_timeout = timeout;
+        }
+      ();
+    0
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; $(b,0) picks an ephemeral port.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH"
+          ~doc:"Also listen on a Unix-domain socket at $(docv).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker threads serving requests.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Accepted-connection queue bound; connections beyond it are answered \
+             $(b,429).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection read and write timeout.")
+  in
+  let term =
+    Term.(
+      const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the evaluation server: named sessions with cached verdicts over \
+          HTTP (create sessions, evaluate suites, apply architecture diffs, read \
+          stats and metrics). Stops cleanly on SIGTERM/SIGINT.")
+    Term.(const Stdlib.exit $ term)
+
 let () =
   let info =
     Cmd.info "sosae" ~version:Core.Sosae.version
@@ -735,4 +805,5 @@ let () =
             prose_cmd;
             demo_cmd;
             save_demo_cmd;
+            serve_cmd;
           ]))

@@ -155,6 +155,10 @@ module Session = struct
         (** style violations + coverage problems, keyed by the
             architecture revision they were computed against *)
     mutable stats : stats;
+    lock : Mutex.t;
+        (** taken only through {!exclusively}: session operations stay
+            unsynchronized on the single-owner fast path, and shared
+            sessions (the server registry) serialize explicitly *)
   }
 
   let create ?(config = Walkthrough.Engine.default_config) project =
@@ -166,7 +170,10 @@ module Session = struct
       cache = Hashtbl.create 16;
       checks = None;
       stats = zero_stats;
+      lock = Mutex.create ();
     }
+
+  let exclusively t f = Mutex.protect t.lock f
 
   let project t = t.project
 
@@ -299,7 +306,8 @@ module Session = struct
         classified
     end
 
-  let evaluate ?(jobs = 1) t =
+  let evaluate ?jobs t =
+    let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let results = evaluate_many t jobs t.project.scenarios.Scenarioml.Scen.scenarios in
     let style_violations, coverage_problems = architecture_checks t in
     {
@@ -431,41 +439,57 @@ let read_file artifact file =
 
 (* Parse the document twice on the failure path only: one cheap
    well-formedness pass distinguishes XML errors from schema errors. *)
+let parse_artifact artifact file text of_string malformed =
+  match of_string text with
+  | v -> Ok v
+  | exception exn -> (
+      match malformed exn with
+      | None -> raise exn
+      | Some message -> (
+          match Xmlight.Parse.parse text with
+          | Error err ->
+              Error
+                (Xml_error
+                   { artifact; file; message = Xmlight.Parse.error_to_string err })
+          | Ok _ -> Error (Schema_error { artifact; file; message })))
+
 let load_artifact artifact file of_string malformed =
   match read_file artifact file with
   | Error _ as e -> e
-  | Ok text -> (
-      match of_string text with
-      | v -> Ok v
-      | exception exn -> (
-          match malformed exn with
-          | None -> raise exn
-          | Some message -> (
-              match Xmlight.Parse.parse text with
-              | Error err ->
-                  Error
-                    (Xml_error
-                       { artifact; file; message = Xmlight.Parse.error_to_string err })
-              | Ok _ -> Error (Schema_error { artifact; file; message }))))
+  | Ok text -> parse_artifact artifact file text of_string malformed
 
 let ( let* ) = Result.bind
 
+let scenarios_of_string = (Scenarioml.Xml_io.set_of_string, function
+  | Scenarioml.Xml_io.Malformed m -> Some m
+  | _ -> None)
+
+let architecture_of_string = (Adl.Xml_io.of_string, function
+  | Adl.Xml_io.Malformed m -> Some m
+  | _ -> None)
+
+let mapping_of_string = (Mapping.Xml_io.of_string, function
+  | Mapping.Xml_io.Malformed m -> Some m
+  | _ -> None)
+
 let load_project_result ~scenarios ~architecture ~mapping =
-  let* scenarios =
-    load_artifact Scenarios scenarios Scenarioml.Xml_io.set_of_string (function
-      | Scenarioml.Xml_io.Malformed m -> Some m
-      | _ -> None)
+  let load artifact file (of_string, malformed) =
+    load_artifact artifact file of_string malformed
   in
+  let* scenarios = load Scenarios scenarios scenarios_of_string in
+  let* architecture = load Architecture architecture architecture_of_string in
+  let* mapping = load Mapping mapping mapping_of_string in
+  Ok { scenarios; architecture; mapping }
+
+let project_of_strings ~scenarios ~architecture ~mapping =
+  let parse artifact slot text (of_string, malformed) =
+    parse_artifact artifact slot text of_string malformed
+  in
+  let* scenarios = parse Scenarios "<scenarios>" scenarios scenarios_of_string in
   let* architecture =
-    load_artifact Architecture architecture Adl.Xml_io.of_string (function
-      | Adl.Xml_io.Malformed m -> Some m
-      | _ -> None)
+    parse Architecture "<architecture>" architecture architecture_of_string
   in
-  let* mapping =
-    load_artifact Mapping mapping Mapping.Xml_io.of_string (function
-      | Mapping.Xml_io.Malformed m -> Some m
-      | _ -> None)
-  in
+  let* mapping = parse Mapping "<mapping>" mapping mapping_of_string in
   Ok { scenarios; architecture; mapping }
 
 let load_project ~scenarios ~architecture ~mapping =
@@ -498,10 +522,10 @@ let pp_validation ppf v =
   Format.fprintf ppf "%s@]" (if v.ok then "all artifacts valid" else "validation problems found")
 
 let json_of_validation v =
-  let problems pp l = Walkthrough.Json.strings (List.map (Format.asprintf "%a" pp) l) in
-  Walkthrough.Json.Obj
+  let problems pp l = Jsonlight.strings (List.map (Format.asprintf "%a" pp) l) in
+  Jsonlight.Obj
     [
-      ("ok", Walkthrough.Json.Bool v.ok);
+      ("ok", Jsonlight.Bool v.ok);
       ("ontology_problems", problems Ontology.Wellformed.pp_problem v.ontology_problems);
       ("scenario_problems", problems Scenarioml.Validate.pp_problem v.scenario_problems);
       ( "architecture_problems",
@@ -509,4 +533,4 @@ let json_of_validation v =
       ("coverage_problems", problems Mapping.Coverage.pp_problem v.coverage_problems);
     ]
 
-let validation_to_json v = Walkthrough.Json.to_string (json_of_validation v)
+let validation_to_json v = Jsonlight.to_string (json_of_validation v)

@@ -109,11 +109,14 @@ module Session : sig
 
   val evaluate : ?jobs:int -> t -> Walkthrough.Engine.set_result
   (** Evaluate every scenario, serving unchanged verdicts from cache.
-      Equal to {!val:evaluate} on the session's current project. With
-      [jobs > 1] (default [1]) the scenarios that do need a fresh walk
-      — cache misses and failed replays — run on a domain pool, each
-      worker with a private oracle; results, cache contents, and stats
-      match the sequential path exactly. *)
+      Equal to {!val:evaluate} on the session's current project. The
+      [jobs] default is {!default_jobs} — the same default as
+      {!val:evaluate}. With [jobs > 1] the scenarios that do need a
+      fresh walk — cache misses and failed replays — run on a domain
+      pool, each worker with a private oracle; results, cache contents,
+      and stats match the sequential path exactly, so the default is
+      safe for every caller. [jobs <= 1] forces the plain sequential
+      path. *)
 
   val evaluate_scenario : t -> string -> Walkthrough.Verdict.scenario_result option
   (** One scenario by id, through the cache; [None] when unknown. *)
@@ -145,6 +148,15 @@ module Session : sig
   (** Cumulative since {!create}. *)
 
   val pp_stats : Format.formatter -> stats -> unit
+
+  val exclusively : t -> (unit -> 'a) -> 'a
+  (** Run the callback holding the session's private lock. Session
+      operations are not internally synchronized — the verdict cache
+      and the oracle are plain mutable state — so concurrent users
+      (the evaluation server's registry, any multi-threaded embedding)
+      must funnel every operation on a shared session through
+      [exclusively]. The lock is per-session: operations on distinct
+      sessions never contend. Not reentrant. *)
 end
 
 (** {1 Loading and saving projects} *)
@@ -167,15 +179,33 @@ val load_project_result :
 (** Read the three artifacts from XML files; the first failing artifact
     (in scenarios, architecture, mapping order) is reported. *)
 
+val project_of_strings :
+  scenarios:string ->
+  architecture:string ->
+  mapping:string ->
+  (project, load_error) result
+(** Like {!load_project_result}, but the arguments are the XML
+    documents themselves rather than file names — the loading path of
+    callers that receive artifacts over the wire (the evaluation
+    server's [POST /sessions]). The [file] field of a reported error
+    names the artifact slot (["<scenarios>"], ["<architecture>"],
+    ["<mapping>"]); [Io_error] cannot occur. *)
+
 val pp_load_error : Format.formatter -> load_error -> unit
 
 val load_error_to_string : load_error -> string
 
-exception Load_error of string
+exception
+  Load_error of string
+  [@alert deprecated "match on the (project, load_error) result of load_project_result instead"]
 
 val load_project :
   scenarios:string -> architecture:string -> mapping:string -> project
-(** Raising convenience over {!load_project_result}.
+[@@deprecated "use load_project_result, which reports structured errors"]
+(** Raising convenience over {!load_project_result}. Deprecated: the
+    structured {!load_error} of {!load_project_result} distinguishes
+    unreadable files, malformed XML, and schema violations, which this
+    exception flattens to a string.
     @raise Load_error with {!load_error_to_string} of the failure. *)
 
 val save_project :
@@ -184,7 +214,7 @@ val save_project :
 
 val pp_validation : Format.formatter -> validation -> unit
 
-val json_of_validation : validation -> Walkthrough.Json.t
+val json_of_validation : validation -> Jsonlight.t
 
 val validation_to_json : validation -> string
 (** Machine-readable {!validation}, the companion of

@@ -1,0 +1,51 @@
+(** Minimal JSON library: a document builder and a parser, with no
+    dependencies — the repo's JSON substrate.
+
+    Grew out of [Walkthrough.Json] (which remains as a deprecated
+    re-export): machine-readable reports only needed a printer, but the
+    evaluation server ({!Server.Daemon}) must {e read} request bodies
+    too, so the module now stands alone under the walkthrough layer.
+
+    Strings are escaped per RFC 8259; non-finite floats serialize as
+    [null]. {!of_string} parses any RFC 8259 document (plus surrounding
+    whitespace); it never raises. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val strings : string list -> t
+(** [List] of [String]s. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. Numbers without [.]/[e] parse as [Int]
+    (falling back to [Float] when out of [int] range), others as
+    [Float]. *)
+
+val member : string -> t -> t option
+(** First field of that name when the value is an [Obj]; [None]
+    otherwise. *)
+
+(** {1 Shape accessors}
+
+    [None] when the value is not of the requested shape — the
+    building blocks of request-body validation. *)
+
+val string_opt : t -> string option
+
+val int_opt : t -> int option
+(** [Int] directly; an integral [Float] is not accepted. *)
+
+val bool_opt : t -> bool option
+
+val list_opt : t -> t list option

@@ -1,0 +1,417 @@
+type ctx = { registry : Registry.t; metrics : Metrics.t }
+
+let make_ctx ?jobs () =
+  { registry = Registry.create ?jobs (); metrics = Metrics.create () }
+
+(* ------------------------------------------------------------------ *)
+(* JSON bodies                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_body ?(status = 200) json =
+  Http.response
+    ~headers:[ ("Content-Type", "application/json") ]
+    status
+    (Jsonlight.to_string json)
+
+let error_response status ~category message =
+  json_body ~status
+    (Jsonlight.Obj
+       [
+         ( "error",
+           Jsonlight.Obj
+             [
+               ("category", Jsonlight.String category);
+               ("message", Jsonlight.String message);
+             ] );
+       ])
+
+let response_of_parse_error e =
+  let status, category =
+    match e with
+    | Http.Bad_request _ -> (400, "bad_request")
+    | Http.Head_too_large | Http.Body_too_large -> (413, "payload_too_large")
+    | Http.Unsupported _ -> (501, "unsupported")
+  in
+  error_response status ~category (Http.parse_error_message e)
+
+let overloaded_response =
+  error_response 429 ~category:"overloaded"
+    "the server's accept queue is full; retry later"
+
+let load_error_category = function
+  | Core.Sosae.Io_error _ -> "io_error"
+  | Core.Sosae.Xml_error _ -> "xml_error"
+  | Core.Sosae.Schema_error _ -> "schema_error"
+
+(* ------------------------------------------------------------------ *)
+(* Request-body helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Reply of Http.response
+
+let reply_error status ~category message =
+  raise (Reply (error_response status ~category message))
+
+let parse_body (request : Http.request) =
+  if request.Http.body = "" then Jsonlight.Obj []
+  else
+    match Jsonlight.of_string request.Http.body with
+    | Ok json -> json
+    | Error message ->
+        reply_error 400 ~category:"bad_request"
+          (Printf.sprintf "request body is not valid JSON: %s" message)
+
+let required_string json field =
+  match Option.bind (Jsonlight.member field json) Jsonlight.string_opt with
+  | Some s -> s
+  | None ->
+      reply_error 400 ~category:"bad_request"
+        (Printf.sprintf "missing or non-string field %S" field)
+
+let optional_string json field =
+  Option.bind (Jsonlight.member field json) Jsonlight.string_opt
+
+(* ------------------------------------------------------------------ *)
+(* Shared renderings                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_stats (s : Core.Sosae.Session.stats) =
+  Jsonlight.Obj
+    [
+      ("evaluations", Jsonlight.Int s.Core.Sosae.Session.evaluations);
+      ("cache_hits", Jsonlight.Int s.Core.Sosae.Session.cache_hits);
+      ("replays", Jsonlight.Int s.Core.Sosae.Session.replays);
+      ("replay_hits", Jsonlight.Int s.Core.Sosae.Session.replay_hits);
+    ]
+
+let json_of_architecture (a : Adl.Structure.t) =
+  Jsonlight.Obj
+    [
+      ("id", Jsonlight.String a.Adl.Structure.arch_id);
+      ("components", Jsonlight.Int (List.length a.Adl.Structure.components));
+      ("connectors", Jsonlight.Int (List.length a.Adl.Structure.connectors));
+      ("links", Jsonlight.Int (List.length a.Adl.Structure.links));
+    ]
+
+let with_session ctx id f =
+  match Registry.with_session ctx.registry id f with
+  | Ok response -> response
+  | Error `Not_found ->
+      error_response 404 ~category:"not_found"
+        (Printf.sprintf "no session named %S" id)
+
+(* Stats deltas bracket the evaluation so concurrent clients each see
+   what *their* call cost, not the session's lifetime totals. The
+   session lock is held across the bracket (Registry.with_session), so
+   the delta cannot interleave with another client's evaluation. *)
+let bracket_stats session f =
+  let before = Core.Sosae.Session.stats session in
+  let result = f () in
+  let after = Core.Sosae.Session.stats session in
+  let d get = get after - get before in
+  let re_evaluated = d (fun s -> s.Core.Sosae.Session.evaluations) in
+  let served_from_cache =
+    d (fun s -> s.Core.Sosae.Session.cache_hits)
+    + d (fun s -> s.Core.Sosae.Session.replay_hits)
+  in
+  (result, re_evaluated, served_from_cache)
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let health ctx _request _params =
+  json_body
+    (Jsonlight.Obj
+       [
+         ("status", Jsonlight.String "ok");
+         ("version", Jsonlight.String Core.Sosae.version);
+         ("sessions", Jsonlight.Int (List.length (Registry.ids ctx.registry)));
+       ])
+
+let metrics ctx _request _params =
+  let totals = ref Core.Sosae.Session.{ evaluations = 0; cache_hits = 0; replays = 0; replay_hits = 0 } in
+  let ids = Registry.ids ctx.registry in
+  List.iter
+    (fun id ->
+      match
+        Registry.with_session ctx.registry id (fun s -> Core.Sosae.Session.stats s)
+      with
+      | Error `Not_found -> ()
+      | Ok s ->
+          let t = !totals in
+          totals :=
+            Core.Sosae.Session.
+              {
+                evaluations = t.evaluations + s.evaluations;
+                cache_hits = t.cache_hits + s.cache_hits;
+                replays = t.replays + s.replays;
+                replay_hits = t.replay_hits + s.replay_hits;
+              })
+    ids;
+  json_body
+    (Metrics.to_json ctx.metrics
+       ~extra:
+         [
+           ("sessions", Jsonlight.Int (List.length ids));
+           ("cache", json_of_stats !totals);
+         ])
+
+let list_sessions ctx _request _params =
+  let sessions =
+    List.filter_map
+      (fun id ->
+        match
+          Registry.with_session ctx.registry id (fun s ->
+              Jsonlight.Obj
+                [
+                  ("id", Jsonlight.String id);
+                  ("stats", json_of_stats (Core.Sosae.Session.stats s));
+                ])
+        with
+        | Ok json -> Some json
+        | Error `Not_found -> None)
+      (Registry.ids ctx.registry)
+  in
+  json_body (Jsonlight.Obj [ ("sessions", Jsonlight.List sessions) ])
+
+let parse_policy json =
+  match optional_string json "policy" with
+  | None | Some "routed" -> Adl.Graph.Routed
+  | Some "direct" -> Adl.Graph.Direct
+  | Some p ->
+      reply_error 400 ~category:"bad_request"
+        (Printf.sprintf "unknown policy %S (expected \"routed\" or \"direct\")" p)
+
+let load_create_project json =
+  match Jsonlight.member "paths" json with
+  | Some paths ->
+      let path field = required_string paths field in
+      Core.Sosae.load_project_result ~scenarios:(path "scenarios")
+        ~architecture:(path "architecture") ~mapping:(path "mapping")
+  | None ->
+      Core.Sosae.project_of_strings
+        ~scenarios:(required_string json "scenarios")
+        ~architecture:(required_string json "architecture")
+        ~mapping:(required_string json "mapping")
+
+let create_session ctx (request : Http.request) _params =
+  let json = parse_body request in
+  let id = required_string json "id" in
+  let policy = parse_policy json in
+  match load_create_project json with
+  | Error e ->
+      error_response 400 ~category:(load_error_category e)
+        (Core.Sosae.load_error_to_string e)
+  | Ok project -> (
+      let config = Walkthrough.Engine.config ~policy () in
+      match Registry.add ctx.registry ~id ~config project with
+      | Error `Conflict ->
+          error_response 409 ~category:"conflict"
+            (Printf.sprintf "session %S already exists" id)
+      | Ok () ->
+          json_body ~status:201
+            (Jsonlight.Obj
+               [
+                 ("id", Jsonlight.String id);
+                 ( "scenarios",
+                   Jsonlight.Int
+                     (List.length
+                        project.Core.Sosae.scenarios.Scenarioml.Scen.scenarios) );
+                 ( "architecture",
+                   json_of_architecture project.Core.Sosae.architecture );
+               ]))
+
+let delete_session ctx _request params =
+  let id = Router.param params "id" in
+  if Registry.remove ctx.registry id then
+    json_body (Jsonlight.Obj [ ("deleted", Jsonlight.String id) ])
+  else
+    error_response 404 ~category:"not_found"
+      (Printf.sprintf "no session named %S" id)
+
+let session_stats ctx _request params =
+  let id = Router.param params "id" in
+  with_session ctx id (fun s ->
+      json_body
+        (Jsonlight.Obj
+           [
+             ("id", Jsonlight.String id);
+             ("stats", json_of_stats (Core.Sosae.Session.stats s));
+             ( "architecture",
+               json_of_architecture
+                 (Core.Sosae.Session.project s).Core.Sosae.architecture );
+           ]))
+
+let evaluate ctx (request : Http.request) params =
+  let id = Router.param params "id" in
+  let json = parse_body request in
+  let sub_suite =
+    match Jsonlight.member "scenarios" json with
+    | None -> None
+    | Some (Jsonlight.List items) ->
+        Some
+          (List.map
+             (fun item ->
+               match Jsonlight.string_opt item with
+               | Some s -> s
+               | None ->
+                   reply_error 400 ~category:"bad_request"
+                     "\"scenarios\" must be a list of scenario ids")
+             items)
+    | Some _ ->
+        reply_error 400 ~category:"bad_request"
+          "\"scenarios\" must be a list of scenario ids"
+  in
+  let jobs = Registry.jobs ctx.registry in
+  with_session ctx id (fun session ->
+      let payload, re_evaluated, served_from_cache =
+        bracket_stats session (fun () ->
+            match sub_suite with
+            | None ->
+                let result = Core.Sosae.Session.evaluate ~jobs session in
+                ("result", Walkthrough.Report.json_of_set_result result)
+            | Some scenario_ids ->
+                let results =
+                  List.map
+                    (fun sid ->
+                      match Core.Sosae.Session.evaluate_scenario session sid with
+                      | Some r -> Walkthrough.Report.json_of_scenario_result r
+                      | None ->
+                          reply_error 404 ~category:"not_found"
+                            (Printf.sprintf "no scenario %S in session %S" sid id))
+                    scenario_ids
+                in
+                ("results", Jsonlight.List results))
+      in
+      let key, value = payload in
+      json_body
+        (Jsonlight.Obj
+           [
+             (key, value);
+             ("re_evaluated", Jsonlight.Int re_evaluated);
+             ("served_from_cache", Jsonlight.Int served_from_cache);
+           ]))
+
+(* Diff ops arrive as [{"op":"remove_link","id":...}] objects. The
+   supported vocabulary is the removal/rename subset of {!Adl.Diff.op}
+   plus "excise" — additions need full element descriptions, which the
+   wire format does not model yet. "excise" expands to one Remove_link
+   per link joining the two named elements, in either orientation
+   (Fig. 4's experiment verbatim). *)
+let parse_diff_ops session json =
+  let architecture =
+    (Core.Sosae.Session.project session).Core.Sosae.architecture
+  in
+  let excise_ops from_ to_ =
+    let between (l : Adl.Structure.link) =
+      let a = l.Adl.Structure.link_from.Adl.Structure.anchor
+      and b = l.Adl.Structure.link_to.Adl.Structure.anchor in
+      (String.equal a from_ && String.equal b to_)
+      || (String.equal a to_ && String.equal b from_)
+    in
+    match List.filter between architecture.Adl.Structure.links with
+    | [] ->
+        reply_error 409 ~category:"apply_error"
+          (Printf.sprintf "no link between %S and %S" from_ to_)
+    | links ->
+        List.map
+          (fun (l : Adl.Structure.link) ->
+            Adl.Diff.Remove_link l.Adl.Structure.link_id)
+          links
+  in
+  let parse_op op_json =
+    match optional_string op_json "op" with
+    | None ->
+        reply_error 400 ~category:"bad_request"
+          "each diff op needs a string \"op\" field"
+    | Some "remove_link" ->
+        [ Adl.Diff.Remove_link (required_string op_json "id") ]
+    | Some "remove_component" ->
+        [ Adl.Diff.Remove_component (required_string op_json "id") ]
+    | Some "remove_connector" ->
+        [ Adl.Diff.Remove_connector (required_string op_json "id") ]
+    | Some "rename" ->
+        [
+          Adl.Diff.Rename_element
+            {
+              old_id = required_string op_json "old_id";
+              new_id = required_string op_json "new_id";
+            };
+        ]
+    | Some "excise" ->
+        excise_ops (required_string op_json "from") (required_string op_json "to")
+    | Some op ->
+        reply_error 400 ~category:"bad_request"
+          (Printf.sprintf
+             "unknown diff op %S (supported: remove_link, remove_component, \
+              remove_connector, rename, excise)"
+             op)
+  in
+  match Jsonlight.member "ops" json with
+  | Some (Jsonlight.List ops) -> List.concat_map parse_op ops
+  | Some _ | None ->
+      reply_error 400 ~category:"bad_request" "missing \"ops\" list"
+
+let diff ctx (request : Http.request) params =
+  let id = Router.param params "id" in
+  let json = parse_body request in
+  with_session ctx id (fun session ->
+      let ops = parse_diff_ops session json in
+      match Core.Sosae.Session.apply_diff session ops with
+      | () ->
+          json_body
+            (Jsonlight.Obj
+               [
+                 ("applied", Jsonlight.Int (List.length ops));
+                 ( "architecture",
+                   json_of_architecture
+                     (Core.Sosae.Session.project session).Core.Sosae.architecture
+                 );
+               ])
+      | exception Adl.Diff.Apply_error message ->
+          error_response 409 ~category:"apply_error" message)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let routes : ctx Router.route list =
+  [
+    Router.route Http.GET "/health" health;
+    Router.route Http.GET "/metrics" metrics;
+    Router.route Http.GET "/sessions" list_sessions;
+    Router.route Http.POST "/sessions" create_session;
+    Router.route Http.GET "/sessions/:id/stats" session_stats;
+    Router.route Http.POST "/sessions/:id/evaluate" evaluate;
+    Router.route Http.POST "/sessions/:id/diff" diff;
+    Router.route Http.DELETE "/sessions/:id" delete_session;
+  ]
+
+let handle ctx request =
+  match Router.dispatch routes ctx request with
+  | `Response (pattern, response) -> (pattern, response)
+  | `Not_found ->
+      ( "<unmatched>",
+        error_response 404 ~category:"not_found"
+          (Printf.sprintf "no such endpoint: %s" request.Http.target) )
+  | `Method_not_allowed meths ->
+      let allow =
+        String.concat ", " (List.map Http.meth_to_string meths)
+      in
+      ( "<unmatched>",
+        {
+          (error_response 405 ~category:"method_not_allowed"
+             (Printf.sprintf "%s does not support %s (allowed: %s)"
+                request.Http.target
+                (Http.meth_to_string request.Http.meth)
+                allow))
+          with
+          Http.resp_headers =
+            [ ("Content-Type", "application/json"); ("Allow", allow) ];
+        } )
+  | exception Reply response -> ("<error>", response)
+  | exception e ->
+      ( "<error>",
+        error_response 500 ~category:"internal"
+          (Printf.sprintf "unhandled server error: %s" (Printexc.to_string e)) )

@@ -1,0 +1,50 @@
+(** The HTTP endpoints: routes, JSON payloads, and error bodies. Pure
+    request → response logic over the registry — no sockets, which is
+    what lets the e2e tests also call {!handle} directly.
+
+    Every error response is
+    [{"error":{"category":<string>,"message":<string>}}]. Categories
+    mirror {!Core.Sosae.load_error} for loading failures ([io_error],
+    [xml_error], [schema_error]) and extend them with [apply_error],
+    [bad_request], [not_found], [method_not_allowed],
+    [payload_too_large], [unsupported], [overloaded], [timeout] and
+    [internal].
+
+    Endpoints:
+    - [GET /health] — liveness: status, version, session count.
+    - [GET /metrics] — request counters, latency histogram, in-flight
+      gauge, registry-wide cache statistics.
+    - [GET /sessions] — session ids with their cache stats.
+    - [POST /sessions] — create a session; the body carries the
+      artifact XML inline ([scenarios]/[architecture]/[mapping] string
+      fields) or server-side file names (a [paths] object), plus an
+      optional [policy] ("routed"|"direct"). 201, or 409 on a taken id.
+    - [GET /sessions/:id/stats] — one session's cache stats and
+      architecture size.
+    - [POST /sessions/:id/evaluate] — the full suite through the
+      verdict cache (empty body), or a sub-suite ([{"scenarios":
+      [ids]}]); responds with the verdicts plus how many scenarios were
+      re-walked vs served from cache for this call.
+    - [POST /sessions/:id/diff] — apply evolution ops
+      ([{"ops":[{"op":"remove_link","id":...}, ...]}]); [excise]
+      removes every link between two elements (the paper's Fig. 4
+      excision as an API call). 409 [apply_error] when an op does not
+      apply, and the session is untouched.
+    - [DELETE /sessions/:id] — drop a session. *)
+
+type ctx = { registry : Registry.t; metrics : Metrics.t }
+
+val make_ctx : ?jobs:int -> unit -> ctx
+
+val error_response : int -> category:string -> string -> Http.response
+
+val response_of_parse_error : Http.parse_error -> Http.response
+(** 400/413/501 with the matching category, for the connection layer. *)
+
+val overloaded_response : Http.response
+(** The 429 written when the accept queue is full. *)
+
+val handle : ctx -> Http.request -> string * Http.response
+(** Dispatch one request. The returned string is the matched route
+    pattern (["<unmatched>"] otherwise) — the metrics label. Handler
+    escapes are caught and mapped to 500 [internal]; never raises. *)

@@ -1,0 +1,138 @@
+type t = { fd : Unix.file_descr; mutable leftover : string }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; leftover = "" }
+
+let connect_unix path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; leftover = "" }
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let find_sub haystack needle from =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Read until [buf] contains at least [target] bytes, or — when
+   [target] is [None] — until it contains "\r\n\r\n". *)
+let read_until t buf target =
+  let chunk = Bytes.create 8192 in
+  let have_enough () =
+    match target with
+    | Some n -> Buffer.length buf >= n
+    | None -> find_sub (Buffer.contents buf) "\r\n\r\n" 0 <> None
+  in
+  let rec go () =
+    if have_enough () then Ok ()
+    else
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed mid-response"
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception Sys_error m -> Error m
+  in
+  go ()
+
+let ( let* ) = Result.bind
+
+let parse_status_line line =
+  match String.split_on_char ' ' line with
+  | _http :: status :: _ -> (
+      match int_of_string_opt status with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "malformed status line %S" line))
+  | _ -> Error (Printf.sprintf "malformed status line %S" line)
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> Error "empty response head"
+  | status_line :: header_lines ->
+      let* status = parse_status_line (String.trim status_line) in
+      let headers =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            match String.index_opt line ':' with
+            | Some c ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 c),
+                    String.trim
+                      (String.sub line (c + 1) (String.length line - c - 1)) )
+            | None -> None)
+          header_lines
+      in
+      Ok (status, headers)
+
+let read_response t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.leftover;
+  t.leftover <- "";
+  let* () = read_until t buf None in
+  let all = Buffer.contents buf in
+  let head_end = Option.get (find_sub all "\r\n\r\n" 0) in
+  let* status, headers = parse_head (String.sub all 0 head_end) in
+  let* length =
+    match List.assoc_opt "content-length" headers with
+    | None -> Ok 0
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error (Printf.sprintf "malformed Content-Length %S" v))
+  in
+  let body_start = head_end + 4 in
+  let* () = read_until t buf (Some (body_start + length)) in
+  let all = Buffer.contents buf in
+  let body = String.sub all body_start length in
+  (* keep-alive: bytes past this response belong to the next one *)
+  let consumed = body_start + length in
+  t.leftover <- String.sub all consumed (String.length all - consumed);
+  Ok { status; headers; body }
+
+let request t ?(headers = []) ?body meth target =
+  let head = Buffer.create 256 in
+  Buffer.add_string head
+    (Printf.sprintf "%s %s HTTP/1.1\r\n" (Http.meth_to_string meth) target);
+  Buffer.add_string head "Host: localhost\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string head (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  (match body with
+  | Some b ->
+      Buffer.add_string head
+        (Printf.sprintf "Content-Length: %d\r\n" (String.length b))
+  | None -> ());
+  Buffer.add_string head "\r\n";
+  Option.iter (Buffer.add_string head) body;
+  match write_all t.fd (Buffer.contents head) with
+  | () -> read_response t
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error m -> Error m
+
+let get t target = request t Http.GET target
+let post t target ~body = request t ~body Http.POST target
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

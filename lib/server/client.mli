@@ -1,0 +1,32 @@
+(** A minimal blocking HTTP/1.1 client, just enough to talk to
+    {!Daemon}: one keep-alive connection, [Content-Length]-framed
+    responses. Used by the e2e tests, the serve benchmark, and the CI
+    smoke script — not a general-purpose client. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP to [host] (default 127.0.0.1). *)
+
+val connect_unix : string -> t
+(** Unix-domain socket at the given path. *)
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+val request :
+  t ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  Http.meth ->
+  string ->
+  (response, string) result
+(** [request t meth target] sends one request and reads the response.
+    A [Content-Length] header is added when [body] is given. [Error]
+    means the connection is unusable (closed, timed out, or the
+    response did not parse) — reconnect to retry. Never raises. *)
+
+val get : t -> string -> (response, string) result
+
+val post : t -> string -> body:string -> (response, string) result
+
+val close : t -> unit

@@ -1,0 +1,325 @@
+let src = Logs.Src.create "sosae.server" ~doc:"evaluation server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  port : int;
+  host : string;
+  unix_path : string option;
+  jobs : int option;
+  workers : int;
+  queue_capacity : int;
+  read_timeout : float;
+  write_timeout : float;
+  max_head : int;
+  max_body : int;
+}
+
+let default_config =
+  {
+    port = 8080;
+    host = "127.0.0.1";
+    unix_path = None;
+    jobs = None;
+    workers = 4;
+    queue_capacity = 64;
+    read_timeout = 10.0;
+    write_timeout = 10.0;
+    max_head = 16 * 1024;
+    max_body = 4 * 1024 * 1024;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded connection queue                                           *)
+(* ------------------------------------------------------------------ *)
+
+type queue = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : Unix.file_descr Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let queue_create capacity =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+(* [`Full] instead of blocking: the accept thread must keep accepting
+   to answer 429, so saturation is reported, not absorbed. *)
+let queue_push q fd =
+  Mutex.protect q.lock (fun () ->
+      if q.closed then `Closed
+      else if Queue.length q.items >= q.capacity then `Full
+      else begin
+        Queue.push fd q.items;
+        Condition.signal q.nonempty;
+        `Queued
+      end)
+
+(* Blocks until an item or close+empty: workers drain what was accepted
+   before exiting, which is the graceful part of the drain. *)
+let queue_pop q =
+  Mutex.protect q.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let queue_close q =
+  Mutex.protect q.lock (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then begin
+      let written = Unix.write fd b off (n - off) in
+      go (off + written)
+    end
+  in
+  go 0
+
+let best_effort f = try f () with _ -> ()
+
+let serve_connection config api_ctx fd =
+  let metrics = api_ctx.Api.metrics in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout;
+  let parser_ = Http.parser_ ~max_head:config.max_head ~max_body:config.max_body () in
+  let chunk = Bytes.create 8192 in
+  let respond request response =
+    let close = not (Http.keep_alive request) in
+    write_all fd
+      (Http.serialize ~request_meth:request.Http.meth ~close response);
+    close
+  in
+  let rec loop () =
+    match Http.next parser_ with
+    | `Request request ->
+        Metrics.incr_in_flight metrics;
+        let started = Unix.gettimeofday () in
+        let route, response =
+          Fun.protect
+            ~finally:(fun () -> Metrics.decr_in_flight metrics)
+            (fun () -> Api.handle api_ctx request)
+        in
+        Metrics.observe metrics ~route ~status:response.Http.status
+          ~seconds:(Unix.gettimeofday () -. started);
+        if not (respond request response) then loop ()
+    | `Error e ->
+        (* the connection cannot be re-synced after a framing error *)
+        best_effort (fun () ->
+            write_all fd (Http.serialize ~close:true (Api.response_of_parse_error e)))
+    | `Need_more -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()  (* peer closed; a torn request just dies with it *)
+        | n ->
+            Http.feed parser_ (Bytes.sub_string chunk 0 n);
+            loop ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* read timeout: mid-request gets a 408, idle keep-alive
+               connections are reaped silently *)
+            if Http.buffered parser_ > 0 then begin
+              Metrics.reject_timeout metrics;
+              best_effort (fun () ->
+                  write_all fd
+                    (Http.serialize ~close:true
+                       (Api.error_response 408 ~category:"timeout"
+                          "timed out reading the request")))
+            end)
+  in
+  Fun.protect
+    ~finally:(fun () -> best_effort (fun () -> Unix.close fd))
+    (fun () ->
+      try loop () with
+      | Unix.Unix_error _ | Sys_error _ -> ()
+      | e ->
+          Log.err (fun m ->
+              m "connection handler escaped: %s" (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : config;
+  api_ctx : Api.ctx;
+  tcp_listener : Unix.file_descr;
+  tcp_port : int;
+  unix_listener : Unix.file_descr option;
+  queue : queue;
+  threads : Thread.t list;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let listen_tcp ~host ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 128
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, bound_port)
+
+let listen_unix path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 128
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let accept_loop t listener =
+  let rec loop () =
+    match Unix.accept ~cloexec:true listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()  (* listener closed: stop *)
+    | fd, _peer -> (
+        match queue_push t.queue fd with
+        | `Queued -> loop ()
+        | `Closed ->
+            best_effort (fun () -> Unix.close fd);
+            ()
+        | `Full ->
+            Metrics.reject_overload t.api_ctx.Api.metrics;
+            best_effort (fun () ->
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+                write_all fd (Http.serialize ~close:true Api.overloaded_response));
+            best_effort (fun () -> Unix.close fd);
+            loop ())
+  in
+  loop ()
+
+let worker_loop t =
+  let rec loop () =
+    match queue_pop t.queue with
+    | None -> ()
+    | Some fd ->
+        serve_connection t.config t.api_ctx fd;
+        loop ()
+  in
+  loop ()
+
+let start ?(config = default_config) () =
+  (* writes to peers that hung up must fail with EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let api_ctx = Api.make_ctx ?jobs:config.jobs () in
+  let tcp_listener, tcp_port = listen_tcp ~host:config.host ~port:config.port in
+  let unix_listener =
+    match config.unix_path with
+    | None -> None
+    | Some path -> (
+        try Some (listen_unix path)
+        with e ->
+          Unix.close tcp_listener;
+          raise e)
+  in
+  let queue = queue_create config.queue_capacity in
+  let t =
+    {
+      config;
+      api_ctx;
+      tcp_listener;
+      tcp_port;
+      unix_listener;
+      queue;
+      threads = [];
+      stop_lock = Mutex.create ();
+      stopped = false;
+    }
+  in
+  let acceptors =
+    Thread.create (fun () -> accept_loop t tcp_listener) ()
+    ::
+    (match unix_listener with
+    | None -> []
+    | Some fd -> [ Thread.create (fun () -> accept_loop t fd) () ])
+  in
+  let workers =
+    List.init (max 1 config.workers) (fun _ ->
+        Thread.create (fun () -> worker_loop t) ())
+  in
+  let t = { t with threads = acceptors @ workers } in
+  Log.info (fun m ->
+      m "listening on %s:%d (%d workers, queue %d)" config.host tcp_port
+        config.workers config.queue_capacity);
+  t
+
+let port t = t.tcp_port
+let ctx t = t.api_ctx
+
+let stop t =
+  let first =
+    Mutex.protect t.stop_lock (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* shutdown() before close(): merely closing a listening fd does
+       not wake a thread blocked in accept(), shutting it down does;
+       closing the queue then lets workers exit once it is drained *)
+    let kill_listener fd =
+      best_effort (fun () -> Unix.shutdown fd Unix.SHUTDOWN_ALL);
+      best_effort (fun () -> Unix.close fd)
+    in
+    kill_listener t.tcp_listener;
+    Option.iter kill_listener t.unix_listener;
+    queue_close t.queue;
+    List.iter Thread.join t.threads;
+    Option.iter
+      (fun path -> best_effort (fun () -> Unix.unlink path))
+      t.config.unix_path;
+    Log.info (fun m -> m "stopped")
+  end
+
+let run ?(config = default_config) () =
+  let t = start ~config () in
+  Printf.printf "sosae serve: listening on %s:%d%s\n%!" config.host (port t)
+    (match config.unix_path with
+    | Some p -> Printf.sprintf " and %s" p
+    | None -> "");
+  let shutdown = Atomic.make false in
+  let request_stop _ = Atomic.set shutdown true in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s (Sys.Signal_handle request_stop)))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  (* the handler only flips the flag — stop() joins threads, which is
+     not async-signal-safe work, so it runs here on the main thread *)
+  while not (Atomic.get shutdown) do
+    Unix.sleepf 0.1
+  done;
+  stop t;
+  List.iter (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ()) previous

@@ -1,0 +1,62 @@
+(** The long-running evaluation server: a TCP (and optionally Unix
+    domain) listener in front of {!Api.handle}.
+
+    Concurrency model: one accept thread per listener pushes connections
+    into a bounded queue drained by a fixed pool of worker threads.
+    Workers do blocking socket IO; the CPU-parallel part — walking
+    scenarios — happens on {!Core.Sosae.Session.evaluate}'s domain pool
+    inside the request. When the queue is full, the accept thread writes
+    a best-effort 429 and closes the connection instead of queueing it
+    (bounded memory, fast failure).
+
+    Robustness: per-connection read/write timeouts ([SO_RCVTIMEO] /
+    [SO_SNDTIMEO]); a timeout mid-request answers 408 and closes, an
+    idle keep-alive connection is closed silently. Request head and body
+    sizes are bounded ({!Http.parser_} limits). [SIGPIPE] is ignored for
+    the process (writes to dead peers fail with [EPIPE] instead).
+
+    {!stop} drains gracefully: the listeners close (no new
+    connections), queued connections are still served, then the workers
+    exit and [stop] returns. {!run} wires this to [SIGTERM]/[SIGINT]
+    for the CLI. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port — see {!port} *)
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  unix_path : string option;  (** additional Unix-domain listener *)
+  jobs : int option;  (** domain-pool width per evaluation;
+                          [None] = {!Core.Sosae.default_jobs} *)
+  workers : int;  (** worker-thread pool size *)
+  queue_capacity : int;  (** accepted-but-unserved connection bound *)
+  read_timeout : float;  (** seconds; also the keep-alive idle timeout *)
+  write_timeout : float;  (** seconds *)
+  max_head : int;  (** request-head byte limit *)
+  max_body : int;  (** request-body byte limit *)
+}
+
+val default_config : config
+(** Port 8080 on 127.0.0.1, no Unix listener, 4 workers, queue of 64,
+    10 s timeouts, {!Http.parser_}'s default size limits. *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind, spawn the pool, return immediately. The registry starts
+    empty.
+    @raise Unix.Unix_error when binding fails (port in use, bad
+    path). *)
+
+val port : t -> int
+(** The actual bound TCP port — equals [config.port] unless that was 0,
+    in which case this is the kernel-assigned ephemeral port (how the
+    tests and bench run servers without port coordination). *)
+
+val ctx : t -> Api.ctx
+(** The live registry + metrics, for in-process inspection. *)
+
+val stop : t -> unit
+(** Graceful drain; idempotent. Returns once every worker has exited. *)
+
+val run : ?config:config -> unit -> unit
+(** [start], print the bound address on stdout, then block until
+    [SIGTERM] or [SIGINT], then [stop]. The CLI entry point. *)

@@ -1,0 +1,330 @@
+type meth = GET | HEAD | POST | PUT | DELETE | OPTIONS | Other of string
+
+let meth_to_string = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | PUT -> "PUT"
+  | DELETE -> "DELETE"
+  | OPTIONS -> "OPTIONS"
+  | Other m -> m
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | "PUT" -> PUT
+  | "DELETE" -> DELETE
+  | "OPTIONS" -> OPTIONS
+  | m -> Other m
+
+type request = {
+  meth : meth;
+  target : string;
+  path : string list;
+  query : (string * string) list;
+  version : [ `Http_1_0 | `Http_1_1 ];
+  headers : (string * string) list;
+  body : string;
+}
+
+let header r name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name r.headers
+
+let keep_alive r =
+  match (r.version, Option.map String.lowercase_ascii (header r "connection")) with
+  | _, Some "close" -> false
+  | `Http_1_1, _ -> true
+  | `Http_1_0, Some "keep-alive" -> true
+  | `Http_1_0, _ -> false
+
+type parse_error =
+  | Bad_request of string
+  | Head_too_large
+  | Body_too_large
+  | Unsupported of string
+
+let parse_error_message = function
+  | Bad_request m -> m
+  | Head_too_large -> "request head exceeds the configured limit"
+  | Body_too_large -> "request body exceeds the configured limit"
+  | Unsupported m -> m
+
+(* ------------------------------------------------------------------ *)
+(* Target decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Percent-decoding; [plus_is_space] for query components. Invalid
+   escapes are kept verbatim rather than rejected: the target already
+   passed the token checks, and a literal '%' in a session id should
+   round-trip rather than kill the request. *)
+let percent_decode ?(plus_is_space = false) s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+        match (hex_value s.[!i + 1], hex_value s.[!i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | '+' when plus_is_space -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let split_target target =
+  let raw_path, raw_query =
+    match String.index_opt target '?' with
+    | Some q ->
+        (String.sub target 0 q, String.sub target (q + 1) (String.length target - q - 1))
+    | None -> (target, "")
+  in
+  let path =
+    String.split_on_char '/' raw_path
+    |> List.filter (fun seg -> seg <> "")
+    |> List.map percent_decode
+  in
+  let query =
+    if raw_query = "" then []
+    else
+      String.split_on_char '&' raw_query
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | Some e ->
+                 ( percent_decode ~plus_is_space:true (String.sub kv 0 e),
+                   percent_decode ~plus_is_space:true
+                     (String.sub kv (e + 1) (String.length kv - e - 1)) )
+             | None -> (percent_decode ~plus_is_space:true kv, ""))
+  in
+  (path, query)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental parsing                                                *)
+(* ------------------------------------------------------------------ *)
+
+type parser_ = {
+  max_head : int;
+  max_body : int;
+  mutable buf : string;  (** unconsumed bytes *)
+  mutable failed : parse_error option;  (** sticky *)
+}
+
+let parser_ ?(max_head = 16 * 1024) ?(max_body = 4 * 1024 * 1024) () =
+  { max_head; max_body; buf = ""; failed = None }
+
+let feed p s = if s <> "" then p.buf <- p.buf ^ s
+
+let buffered p = String.length p.buf
+
+(* index of "\r\n\r\n" in [s], if any *)
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_tchar c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_' | '`'
+  | '|' | '~' ->
+      true
+  | _ -> false
+
+let is_token s = s <> "" && String.for_all is_tchar s
+
+let trim_ows s = String.trim s
+
+let ( let* ) = Result.bind
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      let* () =
+        if is_token meth then Ok ()
+        else Error (Bad_request (Printf.sprintf "malformed method %S" meth))
+      in
+      let* () =
+        if target <> "" && target.[0] = '/' then Ok ()
+        else Error (Bad_request (Printf.sprintf "malformed request target %S" target))
+      in
+      let* version =
+        match version with
+        | "HTTP/1.1" -> Ok `Http_1_1
+        | "HTTP/1.0" -> Ok `Http_1_0
+        | v -> Error (Bad_request (Printf.sprintf "unsupported protocol version %S" v))
+      in
+      Ok (meth_of_string meth, target, version)
+  | _ -> Error (Bad_request (Printf.sprintf "malformed request line %S" line))
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Bad_request (Printf.sprintf "malformed header line %S" line))
+  | Some colon ->
+      let name = String.sub line 0 colon in
+      let value = String.sub line (colon + 1) (String.length line - colon - 1) in
+      if not (is_token name) then
+        Error (Bad_request (Printf.sprintf "malformed header name %S" name))
+      else Ok (String.lowercase_ascii name, trim_ows value)
+
+let rec split_crlf_lines s =
+  match
+    let n = String.length s in
+    let rec go i = if i + 1 >= n then None else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i else go (i + 1) in
+    go 0
+  with
+  | Some i ->
+      String.sub s 0 i
+      :: split_crlf_lines (String.sub s (i + 2) (String.length s - i - 2))
+  | None -> if s = "" then [] else [ s ]
+
+let parse_headers lines =
+  List.fold_left
+    (fun acc line ->
+      let* acc = acc in
+      if line <> "" && (line.[0] = ' ' || line.[0] = '\t') then
+        Error (Bad_request "obsolete header folding is not supported")
+      else
+        let* kv = parse_header_line line in
+        Ok (kv :: acc))
+    (Ok []) lines
+  |> Result.map List.rev
+
+let content_length p headers =
+  match List.filter (fun (k, _) -> k = "content-length") headers with
+  | [] -> Ok 0
+  | (_, v) :: rest ->
+      if List.exists (fun (_, v') -> v' <> v) rest then
+        Error (Bad_request "conflicting Content-Length headers")
+      else if not (v <> "" && String.for_all (function '0' .. '9' -> true | _ -> false) v)
+      then Error (Bad_request (Printf.sprintf "malformed Content-Length %S" v))
+      else (
+        (* lengths within the limit always fit in an int *)
+        match int_of_string_opt v with
+        | Some n when n <= p.max_body -> Ok n
+        | Some _ | None -> Error Body_too_large)
+
+let parse_head p head =
+  let* lines =
+    match split_crlf_lines head with
+    | [] -> Error (Bad_request "empty request head")
+    | request_line :: header_lines -> Ok (request_line, header_lines)
+  in
+  let request_line, header_lines = lines in
+  let* meth, target, version = parse_request_line request_line in
+  let* headers = parse_headers header_lines in
+  let* () =
+    if List.mem_assoc "transfer-encoding" headers then
+      Error (Unsupported "Transfer-Encoding is not supported; use Content-Length")
+    else Ok ()
+  in
+  let* length = content_length p headers in
+  let path, query = split_target target in
+  Ok ({ meth; target; path; query; version; headers; body = "" }, length)
+
+let next p =
+  match p.failed with
+  | Some e -> `Error e
+  | None -> (
+      (* tolerate CRLFs preceding the request line (RFC 9112 §2.2) *)
+      let skip = ref 0 in
+      let n = String.length p.buf in
+      while
+        !skip + 1 < n && p.buf.[!skip] = '\r' && p.buf.[!skip + 1] = '\n'
+      do
+        skip := !skip + 2
+      done;
+      if !skip > 0 then p.buf <- String.sub p.buf !skip (n - !skip);
+      match find_head_end p.buf with
+      | None ->
+          if String.length p.buf > p.max_head then begin
+            p.failed <- Some Head_too_large;
+            `Error Head_too_large
+          end
+          else `Need_more
+      | Some head_end ->
+          if head_end > p.max_head then begin
+            p.failed <- Some Head_too_large;
+            `Error Head_too_large
+          end
+          else (
+            let head = String.sub p.buf 0 head_end in
+            match parse_head p head with
+            | Error e ->
+                p.failed <- Some e;
+                `Error e
+            | Ok (request, length) ->
+                let body_start = head_end + 4 in
+                if String.length p.buf - body_start < length then `Need_more
+                else begin
+                  let body = String.sub p.buf body_start length in
+                  let consumed = body_start + length in
+                  p.buf <-
+                    String.sub p.buf consumed (String.length p.buf - consumed);
+                  `Request { request with body }
+                end))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | s when s >= 200 && s < 300 -> "OK"
+  | s when s >= 400 && s < 500 -> "Client Error"
+  | _ -> "Server Error"
+
+let response ?(headers = []) status body =
+  { status; reason = reason_phrase status; resp_headers = headers; resp_body = body }
+
+let serialize ?request_meth ~close r =
+  let buf = Buffer.create (String.length r.resp_body + 256) in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status r.reason);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.resp_headers;
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length r.resp_body));
+  if close then Buffer.add_string buf "Connection: close\r\n";
+  Buffer.add_string buf "\r\n";
+  (match request_meth with
+  | Some HEAD -> ()
+  | Some _ | None -> Buffer.add_string buf r.resp_body);
+  Buffer.contents buf

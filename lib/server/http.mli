@@ -1,0 +1,80 @@
+(** Hand-rolled HTTP/1.1 on byte strings: an incremental request parser
+    and a response serializer. No sockets here — the daemon feeds bytes
+    in as they arrive and writes the serialized response out — which is
+    what makes the parser property-testable: any split of a valid
+    request into chunks must parse identically, and no byte sequence
+    may raise.
+
+    Supported: request line + headers + [Content-Length] bodies,
+    percent-encoded targets with query strings, keep-alive pipelining
+    (unconsumed bytes stay buffered for the next request). Not
+    supported, by design: [Transfer-Encoding] (rejected as 501-shaped
+    [`Unsupported]), multiline header folding (rejected), HTTP/2. *)
+
+type meth = GET | HEAD | POST | PUT | DELETE | OPTIONS | Other of string
+
+val meth_to_string : meth -> string
+
+type request = {
+  meth : meth;
+  target : string;  (** the raw request target, e.g. ["/sessions/a?x=1"] *)
+  path : string list;  (** decoded segments, e.g. [["sessions"; "a"]] *)
+  query : (string * string) list;  (** decoded key/value pairs *)
+  version : [ `Http_1_0 | `Http_1_1 ];
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive lookup (first match). *)
+
+val keep_alive : request -> bool
+(** HTTP/1.1 without [Connection: close], or HTTP/1.0 with
+    [Connection: keep-alive]. *)
+
+type parse_error =
+  | Bad_request of string  (** malformed request line, header, or framing *)
+  | Head_too_large  (** request line + headers exceed the head limit *)
+  | Body_too_large  (** declared [Content-Length] exceeds the body limit *)
+  | Unsupported of string  (** e.g. [Transfer-Encoding: chunked] *)
+
+val parse_error_message : parse_error -> string
+
+type parser_
+
+val parser_ : ?max_head:int -> ?max_body:int -> unit -> parser_
+(** Limits default to 16 KiB of head and 4 MiB of body. *)
+
+val feed : parser_ -> string -> unit
+(** Append newly received bytes. *)
+
+val next : parser_ -> [ `Request of request | `Need_more | `Error of parse_error ]
+(** Try to extract the next complete request from the buffered bytes.
+    [`Request] consumes the request's bytes (later bytes remain
+    buffered); [`Error] is sticky — the connection cannot be re-synced
+    and must be closed after the error response. Never raises. *)
+
+val buffered : parser_ -> int
+(** Bytes currently buffered (0 on a quiescent keep-alive connection —
+    used to tell an idle timeout from a mid-request one). *)
+
+(** {1 Responses} *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response : ?headers:(string * string) list -> int -> string -> response
+(** [response status body]; the reason phrase comes from the status
+    code. *)
+
+val reason_phrase : int -> string
+
+val serialize : ?request_meth:meth -> close:bool -> response -> string
+(** Status line, headers ([Content-Length] computed, [Connection: close]
+    added when [close]), blank line, body — the exact bytes to write.
+    A [HEAD] [request_meth] suppresses the body but keeps its
+    [Content-Length]. *)

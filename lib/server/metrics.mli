@@ -1,0 +1,34 @@
+(** Server-side observability counters, safe to update from every worker
+    thread. One instance lives for the daemon's lifetime and is rendered
+    by [GET /metrics].
+
+    Tracked: per-route/status request counts, a fixed-bucket latency
+    histogram (cumulative, Prometheus-style), an in-flight gauge, and
+    rejection counters for the two load-shedding paths (full accept
+    queue, request timeouts). *)
+
+type t
+
+val create : unit -> t
+
+val incr_in_flight : t -> unit
+val decr_in_flight : t -> unit
+
+val observe : t -> route:string -> status:int -> seconds:float -> unit
+(** Record one completed request: bumps the route/status counter and
+    adds the latency to the histogram. [route] is the matched pattern
+    (e.g. ["/sessions/:id/evaluate"]), not the concrete target, so the
+    cardinality stays bounded. *)
+
+val reject_overload : t -> unit
+(** A connection was turned away with 429 because the accept queue was
+    full. *)
+
+val reject_timeout : t -> unit
+(** A connection was closed after a read or write timeout. *)
+
+val to_json : t -> extra:(string * Jsonlight.t) list -> Jsonlight.t
+(** Snapshot; [extra] is appended verbatim (the API layer adds
+    registry-wide cache statistics). Buckets are upper bounds in
+    seconds; counts are cumulative ("le" semantics), the last bucket is
+    +inf. *)

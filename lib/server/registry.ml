@@ -1,0 +1,40 @@
+type t = {
+  lock : Mutex.t;
+  sessions : (string, Core.Sosae.Session.t) Hashtbl.t;
+  jobs : int;
+}
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Core.Sosae.default_jobs () in
+  { lock = Mutex.create (); sessions = Hashtbl.create 8; jobs }
+
+let jobs t = t.jobs
+
+let add t ~id ?config project =
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.mem t.sessions id then Error `Conflict
+      else begin
+        Hashtbl.replace t.sessions id (Core.Sosae.Session.create ?config project);
+        Ok ()
+      end)
+
+let remove t id =
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.mem t.sessions id then begin
+        Hashtbl.remove t.sessions id;
+        true
+      end
+      else false)
+
+let ids t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions [])
+  |> List.sort String.compare
+
+let with_session t id f =
+  let session =
+    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.sessions id)
+  in
+  match session with
+  | None -> Error `Not_found
+  | Some s -> Ok (Core.Sosae.Session.exclusively s (fun () -> f s))

@@ -1,0 +1,40 @@
+(** The daemon's collection of named evaluation sessions.
+
+    The registry map itself is guarded by its own lock (creation,
+    lookup, removal); each held {!Core.Sosae.Session.t} is additionally
+    serialized through {!Core.Sosae.Session.exclusively} by
+    {!with_session}, so concurrent requests against the same session
+    queue up while requests against distinct sessions run in
+    parallel. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is the domain-pool width handed to every
+    [Session.evaluate] the server runs (default
+    {!Core.Sosae.default_jobs}). *)
+
+val jobs : t -> int
+
+val add :
+  t ->
+  id:string ->
+  ?config:Walkthrough.Engine.config ->
+  Core.Sosae.project ->
+  (unit, [ `Conflict ]) result
+(** Create a session named [id] over the project. [`Conflict] when the
+    name is taken. *)
+
+val remove : t -> string -> bool
+(** [true] when a session was removed. *)
+
+val ids : t -> string list
+(** Sorted. *)
+
+val with_session :
+  t -> string -> (Core.Sosae.Session.t -> 'a) -> ('a, [ `Not_found ]) result
+(** Run the callback holding the session's private lock
+    ({!Core.Sosae.Session.exclusively}). The registry lock is NOT held
+    during the callback, so slow evaluations don't block unrelated
+    requests; a concurrent [remove] only unlinks the name, the session
+    stays valid for callbacks already running. *)

@@ -1,0 +1,51 @@
+type params = (string * string) list
+
+let param params name =
+  match List.assoc_opt name params with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Router.param: no capture %S" name)
+
+type 'ctx route = {
+  meth : Http.meth;
+  pattern : string;
+  segments : string list;
+  handler : 'ctx -> Http.request -> params -> Http.response;
+}
+
+let route meth pattern handler =
+  let segments =
+    String.split_on_char '/' pattern |> List.filter (fun s -> s <> "")
+  in
+  { meth; pattern; segments; handler }
+
+let pattern r = r.pattern
+
+let match_segments segments path =
+  let rec go acc segments path =
+    match (segments, path) with
+    | [], [] -> Some (List.rev acc)
+    | seg :: segments, p :: path ->
+        if String.length seg > 0 && seg.[0] = ':' then
+          go ((String.sub seg 1 (String.length seg - 1), p) :: acc) segments path
+        else if String.equal seg p then go acc segments path
+        else None
+    | _ -> None
+  in
+  go [] segments path
+
+let dispatch routes ctx (request : Http.request) =
+  let matches =
+    List.filter_map
+      (fun r ->
+        match match_segments r.segments request.Http.path with
+        | Some params -> Some (r, params)
+        | None -> None)
+      routes
+  in
+  match List.find_opt (fun (r, _) -> r.meth = request.Http.meth) matches with
+  | Some (r, params) ->
+      `Response (r.pattern, r.handler ctx request params)
+  | None -> (
+      match matches with
+      | [] -> `Not_found
+      | _ -> `Method_not_allowed (List.map (fun (r, _) -> r.meth) matches))

@@ -1,0 +1,30 @@
+(** Method + path-pattern dispatch. Patterns are literal segments with
+    [:name] captures, e.g. ["/sessions/:id/evaluate"]; a request path
+    matches when the segment counts agree and every literal segment is
+    equal. Captures are handed to the handler by name. *)
+
+type params = (string * string) list
+
+val param : params -> string -> string
+(** @raise Invalid_argument on a capture name absent from the pattern —
+    a programming error in the route table, not a request error. *)
+
+type 'ctx route
+
+val route :
+  Http.meth ->
+  string ->
+  ('ctx -> Http.request -> params -> Http.response) ->
+  'ctx route
+
+val pattern : _ route -> string
+
+val dispatch :
+  'ctx route list ->
+  'ctx ->
+  Http.request ->
+  [ `Response of string * Http.response  (** matched pattern, for metrics *)
+  | `Not_found
+  | `Method_not_allowed of Http.meth list  (** the path exists under these *) ]
+(** Handlers are not expected to raise; the daemon wraps dispatch in a
+    catch-all that maps escapes to 500. *)

@@ -1,32 +1,11 @@
-(** Minimal JSON document builder (and reader) for machine-readable
-    reports.
+(** Deprecated alias of {!Jsonlight}, kept so call sites written
+    against [Walkthrough.Json] compile unchanged. The JSON builder and
+    parser now live in the standalone [jsonlight] library; all types
+    are equal ([Walkthrough.Json.t = Jsonlight.t]), so migration is a
+    textual rename. *)
 
-    Strings are escaped per RFC 8259; non-finite floats serialize as
-    [null]. {!of_string} parses documents this module wrote (plus
-    whitespace) — enough to read a report back and merge into it. *)
+[@@@deprecated "use Jsonlight instead; Walkthrough.Json is a compatibility alias"]
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact, single-line. *)
-
-val to_buffer : Buffer.t -> t -> unit
-
-val strings : string list -> t
-(** [List] of [String]s. *)
-
-val of_string : string -> (t, string) result
-(** Parse one JSON document. Numbers without [.]/[e] parse as [Int]
-    (falling back to [Float] when out of [int] range), others as
-    [Float]. *)
-
-val member : string -> t -> t option
-(** First field of that name when the value is an [Obj]; [None]
-    otherwise. *)
+include module type of struct
+  include Jsonlight
+end

@@ -73,103 +73,103 @@ let summary_line r =
 (* ---- machine-readable form (the CLI's --json flag) ---------------- *)
 
 let json_of_inconsistency i =
-  let tagged tag fields = Json.Obj (("kind", Json.String tag) :: fields) in
+  let tagged tag fields = Jsonlight.Obj (("kind", Jsonlight.String tag) :: fields) in
   match i with
   | Verdict.Unmapped_event_type { step; event_type } ->
       tagged "unmapped-event-type"
-        [ ("step", Json.Int step); ("event_type", Json.String event_type) ]
+        [ ("step", Jsonlight.Int step); ("event_type", Jsonlight.String event_type) ]
   | Verdict.Unmapped_simple_event { step; event } ->
       tagged "unmapped-simple-event"
-        [ ("step", Json.Int step); ("event", Json.String event) ]
+        [ ("step", Jsonlight.Int step); ("event", Jsonlight.String event) ]
   | Verdict.Missing_link { step; from_components; to_components } ->
       tagged "missing-link"
         [
-          ("step", Json.Int step);
-          ("from_components", Json.strings from_components);
-          ("to_components", Json.strings to_components);
+          ("step", Jsonlight.Int step);
+          ("from_components", Jsonlight.strings from_components);
+          ("to_components", Jsonlight.strings to_components);
         ]
   | Verdict.Constraint_violation v ->
       tagged "constraint-violation"
         [
-          ("rule", Json.String v.Styles.Rule.rule);
-          ("subject", Json.String v.Styles.Rule.subject);
-          ("detail", Json.String v.Styles.Rule.detail);
+          ("rule", Jsonlight.String v.Styles.Rule.rule);
+          ("subject", Jsonlight.String v.Styles.Rule.subject);
+          ("detail", Jsonlight.String v.Styles.Rule.detail);
         ]
   | Verdict.Negative_scenario_executes { scenario; trace_index } ->
       tagged "negative-scenario-executes"
-        [ ("scenario", Json.String scenario); ("trace_index", Json.Int trace_index) ]
+        [ ("scenario", Jsonlight.String scenario); ("trace_index", Jsonlight.Int trace_index) ]
 
 let json_of_step s =
-  Json.Obj
+  Jsonlight.Obj
     [
-      ("index", Json.Int s.Verdict.index);
-      ("text", Json.String s.Verdict.text);
+      ("index", Jsonlight.Int s.Verdict.index);
+      ("text", Jsonlight.String s.Verdict.text);
       ( "event_type",
-        match s.Verdict.event_type with Some t -> Json.String t | None -> Json.Null );
-      ("components", Json.strings s.Verdict.components);
+        match s.Verdict.event_type with Some t -> Jsonlight.String t | None -> Jsonlight.Null );
+      ("components", Jsonlight.strings s.Verdict.components);
       ( "hop",
         match s.Verdict.hop with
         | Some h ->
-            Json.Obj
+            Jsonlight.Obj
               [
-                ("from", Json.String h.Verdict.hop_from);
-                ("to", Json.String h.Verdict.hop_to);
-                ("via", Json.strings h.Verdict.via);
+                ("from", Jsonlight.String h.Verdict.hop_from);
+                ("to", Jsonlight.String h.Verdict.hop_to);
+                ("via", Jsonlight.strings h.Verdict.via);
               ]
-        | None -> Json.Null );
-      ("problems", Json.List (List.map json_of_inconsistency s.Verdict.step_problems));
+        | None -> Jsonlight.Null );
+      ("problems", Jsonlight.List (List.map json_of_inconsistency s.Verdict.step_problems));
     ]
 
 let json_of_trace t =
-  Json.Obj
+  Jsonlight.Obj
     [
-      ("trace_index", Json.Int t.Verdict.trace_index);
-      ("walked", Json.Bool t.Verdict.walked);
-      ("steps", Json.List (List.map json_of_step t.Verdict.steps));
+      ("trace_index", Jsonlight.Int t.Verdict.trace_index);
+      ("walked", Jsonlight.Bool t.Verdict.walked);
+      ("steps", Jsonlight.List (List.map json_of_step t.Verdict.steps));
     ]
 
 let json_of_scenario_result r =
-  Json.Obj
+  Jsonlight.Obj
     [
-      ("scenario_id", Json.String r.Verdict.scenario_id);
-      ("scenario_name", Json.String r.Verdict.scenario_name);
-      ("negative", Json.Bool r.Verdict.negative);
+      ("scenario_id", Jsonlight.String r.Verdict.scenario_id);
+      ("scenario_name", Jsonlight.String r.Verdict.scenario_name);
+      ("negative", Jsonlight.Bool r.Verdict.negative);
       ( "verdict",
-        Json.String
+        Jsonlight.String
           (match r.Verdict.verdict with
           | Verdict.Consistent -> "consistent"
           | Verdict.Inconsistent -> "inconsistent") );
-      ("truncated", Json.Bool r.Verdict.truncated);
-      ("traces", Json.List (List.map json_of_trace r.Verdict.traces));
+      ("truncated", Jsonlight.Bool r.Verdict.truncated);
+      ("traces", Jsonlight.List (List.map json_of_trace r.Verdict.traces));
       ( "inconsistencies",
-        Json.List (List.map json_of_inconsistency r.Verdict.inconsistencies) );
+        Jsonlight.List (List.map json_of_inconsistency r.Verdict.inconsistencies) );
     ]
 
 let json_of_violation v =
-  Json.Obj
+  Jsonlight.Obj
     [
-      ("rule", Json.String v.Styles.Rule.rule);
-      ("subject", Json.String v.Styles.Rule.subject);
-      ("detail", Json.String v.Styles.Rule.detail);
+      ("rule", Jsonlight.String v.Styles.Rule.rule);
+      ("subject", Jsonlight.String v.Styles.Rule.subject);
+      ("detail", Jsonlight.String v.Styles.Rule.detail);
     ]
 
 let json_of_set_result (r : Engine.set_result) =
-  Json.Obj
+  Jsonlight.Obj
     [
-      ("consistent", Json.Bool r.Engine.consistent);
-      ("scenarios", Json.List (List.map json_of_scenario_result r.Engine.results));
+      ("consistent", Jsonlight.Bool r.Engine.consistent);
+      ("scenarios", Jsonlight.List (List.map json_of_scenario_result r.Engine.results));
       ( "style_violations",
-        Json.List (List.map json_of_violation r.Engine.style_violations) );
+        Jsonlight.List (List.map json_of_violation r.Engine.style_violations) );
       ( "coverage_problems",
-        Json.strings
+        Jsonlight.strings
           (List.map
              (Format.asprintf "%a" Mapping.Coverage.pp_problem)
              r.Engine.coverage_problems) );
     ]
 
-let scenario_result_to_json r = Json.to_string (json_of_scenario_result r)
+let scenario_result_to_json r = Jsonlight.to_string (json_of_scenario_result r)
 
-let set_result_to_json r = Json.to_string (json_of_set_result r)
+let set_result_to_json r = Jsonlight.to_string (json_of_set_result r)
 
 let trace_to_dot architecture t =
   let highlight =

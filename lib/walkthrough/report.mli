@@ -20,11 +20,11 @@ val summary_line : Verdict.scenario_result -> string
     CLI's [evaluate --json] (and the shared story with
     [Sosae.validation_to_json]). *)
 
-val json_of_inconsistency : Verdict.inconsistency -> Json.t
+val json_of_inconsistency : Verdict.inconsistency -> Jsonlight.t
 
-val json_of_scenario_result : Verdict.scenario_result -> Json.t
+val json_of_scenario_result : Verdict.scenario_result -> Jsonlight.t
 
-val json_of_set_result : Engine.set_result -> Json.t
+val json_of_set_result : Engine.set_result -> Jsonlight.t
 
 val scenario_result_to_json : Verdict.scenario_result -> string
 

@@ -100,7 +100,11 @@ let test_pims_xml_roundtrip () =
   and a = Filename.concat dir "a.xml"
   and m = Filename.concat dir "m.xml" in
   Core.Sosae.save_project pims_project ~scenarios:s ~architecture:a ~mapping:m;
-  let reloaded = Core.Sosae.load_project ~scenarios:s ~architecture:a ~mapping:m in
+  let reloaded =
+    match Core.Sosae.load_project_result ~scenarios:s ~architecture:a ~mapping:m with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "reload failed: %s" (Core.Sosae.load_error_to_string e)
+  in
   Alcotest.(check bool) "scenarios identical" true
     (reloaded.Core.Sosae.scenarios = pims_project.Core.Sosae.scenarios);
   Alcotest.(check bool) "architecture identical" true

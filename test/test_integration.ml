@@ -45,18 +45,34 @@ let test_config_threading () =
 let test_load_errors () =
   Alcotest.(check bool) "missing file" true
     (match
-       Core.Sosae.load_project ~scenarios:"/nonexistent/s.xml"
+       Core.Sosae.load_project_result ~scenarios:"/nonexistent/s.xml"
          ~architecture:"/nonexistent/a.xml" ~mapping:"/nonexistent/m.xml"
      with
-    | exception Core.Sosae.Load_error _ -> true
+    | Error (Core.Sosae.Io_error { artifact = Core.Sosae.Scenarios; _ }) -> true
     | _ -> false);
   let tmp = Filename.temp_file "bad" ".xml" in
   let oc = open_out tmp in
   output_string oc "<notAScenarioSet/>";
   close_out oc;
   Alcotest.(check bool) "wrong schema" true
-    (match Core.Sosae.load_project ~scenarios:tmp ~architecture:tmp ~mapping:tmp with
-    | exception Core.Sosae.Load_error _ -> true
+    (match Core.Sosae.load_project_result ~scenarios:tmp ~architecture:tmp ~mapping:tmp with
+    | Error (Core.Sosae.Schema_error { artifact = Core.Sosae.Scenarios; _ }) -> true
+    | _ -> false);
+  (* in-memory loading reports the artifact slot instead of a file *)
+  Alcotest.(check bool) "string loading, malformed XML" true
+    (match
+       Core.Sosae.project_of_strings ~scenarios:"<scenarioSet" ~architecture:""
+         ~mapping:""
+     with
+    | Error (Core.Sosae.Xml_error { file = "<scenarios>"; _ }) -> true
+    | _ -> false);
+  (* the deprecated raising convenience still behaves *)
+  Alcotest.(check bool) "deprecated raising API" true
+    (match
+       (Core.Sosae.load_project [@alert "-deprecated"]) ~scenarios:tmp ~architecture:tmp
+         ~mapping:tmp
+     with
+    | exception (Core.Sosae.Load_error _ [@alert "-deprecated"]) -> true
     | _ -> false);
   Sys.remove tmp
 

@@ -24,5 +24,6 @@ let () =
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("evolution", Test_evolution.suite);
+      ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,547 @@
+(* The evaluation server: HTTP parser unit + property tests, router
+   dispatch, and end-to-end daemon tests over real sockets — including
+   the paper's Fig. 4 excise-and-re-evaluate flow as HTTP calls, whose
+   verdicts must be bit-identical to an in-process Session. *)
+
+module Http = Server.Http
+module Router = Server.Router
+
+(* ---------------- HTTP parser: units ------------------------------ *)
+
+let parse_one bytes =
+  let p = Http.parser_ () in
+  Http.feed p bytes;
+  Http.next p
+
+let test_parse_simple () =
+  match parse_one "GET /sessions/a%20b/stats?x=1&y=two+three HTTP/1.1\r\nHost: h\r\n\r\n" with
+  | `Request r ->
+      Alcotest.(check bool) "GET" true (r.Http.meth = Http.GET);
+      Alcotest.(check (list string))
+        "decoded path" [ "sessions"; "a b"; "stats" ] r.Http.path;
+      Alcotest.(check (list (pair string string)))
+        "decoded query"
+        [ ("x", "1"); ("y", "two three") ]
+        r.Http.query;
+      Alcotest.(check bool) "keep alive" true (Http.keep_alive r);
+      Alcotest.(check string) "body empty" "" r.Http.body
+  | `Need_more -> Alcotest.fail "need more"
+  | `Error e -> Alcotest.fail (Http.parse_error_message e)
+
+let test_parse_body_and_pipeline () =
+  let p = Http.parser_ () in
+  Http.feed p "POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /b HTTP/1.1\r\n\r\n";
+  (match Http.next p with
+  | `Request r ->
+      Alcotest.(check string) "body" "hello" r.Http.body;
+      Alcotest.(check (list string)) "path a" [ "a" ] r.Http.path
+  | _ -> Alcotest.fail "first request");
+  (match Http.next p with
+  | `Request r ->
+      Alcotest.(check (list string)) "pipelined path b" [ "b" ] r.Http.path;
+      Alcotest.(check bool) "drained" true (Http.buffered p = 0)
+  | _ -> Alcotest.fail "second request");
+  Alcotest.(check bool) "then quiescent" true (Http.next p = `Need_more)
+
+let test_parse_errors () =
+  let err bytes =
+    match parse_one bytes with
+    | `Error e -> e
+    | `Request _ -> Alcotest.fail ("parsed: " ^ String.escaped bytes)
+    | `Need_more -> Alcotest.fail ("need more: " ^ String.escaped bytes)
+  in
+  (match err "GET /\r\n\r\n" with
+  | Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "missing version");
+  (match err "GET / HTTP/2\r\n\r\n" with
+  | Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "http/2");
+  (match err "GET nothing HTTP/1.1\r\n\r\n" with
+  | Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "relative target");
+  (match err "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" with
+  | Http.Unsupported _ -> ()
+  | _ -> Alcotest.fail "transfer-encoding");
+  (match err "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n" with
+  | Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "conflicting lengths");
+  (* errors are sticky *)
+  let p = Http.parser_ () in
+  Http.feed p "BAD\r\n\r\n";
+  (match Http.next p with `Error _ -> () | _ -> Alcotest.fail "bad line");
+  Http.feed p "GET / HTTP/1.1\r\n\r\n";
+  match Http.next p with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "error should be sticky"
+
+let test_parse_limits () =
+  let p = Http.parser_ ~max_head:64 ~max_body:10 () in
+  Http.feed p ("GET / HTTP/1.1\r\nX: " ^ String.make 100 'a' ^ "\r\n\r\n");
+  (match Http.next p with
+  | `Error Http.Head_too_large -> ()
+  | _ -> Alcotest.fail "head limit");
+  let p = Http.parser_ ~max_body:10 () in
+  Http.feed p "POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n";
+  (match Http.next p with
+  | `Error Http.Body_too_large -> ()
+  | _ -> Alcotest.fail "body limit");
+  (* a huge declared length must be rejected before the bytes arrive,
+     and without overflowing *)
+  let p = Http.parser_ ~max_body:10 () in
+  Http.feed p "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n";
+  match Http.next p with
+  | `Error Http.Body_too_large -> ()
+  | _ -> Alcotest.fail "overflowing length"
+
+let test_serialize () =
+  let r = Http.response ~headers:[ ("Content-Type", "text/plain") ] 200 "hi" in
+  Alcotest.(check string) "basic"
+    "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi"
+    (Http.serialize ~close:false r);
+  Alcotest.(check bool) "close header" true
+    (let s = Http.serialize ~close:true r in
+     let rec contains i =
+       i >= 0
+       && (String.length s - i >= 17 && String.sub s i 17 = "Connection: close"
+          || contains (i - 1))
+     in
+     contains (String.length s - 17));
+  (* HEAD keeps Content-Length but drops the body *)
+  let head = Http.serialize ~request_meth:Http.HEAD ~close:false r in
+  Alcotest.(check bool) "head has length" true
+    (String.length head < String.length (Http.serialize ~close:false r));
+  Alcotest.(check string) "head ends at blank line" "\r\n\r\n"
+    (String.sub head (String.length head - 4) 4)
+
+(* ---------------- HTTP parser: properties -------------------------- *)
+
+(* a valid request and a random chunking of its bytes *)
+let gen_request_and_cuts =
+  QCheck2.Gen.(
+    let ident = string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; '0'; '-' ]) (int_range 1 8) in
+    let* meth = oneofl [ "GET"; "POST"; "DELETE"; "PUT" ] in
+    let* segments = list_size (int_range 0 4) ident in
+    let* body = string_size ~gen:(oneofl [ 'x'; '{'; '"'; ' '; '\n' ]) (int_range 0 64) in
+    let* extra_headers = list_size (int_range 0 3) (pair ident ident) in
+    let target = "/" ^ String.concat "/" segments in
+    let head =
+      Printf.sprintf "%s %s HTTP/1.1\r\n%sContent-Length: %d\r\n\r\n" meth target
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf "x-%s: %s\r\n" k v) extra_headers))
+        (String.length body)
+    in
+    let bytes = head ^ body in
+    let* cuts = list_size (int_range 0 8) (int_range 0 (String.length bytes)) in
+    return (bytes, cuts))
+
+let chunks_of bytes cuts =
+  let cuts = List.sort_uniq compare (0 :: String.length bytes :: cuts) in
+  let rec go = function
+    | a :: (b :: _ as rest) -> String.sub bytes a (b - a) :: go rest
+    | _ -> []
+  in
+  go cuts
+
+let prop_torn_reads =
+  QCheck2.Test.make
+    ~name:"http parser: any chunking of a valid request parses identically"
+    ~count:500 gen_request_and_cuts (fun (bytes, cuts) ->
+      let whole =
+        match parse_one bytes with
+        | `Request r -> r
+        | _ -> QCheck2.Test.fail_report "whole request did not parse"
+      in
+      let p = Http.parser_ () in
+      let result = ref `Need_more in
+      List.iter
+        (fun chunk ->
+          Http.feed p chunk;
+          match Http.next p with
+          | `Request r -> result := `Request r
+          | `Need_more -> ()
+          | `Error e -> QCheck2.Test.fail_report (Http.parse_error_message e))
+        (chunks_of bytes cuts);
+      match !result with
+      | `Request r -> r = whole && Http.buffered p = 0
+      | `Need_more -> QCheck2.Test.fail_report "chunked feed never completed")
+
+let prop_no_crash =
+  QCheck2.Test.make ~name:"http parser: arbitrary bytes never raise" ~count:1000
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+    (fun junk ->
+      let p = Http.parser_ ~max_head:128 ~max_body:128 () in
+      Http.feed p junk;
+      let rec drain n =
+        if n = 0 then true
+        else
+          match Http.next p with
+          | `Request _ -> drain (n - 1)
+          | `Need_more | `Error _ -> true
+      in
+      drain 8)
+
+let prop_oversized_rejected =
+  QCheck2.Test.make
+    ~name:"http parser: declared bodies beyond the limit always error"
+    ~count:200
+    QCheck2.Gen.(int_range 11 1_000_000)
+    (fun n ->
+      let p = Http.parser_ ~max_body:10 () in
+      Http.feed p (Printf.sprintf "POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n" n);
+      match Http.next p with `Error Http.Body_too_large -> true | _ -> false)
+
+(* ---------------- router ------------------------------------------ *)
+
+let test_router () =
+  let routes =
+    [
+      Router.route Http.GET "/health" (fun () _ _ -> Http.response 200 "h");
+      Router.route Http.GET "/sessions/:id/stats" (fun () _ params ->
+          Http.response 200 (Router.param params "id"));
+      Router.route Http.POST "/sessions/:id/evaluate" (fun () _ _ ->
+          Http.response 200 "e");
+    ]
+  in
+  let request target meth =
+    match parse_one (Printf.sprintf "%s %s HTTP/1.1\r\n\r\n" (Http.meth_to_string meth) target) with
+    | `Request r -> r
+    | _ -> Alcotest.fail "request"
+  in
+  (match Router.dispatch routes () (request "/sessions/pims/stats" Http.GET) with
+  | `Response (pattern, r) ->
+      Alcotest.(check string) "pattern" "/sessions/:id/stats" pattern;
+      Alcotest.(check string) "captured id" "pims" r.Http.resp_body
+  | _ -> Alcotest.fail "should match");
+  (match Router.dispatch routes () (request "/nope" Http.GET) with
+  | `Not_found -> ()
+  | _ -> Alcotest.fail "should be 404");
+  match Router.dispatch routes () (request "/health" Http.POST) with
+  | `Method_not_allowed [ Http.GET ] -> ()
+  | _ -> Alcotest.fail "should be 405 allowing GET"
+
+(* ---------------- end-to-end over sockets -------------------------- *)
+
+let project =
+  {
+    Core.Sosae.scenarios = Casestudies.Pims.scenario_set;
+    architecture = Casestudies.Pims.architecture;
+    mapping = Casestudies.Pims.mapping;
+  }
+
+(* the three PIMS artifacts as XML strings, via a temp-dir round trip *)
+let artifact_strings =
+  lazy
+    (let dir = Filename.temp_file "sosae" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     let f name = Filename.concat dir name in
+     Core.Sosae.save_project project ~scenarios:(f "s.xml")
+       ~architecture:(f "a.xml") ~mapping:(f "m.xml");
+     let read name =
+       let ic = open_in_bin (f name) in
+       let s = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       s
+     in
+     let result = (read "s.xml", read "a.xml", read "m.xml") in
+     Array.iter (fun n -> Sys.remove (f n)) [| "s.xml"; "a.xml"; "m.xml" |];
+     Unix.rmdir dir;
+     result)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 16) in
+  Jsonlight.to_buffer buf (Jsonlight.String s);
+  Buffer.contents buf
+
+let create_body id =
+  let scenarios, architecture, mapping = Lazy.force artifact_strings in
+  Printf.sprintf
+    {|{"id":%s,"scenarios":%s,"architecture":%s,"mapping":%s}|}
+    (json_escape id) (json_escape scenarios) (json_escape architecture)
+    (json_escape mapping)
+
+let with_daemon ?(config = Server.Daemon.default_config) f =
+  let t =
+    Server.Daemon.start ~config:{ config with Server.Daemon.port = 0 } ()
+  in
+  Fun.protect ~finally:(fun () -> Server.Daemon.stop t) (fun () -> f t)
+
+let with_client t f =
+  let c = Server.Client.connect ~port:(Server.Daemon.port t) () in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+let ok = function
+  | Ok (r : Server.Client.response) -> r
+  | Error m -> Alcotest.fail ("client: " ^ m)
+
+let body_json (r : Server.Client.response) =
+  match Jsonlight.of_string r.Server.Client.body with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "response body is not JSON (%s): %s" m r.Server.Client.body
+
+let member_exn name json =
+  match Jsonlight.member name json with
+  | Some j -> j
+  | None -> Alcotest.failf "response lacks %S: %s" name (Jsonlight.to_string json)
+
+let expect_error status category (r : Server.Client.response) =
+  Alcotest.(check int) (category ^ " status") status r.Server.Client.status;
+  let cat =
+    body_json r |> member_exn "error" |> member_exn "category"
+    |> Jsonlight.string_opt |> Option.get
+  in
+  Alcotest.(check string) "category" category cat
+
+let test_e2e_health_and_errors () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let r = ok (Server.Client.get c "/health") in
+          Alcotest.(check int) "health 200" 200 r.Server.Client.status;
+          Alcotest.(check (option string))
+            "status ok" (Some "ok")
+            (body_json r |> member_exn "status" |> Jsonlight.string_opt);
+          (* one keep-alive connection serves all of these *)
+          expect_error 404 "not_found" (ok (Server.Client.get c "/nope"));
+          expect_error 404 "not_found"
+            (ok (Server.Client.post c "/sessions/ghost/evaluate" ~body:""));
+          expect_error 405 "method_not_allowed"
+            (ok (Server.Client.post c "/health" ~body:""));
+          expect_error 400 "bad_request"
+            (ok (Server.Client.post c "/sessions" ~body:"{not json"));
+          expect_error 400 "xml_error"
+            (ok
+               (Server.Client.post c "/sessions"
+                  ~body:
+                    {|{"id":"x","scenarios":"<scenarioSet","architecture":"","mapping":""}|}));
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "dup")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status;
+          expect_error 409 "conflict"
+            (ok (Server.Client.post c "/sessions" ~body:(create_body "dup")));
+          let r = ok (Server.Client.request c Http.DELETE "/sessions/dup") in
+          Alcotest.(check int) "deleted" 200 r.Server.Client.status;
+          expect_error 404 "not_found"
+            (ok (Server.Client.request c Http.DELETE "/sessions/dup"))))
+
+(* The acceptance bar: the Fig. 4 excise-and-re-evaluate flow over
+   HTTP must produce verdicts bit-identical to an in-process
+   Session. Stats deltas are compared too: the cache behaves the same
+   whether driven over the wire or directly. *)
+let test_e2e_fig4_bit_identical () =
+  with_daemon (fun t ->
+      let expected = Core.Sosae.Session.create project in
+      let expected_json () =
+        Jsonlight.to_string
+          (Walkthrough.Report.json_of_set_result
+             (Core.Sosae.Session.evaluate ~jobs:2 expected))
+      in
+      with_client t (fun c ->
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "pims")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status;
+          let evaluate () =
+            let r = ok (Server.Client.post c "/sessions/pims/evaluate" ~body:"{}") in
+            Alcotest.(check int) "evaluate 200" 200 r.Server.Client.status;
+            let json = body_json r in
+            ( Jsonlight.to_string (member_exn "result" json),
+              member_exn "re_evaluated" json |> Jsonlight.int_opt |> Option.get,
+              member_exn "served_from_cache" json |> Jsonlight.int_opt |> Option.get )
+          in
+          (* initial evaluation: everything is a fresh walk *)
+          let result, re_evaluated, from_cache = evaluate () in
+          Alcotest.(check string) "initial verdicts identical" (expected_json ()) result;
+          Alcotest.(check int) "22 fresh walks" 22 re_evaluated;
+          Alcotest.(check int) "nothing cached yet" 0 from_cache;
+          (* excise the Loader–Data Access link, as Fig. 4 does *)
+          let r =
+            ok
+              (Server.Client.post c "/sessions/pims/diff"
+                 ~body:
+                   {|{"ops":[{"op":"excise","from":"data-access","to":"loader"}]}|})
+          in
+          Alcotest.(check int) "diff 200" 200 r.Server.Client.status;
+          Core.Sosae.Session.apply_diff expected
+            [
+              Adl.Diff.Remove_link
+                (let link =
+                   List.find
+                     (fun (l : Adl.Structure.link) ->
+                       let a = l.Adl.Structure.link_from.Adl.Structure.anchor
+                       and b = l.Adl.Structure.link_to.Adl.Structure.anchor in
+                       (a = "data-access" && b = "loader")
+                       || (a = "loader" && b = "data-access"))
+                     (Core.Sosae.Session.project expected).Core.Sosae.architecture
+                       .Adl.Structure.links
+                 in
+                 link.Adl.Structure.link_id);
+            ];
+          (* re-evaluation: the broken verdicts, mostly from cache *)
+          let result, re_evaluated, from_cache = evaluate () in
+          Alcotest.(check string) "post-excision verdicts identical"
+            (expected_json ()) result;
+          Alcotest.(check bool) "some re-walked" true (re_evaluated > 0);
+          Alcotest.(check bool) "most served from cache" true
+            (from_cache > re_evaluated);
+          Alcotest.(check bool) "broken architecture detected" true
+            (match
+               Jsonlight.of_string result |> Result.get_ok
+               |> Jsonlight.member "consistent"
+             with
+            | Some (Jsonlight.Bool b) -> not b
+            | _ -> Alcotest.fail "no consistent field");
+          (* a sub-suite through the cache matches evaluate_scenario *)
+          let r =
+            ok
+              (Server.Client.post c "/sessions/pims/evaluate"
+                 ~body:{|{"scenarios":["get-share-prices"]}|})
+          in
+          let sub =
+            body_json r |> member_exn "results" |> Jsonlight.list_opt |> Option.get
+          in
+          let direct =
+            Walkthrough.Report.json_of_scenario_result
+              (Option.get
+                 (Core.Sosae.Session.evaluate_scenario expected "get-share-prices"))
+          in
+          Alcotest.(check string) "sub-suite verdict identical"
+            (Jsonlight.to_string direct)
+            (Jsonlight.to_string (List.hd sub));
+          expect_error 404 "not_found"
+            (ok
+               (Server.Client.post c "/sessions/pims/evaluate"
+                  ~body:{|{"scenarios":["nope"]}|}));
+          expect_error 409 "apply_error"
+            (ok
+               (Server.Client.post c "/sessions/pims/diff"
+                  ~body:{|{"ops":[{"op":"excise","from":"data-access","to":"loader"}]}|}))))
+
+let test_e2e_concurrent_clients () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "shared")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status);
+      let expected =
+        Jsonlight.to_string
+          (Walkthrough.Report.json_of_set_result
+             (Core.Sosae.Session.evaluate ~jobs:2 (Core.Sosae.Session.create project)))
+      in
+      let n = 8 in
+      let results = Array.make n (Error "unset") in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  (try
+                     with_client t (fun c ->
+                         let r =
+                           ok (Server.Client.post c "/sessions/shared/evaluate" ~body:"")
+                         in
+                         Ok
+                           ( r.Server.Client.status,
+                             Jsonlight.to_string
+                               (member_exn "result" (body_json r)) ))
+                   with e -> Error (Printexc.to_string e)))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i result ->
+          match result with
+          | Error m -> Alcotest.failf "client %d failed: %s" i m
+          | Ok (status, result) ->
+              Alcotest.(check int) (Printf.sprintf "client %d status" i) 200 status;
+              Alcotest.(check string)
+                (Printf.sprintf "client %d verdicts" i)
+                expected result)
+        results;
+      (* all 8 calls hit one session: 22 walks total, the rest cache *)
+      let stats_body =
+        with_client t (fun c -> ok (Server.Client.get c "/sessions/shared/stats"))
+      in
+      let stats = body_json stats_body |> member_exn "stats" in
+      Alcotest.(check (option int))
+        "22 walks across all clients" (Some 22)
+        (member_exn "evaluations" stats |> Jsonlight.int_opt);
+      Alcotest.(check (option int))
+        "7x22 cache hits"
+        (Some (7 * 22))
+        (member_exn "cache_hits" stats |> Jsonlight.int_opt))
+
+let test_e2e_robustness () =
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.read_timeout = 0.3;
+      max_body = 2048;
+      workers = 2;
+    }
+  in
+  with_daemon ~config (fun t ->
+      (* oversized body → 413 with the payload_too_large category *)
+      with_client t (fun c ->
+          expect_error 413 "payload_too_large"
+            (ok
+               (Server.Client.post c "/sessions"
+                  ~body:(String.make 4096 'x'))));
+      (* torn request + timeout → 408, connection closed *)
+      (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.connect fd
+         (Unix.ADDR_INET
+            (Unix.inet_addr_of_string "127.0.0.1", Server.Daemon.port t));
+       let partial = "POST /sessions HTTP/1.1\r\nContent-Le" in
+       ignore (Unix.write_substring fd partial 0 (String.length partial));
+       let buf = Bytes.create 1024 in
+       let n = Unix.read fd buf 0 1024 in
+       let response = Bytes.sub_string buf 0 n in
+       Unix.close fd;
+       Alcotest.(check bool) "408 on mid-request timeout" true
+         (String.length response >= 12 && String.sub response 9 3 = "408"));
+      (* unparseable request line → 400 and close *)
+      with_client t (fun c ->
+          match Server.Client.request c (Http.Other "NO SUCH") "/" with
+          | Ok r -> Alcotest.(check int) "400 on garbage" 400 r.Server.Client.status
+          | Error m -> Alcotest.fail m);
+      (* the daemon survives all of the above *)
+      with_client t (fun c ->
+          Alcotest.(check int) "still healthy" 200
+            (ok (Server.Client.get c "/health")).Server.Client.status))
+
+let test_e2e_unix_socket () =
+  let path = Filename.temp_file "sosae" ".sock" in
+  Sys.remove path;
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.unix_path = Some path }
+  in
+  with_daemon ~config (fun _t ->
+      let c = Server.Client.connect_unix path in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          Alcotest.(check int) "health over unix socket" 200
+            (ok (Server.Client.get c "/health")).Server.Client.status));
+  Alcotest.(check bool) "socket file removed on stop" false (Sys.file_exists path)
+
+let test_stop_idempotent () =
+  let t = Server.Daemon.start ~config:{ Server.Daemon.default_config with Server.Daemon.port = 0 } () in
+  Server.Daemon.stop t;
+  Server.Daemon.stop t
+
+let suite =
+  [
+    Alcotest.test_case "http: simple request" `Quick test_parse_simple;
+    Alcotest.test_case "http: body + pipelining" `Quick test_parse_body_and_pipeline;
+    Alcotest.test_case "http: malformed inputs" `Quick test_parse_errors;
+    Alcotest.test_case "http: size limits" `Quick test_parse_limits;
+    Alcotest.test_case "http: serialization" `Quick test_serialize;
+    QCheck_alcotest.to_alcotest prop_torn_reads;
+    QCheck_alcotest.to_alcotest prop_no_crash;
+    QCheck_alcotest.to_alcotest prop_oversized_rejected;
+    Alcotest.test_case "router dispatch" `Quick test_router;
+    Alcotest.test_case "e2e: health + error taxonomy" `Quick test_e2e_health_and_errors;
+    Alcotest.test_case "e2e: Fig. 4 over HTTP, bit-identical" `Quick
+      test_e2e_fig4_bit_identical;
+    Alcotest.test_case "e2e: concurrent clients, one session" `Quick
+      test_e2e_concurrent_clients;
+    Alcotest.test_case "e2e: robustness (413, 408, garbage)" `Quick test_e2e_robustness;
+    Alcotest.test_case "e2e: unix-domain socket" `Quick test_e2e_unix_socket;
+    Alcotest.test_case "daemon: stop is idempotent" `Quick test_stop_idempotent;
+  ]

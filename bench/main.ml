@@ -895,6 +895,86 @@ let serve () =
         (if evaluate_rps >= 50.0 then " (acceptance: >= 50 req/s ok)"
          else " (below 50 req/s target!)"))
 
+(* ------------------------------------------------------------------ *)
+(* SIM: Monte-Carlo dependability campaigns                           *)
+(* ------------------------------------------------------------------ *)
+
+let sim_json : Jsonlight.t list ref = ref []
+
+let sim_case ~label ~trials campaign =
+  let time_s jobs =
+    (* One reusable pool per jobs count; the warm-up batch also pays
+       the domain-spawn cost so the timed batches measure trial
+       throughput, not pool setup. *)
+    Dsim.Pool.with_pool ~jobs (fun pool ->
+        ignore (Dsim.Campaign.run ~pool ~trials:(min trials 50) campaign);
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Dsim.Campaign.run ~pool ~trials campaign);
+        Unix.gettimeofday () -. t0)
+  in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let timings = List.map (fun jobs -> (jobs, time_s jobs)) jobs_list in
+  let base = List.assoc 1 timings in
+  let report = Dsim.Campaign.report ~trials campaign in
+  let rows =
+    List.map
+      (fun (jobs, s) ->
+        let tps = if s > 0.0 then float_of_int trials /. s else 0.0 in
+        let speedup = base /. s in
+        Printf.printf "%-26s | %4d | %9.0f | %7.2fx\n" label jobs tps speedup;
+        Jsonlight.Obj
+          [
+            ("jobs", Jsonlight.Int jobs);
+            ("seconds", Jsonlight.Float s);
+            ("trials_per_sec", Jsonlight.Float tps);
+            ("speedup", Jsonlight.Float speedup);
+          ])
+      timings
+  in
+  sim_json :=
+    Jsonlight.Obj
+      [
+        ("campaign", Jsonlight.String label);
+        ("trials", Jsonlight.Int trials);
+        ("cores", Jsonlight.Int (Core.Sosae.default_jobs ()));
+        ("completion_rate", Jsonlight.Float report.Dsim.Stats.completion_rate);
+        ( "completion_ci",
+          Jsonlight.Obj
+            [
+              ("lo", Jsonlight.Float report.Dsim.Stats.completion_ci.Dsim.Stats.lo);
+              ("hi", Jsonlight.Float report.Dsim.Stats.completion_ci.Dsim.Stats.hi);
+            ] );
+        ("mean_uptime", Jsonlight.Float report.Dsim.Stats.mean_uptime);
+        ("runs", Jsonlight.List rows);
+      ]
+    :: !sim_json;
+  base /. List.assoc 4 timings
+
+let sim () =
+  header "SIM" "Monte-Carlo campaign trials/sec vs domain-pool size (--jobs)";
+  Printf.printf
+    "Each trial runs one sampled fault plan (crash window + downtime, seeded\n\
+     loss/jitter) through the architecture simulator; trials are independent and\n\
+     fan out on a reusable Dsim.Pool (host reports %d recommended domain(s) —\n\
+     speedup > 1 needs more than one core).\n\n"
+    (Core.Sosae.default_jobs ());
+  Printf.printf "%-26s | %4s | %9s | %8s\n" "campaign" "jobs" "trials/s" "speedup";
+  Printf.printf "%s\n" (String.make 56 '-');
+  let trials = if smoke then 60 else 4000 in
+  let crash =
+    sim_case ~label:"crash-availability" ~trials
+      (Casestudies.Campaigns.crash_availability ~loss:0.05 ())
+  in
+  let _pims =
+    sim_case ~label:"pims-price-feed" ~trials
+      (Casestudies.Campaigns.pims_price_feed ~loss:0.05 ())
+  in
+  print_endline "";
+  Printf.printf "crash campaign speedup at jobs=4: %.2fx%s\n" crash
+    (if crash >= 1.5 then " (acceptance: >= 1.5x ok)"
+     else " (below 1.5x target — needs >= 4 cores)")
+
 let pims_xml = lazy (Scenarioml.Xml_io.set_to_string Casestudies.Pims.scenario_set)
 
 let bench_tests =
@@ -1009,6 +1089,7 @@ let write_bench_json () =
       ("incremental", !incr_json);
       ("scale", !scale_json);
       ("serve", !serve_json);
+      ("sim", !sim_json);
     ]
   in
   if List.exists (fun (_, fresh) -> fresh <> []) sections then begin
@@ -1083,16 +1164,19 @@ let () =
           bench ();
           incr ();
           scale ();
-          serve ()
+          serve ();
+          sim ()
       | "bench" -> bench ()
       | "incr" -> incr ()
       | "scale" -> scale ()
       | "serve" -> serve ()
+      | "sim" -> sim ()
       | name -> (
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown target %S; known: %s, bench, incr, scale, serve, all\n"
+              Printf.eprintf
+                "unknown target %S; known: %s, bench, incr, scale, serve, sim, all\n"
                 name
                 (String.concat ", " (List.map fst artifacts));
               exit 2))

@@ -1,0 +1,66 @@
+let crash_availability ?(orgs = 2) ?(loss = 0.0) () =
+  let open Dsim.Campaign in
+  let config =
+    {
+      Dsim.Network.default_config with
+      jitter = 0.25;
+      drop_probability = loss;
+    }
+  in
+  make ~config ~horizon:12.0
+    ~faults:
+      [
+        Crash_window
+          { node = "police-cc"; at = { lo = 0.0; hi = 2.0 }; downtime = { lo = 0.0; hi = 4.0 } };
+      ]
+    ~architecture:(Crash.high_level_architecture ~orgs ())
+    ~charts:[ Crash.fire_chart; Crash.police_chart ]
+    ~stimuli:[ { at = 1.0; component = "fire-cc"; trigger = "initiate" } ]
+    ~goal:(Delivered { component = "police-cc"; payload = "request" })
+    ()
+
+let master_chart =
+  let open Statechart.Types in
+  chart ~id:"campaign-master" ~component:"master-controller" ~initial:"idle"
+    [ state "idle"; state "waiting" ]
+    [
+      transition ~source:"idle" ~target:"waiting" ~trigger:"user-initiates"
+        ~outputs:[ "download-prices" ] ();
+    ]
+
+let loader_chart =
+  let open Statechart.Types in
+  chart ~id:"campaign-loader" ~component:"loader" ~initial:"idle"
+    [ state "idle"; state "fetching" ]
+    [
+      transition ~source:"idle" ~target:"fetching" ~trigger:"download-prices"
+        ~outputs:[ "fetch-prices" ] ();
+      transition ~source:"fetching" ~target:"fetching" ~trigger:"download-prices"
+        ~outputs:[ "fetch-prices" ] ();
+    ]
+
+let price_feed_charts = [ master_chart; loader_chart ]
+
+let pims_price_feed ?(loss = 0.0) () =
+  let open Dsim.Campaign in
+  let config =
+    {
+      Dsim.Network.default_config with
+      jitter = 0.25;
+      drop_probability = loss;
+    }
+  in
+  make ~config ~horizon:10.0
+    ~faults:
+      [
+        Crash_window
+          {
+            node = "remote-price-db";
+            at = { lo = 0.0; hi = 3.0 };
+            downtime = { lo = 1.0; hi = 5.0 };
+          };
+      ]
+    ~architecture:Pims.architecture ~charts:price_feed_charts
+    ~stimuli:[ { at = 0.0; component = "master-controller"; trigger = "user-initiates" } ]
+    ~goal:(Delivered { component = "remote-price-db"; payload = "fetch-prices" })
+    ()

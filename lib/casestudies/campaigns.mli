@@ -1,0 +1,32 @@
+(** Ready-made dependability campaigns over the two case studies — the
+    presets behind [sosae simulate] and the [sim] benchmark.
+
+    Both campaigns are forward-delivery scenarios: completion means the
+    focal message reached its destination through the simulated
+    architecture, which is exactly the availability question of paper
+    §4.2 ("what could have happened when the execution of the scenarios
+    on the architecture is simulated"), asked [trials] times under a
+    sampled fault plan instead of once. *)
+
+val crash_availability : ?orgs:int -> ?loss:float -> unit -> Dsim.Campaign.t
+(** The CRASH §4.2 "Entity Availability" scenario as a campaign: the
+    Fire Department C&C initiates a request at t=1 over the [orgs]-peer
+    high-level architecture (default 2) while the Police C&C
+    crash-restarts at a jittered time in [0, 2] for a sampled downtime
+    in [0, 4]; completion = the request is delivered to ["police-cc"].
+    [loss] adds uniform message loss; latency jitter is 0.25. The
+    completion rate estimates the availability of the Police entity as
+    seen by a requester. *)
+
+val pims_price_feed : ?loss:float -> unit -> Dsim.Campaign.t
+(** A PIMS-derived campaign over the "Get share prices" flow (paper
+    §4.1): the Master Controller triggers a price download, which the
+    Loader forwards through the internet connector while the remote
+    share-price site crash-restarts (start in [0, 3], downtime in
+    [1, 5]); completion = ["fetch-prices"] reaches ["remote-price-db"].
+    [loss] models a lossy internet link. *)
+
+val price_feed_charts : Statechart.Types.t list
+(** The relay behaviors the PIMS campaign adds (the shipped
+    {!Pims_behavior} charts describe internal reactions only and emit
+    no outputs). *)

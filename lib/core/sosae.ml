@@ -39,48 +39,27 @@ let default_jobs () = Domain.recommended_domain_count ()
 (* Scenario walkthroughs are independent of each other: a verdict is a
    pure function of (scenario, set, architecture, mapping, config) —
    the shared Reach oracle only memoizes, it never changes answers. So
-   the suite fans out over a Domain pool: an atomic counter hands out
-   scenario indices, each worker owns a private oracle (Reach memoizes
-   into unsynchronized hashtables, so oracles are never shared across
-   domains), and results land in a slot array indexed by the
-   scenario's suite position. Whichever domain computes a scenario,
+   the suite fans out over a {!Dsim.Pool} of domains: the pool hands
+   out scenario indices, each worker owns a private oracle (Reach
+   memoizes into unsynchronized hashtables, so oracles are never
+   shared across domains), and results land in a slot array indexed by
+   the scenario's suite position. Whichever domain computes a scenario,
    slot [i] holds the exact verdict the sequential path would have
    produced — output ordering and content are deterministic. *)
 let suite_results ~config ~jobs ~set ~architecture ~mapping scenarios =
   let scenarios = Array.of_list scenarios in
   let n = Array.length scenarios in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then begin
-    let reach = Adl.Reach.of_structure architecture in
-    Array.to_list
-      (Array.map
-         (Walkthrough.Engine.evaluate_scenario ~config ~reach ~set ~architecture
-            ~mapping)
-         scenarios)
-  end
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let reach = Adl.Reach.of_structure architecture in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <-
-            Some
-              (Walkthrough.Engine.evaluate_scenario ~config ~reach ~set ~architecture
-                 ~mapping scenarios.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers;
-    Array.to_list
-      (Array.map (function Some r -> r | None -> assert false) results)
-  end
+  let results = Array.make n None in
+  Dsim.Pool.with_pool ~jobs (fun pool ->
+      Dsim.Pool.run pool ~tasks:n (fun () ->
+          let reach = Adl.Reach.of_structure architecture in
+          fun i ->
+            results.(i) <-
+              Some
+                (Walkthrough.Engine.evaluate_scenario ~config ~reach ~set ~architecture
+                   ~mapping scenarios.(i))));
+  Array.to_list (Array.map (function Some r -> r | None -> assert false) results)
 
 let evaluate_suite ?(config = Walkthrough.Engine.default_config) ?jobs p scenarios =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -275,23 +254,11 @@ module Session = struct
       let n = Array.length stale in
       let jobs = max 1 (min jobs n) in
       let fresh = Array.make n None in
-      if n > 0 then begin
-        let next = Atomic.make 0 in
-        let worker () =
-          let reach = Adl.Reach.of_structure t.project.architecture in
-          let rec loop () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              fresh.(i) <- Some (walk_fresh t reach stale.(i));
-              loop ()
-            end
-          in
-          loop ()
-        in
-        let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        List.iter Domain.join helpers
-      end;
+      if n > 0 then
+        Dsim.Pool.with_pool ~jobs (fun pool ->
+            Dsim.Pool.run pool ~tasks:n (fun () ->
+                let reach = Adl.Reach.of_structure t.project.architecture in
+                fun i -> fresh.(i) <- Some (walk_fresh t reach stale.(i))));
       let cursor = ref 0 in
       List.map
         (fun (s, verdict) ->

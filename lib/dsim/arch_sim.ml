@@ -102,6 +102,8 @@ let create ?config ?(hop_budget = 16) ~architecture ~charts () =
 
 let engine t = t.engine
 
+let network t = t.network
+
 let inject t ~component trigger =
   match Hashtbl.find_opt t.nodes component with
   | Some kind -> react t component kind ~came_from:[] trigger
@@ -111,15 +113,18 @@ let run t = Engine.run t.engine
 
 let trace t = Network.trace t.network
 
-let received_by t id =
+let deliveries t ~component =
   List.filter_map
     (function
-      | Network.Delivered { message; _ } when String.equal message.Network.dst id ->
-          Some (snd (decode message.Network.payload))
+      | Network.Delivered { message; at } when String.equal message.Network.dst component
+        ->
+          Some (snd (decode message.Network.payload), at)
       | Network.Delivered _ | Network.Sent _ | Network.Dropped _ | Network.Failure_notice _
       | Network.Shutdown _ | Network.Restart _ ->
           None)
     (trace t)
+
+let received_by t id = List.map fst (deliveries t ~component:id)
 
 let config_of t id =
   match Hashtbl.find_opt t.nodes id with

@@ -27,6 +27,10 @@ val create :
 
 val engine : t -> Engine.t
 
+val network : t -> Network.t
+(** The underlying network — for arming {!Faults.apply} plans or
+    reading the raw event trace. *)
+
 val inject : t -> component:string -> string -> unit
 (** Trigger a component's chart directly (a local stimulus); its outputs
     are sent to all its neighbors. *)
@@ -38,6 +42,10 @@ val trace : t -> Network.event list
 
 val received_by : t -> string -> string list
 (** Payloads delivered to a brick, in order (hop budgets stripped). *)
+
+val deliveries : t -> component:string -> (string * float) list
+(** [(payload, time)] of every delivery to a brick, in order (hop
+    budgets stripped). *)
 
 val config_of : t -> string -> Statechart.Exec.config option
 

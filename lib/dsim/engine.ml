@@ -29,6 +29,12 @@ let run ?until t =
   in
   while continue () do
     ignore (step t)
-  done
+  done;
+  (* A bounded run observes the whole window [now, until]: the clock
+     lands on [until] even when the last action (or none at all) ran
+     earlier, so callers can read [now] as "time simulated so far". *)
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()
 
 let pending t = Heap.size t.queue

@@ -20,7 +20,10 @@ val schedule_at : t -> time:float -> (t -> unit) -> unit
 val run : ?until:float -> t -> unit
 (** Process actions in time order until the queue empties or the clock
     passes [until] (actions scheduled strictly after [until] remain
-    queued; the clock is left at the last executed action's time). *)
+    queued). An unbounded run leaves the clock at the last executed
+    action's time; a bounded run leaves it at [until] (even when no
+    action ran that late), so [now] always covers the simulated
+    window. *)
 
 val step : t -> bool
 (** Process a single action; [false] when the queue is empty. *)

@@ -76,7 +76,11 @@ let add_node t ?on_receive ?on_failure id =
 
 let set_latency t ~src ~dst latency = Hashtbl.replace t.latencies (src, dst) latency
 
-let block t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+(* Blocks nest: overlapping partitions each add a binding, and each
+   unblock removes one, so a channel stays blocked until every
+   partition covering it has lifted ([Hashtbl.add]/[remove] give the
+   multiset; [mem] answers "any binding left?"). *)
+let block t ~src ~dst = Hashtbl.add t.blocked (src, dst) ()
 
 let unblock t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
 

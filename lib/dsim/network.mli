@@ -62,9 +62,12 @@ val set_latency : t -> src:string -> dst:string -> float -> unit
 val block : t -> src:string -> dst:string -> unit
 (** Partition one direction of a channel: messages arriving while it is
     blocked are dropped with reason [Partitioned] (no failure notice —
-    partitions are silent). *)
+    partitions are silent). Blocks nest: when overlapping partitions
+    both block a channel, it stays blocked until each has called
+    {!unblock}. *)
 
 val unblock : t -> src:string -> dst:string -> unit
+(** Lift one {!block}; a no-op on an unblocked channel. *)
 
 val is_blocked : t -> src:string -> dst:string -> bool
 

@@ -1,0 +1,141 @@
+type outcome = {
+  trial : int;
+  seed : int;
+  completed : bool;
+  latency : float option;
+  uptime : float;
+  delivery : Checks.delivery_stats;
+  end_time : float;
+}
+
+type interval = { lo : float; hi : float }
+
+type report = {
+  trials : int;
+  completions : int;
+  completion_rate : float;
+  completion_ci : interval;
+  failures : int;
+  mean_uptime : float;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p90 : float;
+  latency_p99 : float;
+  latency_max : float;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+}
+
+let wilson ?(z = 1.96) ~successes ~trials () =
+  if trials <= 0 then { lo = 0.0; hi = 1.0 }
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    { lo = Float.max 0.0 (center -. half); hi = Float.min 1.0 (center +. half) }
+  end
+
+(* Nearest-rank percentile over an ascending-sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let of_outcomes outcomes =
+  let trials = Array.length outcomes in
+  let completions = Array.fold_left (fun n o -> if o.completed then n + 1 else n) 0 outcomes in
+  let failures = trials - completions in
+  let mean_uptime =
+    if trials = 0 then 1.0
+    else Array.fold_left (fun acc o -> acc +. o.uptime) 0.0 outcomes /. float_of_int trials
+  in
+  let latencies =
+    Array.of_seq
+      (Seq.filter_map (fun o -> o.latency) (Array.to_seq outcomes))
+  in
+  Array.sort compare latencies;
+  let latency_mean =
+    let n = Array.length latencies in
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n
+  in
+  let latency_max =
+    let n = Array.length latencies in
+    if n = 0 then 0.0 else latencies.(n - 1)
+  in
+  let sent = Array.fold_left (fun n o -> n + o.delivery.Checks.sent) 0 outcomes in
+  let delivered = Array.fold_left (fun n o -> n + o.delivery.Checks.delivered) 0 outcomes in
+  let dropped = Array.fold_left (fun n o -> n + o.delivery.Checks.dropped) 0 outcomes in
+  {
+    trials;
+    completions;
+    completion_rate =
+      (if trials = 0 then 0.0 else float_of_int completions /. float_of_int trials);
+    completion_ci = wilson ~successes:completions ~trials ();
+    failures;
+    mean_uptime;
+    latency_mean;
+    latency_p50 = percentile latencies 0.50;
+    latency_p90 = percentile latencies 0.90;
+    latency_p99 = percentile latencies 0.99;
+    latency_max;
+    sent;
+    delivered;
+    dropped;
+    delivery_ratio =
+      (if sent = 0 then 0.0 else float_of_int delivered /. float_of_int sent);
+  }
+
+let to_json r =
+  Jsonlight.Obj
+    [
+      ("trials", Jsonlight.Int r.trials);
+      ("completions", Jsonlight.Int r.completions);
+      ("completion_rate", Jsonlight.Float r.completion_rate);
+      ( "completion_ci",
+        Jsonlight.Obj
+          [
+            ("lo", Jsonlight.Float r.completion_ci.lo);
+            ("hi", Jsonlight.Float r.completion_ci.hi);
+          ] );
+      ("failures", Jsonlight.Int r.failures);
+      ("mean_uptime", Jsonlight.Float r.mean_uptime);
+      ( "latency",
+        Jsonlight.Obj
+          [
+            ("mean", Jsonlight.Float r.latency_mean);
+            ("p50", Jsonlight.Float r.latency_p50);
+            ("p90", Jsonlight.Float r.latency_p90);
+            ("p99", Jsonlight.Float r.latency_p99);
+            ("max", Jsonlight.Float r.latency_max);
+          ] );
+      ("sent", Jsonlight.Int r.sent);
+      ("delivered", Jsonlight.Int r.delivered);
+      ("dropped", Jsonlight.Int r.dropped);
+      ("delivery_ratio", Jsonlight.Float r.delivery_ratio);
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>trials              %d@,\
+     completed           %d (%.1f%%)  [95%% CI %.1f%% – %.1f%%]@,\
+     failures            %d@,\
+     mean uptime         %.3f@,\
+     latency mean/p50    %.3f / %.3f@,\
+     latency p90/p99/max %.3f / %.3f / %.3f@,\
+     messages            %d sent, %d delivered, %d dropped (ratio %.3f)@]"
+    r.trials r.completions
+    (100.0 *. r.completion_rate)
+    (100.0 *. r.completion_ci.lo)
+    (100.0 *. r.completion_ci.hi)
+    r.failures r.mean_uptime r.latency_mean r.latency_p50 r.latency_p90 r.latency_p99
+    r.latency_max r.sent r.delivered r.dropped r.delivery_ratio

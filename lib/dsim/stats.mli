@@ -1,0 +1,52 @@
+(** Campaign statistics: per-trial outcomes aggregated into a
+    dependability report — availability (uptime fraction,
+    scenario-completion rate with a Wilson 95% confidence interval),
+    reliability (failures to complete), and latency-to-completion
+    percentiles. This turns the paper's single anecdotal CRASH run
+    (§4.2) into a measured statistic with an interval. *)
+
+type outcome = {
+  trial : int;  (** trial index within the campaign, [0 .. trials-1] *)
+  seed : int;  (** the per-trial split seed the run used *)
+  completed : bool;  (** the scenario goal was reached *)
+  latency : float option;
+      (** stimulus-to-goal completion time; [None] when not completed
+          or when the goal has no associated delivery time *)
+  uptime : float;  (** mean up-time fraction of the watched nodes *)
+  delivery : Checks.delivery_stats;
+  end_time : float;  (** simulated horizon the trial covered *)
+}
+
+type interval = { lo : float; hi : float }
+
+type report = {
+  trials : int;
+  completions : int;
+  completion_rate : float;
+  completion_ci : interval;  (** Wilson score interval, 95% by default *)
+  failures : int;  (** trials that did not complete the scenario *)
+  mean_uptime : float;
+  latency_mean : float;  (** over completed trials; 0 when none *)
+  latency_p50 : float;
+  latency_p90 : float;
+  latency_p99 : float;
+  latency_max : float;
+  sent : int;  (** messages, summed over all trials *)
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+}
+
+val wilson : ?z:float -> successes:int -> trials:int -> unit -> interval
+(** Wilson score interval for a binomial proportion; [z] defaults to
+    1.96 (95%). Zero trials give the vacuous [0, 1]. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile over an ascending-sorted array; 0 when
+    empty. [percentile a 0.5] is the median. *)
+
+val of_outcomes : outcome array -> report
+
+val to_json : report -> Jsonlight.t
+
+val pp : Format.formatter -> report -> unit

@@ -71,6 +71,33 @@ let required_string json field =
 let optional_string json field =
   Option.bind (Jsonlight.member field json) Jsonlight.string_opt
 
+let number_opt = function
+  | Jsonlight.Int i -> Some (float_of_int i)
+  | Jsonlight.Float f -> Some f
+  | Jsonlight.Null | Jsonlight.Bool _ | Jsonlight.String _ | Jsonlight.List _
+  | Jsonlight.Obj _ ->
+      None
+
+let optional_number json field ~default =
+  match Jsonlight.member field json with
+  | None -> default
+  | Some v -> (
+      match number_opt v with
+      | Some f -> f
+      | None ->
+          reply_error 400 ~category:"bad_request"
+            (Printf.sprintf "field %S must be a number" field))
+
+let optional_int json field ~default =
+  match Jsonlight.member field json with
+  | None -> default
+  | Some v -> (
+      match Jsonlight.int_opt v with
+      | Some i -> i
+      | None ->
+          reply_error 400 ~category:"bad_request"
+            (Printf.sprintf "field %S must be an integer" field))
+
 (* ------------------------------------------------------------------ *)
 (* Shared renderings                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -373,6 +400,189 @@ let diff ctx (request : Http.request) params =
           error_response 409 ~category:"apply_error" message)
 
 (* ------------------------------------------------------------------ *)
+(* Simulation campaigns                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A sampling range arrives either as one number (degenerate range) or
+   as {"lo": x, "hi": y}. *)
+let range_of json field =
+  let bad () =
+    reply_error 400 ~category:"bad_request"
+      (Printf.sprintf "field %S must be a number or a {\"lo\", \"hi\"} object" field)
+  in
+  match Jsonlight.member field json with
+  | None ->
+      reply_error 400 ~category:"bad_request"
+        (Printf.sprintf "missing range field %S" field)
+  | Some v -> (
+      match number_opt v with
+      | Some f -> Dsim.Campaign.fixed f
+      | None -> (
+          match v with
+          | Jsonlight.Obj _ ->
+              let bound b =
+                match Option.bind (Jsonlight.member b v) number_opt with
+                | Some x -> x
+                | None -> bad ()
+              in
+              { Dsim.Campaign.lo = bound "lo"; hi = bound "hi" }
+          | _ -> bad ()))
+
+let parse_fault json =
+  match optional_string json "kind" with
+  | Some "crash" ->
+      Dsim.Campaign.Crash_window
+        {
+          node = required_string json "node";
+          at = range_of json "at";
+          downtime = range_of json "downtime";
+        }
+  | Some "partition" ->
+      let groups =
+        match Jsonlight.member "groups" json with
+        | Some (Jsonlight.List gs) ->
+            List.map
+              (fun g ->
+                match Jsonlight.list_opt g with
+                | Some items ->
+                    List.map
+                      (fun item ->
+                        match Jsonlight.string_opt item with
+                        | Some s -> s
+                        | None ->
+                            reply_error 400 ~category:"bad_request"
+                              "partition groups must be lists of node ids")
+                      items
+                | None ->
+                    reply_error 400 ~category:"bad_request"
+                      "partition groups must be lists of node ids")
+              gs
+        | Some _ | None ->
+            reply_error 400 ~category:"bad_request"
+              "a partition fault needs a \"groups\" list of lists"
+      in
+      Dsim.Campaign.Partition_window
+        { groups; from_ = range_of json "from"; width = range_of json "width" }
+  | Some kind ->
+      reply_error 400 ~category:"bad_request"
+        (Printf.sprintf "unknown fault kind %S (supported: crash, partition)" kind)
+  | None ->
+      reply_error 400 ~category:"bad_request" "each fault needs a string \"kind\" field"
+
+let parse_goal json =
+  match Jsonlight.member "goal" json with
+  | Some goal -> (
+      let component = required_string goal "component" in
+      match (optional_string goal "payload", optional_string goal "state") with
+      | Some payload, None -> Dsim.Campaign.Delivered { component; payload }
+      | None, Some state -> Dsim.Campaign.Chart_state { component; state }
+      | Some _, Some _ | None, None ->
+          reply_error 400 ~category:"bad_request"
+            "\"goal\" needs exactly one of \"payload\" or \"state\"")
+  | None -> reply_error 400 ~category:"bad_request" "missing \"goal\" object"
+
+let parse_stimuli json =
+  match Jsonlight.member "stimuli" json with
+  | Some (Jsonlight.List (_ :: _ as items)) ->
+      List.map
+        (fun s ->
+          {
+            Dsim.Campaign.at = optional_number s "at" ~default:0.0;
+            component = required_string s "component";
+            trigger = required_string s "trigger";
+          })
+        items
+  | Some _ | None ->
+      reply_error 400 ~category:"bad_request"
+        "missing non-empty \"stimuli\" list of {component, trigger, at?}"
+
+(* POST /sessions/:id/simulate — a Monte-Carlo dependability campaign
+   over the session's *current* architecture (so diff-then-simulate
+   measures the edited system). The behavioral bundle, stimuli, goal,
+   and fault windows come from the request body; trials fan out on a
+   domain pool sized like evaluation ([Registry.jobs]) unless the body
+   says otherwise. Responses are deterministic for a given seed —
+   timing is reported separately in "elapsed_ms". *)
+let simulate ctx (request : Http.request) params =
+  let id = Router.param params "id" in
+  let json = parse_body request in
+  let charts =
+    match Statechart.Bundle.of_string (required_string json "behavior") with
+    | bundle -> bundle.Statechart.Bundle.charts
+    | exception Statechart.Bundle.Malformed message ->
+        reply_error 400 ~category:"xml_error"
+          (Printf.sprintf "behavior bundle: %s" message)
+  in
+  let stimuli = parse_stimuli json in
+  let goal = parse_goal json in
+  let faults =
+    match Jsonlight.member "faults" json with
+    | None -> []
+    | Some (Jsonlight.List fs) -> List.map parse_fault fs
+    | Some _ -> reply_error 400 ~category:"bad_request" "\"faults\" must be a list"
+  in
+  let trials = optional_int json "trials" ~default:100 in
+  if trials < 1 || trials > 1_000_000 then
+    reply_error 400 ~category:"bad_request" "\"trials\" must be in [1, 1000000]";
+  let seed = optional_int json "seed" ~default:0 in
+  let horizon =
+    match Jsonlight.member "horizon" json with
+    | None -> None
+    | Some v -> (
+        match number_opt v with
+        | Some f -> Some f
+        | None -> reply_error 400 ~category:"bad_request" "\"horizon\" must be a number")
+  in
+  let watched =
+    match Jsonlight.member "watched" json with
+    | None -> None
+    | Some (Jsonlight.List items) ->
+        Some
+          (List.map
+             (fun item ->
+               match Jsonlight.string_opt item with
+               | Some s -> s
+               | None ->
+                   reply_error 400 ~category:"bad_request"
+                     "\"watched\" must be a list of node ids")
+             items)
+    | Some _ ->
+        reply_error 400 ~category:"bad_request" "\"watched\" must be a list of node ids"
+  in
+  let config =
+    {
+      Dsim.Network.default_config with
+      default_latency = optional_number json "latency" ~default:1.0;
+      jitter = optional_number json "jitter" ~default:0.0;
+      drop_probability = optional_number json "loss" ~default:0.0;
+    }
+  in
+  let jobs =
+    match optional_int json "jobs" ~default:(Registry.jobs ctx.registry) with
+    | j when j >= 1 -> j
+    | _ -> reply_error 400 ~category:"bad_request" "\"jobs\" must be >= 1"
+  in
+  with_session ctx id (fun session ->
+      let architecture =
+        (Core.Sosae.Session.project session).Core.Sosae.architecture
+      in
+      let campaign =
+        Dsim.Campaign.make ~config ?horizon ~faults ?watched ~architecture ~charts
+          ~stimuli ~goal ()
+      in
+      let started = Unix.gettimeofday () in
+      let report = Dsim.Campaign.report ~jobs ~seed ~trials campaign in
+      let elapsed = Unix.gettimeofday () -. started in
+      json_body
+        (Jsonlight.Obj
+           [
+             ("trials", Jsonlight.Int trials);
+             ("seed", Jsonlight.Int seed);
+             ("report", Dsim.Stats.to_json report);
+             ("elapsed_ms", Jsonlight.Float (1000.0 *. elapsed));
+           ]))
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,6 +594,7 @@ let routes : ctx Router.route list =
     Router.route Http.POST "/sessions" create_session;
     Router.route Http.GET "/sessions/:id/stats" session_stats;
     Router.route Http.POST "/sessions/:id/evaluate" evaluate;
+    Router.route Http.POST "/sessions/:id/simulate" simulate;
     Router.route Http.POST "/sessions/:id/diff" diff;
     Router.route Http.DELETE "/sessions/:id" delete_session;
   ]

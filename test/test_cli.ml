@@ -163,6 +163,37 @@ let test_prose () =
   run [ "demo"; "pims" ];
   Testutil.check_contains "demo" (last_output ()) "after excising"
 
+(* `simulate` must be bit-for-bit reproducible: same seed, same stdout,
+   whatever the jobs fan-out. Timing goes to stderr precisely so this
+   holds, so capture stdout alone here (unlike [run]). *)
+let test_simulate_reproducible () =
+  let capture name args =
+    let path = artifact name in
+    let cmd =
+      Printf.sprintf "%s %s > %s 2> /dev/null" sosae (String.concat " " args)
+        (Filename.quote path)
+    in
+    let code = Sys.command cmd in
+    if code <> 0 then
+      Alcotest.failf "`sosae %s` exited %d" (String.concat " " args) code;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let base = [ "simulate"; "crash"; "--trials"; "80"; "--seed"; "11"; "--json" ] in
+  let first = capture "sim1.json" base in
+  Testutil.check_contains "report present" first "\"completion_rate\"";
+  Testutil.check_contains "case echoed" first "\"case\":\"crash\"";
+  Alcotest.(check string) "same seed, same bytes" first (capture "sim2.json" base);
+  Alcotest.(check string) "--jobs 4 = --jobs 1" first
+    (capture "sim4.json" (base @ [ "--jobs"; "4" ]));
+  let other = capture "sim-other.json" [ "simulate"; "pims"; "--trials"; "20"; "--json" ] in
+  Testutil.check_contains "pims case runs too" other "\"case\":\"pims\"";
+  (* text mode mentions the confidence interval *)
+  run [ "simulate"; "crash"; "--trials"; "20" ];
+  Testutil.check_contains "text report" (last_output ()) "95% CI"
+
 let suite =
   [
     Alcotest.test_case "save-demo + validate" `Quick test_save_demo_and_validate;
@@ -176,4 +207,6 @@ let suite =
     Alcotest.test_case "evaluate --json" `Quick test_evaluate_json;
     Alcotest.test_case "session (excise + evolve + json)" `Quick test_session_subcommand;
     Alcotest.test_case "prose and demo" `Quick test_prose;
+    Alcotest.test_case "simulate is bit-for-bit reproducible" `Quick
+      test_simulate_reproducible;
   ]

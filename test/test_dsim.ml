@@ -65,6 +65,34 @@ let test_engine_until () =
   Dsim.Engine.run engine;
   Alcotest.(check int) "all eventually" 4 !count
 
+(* Clock semantics at the [until] boundary: a bounded run covers the
+   whole window, so [now] lands exactly on [until] whether the last
+   action ran exactly there, strictly earlier, or not at all. *)
+let test_engine_until_clock () =
+  (* an action exactly at the boundary executes, clock = until *)
+  let engine = Dsim.Engine.create () in
+  let ran_at = ref (-1.0) in
+  Dsim.Engine.schedule engine ~delay:5.0 (fun e -> ran_at := Dsim.Engine.now e);
+  Dsim.Engine.run ~until:5.0 engine;
+  Alcotest.(check (float 0.0)) "exact-time action runs" 5.0 !ran_at;
+  Alcotest.(check (float 0.0)) "clock at until" 5.0 (Dsim.Engine.now engine);
+  (* an action strictly after the boundary stays queued, clock = until *)
+  let engine = Dsim.Engine.create () in
+  Dsim.Engine.schedule engine ~delay:2.0 (fun _ -> ());
+  Dsim.Engine.schedule engine ~delay:9.0 (fun _ -> ());
+  Dsim.Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "late action pending" 1 (Dsim.Engine.pending engine);
+  Alcotest.(check (float 0.0)) "clock advances past last action to until" 5.0
+    (Dsim.Engine.now engine);
+  (* an empty window still advances the clock; an unbounded run does not *)
+  let engine = Dsim.Engine.create () in
+  Dsim.Engine.run ~until:3.0 engine;
+  Alcotest.(check (float 0.0)) "empty bounded run reaches until" 3.0
+    (Dsim.Engine.now engine);
+  Dsim.Engine.run engine;
+  Alcotest.(check (float 0.0)) "unbounded run leaves the clock" 3.0
+    (Dsim.Engine.now engine)
+
 let test_engine_negative_delay_clamped () =
   let engine = Dsim.Engine.create () in
   let seen = ref (-1.0) in
@@ -290,6 +318,95 @@ let test_crash_restart_fault () =
   Alcotest.(check int) "two delivered (before and after)" 2 stats.Dsim.Checks.delivered;
   Alcotest.(check int) "one dropped (during)" 1 stats.Dsim.Checks.dropped
 
+(* Overlapping partitions: the channel must stay blocked until the
+   *last* covering partition lifts (blocks nest; an early unblock must
+   not erase a later partition's block). *)
+let test_overlapping_partitions () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n
+          [
+            Dsim.Faults.Partition { groups = [ [ "a" ]; [ "b" ] ]; from_ = 0.0; until = 10.0 };
+            Dsim.Faults.Partition { groups = [ [ "a" ]; [ "b" ] ]; from_ = 5.0; until = 15.0 };
+          ];
+        (* t=12 delivery: inside the second window, after the first lifted *)
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:11.0 (fun _ ->
+            ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "overlap"));
+        (* t=17 delivery: both windows lifted *)
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:16.0 (fun _ ->
+            ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "healed")))
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "overlap window still drops" 1 stats.Dsim.Checks.dropped;
+  Alcotest.(check int) "after both lift, delivers" 1 stats.Dsim.Checks.delivered
+
+let test_restart_never_crashed () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n [ Dsim.Faults.Restart { node = "b"; at = 2.0 } ];
+        Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:3.0 (fun _ ->
+            ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "m")))
+  in
+  (* a spurious restart is benign: recorded, node stays up, traffic flows *)
+  Alcotest.(check bool) "restart recorded" true
+    (List.exists
+       (function
+         | Dsim.Network.Restart { node = "b"; _ } -> true
+         | _ -> false)
+       trace);
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "still delivers" 1 stats.Dsim.Checks.delivered;
+  Alcotest.(check int) "nothing dropped" 0 stats.Dsim.Checks.dropped
+
+let test_crash_restart_zero_downtime () =
+  let trace =
+    run_network (fun n ->
+        Dsim.Network.add_node n "a";
+        Dsim.Network.add_node n "b";
+        Dsim.Faults.apply n
+          [ Dsim.Faults.Crash_restart { node = "b"; at = 5.0; downtime = 0.0 } ];
+        (* shutdown and restart both fire at t=5, in plan order, before
+           this same-instant delivery (faults were scheduled first) *)
+        List.iter
+          (fun d ->
+            Dsim.Engine.schedule (Dsim.Network.engine n) ~delay:d (fun _ ->
+                ignore (Dsim.Network.send n ~src:"a" ~dst:"b" "m")))
+          [ 4.0; 5.5 ])
+  in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "zero downtime loses nothing" 2 stats.Dsim.Checks.delivered;
+  Alcotest.(check int) "no drops" 0 stats.Dsim.Checks.dropped;
+  Alcotest.(check bool) "both shutdown and restart recorded" true
+    (List.exists (function Dsim.Network.Shutdown _ -> true | _ -> false) trace
+    && List.exists (function Dsim.Network.Restart _ -> true | _ -> false) trace)
+
+let test_faults_after_drain () =
+  let engine = Dsim.Engine.create () in
+  let network = Dsim.Network.create engine in
+  Dsim.Network.add_node network "a";
+  Dsim.Network.add_node network "b";
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"b" "first");
+  Dsim.Engine.run engine;
+  (* the engine has drained at t=1; a fault dated in the past clamps to
+     now and still takes effect on the next run *)
+  Dsim.Faults.apply network [ Dsim.Faults.Crash { node = "b"; at = 0.5 } ];
+  ignore (Dsim.Network.send network ~src:"a" ~dst:"b" "second");
+  Dsim.Engine.run engine;
+  let trace = Dsim.Network.trace network in
+  let stats = Dsim.Checks.stats trace in
+  Alcotest.(check int) "first delivered" 1 stats.Dsim.Checks.delivered;
+  Alcotest.(check int) "second dropped after late crash" 1 stats.Dsim.Checks.dropped;
+  Alcotest.(check bool) "crash executed at the drained clock, not in the past" true
+    (List.exists
+       (function
+         | Dsim.Network.Shutdown { node = "b"; at } -> at >= 1.0
+         | _ -> false)
+       trace)
+
 let test_periodic_crashes_plan () =
   let plan = Dsim.Faults.periodic_crashes ~node:"x" ~period:10.0 ~downtime:2.0 ~count:3 in
   Alcotest.(check int) "three cycles" 3 (List.length plan);
@@ -486,6 +603,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     Alcotest.test_case "engine runs actions in time order" `Quick test_engine_ordering;
     Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine until: clock boundary semantics" `Quick
+      test_engine_until_clock;
     Alcotest.test_case "negative delays clamp" `Quick test_engine_negative_delay_clamped;
     Alcotest.test_case "network delivery" `Quick test_network_delivery;
     Alcotest.test_case "down node with failure detector" `Quick
@@ -502,6 +621,13 @@ let suite =
     Alcotest.test_case "partition: intra-group flows" `Quick
       test_partition_intra_group_flows;
     Alcotest.test_case "crash/restart fault" `Quick test_crash_restart_fault;
+    Alcotest.test_case "overlapping partitions nest" `Quick test_overlapping_partitions;
+    Alcotest.test_case "restart of a never-crashed node" `Quick
+      test_restart_never_crashed;
+    Alcotest.test_case "crash/restart with zero downtime" `Quick
+      test_crash_restart_zero_downtime;
+    Alcotest.test_case "faults applied after the engine drains" `Quick
+      test_faults_after_drain;
     Alcotest.test_case "periodic crash plan" `Quick test_periodic_crashes_plan;
     Alcotest.test_case "fault sweep monotone" `Quick test_fault_sweep_monotone;
     Alcotest.test_case "runtime ping-pong" `Quick test_runtime_ping_pong;

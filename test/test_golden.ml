@@ -1,0 +1,80 @@
+(* Golden-trace tests: the exact Trace_pp rendering of deterministic
+   Arch_sim runs on the CRASH and PIMS behavioral bundles is pinned
+   under test/golden/. A refactor of the hop-budget or relay semantics
+   that changes delivery order (or timing, or hop budgets) shows up as
+   a verbatim diff here instead of sliding through unit tests that only
+   count events.
+
+   To regenerate after an *intended* semantics change:
+   SOSAE_REGEN_GOLDEN=1 dune runtest; then review the diff. *)
+
+let golden_dir = "golden"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_golden name actual =
+  let path = Filename.concat golden_dir (name ^ ".expected") in
+  if Sys.getenv_opt "SOSAE_REGEN_GOLDEN" <> None then begin
+    let oc = open_out_bin path in
+    output_string oc actual;
+    close_out oc
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden file %s (run with SOSAE_REGEN_GOLDEN=1)" path
+  else begin
+    let expected = read_file path in
+    if not (String.equal expected actual) then
+      Alcotest.failf "trace for %S diverged from %s:\n--- expected ---\n%s\n--- actual ---\n%s"
+        name path expected actual
+  end
+
+(* CRASH entity architecture, outgoing message path: the operator
+   composes a message at the UI and it flows down the C2 layers to the
+   network (crash_behavior's bundle). *)
+let test_crash_entity_outgoing () =
+  let sim =
+    Dsim.Arch_sim.create ~architecture:Casestudies.Crash.entity_architecture
+      ~charts:Casestudies.Crash_behavior.charts ()
+  in
+  Dsim.Arch_sim.inject sim ~component:"user-interface" "compose";
+  Dsim.Arch_sim.run sim;
+  check_golden "crash_entity_outgoing" (Dsim.Trace_pp.trace_to_string (Dsim.Arch_sim.trace sim))
+
+(* CRASH high-level architecture: the Fire C&C initiates a request that
+   crosses the emergency network to the Police C&C, which notifies its
+   own peers (fire/police statecharts). *)
+let test_crash_request_flow () =
+  let sim =
+    Dsim.Arch_sim.create
+      ~architecture:(Casestudies.Crash.high_level_architecture ~orgs:2 ())
+      ~charts:[ Casestudies.Crash.fire_chart; Casestudies.Crash.police_chart ]
+      ()
+  in
+  Dsim.Arch_sim.inject sim ~component:"fire-cc" "initiate";
+  Dsim.Arch_sim.run sim;
+  check_golden "crash_request_flow" (Dsim.Trace_pp.trace_to_string (Dsim.Arch_sim.trace sim))
+
+(* PIMS price-feed campaign charts on the layered architecture: one
+   deterministic trial (no faults, no jitter) of the campaign's relay
+   bundle, master-controller -> ui-bus -> loader -> internet ->
+   remote-price-db. *)
+let test_pims_price_feed () =
+  let sim =
+    Dsim.Arch_sim.create ~architecture:Casestudies.Pims.architecture
+      ~charts:Casestudies.Campaigns.price_feed_charts ()
+  in
+  Dsim.Arch_sim.inject sim ~component:"master-controller" "user-initiates";
+  Dsim.Arch_sim.run sim;
+  check_golden "pims_price_feed" (Dsim.Trace_pp.trace_to_string (Dsim.Arch_sim.trace sim))
+
+let suite =
+  [
+    Alcotest.test_case "crash entity outgoing message" `Quick test_crash_entity_outgoing;
+    Alcotest.test_case "crash 2-peer request flow" `Quick test_crash_request_flow;
+    Alcotest.test_case "pims price-feed relay" `Quick test_pims_price_feed;
+  ]

@@ -15,6 +15,8 @@ let () =
       ("walkthrough", Test_walkthrough.suite);
       ("dynamic", Test_dynamic.suite);
       ("dsim", Test_dsim.suite);
+      ("campaign", Test_campaign.suite);
+      ("golden-traces", Test_golden.suite);
       ("semweb", Test_semweb.suite);
       ("acme", Test_acme.suite);
       ("casestudies", Test_casestudies.suite);

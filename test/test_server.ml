@@ -466,6 +466,63 @@ let test_e2e_concurrent_clients () =
         (Some (7 * 22))
         (member_exn "cache_hits" stats |> Jsonlight.int_opt))
 
+(* POST /sessions/:id/simulate over the wire must equal an in-process
+   Dsim.Campaign run bit-for-bit: same seed, same campaign parameters
+   (mirroring Casestudies.Campaigns.pims_price_feed), same report JSON
+   regardless of the jobs fan-out. *)
+let test_e2e_simulate () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "sim")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status;
+          let behavior =
+            Statechart.Bundle.to_string
+              (Statechart.Bundle.make ~id:"price-feed"
+                 Casestudies.Campaigns.price_feed_charts)
+          in
+          let body ~jobs =
+            Printf.sprintf
+              {|{"behavior":%s,
+                 "stimuli":[{"component":"master-controller","trigger":"user-initiates"}],
+                 "goal":{"component":"remote-price-db","payload":"fetch-prices"},
+                 "faults":[{"kind":"crash","node":"remote-price-db",
+                            "at":{"lo":0,"hi":3},"downtime":{"lo":1,"hi":5}}],
+                 "trials":120,"seed":9,"horizon":10,"jitter":0.25,"loss":0.05,
+                 "jobs":%d}|}
+              (json_escape behavior) jobs
+          in
+          let simulate ~jobs =
+            let r = ok (Server.Client.post c "/sessions/sim/simulate" ~body:(body ~jobs)) in
+            Alcotest.(check int) "simulate 200" 200 r.Server.Client.status;
+            let json = body_json r in
+            Alcotest.(check (option int))
+              "trials echoed" (Some 120)
+              (member_exn "trials" json |> Jsonlight.int_opt);
+            Jsonlight.to_string (member_exn "report" json)
+          in
+          let expected =
+            Jsonlight.to_string
+              (Dsim.Stats.to_json
+                 (Dsim.Campaign.report ~jobs:2 ~seed:9 ~trials:120
+                    (Casestudies.Campaigns.pims_price_feed ~loss:0.05 ())))
+          in
+          Alcotest.(check string) "wire report = in-process campaign" expected
+            (simulate ~jobs:2);
+          Alcotest.(check string) "jobs fan-out does not change the report" expected
+            (simulate ~jobs:4);
+          (* request validation *)
+          expect_error 400 "xml_error"
+            (ok
+               (Server.Client.post c "/sessions/sim/simulate"
+                  ~body:
+                    {|{"behavior":"<archBehavior","stimuli":[{"component":"x","trigger":"y"}],"goal":{"component":"x","payload":"y"}}|}));
+          expect_error 400 "bad_request"
+            (ok
+               (Server.Client.post c "/sessions/sim/simulate"
+                  ~body:(Printf.sprintf {|{"behavior":%s}|} (json_escape behavior))));
+          expect_error 404 "not_found"
+            (ok (Server.Client.post c "/sessions/ghost/simulate" ~body:(body ~jobs:1)))))
+
 let test_e2e_robustness () =
   let config =
     {
@@ -541,6 +598,7 @@ let suite =
       test_e2e_fig4_bit_identical;
     Alcotest.test_case "e2e: concurrent clients, one session" `Quick
       test_e2e_concurrent_clients;
+    Alcotest.test_case "e2e: simulate campaign over HTTP" `Quick test_e2e_simulate;
     Alcotest.test_case "e2e: robustness (413, 408, garbage)" `Quick test_e2e_robustness;
     Alcotest.test_case "e2e: unix-domain socket" `Quick test_e2e_unix_socket;
     Alcotest.test_case "daemon: stop is idempotent" `Quick test_stop_idempotent;

@@ -781,22 +781,29 @@ let save_demo_cmd =
 (* ------------------------------ serve ----------------------------- *)
 
 let serve_cmd =
-  let run port host unix_path jobs workers queue timeout =
-    Server.Daemon.run
-      ~config:
-        {
-          Server.Daemon.default_config with
-          Server.Daemon.port;
-          host;
-          unix_path;
-          jobs = (if jobs <= 0 then None else Some jobs);
-          workers;
-          queue_capacity = queue;
-          read_timeout = timeout;
-          write_timeout = timeout;
-        }
-      ();
-    0
+  let run port host unix_path jobs workers queue timeout data_dir fsync =
+    match Store.Journal.fsync_policy_of_string fsync with
+    | Error message ->
+        Printf.eprintf "sosae serve: %s\n" message;
+        1
+    | Ok fsync ->
+        Server.Daemon.run
+          ~config:
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.port;
+              host;
+              unix_path;
+              jobs = (if jobs <= 0 then None else Some jobs);
+              workers;
+              queue_capacity = queue;
+              read_timeout = timeout;
+              write_timeout = timeout;
+              data_dir;
+              fsync;
+            }
+          ();
+        0
   in
   let port =
     Arg.(
@@ -836,16 +843,42 @@ let serve_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Per-connection read and write timeout.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durability directory: every session mutation is journaled there \
+             before it is acknowledged, and the state is recovered from it on \
+             the next start (surviving crashes, including a torn journal \
+             tail). Without this flag the registry is purely in-memory, as \
+             before.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "always"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "When journal appends reach the disk (needs $(b,--data-dir)): \
+             $(b,always) fsyncs every record (survives power loss), \
+             $(b,interval:SECS) fsyncs at most once per $(i,SECS) seconds, \
+             $(b,never) leaves it to the kernel (still survives a process \
+             crash).")
+  in
   let term =
     Term.(
-      const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout)
+      const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout
+      $ data_dir $ fsync)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the evaluation server: named sessions with cached verdicts over \
           HTTP (create sessions, evaluate suites, apply architecture diffs, read \
-          stats and metrics). Stops cleanly on SIGTERM/SIGINT.")
+          stats and metrics). Stops cleanly on SIGTERM/SIGINT; with \
+          $(b,--data-dir) the sessions survive restarts and crashes via a \
+          write-ahead journal.")
     Term.(const Stdlib.exit $ term)
 
 let () =

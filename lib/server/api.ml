@@ -1,7 +1,7 @@
 type ctx = { registry : Registry.t; metrics : Metrics.t }
 
-let make_ctx ?jobs () =
-  { registry = Registry.create ?jobs (); metrics = Metrics.create () }
+let make_ctx ?jobs ?persist () =
+  { registry = Registry.create ?jobs ?persist (); metrics = Metrics.create () }
 
 (* ------------------------------------------------------------------ *)
 (* JSON bodies                                                        *)
@@ -383,10 +383,20 @@ let parse_diff_ops session json =
 let diff ctx (request : Http.request) params =
   let id = Router.param params "id" in
   let json = parse_body request in
-  with_session ctx id (fun session ->
-      let ops = parse_diff_ops session json in
-      match Core.Sosae.Session.apply_diff session ops with
-      | () ->
+  (* the registry applies and journals the ops atomically; the parse
+     callback runs under the session lock because excise expansion
+     reads the current link set *)
+  match
+    Registry.apply_diff ctx.registry id ~ops:(fun session ->
+        parse_diff_ops session json)
+  with
+  | Error `Not_found ->
+      error_response 404 ~category:"not_found"
+        (Printf.sprintf "no session named %S" id)
+  | Error (`Apply_error message) ->
+      error_response 409 ~category:"apply_error" message
+  | Ok ops ->
+      with_session ctx id (fun session ->
           json_body
             (Jsonlight.Obj
                [
@@ -395,9 +405,7 @@ let diff ctx (request : Http.request) params =
                    json_of_architecture
                      (Core.Sosae.Session.project session).Core.Sosae.architecture
                  );
-               ])
-      | exception Adl.Diff.Apply_error message ->
-          error_response 409 ~category:"apply_error" message)
+               ]))
 
 (* ------------------------------------------------------------------ *)
 (* Simulation campaigns                                                *)

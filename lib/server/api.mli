@@ -34,7 +34,10 @@
 
 type ctx = { registry : Registry.t; metrics : Metrics.t }
 
-val make_ctx : ?jobs:int -> unit -> ctx
+val make_ctx : ?jobs:int -> ?persist:Persist.t -> unit -> ctx
+(** [persist] makes every registry mutation durable (see {!Registry});
+    the caller replays recovered mutations with {!Registry.recover}
+    before serving. *)
 
 val error_response : int -> category:string -> string -> Http.response
 

@@ -1,8 +1,19 @@
 type t = { fd : Unix.file_descr; mutable leftover : string }
 
+(* getaddrinfo so names ("localhost") work, not just numeric
+   addresses; first IPv4 stream result wins *)
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | { Unix.ai_addr; _ } :: _ -> ai_addr
+  | [] -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
 let connect ?(host = "127.0.0.1") ~port () =
+  let addr = resolve host port in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try Unix.connect fd addr
    with e ->
      Unix.close fd;
      raise e);
@@ -22,7 +33,13 @@ let write_all fd s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
-    if off < n then go (off + Unix.write fd b off (n - off))
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          (* a signal interrupting the write is not an error — same
+             treatment the daemon gives an interrupted accept *)
+          go off
   in
   go 0
 
@@ -36,13 +53,22 @@ let find_sub haystack needle from =
   go from
 
 (* Read until [buf] contains at least [target] bytes, or — when
-   [target] is [None] — until it contains "\r\n\r\n". *)
+   [target] is [None] — until it contains "\r\n\r\n". The header scan
+   resumes where the previous one gave up (minus 3 bytes, in case the
+   separator straddles a chunk boundary) instead of rescanning the
+   whole buffer per chunk, which was quadratic in the head size. *)
 let read_until t buf target =
   let chunk = Bytes.create 8192 in
+  let scanned = ref 0 in
   let have_enough () =
     match target with
     | Some n -> Buffer.length buf >= n
-    | None -> find_sub (Buffer.contents buf) "\r\n\r\n" 0 <> None
+    | None -> (
+        match find_sub (Buffer.contents buf) "\r\n\r\n" !scanned with
+        | Some _ -> true
+        | None ->
+            scanned := max 0 (Buffer.length buf - 3);
+            false)
   in
   let rec go () =
     if have_enough () then Ok ()
@@ -136,3 +162,68 @@ let get t target = request t Http.GET target
 let post t target ~body = request t ~body Http.POST target
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Retries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_policy =
+  {
+    max_attempts = 6;
+    base_delay = 0.05;
+    multiplier = 2.0;
+    max_delay = 2.0;
+    jitter = 0.2;
+  }
+
+let retryable_status status = status = 408 || status = 429 || status = 503
+
+(* Exponential growth capped at [max_delay], then shrunk by up to
+   [jitter] of itself so a herd of retrying clients spreads out. The
+   rng threads through, so a fixed seed gives a fixed schedule. *)
+let delay_for policy rng attempt =
+  let raw = policy.base_delay *. (policy.multiplier ** float_of_int attempt) in
+  let capped = Float.min policy.max_delay raw in
+  capped *. (1.0 -. (policy.jitter *. Random.State.float rng 1.0))
+
+let backoff_schedule ?(seed = 0) policy =
+  let rng = Random.State.make [| seed |] in
+  let rec go i acc =
+    if i >= policy.max_attempts - 1 then List.rev acc
+    else go (i + 1) (delay_for policy rng i :: acc)
+  in
+  go 0 []
+
+let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
+    ~connect f =
+  let rng = Random.State.make [| seed |] in
+  let once () =
+    match connect () with
+    | exception Unix.Unix_error (e, _, _) ->
+        (* connect refused/reset: the daemon may be restarting *)
+        Error (Unix.error_message e)
+    | t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+  in
+  let rec attempt i =
+    let outcome = once () in
+    let retry () =
+      if i + 1 >= policy.max_attempts then outcome
+      else begin
+        sleep (delay_for policy rng i);
+        attempt (i + 1)
+      end
+    in
+    match outcome with
+    | Ok r when retryable_status r.status -> retry ()
+    | Ok _ -> outcome
+    | Error _ -> retry ()
+  in
+  attempt 0

@@ -6,7 +6,9 @@
 type t
 
 val connect : ?host:string -> port:int -> unit -> t
-(** TCP to [host] (default 127.0.0.1). *)
+(** TCP to [host] (default 127.0.0.1). The host is resolved with
+    [getaddrinfo], so names like ["localhost"] work as well as numeric
+    addresses. *)
 
 val connect_unix : string -> t
 (** Unix-domain socket at the given path. *)
@@ -30,3 +32,44 @@ val get : t -> string -> (response, string) result
 val post : t -> string -> body:string -> (response, string) result
 
 val close : t -> unit
+
+(** {2 Retries}
+
+    Restart-tolerant calls: {!with_retry} reconnects and retries
+    through the window where a daemon is down or draining. *)
+
+type retry_policy = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  multiplier : float;  (** exponential growth factor *)
+  max_delay : float;  (** cap on any single delay, seconds *)
+  jitter : float;  (** 0..1 — each delay is shrunk by up to this
+                       fraction of itself *)
+}
+
+val default_policy : retry_policy
+(** 6 attempts, 50 ms base, doubling, 2 s cap, 0.2 jitter — worst
+    case a little under 4 s of waiting. *)
+
+val retryable_status : int -> bool
+(** [true] for 408 (request timeout), 429 (overloaded) and 503. *)
+
+val backoff_schedule : ?seed:int -> retry_policy -> float list
+(** The exact delays {!with_retry} would sleep with the same [seed] —
+    [max_attempts - 1] of them. Deterministic, for tests. *)
+
+val with_retry :
+  ?policy:retry_policy ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  connect:(unit -> t) ->
+  (t -> (response, string) result) ->
+  (response, string) result
+(** [with_retry ~connect f] opens a fresh connection, runs [f], and
+    closes it. A refused/torn connection ([connect] raising
+    [Unix_error], or [f] returning [Error]) or a {!retryable_status}
+    response triggers a capped, jittered exponential backoff and a
+    reconnect, up to [policy.max_attempts] tries; the final outcome is
+    returned as-is when retries run out. [seed] fixes the jitter
+    schedule; [sleep] (default [Unix.sleepf]) is injectable so tests
+    can record delays instead of waiting. *)

@@ -13,6 +13,8 @@ type config = {
   write_timeout : float;
   max_head : int;
   max_body : int;
+  data_dir : string option;
+  fsync : Store.Journal.fsync_policy;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     write_timeout = 10.0;
     max_head = 16 * 1024;
     max_body = 4 * 1024 * 1024;
+    data_dir = None;
+    fsync = Store.Journal.Always;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -231,7 +235,34 @@ let worker_loop t =
 let start ?(config = default_config) () =
   (* writes to peers that hung up must fail with EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let api_ctx = Api.make_ctx ?jobs:config.jobs () in
+  let persist =
+    Option.map
+      (fun dir -> Persist.open_ ~fsync:config.fsync dir)
+      config.data_dir
+  in
+  let api_ctx = Api.make_ctx ?jobs:config.jobs ?persist:(Option.map fst persist) () in
+  (match persist with
+  | None -> ()
+  | Some (p, (recovery : Persist.recovery)) ->
+      Persist.set_metrics p api_ctx.Api.metrics;
+      let stats = Registry.recover api_ctx.Api.registry recovery.Persist.mutations in
+      Metrics.set_recovery api_ctx.Api.metrics
+        {
+          Metrics.sessions = List.length (Registry.ids api_ctx.Api.registry);
+          entries = recovery.Persist.entries;
+          skipped = stats.Registry.skipped + recovery.Persist.undecodable;
+          truncated_bytes = recovery.Persist.truncated_bytes;
+          corrupt_tail = recovery.Persist.corrupt_tail;
+        };
+      Log.info (fun m ->
+          m "recovered %d session(s) from %s (%d record(s), %d skipped%s)"
+            (List.length (Registry.ids api_ctx.Api.registry))
+            (Persist.dir p) recovery.Persist.entries
+            (stats.Registry.skipped + recovery.Persist.undecodable)
+            (if recovery.Persist.truncated_bytes > 0 then
+               Printf.sprintf ", %d torn tail byte(s) discarded"
+                 recovery.Persist.truncated_bytes
+             else "")));
   let tcp_listener, tcp_port = listen_tcp ~host:config.host ~port:config.port in
   let unix_listener =
     match config.unix_path with
@@ -297,6 +328,16 @@ let stop t =
     Option.iter kill_listener t.unix_listener;
     queue_close t.queue;
     List.iter Thread.join t.threads;
+    (* workers are drained, so the state is quiescent: checkpoint it
+       into a snapshot and close the journal cleanly *)
+    (match Registry.persist t.api_ctx.Api.registry with
+    | None -> ()
+    | Some p ->
+        (try Registry.checkpoint t.api_ctx.Api.registry
+         with e ->
+           Log.err (fun m ->
+               m "checkpoint on drain failed: %s" (Printexc.to_string e)));
+        best_effort (fun () -> Persist.close p));
     Option.iter
       (fun path -> best_effort (fun () -> Unix.unlink path))
       t.config.unix_path;

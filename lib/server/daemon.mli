@@ -32,6 +32,13 @@ type config = {
   write_timeout : float;  (** seconds *)
   max_head : int;  (** request-head byte limit *)
   max_body : int;  (** request-body byte limit *)
+  data_dir : string option;
+      (** durability directory for the write-ahead journal and
+          snapshots; [None] (the default) keeps the registry purely
+          in-memory, exactly as before *)
+  fsync : Store.Journal.fsync_policy;
+      (** when journal appends reach the disk (only meaningful with
+          [data_dir]); default {!Store.Journal.Always} *)
 }
 
 val default_config : config
@@ -42,7 +49,11 @@ type t
 
 val start : ?config:config -> unit -> t
 (** Bind, spawn the pool, return immediately. The registry starts
-    empty.
+    empty — unless [config.data_dir] is set, in which case the journal
+    and snapshot found there are replayed into the registry first
+    (tolerating a torn tail from a crash) and every subsequent
+    mutation is journaled before it is acknowledged. Recovery
+    statistics appear under ["journal"."recovery"] in [GET /metrics].
     @raise Unix.Unix_error when binding fails (port in use, bad
     path). *)
 
@@ -55,7 +66,10 @@ val ctx : t -> Api.ctx
 (** The live registry + metrics, for in-process inspection. *)
 
 val stop : t -> unit
-(** Graceful drain; idempotent. Returns once every worker has exited. *)
+(** Graceful drain; idempotent. Returns once every worker has exited.
+    With persistence, the drained state is then checkpointed into a
+    snapshot and the journal closed, so the next boot recovers from
+    the snapshot instead of replaying a long journal. *)
 
 val run : ?config:config -> unit -> unit
 (** [start], print the bound address on stdout, then block until

@@ -5,6 +5,14 @@
 let bucket_bounds =
   [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0 |]
 
+type recovery = {
+  sessions : int;
+  entries : int;
+  skipped : int;
+  truncated_bytes : int;
+  corrupt_tail : bool;
+}
+
 type t = {
   lock : Mutex.t;
   requests : (string * int, int) Hashtbl.t;  (** (route, status) -> count *)
@@ -14,6 +22,14 @@ type t = {
   mutable in_flight : int;
   mutable rejected_overload : int;
   mutable rejected_timeout : int;
+  (* write-ahead journal counters; [journal_enabled] keeps /metrics
+     byte-identical to the journal-less server unless durability is on *)
+  mutable journal_enabled : bool;
+  mutable journal_records : int;
+  mutable journal_bytes : int;
+  mutable journal_fsyncs : int;
+  mutable journal_compactions : int;
+  mutable recovery : recovery option;
 }
 
 let create () =
@@ -26,6 +42,12 @@ let create () =
     in_flight = 0;
     rejected_overload = 0;
     rejected_timeout = 0;
+    journal_enabled = false;
+    journal_records = 0;
+    journal_bytes = 0;
+    journal_fsyncs = 0;
+    journal_compactions = 0;
+    recovery = None;
   }
 
 let with_lock t f = Mutex.protect t.lock f
@@ -53,6 +75,21 @@ let reject_overload t =
 
 let reject_timeout t =
   with_lock t (fun () -> t.rejected_timeout <- t.rejected_timeout + 1)
+
+(* Absolute counters, not deltas: the journal layer snapshots its own
+   totals after each operation, so a missed sync cannot drift. *)
+let set_journal t ~records ~bytes ~fsyncs ~compactions =
+  with_lock t (fun () ->
+      t.journal_enabled <- true;
+      t.journal_records <- records;
+      t.journal_bytes <- bytes;
+      t.journal_fsyncs <- fsyncs;
+      t.journal_compactions <- compactions)
+
+let set_recovery t recovery =
+  with_lock t (fun () ->
+      t.journal_enabled <- true;
+      t.recovery <- Some recovery)
 
 let to_json t ~extra =
   with_lock t (fun () ->
@@ -83,6 +120,35 @@ let to_json t ~extra =
                Jsonlight.Obj [ ("le", le); ("count", Jsonlight.Int !cumulative) ])
              t.buckets)
       in
+      let journal =
+        if not t.journal_enabled then []
+        else
+          [
+            ( "journal",
+              Jsonlight.Obj
+                ([
+                   ("records", Jsonlight.Int t.journal_records);
+                   ("bytes", Jsonlight.Int t.journal_bytes);
+                   ("fsyncs", Jsonlight.Int t.journal_fsyncs);
+                   ("compactions", Jsonlight.Int t.journal_compactions);
+                 ]
+                @
+                match t.recovery with
+                | None -> []
+                | Some r ->
+                    [
+                      ( "recovery",
+                        Jsonlight.Obj
+                          [
+                            ("sessions", Jsonlight.Int r.sessions);
+                            ("entries", Jsonlight.Int r.entries);
+                            ("skipped", Jsonlight.Int r.skipped);
+                            ("truncated_bytes", Jsonlight.Int r.truncated_bytes);
+                            ("corrupt_tail", Jsonlight.Bool r.corrupt_tail);
+                          ] );
+                    ]) );
+          ]
+      in
       Jsonlight.Obj
         ([
            ("requests", Jsonlight.List requests);
@@ -97,4 +163,4 @@ let to_json t ~extra =
            ("rejected_overload", Jsonlight.Int t.rejected_overload);
            ("rejected_timeout", Jsonlight.Int t.rejected_timeout);
          ]
-        @ extra))
+        @ journal @ extra))

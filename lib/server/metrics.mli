@@ -27,6 +27,28 @@ val reject_overload : t -> unit
 val reject_timeout : t -> unit
 (** A connection was closed after a read or write timeout. *)
 
+(** {2 Write-ahead journal}
+
+    Populated only when the daemon runs with a data directory; without
+    one, the rendered JSON is unchanged from the journal-less server. *)
+
+val set_journal :
+  t -> records:int -> bytes:int -> fsyncs:int -> compactions:int -> unit
+(** Overwrite the journal counters with the given lifetime totals (the
+    persistence layer reports absolute values after each operation). *)
+
+type recovery = {
+  sessions : int;  (** sessions alive after boot-time replay *)
+  entries : int;  (** snapshot + journal records replayed *)
+  skipped : int;  (** records that no longer applied and were dropped *)
+  truncated_bytes : int;  (** torn/corrupt journal tail discarded *)
+  corrupt_tail : bool;  (** the tail failed its checksum (vs a clean cut) *)
+}
+
+val set_recovery : t -> recovery -> unit
+(** Record the outcome of boot-time recovery, rendered under
+    [journal.recovery]. *)
+
 val to_json : t -> extra:(string * Jsonlight.t) list -> Jsonlight.t
 (** Snapshot; [extra] is appended verbatim (the API layer adds
     registry-wide cache statistics). Buckets are upper bounds in

@@ -1,0 +1,236 @@
+type mutation =
+  | Create of {
+      id : string;
+      policy : Adl.Graph.policy;
+      scenarios : string;
+      architecture : string;
+      mapping : string;
+    }
+  | Diff of { id : string; ops : Adl.Diff.op list }
+  | Set_architecture of { id : string; architecture : string }
+  | Remove of { id : string }
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding (one payload per journal record)                     *)
+(* ------------------------------------------------------------------ *)
+
+let policy_to_string = function
+  | Adl.Graph.Routed -> "routed"
+  | Adl.Graph.Direct -> "direct"
+
+let policy_of_string = function
+  | "routed" -> Some Adl.Graph.Routed
+  | "direct" -> Some Adl.Graph.Direct
+  | _ -> None
+
+(* the wire vocabulary of the /diff endpoint (excise arrives here
+   already expanded to Remove_link ops) *)
+let encode_op = function
+  | Adl.Diff.Remove_link id ->
+      Some
+        (Jsonlight.Obj
+           [ ("op", Jsonlight.String "remove_link"); ("id", Jsonlight.String id) ])
+  | Adl.Diff.Remove_component id ->
+      Some
+        (Jsonlight.Obj
+           [ ("op", Jsonlight.String "remove_component"); ("id", Jsonlight.String id) ])
+  | Adl.Diff.Remove_connector id ->
+      Some
+        (Jsonlight.Obj
+           [ ("op", Jsonlight.String "remove_connector"); ("id", Jsonlight.String id) ])
+  | Adl.Diff.Rename_element { old_id; new_id } ->
+      Some
+        (Jsonlight.Obj
+           [
+             ("op", Jsonlight.String "rename");
+             ("old_id", Jsonlight.String old_id);
+             ("new_id", Jsonlight.String new_id);
+           ])
+  | Adl.Diff.Add_component _ | Adl.Diff.Add_connector _ | Adl.Diff.Add_link _ ->
+      None
+
+let encode_ops ops =
+  let rec go acc = function
+    | [] -> Some (Jsonlight.List (List.rev acc))
+    | op :: rest -> (
+        match encode_op op with
+        | Some j -> go (j :: acc) rest
+        | None -> None)
+  in
+  go [] ops
+
+let encode m =
+  let json =
+    match m with
+    | Create { id; policy; scenarios; architecture; mapping } ->
+        Jsonlight.Obj
+          [
+            ("op", Jsonlight.String "create");
+            ("id", Jsonlight.String id);
+            ("policy", Jsonlight.String (policy_to_string policy));
+            ("scenarios", Jsonlight.String scenarios);
+            ("architecture", Jsonlight.String architecture);
+            ("mapping", Jsonlight.String mapping);
+          ]
+    | Diff { id; ops } ->
+        let encoded =
+          match encode_ops ops with
+          | Some j -> j
+          | None -> invalid_arg "Persist.encode: diff ops have no wire encoding"
+        in
+        Jsonlight.Obj
+          [
+            ("op", Jsonlight.String "diff");
+            ("id", Jsonlight.String id);
+            ("ops", encoded);
+          ]
+    | Set_architecture { id; architecture } ->
+        Jsonlight.Obj
+          [
+            ("op", Jsonlight.String "set_architecture");
+            ("id", Jsonlight.String id);
+            ("architecture", Jsonlight.String architecture);
+          ]
+    | Remove { id } ->
+        Jsonlight.Obj
+          [ ("op", Jsonlight.String "remove"); ("id", Jsonlight.String id) ]
+  in
+  Jsonlight.to_string json
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Option.bind (Jsonlight.member name json) Jsonlight.string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let decode_op json =
+  let* op = field "op" json in
+  match op with
+  | "remove_link" ->
+      let* id = field "id" json in
+      Ok (Adl.Diff.Remove_link id)
+  | "remove_component" ->
+      let* id = field "id" json in
+      Ok (Adl.Diff.Remove_component id)
+  | "remove_connector" ->
+      let* id = field "id" json in
+      Ok (Adl.Diff.Remove_connector id)
+  | "rename" ->
+      let* old_id = field "old_id" json in
+      let* new_id = field "new_id" json in
+      Ok (Adl.Diff.Rename_element { old_id; new_id })
+  | op -> Error (Printf.sprintf "unknown diff op %S" op)
+
+let decode payload =
+  let* json = Jsonlight.of_string payload in
+  let* op = field "op" json in
+  match op with
+  | "create" ->
+      let* id = field "id" json in
+      let* policy_s = field "policy" json in
+      let* policy =
+        match policy_of_string policy_s with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown policy %S" policy_s)
+      in
+      let* scenarios = field "scenarios" json in
+      let* architecture = field "architecture" json in
+      let* mapping = field "mapping" json in
+      Ok (Create { id; policy; scenarios; architecture; mapping })
+  | "diff" ->
+      let* id = field "id" json in
+      let* ops =
+        match Option.bind (Jsonlight.member "ops" json) Jsonlight.list_opt with
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                let* op = decode_op item in
+                Ok (op :: acc))
+              items (Ok [])
+        | None -> Error "missing \"ops\" list"
+      in
+      Ok (Diff { id; ops })
+  | "set_architecture" ->
+      let* id = field "id" json in
+      let* architecture = field "architecture" json in
+      Ok (Set_architecture { id; architecture })
+  | "remove" ->
+      let* id = field "id" json in
+      Ok (Remove { id })
+  | op -> Error (Printf.sprintf "unknown mutation %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* The durable log                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  mutations : mutation list;
+  entries : int;
+  undecodable : int;
+  truncated_bytes : int;
+  corrupt_tail : bool;
+}
+
+type t = {
+  wal : Store.Wal.t;
+  lock : Mutex.t;
+  compact_bytes : int;
+  fsync : Store.Journal.fsync_policy;
+  mutable metrics : Metrics.t option;
+}
+
+let sync_metrics t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let s = Store.Wal.stats t.wal in
+      Metrics.set_journal m ~records:s.Store.Wal.appends ~bytes:s.Store.Wal.bytes
+        ~fsyncs:s.Store.Wal.fsyncs ~compactions:s.Store.Wal.compactions
+
+let open_ ?(fsync = Store.Journal.Always) ?(compact_bytes = 8 * 1024 * 1024) dir =
+  let wal, (r : Store.Wal.recovery) = Store.Wal.open_ ~fsync dir in
+  let decoded payloads =
+    List.fold_left
+      (fun (mutations, bad) payload ->
+        match decode payload with
+        | Ok m -> (m :: mutations, bad)
+        | Error _ -> (mutations, bad + 1))
+      ([], 0) payloads
+  in
+  let state_mutations, state_bad = decoded r.Store.Wal.state in
+  let entry_mutations, entry_bad = decoded r.Store.Wal.entries in
+  ( { wal; lock = Mutex.create (); compact_bytes; fsync; metrics = None },
+    {
+      mutations = List.rev_append state_mutations (List.rev entry_mutations);
+      entries = List.length r.Store.Wal.state + List.length r.Store.Wal.entries;
+      undecodable = state_bad + entry_bad;
+      truncated_bytes = r.Store.Wal.truncated_bytes;
+      corrupt_tail = r.Store.Wal.corrupt_tail;
+    } )
+
+let set_metrics t m =
+  t.metrics <- Some m;
+  sync_metrics t
+
+let log t m =
+  Mutex.protect t.lock (fun () -> ignore (Store.Wal.append t.wal (encode m)));
+  sync_metrics t
+
+let should_compact t = Store.Wal.journal_bytes t.wal >= t.compact_bytes
+
+let compact t ~state =
+  Mutex.protect t.lock (fun () ->
+      Store.Wal.compact t.wal ~state:(List.map encode state));
+  sync_metrics t
+
+let flush t = Mutex.protect t.lock (fun () -> ignore (Store.Wal.flush t.wal))
+
+let fsync_policy t = t.fsync
+
+let stats t = Store.Wal.stats t.wal
+
+let dir t = Store.Wal.dir t.wal
+
+let close t = Mutex.protect t.lock (fun () -> Store.Wal.close t.wal)

@@ -1,0 +1,82 @@
+(** Durable registry mutations: the encoding layer between
+    {!Registry} and {!Store.Wal}.
+
+    Every state change the API acknowledges — session creation (with
+    the full project payload), an applied diff, a removal — is encoded
+    as one JSON payload and appended to the write-ahead journal before
+    the 2xx response is sent; {!Store.Journal.fsync_policy} decides
+    what "durable" means. On boot, {!open_} replays snapshot + journal
+    into a mutation list the registry re-applies.
+
+    Thread-safety: {!log}, {!compact} and {!flush} take an internal
+    lock, but callers must additionally serialize mutations against
+    each other so journal order equals apply order — {!Registry} does
+    this with its mutation lock. *)
+
+type mutation =
+  | Create of {
+      id : string;
+      policy : Adl.Graph.policy;
+      scenarios : string;  (** ScenarioML XML *)
+      architecture : string;  (** xADL XML *)
+      mapping : string;  (** mapping XML *)
+    }
+  | Diff of { id : string; ops : Adl.Diff.op list }
+  | Set_architecture of { id : string; architecture : string }
+      (** fallback for diffs whose ops the wire format cannot encode:
+          the whole post-diff architecture *)
+  | Remove of { id : string }
+
+val encode_ops : Adl.Diff.op list -> Jsonlight.t option
+(** The removal/rename vocabulary of the [/diff] endpoint; [None] when
+    some op (an [Add_*]) has no wire encoding — the caller journals a
+    {!Set_architecture} instead. *)
+
+val encode : mutation -> string
+
+val decode : string -> (mutation, string) result
+
+type recovery = {
+  mutations : mutation list;
+      (** snapshot state (all [Create]s) followed by journal entries,
+          in acknowledgement order *)
+  entries : int;  (** total records read (snapshot + journal) *)
+  undecodable : int;  (** records whose payload failed to decode *)
+  truncated_bytes : int;  (** torn/corrupt journal tail discarded *)
+  corrupt_tail : bool;
+}
+
+type t
+
+val open_ :
+  ?fsync:Store.Journal.fsync_policy -> ?compact_bytes:int -> string -> t * recovery
+(** [open_ dir] recovers from [dir] (creating it if needed).
+    [compact_bytes] (default 8 MiB) is the journal size past which
+    {!should_compact} asks for a snapshot. *)
+
+val set_metrics : t -> Metrics.t -> unit
+(** Mirror journal counters into the given metrics after every
+    operation. *)
+
+val log : t -> mutation -> unit
+(** Append one mutation; on return it is durable per the fsync
+    policy. *)
+
+val should_compact : t -> bool
+
+val compact : t -> state:mutation list -> unit
+(** Snapshot the given full state (a [Create] per live session) and
+    empty the journal. The caller guarantees [state] reflects every
+    mutation logged so far (it holds the registry mutation lock). *)
+
+val flush : t -> unit
+
+val fsync_policy : t -> Store.Journal.fsync_policy
+
+val stats : t -> Store.Wal.counters
+(** Lifetime journal counters (appends, bytes, fsyncs, compactions). *)
+
+val dir : t -> string
+
+val close : t -> unit
+(** Flush and close the journal. Idempotent. *)

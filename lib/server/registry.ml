@@ -2,29 +2,219 @@ type t = {
   lock : Mutex.t;
   sessions : (string, Core.Sosae.Session.t) Hashtbl.t;
   jobs : int;
+  (* [mu] serializes mutations (create/diff/remove) end to end — apply
+     in memory, then journal — so journal order always equals apply
+     order. Reads and evaluations never take it. Lock order:
+     mu > lock > per-session lock. *)
+  mu : Mutex.t;
+  persist : Persist.t option;
 }
 
-let create ?jobs () =
+let create ?jobs ?persist () =
   let jobs = match jobs with Some j -> j | None -> Core.Sosae.default_jobs () in
-  { lock = Mutex.create (); sessions = Hashtbl.create 8; jobs }
+  {
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 8;
+    jobs;
+    mu = Mutex.create ();
+    persist;
+  }
 
 let jobs t = t.jobs
 
+let persist t = t.persist
+
+(* ------------------------------------------------------------------ *)
+(* Serialization of live state (journals and snapshots)               *)
+(* ------------------------------------------------------------------ *)
+
+let create_mutation ~id session =
+  let project = Core.Sosae.Session.project session in
+  Persist.Create
+    {
+      id;
+      policy = (Core.Sosae.Session.config session).Walkthrough.Engine.policy;
+      scenarios =
+        Scenarioml.Xml_io.set_to_string project.Core.Sosae.scenarios;
+      architecture = Adl.Xml_io.to_string project.Core.Sosae.architecture;
+      mapping = Mapping.Xml_io.to_string project.Core.Sosae.mapping;
+    }
+
+(* Per-session consistency is enough for a snapshot: [mu] is held, so
+   no mutation can interleave; evaluations may run but don't change
+   the project. *)
+let state_mutations t =
+  let pairs =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.sessions [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.map
+    (fun (id, session) ->
+      Core.Sosae.Session.exclusively session (fun () ->
+          create_mutation ~id session))
+    pairs
+
+let maybe_compact t =
+  match t.persist with
+  | Some p when Persist.should_compact p ->
+      Persist.compact p ~state:(state_mutations t)
+  | Some _ | None -> ()
+
+let checkpoint t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Mutex.protect t.mu (fun () -> Persist.compact p ~state:(state_mutations t))
+
+(* ------------------------------------------------------------------ *)
+(* Mutations (journaled before they are acknowledged)                 *)
+(* ------------------------------------------------------------------ *)
+
 let add t ~id ?config project =
-  Mutex.protect t.lock (fun () ->
-      if Hashtbl.mem t.sessions id then Error `Conflict
-      else begin
-        Hashtbl.replace t.sessions id (Core.Sosae.Session.create ?config project);
-        Ok ()
-      end)
+  Mutex.protect t.mu (fun () ->
+      let inserted =
+        Mutex.protect t.lock (fun () ->
+            if Hashtbl.mem t.sessions id then Error `Conflict
+            else begin
+              Hashtbl.replace t.sessions id
+                (Core.Sosae.Session.create ?config project);
+              Ok ()
+            end)
+      in
+      match (inserted, t.persist) with
+      | Ok (), Some p ->
+          let session =
+            Mutex.protect t.lock (fun () -> Hashtbl.find t.sessions id)
+          in
+          (match Persist.log p (create_mutation ~id session) with
+          | () -> ()
+          | exception e ->
+              (* un-journaled means un-acknowledged: roll the insert
+                 back so memory never outlives what recovery rebuilds *)
+              Mutex.protect t.lock (fun () -> Hashtbl.remove t.sessions id);
+              raise e);
+          maybe_compact t;
+          Ok ()
+      | result, _ -> result)
 
 let remove t id =
-  Mutex.protect t.lock (fun () ->
-      if Hashtbl.mem t.sessions id then begin
-        Hashtbl.remove t.sessions id;
-        true
-      end
-      else false)
+  Mutex.protect t.mu (fun () ->
+      let removed =
+        Mutex.protect t.lock (fun () ->
+            match Hashtbl.find_opt t.sessions id with
+            | Some session ->
+                Hashtbl.remove t.sessions id;
+                Some session
+            | None -> None)
+      in
+      match (removed, t.persist) with
+      | Some session, Some p ->
+          (match Persist.log p (Persist.Remove { id }) with
+          | () -> ()
+          | exception e ->
+              Mutex.protect t.lock (fun () ->
+                  Hashtbl.replace t.sessions id session);
+              raise e);
+          maybe_compact t;
+          true
+      | Some _, None -> true
+      | None, _ -> false)
+
+let apply_diff t id ~ops =
+  Mutex.protect t.mu (fun () ->
+      let session =
+        Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.sessions id)
+      in
+      match session with
+      | None -> Error `Not_found
+      | Some session -> (
+          match
+            Core.Sosae.Session.exclusively session (fun () ->
+                let ops = ops session in
+                Core.Sosae.Session.apply_diff session ops;
+                ops)
+          with
+          | ops ->
+              (match t.persist with
+              | None -> ()
+              | Some p ->
+                  let mutation =
+                    match Persist.encode_ops ops with
+                    | Some _ -> Persist.Diff { id; ops }
+                    | None ->
+                        (* ops with no wire encoding (the Add_ ones):
+                           journal the whole post-diff architecture *)
+                        Persist.Set_architecture
+                          {
+                            id;
+                            architecture =
+                              Adl.Xml_io.to_string
+                                (Core.Sosae.Session.project session)
+                                  .Core.Sosae.architecture;
+                          }
+                  in
+                  Persist.log p mutation;
+                  maybe_compact t);
+              Ok ops
+          | exception Adl.Diff.Apply_error message -> Error (`Apply_error message)))
+
+(* ------------------------------------------------------------------ *)
+(* Boot-time recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type recovery_stats = { applied : int; skipped : int }
+
+(* Replay without journaling: the records being applied are the
+   journal. A record that no longer applies is skipped, not fatal —
+   the benign source is the compaction overlap window (a mutation
+   journaled just before a snapshot that already contains its effect),
+   and recovery must get the registry up regardless. *)
+let recover t mutations =
+  let applied = ref 0 and skipped = ref 0 in
+  let ok () = incr applied in
+  let skip () = incr skipped in
+  List.iter
+    (fun mutation ->
+      match mutation with
+      | Persist.Create { id; policy; scenarios; architecture; mapping } -> (
+          if Hashtbl.mem t.sessions id then skip ()
+          else
+            match Core.Sosae.project_of_strings ~scenarios ~architecture ~mapping with
+            | Ok project ->
+                let config = Walkthrough.Engine.config ~policy () in
+                Hashtbl.replace t.sessions id
+                  (Core.Sosae.Session.create ~config project);
+                ok ()
+            | Error _ -> skip ())
+      | Persist.Diff { id; ops } -> (
+          match Hashtbl.find_opt t.sessions id with
+          | None -> skip ()
+          | Some session -> (
+              match Core.Sosae.Session.apply_diff session ops with
+              | () -> ok ()
+              | exception Adl.Diff.Apply_error _ -> skip ()))
+      | Persist.Set_architecture { id; architecture } -> (
+          match Hashtbl.find_opt t.sessions id with
+          | None -> skip ()
+          | Some session -> (
+              match Adl.Xml_io.of_string architecture with
+              | arch ->
+                  Core.Sosae.Session.set_architecture session arch;
+                  ok ()
+              | exception Adl.Xml_io.Malformed _ -> skip ()))
+      | Persist.Remove { id } ->
+          if Hashtbl.mem t.sessions id then begin
+            Hashtbl.remove t.sessions id;
+            ok ()
+          end
+          else skip ())
+    mutations;
+  { applied = !applied; skipped = !skipped }
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let ids t =
   Mutex.protect t.lock (fun () ->

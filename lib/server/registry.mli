@@ -5,16 +5,26 @@
     serialized through {!Core.Sosae.Session.exclusively} by
     {!with_session}, so concurrent requests against the same session
     queue up while requests against distinct sessions run in
-    parallel. *)
+    parallel.
+
+    With a {!Persist.t}, every mutation — {!add}, {!apply_diff},
+    {!remove} — is appended to the write-ahead journal before the call
+    returns (and so before the API acknowledges it); a mutation lock
+    serializes mutations end to end so journal order equals apply
+    order. Evaluations and other reads never touch that lock. *)
 
 type t
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?persist:Persist.t -> unit -> t
 (** [jobs] is the domain-pool width handed to every
     [Session.evaluate] the server runs (default
-    {!Core.Sosae.default_jobs}). *)
+    {!Core.Sosae.default_jobs}). [persist], when given, makes every
+    mutation durable; the registry still starts empty — feed
+    {!recover} the mutations {!Persist.open_} returned. *)
 
 val jobs : t -> int
+
+val persist : t -> Persist.t option
 
 val add :
   t ->
@@ -23,10 +33,40 @@ val add :
   Core.Sosae.project ->
   (unit, [ `Conflict ]) result
 (** Create a session named [id] over the project. [`Conflict] when the
-    name is taken. *)
+    name is taken. Durable on return (per the fsync policy) when the
+    registry persists; if journaling fails, the in-memory insert is
+    rolled back and the exception propagates (the API answers 500 —
+    never an acknowledged-but-lost session). *)
 
 val remove : t -> string -> bool
-(** [true] when a session was removed. *)
+(** [true] when a session was removed (journaled first, like {!add}). *)
+
+val apply_diff :
+  t ->
+  string ->
+  ops:(Core.Sosae.Session.t -> Adl.Diff.op list) ->
+  (Adl.Diff.op list, [ `Not_found | `Apply_error of string ]) result
+(** [apply_diff t id ~ops] runs [ops] under the session's lock (it may
+    read the current architecture — the API expands [excise] there),
+    applies the resulting op list, journals it, and returns it. Ops
+    without a wire encoding ([Add_*]) are journaled as the whole
+    post-diff architecture instead. *)
+
+type recovery_stats = { applied : int; skipped : int }
+
+val recover : t -> Persist.mutation list -> recovery_stats
+(** Replay recovered mutations into the (empty, not-yet-serving)
+    registry without re-journaling them. Records that no longer apply
+    — the benign case is a mutation journaled in the compaction
+    overlap window, whose effect the snapshot already contains — are
+    counted in [skipped] and dropped. Not thread-safe; call before
+    serving. *)
+
+val checkpoint : t -> unit
+(** Compact now: snapshot the current state and empty the journal.
+    No-op without persistence. The daemon calls this during SIGTERM
+    drain so restarts recover from a snapshot instead of a long
+    journal. *)
 
 val ids : t -> string list
 (** Sorted. *)

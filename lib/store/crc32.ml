@@ -1,0 +1,27 @@
+(* Reflected CRC-32 with polynomial 0xEDB88320, table-driven. The
+   running value is kept pre- and post-inverted the usual way so that
+   chunked feeding composes: [string ~crc:(string a) b = string (a^b)]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let sub ?(crc = 0) s pos len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub";
+  let table = Lazy.force table in
+  let c = ref (crc lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let string ?crc s = sub ?crc s 0 (String.length s)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), for record
+    checksumming in {!Journal} files. Implemented with the standard
+    256-entry lookup table; no dependencies.
+
+    Checksums are exposed as [int] (always non-negative, fits in 32
+    bits) so they can be compared and serialized without [Int32]
+    boxing. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s]. [?crc] continues a running
+    checksum (feed chunks in order starting from the default). *)
+
+val sub : ?crc:int -> string -> int -> int -> int
+(** [sub s pos len] checksums the given substring without copying.
+    @raise Invalid_argument when the range is out of bounds. *)

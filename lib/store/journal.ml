@@ -1,0 +1,153 @@
+type fsync_policy = Always | Interval of float | Never
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Interval s -> Printf.sprintf "interval:%g" s
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | "interval" -> Ok (Interval 1.0)
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i when String.sub other 0 i = "interval" -> (
+          let arg = String.sub other (i + 1) (String.length other - i - 1) in
+          match float_of_string_opt arg with
+          | Some v when v > 0.0 -> Ok (Interval v)
+          | Some _ | None ->
+              Error (Printf.sprintf "bad interval %S (need a positive number)" arg))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown fsync policy %S (expected always, never, interval or \
+                interval:<seconds>)"
+               s))
+
+type t = {
+  fd : Unix.file_descr;
+  policy : fsync_policy;
+  mutable seq : int64;  (* next to assign *)
+  mutable dirty : bool;  (* bytes written since the last fsync *)
+  mutable last_fsync : float;
+  mutable appends : int;
+  mutable bytes : int;
+  mutable fsyncs : int;
+  mutable closed : bool;
+}
+
+type recovery = {
+  records : (int64 * string) list;
+  truncated_bytes : int;
+  corrupt : bool;
+}
+
+type counters = { appends : int; bytes : int; fsyncs : int }
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+  end
+
+let read_file fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  let b = Bytes.create size in
+  let rec go off =
+    if off < size then
+      match Unix.read fd b off (size - off) with
+      | 0 -> off  (* shrank underneath us; treat as EOF *)
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    else off
+  in
+  let got = go 0 in
+  Bytes.sub_string b 0 got
+
+let open_ ?(fsync = Always) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  match
+    let contents = read_file fd in
+    let records, valid_end, tail = Record.decode_all contents in
+    let truncated = String.length contents - valid_end in
+    if truncated > 0 then begin
+      Unix.ftruncate fd valid_end;
+      ignore (Unix.lseek fd 0 Unix.SEEK_END)
+    end;
+    let last_seq =
+      List.fold_left (fun acc (seq, _) -> if seq > acc then seq else acc) 0L records
+    in
+    ( {
+        fd;
+        policy = fsync;
+        seq = Int64.add last_seq 1L;
+        dirty = truncated > 0;
+        last_fsync = Unix.gettimeofday ();
+        appends = 0;
+        bytes = 0;
+        fsyncs = 0;
+        closed = false;
+      },
+      {
+        records;
+        truncated_bytes = truncated;
+        corrupt = (match tail with Record.Corrupt _ -> true | _ -> false);
+      } )
+  with
+  | result -> result
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let do_fsync t =
+  Unix.fsync t.fd;
+  t.dirty <- false;
+  t.last_fsync <- Unix.gettimeofday ();
+  t.fsyncs <- t.fsyncs + 1
+
+let maybe_fsync t =
+  match t.policy with
+  | Always -> do_fsync t
+  | Never -> ()
+  | Interval s -> if Unix.gettimeofday () -. t.last_fsync >= s then do_fsync t
+
+let append t payload =
+  let seq = t.seq in
+  t.seq <- Int64.add seq 1L;
+  let buf = Buffer.create (Record.header_size + String.length payload) in
+  Record.encode buf ~seq payload;
+  let b = Buffer.to_bytes buf in
+  write_all t.fd b 0 (Bytes.length b);
+  t.dirty <- true;
+  t.appends <- t.appends + 1;
+  t.bytes <- t.bytes + Bytes.length b;
+  maybe_fsync t;
+  seq
+
+let bump_seq t past = if past >= t.seq then t.seq <- Int64.add past 1L
+
+let next_seq t = t.seq
+
+let flush t =
+  if t.dirty then begin
+    do_fsync t;
+    true
+  end
+  else false
+
+let reset t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  do_fsync t
+
+let stats (t : t) : counters =
+  { appends = t.appends; bytes = t.bytes; fsyncs = t.fsyncs }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    if t.dirty then (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

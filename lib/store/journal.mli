@@ -1,0 +1,66 @@
+(** An append-only file of {!Record}-framed entries — the write-ahead
+    journal. Not thread-safe: callers serialize access (the server
+    funnels every append through one mutation lock).
+
+    Durability is governed by the {!fsync_policy}:
+    - [Always] — fsync after every append; an acknowledged append
+      survives power loss.
+    - [Interval s] — appends are written immediately but fsynced at
+      most once per [s] seconds (plus on {!flush}/{!close}); a crash
+      can lose up to the last interval of acknowledged appends.
+    - [Never] — no fsyncs except on {!close}; a crash can lose
+      anything the OS had not written back yet. Kernel-crash safety
+      only comes from [Always]/[Interval]; process-crash ([kill -9])
+      safety holds for every policy because appends always reach the
+      kernel before the call returns. *)
+
+type fsync_policy = Always | Interval of float | Never
+
+val fsync_policy_to_string : fsync_policy -> string
+(** ["always"], ["interval:<seconds>"] or ["never"]. *)
+
+val fsync_policy_of_string : string -> (fsync_policy, string) result
+(** Accepts ["always"], ["never"], ["interval"] (1 s) and
+    ["interval:<seconds>"]. *)
+
+type t
+
+type recovery = {
+  records : (int64 * string) list;  (** the valid prefix, in order *)
+  truncated_bytes : int;  (** torn/corrupt tail bytes discarded *)
+  corrupt : bool;  (** the discard was a checksum/length mismatch,
+                       not a clean cut *)
+}
+
+val open_ : ?fsync:fsync_policy -> string -> t * recovery
+(** Open (creating if missing) and scan the file. A torn or corrupt
+    tail is truncated away on disk so new appends extend the valid
+    prefix; everything before it is returned. The next sequence number
+    continues after the largest recovered one. Default policy
+    [Always]. *)
+
+type counters = { appends : int; bytes : int; fsyncs : int }
+
+val append : t -> string -> int64
+(** Append one record and return its sequence number. On return the
+    record is durable per the policy (see above). *)
+
+val bump_seq : t -> int64 -> unit
+(** Ensure the next assigned sequence number exceeds the given one —
+    how {!Wal} accounts for sequence numbers consumed before a
+    compaction emptied the journal. *)
+
+val next_seq : t -> int64
+
+val flush : t -> bool
+(** Fsync now if anything was written since the last one; [true] when
+    an fsync actually happened. *)
+
+val reset : t -> unit
+(** Truncate to empty (and fsync the truncation). Sequence numbers
+    keep counting — they must stay monotonic across compactions. *)
+
+val stats : t -> counters
+
+val close : t -> unit
+(** Flush, then close. Idempotent. *)

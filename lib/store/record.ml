@@ -1,0 +1,55 @@
+let header_size = 16
+let max_payload = 256 * 1024 * 1024
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let seq_bytes seq =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical seq (8 * (7 - i))) land 0xFF))
+
+let get_seq s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+let encode buf ~seq payload =
+  let seq = seq_bytes seq in
+  put_u32 buf (8 + String.length payload);
+  put_u32 buf (Crc32.string ~crc:(Crc32.string seq) payload);
+  Buffer.add_string buf seq;
+  Buffer.add_string buf payload
+
+type tail = Clean | Torn of int | Corrupt of int
+
+let decode_all ?(pos = 0) s =
+  let n = String.length s in
+  let rec go acc off =
+    if off = n then (List.rev acc, off, Clean)
+    else if n - off < header_size then (List.rev acc, off, Torn off)
+    else
+      let length = get_u32 s off in
+      if length < 8 || length - 8 > max_payload then
+        (List.rev acc, off, Corrupt off)
+      else if n - off - 8 < length then (List.rev acc, off, Torn off)
+      else
+        let crc = get_u32 s (off + 4) in
+        if Crc32.sub s (off + 8) length <> crc then
+          (List.rev acc, off, Corrupt off)
+        else
+          let seq = get_seq s (off + 8) in
+          let payload = String.sub s (off + header_size) (length - 8) in
+          go ((seq, payload) :: acc) (off + 8 + length)
+  in
+  go [] pos

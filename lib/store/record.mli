@@ -1,0 +1,40 @@
+(** Length-prefixed, CRC-checksummed journal records.
+
+    Wire layout of one record (all integers big-endian):
+
+    {v
+    +------------+-----------+----------+------------------+
+    | length u32 | crc32 u32 | seq u64  | payload bytes    |
+    +------------+-----------+----------+------------------+
+    v}
+
+    [length] counts the seq field plus the payload ([8 + |payload|]);
+    [crc32] covers the same bytes ({!Crc32}). The sequence number is
+    assigned by {!Journal} and lets {!Wal} recovery skip journal
+    entries already folded into a snapshot.
+
+    Decoding never raises on bad input: a truncated or corrupt record
+    terminates the scan with a {!tail} describing why, and everything
+    before it is returned — the torn-tail tolerance the recovery
+    invariant is built on. *)
+
+val header_size : int
+(** Bytes before the payload: 16. *)
+
+val max_payload : int
+(** Decoding treats a declared length beyond this (256 MiB) as
+    corruption instead of attempting the allocation. *)
+
+val encode : Buffer.t -> seq:int64 -> string -> unit
+(** Append one framed record to the buffer. *)
+
+type tail =
+  | Clean  (** the scan consumed every byte *)
+  | Torn of int  (** a record was cut short; valid bytes end here *)
+  | Corrupt of int  (** checksum or length-field mismatch at this offset *)
+
+val decode_all : ?pos:int -> string -> (int64 * string) list * int * tail
+(** [decode_all s] scans records from [pos] (default 0) and returns
+    [(records, end_of_valid_prefix, tail)]: every complete, checksummed
+    record in order, the offset just past the last valid one, and how
+    the scan ended. *)

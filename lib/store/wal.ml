@@ -1,0 +1,138 @@
+type t = {
+  dir : string;
+  journal : Journal.t;
+  mutable journal_size : int;
+  mutable compactions : int;
+}
+
+type recovery = {
+  state : string list;
+  entries : string list;
+  snapshot_seq : int64;
+  truncated_bytes : int;
+  corrupt_tail : bool;
+}
+
+type counters = {
+  appends : int;
+  bytes : int;
+  fsyncs : int;
+  compactions : int;
+}
+
+let journal_file dir = Filename.concat dir "wal.log"
+let snapshot_file dir = Filename.concat dir "snapshot.log"
+let snapshot_tmp dir = Filename.concat dir "snapshot.tmp"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let read_file_string path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The snapshot is record-framed like the journal: record 0 is a meta
+   record whose sequence number says how far the snapshot covers (its
+   payload is empty), the rest carry one state payload each. A torn
+   snapshot can only arise from corruption outside the crash model
+   (rename is atomic, the temp file is fsynced first); its valid
+   prefix is still used. *)
+let read_snapshot dir =
+  let path = snapshot_file dir in
+  if not (Sys.file_exists path) then (0L, [])
+  else
+    match Record.decode_all (read_file_string path) with
+    | (meta_seq, _meta) :: rest, _, _ -> (meta_seq, List.map snd rest)
+    | [], _, _ -> (0L, [])
+
+let open_ ?fsync dir =
+  mkdir_p dir;
+  let snapshot_seq, state = read_snapshot dir in
+  let journal, (jr : Journal.recovery) = Journal.open_ ?fsync (journal_file dir) in
+  Journal.bump_seq journal snapshot_seq;
+  let entries =
+    List.filter_map
+      (fun (seq, payload) -> if seq > snapshot_seq then Some payload else None)
+      jr.Journal.records
+  in
+  let size =
+    List.fold_left
+      (fun acc (_, p) -> acc + Record.header_size + String.length p)
+      0 jr.Journal.records
+  in
+  ( { dir; journal; journal_size = size; compactions = 0 },
+    {
+      state;
+      entries;
+      snapshot_seq;
+      truncated_bytes = jr.Journal.truncated_bytes;
+      corrupt_tail = jr.Journal.corrupt;
+    } )
+
+
+let append t payload =
+  let seq = Journal.append t.journal payload in
+  t.journal_size <- t.journal_size + Record.header_size + String.length payload;
+  seq
+
+let journal_bytes t = t.journal_size
+
+let compact t ~state =
+  let covers = Int64.pred (Journal.next_seq t.journal) in
+  let buf = Buffer.create 4096 in
+  Record.encode buf ~seq:covers "";
+  List.iter (fun payload -> Record.encode buf ~seq:covers payload) state;
+  let tmp = snapshot_tmp t.dir in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  (try
+     let b = Buffer.to_bytes buf in
+     let rec write_all off len =
+       if len > 0 then
+         match Unix.write fd b off len with
+         | n -> write_all (off + n) (len - n)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off len
+     in
+     write_all 0 (Bytes.length b);
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (* the snapshot is durable; now it may replace the old one, and only
+     then may the journal entries it covers be dropped *)
+  Unix.rename tmp (snapshot_file t.dir);
+  fsync_dir t.dir;
+  Journal.reset t.journal;
+  t.journal_size <- 0;
+  t.compactions <- t.compactions + 1
+
+let flush t = Journal.flush t.journal
+
+let stats t =
+  let j = Journal.stats t.journal in
+  {
+    appends = j.Journal.appends;
+    bytes = j.Journal.bytes;
+    fsyncs = j.Journal.fsyncs;
+    compactions = t.compactions;
+  }
+
+let dir t = t.dir
+
+let close t = Journal.close t.journal

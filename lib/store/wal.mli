@@ -1,0 +1,60 @@
+(** A durable log directory: one append-only {!Journal} ([wal.log])
+    plus an atomically-replaced snapshot ([snapshot.log]) that compacts
+    it. Payloads are opaque byte strings — the server layer encodes its
+    registry mutations; this module only guarantees they come back.
+
+    Recovery contract: {!open_} returns the snapshot's state payloads
+    plus every journal entry appended after that snapshot was taken,
+    in order. A torn or corrupt journal tail (the crash case) is
+    discarded, never an error: the result is always a prefix of the
+    appended sequence. Snapshots are written to a temp file, fsynced,
+    and renamed into place (then the directory is fsynced), so a crash
+    anywhere during compaction leaves either the old or the new
+    snapshot — and journal entries are only discarded {e after} the
+    snapshot covering them is durable. Sequence numbers make the
+    overlap window safe: entries already folded into the snapshot are
+    skipped by their sequence number on recovery.
+
+    Not thread-safe; callers serialize (see {!Journal}). *)
+
+type t
+
+type recovery = {
+  state : string list;  (** snapshot payloads (empty without a snapshot) *)
+  entries : string list;  (** journal payloads newer than the snapshot *)
+  snapshot_seq : int64;  (** highest sequence the snapshot covers; 0L if none *)
+  truncated_bytes : int;  (** journal tail bytes discarded on open *)
+  corrupt_tail : bool;  (** the discard was a checksum mismatch, not a cut *)
+}
+
+val open_ : ?fsync:Journal.fsync_policy -> string -> t * recovery
+(** [open_ dir] creates [dir] (and parents) if needed, recovers, and
+    positions for appending. *)
+
+val append : t -> string -> int64
+(** Journal one payload; durable per the fsync policy on return. *)
+
+val journal_bytes : t -> int
+(** Current size of the journal file — the compaction trigger input. *)
+
+val compact : t -> state:string list -> unit
+(** Write [state] as the new snapshot (covering every sequence number
+    assigned so far), atomically replace the old one, then empty the
+    journal. *)
+
+val flush : t -> bool
+(** Fsync the journal if dirty; [true] when an fsync happened. *)
+
+type counters = {
+  appends : int;
+  bytes : int;
+  fsyncs : int;
+  compactions : int;
+}
+
+val stats : t -> counters
+
+val dir : t -> string
+
+val close : t -> unit
+(** Flush and close. Idempotent. *)

@@ -26,6 +26,7 @@ let () =
       ("properties", Test_props.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("evolution", Test_evolution.suite);
+      ("store", Test_store.suite);
       ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

@@ -228,33 +228,43 @@ let project =
     mapping = Casestudies.Pims.mapping;
   }
 
-(* the three PIMS artifacts as XML strings, via a temp-dir round trip *)
-let artifact_strings =
+(* a project's three artifacts as XML strings, via a temp-dir round trip *)
+let strings_of_project project =
+  let dir = Filename.temp_file "sosae" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let f name = Filename.concat dir name in
+  Core.Sosae.save_project project ~scenarios:(f "s.xml")
+    ~architecture:(f "a.xml") ~mapping:(f "m.xml");
+  let read name =
+    let ic = open_in_bin (f name) in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let result = (read "s.xml", read "a.xml", read "m.xml") in
+  Array.iter (fun n -> Sys.remove (f n)) [| "s.xml"; "a.xml"; "m.xml" |];
+  Unix.rmdir dir;
+  result
+
+let artifact_strings = lazy (strings_of_project project)
+
+let crash_strings =
   lazy
-    (let dir = Filename.temp_file "sosae" "" in
-     Sys.remove dir;
-     Unix.mkdir dir 0o700;
-     let f name = Filename.concat dir name in
-     Core.Sosae.save_project project ~scenarios:(f "s.xml")
-       ~architecture:(f "a.xml") ~mapping:(f "m.xml");
-     let read name =
-       let ic = open_in_bin (f name) in
-       let s = really_input_string ic (in_channel_length ic) in
-       close_in ic;
-       s
-     in
-     let result = (read "s.xml", read "a.xml", read "m.xml") in
-     Array.iter (fun n -> Sys.remove (f n)) [| "s.xml"; "a.xml"; "m.xml" |];
-     Unix.rmdir dir;
-     result)
+    (strings_of_project
+       {
+         Core.Sosae.scenarios = Casestudies.Crash.entity_scenario_set;
+         architecture = Casestudies.Crash.entity_architecture;
+         mapping = Casestudies.Crash.entity_mapping;
+       })
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 16) in
   Jsonlight.to_buffer buf (Jsonlight.String s);
   Buffer.contents buf
 
-let create_body id =
-  let scenarios, architecture, mapping = Lazy.force artifact_strings in
+let create_body ?(strings = artifact_strings) id =
+  let scenarios, architecture, mapping = Lazy.force strings in
   Printf.sprintf
     {|{"id":%s,"scenarios":%s,"architecture":%s,"mapping":%s}|}
     (json_escape id) (json_escape scenarios) (json_escape architecture)
@@ -582,6 +592,326 @@ let test_stop_idempotent () =
   Server.Daemon.stop t;
   Server.Daemon.stop t
 
+(* ---------------- Client retries ---------------------------------- *)
+
+let test_retry_schedule () =
+  let p = Server.Client.default_policy in
+  let s1 = Server.Client.backoff_schedule ~seed:7 p in
+  let s2 = Server.Client.backoff_schedule ~seed:7 p in
+  Alcotest.(check (list (float 1e-12))) "same seed, same schedule" s1 s2;
+  Alcotest.(check int) "one delay per retry" (p.Server.Client.max_attempts - 1)
+    (List.length s1);
+  List.iteri
+    (fun i d ->
+      let raw =
+        p.Server.Client.base_delay
+        *. (p.Server.Client.multiplier ** float_of_int i)
+      in
+      let cap = Float.min p.Server.Client.max_delay raw in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d in jitter band" i)
+        true
+        (d <= cap && d >= cap *. (1.0 -. p.Server.Client.jitter)))
+    s1;
+  Alcotest.(check bool) "different seed, different jitter" true
+    (Server.Client.backoff_schedule ~seed:8 p <> s1);
+  Alcotest.(check bool) "408/429/503 retryable" true
+    (List.for_all Server.Client.retryable_status [ 408; 429; 503 ]);
+  Alcotest.(check bool) "200/404/500 not" false
+    (List.exists Server.Client.retryable_status [ 200; 404; 500 ])
+
+let test_retry_reconnect () =
+  (* connect refused every time: all attempts burn, the recorded
+     sleeps are exactly the seeded schedule *)
+  let policy =
+    { Server.Client.default_policy with Server.Client.max_attempts = 4 }
+  in
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  (match
+     Server.Client.with_retry ~policy ~seed:3 ~sleep
+       ~connect:(fun () ->
+         raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "")))
+       (fun _ -> Alcotest.fail "no connection to use")
+   with
+  | Ok _ -> Alcotest.fail "cannot succeed without a connection"
+  | Error _ -> ());
+  Alcotest.(check (list (float 1e-12))) "slept the schedule"
+    (Server.Client.backoff_schedule ~seed:3 policy)
+    (List.rev !slept);
+  with_daemon (fun t ->
+      let connect () = Server.Client.connect ~port:(Server.Daemon.port t) () in
+      (* a retryable status is retried on a fresh connection... *)
+      let attempts = ref 0 and slept = ref 0 in
+      let r =
+        Server.Client.with_retry ~seed:0 ~sleep:(fun _ -> incr slept) ~connect
+          (fun c ->
+            incr attempts;
+            if !attempts = 1 then
+              Ok { Server.Client.status = 503; headers = []; body = "" }
+            else Server.Client.get c "/health")
+      in
+      Alcotest.(check int) "503 then 200" 200 (ok r).Server.Client.status;
+      Alcotest.(check int) "two attempts" 2 !attempts;
+      Alcotest.(check int) "one backoff" 1 !slept;
+      (* ...but a non-retryable failure status returns immediately *)
+      let attempts = ref 0 and slept = ref 0 in
+      let r =
+        Server.Client.with_retry ~seed:0 ~sleep:(fun _ -> incr slept) ~connect
+          (fun _ ->
+            incr attempts;
+            Ok { Server.Client.status = 404; headers = []; body = "" })
+      in
+      Alcotest.(check int) "404 through" 404 (ok r).Server.Client.status;
+      Alcotest.(check int) "single attempt" 1 !attempts;
+      Alcotest.(check int) "no sleep" 0 !slept)
+
+(* ---------------- Durability ------------------------------------- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "sosae-data" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let excise_auth_body =
+  {|{"ops":[{"op":"remove_link","id":"authentication.io_ui-bus->ui-bus.io_authentication"}]}|}
+
+let links_of_stats stats =
+  stats |> member_exn "architecture" |> member_exn "links"
+  |> Jsonlight.int_opt |> Option.get
+
+(* Clean-restart durability: everything acknowledged before a SIGTERM
+   drain — creates, an applied diff, a removal — is there after the
+   next boot, and the drain checkpointed the journal into a
+   snapshot. *)
+let test_e2e_persistence_restart () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.data_dir = Some dir;
+          fsync = Store.Journal.Never;
+        }
+      in
+      let before =
+        with_daemon ~config (fun t ->
+            with_client t (fun c ->
+                List.iter
+                  (fun id ->
+                    Alcotest.(check int) ("create " ^ id) 201
+                      (ok (Server.Client.post c "/sessions" ~body:(create_body id)))
+                        .Server.Client.status)
+                  [ "p1"; "p2"; "doomed" ];
+                Alcotest.(check int) "diff applied" 200
+                  (ok (Server.Client.post c "/sessions/p1/diff" ~body:excise_auth_body))
+                    .Server.Client.status;
+                Alcotest.(check int) "remove" 200
+                  (ok (Server.Client.request c Http.DELETE "/sessions/doomed"))
+                    .Server.Client.status;
+                let journal =
+                  body_json (ok (Server.Client.get c "/metrics"))
+                  |> member_exn "journal"
+                in
+                Alcotest.(check bool) "journal counters live" true
+                  ((journal |> member_exn "records" |> Jsonlight.int_opt |> Option.get)
+                  >= 5);
+                (ok (Server.Client.get c "/sessions")).Server.Client.body))
+      in
+      Alcotest.(check bool) "drain wrote a snapshot" true
+        (file_size (Filename.concat dir "snapshot.log") > 0);
+      Alcotest.(check int) "drain emptied the journal" 0
+        (file_size (Filename.concat dir "wal.log"));
+      with_daemon ~config (fun t ->
+          with_client t (fun c ->
+              Alcotest.(check string) "sessions identical after restart" before
+                (ok (Server.Client.get c "/sessions")).Server.Client.body;
+              Alcotest.(check int) "diff survived (16 -> 15 links)" 15
+                (links_of_stats (body_json (ok (Server.Client.get c "/sessions/p1/stats"))));
+              let recovery =
+                body_json (ok (Server.Client.get c "/metrics"))
+                |> member_exn "journal" |> member_exn "recovery"
+              in
+              Alcotest.(check (option int)) "recovered session count" (Some 2)
+                (recovery |> member_exn "sessions" |> Jsonlight.int_opt))));
+  (* without --data-dir, /metrics must not grow a journal section *)
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          Alcotest.(check bool) "no journal key when ephemeral" true
+            (body_json (ok (Server.Client.get c "/metrics"))
+             |> Jsonlight.member "journal" = None)))
+
+(* ---------------- SIGKILL the daemon mid-load --------------------- *)
+
+let sosae = "../bin/sosae.exe"
+
+(* Spawn `sosae serve` and parse the bound port off its stdout
+   banner ("sosae serve: listening on 127.0.0.1:PORT"). *)
+let spawn_serve args =
+  let out_r, out_w = Unix.pipe () in
+  let argv = Array.of_list (sosae :: "serve" :: args) in
+  let pid = Unix.create_process sosae argv Unix.stdin out_w Unix.stderr in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let line = try input_line ic with End_of_file -> "" in
+  match String.rindex_opt line ':' with
+  | Some i -> (
+      let tail = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt (String.trim tail) with
+      | Some port -> (pid, ic, port)
+      | None ->
+          Unix.kill pid Sys.sigkill;
+          Alcotest.failf "no port in banner %S" line)
+  | None ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      Alcotest.failf "no banner from serve (%S)" line
+
+let session_ids body =
+  match Jsonlight.member "sessions" body with
+  | Some (Jsonlight.List sessions) ->
+      List.filter_map
+        (fun s ->
+          Option.bind (Jsonlight.member "id" s) Jsonlight.string_opt)
+        sessions
+  | _ -> []
+
+(* The crash case the journal exists for: a loader hammers POST
+   /sessions while the daemon is SIGKILLed under it — no drain, no
+   checkpoint. Every create acknowledged with a 201 must exist after
+   a restart on the same data dir; the restarted daemon is reached
+   with [with_retry], which rides out the connect-refused window. *)
+let test_e2e_sigkill_mid_load () =
+  with_temp_dir (fun dir ->
+      let pid, ic, port =
+        spawn_serve [ "--port"; "0"; "--data-dir"; dir; "--fsync"; "always" ]
+      in
+      (* load the PIMS and CRASH bundles and evaluate both: the
+         verdicts after the crash must be bit-identical to these *)
+      let pre_pims, pre_crash =
+        let c = Server.Client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            Alcotest.(check int) "pims created" 201
+              (ok (Server.Client.post c "/sessions" ~body:(create_body "pims")))
+                .Server.Client.status;
+            Alcotest.(check int) "crash created" 201
+              (ok
+                 (Server.Client.post c "/sessions"
+                    ~body:(create_body ~strings:crash_strings "crash")))
+                .Server.Client.status;
+            ( (ok (Server.Client.post c "/sessions/pims/evaluate" ~body:""))
+                .Server.Client.body,
+              (ok (Server.Client.post c "/sessions/crash/evaluate" ~body:""))
+                .Server.Client.body ))
+      in
+      let acked = ref [] in
+      let loader =
+        Thread.create
+          (fun () ->
+            let rec go i =
+              if i < 500 then
+                match
+                  let c = Server.Client.connect ~port () in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close c)
+                    (fun () ->
+                      Server.Client.post c "/sessions"
+                        ~body:(create_body (Printf.sprintf "s%03d" i)))
+                with
+                | Ok { Server.Client.status = 201; _ } ->
+                    acked := Printf.sprintf "s%03d" i :: !acked;
+                    go (i + 1)
+                | Ok _ | Error _ -> ()
+                | exception _ -> ()
+            in
+            go 0)
+          ()
+      in
+      Thread.delay 0.4;
+      Unix.kill pid Sys.sigkill;
+      Thread.join loader;
+      ignore (Unix.waitpid [] pid);
+      close_in ic;
+      Alcotest.(check bool) "some creates were acknowledged" true (!acked <> []);
+      (* restart on the same port while a retrying client is already
+         knocking: with_retry absorbs the refused connections *)
+      let restarted = ref None in
+      let restarter =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.3;
+            restarted :=
+              Some
+                (spawn_serve
+                   [
+                     "--port"; string_of_int port; "--data-dir"; dir;
+                     "--fsync"; "always";
+                   ]))
+          ()
+      in
+      let result =
+        Server.Client.with_retry
+          ~policy:
+            {
+              Server.Client.default_policy with
+              Server.Client.max_attempts = 10;
+              base_delay = 0.1;
+            }
+          ~connect:(fun () -> Server.Client.connect ~port ())
+          (fun c -> Server.Client.get c "/sessions")
+      in
+      Thread.join restarter;
+      Fun.protect
+        ~finally:(fun () ->
+          match !restarted with
+          | Some (pid2, ic2, _) ->
+              (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid2);
+              close_in ic2
+          | None -> ())
+        (fun () ->
+          let r = ok result in
+          Alcotest.(check int) "sessions listed after crash" 200
+            r.Server.Client.status;
+          let recovered = session_ids (body_json r) in
+          List.iter
+            (fun id ->
+              Alcotest.(check bool) ("acknowledged " ^ id ^ " survived") true
+                (List.mem id recovered))
+            ("pims" :: "crash" :: !acked);
+          (* the recovered sessions evaluate to bit-identical verdicts
+             (both runs are the session's first: cold cache each time) *)
+          let evaluate id =
+            let c = Server.Client.connect ~port () in
+            Fun.protect
+              ~finally:(fun () -> Server.Client.close c)
+              (fun () ->
+                (ok
+                   (Server.Client.post c
+                      (Printf.sprintf "/sessions/%s/evaluate" id)
+                      ~body:""))
+                  .Server.Client.body)
+          in
+          Alcotest.(check string) "pims verdicts bit-identical" pre_pims
+            (evaluate "pims");
+          Alcotest.(check string) "crash verdicts bit-identical" pre_crash
+            (evaluate "crash")))
+
 let suite =
   [
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
@@ -602,4 +932,11 @@ let suite =
     Alcotest.test_case "e2e: robustness (413, 408, garbage)" `Quick test_e2e_robustness;
     Alcotest.test_case "e2e: unix-domain socket" `Quick test_e2e_unix_socket;
     Alcotest.test_case "daemon: stop is idempotent" `Quick test_stop_idempotent;
+    Alcotest.test_case "client: backoff schedule is seeded" `Quick
+      test_retry_schedule;
+    Alcotest.test_case "client: with_retry reconnects" `Quick test_retry_reconnect;
+    Alcotest.test_case "e2e: durability across clean restart" `Quick
+      test_e2e_persistence_restart;
+    Alcotest.test_case "e2e: SIGKILL mid-load, acknowledged survives" `Quick
+      test_e2e_sigkill_mid_load;
   ]

@@ -1,0 +1,289 @@
+(* The durability layer: CRC vectors, record framing, journal
+   recovery, and the torn-tail invariant — a journal truncated at ANY
+   byte offset recovers to a prefix of the acknowledged records,
+   never an error. *)
+
+module Crc32 = Store.Crc32
+module Record = Store.Record
+module Journal = Store.Journal
+module Wal = Store.Wal
+
+let temp_dir () =
+  let path = Filename.temp_file "sosae-store" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ---------------- CRC32 ------------------------------------------- *)
+
+let test_crc32 () =
+  (* the standard check value for CRC-32/ISO-HDLC *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "a" 0xE8B7BE43 (Crc32.string "a");
+  (* chunked feeding composes to the same digest *)
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.string s in
+  for cut = 0 to String.length s do
+    let c = Crc32.string ~crc:(Crc32.string (String.sub s 0 cut))
+        (String.sub s cut (String.length s - cut))
+    in
+    Alcotest.(check int) (Printf.sprintf "chunked at %d" cut) whole c
+  done;
+  Alcotest.(check int) "sub window"
+    (Crc32.string "own f")
+    (Crc32.sub s 12 5)
+
+(* ---------------- Record framing ---------------------------------- *)
+
+let encode_records payloads =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i payload -> Record.encode buf ~seq:(Int64.of_int (i + 1)) payload)
+    payloads;
+  Buffer.contents buf
+
+let test_record_roundtrip () =
+  let payloads = [ "alpha"; ""; String.make 300 'x'; "\x00\xff\r\n" ] in
+  let bytes = encode_records payloads in
+  let records, end_, tail = Record.decode_all bytes in
+  Alcotest.(check bool) "clean" true (tail = Record.Clean);
+  Alcotest.(check int) "consumed all" (String.length bytes) end_;
+  Alcotest.(check (list string)) "payloads back" payloads (List.map snd records);
+  Alcotest.(check (list int)) "seqs 1.." [ 1; 2; 3; 4 ]
+    (List.map (fun (s, _) -> Int64.to_int s) records)
+
+let test_record_torn_and_corrupt () =
+  let bytes = encode_records [ "one"; "two" ] in
+  (* cut inside the second record: first survives, tail is Torn *)
+  let first_len = Record.header_size + 3 in
+  let cut = String.sub bytes 0 (first_len + 5) in
+  let records, end_, tail = Record.decode_all cut in
+  Alcotest.(check (list string)) "prefix survives" [ "one" ] (List.map snd records);
+  Alcotest.(check int) "valid end" first_len end_;
+  (match tail with
+  | Record.Torn off -> Alcotest.(check int) "torn offset" first_len off
+  | _ -> Alcotest.fail "expected Torn");
+  (* flip a payload byte of the second record: checksum catches it *)
+  let flipped = Bytes.of_string bytes in
+  let target = first_len + Record.header_size + 1 in
+  Bytes.set flipped target (Char.chr (Char.code (Bytes.get flipped target) lxor 0xff));
+  let records, _, tail = Record.decode_all (Bytes.to_string flipped) in
+  Alcotest.(check (list string)) "corrupt drops tail" [ "one" ] (List.map snd records);
+  (match tail with
+  | Record.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt");
+  (* an absurd declared length is corruption, not an allocation *)
+  let huge = Bytes.make Record.header_size '\xff' in
+  let records, _, tail = Record.decode_all (Bytes.to_string huge) in
+  Alcotest.(check int) "no records" 0 (List.length records);
+  match tail with
+  | Record.Corrupt 0 -> ()
+  | _ -> Alcotest.fail "expected Corrupt at 0"
+
+(* ---------------- Journal ----------------------------------------- *)
+
+let test_journal_reopen () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, r = Journal.open_ ~fsync:Journal.Never path in
+      Alcotest.(check int) "fresh journal empty" 0 (List.length r.Journal.records);
+      ignore (Journal.append j "a");
+      ignore (Journal.append j "b");
+      ignore (Journal.append j "c");
+      let s = Journal.stats j in
+      Alcotest.(check int) "3 appends" 3 s.Journal.appends;
+      Alcotest.(check int) "no fsync under Never" 0 s.Journal.fsyncs;
+      Alcotest.(check bool) "flush syncs once" true (Journal.flush j);
+      Alcotest.(check bool) "flush idempotent" false (Journal.flush j);
+      Journal.close j;
+      let j, r = Journal.open_ path in
+      Alcotest.(check (list string)) "records back" [ "a"; "b"; "c" ]
+        (List.map snd r.Journal.records);
+      Alcotest.(check int) "no truncation" 0 r.Journal.truncated_bytes;
+      Alcotest.(check bool) "seq continues" true
+        (Journal.append j "d" = 4L);
+      Journal.close j)
+
+let test_journal_torn_tail_truncated () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, _ = Journal.open_ path in
+      ignore (Journal.append j "payload-1");
+      ignore (Journal.append j "payload-2");
+      Journal.close j;
+      let valid = read_file path in
+      write_file path (valid ^ "torn garbage after the real records");
+      let j, r = Journal.open_ path in
+      Alcotest.(check (list string)) "records intact" [ "payload-1"; "payload-2" ]
+        (List.map snd r.Journal.records);
+      Alcotest.(check bool) "tail reported" true (r.Journal.truncated_bytes > 0);
+      Journal.close j;
+      Alcotest.(check int) "tail removed from disk" (String.length valid)
+        (String.length (read_file path));
+      (* a second recovery is quiet: the discard already happened *)
+      let j, r = Journal.open_ path in
+      Alcotest.(check int) "second recovery clean" 0 r.Journal.truncated_bytes;
+      Journal.close j)
+
+let test_fsync_policy_of_string () =
+  let ok s = match Journal.fsync_policy_of_string s with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "always" true (ok "always" = Journal.Always);
+  Alcotest.(check bool) "never" true (ok "Never" = Journal.Never);
+  Alcotest.(check bool) "interval default" true (ok "interval" = Journal.Interval 1.0);
+  Alcotest.(check bool) "interval:2.5" true (ok "interval:2.5" = Journal.Interval 2.5);
+  (match Journal.fsync_policy_of_string "interval:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative interval accepted");
+  match Journal.fsync_policy_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus accepted"
+
+(* The recovery invariant, exhaustively: truncate a valid journal at
+   EVERY byte offset; recovery must never raise, and must yield a
+   prefix of the acknowledged payload sequence. *)
+let prop_truncation_prefix =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 5)
+        (string_size ~gen:(char_range '\000' '\255') (int_range 0 24)))
+  in
+  QCheck2.Test.make ~name:"journal: truncation at every offset recovers a prefix"
+    ~count:25 gen (fun payloads ->
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "j.log" in
+          let j, _ = Journal.open_ ~fsync:Journal.Never path in
+          List.iter (fun p -> ignore (Journal.append j p)) payloads;
+          Journal.close j;
+          let full = read_file path in
+          let truncated = Filename.concat dir "t.log" in
+          let is_prefix recovered =
+            let rec go r p =
+              match (r, p) with
+              | [], _ -> true
+              | _, [] -> false
+              | r0 :: r', p0 :: p' -> String.equal r0 p0 && go r' p'
+            in
+            go recovered payloads
+          in
+          let failures = ref [] in
+          for cut = 0 to String.length full do
+            write_file truncated (String.sub full 0 cut);
+            match Journal.open_ truncated with
+            | j, r ->
+                let got = List.map snd r.Journal.records in
+                if not (is_prefix got) then
+                  failures := Printf.sprintf "cut %d: not a prefix" cut :: !failures;
+                Journal.close j
+            | exception e ->
+                failures :=
+                  Printf.sprintf "cut %d: raised %s" cut (Printexc.to_string e)
+                  :: !failures
+          done;
+          match !failures with
+          | [] -> true
+          | f :: _ -> QCheck2.Test.fail_report f))
+
+(* ---------------- Wal: snapshot + journal ------------------------- *)
+
+let test_wal_compaction () =
+  with_temp_dir (fun dir ->
+      let w, r = Wal.open_ dir in
+      Alcotest.(check int) "fresh: no state" 0 (List.length r.Wal.state);
+      ignore (Wal.append w "e1");
+      ignore (Wal.append w "e2");
+      Wal.compact w ~state:[ "s1"; "s2" ];
+      Alcotest.(check int) "journal emptied" 0 (Wal.journal_bytes w);
+      ignore (Wal.append w "e3");
+      Wal.close w;
+      let w, r = Wal.open_ dir in
+      Alcotest.(check (list string)) "snapshot state" [ "s1"; "s2" ] r.Wal.state;
+      Alcotest.(check (list string)) "post-snapshot entries" [ "e3" ] r.Wal.entries;
+      Alcotest.(check bool) "snapshot covers e1,e2" true (r.Wal.snapshot_seq = 2L);
+      (* sequences keep growing across snapshots *)
+      Alcotest.(check bool) "next append past all" true (Wal.append w "e4" > 3L);
+      Wal.close w)
+
+(* The crash window between snapshot rename and journal truncate: the
+   journal still holds entries the snapshot already covers. Recovery
+   must skip them by sequence number, not replay them twice. *)
+let test_wal_compaction_overlap () =
+  with_temp_dir (fun dir ->
+      let wal_log = Filename.concat dir "wal.log" in
+      let w, _ = Wal.open_ dir in
+      ignore (Wal.append w "e1");
+      ignore (Wal.append w "e2");
+      let covered = read_file wal_log in
+      Wal.compact w ~state:[ "s1" ];
+      ignore (Wal.append w "e3");
+      Wal.close w;
+      (* resurrect the pre-compaction journal prefix, as if the
+         truncate never hit the disk *)
+      write_file wal_log (covered ^ read_file wal_log);
+      let w, r = Wal.open_ dir in
+      Alcotest.(check (list string)) "state once" [ "s1" ] r.Wal.state;
+      Alcotest.(check (list string)) "covered entries skipped" [ "e3" ]
+        r.Wal.entries;
+      Wal.close w)
+
+let test_wal_fsync_stats () =
+  with_temp_dir (fun dir ->
+      let w, _ = Wal.open_ ~fsync:Journal.Always dir in
+      ignore (Wal.append w "a");
+      ignore (Wal.append w "b");
+      Wal.compact w ~state:[ "a"; "b" ];
+      let s = Wal.stats w in
+      Alcotest.(check int) "appends" 2 s.Wal.appends;
+      Alcotest.(check bool) "every append synced" true (s.Wal.fsyncs >= 2);
+      Alcotest.(check int) "one compaction" 1 s.Wal.compactions;
+      Wal.close w;
+      let w, _ = Wal.open_ ~fsync:(Journal.Interval 3600.0) dir in
+      ignore (Wal.append w "c");
+      ignore (Wal.append w "d");
+      let s = Wal.stats w in
+      Alcotest.(check int) "interval holds syncs back" 0 s.Wal.fsyncs;
+      Wal.close w)
+
+let suite =
+  [
+    Alcotest.test_case "crc32: vectors + chunking" `Quick test_crc32;
+    Alcotest.test_case "record: round trip" `Quick test_record_roundtrip;
+    Alcotest.test_case "record: torn + corrupt tails" `Quick
+      test_record_torn_and_corrupt;
+    Alcotest.test_case "journal: reopen continues" `Quick test_journal_reopen;
+    Alcotest.test_case "journal: torn tail truncated" `Quick
+      test_journal_torn_tail_truncated;
+    Alcotest.test_case "journal: fsync policy parsing" `Quick
+      test_fsync_policy_of_string;
+    QCheck_alcotest.to_alcotest prop_truncation_prefix;
+    Alcotest.test_case "wal: snapshot compaction" `Quick test_wal_compaction;
+    Alcotest.test_case "wal: compaction overlap window" `Quick
+      test_wal_compaction_overlap;
+    Alcotest.test_case "wal: fsync policies + stats" `Quick test_wal_fsync_stats;
+  ]

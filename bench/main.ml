@@ -796,7 +796,8 @@ let quantile sorted q =
 (* [clients] keep-alive connections each issue [requests] back-to-back
    requests; per-request latency is measured client-side, so the
    quantiles include the full loopback round trip. *)
-let serve_case daemon ~label ~clients ~requests ~meth ~target ~body =
+let serve_case ?(headers = []) ?(expect = 200) daemon ~label ~clients ~requests
+    ~meth ~target ~body =
   let port = Server.Daemon.port daemon in
   let latencies = Array.make (clients * requests) 0.0 in
   let errors = Atomic.make 0 in
@@ -807,8 +808,8 @@ let serve_case daemon ~label ~clients ~requests ~meth ~target ~body =
       (fun () ->
         for ri = 0 to requests - 1 do
           let t0 = Unix.gettimeofday () in
-          (match Server.Client.request c ?body meth target with
-          | Ok { Server.Client.status = 200; _ } -> ()
+          (match Server.Client.request c ~headers ?body meth target with
+          | Ok { Server.Client.status; _ } when status = expect -> ()
           | Ok _ | Error _ -> Atomic.incr errors);
           latencies.((ci * requests) + ri) <- Unix.gettimeofday () -. t0
         done)
@@ -889,11 +890,51 @@ let serve () =
           ~meth:Server.Http.POST ~target:"/sessions/pims/evaluate"
           ~body:(Some "{}")
       in
+      (* the session's current etag, for the conditional case *)
+      let etag =
+        let c = Server.Client.connect ~port:(Server.Daemon.port daemon) () in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            match Server.Client.post c "/sessions/pims/evaluate" ~body:"{}" with
+            | Ok r -> List.assoc "etag" r.Server.Client.headers
+            | Error m -> failwith ("etag fetch: " ^ m))
+      in
+      let conditional_rps =
+        serve_case daemon ~label:"POST evaluate (If-None-Match)" ~clients
+          ~requests:(if smoke then 25 else 500)
+          ~headers:[ ("If-None-Match", etag) ]
+          ~expect:304 ~meth:Server.Http.POST
+          ~target:"/sessions/pims/evaluate" ~body:(Some "{}")
+      in
+      let batch_n = 8 in
+      let batch_body =
+        Printf.sprintf {|{"suites":[%s]}|}
+          (String.concat "," (List.init batch_n (fun _ -> "{}")))
+      in
+      let batch_rps =
+        serve_case daemon
+          ~label:(Printf.sprintf "POST evaluate/batch (%d suites)" batch_n)
+          ~clients
+          ~requests:(if smoke then 5 else 50)
+          ~meth:Server.Http.POST ~target:"/sessions/pims/evaluate/batch"
+          ~body:(Some batch_body)
+      in
       print_endline "";
-      Printf.printf "protocol ceiling %.0f req/s, cached full-suite evaluation %.0f req/s%s\n"
+      Printf.printf
+        "protocol ceiling %.0f req/s; full-body warm evaluate %.0f req/s \
+         (1/%.1f of /health)\n"
         health_rps evaluate_rps
-        (if evaluate_rps >= 50.0 then " (acceptance: >= 50 req/s ok)"
-         else " (below 50 req/s target!)"))
+        (health_rps /. Float.max 1.0 evaluate_rps);
+      Printf.printf
+        "ETag revalidation %.0f req/s (%s); batch %.0f req/s (~%.0f \
+         evaluates/s)\n"
+        conditional_rps
+        (if conditional_rps *. 3.0 >= health_rps then
+           "within 3x of /health: ok"
+         else "below the within-3x-of-/health target!")
+        batch_rps
+        (batch_rps *. float_of_int batch_n))
 
 (* ------------------------------------------------------------------ *)
 (* WAL: write-ahead journal throughput                                *)
@@ -1216,11 +1257,33 @@ let write_bench_json () =
          ]
         @ List.filter_map section sections)
     in
-    let oc = open_out bench_json_file in
-    output_string oc (Jsonlight.to_string json);
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "\nwrote %s\n" bench_json_file
+    let write path =
+      let oc = open_out path in
+      output_string oc (Jsonlight.to_string json);
+      output_char oc '\n';
+      close_out oc
+    in
+    write bench_json_file;
+    Printf.printf "\nwrote %s\n" bench_json_file;
+    (* Trend history: every run also lands in bench/results/ as a
+       timestamped file plus latest.json, which bench/trend.exe diffs
+       against a previous run's latest.json (CI fails on a >20% serve
+       regression). Skipped when not run from the repo root. *)
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then begin
+      let results_dir = Filename.concat "bench" "results" in
+      if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755;
+      let tm = Unix.localtime (Unix.gettimeofday ()) in
+      let stamped =
+        Filename.concat results_dir
+          (Printf.sprintf "%04d%02d%02d-%02d%02d%02d.json"
+             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+             tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+      in
+      let latest = Filename.concat results_dir "latest.json" in
+      write stamped;
+      write latest;
+      Printf.printf "wrote %s and %s\n" stamped latest
+    end
   end
 
 (* ------------------------------------------------------------------ *)

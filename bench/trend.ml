@@ -1,0 +1,95 @@
+(* Bench-trend gate: compare the "serve" section of two bench result
+   files (bench/main.exe writes them under bench/results/) and fail
+   when throughput regressed beyond a threshold.
+
+     trend [--threshold FRAC] PREV.json NEXT.json
+
+   Exit 0 when every case that exists in both files is within the
+   threshold (new and dropped cases are reported but never fatal),
+   exit 1 on a regression, exit 2 on unusable inputs. CI runs this
+   against the previous run's latest.json with the default 20%
+   threshold. *)
+
+let read_json path =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Jsonlight.of_string s
+  with
+  | Ok j -> j
+  | Error m ->
+      Printf.eprintf "trend: %s: %s\n" path m;
+      exit 2
+  | exception Sys_error m ->
+      Printf.eprintf "trend: %s\n" m;
+      exit 2
+
+(* (case label, requests/s) pairs of the "serve" section *)
+let serve_cases path json =
+  match Jsonlight.member "serve" json with
+  | Some (Jsonlight.List cases) ->
+      List.filter_map
+        (fun case ->
+          match
+            ( Option.bind (Jsonlight.member "case" case) Jsonlight.string_opt,
+              Jsonlight.member "requests_per_second" case )
+          with
+          | Some name, Some (Jsonlight.Float rps) -> Some (name, rps)
+          | Some name, Some (Jsonlight.Int rps) -> Some (name, float_of_int rps)
+          | _ -> None)
+        cases
+  | Some _ | None ->
+      Printf.eprintf "trend: %s has no \"serve\" section\n" path;
+      exit 2
+
+let () =
+  let threshold = ref 0.20 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | Some _ | None ->
+            prerr_endline "trend: --threshold expects a positive fraction";
+            exit 2);
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ prev_path; next_path ] ->
+      let prev = serve_cases prev_path (read_json prev_path) in
+      let next = serve_cases next_path (read_json next_path) in
+      let regressions = ref 0 in
+      List.iter
+        (fun (name, old_rps) ->
+          match List.assoc_opt name next with
+          | None ->
+              Printf.printf "~ %-36s dropped (was %.0f req/s)\n" name old_rps
+          | Some new_rps ->
+              let change = (new_rps -. old_rps) /. old_rps in
+              let regressed = change < -. !threshold in
+              if regressed then incr regressions;
+              Printf.printf "%c %-36s %8.0f -> %8.0f req/s (%+.1f%%)%s\n"
+                (if regressed then '!' else '.')
+                name old_rps new_rps (100.0 *. change)
+                (if regressed then "  REGRESSION" else ""))
+        prev;
+      List.iter
+        (fun (name, rps) ->
+          if not (List.mem_assoc name prev) then
+            Printf.printf "+ %-36s new case at %.0f req/s\n" name rps)
+        next;
+      if !regressions > 0 then begin
+        Printf.eprintf "trend: %d serve case(s) regressed more than %.0f%%\n"
+          !regressions
+          (100.0 *. !threshold);
+        exit 1
+      end
+  | _ ->
+      prerr_endline "usage: trend [--threshold FRAC] PREV.json NEXT.json";
+      exit 2

@@ -781,7 +781,8 @@ let save_demo_cmd =
 (* ------------------------------ serve ----------------------------- *)
 
 let serve_cmd =
-  let run port host unix_path jobs workers queue timeout data_dir fsync =
+  let run port host unix_path jobs workers queue timeout idle_timeout
+      max_requests data_dir fsync =
     match Store.Journal.fsync_policy_of_string fsync with
     | Error message ->
         Printf.eprintf "sosae serve: %s\n" message;
@@ -799,6 +800,8 @@ let serve_cmd =
               queue_capacity = queue;
               read_timeout = timeout;
               write_timeout = timeout;
+              idle_timeout;
+              max_requests;
               data_dir;
               fsync;
             }
@@ -843,6 +846,23 @@ let serve_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Per-connection read and write timeout.")
   in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a quiescent keep-alive connection may sit between \
+             requests before the server closes it.")
+  in
+  let max_requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Requests served per connection before the server closes it \
+             ($(b,Connection: close) on the last response); $(b,0) means \
+             unlimited.")
+  in
   let data_dir =
     Arg.(
       value
@@ -869,7 +889,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout
-      $ data_dir $ fsync)
+      $ idle_timeout $ max_requests $ data_dir $ fsync)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -162,6 +162,8 @@ module Session = struct
 
   let reach t = t.reach
 
+  let revision t = t.revision
+
   let invalidate ?scenario t =
     match scenario with
     | Some id -> Hashtbl.remove t.cache id
@@ -367,8 +369,6 @@ end
 (* Loading and saving projects                                        *)
 (* ------------------------------------------------------------------ *)
 
-exception Load_error of string
-
 type artifact = Scenarios | Architecture | Mapping
 
 type load_error =
@@ -458,11 +458,6 @@ let project_of_strings ~scenarios ~architecture ~mapping =
   in
   let* mapping = parse Mapping "<mapping>" mapping mapping_of_string in
   Ok { scenarios; architecture; mapping }
-
-let load_project ~scenarios ~architecture ~mapping =
-  match load_project_result ~scenarios ~architecture ~mapping with
-  | Ok p -> p
-  | Error e -> raise (Load_error (load_error_to_string e))
 
 let write_file path content =
   let oc = open_out_bin path in

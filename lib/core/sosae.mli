@@ -107,6 +107,14 @@ module Session : sig
   val reach : t -> Adl.Reach.t
   (** The session's oracle for the current architecture. *)
 
+  val revision : t -> int
+  (** The session-local architecture revision: 0 at {!create}, bumped
+      by every {!apply_diff} and {!set_architecture}. Two reads
+      returning the same revision bracket a window with no
+      architecture change — the validity key of anything derived from
+      the current architecture (the evaluation server caches
+      serialized evaluate responses against it). *)
+
   val evaluate : ?jobs:int -> t -> Walkthrough.Engine.set_result
   (** Evaluate every scenario, serving unchanged verdicts from cache.
       Equal to {!val:evaluate} on the session's current project. The
@@ -194,19 +202,6 @@ val project_of_strings :
 val pp_load_error : Format.formatter -> load_error -> unit
 
 val load_error_to_string : load_error -> string
-
-exception
-  Load_error of string
-  [@alert deprecated "match on the (project, load_error) result of load_project_result instead"]
-
-val load_project :
-  scenarios:string -> architecture:string -> mapping:string -> project
-[@@deprecated "use load_project_result, which reports structured errors"]
-(** Raising convenience over {!load_project_result}. Deprecated: the
-    structured {!load_error} of {!load_project_result} distinguishes
-    unreadable files, malformed XML, and schema violations, which this
-    exception flattens to a string.
-    @raise Load_error with {!load_error_to_string} of the failure. *)
 
 val save_project :
   project -> scenarios:string -> architecture:string -> mapping:string -> unit

@@ -60,6 +60,45 @@ let to_string j =
 let strings l = List (List.map (fun s -> String s) l)
 
 (* ------------------------------------------------------------------ *)
+(* Reused-buffer writer                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  (* A [Buffer.t] whose storage survives [clear]: serializing a stream
+     of similarly-sized documents through one writer allocates the
+     backing store once instead of re-growing a fresh buffer per
+     document. [raw] is the splice primitive — pre-serialized JSON
+     (a cached response body, say) is copied in verbatim, never
+     re-parsed or re-rendered. *)
+  type json = t
+
+  type t = { buf : Buffer.t }
+
+  let create ?(size = 4096) () = { buf = Buffer.create size }
+
+  let clear w = Buffer.clear w.buf
+
+  let length w = Buffer.length w.buf
+
+  let contents w = Buffer.contents w.buf
+
+  let raw w s = Buffer.add_string w.buf s
+
+  let char w c = Buffer.add_char w.buf c
+
+  let int w i = Buffer.add_string w.buf (string_of_int i)
+
+  let string w s = escape_to w.buf s
+
+  let json w j = to_buffer w.buf j
+
+  let field w ~first name =
+    if not first then Buffer.add_char w.buf ',';
+    escape_to w.buf name;
+    Buffer.add_char w.buf ':'
+end
+
+(* ------------------------------------------------------------------ *)
 (* Parsing                                                            *)
 (* ------------------------------------------------------------------ *)
 

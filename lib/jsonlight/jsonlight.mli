@@ -27,6 +27,54 @@ val to_buffer : Buffer.t -> t -> unit
 val strings : string list -> t
 (** [List] of [String]s. *)
 
+(** {1 Reused-buffer writer}
+
+    The zero-copy serialization path of the evaluation server: one
+    {!Writer.t} per connection (or per pooled worker) renders every
+    response into the same backing store, so the steady state
+    allocates no fresh buffers, and {!Writer.raw} splices
+    already-serialized JSON — cached response bodies — without
+    re-rendering the tree. *)
+
+module Writer : sig
+  type json = t
+  (** The document type of the enclosing module, under a name the
+      writer's own [t] does not shadow. *)
+
+  type t
+
+  val create : ?size:int -> unit -> t
+  (** A writer whose backing store starts at [size] bytes (default
+      4096) and is retained across {!clear}. *)
+
+  val clear : t -> unit
+  (** Empty the writer, keeping the backing store. *)
+
+  val length : t -> int
+
+  val contents : t -> string
+  (** The bytes written since the last {!clear}. *)
+
+  val raw : t -> string -> unit
+  (** Splice a pre-serialized fragment in verbatim. The caller
+      guarantees it is valid JSON in context. *)
+
+  val char : t -> char -> unit
+
+  val int : t -> int -> unit
+  (** The decimal digits, unquoted — a JSON number. *)
+
+  val string : t -> string -> unit
+  (** An RFC 8259-escaped, quoted JSON string. *)
+
+  val json : t -> json -> unit
+  (** Render a document (same bytes as {!to_string}). *)
+
+  val field : t -> first:bool -> string -> unit
+  (** Object-field plumbing: [,] unless [first], then the quoted
+      [name] and [:]. *)
+end
+
 val of_string : string -> (t, string) result
 (** Parse one JSON document. Numbers without [.]/[e] parse as [Int]
     (falling back to [Float] when out of [int] range), others as

@@ -1,17 +1,49 @@
-type ctx = { registry : Registry.t; metrics : Metrics.t }
+(* A small free-list of serialization buffers: each in-flight response
+   render checks one out, so steady-state traffic reuses a handful of
+   grown-to-size buffers instead of allocating a fresh one per
+   response. *)
+type writer_pool = { pool : Jsonlight.Writer.t Queue.t; pool_lock : Mutex.t }
+
+type ctx = { registry : Registry.t; metrics : Metrics.t; writers : writer_pool }
 
 let make_ctx ?jobs ?persist () =
-  { registry = Registry.create ?jobs ?persist (); metrics = Metrics.create () }
+  {
+    registry = Registry.create ?jobs ?persist ();
+    metrics = Metrics.create ();
+    writers = { pool = Queue.create (); pool_lock = Mutex.create () };
+  }
+
+let with_writer ctx f =
+  let { pool; pool_lock } = ctx.writers in
+  let w =
+    match Mutex.protect pool_lock (fun () -> Queue.take_opt pool) with
+    | Some w -> w
+    | None -> Jsonlight.Writer.create ~size:(16 * 1024) ()
+  in
+  Jsonlight.Writer.clear w;
+  Fun.protect
+    ~finally:(fun () -> Mutex.protect pool_lock (fun () -> Queue.push w pool))
+    (fun () -> f w)
 
 (* ------------------------------------------------------------------ *)
 (* JSON bodies                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* for context-less payloads (errors); handlers with a ctx in hand use
+   [json_reply] and the writer pool *)
 let json_body ?(status = 200) json =
   Http.response
     ~headers:[ ("Content-Type", "application/json") ]
     status
     (Jsonlight.to_string json)
+
+let json_reply ctx ?(status = 200) json =
+  with_writer ctx (fun w ->
+      Jsonlight.Writer.json w json;
+      Http.response
+        ~headers:[ ("Content-Type", "application/json") ]
+        status
+        (Jsonlight.Writer.contents w))
 
 let error_response status ~category message =
   json_body ~status
@@ -148,7 +180,7 @@ let bracket_stats session f =
 (* ------------------------------------------------------------------ *)
 
 let health ctx _request _params =
-  json_body
+  json_reply ctx
     (Jsonlight.Obj
        [
          ("status", Jsonlight.String "ok");
@@ -176,13 +208,18 @@ let metrics ctx _request _params =
                 replay_hits = t.replay_hits + s.replay_hits;
               })
     ids;
-  json_body
-    (Metrics.to_json ctx.metrics
-       ~extra:
-         [
-           ("sessions", Jsonlight.Int (List.length ids));
-           ("cache", json_of_stats !totals);
-         ])
+  with_writer ctx (fun w ->
+      Metrics.write ctx.metrics
+        ~extra:
+          [
+            ("sessions", Jsonlight.Int (List.length ids));
+            ("cache", json_of_stats !totals);
+          ]
+        w;
+      Http.response
+        ~headers:[ ("Content-Type", "application/json") ]
+        200
+        (Jsonlight.Writer.contents w))
 
 let list_sessions ctx _request _params =
   let sessions =
@@ -200,7 +237,7 @@ let list_sessions ctx _request _params =
         | Error `Not_found -> None)
       (Registry.ids ctx.registry)
   in
-  json_body (Jsonlight.Obj [ ("sessions", Jsonlight.List sessions) ])
+  json_reply ctx (Jsonlight.Obj [ ("sessions", Jsonlight.List sessions) ])
 
 let parse_policy json =
   match optional_string json "policy" with
@@ -237,7 +274,7 @@ let create_session ctx (request : Http.request) _params =
           error_response 409 ~category:"conflict"
             (Printf.sprintf "session %S already exists" id)
       | Ok () ->
-          json_body ~status:201
+          json_reply ctx ~status:201
             (Jsonlight.Obj
                [
                  ("id", Jsonlight.String id);
@@ -252,7 +289,7 @@ let create_session ctx (request : Http.request) _params =
 let delete_session ctx _request params =
   let id = Router.param params "id" in
   if Registry.remove ctx.registry id then
-    json_body (Jsonlight.Obj [ ("deleted", Jsonlight.String id) ])
+    json_reply ctx (Jsonlight.Obj [ ("deleted", Jsonlight.String id) ])
   else
     error_response 404 ~category:"not_found"
       (Printf.sprintf "no session named %S" id)
@@ -260,7 +297,7 @@ let delete_session ctx _request params =
 let session_stats ctx _request params =
   let id = Router.param params "id" in
   with_session ctx id (fun s ->
-      json_body
+      json_reply ctx
         (Jsonlight.Obj
            [
              ("id", Jsonlight.String id);
@@ -270,55 +307,159 @@ let session_stats ctx _request params =
                  (Core.Sosae.Session.project s).Core.Sosae.architecture );
            ]))
 
+let parse_sub_suite json =
+  match Jsonlight.member "scenarios" json with
+  | None -> None
+  | Some (Jsonlight.List items) ->
+      Some
+        (List.map
+           (fun item ->
+             match Jsonlight.string_opt item with
+             | Some s -> s
+             | None ->
+                 reply_error 400 ~category:"bad_request"
+                   "\"scenarios\" must be a list of scenario ids")
+           items)
+  | Some _ ->
+      reply_error 400 ~category:"bad_request"
+        "\"scenarios\" must be a list of scenario ids"
+
+type eval_outcome =
+  | Full_suite of {
+      etag : string;
+      result : string;  (** the serialized set result, cache-spliced *)
+      re_evaluated : int;
+      served_from_cache : int;
+    }
+  | Sub_suite of {
+      results : Jsonlight.t list;
+      re_evaluated : int;
+      served_from_cache : int;
+    }
+
+(* One evaluate body against [session], whose lock the caller holds.
+   The full-suite path still runs [Session.evaluate] — warm it only
+   serves cached verdicts, and the per-call stats bracket it — but the
+   dominant warm cost, rendering the whole result tree to JSON, is paid
+   once per architecture revision: the serialized string is cached in
+   the registry against {!Core.Sosae.Session.revision} and spliced
+   verbatim into later responses. Same revision means same architecture
+   means bit-identical verdicts, so the splice is exact. *)
+let evaluate_once ctx ~id ~jobs session json =
+  match parse_sub_suite json with
+  | None ->
+      let revision = Core.Sosae.Session.revision session in
+      let cached = Registry.cached_response ctx.registry id ~revision in
+      let result, re_evaluated, served_from_cache =
+        bracket_stats session (fun () ->
+            Core.Sosae.Session.evaluate ~jobs session)
+      in
+      let etag, body =
+        match cached with
+        | Some (etag, body) -> (etag, body)
+        | None ->
+            let body =
+              Jsonlight.to_string (Walkthrough.Report.json_of_set_result result)
+            in
+            (Registry.cache_response ctx.registry id ~revision ~body, body)
+      in
+      Full_suite { etag; result = body; re_evaluated; served_from_cache }
+  | Some scenario_ids ->
+      let results, re_evaluated, served_from_cache =
+        bracket_stats session (fun () ->
+            List.map
+              (fun sid ->
+                match Core.Sosae.Session.evaluate_scenario session sid with
+                | Some r -> Walkthrough.Report.json_of_scenario_result r
+                | None ->
+                    reply_error 404 ~category:"not_found"
+                      (Printf.sprintf "no scenario %S in session %S" sid id))
+              scenario_ids)
+      in
+      Sub_suite { results; re_evaluated; served_from_cache }
+
+(* Writes exactly what the pre-cache handler answered:
+   [{"result":…,"re_evaluated":n,"served_from_cache":n}] (full suite)
+   or the same with ["results"] (sub-suite). *)
+let write_outcome w outcome =
+  let counters re_evaluated served_from_cache =
+    Jsonlight.Writer.raw w ",\"re_evaluated\":";
+    Jsonlight.Writer.int w re_evaluated;
+    Jsonlight.Writer.raw w ",\"served_from_cache\":";
+    Jsonlight.Writer.int w served_from_cache;
+    Jsonlight.Writer.char w '}'
+  in
+  match outcome with
+  | Full_suite { result; re_evaluated; served_from_cache; etag = _ } ->
+      Jsonlight.Writer.raw w "{\"result\":";
+      Jsonlight.Writer.raw w result;
+      counters re_evaluated served_from_cache
+  | Sub_suite { results; re_evaluated; served_from_cache } ->
+      Jsonlight.Writer.raw w "{\"results\":";
+      Jsonlight.Writer.json w (Jsonlight.List results);
+      counters re_evaluated served_from_cache
+
 let evaluate ctx (request : Http.request) params =
   let id = Router.param params "id" in
   let json = parse_body request in
-  let sub_suite =
-    match Jsonlight.member "scenarios" json with
-    | None -> None
-    | Some (Jsonlight.List items) ->
-        Some
-          (List.map
-             (fun item ->
-               match Jsonlight.string_opt item with
-               | Some s -> s
-               | None ->
-                   reply_error 400 ~category:"bad_request"
-                     "\"scenarios\" must be a list of scenario ids")
-             items)
-    | Some _ ->
-        reply_error 400 ~category:"bad_request"
-          "\"scenarios\" must be a list of scenario ids"
-  in
   let jobs = Registry.jobs ctx.registry in
   with_session ctx id (fun session ->
-      let payload, re_evaluated, served_from_cache =
-        bracket_stats session (fun () ->
-            match sub_suite with
-            | None ->
-                let result = Core.Sosae.Session.evaluate ~jobs session in
-                ("result", Walkthrough.Report.json_of_set_result result)
-            | Some scenario_ids ->
-                let results =
-                  List.map
-                    (fun sid ->
-                      match Core.Sosae.Session.evaluate_scenario session sid with
-                      | Some r -> Walkthrough.Report.json_of_scenario_result r
-                      | None ->
-                          reply_error 404 ~category:"not_found"
-                            (Printf.sprintf "no scenario %S in session %S" sid id))
-                    scenario_ids
-                in
-                ("results", Jsonlight.List results))
+      match evaluate_once ctx ~id ~jobs session json with
+      | Full_suite { etag; _ }
+        when Http.if_none_match_matches request ~etag ->
+          Http.response ~headers:[ ("ETag", etag) ] 304 ""
+      | outcome ->
+          let headers =
+            ("Content-Type", "application/json")
+            ::
+            (match outcome with
+            | Full_suite { etag; _ } -> [ ("ETag", etag) ]
+            | Sub_suite _ -> [])
+          in
+          with_writer ctx (fun w ->
+              write_outcome w outcome;
+              Http.response ~headers 200 (Jsonlight.Writer.contents w)))
+
+(* POST /sessions/:id/evaluate/batch — many evaluate bodies through one
+   request: the session lock is taken once, responses render into one
+   reused buffer, and the client pays dispatch + framing once for the
+   whole batch. Each element of "suites" is shaped exactly like a
+   one-shot evaluate body; each element of "responses" is byte-for-byte
+   the matching one-shot 200 body, in order. All-or-nothing on errors:
+   a bad body or unknown scenario id fails the whole batch with the
+   one-shot status. *)
+let evaluate_batch ctx (request : Http.request) params =
+  let id = Router.param params "id" in
+  let json = parse_body request in
+  let suites =
+    match Jsonlight.member "suites" json with
+    | Some (Jsonlight.List (_ :: _ as items)) -> items
+    | Some (Jsonlight.List []) ->
+        reply_error 400 ~category:"bad_request" "\"suites\" must not be empty"
+    | Some _ | None ->
+        reply_error 400 ~category:"bad_request"
+          "missing \"suites\": a non-empty list of evaluate request bodies"
+  in
+  if List.length suites > 1024 then
+    reply_error 400 ~category:"bad_request"
+      "at most 1024 suites per batch request";
+  let jobs = Registry.jobs ctx.registry in
+  with_session ctx id (fun session ->
+      let outcomes =
+        List.map (fun body -> evaluate_once ctx ~id ~jobs session body) suites
       in
-      let key, value = payload in
-      json_body
-        (Jsonlight.Obj
-           [
-             (key, value);
-             ("re_evaluated", Jsonlight.Int re_evaluated);
-             ("served_from_cache", Jsonlight.Int served_from_cache);
-           ]))
+      with_writer ctx (fun w ->
+          Jsonlight.Writer.raw w "{\"responses\":[";
+          List.iteri
+            (fun i outcome ->
+              if i > 0 then Jsonlight.Writer.char w ',';
+              write_outcome w outcome)
+            outcomes;
+          Jsonlight.Writer.raw w "]}";
+          Http.response
+            ~headers:[ ("Content-Type", "application/json") ]
+            200
+            (Jsonlight.Writer.contents w)))
 
 (* Diff ops arrive as [{"op":"remove_link","id":...}] objects. The
    supported vocabulary is the removal/rename subset of {!Adl.Diff.op}
@@ -397,7 +538,7 @@ let diff ctx (request : Http.request) params =
       error_response 409 ~category:"apply_error" message
   | Ok ops ->
       with_session ctx id (fun session ->
-          json_body
+          json_reply ctx
             (Jsonlight.Obj
                [
                  ("applied", Jsonlight.Int (List.length ops));
@@ -581,7 +722,7 @@ let simulate ctx (request : Http.request) params =
       let started = Unix.gettimeofday () in
       let report = Dsim.Campaign.report ~jobs ~seed ~trials campaign in
       let elapsed = Unix.gettimeofday () -. started in
-      json_body
+      json_reply ctx
         (Jsonlight.Obj
            [
              ("trials", Jsonlight.Int trials);
@@ -602,6 +743,7 @@ let routes : ctx Router.route list =
     Router.route Http.POST "/sessions" create_session;
     Router.route Http.GET "/sessions/:id/stats" session_stats;
     Router.route Http.POST "/sessions/:id/evaluate" evaluate;
+    Router.route Http.POST "/sessions/:id/evaluate/batch" evaluate_batch;
     Router.route Http.POST "/sessions/:id/simulate" simulate;
     Router.route Http.POST "/sessions/:id/diff" diff;
     Router.route Http.DELETE "/sessions/:id" delete_session;

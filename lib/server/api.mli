@@ -24,7 +24,20 @@
     - [POST /sessions/:id/evaluate] — the full suite through the
       verdict cache (empty body), or a sub-suite ([{"scenarios":
       [ids]}]); responds with the verdicts plus how many scenarios were
-      re-walked vs served from cache for this call.
+      re-walked vs served from cache for this call. Full-suite
+      responses carry a strong [ETag] bound to the session's
+      architecture revision; a request whose [If-None-Match] matches is
+      answered [304 Not Modified] with no body (the session's verdict
+      cache is still consulted, so stats count the call like any
+      other). The serialized result is cached per revision, so warm
+      responses splice a pre-rendered string instead of re-serializing
+      the result tree.
+    - [POST /sessions/:id/evaluate/batch] — [{"suites": [body, …]}]
+      where each element is shaped like a one-shot evaluate body (at
+      most 1024); answers [{"responses": [r, …]}] with each element
+      byte-for-byte the one-shot 200 body, in order, computed under one
+      session-lock acquisition. Any bad element fails the whole batch
+      with the one-shot status.
     - [POST /sessions/:id/diff] — apply evolution ops
       ([{"ops":[{"op":"remove_link","id":...}, ...]}]); [excise]
       removes every link between two elements (the paper's Fig. 4
@@ -32,7 +45,12 @@
       apply, and the session is untouched.
     - [DELETE /sessions/:id] — drop a session. *)
 
-type ctx = { registry : Registry.t; metrics : Metrics.t }
+type writer_pool
+(** A free-list of {!Jsonlight.Writer}s; every response render checks
+    one out, so steady-state traffic reuses a few grown-to-size buffers
+    instead of allocating per response. *)
+
+type ctx = { registry : Registry.t; metrics : Metrics.t; writers : writer_pool }
 
 val make_ctx : ?jobs:int -> ?persist:Persist.t -> unit -> ctx
 (** [persist] makes every registry mutation durable (see {!Registry});

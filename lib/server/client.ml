@@ -113,7 +113,7 @@ let parse_head head =
       in
       Ok (status, headers)
 
-let read_response t =
+let read_response ?(head_only = false) t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf t.leftover;
   t.leftover <- "";
@@ -122,12 +122,16 @@ let read_response t =
   let head_end = Option.get (find_sub all "\r\n\r\n" 0) in
   let* status, headers = parse_head (String.sub all 0 head_end) in
   let* length =
-    match List.assoc_opt "content-length" headers with
-    | None -> Ok 0
-    | Some v -> (
-        match int_of_string_opt (String.trim v) with
-        | Some n when n >= 0 -> Ok n
-        | _ -> Error (Printf.sprintf "malformed Content-Length %S" v))
+    (* a HEAD response declares the GET body's length but carries no
+       bytes of it *)
+    if head_only then Ok 0
+    else
+      match List.assoc_opt "content-length" headers with
+      | None -> Ok 0
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (Printf.sprintf "malformed Content-Length %S" v))
   in
   let body_start = head_end + 4 in
   let* () = read_until t buf (Some (body_start + length)) in
@@ -154,7 +158,7 @@ let request t ?(headers = []) ?body meth target =
   Buffer.add_string head "\r\n";
   Option.iter (Buffer.add_string head) body;
   match write_all t.fd (Buffer.contents head) with
-  | () -> read_response t
+  | () -> read_response ~head_only:(meth = Http.HEAD) t
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | exception Sys_error m -> Error m
 
@@ -201,6 +205,81 @@ let backoff_schedule ?(seed = 0) policy =
     else go (i + 1) (delay_for policy rng i :: acc)
   in
   go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Persistent connections                                             *)
+(* ------------------------------------------------------------------ *)
+
+type persistent = {
+  reconnect : unit -> t;
+  policy : retry_policy;
+  sleep : float -> unit;
+  rng : Random.State.t;
+  mutable conn : t option;
+}
+
+let persistent ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
+    connect =
+  {
+    reconnect = connect;
+    policy;
+    sleep;
+    rng = Random.State.make [| seed |];
+    conn = None;
+  }
+
+let drop_conn p =
+  (match p.conn with Some t -> close t | None -> ());
+  p.conn <- None
+
+let persistent_close = drop_conn
+
+let call p f =
+  let obtain () =
+    match p.conn with
+    | Some t -> Ok t
+    | None -> (
+        match p.reconnect () with
+        | t ->
+            p.conn <- Some t;
+            Ok t
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  let once () =
+    match obtain () with
+    | Error _ as e -> e
+    | Ok t -> (
+        match f t with
+        | Ok r ->
+            (* the daemon announces it will close (request cap, drain):
+               drop the connection now so the next call reconnects
+               instead of failing into a retry *)
+            (match List.assoc_opt "connection" r.headers with
+            | Some v
+              when String.lowercase_ascii (String.trim v) = "close" ->
+                drop_conn p
+            | Some _ | None -> ());
+            Ok r
+        | Error _ as e ->
+            (* torn connection: whatever state it held is unusable *)
+            drop_conn p;
+            e)
+  in
+  let rec attempt i =
+    let outcome = once () in
+    let retry () =
+      if i + 1 >= p.policy.max_attempts then outcome
+      else begin
+        p.sleep (delay_for p.policy p.rng i);
+        attempt (i + 1)
+      end
+    in
+    match outcome with
+    | Ok r when retryable_status r.status -> retry ()
+    | Ok _ -> outcome
+    | Error _ -> retry ()
+  in
+  attempt 0
 
 let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
     ~connect f =

@@ -23,9 +23,11 @@ val request :
   string ->
   (response, string) result
 (** [request t meth target] sends one request and reads the response.
-    A [Content-Length] header is added when [body] is given. [Error]
-    means the connection is unusable (closed, timed out, or the
-    response did not parse) — reconnect to retry. Never raises. *)
+    A [Content-Length] header is added when [body] is given. A [HEAD]
+    response is read as header-only (its [Content-Length] names the
+    GET body it does not carry). [Error] means the connection is
+    unusable (closed, timed out, or the response did not parse) —
+    reconnect to retry. Never raises. *)
 
 val get : t -> string -> (response, string) result
 
@@ -57,6 +59,43 @@ val retryable_status : int -> bool
 val backoff_schedule : ?seed:int -> retry_policy -> float list
 (** The exact delays {!with_retry} would sleep with the same [seed] —
     [max_attempts - 1] of them. Deterministic, for tests. *)
+
+(** {2 Persistent connections}
+
+    {!with_retry} opens and closes a connection per call — correct, but
+    it pays the TCP handshake every time. A {!persistent} handle keeps
+    one keep-alive connection open across calls and composes the same
+    backoff/reconnect behavior into each call: the warm path is a
+    single request/response on an already-open socket. *)
+
+type persistent
+
+val persistent :
+  ?policy:retry_policy ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  (unit -> t) ->
+  persistent
+(** [persistent connect] — no connection is opened until the first
+    {!call}. [policy], [seed], and [sleep] mean what they mean for
+    {!with_retry}; the jitter schedule is shared across the handle's
+    lifetime. Not thread-safe: one handle per thread. *)
+
+val call : persistent -> (t -> (response, string) result) -> (response, string) result
+(** Run [f] on the held connection, opening or reopening it as needed.
+    A torn connection (or a failed [connect]) drops the socket, backs
+    off, and retries like {!with_retry}; a {!retryable_status} response
+    backs off and retries on the same connection; any other response is
+    returned and the connection stays open for the next [call]. A
+    response carrying [Connection: close] (the daemon's per-connection
+    request cap, or a drain) closes the socket eagerly so the next
+    [call] reconnects instead of failing into a retry. Note the retry
+    semantics assume [f] is safe to repeat, exactly as {!with_retry}
+    does. *)
+
+val persistent_close : persistent -> unit
+(** Close the held connection, if any. The handle stays usable — the
+    next {!call} reconnects. *)
 
 val with_retry :
   ?policy:retry_policy ->

@@ -11,6 +11,8 @@ type config = {
   queue_capacity : int;
   read_timeout : float;
   write_timeout : float;
+  idle_timeout : float;
+  max_requests : int;
   max_head : int;
   max_body : int;
   data_dir : string option;
@@ -27,6 +29,8 @@ let default_config =
     queue_capacity = 64;
     read_timeout = 10.0;
     write_timeout = 10.0;
+    idle_timeout = 30.0;
+    max_requests = 1000;
     max_head = 16 * 1024;
     max_body = 4 * 1024 * 1024;
     data_dir = None;
@@ -108,10 +112,31 @@ let serve_connection config api_ctx fd =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout;
   let parser_ = Http.parser_ ~max_head:config.max_head ~max_body:config.max_body () in
   let chunk = Bytes.create 8192 in
+  (* one response buffer per connection: keep-alive steady state
+     serializes every response into the same grown-to-size buffer *)
+  let out = Buffer.create 8192 in
+  let served = ref 0 in
+  (* SO_RCVTIMEO switches between the two waits — [read_timeout] while
+     a request is partly buffered, [idle_timeout] between requests on a
+     quiescent keep-alive connection — but only when the mode actually
+     flips, so pipelined bursts pay no extra syscalls *)
+  let timeout_is_idle = ref false in
+  let set_timeout ~idle =
+    if idle <> !timeout_is_idle then begin
+      timeout_is_idle := idle;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+        (if idle then config.idle_timeout else config.read_timeout)
+    end
+  in
   let respond request response =
-    let close = not (Http.keep_alive request) in
-    write_all fd
-      (Http.serialize ~request_meth:request.Http.meth ~close response);
+    incr served;
+    let close =
+      (not (Http.keep_alive request))
+      || (config.max_requests > 0 && !served >= config.max_requests)
+    in
+    Buffer.clear out;
+    Http.serialize_to out ~request_meth:request.Http.meth ~close response;
+    write_all fd (Buffer.contents out);
     close
   in
   let rec loop () =
@@ -132,6 +157,7 @@ let serve_connection config api_ctx fd =
         best_effort (fun () ->
             write_all fd (Http.serialize ~close:true (Api.response_of_parse_error e)))
     | `Need_more -> (
+        set_timeout ~idle:(Http.buffered parser_ = 0);
         match Unix.read fd chunk 0 (Bytes.length chunk) with
         | 0 -> ()  (* peer closed; a torn request just dies with it *)
         | n ->

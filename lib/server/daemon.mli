@@ -9,11 +9,18 @@
     a best-effort 429 and closes the connection instead of queueing it
     (bounded memory, fast failure).
 
-    Robustness: per-connection read/write timeouts ([SO_RCVTIMEO] /
-    [SO_SNDTIMEO]); a timeout mid-request answers 408 and closes, an
-    idle keep-alive connection is closed silently. Request head and body
-    sizes are bounded ({!Http.parser_} limits). [SIGPIPE] is ignored for
-    the process (writes to dead peers fail with [EPIPE] instead).
+    Connection lifecycle: connections are keep-alive by default
+    (HTTP/1.1 semantics, pipelining included — see {!Http.parser_}) and
+    close when the client says [Connection: close], after
+    [max_requests] responses (the response that hits the cap carries
+    [Connection: close]), on a framing error, or on timeout. Two
+    timeouts guard the reads: [read_timeout] while a request is partly
+    buffered (a timeout there answers 408 and closes) and
+    [idle_timeout] between requests on a quiescent keep-alive
+    connection (reaped silently). Request head and body sizes are
+    bounded ({!Http.parser_} limits). [SIGPIPE] is ignored for the
+    process (writes to dead peers fail with [EPIPE] instead). Each
+    connection serializes every response into one reused buffer.
 
     {!stop} drains gracefully: the listeners close (no new
     connections), queued connections are still served, then the workers
@@ -28,8 +35,15 @@ type config = {
                           [None] = {!Core.Sosae.default_jobs} *)
   workers : int;  (** worker-thread pool size *)
   queue_capacity : int;  (** accepted-but-unserved connection bound *)
-  read_timeout : float;  (** seconds; also the keep-alive idle timeout *)
+  read_timeout : float;  (** seconds, while a request is in flight *)
   write_timeout : float;  (** seconds *)
+  idle_timeout : float;
+      (** seconds a quiescent keep-alive connection may sit between
+          requests before being reaped; default 30 *)
+  max_requests : int;
+      (** requests served per connection before it is closed
+          ([Connection: close] on the last response); [0] = unlimited;
+          default 1000 *)
   max_head : int;  (** request-head byte limit *)
   max_body : int;  (** request-body byte limit *)
   data_dir : string option;

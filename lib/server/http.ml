@@ -39,6 +39,18 @@ let keep_alive r =
   | `Http_1_0, Some "keep-alive" -> true
   | `Http_1_0, _ -> false
 
+(* If-None-Match: "*" matches anything; otherwise a comma-separated
+   list of (quoted) entity tags, compared byte-for-byte against the
+   resource's current tag. Weak comparison ("W/" prefixes) is treated
+   as a plain byte mismatch — this server only mints strong tags. *)
+let if_none_match_matches r ~etag =
+  match header r "if-none-match" with
+  | None -> false
+  | Some "*" -> true
+  | Some value ->
+      String.split_on_char ',' value
+      |> List.exists (fun candidate -> String.equal (String.trim candidate) etag)
+
 type parse_error =
   | Bad_request of string
   | Head_too_large
@@ -297,6 +309,7 @@ let reason_phrase = function
   | 200 -> "OK"
   | 201 -> "Created"
   | 204 -> "No Content"
+  | 304 -> "Not Modified"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
@@ -314,17 +327,28 @@ let reason_phrase = function
 let response ?(headers = []) status body =
   { status; reason = reason_phrase status; resp_headers = headers; resp_body = body }
 
-let serialize ?request_meth ~close r =
-  let buf = Buffer.create (String.length r.resp_body + 256) in
+(* 204 and 304 are defined body-less (RFC 9110 §6.4.1); 1xx cannot
+   carry one either. The [Content-Length] stays explicit — 0 for the
+   body-less statuses — so keep-alive clients always know where the
+   response ends without waiting for a close. *)
+let body_suppressed status = status = 204 || status = 304 || status / 100 = 1
+
+let serialize_to buf ?request_meth ~close r =
+  let suppressed = body_suppressed r.status in
   Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status r.reason);
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
     r.resp_headers;
   Buffer.add_string buf
-    (Printf.sprintf "Content-Length: %d\r\n" (String.length r.resp_body));
+    (Printf.sprintf "Content-Length: %d\r\n"
+       (if suppressed then 0 else String.length r.resp_body));
   if close then Buffer.add_string buf "Connection: close\r\n";
   Buffer.add_string buf "\r\n";
   (match request_meth with
   | Some HEAD -> ()
-  | Some _ | None -> Buffer.add_string buf r.resp_body);
+  | Some _ | None -> if not suppressed then Buffer.add_string buf r.resp_body)
+
+let serialize ?request_meth ~close r =
+  let buf = Buffer.create (String.length r.resp_body + 256) in
+  serialize_to buf ?request_meth ~close r;
   Buffer.contents buf

@@ -32,6 +32,12 @@ val keep_alive : request -> bool
 (** HTTP/1.1 without [Connection: close], or HTTP/1.0 with
     [Connection: keep-alive]. *)
 
+val if_none_match_matches : request -> etag:string -> bool
+(** Does the request's [If-None-Match] header match the resource's
+    current (quoted, strong) entity tag? ["*"] matches anything;
+    otherwise the header is a comma-separated tag list compared
+    byte-for-byte. [false] without the header. *)
+
 type parse_error =
   | Bad_request of string  (** malformed request line, header, or framing *)
   | Head_too_large  (** request line + headers exceed the head limit *)
@@ -74,7 +80,15 @@ val response : ?headers:(string * string) list -> int -> string -> response
 val reason_phrase : int -> string
 
 val serialize : ?request_meth:meth -> close:bool -> response -> string
-(** Status line, headers ([Content-Length] computed, [Connection: close]
-    added when [close]), blank line, body — the exact bytes to write.
-    A [HEAD] [request_meth] suppresses the body but keeps its
-    [Content-Length]. *)
+(** Status line, headers ([Content-Length] computed and always
+    explicit, [0] included, [Connection: close] added when [close]),
+    blank line, body — the exact bytes to write. A [HEAD]
+    [request_meth] suppresses the body but keeps its [Content-Length];
+    204/304/1xx statuses suppress the body {e and} declare
+    [Content-Length: 0], whatever body the response value carries. *)
+
+val serialize_to :
+  Buffer.t -> ?request_meth:meth -> close:bool -> response -> unit
+(** {!serialize} into a caller-owned buffer — the daemon reuses one
+    per connection so steady-state responses allocate no fresh
+    buffer. *)

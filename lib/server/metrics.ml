@@ -164,3 +164,5 @@ let to_json t ~extra =
            ("rejected_timeout", Jsonlight.Int t.rejected_timeout);
          ]
         @ journal @ extra))
+
+let write t ~extra w = Jsonlight.Writer.json w (to_json t ~extra)

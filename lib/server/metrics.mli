@@ -54,3 +54,8 @@ val to_json : t -> extra:(string * Jsonlight.t) list -> Jsonlight.t
     registry-wide cache statistics). Buckets are upper bounds in
     seconds; counts are cumulative ("le" semantics), the last bucket is
     +inf. *)
+
+val write : t -> extra:(string * Jsonlight.t) list -> Jsonlight.Writer.t -> unit
+(** {!to_json} rendered into a caller-reused {!Jsonlight.Writer} — the
+    [/metrics] endpoint passes one from the API layer's pool so the
+    (large) snapshot never allocates a fresh serialization buffer. *)

@@ -59,9 +59,8 @@ let encode_ops ops =
   in
   go [] ops
 
-let encode m =
-  let json =
-    match m with
+let encode_json m =
+  match m with
     | Create { id; policy; scenarios; architecture; mapping } ->
         Jsonlight.Obj
           [
@@ -94,8 +93,8 @@ let encode m =
     | Remove { id } ->
         Jsonlight.Obj
           [ ("op", Jsonlight.String "remove"); ("id", Jsonlight.String id) ]
-  in
-  Jsonlight.to_string json
+
+let encode m = Jsonlight.to_string (encode_json m)
 
 let ( let* ) = Result.bind
 
@@ -179,6 +178,9 @@ type t = {
   compact_bytes : int;
   fsync : Store.Journal.fsync_policy;
   mutable metrics : Metrics.t option;
+  (* journal records serialize into one reused buffer; [lock] already
+     serializes every append, so the writer needs no lock of its own *)
+  writer : Jsonlight.Writer.t;
 }
 
 let sync_metrics t =
@@ -201,7 +203,14 @@ let open_ ?(fsync = Store.Journal.Always) ?(compact_bytes = 8 * 1024 * 1024) dir
   in
   let state_mutations, state_bad = decoded r.Store.Wal.state in
   let entry_mutations, entry_bad = decoded r.Store.Wal.entries in
-  ( { wal; lock = Mutex.create (); compact_bytes; fsync; metrics = None },
+  ( {
+      wal;
+      lock = Mutex.create ();
+      compact_bytes;
+      fsync;
+      metrics = None;
+      writer = Jsonlight.Writer.create ~size:(16 * 1024) ();
+    },
     {
       mutations = List.rev_append state_mutations (List.rev entry_mutations);
       entries = List.length r.Store.Wal.state + List.length r.Store.Wal.entries;
@@ -215,7 +224,10 @@ let set_metrics t m =
   sync_metrics t
 
 let log t m =
-  Mutex.protect t.lock (fun () -> ignore (Store.Wal.append t.wal (encode m)));
+  Mutex.protect t.lock (fun () ->
+      Jsonlight.Writer.clear t.writer;
+      Jsonlight.Writer.json t.writer (encode_json m);
+      ignore (Store.Wal.append t.wal (Jsonlight.Writer.contents t.writer)));
   sync_metrics t
 
 let should_compact t = Store.Wal.journal_bytes t.wal >= t.compact_bytes

@@ -1,3 +1,5 @@
+type cache_entry = { c_revision : int; c_etag : string; c_body : string }
+
 type t = {
   lock : Mutex.t;
   sessions : (string, Core.Sosae.Session.t) Hashtbl.t;
@@ -8,6 +10,15 @@ type t = {
      mu > lock > per-session lock. *)
   mu : Mutex.t;
   persist : Persist.t option;
+  (* Serialized full-suite evaluate results, one per session, valid
+     while the session's revision is unchanged. [cache_lock] is a leaf
+     lock: taken with any of the others held, never the reverse. *)
+  cache_lock : Mutex.t;
+  cache : (string, cache_entry) Hashtbl.t;
+  (* Etags embed a registry-global mint counter so an etag can never
+     be minted twice, even when a session is removed and a namesake
+     recreated (whose revision counter restarts at 0). *)
+  mutable etag_token : int;
 }
 
 let create ?jobs ?persist () =
@@ -18,7 +29,37 @@ let create ?jobs ?persist () =
     jobs;
     mu = Mutex.create ();
     persist;
+    cache_lock = Mutex.create ();
+    cache = Hashtbl.create 8;
+    etag_token = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Serialized-response cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drop_cached t id =
+  Mutex.protect t.cache_lock (fun () -> Hashtbl.remove t.cache id)
+
+let cached_response t id ~revision =
+  Mutex.protect t.cache_lock (fun () ->
+      match Hashtbl.find_opt t.cache id with
+      | Some e when e.c_revision = revision -> Some (e.c_etag, e.c_body)
+      | Some _ | None -> None)
+
+let cache_response t id ~revision ~body =
+  Mutex.protect t.cache_lock (fun () ->
+      match Hashtbl.find_opt t.cache id with
+      | Some e when e.c_revision = revision ->
+          (* a concurrent evaluate of the same revision won the race;
+             both bodies are bit-identical, keep the first etag *)
+          e.c_etag
+      | Some _ | None ->
+          t.etag_token <- t.etag_token + 1;
+          let etag = Printf.sprintf "\"r%d-%d\"" revision t.etag_token in
+          Hashtbl.replace t.cache id
+            { c_revision = revision; c_etag = etag; c_body = body };
+          etag)
 
 let jobs t = t.jobs
 
@@ -82,6 +123,7 @@ let add t ~id ?config project =
               Ok ()
             end)
       in
+      (match inserted with Ok () -> drop_cached t id | Error _ -> ());
       match (inserted, t.persist) with
       | Ok (), Some p ->
           let session =
@@ -108,6 +150,7 @@ let remove t id =
                 Some session
             | None -> None)
       in
+      (match removed with Some _ -> drop_cached t id | None -> ());
       match (removed, t.persist) with
       | Some session, Some p ->
           (match Persist.log p (Persist.Remove { id }) with

@@ -71,6 +71,28 @@ val checkpoint : t -> unit
 val ids : t -> string list
 (** Sorted. *)
 
+(** {1 Serialized-response cache}
+
+    The warm evaluate path is dominated by serializing the full-suite
+    result, not by evaluating it (verdicts are already cached in the
+    session). The registry therefore keeps, per session, one serialized
+    result body keyed on {!Core.Sosae.Session.revision} — valid exactly
+    while no architecture edit lands — together with a strong entity
+    tag the API surfaces as [ETag] / answers [If-None-Match] with.
+    Entries are dropped when a session is created or removed under the
+    same id, and etags carry a registry-global mint counter, so an etag
+    handed out for one incarnation of a session can never validate
+    against a later one. *)
+
+val cached_response : t -> string -> revision:int -> (string * string) option
+(** [cached_response t id ~revision] is [Some (etag, body)] when a
+    serialized result for exactly that session revision is cached. *)
+
+val cache_response : t -> string -> revision:int -> body:string -> string
+(** Store the serialized result for [revision] and return its freshly
+    minted etag. If a concurrent caller already stored the same
+    revision, its (equivalent) entry and etag are kept. *)
+
 val with_session :
   t -> string -> (Core.Sosae.Session.t -> 'a) -> ('a, [ `Not_found ]) result
 (** Run the callback holding the session's private lock

@@ -42,10 +42,26 @@ let dispatch routes ctx (request : Http.request) =
         | None -> None)
       routes
   in
-  match List.find_opt (fun (r, _) -> r.meth = request.Http.meth) matches with
+  let find meth = List.find_opt (fun (r, _) -> r.meth = meth) matches in
+  let found =
+    match find request.Http.meth with
+    | Some _ as hit -> hit
+    | None ->
+        (* HEAD is GET without the body (the serializer drops it), so
+           every GET route answers HEAD unless one is registered *)
+        if request.Http.meth = Http.HEAD then find Http.GET else None
+  in
+  match found with
   | Some (r, params) ->
       `Response (r.pattern, r.handler ctx request params)
   | None -> (
       match matches with
       | [] -> `Not_found
-      | _ -> `Method_not_allowed (List.map (fun (r, _) -> r.meth) matches))
+      | _ ->
+          let allowed = List.map (fun (r, _) -> r.meth) matches in
+          let allowed =
+            if List.mem Http.GET allowed && not (List.mem Http.HEAD allowed)
+            then allowed @ [ Http.HEAD ]
+            else allowed
+          in
+          `Method_not_allowed allowed)

@@ -66,14 +66,18 @@ let test_load_errors () =
      with
     | Error (Core.Sosae.Xml_error { file = "<scenarios>"; _ }) -> true
     | _ -> false);
-  (* the deprecated raising convenience still behaves *)
-  Alcotest.(check bool) "deprecated raising API" true
-    (match
-       (Core.Sosae.load_project [@alert "-deprecated"]) ~scenarios:tmp ~architecture:tmp
-         ~mapping:tmp
-     with
-    | exception (Core.Sosae.Load_error _ [@alert "-deprecated"]) -> true
-    | _ -> false);
+  (* the error message renders all three error classes distinctly *)
+  Alcotest.(check bool) "schema error renders the artifact" true
+    (match Core.Sosae.load_project_result ~scenarios:tmp ~architecture:tmp ~mapping:tmp with
+    | Error e ->
+        let m = Core.Sosae.load_error_to_string e in
+        String.length m > 0
+        && (let rec has i =
+              i >= 0
+              && (String.length m - i >= 12 && String.sub m i 12 = "scenario set" || has (i - 1))
+            in
+            has (String.length m - 12))
+    | Ok _ -> false);
   Sys.remove tmp
 
 let test_owl_export_pipeline () =

@@ -115,8 +115,8 @@ let test_serialize () =
 
 (* ---------------- HTTP parser: properties -------------------------- *)
 
-(* a valid request and a random chunking of its bytes *)
-let gen_request_and_cuts =
+(* the bytes of one valid request *)
+let gen_request_bytes =
   QCheck2.Gen.(
     let ident = string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; '0'; '-' ]) (int_range 1 8) in
     let* meth = oneofl [ "GET"; "POST"; "DELETE"; "PUT" ] in
@@ -130,7 +130,12 @@ let gen_request_and_cuts =
            (List.map (fun (k, v) -> Printf.sprintf "x-%s: %s\r\n" k v) extra_headers))
         (String.length body)
     in
-    let bytes = head ^ body in
+    return (head ^ body))
+
+(* a valid request and a random chunking of its bytes *)
+let gen_request_and_cuts =
+  QCheck2.Gen.(
+    let* bytes = gen_request_bytes in
     let* cuts = list_size (int_range 0 8) (int_range 0 (String.length bytes)) in
     return (bytes, cuts))
 
@@ -164,6 +169,71 @@ let prop_torn_reads =
       match !result with
       | `Request r -> r = whole && Http.buffered p = 0
       | `Need_more -> QCheck2.Test.fail_report "chunked feed never completed")
+
+(* Several requests pipelined onto one connection, torn at arbitrary
+   byte boundaries (cuts may fall inside a request, between requests,
+   or interleave several in one chunk), must parse to exactly the
+   request list that one-request-per-connection parsing yields. *)
+let gen_pipeline_and_cuts =
+  QCheck2.Gen.(
+    let* requests = list_size (int_range 1 4) gen_request_bytes in
+    let total = String.length (String.concat "" requests) in
+    let* cuts = list_size (int_range 0 12) (int_range 0 total) in
+    return (requests, cuts))
+
+let prop_pipelined_framing =
+  QCheck2.Test.make
+    ~name:
+      "http parser: a pipelined connection parses to the same requests as \
+       one per connection"
+    ~count:500 gen_pipeline_and_cuts (fun (requests, cuts) ->
+      let expected =
+        List.map
+          (fun bytes ->
+            match parse_one bytes with
+            | `Request r -> r
+            | _ -> QCheck2.Test.fail_report "individual request did not parse")
+          requests
+      in
+      let p = Http.parser_ () in
+      let parsed = ref [] in
+      let rec drain () =
+        match Http.next p with
+        | `Request r ->
+            parsed := r :: !parsed;
+            drain ()
+        | `Need_more -> ()
+        | `Error e -> QCheck2.Test.fail_report (Http.parse_error_message e)
+      in
+      List.iter
+        (fun chunk ->
+          Http.feed p chunk;
+          drain ())
+        (chunks_of (String.concat "" requests) cuts);
+      List.rev !parsed = expected && Http.buffered p = 0)
+
+let prop_suppressed_body =
+  QCheck2.Test.make
+    ~name:
+      "http serializer: 204/304/1xx responses carry no body and declare \
+       Content-Length: 0"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (oneofl [ 100; 101; 204; 304 ])
+        (string_size ~gen:printable (int_range 0 100)))
+    (fun (status, body) ->
+      let s = Http.serialize ~close:false (Http.response status body) in
+      let contains needle =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      String.length s >= 4
+      && String.sub s (String.length s - 4) 4 = "\r\n\r\n"
+      && contains "Content-Length: 0\r\n")
 
 let prop_no_crash =
   QCheck2.Test.make ~name:"http parser: arbitrary bytes never raise" ~count:1000
@@ -215,9 +285,16 @@ let test_router () =
   (match Router.dispatch routes () (request "/nope" Http.GET) with
   | `Not_found -> ()
   | _ -> Alcotest.fail "should be 404");
+  (* a GET route answers HEAD (the serializer suppresses the body) *)
+  (match Router.dispatch routes () (request "/health" Http.HEAD) with
+  | `Response (pattern, r) ->
+      Alcotest.(check string) "HEAD falls back to GET" "/health" pattern;
+      Alcotest.(check string) "same handler" "h" r.Http.resp_body
+  | _ -> Alcotest.fail "HEAD should dispatch to the GET route");
+  (* ... and Allow advertises the implied HEAD *)
   match Router.dispatch routes () (request "/health" Http.POST) with
-  | `Method_not_allowed [ Http.GET ] -> ()
-  | _ -> Alcotest.fail "should be 405 allowing GET"
+  | `Method_not_allowed [ Http.GET; Http.HEAD ] -> ()
+  | _ -> Alcotest.fail "should be 405 allowing GET, HEAD"
 
 (* ---------------- end-to-end over sockets -------------------------- *)
 
@@ -480,6 +557,172 @@ let test_e2e_concurrent_clients () =
    Dsim.Campaign run bit-for-bit: same seed, same campaign parameters
    (mirroring Casestudies.Campaigns.pims_price_feed), same report JSON
    regardless of the jobs fan-out. *)
+(* Conditional evaluate: the full-suite response carries a strong ETag
+   bound to the architecture revision; If-None-Match answers 304 with
+   no body; a diff rotates the etag. *)
+let test_e2e_conditional () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "pims")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status;
+          let evaluate ?(headers = []) () =
+            ok
+              (Server.Client.request c ~headers ~body:"{}" Http.POST
+                 "/sessions/pims/evaluate")
+          in
+          let etag_of (r : Server.Client.response) =
+            match List.assoc_opt "etag" r.Server.Client.headers with
+            | Some e -> e
+            | None -> Alcotest.fail "no ETag header on full-suite evaluate"
+          in
+          let first = evaluate () in
+          Alcotest.(check int) "first 200" 200 first.Server.Client.status;
+          let etag = etag_of first in
+          (* warm repeat without the etag: 200 again, identical verdicts,
+             same etag *)
+          let second = evaluate () in
+          Alcotest.(check int) "second 200" 200 second.Server.Client.status;
+          Alcotest.(check string) "etag is stable" etag (etag_of second);
+          Alcotest.(check string) "verdicts identical across warm repeat"
+            (Jsonlight.to_string (member_exn "result" (body_json first)))
+            (Jsonlight.to_string (member_exn "result" (body_json second)));
+          (* conditional repeat: 304, no body, etag echoed *)
+          let cond = evaluate ~headers:[ ("If-None-Match", etag) ] () in
+          Alcotest.(check int) "304" 304 cond.Server.Client.status;
+          Alcotest.(check string) "304 has no body" "" cond.Server.Client.body;
+          Alcotest.(check string) "304 echoes the etag" etag (etag_of cond);
+          Alcotest.(check (option string)) "304 declares Content-Length: 0"
+            (Some "0")
+            (List.assoc_opt "content-length" cond.Server.Client.headers);
+          (* the 304 still counted as a (fully cached) evaluation *)
+          let stats =
+            body_json (ok (Server.Client.get c "/sessions/pims/stats"))
+            |> member_exn "stats"
+          in
+          Alcotest.(check (option int)) "three evaluate calls hit the cache"
+            (Some (2 * 22))
+            (member_exn "cache_hits" stats |> Jsonlight.int_opt);
+          (* an architecture edit rotates the etag: the stale one misses *)
+          let r =
+            ok
+              (Server.Client.post c "/sessions/pims/diff"
+                 ~body:
+                   {|{"ops":[{"op":"excise","from":"data-access","to":"loader"}]}|})
+          in
+          Alcotest.(check int) "diff 200" 200 r.Server.Client.status;
+          let after = evaluate ~headers:[ ("If-None-Match", etag) ] () in
+          Alcotest.(check int) "stale etag gets 200" 200 after.Server.Client.status;
+          Alcotest.(check bool) "fresh etag differs" true (etag_of after <> etag);
+          (* sub-suite responses are unconditional: no etag *)
+          let sub =
+            ok
+              (Server.Client.post c "/sessions/pims/evaluate"
+                 ~body:{|{"scenarios":["create-portfolio"]}|})
+          in
+          Alcotest.(check (option string)) "no etag on sub-suites" None
+            (List.assoc_opt "etag" sub.Server.Client.headers)))
+
+(* Batch evaluate: each element of "responses" must be byte-for-byte
+   the matching one-shot response body. *)
+let test_e2e_batch () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let r = ok (Server.Client.post c "/sessions" ~body:(create_body "pims")) in
+          Alcotest.(check int) "created" 201 r.Server.Client.status;
+          (* warm the session so one-shot and batch see identical stats *)
+          ignore (ok (Server.Client.post c "/sessions/pims/evaluate" ~body:"{}"));
+          let full =
+            ok (Server.Client.post c "/sessions/pims/evaluate" ~body:"{}")
+          in
+          let sub_body = {|{"scenarios":["create-portfolio","get-share-prices"]}|} in
+          let sub =
+            ok (Server.Client.post c "/sessions/pims/evaluate" ~body:sub_body)
+          in
+          let batch =
+            ok
+              (Server.Client.post c "/sessions/pims/evaluate/batch"
+                 ~body:(Printf.sprintf {|{"suites":[{},%s,{}]}|} sub_body))
+          in
+          Alcotest.(check int) "batch 200" 200 batch.Server.Client.status;
+          let responses =
+            body_json batch |> member_exn "responses" |> Jsonlight.list_opt
+            |> Option.get
+          in
+          Alcotest.(check int) "three responses" 3 (List.length responses);
+          let nth i = Jsonlight.to_string (List.nth responses i) in
+          Alcotest.(check string) "batch[0] == one-shot full suite"
+            full.Server.Client.body (nth 0);
+          Alcotest.(check string) "batch[1] == one-shot sub-suite"
+            sub.Server.Client.body (nth 1);
+          Alcotest.(check string) "batch[2] == one-shot full suite"
+            full.Server.Client.body (nth 2);
+          (* error taxonomy matches the one-shot path *)
+          expect_error 400 "bad_request"
+            (ok (Server.Client.post c "/sessions/pims/evaluate/batch" ~body:"{}"));
+          expect_error 404 "not_found"
+            (ok
+               (Server.Client.post c "/sessions/pims/evaluate/batch"
+                  ~body:{|{"suites":[{"scenarios":["nope"]}]}|}))))
+
+(* The per-connection request cap: the capping response announces
+   Connection: close and the server hangs up after it. *)
+let test_e2e_request_cap () =
+  let config = { Server.Daemon.default_config with port = 0; max_requests = 3 } in
+  with_daemon ~config (fun t ->
+      with_client t (fun c ->
+          let r1 = ok (Server.Client.get c "/health") in
+          Alcotest.(check (option string)) "first response keeps alive" None
+            (List.assoc_opt "connection" r1.Server.Client.headers);
+          let _ = ok (Server.Client.get c "/health") in
+          let r3 = ok (Server.Client.get c "/health") in
+          Alcotest.(check int) "capping response still 200" 200
+            r3.Server.Client.status;
+          Alcotest.(check (option string)) "capping response closes"
+            (Some "close")
+            (List.assoc_opt "connection" r3.Server.Client.headers);
+          (* the connection is gone: the next request on it fails *)
+          match Server.Client.get c "/health" with
+          | Error _ -> ()
+          | Ok r ->
+              Alcotest.failf "expected a dead connection, got %d"
+                r.Server.Client.status))
+
+(* HEAD is answered from the GET route: same status and headers
+   (Content-Length included), no body. *)
+let test_e2e_head () =
+  with_daemon (fun t ->
+      with_client t (fun c ->
+          let get = ok (Server.Client.get c "/health") in
+          let head = ok (Server.Client.request c Http.HEAD "/health") in
+          Alcotest.(check int) "HEAD 200" 200 head.Server.Client.status;
+          Alcotest.(check string) "no body" "" head.Server.Client.body;
+          Alcotest.(check (option string)) "Content-Length names the GET body"
+            (Some (string_of_int (String.length get.Server.Client.body)))
+            (List.assoc_opt "content-length" head.Server.Client.headers);
+          (* the connection is still usable after the body-less response *)
+          let r = ok (Server.Client.get c "/health") in
+          Alcotest.(check int) "still keep-alive" 200 r.Server.Client.status))
+
+(* A persistent client handle survives the server's request cap by
+   reconnecting transparently, and composes with_retry's backoff. *)
+let test_client_persistent () =
+  let config = { Server.Daemon.default_config with port = 0; max_requests = 2 } in
+  with_daemon ~config (fun t ->
+      let p =
+        Server.Client.persistent ~sleep:(fun _ -> ()) (fun () ->
+            Server.Client.connect ~port:(Server.Daemon.port t) ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.persistent_close p)
+        (fun () ->
+          (* 5 calls across a 2-request cap: the handle reconnects at
+             each announced close, and every call succeeds *)
+          for i = 1 to 5 do
+            let r = ok (Server.Client.call p (fun c -> Server.Client.get c "/health")) in
+            Alcotest.(check int) (Printf.sprintf "call %d" i) 200
+              r.Server.Client.status
+          done))
+
 let test_e2e_simulate () =
   with_daemon (fun t ->
       with_client t (fun c ->
@@ -920,6 +1163,8 @@ let suite =
     Alcotest.test_case "http: size limits" `Quick test_parse_limits;
     Alcotest.test_case "http: serialization" `Quick test_serialize;
     QCheck_alcotest.to_alcotest prop_torn_reads;
+    QCheck_alcotest.to_alcotest prop_pipelined_framing;
+    QCheck_alcotest.to_alcotest prop_suppressed_body;
     QCheck_alcotest.to_alcotest prop_no_crash;
     QCheck_alcotest.to_alcotest prop_oversized_rejected;
     Alcotest.test_case "router dispatch" `Quick test_router;
@@ -928,6 +1173,15 @@ let suite =
       test_e2e_fig4_bit_identical;
     Alcotest.test_case "e2e: concurrent clients, one session" `Quick
       test_e2e_concurrent_clients;
+    Alcotest.test_case "e2e: conditional evaluate (ETag/304)" `Quick
+      test_e2e_conditional;
+    Alcotest.test_case "e2e: batch evaluate matches one-shot" `Quick
+      test_e2e_batch;
+    Alcotest.test_case "e2e: per-connection request cap" `Quick
+      test_e2e_request_cap;
+    Alcotest.test_case "e2e: HEAD from GET routes" `Quick test_e2e_head;
+    Alcotest.test_case "client: persistent handle reconnects" `Quick
+      test_client_persistent;
     Alcotest.test_case "e2e: simulate campaign over HTTP" `Quick test_e2e_simulate;
     Alcotest.test_case "e2e: robustness (413, 408, garbage)" `Quick test_e2e_robustness;
     Alcotest.test_case "e2e: unix-domain socket" `Quick test_e2e_unix_socket;

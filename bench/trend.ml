@@ -70,6 +70,17 @@ let () =
           match List.assoc_opt name next with
           | None ->
               Printf.printf "~ %-36s dropped (was %.0f req/s)\n" name old_rps
+          | Some new_rps when old_rps <= 0.0 ->
+              (* the relative change against a 0 req/s baseline is
+                 nan/inf, which no threshold comparison can flag — a
+                 dead case stays dead only if we say so explicitly *)
+              let regressed = new_rps <= 0.0 in
+              if regressed then incr regressions;
+              Printf.printf "%c %-36s %8.0f -> %8.0f req/s (baseline unusable)%s\n"
+                (if regressed then '!' else '?')
+                name old_rps new_rps
+                (if regressed then "  REGRESSION (still 0 req/s)"
+                 else "  not compared")
           | Some new_rps ->
               let change = (new_rps -. old_rps) /. old_rps in
               let regressed = change < -. !threshold in

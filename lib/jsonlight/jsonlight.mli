@@ -1,10 +1,10 @@
 (** Minimal JSON library: a document builder and a parser, with no
     dependencies — the repo's JSON substrate.
 
-    Grew out of [Walkthrough.Json] (which remains as a deprecated
-    re-export): machine-readable reports only needed a printer, but the
-    evaluation server ({!Server.Daemon}) must {e read} request bodies
-    too, so the module now stands alone under the walkthrough layer.
+    Grew out of [Walkthrough.Json] (since removed): machine-readable
+    reports only needed a printer, but the evaluation server
+    ({!Server.Daemon}) must {e read} request bodies too, so the module
+    now stands alone under the walkthrough layer.
 
     Strings are escaped per RFC 8259; non-finite floats serialize as
     [null]. {!of_string} parses any RFC 8259 document (plus surrounding

@@ -349,7 +349,7 @@ let evaluate_once ctx ~id ~jobs session json =
   match parse_sub_suite json with
   | None ->
       let revision = Core.Sosae.Session.revision session in
-      let cached = Registry.cached_response ctx.registry id ~revision in
+      let cached = Registry.cached_response ctx.registry id ~session ~revision in
       let result, re_evaluated, served_from_cache =
         bracket_stats session (fun () ->
             Core.Sosae.Session.evaluate ~jobs session)
@@ -361,7 +361,7 @@ let evaluate_once ctx ~id ~jobs session json =
             let body =
               Jsonlight.to_string (Walkthrough.Report.json_of_set_result result)
             in
-            (Registry.cache_response ctx.registry id ~revision ~body, body)
+            (Registry.cache_response ctx.registry id ~session ~revision ~body, body)
       in
       Full_suite { etag; result = body; re_evaluated; served_from_cache }
   | Some scenario_ids ->

@@ -40,16 +40,23 @@ let keep_alive r =
   | `Http_1_0, _ -> false
 
 (* If-None-Match: "*" matches anything; otherwise a comma-separated
-   list of (quoted) entity tags, compared byte-for-byte against the
-   resource's current tag. Weak comparison ("W/" prefixes) is treated
-   as a plain byte mismatch — this server only mints strong tags. *)
+   list of (quoted) entity tags. RFC 9110 §13.1.2 mandates weak
+   comparison here, so a "W/" prefix (e.g. added by an intermediary)
+   is stripped from each candidate; the opaque tags themselves are
+   compared byte-for-byte — this server only mints strong tags. *)
+let strip_weak_prefix tag =
+  if String.length tag >= 2 && tag.[0] = 'W' && tag.[1] = '/' then
+    String.sub tag 2 (String.length tag - 2)
+  else tag
+
 let if_none_match_matches r ~etag =
   match header r "if-none-match" with
   | None -> false
   | Some "*" -> true
   | Some value ->
       String.split_on_char ',' value
-      |> List.exists (fun candidate -> String.equal (String.trim candidate) etag)
+      |> List.exists (fun candidate ->
+             String.equal (strip_weak_prefix (String.trim candidate)) etag)
 
 type parse_error =
   | Bad_request of string

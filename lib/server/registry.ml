@@ -7,22 +7,30 @@ type t = {
   (* [mu] serializes mutations (create/diff/remove) end to end — apply
      in memory, then journal — so journal order always equals apply
      order. Reads and evaluations never take it. Lock order:
-     mu > lock > per-session lock. *)
+     mu > lock > cache_lock, with cache_lock a leaf. The per-session
+     lock is taken only with none of these held — except that the
+     response cache takes [lock] from inside an evaluation (to check
+     the session is still the registered incarnation), so [lock] must
+     never be held while taking a per-session lock. *)
   mu : Mutex.t;
   persist : Persist.t option;
   (* Serialized full-suite evaluate results, one per session, valid
-     while the session's revision is unchanged. [cache_lock] is a leaf
-     lock: taken with any of the others held, never the reverse. *)
+     while the session's revision is unchanged. *)
   cache_lock : Mutex.t;
   cache : (string, cache_entry) Hashtbl.t;
-  (* Etags embed a registry-global mint counter so an etag can never
-     be minted twice, even when a session is removed and a namesake
-     recreated (whose revision counter restarts at 0). *)
+  (* Etags embed a random per-boot component plus a registry-global
+     mint counter, so an etag can never be minted twice for different
+     content: the counter covers delete/recreate within one process
+     lifetime (a namesake session's revision restarts at 0), the boot
+     id covers daemon restarts (sessions are durable, the counter is
+     not). *)
+  etag_boot : string;
   mutable etag_token : int;
 }
 
 let create ?jobs ?persist () =
   let jobs = match jobs with Some j -> j | None -> Core.Sosae.default_jobs () in
+  let rng = Random.State.make_self_init () in
   {
     lock = Mutex.create ();
     sessions = Hashtbl.create 8;
@@ -31,6 +39,10 @@ let create ?jobs ?persist () =
     persist;
     cache_lock = Mutex.create ();
     cache = Hashtbl.create 8;
+    etag_boot =
+      Printf.sprintf "%07x%07x"
+        (Random.State.bits rng land 0xFFFFFFF)
+        (Random.State.bits rng land 0xFFFFFFF);
     etag_token = 0;
   }
 
@@ -41,25 +53,52 @@ let create ?jobs ?persist () =
 let drop_cached t id =
   Mutex.protect t.cache_lock (fun () -> Hashtbl.remove t.cache id)
 
-let cached_response t id ~revision =
-  Mutex.protect t.cache_lock (fun () ->
-      match Hashtbl.find_opt t.cache id with
-      | Some e when e.c_revision = revision -> Some (e.c_etag, e.c_body)
-      | Some _ | None -> None)
+(* The cache answers for a (session, revision) pair only while that
+   exact session object is still the one registered under [id]:
+   [with_session] holds no registry lock during the callback, so an
+   in-flight evaluate can outlive a DELETE and a namesake re-create
+   (whose revision counter restarts at 0 — same key, different
+   content). Checking physical identity under [t.lock], held across
+   the cache access, is race-free against [add]/[remove]: they mutate
+   the session table under the same lock *before* invalidating the
+   cache, so a stale session can never pass the check after the
+   namesake's invalidation has run. *)
+let is_registered t id session =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> s == session
+  | None -> false
 
-let cache_response t id ~revision ~body =
-  Mutex.protect t.cache_lock (fun () ->
-      match Hashtbl.find_opt t.cache id with
-      | Some e when e.c_revision = revision ->
-          (* a concurrent evaluate of the same revision won the race;
-             both bodies are bit-identical, keep the first etag *)
-          e.c_etag
-      | Some _ | None ->
-          t.etag_token <- t.etag_token + 1;
-          let etag = Printf.sprintf "\"r%d-%d\"" revision t.etag_token in
-          Hashtbl.replace t.cache id
-            { c_revision = revision; c_etag = etag; c_body = body };
-          etag)
+let cached_response t id ~session ~revision =
+  Mutex.protect t.lock (fun () ->
+      if not (is_registered t id session) then None
+      else
+        Mutex.protect t.cache_lock (fun () ->
+            match Hashtbl.find_opt t.cache id with
+            | Some e when e.c_revision = revision -> Some (e.c_etag, e.c_body)
+            | Some _ | None -> None))
+
+let cache_response t id ~session ~revision ~body =
+  Mutex.protect t.lock (fun () ->
+      let live = is_registered t id session in
+      Mutex.protect t.cache_lock (fun () ->
+          match Hashtbl.find_opt t.cache id with
+          | Some e when live && e.c_revision = revision ->
+              (* a concurrent evaluate of the same revision won the race;
+                 both bodies are bit-identical, keep the first etag *)
+              e.c_etag
+          | Some _ | None ->
+              t.etag_token <- t.etag_token + 1;
+              let etag =
+                Printf.sprintf "\"r%d-%s-%d\"" revision t.etag_boot t.etag_token
+              in
+              (* a stale incarnation's body must not be stored (the
+                 namesake would serve it); its response still carries
+                 a fresh etag, which by construction never validates
+                 again *)
+              if live then
+                Hashtbl.replace t.cache id
+                  { c_revision = revision; c_etag = etag; c_body = body };
+              etag))
 
 let jobs t = t.jobs
 

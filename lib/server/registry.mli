@@ -80,18 +80,29 @@ val ids : t -> string list
     while no architecture edit lands — together with a strong entity
     tag the API surfaces as [ETag] / answers [If-None-Match] with.
     Entries are dropped when a session is created or removed under the
-    same id, and etags carry a registry-global mint counter, so an etag
-    handed out for one incarnation of a session can never validate
-    against a later one. *)
+    same id; both accessors verify (under the registry lock) that
+    [session] is still physically the one registered for [id], so an
+    evaluate that outlives a delete/recreate can neither poison the
+    namesake's cache nor serve its bytes. Etags carry a random
+    per-boot component plus a registry-global mint counter, so an etag
+    handed out for one incarnation of a session — or by an earlier
+    run of the daemon — can never validate against a later one. *)
 
-val cached_response : t -> string -> revision:int -> (string * string) option
-(** [cached_response t id ~revision] is [Some (etag, body)] when a
-    serialized result for exactly that session revision is cached. *)
+val cached_response :
+  t -> string -> session:Core.Sosae.Session.t -> revision:int ->
+  (string * string) option
+(** [cached_response t id ~session ~revision] is [Some (etag, body)]
+    when a serialized result for exactly that session revision is
+    cached and [session] is still the session registered for [id]. *)
 
-val cache_response : t -> string -> revision:int -> body:string -> string
+val cache_response :
+  t -> string -> session:Core.Sosae.Session.t -> revision:int ->
+  body:string -> string
 (** Store the serialized result for [revision] and return its freshly
     minted etag. If a concurrent caller already stored the same
-    revision, its (equivalent) entry and etag are kept. *)
+    revision, its (equivalent) entry and etag are kept. When [session]
+    is no longer the one registered for [id], nothing is stored and
+    the returned etag will never validate. *)
 
 val with_session :
   t -> string -> (Core.Sosae.Session.t -> 'a) -> ('a, [ `Not_found ]) result

@@ -74,6 +74,28 @@ let test_parse_errors () =
   | `Error _ -> ()
   | _ -> Alcotest.fail "error should be sticky"
 
+(* RFC 9110 §13.1.2: If-None-Match uses weak comparison, so a W/
+   prefix on a candidate (e.g. added by an intermediary) must still
+   match the server's strong tag. *)
+let test_if_none_match_weak () =
+  let request header_value =
+    match
+      parse_one
+        (Printf.sprintf "POST /x HTTP/1.1\r\nIf-None-Match: %s\r\n\r\n"
+           header_value)
+    with
+    | `Request r -> r
+    | `Need_more | `Error _ -> Alcotest.fail "if-none-match request"
+  in
+  let matches v = Http.if_none_match_matches (request v) ~etag:{|"r0-ab-1"|} in
+  Alcotest.(check bool) "strong candidate" true (matches {|"r0-ab-1"|});
+  Alcotest.(check bool) "weak candidate" true (matches {|W/"r0-ab-1"|});
+  Alcotest.(check bool) "weak member of a list" true
+    (matches {|"other", W/"r0-ab-1"|});
+  Alcotest.(check bool) "star" true (matches "*");
+  Alcotest.(check bool) "weak mismatch stays a miss" false
+    (matches {|W/"r1-ab-2"|})
+
 let test_parse_limits () =
   let p = Http.parser_ ~max_head:64 ~max_body:10 () in
   Http.feed p ("GET / HTTP/1.1\r\nX: " ^ String.make 100 'a' ^ "\r\n\r\n");
@@ -622,6 +644,56 @@ let test_e2e_conditional () =
           Alcotest.(check (option string)) "no etag on sub-suites" None
             (List.assoc_opt "etag" sub.Server.Client.headers)))
 
+(* An evaluate that outlives a DELETE + namesake re-create (the
+   registry never holds the session lock across mutations, so this
+   interleaving is legal) must not poison the new incarnation's
+   response cache, must not be served the new incarnation's bytes,
+   and its etags must never validate again. *)
+let test_registry_incarnation () =
+  let registry = Server.Registry.create ~jobs:1 () in
+  let add () =
+    match Server.Registry.add registry ~id:"s" project with
+    | Ok () -> ()
+    | Error `Conflict -> Alcotest.fail "unexpected conflict"
+  in
+  let grab () =
+    match Server.Registry.with_session registry "s" (fun s -> s) with
+    | Ok s -> s
+    | Error `Not_found -> Alcotest.fail "session should exist"
+  in
+  add ();
+  let stale = grab () in
+  (* delete + recreate: a fresh incarnation, same name, revision 0 *)
+  Alcotest.(check bool) "removed" true (Server.Registry.remove registry "s");
+  add ();
+  let live = grab () in
+  Alcotest.(check bool) "distinct incarnations" true (stale != live);
+  (* the in-flight evaluate of the old incarnation stores its body last *)
+  let stale_etag =
+    Server.Registry.cache_response registry "s" ~session:stale ~revision:0
+      ~body:"OLD"
+  in
+  Alcotest.(check (option (pair string string)))
+    "stale body is not cached for the namesake" None
+    (Server.Registry.cached_response registry "s" ~session:live ~revision:0);
+  Alcotest.(check (option (pair string string)))
+    "stale incarnation is no longer served" None
+    (Server.Registry.cached_response registry "s" ~session:stale ~revision:0);
+  (* the live incarnation caches normally, under a distinct etag *)
+  let live_etag =
+    Server.Registry.cache_response registry "s" ~session:live ~revision:0
+      ~body:"NEW"
+  in
+  Alcotest.(check bool) "etags never collide across incarnations" true
+    (live_etag <> stale_etag);
+  match
+    Server.Registry.cached_response registry "s" ~session:live ~revision:0
+  with
+  | Some (etag, body) ->
+      Alcotest.(check string) "live etag served" live_etag etag;
+      Alcotest.(check string) "live body served" "NEW" body
+  | None -> Alcotest.fail "live incarnation should be cached"
+
 (* Batch evaluate: each element of "responses" must be byte-for-byte
    the matching one-shot response body. *)
 let test_e2e_batch () =
@@ -1160,6 +1232,7 @@ let suite =
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
     Alcotest.test_case "http: body + pipelining" `Quick test_parse_body_and_pipeline;
     Alcotest.test_case "http: malformed inputs" `Quick test_parse_errors;
+    Alcotest.test_case "http: weak If-None-Match" `Quick test_if_none_match_weak;
     Alcotest.test_case "http: size limits" `Quick test_parse_limits;
     Alcotest.test_case "http: serialization" `Quick test_serialize;
     QCheck_alcotest.to_alcotest prop_torn_reads;
@@ -1175,6 +1248,8 @@ let suite =
       test_e2e_concurrent_clients;
     Alcotest.test_case "e2e: conditional evaluate (ETag/304)" `Quick
       test_e2e_conditional;
+    Alcotest.test_case "registry: delete/recreate cache isolation" `Quick
+      test_registry_incarnation;
     Alcotest.test_case "e2e: batch evaluate matches one-shot" `Quick
       test_e2e_batch;
     Alcotest.test_case "e2e: per-connection request cap" `Quick

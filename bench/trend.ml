@@ -1,14 +1,15 @@
-(* Bench-trend gate: compare the "serve" section of two bench result
-   files (bench/main.exe writes them under bench/results/) and fail
-   when throughput regressed beyond a threshold.
+(* Bench-trend gate: compare one section of two bench result files
+   (bench/main.exe writes them under bench/results/) and fail when
+   throughput regressed beyond a threshold.
 
-     trend [--threshold FRAC] PREV.json NEXT.json
+     trend [--section NAME] [--threshold FRAC] PREV.json NEXT.json
 
-   Exit 0 when every case that exists in both files is within the
-   threshold (new and dropped cases are reported but never fatal),
-   exit 1 on a regression, exit 2 on unusable inputs. CI runs this
-   against the previous run's latest.json with the default 20%
-   threshold. *)
+   --section picks which JSON section to compare: "serve" (the
+   default; per-case requests_per_second) or "wal" (per-case
+   creates_per_second). Exit 0 when every case that exists in both
+   files is within the threshold (new and dropped cases are reported
+   but never fatal), exit 1 on a regression, exit 2 on unusable
+   inputs. CI runs this against the previous run's latest.json. *)
 
 let read_json path =
   match
@@ -25,26 +26,27 @@ let read_json path =
       Printf.eprintf "trend: %s\n" m;
       exit 2
 
-(* (case label, requests/s) pairs of the "serve" section *)
-let serve_cases path json =
-  match Jsonlight.member "serve" json with
+(* (case label, throughput) pairs of the chosen section *)
+let section_cases ~section ~value_key path json =
+  match Jsonlight.member section json with
   | Some (Jsonlight.List cases) ->
       List.filter_map
         (fun case ->
           match
             ( Option.bind (Jsonlight.member "case" case) Jsonlight.string_opt,
-              Jsonlight.member "requests_per_second" case )
+              Jsonlight.member value_key case )
           with
           | Some name, Some (Jsonlight.Float rps) -> Some (name, rps)
           | Some name, Some (Jsonlight.Int rps) -> Some (name, float_of_int rps)
           | _ -> None)
         cases
   | Some _ | None ->
-      Printf.eprintf "trend: %s has no \"serve\" section\n" path;
+      Printf.eprintf "trend: %s has no %S section\n" path section;
       exit 2
 
 let () =
   let threshold = ref 0.20 in
+  let section = ref "serve" in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -55,52 +57,67 @@ let () =
             prerr_endline "trend: --threshold expects a positive fraction";
             exit 2);
         parse rest
+    | "--section" :: v :: rest ->
+        (match v with
+        | "serve" | "wal" -> section := v
+        | _ ->
+            prerr_endline "trend: --section expects serve or wal";
+            exit 2);
+        parse rest
     | f :: rest ->
         files := f :: !files;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let value_key, unit_ =
+    match !section with
+    | "wal" -> ("creates_per_second", "creates/s")
+    | _ -> ("requests_per_second", "req/s")
+  in
   match List.rev !files with
   | [ prev_path; next_path ] ->
-      let prev = serve_cases prev_path (read_json prev_path) in
-      let next = serve_cases next_path (read_json next_path) in
+      let cases path json = section_cases ~section:!section ~value_key path json in
+      let prev = cases prev_path (read_json prev_path) in
+      let next = cases next_path (read_json next_path) in
       let regressions = ref 0 in
       List.iter
         (fun (name, old_rps) ->
           match List.assoc_opt name next with
           | None ->
-              Printf.printf "~ %-36s dropped (was %.0f req/s)\n" name old_rps
+              Printf.printf "~ %-36s dropped (was %.0f %s)\n" name old_rps unit_
           | Some new_rps when old_rps <= 0.0 ->
-              (* the relative change against a 0 req/s baseline is
+              (* the relative change against a 0 throughput baseline is
                  nan/inf, which no threshold comparison can flag — a
                  dead case stays dead only if we say so explicitly *)
               let regressed = new_rps <= 0.0 in
               if regressed then incr regressions;
-              Printf.printf "%c %-36s %8.0f -> %8.0f req/s (baseline unusable)%s\n"
+              Printf.printf "%c %-36s %8.0f -> %8.0f %s (baseline unusable)%s\n"
                 (if regressed then '!' else '?')
-                name old_rps new_rps
-                (if regressed then "  REGRESSION (still 0 req/s)"
+                name old_rps new_rps unit_
+                (if regressed then
+                   Printf.sprintf "  REGRESSION (still 0 %s)" unit_
                  else "  not compared")
           | Some new_rps ->
               let change = (new_rps -. old_rps) /. old_rps in
               let regressed = change < -. !threshold in
               if regressed then incr regressions;
-              Printf.printf "%c %-36s %8.0f -> %8.0f req/s (%+.1f%%)%s\n"
+              Printf.printf "%c %-36s %8.0f -> %8.0f %s (%+.1f%%)%s\n"
                 (if regressed then '!' else '.')
-                name old_rps new_rps (100.0 *. change)
+                name old_rps new_rps unit_ (100.0 *. change)
                 (if regressed then "  REGRESSION" else ""))
         prev;
       List.iter
         (fun (name, rps) ->
           if not (List.mem_assoc name prev) then
-            Printf.printf "+ %-36s new case at %.0f req/s\n" name rps)
+            Printf.printf "+ %-36s new case at %.0f %s\n" name rps unit_)
         next;
       if !regressions > 0 then begin
-        Printf.eprintf "trend: %d serve case(s) regressed more than %.0f%%\n"
-          !regressions
+        Printf.eprintf "trend: %d %s case(s) regressed more than %.0f%%\n"
+          !regressions !section
           (100.0 *. !threshold);
         exit 1
       end
   | _ ->
-      prerr_endline "usage: trend [--threshold FRAC] PREV.json NEXT.json";
+      prerr_endline
+        "usage: trend [--section serve|wal] [--threshold FRAC] PREV.json NEXT.json";
       exit 2

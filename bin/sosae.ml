@@ -782,31 +782,43 @@ let save_demo_cmd =
 
 let serve_cmd =
   let run port host unix_path jobs workers queue timeout idle_timeout
-      max_requests data_dir fsync =
+      max_requests data_dir fsync group_window compact_threshold =
     match Store.Journal.fsync_policy_of_string fsync with
     | Error message ->
         Printf.eprintf "sosae serve: %s\n" message;
         1
     | Ok fsync ->
-        Server.Daemon.run
-          ~config:
-            {
-              Server.Daemon.default_config with
-              Server.Daemon.port;
-              host;
-              unix_path;
-              jobs = (if jobs <= 0 then None else Some jobs);
-              workers;
-              queue_capacity = queue;
-              read_timeout = timeout;
-              write_timeout = timeout;
-              idle_timeout;
-              max_requests;
-              data_dir;
-              fsync;
-            }
-          ();
-        0
+        if group_window < 0.0 then begin
+          Printf.eprintf "sosae serve: --group-commit-window must be >= 0\n";
+          1
+        end
+        else if compact_threshold <= 0 then begin
+          Printf.eprintf "sosae serve: --compact-threshold must be positive\n";
+          1
+        end
+        else begin
+          Server.Daemon.run
+            ~config:
+              {
+                Server.Daemon.default_config with
+                Server.Daemon.port;
+                host;
+                unix_path;
+                jobs = (if jobs <= 0 then None else Some jobs);
+                workers;
+                queue_capacity = queue;
+                read_timeout = timeout;
+                write_timeout = timeout;
+                idle_timeout;
+                max_requests;
+                data_dir;
+                fsync;
+                group_window = group_window /. 1000.0;
+                compact_threshold;
+              }
+            ();
+          0
+        end
   in
   let port =
     Arg.(
@@ -886,10 +898,37 @@ let serve_cmd =
              $(b,never) leaves it to the kernel (still survives a process \
              crash).")
   in
+  let group_window =
+    Arg.(
+      value & opt float 0.0
+      & info
+          [ "group-commit-window" ]
+          ~docv:"MS"
+          ~doc:
+            "Group-commit accumulation window in milliseconds (needs \
+             $(b,--data-dir), matters with $(b,--fsync always)): how long the \
+             batch leader waits for more concurrent writers before the shared \
+             fsync. $(b,0) (the default) still batches writers that arrive \
+             while an fsync is in flight — it just never delays an \
+             uncontended one.")
+  in
+  let compact_threshold =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info
+          [ "compact-threshold" ]
+          ~docv:"BYTES"
+          ~doc:
+            "Journal size past which the maintenance thread snapshots the \
+             state and rotates the journal, off the request path (needs \
+             $(b,--data-dir)).")
+  in
   let term =
     Term.(
       const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout
-      $ idle_timeout $ max_requests $ data_dir $ fsync)
+      $ idle_timeout $ max_requests $ data_dir $ fsync $ group_window
+      $ compact_threshold)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -7,22 +7,47 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(* Escaping copies clean spans with [Buffer.add_substring] instead of
+   walking char by char: journal payloads embed whole XML documents as
+   JSON strings, where only the occasional quote, backslash or newline
+   interrupts a run. The table maps each byte to '\000' (clean) or the
+   letter of its two-character escape ('u' for the \u00xx forms). *)
+let esc_table =
+  String.init 256 (fun i ->
+      match Char.chr i with
+      | '"' -> '"'
+      | '\\' -> '\\'
+      | '\n' -> 'n'
+      | '\r' -> 'r'
+      | '\t' -> 't'
+      | '\b' -> 'b'
+      | '\012' -> 'f'
+      | c when Char.code c < 0x20 -> 'u'
+      | _ -> '\000')
+
 let escape_to buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\b' -> Buffer.add_string buf "\\b"
-      | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let esc =
+      String.unsafe_get esc_table (Char.code (String.unsafe_get s !i))
+    in
+    if esc <> '\000' then begin
+      if !i > !start then Buffer.add_substring buf s !start (!i - !start);
+      if esc = 'u' then
+        Buffer.add_string buf
+          (Printf.sprintf "\\u%04x" (Char.code (String.unsafe_get s !i)))
+      else begin
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf esc
+      end;
+      start := !i + 1
+    end;
+    incr i
+  done;
+  if n > !start then Buffer.add_substring buf s !start (n - !start);
   Buffer.add_char buf '"'
 
 let rec to_buffer buf = function

@@ -247,17 +247,24 @@ let parse_policy json =
       reply_error 400 ~category:"bad_request"
         (Printf.sprintf "unknown policy %S (expected \"routed\" or \"direct\")" p)
 
+(* Alongside the project, the XML strings it was parsed from (when the
+   request carried them inline) — handed to [Registry.add ~source] so
+   the journal payload is those exact bytes, not a re-serialization. *)
 let load_create_project json =
   match Jsonlight.member "paths" json with
   | Some paths ->
       let path field = required_string paths field in
-      Core.Sosae.load_project_result ~scenarios:(path "scenarios")
-        ~architecture:(path "architecture") ~mapping:(path "mapping")
+      Result.map
+        (fun project -> (project, None))
+        (Core.Sosae.load_project_result ~scenarios:(path "scenarios")
+           ~architecture:(path "architecture") ~mapping:(path "mapping"))
   | None ->
-      Core.Sosae.project_of_strings
-        ~scenarios:(required_string json "scenarios")
-        ~architecture:(required_string json "architecture")
-        ~mapping:(required_string json "mapping")
+      let scenarios = required_string json "scenarios" in
+      let architecture = required_string json "architecture" in
+      let mapping = required_string json "mapping" in
+      Result.map
+        (fun project -> (project, Some (scenarios, architecture, mapping)))
+        (Core.Sosae.project_of_strings ~scenarios ~architecture ~mapping)
 
 let create_session ctx (request : Http.request) _params =
   let json = parse_body request in
@@ -267,9 +274,9 @@ let create_session ctx (request : Http.request) _params =
   | Error e ->
       error_response 400 ~category:(load_error_category e)
         (Core.Sosae.load_error_to_string e)
-  | Ok project -> (
+  | Ok (project, source) -> (
       let config = Walkthrough.Engine.config ~policy () in
-      match Registry.add ctx.registry ~id ~config project with
+      match Registry.add ctx.registry ~id ~config ?source project with
       | Error `Conflict ->
           error_response 409 ~category:"conflict"
             (Printf.sprintf "session %S already exists" id)

@@ -17,6 +17,8 @@ type config = {
   max_body : int;
   data_dir : string option;
   fsync : Store.Journal.fsync_policy;
+  group_window : float;
+  compact_threshold : int;
 }
 
 let default_config =
@@ -35,6 +37,8 @@ let default_config =
     max_body = 4 * 1024 * 1024;
     data_dir = None;
     fsync = Store.Journal.Always;
+    group_window = 0.0;
+    compact_threshold = 8 * 1024 * 1024;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -196,6 +200,8 @@ type t = {
   unix_listener : Unix.file_descr option;
   queue : queue;
   threads : Thread.t list;
+  maintenance : Thread.t option;
+  maintenance_stop : bool Atomic.t;
   stop_lock : Mutex.t;
   mutable stopped : bool;
 }
@@ -258,12 +264,35 @@ let worker_loop t =
   in
   loop ()
 
+(* Off-the-request-path compaction: poll the journal size and rotate
+   it when past the threshold, while mutations keep flowing (the
+   snapshot/rotation protocol in {!Store.Wal.compact_background} makes
+   the overlap safe). The poll is cheap — an int comparison — so a
+   short period keeps the journal close to its bound. *)
+let maintenance_loop t =
+  while not (Atomic.get t.maintenance_stop) do
+    (match Registry.maintenance_compact t.api_ctx.Api.registry with
+    | true -> Log.info (fun m -> m "background compaction complete")
+    | false -> ()
+    | exception e ->
+        Log.err (fun m ->
+            m "background compaction failed: %s" (Printexc.to_string e)));
+    if not (Atomic.get t.maintenance_stop) then Unix.sleepf 0.05
+  done
+
 let start ?(config = default_config) () =
   (* writes to peers that hung up must fail with EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let persist =
     Option.map
-      (fun dir -> Persist.open_ ~fsync:config.fsync dir)
+      (fun dir ->
+        Persist.open_ ~fsync:config.fsync
+          ~group:
+            {
+              Store.Journal.Group.window = config.group_window;
+              max_batch = Store.Journal.Group.default.Store.Journal.Group.max_batch;
+            }
+          ~compact_bytes:config.compact_threshold dir)
       config.data_dir
   in
   let api_ctx = Api.make_ctx ?jobs:config.jobs ?persist:(Option.map fst persist) () in
@@ -309,9 +338,18 @@ let start ?(config = default_config) () =
       unix_listener;
       queue;
       threads = [];
+      maintenance = None;
+      maintenance_stop = Atomic.make false;
       stop_lock = Mutex.create ();
       stopped = false;
     }
+  in
+  let maintenance =
+    match persist with
+    | Some _ ->
+        Registry.set_background_compaction api_ctx.Api.registry true;
+        Some (Thread.create (fun () -> maintenance_loop t) ())
+    | None -> None
   in
   let acceptors =
     Thread.create (fun () -> accept_loop t tcp_listener) ()
@@ -324,7 +362,7 @@ let start ?(config = default_config) () =
     List.init (max 1 config.workers) (fun _ ->
         Thread.create (fun () -> worker_loop t) ())
   in
-  let t = { t with threads = acceptors @ workers } in
+  let t = { t with threads = acceptors @ workers; maintenance } in
   Log.info (fun m ->
       m "listening on %s:%d (%d workers, queue %d)" config.host tcp_port
         config.workers config.queue_capacity);
@@ -354,6 +392,10 @@ let stop t =
     Option.iter kill_listener t.unix_listener;
     queue_close t.queue;
     List.iter Thread.join t.threads;
+    (* the maintenance thread must be gone before the drain
+       checkpoint: both write the snapshot temp file *)
+    Atomic.set t.maintenance_stop true;
+    Option.iter Thread.join t.maintenance;
     (* workers are drained, so the state is quiescent: checkpoint it
        into a snapshot and close the journal cleanly *)
     (match Registry.persist t.api_ctx.Api.registry with

@@ -53,6 +53,16 @@ type config = {
   fsync : Store.Journal.fsync_policy;
       (** when journal appends reach the disk (only meaningful with
           [data_dir]); default {!Store.Journal.Always} *)
+  group_window : float;
+      (** group-commit accumulation window in seconds (the CLI flag is
+          in milliseconds): how long a batch leader waits for more
+          writers before the shared fsync. [0.0] (the default) still
+          batches — writers arriving during an in-flight fsync share
+          the next one — it just never delays an uncontended writer.
+          Only meaningful with [data_dir] and [fsync = Always]. *)
+  compact_threshold : int;
+      (** journal bytes past which the maintenance thread snapshots
+          and rotates it (off the request path); default 8 MiB *)
 }
 
 val default_config : config

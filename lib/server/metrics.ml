@@ -29,6 +29,10 @@ type t = {
   mutable journal_bytes : int;
   mutable journal_fsyncs : int;
   mutable journal_compactions : int;
+  (* group-commit batching counters; rendered only once a batch has
+     actually completed, so an enabled-but-idle group keeps /metrics
+     byte-identical *)
+  mutable group : Store.Journal.Group.stats option;
   mutable recovery : recovery option;
 }
 
@@ -47,6 +51,7 @@ let create () =
     journal_bytes = 0;
     journal_fsyncs = 0;
     journal_compactions = 0;
+    group = None;
     recovery = None;
   }
 
@@ -86,6 +91,8 @@ let set_journal t ~records ~bytes ~fsyncs ~compactions =
       t.journal_fsyncs <- fsyncs;
       t.journal_compactions <- compactions)
 
+let set_group_commit t stats = with_lock t (fun () -> t.group <- Some stats)
+
 let set_recovery t recovery =
   with_lock t (fun () ->
       t.journal_enabled <- true;
@@ -120,6 +127,40 @@ let to_json t ~extra =
                Jsonlight.Obj [ ("le", le); ("count", Jsonlight.Int !cumulative) ])
              t.buckets)
       in
+      let group_commit =
+        match t.group with
+        | Some g when g.Store.Journal.Group.batches > 0 ->
+            let cumulative = ref 0 in
+            let bounds = Store.Journal.Group.hist_bounds in
+            let batch_buckets =
+              Array.to_list
+                (Array.mapi
+                   (fun i count ->
+                     cumulative := !cumulative + count;
+                     let le =
+                       if i < Array.length bounds then Jsonlight.Int bounds.(i)
+                       else Jsonlight.String "+inf"
+                     in
+                     Jsonlight.Obj
+                       [ ("le", le); ("count", Jsonlight.Int !cumulative) ])
+                   g.Store.Journal.Group.hist)
+            in
+            [
+              ( "group_commit",
+                Jsonlight.Obj
+                  [
+                    ("batches", Jsonlight.Int g.Store.Journal.Group.batches);
+                    ( "batched_appends",
+                      Jsonlight.Int g.Store.Journal.Group.batched_appends );
+                    ( "fsyncs_saved",
+                      Jsonlight.Int g.Store.Journal.Group.fsyncs_saved );
+                    ( "largest_batch",
+                      Jsonlight.Int g.Store.Journal.Group.largest_batch );
+                    ("batch_size", Jsonlight.List batch_buckets);
+                  ] );
+            ]
+        | Some _ | None -> []
+      in
       let journal =
         if not t.journal_enabled then []
         else
@@ -132,6 +173,7 @@ let to_json t ~extra =
                    ("fsyncs", Jsonlight.Int t.journal_fsyncs);
                    ("compactions", Jsonlight.Int t.journal_compactions);
                  ]
+                @ group_commit
                 @
                 match t.recovery with
                 | None -> []

@@ -37,6 +37,12 @@ val set_journal :
 (** Overwrite the journal counters with the given lifetime totals (the
     persistence layer reports absolute values after each operation). *)
 
+val set_group_commit : t -> Store.Journal.Group.stats -> unit
+(** Overwrite the group-commit batching counters. Rendered under
+    [journal.group_commit] — but only once at least one batch has
+    completed, so enabling group commit on an idle server leaves
+    [/metrics] byte-identical. *)
+
 type recovery = {
   sessions : int;  (** sessions alive after boot-time replay *)
   entries : int;  (** snapshot + journal records replayed *)

@@ -3,10 +3,15 @@
 
     Every state change the API acknowledges — session creation (with
     the full project payload), an applied diff, a removal — is encoded
-    as one JSON payload and appended to the write-ahead journal before
-    the 2xx response is sent; {!Store.Journal.fsync_policy} decides
-    what "durable" means. On boot, {!open_} replays snapshot + journal
-    into a mutation list the registry re-applies.
+    as one payload and appended to the write-ahead journal before the
+    2xx response is sent; {!Store.Journal.fsync_policy} decides what
+    "durable" means. Creates carry their three XML artifacts verbatim
+    behind a small length-prefixed header (escaping whole documents
+    into JSON strings was the dominant CPU cost of a journaled
+    create); every other mutation is one JSON object, and journals
+    written with JSON-encoded creates still replay. On boot, {!open_}
+    replays snapshot + journal into a mutation list the registry
+    re-applies.
 
     Thread-safety: {!log}, {!compact} and {!flush} take an internal
     lock, but callers must additionally serialize mutations against
@@ -49,10 +54,16 @@ type recovery = {
 type t
 
 val open_ :
-  ?fsync:Store.Journal.fsync_policy -> ?compact_bytes:int -> string -> t * recovery
+  ?fsync:Store.Journal.fsync_policy ->
+  ?group:Store.Journal.Group.config ->
+  ?compact_bytes:int ->
+  string ->
+  t * recovery
 (** [open_ dir] recovers from [dir] (creating it if needed).
-    [compact_bytes] (default 8 MiB) is the journal size past which
-    {!should_compact} asks for a snapshot. *)
+    [?group] enables group commit: concurrent [Always] writers share
+    fsyncs (see {!Store.Journal.enable_group}). [compact_bytes]
+    (default 8 MiB) is the journal size past which {!should_compact}
+    asks for a snapshot. *)
 
 val set_metrics : t -> Metrics.t -> unit
 (** Mirror journal counters into the given metrics after every
@@ -60,7 +71,18 @@ val set_metrics : t -> Metrics.t -> unit
 
 val log : t -> mutation -> unit
 (** Append one mutation; on return it is durable per the fsync
-    policy. *)
+    policy. Equivalent to {!stage} followed by {!await}. *)
+
+val stage : t -> mutation -> int64
+(** Write one mutation to the journal without waiting for durability;
+    returns its sequence number. The caller must hold whatever lock
+    makes journal order equal apply order while staging — but should
+    release it before {!await}, so concurrent writers batch into one
+    fsync instead of queuing behind each other's. *)
+
+val await : t -> int64 -> unit
+(** Block until the staged mutation is durable per the fsync policy
+    (a no-op except under group commit with [Always]). *)
 
 val should_compact : t -> bool
 
@@ -69,12 +91,25 @@ val compact : t -> state:mutation list -> unit
     empty the journal. The caller guarantees [state] reflects every
     mutation logged so far (it holds the registry mutation lock). *)
 
+val compact_background : t -> state:(unit -> mutation list) -> unit
+(** Compaction that runs while mutations keep flowing: the journal
+    mirrors everything staged after the covered point and is
+    atomically replaced with just that tail once the snapshot is
+    durable (see {!Store.Wal.compact_background}). [state] is called
+    after the covered point is captured and must reflect at least
+    every mutation applied up to it — the registry guarantees this
+    because it applies before staging, under its mutation lock. *)
+
 val flush : t -> unit
 
 val fsync_policy : t -> Store.Journal.fsync_policy
 
 val stats : t -> Store.Wal.counters
 (** Lifetime journal counters (appends, bytes, fsyncs, compactions). *)
+
+val group_stats : t -> Store.Journal.Group.stats option
+(** Group-commit batching counters; [None] unless [?group] was passed
+    to {!open_}. *)
 
 val dir : t -> string
 

@@ -26,6 +26,10 @@ type t = {
      not). *)
   etag_boot : string;
   mutable etag_token : int;
+  (* [true] when a daemon maintenance thread owns compaction: the
+     mutation path then never compacts inline (set once before serving
+     starts, so a plain bool is enough) *)
+  mutable background_compaction : bool;
 }
 
 let create ?jobs ?persist () =
@@ -44,7 +48,10 @@ let create ?jobs ?persist () =
         (Random.State.bits rng land 0xFFFFFFF)
         (Random.State.bits rng land 0xFFFFFFF);
     etag_token = 0;
+    background_compaction = false;
   }
+
+let set_background_compaction t flag = t.background_compaction <- flag
 
 (* ------------------------------------------------------------------ *)
 (* Serialized-response cache                                          *)
@@ -137,9 +144,24 @@ let state_mutations t =
 
 let maybe_compact t =
   match t.persist with
-  | Some p when Persist.should_compact p ->
+  | Some p when (not t.background_compaction) && Persist.should_compact p ->
       Persist.compact p ~state:(state_mutations t)
   | Some _ | None -> ()
+
+(* The maintenance thread's compaction: runs with NO registry lock
+   held, so mutations keep flowing while the snapshot is written. The
+   rotation protocol captures the covered sequence number first;
+   because every mutation is applied (under [mu]) before it is staged,
+   [state_mutations] — called after the capture — reflects at least
+   every covered mutation. A mutation whose effect the snapshot
+   already contains but whose record lands in the mirrored tail merely
+   double-applies on recovery, which the skip semantics absorb. *)
+let maintenance_compact t =
+  match t.persist with
+  | Some p when Persist.should_compact p ->
+      Persist.compact_background p ~state:(fun () -> state_mutations t);
+      true
+  | Some _ | None -> false
 
 let checkpoint t =
   match t.persist with
@@ -151,95 +173,141 @@ let checkpoint t =
 (* Mutations (journaled before they are acknowledged)                 *)
 (* ------------------------------------------------------------------ *)
 
-let add t ~id ?config project =
-  Mutex.protect t.mu (fun () ->
-      let inserted =
-        Mutex.protect t.lock (fun () ->
-            if Hashtbl.mem t.sessions id then Error `Conflict
-            else begin
-              Hashtbl.replace t.sessions id
-                (Core.Sosae.Session.create ?config project);
-              Ok ()
-            end)
-      in
-      (match inserted with Ok () -> drop_cached t id | Error _ -> ());
-      match (inserted, t.persist) with
-      | Ok (), Some p ->
-          let session =
-            Mutex.protect t.lock (fun () -> Hashtbl.find t.sessions id)
-          in
-          (match Persist.log p (create_mutation ~id session) with
-          | () -> ()
-          | exception e ->
-              (* un-journaled means un-acknowledged: roll the insert
-                 back so memory never outlives what recovery rebuilds *)
-              Mutex.protect t.lock (fun () -> Hashtbl.remove t.sessions id);
-              raise e);
-          maybe_compact t;
-          Ok ()
-      | result, _ -> result)
+(* The shape shared by every mutation: apply in memory and *stage* the
+   journal record while holding [mu] (journal order = apply order),
+   but wait for the record's durability with [mu] released — so under
+   group commit concurrent mutators batch into one shared fsync
+   instead of queuing behind eight sequential ones. The durability
+   wait happens before the caller returns, so the journal-before-
+   acknowledge contract is unchanged. *)
+let settle t pending =
+  match (pending, t.persist) with
+  | Some seq, Some p -> Persist.await p seq
+  | _, _ -> ()
+
+let add t ~id ?config ?source project =
+  let result, pending =
+    Mutex.protect t.mu (fun () ->
+        let inserted =
+          Mutex.protect t.lock (fun () ->
+              if Hashtbl.mem t.sessions id then Error `Conflict
+              else begin
+                Hashtbl.replace t.sessions id
+                  (Core.Sosae.Session.create ?config project);
+                Ok ()
+              end)
+        in
+        (match inserted with Ok () -> drop_cached t id | Error _ -> ());
+        match (inserted, t.persist) with
+        | Ok (), Some p ->
+            let session =
+              Mutex.protect t.lock (fun () -> Hashtbl.find t.sessions id)
+            in
+            (* [source] skips re-serializing the project the caller
+               just parsed from those very strings — the dominant cost
+               of a journaled create after the fsync is amortized *)
+            let mutation =
+              match source with
+              | Some (scenarios, architecture, mapping) ->
+                  Persist.Create
+                    {
+                      id;
+                      policy =
+                        (Core.Sosae.Session.config session)
+                          .Walkthrough.Engine.policy;
+                      scenarios;
+                      architecture;
+                      mapping;
+                    }
+              | None -> create_mutation ~id session
+            in
+            (match Persist.stage p mutation with
+            | seq ->
+                maybe_compact t;
+                (Ok (), Some seq)
+            | exception e ->
+                (* un-journaled means un-acknowledged: roll the insert
+                   back so memory never outlives what recovery rebuilds *)
+                Mutex.protect t.lock (fun () -> Hashtbl.remove t.sessions id);
+                raise e)
+        | result, _ -> (result, None))
+  in
+  settle t pending;
+  result
 
 let remove t id =
-  Mutex.protect t.mu (fun () ->
-      let removed =
-        Mutex.protect t.lock (fun () ->
-            match Hashtbl.find_opt t.sessions id with
-            | Some session ->
-                Hashtbl.remove t.sessions id;
-                Some session
-            | None -> None)
-      in
-      (match removed with Some _ -> drop_cached t id | None -> ());
-      match (removed, t.persist) with
-      | Some session, Some p ->
-          (match Persist.log p (Persist.Remove { id }) with
-          | () -> ()
-          | exception e ->
-              Mutex.protect t.lock (fun () ->
-                  Hashtbl.replace t.sessions id session);
-              raise e);
-          maybe_compact t;
-          true
-      | Some _, None -> true
-      | None, _ -> false)
+  let result, pending =
+    Mutex.protect t.mu (fun () ->
+        let removed =
+          Mutex.protect t.lock (fun () ->
+              match Hashtbl.find_opt t.sessions id with
+              | Some session ->
+                  Hashtbl.remove t.sessions id;
+                  Some session
+              | None -> None)
+        in
+        (match removed with Some _ -> drop_cached t id | None -> ());
+        match (removed, t.persist) with
+        | Some session, Some p ->
+            (match Persist.stage p (Persist.Remove { id }) with
+            | seq ->
+                maybe_compact t;
+                (true, Some seq)
+            | exception e ->
+                Mutex.protect t.lock (fun () ->
+                    Hashtbl.replace t.sessions id session);
+                raise e)
+        | Some _, None -> (true, None)
+        | None, _ -> (false, None))
+  in
+  settle t pending;
+  result
 
 let apply_diff t id ~ops =
-  Mutex.protect t.mu (fun () ->
-      let session =
-        Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.sessions id)
-      in
-      match session with
-      | None -> Error `Not_found
-      | Some session -> (
-          match
-            Core.Sosae.Session.exclusively session (fun () ->
-                let ops = ops session in
-                Core.Sosae.Session.apply_diff session ops;
-                ops)
-          with
-          | ops ->
-              (match t.persist with
-              | None -> ()
-              | Some p ->
-                  let mutation =
-                    match Persist.encode_ops ops with
-                    | Some _ -> Persist.Diff { id; ops }
-                    | None ->
-                        (* ops with no wire encoding (the Add_ ones):
-                           journal the whole post-diff architecture *)
-                        Persist.Set_architecture
-                          {
-                            id;
-                            architecture =
-                              Adl.Xml_io.to_string
-                                (Core.Sosae.Session.project session)
-                                  .Core.Sosae.architecture;
-                          }
-                  in
-                  Persist.log p mutation;
-                  maybe_compact t);
-              Ok ops
-          | exception Adl.Diff.Apply_error message -> Error (`Apply_error message)))
+  let result, pending =
+    Mutex.protect t.mu (fun () ->
+        let session =
+          Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.sessions id)
+        in
+        match session with
+        | None -> (Error `Not_found, None)
+        | Some session -> (
+            match
+              Core.Sosae.Session.exclusively session (fun () ->
+                  let ops = ops session in
+                  Core.Sosae.Session.apply_diff session ops;
+                  ops)
+            with
+            | ops ->
+                let pending =
+                  match t.persist with
+                  | None -> None
+                  | Some p ->
+                      let mutation =
+                        match Persist.encode_ops ops with
+                        | Some _ -> Persist.Diff { id; ops }
+                        | None ->
+                            (* ops with no wire encoding (the Add_ ones):
+                               journal the whole post-diff architecture *)
+                            Persist.Set_architecture
+                              {
+                                id;
+                                architecture =
+                                  Adl.Xml_io.to_string
+                                    (Core.Sosae.Session.project session)
+                                      .Core.Sosae.architecture;
+                              }
+                      in
+                      let seq = Persist.stage p mutation in
+                      maybe_compact t;
+                      Some seq
+                in
+                (Ok ops, pending)
+            | exception Adl.Diff.Apply_error message ->
+                (Error (`Apply_error message), None)))
+  in
+  settle t pending;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Boot-time recovery                                                 *)

@@ -10,8 +10,11 @@
     With a {!Persist.t}, every mutation — {!add}, {!apply_diff},
     {!remove} — is appended to the write-ahead journal before the call
     returns (and so before the API acknowledges it); a mutation lock
-    serializes mutations end to end so journal order equals apply
-    order. Evaluations and other reads never touch that lock. *)
+    serializes the apply-and-stage step so journal order equals apply
+    order, but the durability wait happens with that lock released —
+    under group commit, concurrent mutators share one fsync instead of
+    queuing behind each other's. Evaluations and other reads never
+    touch that lock. *)
 
 type t
 
@@ -30,13 +33,21 @@ val add :
   t ->
   id:string ->
   ?config:Walkthrough.Engine.config ->
+  ?source:string * string * string ->
   Core.Sosae.project ->
   (unit, [ `Conflict ]) result
 (** Create a session named [id] over the project. [`Conflict] when the
     name is taken. Durable on return (per the fsync policy) when the
     registry persists; if journaling fails, the in-memory insert is
     rolled back and the exception propagates (the API answers 500 —
-    never an acknowledged-but-lost session). *)
+    never an acknowledged-but-lost session).
+
+    [source] is the [(scenarios, architecture, mapping)] XML the
+    project was parsed from; when given, those exact strings are
+    journaled instead of re-serializing the project — callers that
+    received artifacts over the wire already hold them, and skipping
+    the three [to_string] passes roughly halves the CPU cost of a
+    journaled create. *)
 
 val remove : t -> string -> bool
 (** [true] when a session was removed (journaled first, like {!add}). *)
@@ -67,6 +78,19 @@ val checkpoint : t -> unit
     No-op without persistence. The daemon calls this during SIGTERM
     drain so restarts recover from a snapshot instead of a long
     journal. *)
+
+val set_background_compaction : t -> bool -> unit
+(** [true] hands compaction to a maintenance thread: the mutation path
+    stops compacting inline (it only checks the threshold) and the
+    daemon periodically calls {!maintenance_compact}. Set before
+    serving starts. *)
+
+val maintenance_compact : t -> bool
+(** If the journal is past its compaction threshold, snapshot and
+    rotate it {e without} stopping mutations (see
+    {!Persist.compact_background}); [true] when a compaction ran.
+    Only called from the daemon's maintenance thread — never
+    concurrently with {!checkpoint}. *)
 
 val ids : t -> string list
 (** Sorted. *)

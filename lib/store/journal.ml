@@ -25,11 +25,39 @@ let fsync_policy_of_string s =
                 interval:<seconds>)"
                s))
 
+(* Group-commit state: writers stage records under [lock] and park on
+   [cond] until a completed fsync covers their sequence number. At
+   most one fsync is in flight at a time ([fsync_in_flight]); the
+   writer that finds no fsync running becomes the leader, syncs once
+   for every record staged so far, and wakes the whole batch. *)
+type group = {
+  window : float;  (* extra accumulation delay before the leader syncs *)
+  max_batch : int;  (* a batch this large skips the window *)
+  mutable synced : int64;  (* highest seq covered by a completed fsync *)
+  mutable batches : int;
+  mutable batched : int;  (* appends released by group fsyncs *)
+  mutable saved : int;  (* fsyncs the batching avoided *)
+  mutable largest : int;
+  hist : int array;  (* batch-size histogram, see Group.hist_bounds *)
+}
+
 type t = {
-  fd : Unix.file_descr;
+  path : string;
+  mutable fd : Unix.file_descr;
   policy : fsync_policy;
+  (* [lock]/[cond] serialize every mutation of the journal (appends,
+     truncation, rotation) and carry the group-commit hand-off; a
+     leader releases [lock] for the fsync itself, flagged by
+     [fsync_in_flight] so truncation/rotation can wait it out. *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable fsync_in_flight : bool;
+  mutable failed : exn option;  (* a group fsync failed: poisoned *)
+  mutable group : group option;
+  mutable mirror : (int64 * string) list option;  (* rotation capture *)
   mutable seq : int64;  (* next to assign *)
   mutable dirty : bool;  (* bytes written since the last fsync *)
+  mutable file_bytes : int;  (* current on-disk size *)
   mutable last_fsync : float;
   mutable appends : int;
   mutable bytes : int;
@@ -66,6 +94,13 @@ let read_file fd =
   let got = go 0 in
   Bytes.sub_string b 0 got
 
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
 let open_ ?(fsync = Always) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
   match
@@ -80,10 +115,18 @@ let open_ ?(fsync = Always) path =
       List.fold_left (fun acc (seq, _) -> if seq > acc then seq else acc) 0L records
     in
     ( {
+        path;
         fd;
         policy = fsync;
+        lock = Mutex.create ();
+        cond = Condition.create ();
+        fsync_in_flight = false;
+        failed = None;
+        group = None;
+        mirror = None;
         seq = Int64.add last_seq 1L;
         dirty = truncated > 0;
+        file_bytes = valid_end;
         last_fsync = Unix.gettimeofday ();
         appends = 0;
         bytes = 0;
@@ -113,7 +156,9 @@ let maybe_fsync t =
   | Never -> ()
   | Interval s -> if Unix.gettimeofday () -. t.last_fsync >= s then do_fsync t
 
-let append t payload =
+(* lock held; writes the record but never fsyncs *)
+let append_locked t payload =
+  (match t.failed with Some e -> raise e | None -> ());
   let seq = t.seq in
   t.seq <- Int64.add seq 1L;
   let buf = Buffer.create (Record.header_size + String.length payload) in
@@ -123,31 +168,257 @@ let append t payload =
   t.dirty <- true;
   t.appends <- t.appends + 1;
   t.bytes <- t.bytes + Bytes.length b;
-  maybe_fsync t;
+  t.file_bytes <- t.file_bytes + Bytes.length b;
+  (match t.mirror with
+  | Some tail -> t.mirror <- Some ((seq, payload) :: tail)
+  | None -> ());
   seq
 
-let bump_seq t past = if past >= t.seq then t.seq <- Int64.add past 1L
+(* lock held; waits out an in-flight group fsync so the callback can
+   safely truncate or replace the fd *)
+let quiesce_locked t =
+  while t.fsync_in_flight do
+    Condition.wait t.cond t.lock
+  done
 
-let next_seq t = t.seq
+let locked t f = Mutex.protect t.lock (fun () -> f ())
+
+module Group = struct
+  type config = { window : float; max_batch : int }
+
+  let default = { window = 0.0; max_batch = 64 }
+
+  (* batch-size histogram upper bounds; the last bucket is +inf *)
+  let hist_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+  type stats = {
+    batches : int;
+    batched_appends : int;
+    fsyncs_saved : int;
+    largest_batch : int;
+    hist : int array;
+  }
+end
+
+let enable_group ?(config = Group.default) t =
+  locked t (fun () ->
+      match t.group with
+      | Some _ -> invalid_arg "Journal.enable_group: already enabled"
+      | None ->
+          t.group <-
+            Some
+              {
+                window = config.Group.window;
+                max_batch = max 1 config.Group.max_batch;
+                synced = Int64.pred t.seq;
+                batches = 0;
+                batched = 0;
+                saved = 0;
+                largest = 0;
+                hist = Array.make (Array.length Group.hist_bounds + 1) 0;
+              })
+
+let group_stats t =
+  locked t (fun () ->
+      Option.map
+        (fun g ->
+          {
+            Group.batches = g.batches;
+            batched_appends = g.batched;
+            fsyncs_saved = g.saved;
+            largest_batch = g.largest;
+            hist = Array.copy g.hist;
+          })
+        t.group)
+
+let stage t payload =
+  locked t (fun () ->
+      let seq = append_locked t payload in
+      (match (t.group, t.policy) with
+      | Some _, Always -> ()  (* durability is settled in [await] *)
+      | Some _, (Never | Interval _) | None, _ -> maybe_fsync t);
+      seq)
+
+let hist_index batch =
+  let n = Array.length Group.hist_bounds in
+  let rec go i =
+    if i >= n || batch <= Group.hist_bounds.(i) then i else go (i + 1)
+  in
+  go 0
+
+(* The group-commit protocol. Whoever arrives while no fsync is in
+   flight becomes the leader: it (optionally) sleeps [window] to let
+   more writers stage, snapshots the highest staged sequence number,
+   drops the lock, fsyncs once, and releases everyone it covered.
+   Writers that arrive while a sync is in flight park; when it
+   completes, one of the still-uncovered ones leads the next batch —
+   so under concurrency each fsync covers everything staged during the
+   previous one. *)
+let rec await_locked t g seq =
+  if g.synced >= seq then ()
+  else begin
+    (match t.failed with Some e -> raise e | None -> ());
+    if t.fsync_in_flight then begin
+      Condition.wait t.cond t.lock;
+      await_locked t g seq
+    end
+    else begin
+      t.fsync_in_flight <- true;
+      if
+        g.window > 0.0
+        && Int64.to_int (Int64.sub (Int64.pred t.seq) g.synced) < g.max_batch
+      then begin
+        (* accumulate: stagers only need [lock], not the fsync *)
+        Mutex.unlock t.lock;
+        Unix.sleepf g.window;
+        Mutex.lock t.lock
+      end;
+      let covers = Int64.pred t.seq in
+      Mutex.unlock t.lock;
+      let outcome = try Ok (Unix.fsync t.fd) with e -> Error e in
+      Mutex.lock t.lock;
+      t.fsync_in_flight <- false;
+      (match outcome with
+      | Ok () ->
+          t.fsyncs <- t.fsyncs + 1;
+          t.last_fsync <- Unix.gettimeofday ();
+          if Int64.pred t.seq = covers then t.dirty <- false;
+          (* [covers] can trail [synced] when a rotation or reset
+             slipped in between our snapshot and the fsync — never
+             move the high-water mark backwards *)
+          if covers > g.synced then begin
+            let batch = Int64.to_int (Int64.sub covers g.synced) in
+            g.batches <- g.batches + 1;
+            g.batched <- g.batched + batch;
+            g.saved <- g.saved + (batch - 1);
+            if batch > g.largest then g.largest <- batch;
+            g.hist.(hist_index batch) <- g.hist.(hist_index batch) + 1;
+            g.synced <- covers
+          end
+      | Error e -> t.failed <- Some e);
+      Condition.broadcast t.cond;
+      await_locked t g seq
+    end
+  end
+
+let await t seq =
+  match t.group with
+  | None -> ()
+  | Some g -> (
+      match t.policy with
+      | Never | Interval _ -> ()  (* ack never implied durability *)
+      | Always -> locked t (fun () -> await_locked t g seq))
+
+let append t payload =
+  let seq = stage t payload in
+  await t seq;
+  seq
+
+let append_group = append
+
+let bump_seq t past = locked t (fun () ->
+    if past >= t.seq then begin
+      t.seq <- Int64.add past 1L;
+      match t.group with
+      | Some g -> if past > g.synced then g.synced <- past
+      | None -> ()
+    end)
+
+let next_seq t = locked t (fun () -> t.seq)
+
+let file_bytes t = t.file_bytes
 
 let flush t =
-  if t.dirty then begin
-    do_fsync t;
-    true
-  end
-  else false
+  locked t (fun () ->
+      quiesce_locked t;
+      if t.dirty then begin
+        do_fsync t;
+        true
+      end
+      else false)
+
+(* everything staged so far is covered (by the snapshot the caller
+   just made durable, or because the file is simply gone): release
+   any parked writers *)
+let mark_synced_locked t =
+  match t.group with
+  | Some g ->
+      g.synced <- Int64.pred t.seq;
+      Condition.broadcast t.cond
+  | None -> ()
 
 let reset t =
-  Unix.ftruncate t.fd 0;
-  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-  do_fsync t
+  locked t (fun () ->
+      quiesce_locked t;
+      Unix.ftruncate t.fd 0;
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+      t.file_bytes <- 0;
+      do_fsync t;
+      mark_synced_locked t)
+
+(* ---------------- Rotation (background compaction) ----------------- *)
+
+let begin_rotation t =
+  locked t (fun () ->
+      if t.mirror <> None then invalid_arg "Journal.begin_rotation: in progress";
+      t.mirror <- Some [];
+      Int64.pred t.seq)
+
+let abort_rotation t = locked t (fun () -> t.mirror <- None)
+
+let commit_rotation t =
+  locked t (fun () ->
+      let tail =
+        match t.mirror with
+        | Some entries -> List.rev entries
+        | None -> invalid_arg "Journal.commit_rotation: no rotation in progress"
+      in
+      quiesce_locked t;
+      let tmp = t.path ^ ".tmp" in
+      let buf = Buffer.create 4096 in
+      List.iter (fun (seq, payload) -> Record.encode buf ~seq payload) tail;
+      let fd =
+        Unix.openfile tmp
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+          0o644
+      in
+      (try
+         let b = Buffer.to_bytes buf in
+         write_all fd b 0 (Bytes.length b);
+         Unix.fsync fd;
+         Unix.close fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (try Sys.remove tmp with Sys_error _ -> ());
+         t.mirror <- None;
+         raise e);
+      (* the tail records are durable in [tmp]; now it may take the
+         journal's place. A crash before the rename leaves the old
+         journal (whose covered prefix recovery skips by sequence
+         number); after it, exactly the tail. *)
+      Unix.rename tmp t.path;
+      fsync_dir (Filename.dirname t.path);
+      let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 in
+      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      t.fd <- fd;
+      t.file_bytes <- Buffer.length buf;
+      t.dirty <- false;
+      t.last_fsync <- Unix.gettimeofday ();
+      t.mirror <- None;
+      (* staged ≤ covers is durable via the caller's snapshot, the
+         mirrored tail via the fsynced replacement file: release
+         everyone *)
+      mark_synced_locked t)
 
 let stats (t : t) : counters =
   { appends = t.appends; bytes = t.bytes; fsyncs = t.fsyncs }
 
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    if t.dirty then (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
-  end
+  locked t (fun () ->
+      if not t.closed then begin
+        quiesce_locked t;
+        t.closed <- true;
+        if t.dirty then (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+        try Unix.close t.fd with Unix.Unix_error _ -> ()
+      end)

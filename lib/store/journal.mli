@@ -1,10 +1,14 @@
 (** An append-only file of {!Record}-framed entries — the write-ahead
-    journal. Not thread-safe: callers serialize access (the server
-    funnels every append through one mutation lock).
+    journal. Thread-safe: appends from concurrent writers serialize on
+    an internal lock, and with {!enable_group} concurrent [Always]
+    writers share fsyncs through a group-commit barrier.
 
     Durability is governed by the {!fsync_policy}:
-    - [Always] — fsync after every append; an acknowledged append
-      survives power loss.
+    - [Always] — fsync before the append is acknowledged; an
+      acknowledged append survives power loss. With group commit the
+      fsync may be performed by another writer (the batch leader), but
+      {!await} never returns before a completed fsync covers the
+      record.
     - [Interval s] — appends are written immediately but fsynced at
       most once per [s] seconds (plus on {!flush}/{!close}); a crash
       can lose up to the last interval of acknowledged appends.
@@ -43,7 +47,62 @@ type counters = { appends : int; bytes : int; fsyncs : int }
 
 val append : t -> string -> int64
 (** Append one record and return its sequence number. On return the
-    record is durable per the policy (see above). *)
+    record is durable per the policy (see above); equivalent to
+    {!stage} followed by {!await}. *)
+
+val stage : t -> string -> int64
+(** Write one record to the file (through the kernel, not necessarily
+    to the platter) and return its sequence number. Under group commit
+    with policy [Always] this performs no fsync — call {!await} before
+    acknowledging; under every other configuration it behaves exactly
+    like {!append}. *)
+
+val await : t -> int64 -> unit
+(** Block until a completed fsync covers the given sequence number.
+    The calling writer may be elected batch leader and perform the
+    fsync itself, covering everything staged so far. No-op unless
+    group commit is enabled with policy [Always] (other policies never
+    promised immediate durability). Raises the original fsync
+    exception, in every waiting writer, if the shared fsync failed —
+    the journal is then poisoned and refuses further appends. *)
+
+(** Group-commit configuration and statistics. *)
+module Group : sig
+  type config = {
+    window : float;
+        (** extra seconds the batch leader waits (lock released)
+            before fsyncing, letting more writers stage into the
+            batch. [0.0] still batches: writers arriving during an
+            in-flight fsync are covered by the next one. *)
+    max_batch : int;
+        (** a pending batch at least this large skips the window *)
+  }
+
+  val default : config
+  (** [{ window = 0.0; max_batch = 64 }] *)
+
+  type stats = {
+    batches : int;  (** group fsyncs that covered at least one record *)
+    batched_appends : int;  (** records released by those fsyncs *)
+    fsyncs_saved : int;  (** [batched_appends - batches] *)
+    largest_batch : int;
+    hist : int array;
+        (** batch-size histogram; bucket [i] counts batches of size
+            ≤ {!hist_bounds}[.(i)], the final bucket is unbounded *)
+  }
+
+  val hist_bounds : int array
+end
+
+val enable_group : ?config:Group.config -> t -> unit
+(** Turn on the group-commit barrier. Call once, before concurrent
+    writers start. *)
+
+val group_stats : t -> Group.stats option
+(** [None] unless {!enable_group} was called. *)
+
+val append_group : t -> string -> int64
+(** Alias for {!append} — under group commit the stage/await pair. *)
 
 val bump_seq : t -> int64 -> unit
 (** Ensure the next assigned sequence number exceeds the given one —
@@ -52,13 +111,37 @@ val bump_seq : t -> int64 -> unit
 
 val next_seq : t -> int64
 
+val file_bytes : t -> int
+(** Current size of the journal file in bytes. *)
+
 val flush : t -> bool
 (** Fsync now if anything was written since the last one; [true] when
-    an fsync actually happened. *)
+    an fsync actually happened. Waits out an in-flight group fsync. *)
 
 val reset : t -> unit
 (** Truncate to empty (and fsync the truncation). Sequence numbers
-    keep counting — they must stay monotonic across compactions. *)
+    keep counting — they must stay monotonic across compactions. Any
+    writer parked on {!await} is released: the caller only resets
+    after making a snapshot covering every staged record durable. *)
+
+val begin_rotation : t -> int64
+(** Start journal rotation for background compaction: returns the
+    highest staged sequence number (what the caller's snapshot must
+    cover) and begins mirroring every subsequent append in memory.
+    Appends keep flowing while the caller writes its snapshot. *)
+
+val commit_rotation : t -> unit
+(** Atomically replace the journal file with just the records staged
+    since {!begin_rotation} (tmp → fsync → rename → dir fsync), then
+    swap file descriptors. Must only be called after the snapshot
+    covering {!begin_rotation}'s sequence number is durable. A crash
+    before the rename leaves the old journal, whose covered prefix
+    recovery skips by sequence number; after it, exactly the tail.
+    Releases writers parked on {!await} (their records are durable in
+    either the snapshot or the fsynced replacement file). *)
+
+val abort_rotation : t -> unit
+(** Drop the mirror without touching the file (snapshot failed). *)
 
 val stats : t -> counters
 

@@ -1,7 +1,6 @@
 type t = {
   dir : string;
   journal : Journal.t;
-  mutable journal_size : int;
   mutable compactions : int;
 }
 
@@ -59,22 +58,20 @@ let read_snapshot dir =
     | (meta_seq, _meta) :: rest, _, _ -> (meta_seq, List.map snd rest)
     | [], _, _ -> (0L, [])
 
-let open_ ?fsync dir =
+let open_ ?fsync ?group dir =
   mkdir_p dir;
   let snapshot_seq, state = read_snapshot dir in
   let journal, (jr : Journal.recovery) = Journal.open_ ?fsync (journal_file dir) in
   Journal.bump_seq journal snapshot_seq;
+  (match group with
+  | Some config -> Journal.enable_group ~config journal
+  | None -> ());
   let entries =
     List.filter_map
       (fun (seq, payload) -> if seq > snapshot_seq then Some payload else None)
       jr.Journal.records
   in
-  let size =
-    List.fold_left
-      (fun acc (_, p) -> acc + Record.header_size + String.length p)
-      0 jr.Journal.records
-  in
-  ( { dir; journal; journal_size = size; compactions = 0 },
+  ( { dir; journal; compactions = 0 },
     {
       state;
       entries;
@@ -83,16 +80,16 @@ let open_ ?fsync dir =
       corrupt_tail = jr.Journal.corrupt;
     } )
 
+let append t payload = Journal.append t.journal payload
+let stage t payload = Journal.stage t.journal payload
+let await t seq = Journal.await t.journal seq
 
-let append t payload =
-  let seq = Journal.append t.journal payload in
-  t.journal_size <- t.journal_size + Record.header_size + String.length payload;
-  seq
+let journal_bytes t = Journal.file_bytes t.journal
 
-let journal_bytes t = t.journal_size
-
-let compact t ~state =
-  let covers = Int64.pred (Journal.next_seq t.journal) in
+(* snapshot write shared by inline and background compaction: durable
+   (tmp → fsync → rename → dir fsync) before the caller is allowed to
+   drop the journal entries it covers *)
+let write_snapshot t ~covers state =
   let buf = Buffer.create 4096 in
   Record.encode buf ~seq:covers "";
   List.iter (fun payload -> Record.encode buf ~seq:covers payload) state;
@@ -114,13 +111,30 @@ let compact t ~state =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  (* the snapshot is durable; now it may replace the old one, and only
-     then may the journal entries it covers be dropped *)
   Unix.rename tmp (snapshot_file t.dir);
-  fsync_dir t.dir;
+  fsync_dir t.dir
+
+let compact t ~state =
+  let covers = Int64.pred (Journal.next_seq t.journal) in
+  write_snapshot t ~covers state;
+  (* the snapshot is durable; only now may the journal entries it
+     covers be dropped *)
   Journal.reset t.journal;
-  t.journal_size <- 0;
   t.compactions <- t.compactions + 1
+
+let compact_background t ~state =
+  (* capture [covers] BEFORE the state callback runs: every mutation
+     applied after this point is either in the captured state AND
+     mirrored (benign double-apply, recovery skips by sequence or the
+     mutation vocabulary converges) or only mirrored — never lost *)
+  let covers = Journal.begin_rotation t.journal in
+  match write_snapshot t ~covers (state ()) with
+  | () ->
+      Journal.commit_rotation t.journal;
+      t.compactions <- t.compactions + 1
+  | exception e ->
+      Journal.abort_rotation t.journal;
+      raise e
 
 let flush t = Journal.flush t.journal
 
@@ -132,6 +146,8 @@ let stats t =
     fsyncs = j.Journal.fsyncs;
     compactions = t.compactions;
   }
+
+let group_stats t = Journal.group_stats t.journal
 
 let dir t = t.dir
 

@@ -15,7 +15,8 @@
     overlap window safe: entries already folded into the snapshot are
     skipped by their sequence number on recovery.
 
-    Not thread-safe; callers serialize (see {!Journal}). *)
+    Thread-safe for concurrent appends (see {!Journal}); pass [?group]
+    to share fsyncs between concurrent [Always] writers. *)
 
 type t
 
@@ -27,12 +28,23 @@ type recovery = {
   corrupt_tail : bool;  (** the discard was a checksum mismatch, not a cut *)
 }
 
-val open_ : ?fsync:Journal.fsync_policy -> string -> t * recovery
+val open_ : ?fsync:Journal.fsync_policy -> ?group:Journal.Group.config -> string -> t * recovery
 (** [open_ dir] creates [dir] (and parents) if needed, recovers, and
-    positions for appending. *)
+    positions for appending. [?group] enables group commit on the
+    journal (see {!Journal.enable_group}). *)
 
 val append : t -> string -> int64
-(** Journal one payload; durable per the fsync policy on return. *)
+(** Journal one payload; durable per the fsync policy on return.
+    Equivalent to {!stage} then {!await}. *)
+
+val stage : t -> string -> int64
+(** Write one payload without waiting for durability — under group
+    commit the caller must {!await} the returned sequence number
+    before acknowledging. See {!Journal.stage}. *)
+
+val await : t -> int64 -> unit
+(** Block until a completed fsync covers the sequence number. See
+    {!Journal.await}. *)
 
 val journal_bytes : t -> int
 (** Current size of the journal file — the compaction trigger input. *)
@@ -40,7 +52,16 @@ val journal_bytes : t -> int
 val compact : t -> state:string list -> unit
 (** Write [state] as the new snapshot (covering every sequence number
     assigned so far), atomically replace the old one, then empty the
-    journal. *)
+    journal. The caller must ensure no concurrent appends (the server
+    holds its mutation lock). *)
+
+val compact_background : t -> state:(unit -> string list) -> unit
+(** Compaction without stopping the writers: capture the covered
+    sequence number, start mirroring concurrent appends, call [state]
+    (which must return a state reflecting {e at least} every mutation
+    up to the captured sequence number), write it as a durable
+    snapshot, then atomically replace the journal file with just the
+    mirrored tail. On failure the journal is left untouched. *)
 
 val flush : t -> bool
 (** Fsync the journal if dirty; [true] when an fsync happened. *)
@@ -53,6 +74,9 @@ type counters = {
 }
 
 val stats : t -> counters
+
+val group_stats : t -> Journal.Group.stats option
+(** [None] unless group commit was enabled. *)
 
 val dir : t -> string
 

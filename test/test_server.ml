@@ -1227,6 +1227,187 @@ let test_e2e_sigkill_mid_load () =
           Alcotest.(check string) "crash verdicts bit-identical" pre_crash
             (evaluate "crash")))
 
+(* ---------------- Group commit at the registry level --------------- *)
+
+(* 8 concurrent mutators through the registry's stage/await path: the
+   journal must recover every acknowledged session, group stats must
+   account for every append, and batching must have actually shared
+   fsyncs (the accumulation window makes at least one multi-writer
+   batch all but certain, and any batch at all proves the sharing). *)
+let test_registry_group_concurrent_recovery () =
+  with_temp_dir (fun dir ->
+      let writers = 8 and per_writer = 3 in
+      let persist, _ =
+        Server.Persist.open_ ~fsync:Store.Journal.Always
+          ~group:{ Store.Journal.Group.window = 0.002; max_batch = 64 }
+          dir
+      in
+      let registry = Server.Registry.create ~persist () in
+      let threads =
+        List.init writers (fun w ->
+            Thread.create
+              (fun () ->
+                for i = 0 to per_writer - 1 do
+                  match
+                    Server.Registry.add registry
+                      ~id:(Printf.sprintf "w%d-s%d" w i)
+                      project
+                  with
+                  | Ok () -> ()
+                  | Error `Conflict -> Alcotest.fail "conflict on distinct ids"
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      let total = writers * per_writer in
+      let g =
+        match Server.Persist.group_stats persist with
+        | Some g -> g
+        | None -> Alcotest.fail "group stats missing"
+      in
+      Alcotest.(check int) "every append released by a batch" total
+        g.Store.Journal.Group.batched_appends;
+      Alcotest.(check int) "saved accounts the batching"
+        (total - g.Store.Journal.Group.batches)
+        g.Store.Journal.Group.fsyncs_saved;
+      let before = Server.Registry.ids registry in
+      Server.Persist.close persist;
+      (* recover on a fresh registry: every acknowledged add is there *)
+      let persist2, (recovery : Server.Persist.recovery) =
+        Server.Persist.open_ ~fsync:Store.Journal.Always dir
+      in
+      let registry2 = Server.Registry.create ~persist:persist2 () in
+      ignore (Server.Registry.recover registry2 recovery.Server.Persist.mutations);
+      Alcotest.(check (list string)) "recovered ids identical" before
+        (Server.Registry.ids registry2);
+      Server.Persist.close persist2)
+
+(* The "journal" metrics object must not grow a group_commit member
+   until a batch has actually completed — enabling the barrier on an
+   idle server leaves /metrics byte-identical. *)
+let test_metrics_group_idle () =
+  let render m = Jsonlight.to_string (Server.Metrics.to_json m ~extra:[]) in
+  let journal m =
+    Server.Metrics.set_journal m ~records:3 ~bytes:120 ~fsyncs:2 ~compactions:1
+  in
+  let m1 = Server.Metrics.create () in
+  journal m1;
+  let m2 = Server.Metrics.create () in
+  journal m2;
+  let hist () = Array.make (Array.length Store.Journal.Group.hist_bounds + 1) 0 in
+  Server.Metrics.set_group_commit m2
+    {
+      Store.Journal.Group.batches = 0;
+      batched_appends = 0;
+      fsyncs_saved = 0;
+      largest_batch = 0;
+      hist = hist ();
+    };
+  Alcotest.(check string) "idle group commit leaves metrics byte-identical"
+    (render m1) (render m2);
+  let h = hist () in
+  h.(1) <- 2;
+  Server.Metrics.set_group_commit m2
+    {
+      Store.Journal.Group.batches = 2;
+      batched_appends = 4;
+      fsyncs_saved = 2;
+      largest_batch = 2;
+      hist = h;
+    };
+  let group =
+    body_json
+      { Server.Client.status = 200; headers = []; body = render m2 }
+    |> member_exn "journal" |> member_exn "group_commit"
+  in
+  Alcotest.(check (option int)) "batches rendered" (Some 2)
+    (group |> member_exn "batches" |> Jsonlight.int_opt);
+  Alcotest.(check (option int)) "fsyncs_saved rendered" (Some 2)
+    (group |> member_exn "fsyncs_saved" |> Jsonlight.int_opt)
+
+(* SIGKILL while the maintenance thread is compacting in the
+   background: a tiny --compact-threshold makes the loader trip a
+   rotation every couple of creates, so the kill lands around (and
+   with good odds inside) a snapshot/rotation — recovery must still
+   produce every acknowledged session. *)
+let test_e2e_sigkill_during_compaction () =
+  with_temp_dir (fun dir ->
+      let pid, ic, port =
+        spawn_serve
+          [
+            "--port"; "0"; "--data-dir"; dir; "--fsync"; "always";
+            "--compact-threshold"; "60000"; "--group-commit-window"; "1";
+          ]
+      in
+      let acked = ref [] in
+      let loader =
+        Thread.create
+          (fun () ->
+            let rec go i =
+              if i < 300 then
+                match
+                  let c = Server.Client.connect ~port () in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close c)
+                    (fun () ->
+                      Server.Client.post c "/sessions"
+                        ~body:(create_body (Printf.sprintf "c%03d" i)))
+                with
+                | Ok { Server.Client.status = 201; _ } ->
+                    acked := Printf.sprintf "c%03d" i :: !acked;
+                    go (i + 1)
+                | Ok _ | Error _ -> ()
+                | exception _ -> ()
+            in
+            go 0)
+          ()
+      in
+      Thread.delay 0.6;
+      Unix.kill pid Sys.sigkill;
+      Thread.join loader;
+      ignore (Unix.waitpid [] pid);
+      close_in ic;
+      Alcotest.(check bool) "some creates were acknowledged" true (!acked <> []);
+      (* each create journals ~38 KB against a 60 KB threshold: the
+         maintenance thread must have compacted at least once *)
+      Alcotest.(check bool) "background compaction produced a snapshot" true
+        (Sys.file_exists (Filename.concat dir "snapshot.log")
+        && file_size (Filename.concat dir "snapshot.log") > 0);
+      let pid2, ic2, port2 =
+        spawn_serve
+          [
+            "--port"; "0"; "--data-dir"; dir; "--fsync"; "always";
+            "--compact-threshold"; "60000";
+          ]
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid2);
+          close_in ic2)
+        (fun () ->
+          let c = Server.Client.connect ~port:port2 () in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let r = ok (Server.Client.get c "/sessions") in
+              Alcotest.(check int) "sessions listed after crash" 200
+                r.Server.Client.status;
+              let recovered = session_ids (body_json r) in
+              List.iter
+                (fun id ->
+                  Alcotest.(check bool) ("acknowledged " ^ id ^ " survived") true
+                    (List.mem id recovered))
+                !acked;
+              let recovery =
+                body_json (ok (Server.Client.get c "/metrics"))
+                |> member_exn "journal" |> member_exn "recovery"
+              in
+              Alcotest.(check bool) "recovery reported sessions" true
+                ((recovery |> member_exn "sessions" |> Jsonlight.int_opt
+                 |> Option.get)
+                >= List.length !acked))))
+
 let suite =
   [
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
@@ -1268,4 +1449,10 @@ let suite =
       test_e2e_persistence_restart;
     Alcotest.test_case "e2e: SIGKILL mid-load, acknowledged survives" `Quick
       test_e2e_sigkill_mid_load;
+    Alcotest.test_case "registry: concurrent group-commit mutators recover"
+      `Quick test_registry_group_concurrent_recovery;
+    Alcotest.test_case "metrics: idle group commit invisible" `Quick
+      test_metrics_group_idle;
+    Alcotest.test_case "e2e: SIGKILL during background compaction" `Quick
+      test_e2e_sigkill_during_compaction;
   ]

@@ -210,6 +210,182 @@ let prop_truncation_prefix =
           | [] -> true
           | f :: _ -> QCheck2.Test.fail_report f))
 
+(* ---------------- Group commit ------------------------------------ *)
+
+(* Group-commit equivalence: N concurrent writers appending through
+   the stage/await path must leave a journal that is byte-identical to
+   appending the same payloads sequentially (without the group
+   barrier) in the order the group path serialized them — batching
+   shares fsyncs, it must never reorder, drop, or reframe records.
+   The truncation invariant must survive the group path too: a
+   group-committed log cut at EVERY byte offset recovers a prefix. *)
+let prop_group_commit_equivalence =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 2 4)
+        (list_size (int_range 0 5)
+           (string_size ~gen:(char_range '\000' '\255') (int_range 0 16))))
+  in
+  QCheck2.Test.make
+    ~name:"journal: group commit is byte-identical to sequential appends"
+    ~count:15 gen (fun writer_payloads ->
+      with_temp_dir (fun dir ->
+          (* tag payloads with their writer so the serialized order can
+             be checked per writer even when payloads repeat *)
+          let writer_payloads =
+            List.mapi
+              (fun w payloads ->
+                List.map (fun p -> Printf.sprintf "w%d:%s" w p) payloads)
+              writer_payloads
+          in
+          let grouped = Filename.concat dir "grouped.log" in
+          let j, _ = Journal.open_ ~fsync:Journal.Always grouped in
+          Journal.enable_group
+            ~config:{ Journal.Group.window = 0.001; max_batch = 64 } j;
+          let threads =
+            List.map
+              (fun payloads ->
+                Thread.create
+                  (fun () ->
+                    List.iter
+                      (fun p ->
+                        let seq = Journal.stage j p in
+                        Journal.await j seq)
+                      payloads)
+                  ())
+              writer_payloads
+          in
+          List.iter Thread.join threads;
+          let total = List.length (List.concat writer_payloads) in
+          let stats = Journal.group_stats j in
+          Journal.close j;
+          (* recover the serialized order the group path produced *)
+          let _, (r : Journal.recovery) = Journal.open_ ~fsync:Journal.Never grouped in
+          let recovered = r.Journal.records in
+          if List.length recovered <> total then
+            QCheck2.Test.fail_report
+              (Printf.sprintf "group log has %d records, appended %d"
+                 (List.length recovered) total);
+          (* each writer's payloads appear in its issue order (the
+             global interleaving is up to scheduling) *)
+          let serialized = List.map snd recovered in
+          List.iter
+            (fun payloads ->
+              let rec subsequence want have =
+                match (want, have) with
+                | [], _ -> true
+                | _, [] -> false
+                | w :: w', h :: h' ->
+                    if String.equal w h then subsequence w' h'
+                    else subsequence want h'
+              in
+              if not (subsequence payloads serialized) then
+                QCheck2.Test.fail_report "writer order not preserved")
+            writer_payloads;
+          (* every append was released by a counted batch *)
+          (match stats with
+          | Some g ->
+              if g.Journal.Group.batched_appends <> total then
+                QCheck2.Test.fail_report
+                  (Printf.sprintf "batches released %d of %d appends"
+                     g.Journal.Group.batched_appends total)
+          | None -> QCheck2.Test.fail_report "group stats missing");
+          (* sequential replay in serialized order → byte-identical *)
+          let sequential = Filename.concat dir "sequential.log" in
+          let j2, _ = Journal.open_ ~fsync:Journal.Never sequential in
+          List.iter (fun (_, p) -> ignore (Journal.append j2 p)) recovered;
+          Journal.close j2;
+          let a = read_file grouped and b = read_file sequential in
+          if not (String.equal a b) then
+            QCheck2.Test.fail_report "group and sequential logs differ";
+          (* truncation at every offset of the group-committed log *)
+          let truncated = Filename.concat dir "t.log" in
+          let expected = List.map snd recovered in
+          let is_prefix got =
+            let rec go r p =
+              match (r, p) with
+              | [], _ -> true
+              | _, [] -> false
+              | r0 :: r', p0 :: p' -> String.equal r0 p0 && go r' p'
+            in
+            go got expected
+          in
+          let failures = ref [] in
+          for cut = 0 to String.length a do
+            write_file truncated (String.sub a 0 cut);
+            match Journal.open_ truncated with
+            | j, r ->
+                let got = List.map snd r.Journal.records in
+                if not (is_prefix got) then
+                  failures := Printf.sprintf "cut %d: not a prefix" cut :: !failures;
+                Journal.close j
+            | exception e ->
+                failures :=
+                  Printf.sprintf "cut %d: raised %s" cut (Printexc.to_string e)
+                  :: !failures
+          done;
+          match !failures with
+          | [] -> true
+          | f :: _ -> QCheck2.Test.fail_report f))
+
+(* Group fsyncs must actually batch: 8 writers × 4 appends against a
+   group journal need far fewer fsyncs than appends, and the stats
+   must account for every append exactly once. *)
+let test_group_commit_batches () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, _ = Journal.open_ ~fsync:Journal.Always path in
+      Journal.enable_group
+        ~config:{ Journal.Group.window = 0.002; max_batch = 64 } j;
+      let writers = 8 and per_writer = 4 in
+      let threads =
+        List.init writers (fun w ->
+            Thread.create
+              (fun () ->
+                for i = 0 to per_writer - 1 do
+                  let seq = Journal.stage j (Printf.sprintf "w%d-%d" w i) in
+                  Journal.await j seq
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      let total = writers * per_writer in
+      let g =
+        match Journal.group_stats j with
+        | Some g -> g
+        | None -> Alcotest.fail "group stats missing"
+      in
+      Alcotest.(check int) "every append released" total
+        g.Journal.Group.batched_appends;
+      Alcotest.(check int) "saved = appends - batches"
+        (total - g.Journal.Group.batches)
+        g.Journal.Group.fsyncs_saved;
+      Alcotest.(check bool) "histogram accounts every batch" true
+        (Array.fold_left ( + ) 0 g.Journal.Group.hist = g.Journal.Group.batches);
+      Alcotest.(check bool) "largest batch sane" true
+        (g.Journal.Group.largest_batch >= 1
+        && g.Journal.Group.largest_batch <= total);
+      Journal.close j;
+      let _, (r : Journal.recovery) = Journal.open_ path in
+      Alcotest.(check int) "all records durable" total
+        (List.length r.Journal.records))
+
+(* Non-Always policies must ignore the barrier: stage behaves like the
+   old append (interval/never semantics), await returns immediately. *)
+let test_group_commit_non_always () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, _ = Journal.open_ ~fsync:Journal.Never path in
+      Journal.enable_group j;
+      let seq = Journal.stage j "a" in
+      Journal.await j seq;
+      let s = Journal.stats j in
+      Alcotest.(check int) "no fsync under Never" 0 s.Journal.fsyncs;
+      (match Journal.group_stats j with
+      | Some g -> Alcotest.(check int) "no batches" 0 g.Journal.Group.batches
+      | None -> Alcotest.fail "group stats missing");
+      Journal.close j)
+
 (* ---------------- Wal: snapshot + journal ------------------------- *)
 
 let test_wal_compaction () =
@@ -252,6 +428,49 @@ let test_wal_compaction_overlap () =
         r.Wal.entries;
       Wal.close w)
 
+(* Background compaction rotates the journal while appends keep
+   landing: entries staged after the covered point must survive in the
+   rotated file, entries the snapshot covers must be gone, and a
+   reopen must see exactly snapshot state + tail. *)
+let test_wal_background_compaction () =
+  with_temp_dir (fun dir ->
+      let w, _ = Wal.open_ dir in
+      ignore (Wal.append w "e1");
+      ignore (Wal.append w "e2");
+      Wal.compact_background w ~state:(fun () ->
+          (* an append landing mid-snapshot: not covered, must be
+             mirrored into the rotated journal *)
+          ignore (Wal.append w "e3");
+          [ "s1" ]);
+      Alcotest.(check int) "one compaction" 1 (Wal.stats w).Wal.compactions;
+      ignore (Wal.append w "e4");
+      Wal.close w;
+      let w, r = Wal.open_ dir in
+      Alcotest.(check (list string)) "snapshot state" [ "s1" ] r.Wal.state;
+      Alcotest.(check (list string)) "tail survived rotation" [ "e3"; "e4" ]
+        r.Wal.entries;
+      Alcotest.(check bool) "snapshot covers e1,e2" true (r.Wal.snapshot_seq = 2L);
+      Alcotest.(check bool) "seq keeps counting" true (Wal.append w "e5" = 5L);
+      Wal.close w)
+
+(* A failing snapshot must abort the rotation and leave the journal
+   untouched — including the mirror, so a later rotation succeeds. *)
+let test_wal_background_compaction_abort () =
+  with_temp_dir (fun dir ->
+      let w, _ = Wal.open_ dir in
+      ignore (Wal.append w "e1");
+      (match Wal.compact_background w ~state:(fun () -> failwith "no state") with
+      | () -> Alcotest.fail "expected the state exception"
+      | exception Failure _ -> ());
+      Alcotest.(check int) "no compaction" 0 (Wal.stats w).Wal.compactions;
+      ignore (Wal.append w "e2");
+      Wal.compact_background w ~state:(fun () -> [ "s1" ]);
+      Wal.close w;
+      let w, r = Wal.open_ dir in
+      Alcotest.(check (list string)) "state after retry" [ "s1" ] r.Wal.state;
+      Alcotest.(check int) "journal tail empty" 0 (List.length r.Wal.entries);
+      Wal.close w)
+
 let test_wal_fsync_stats () =
   with_temp_dir (fun dir ->
       let w, _ = Wal.open_ ~fsync:Journal.Always dir in
@@ -282,8 +501,17 @@ let suite =
     Alcotest.test_case "journal: fsync policy parsing" `Quick
       test_fsync_policy_of_string;
     QCheck_alcotest.to_alcotest prop_truncation_prefix;
+    QCheck_alcotest.to_alcotest prop_group_commit_equivalence;
+    Alcotest.test_case "journal: group commit batches fsyncs" `Quick
+      test_group_commit_batches;
+    Alcotest.test_case "journal: group barrier inert off Always" `Quick
+      test_group_commit_non_always;
     Alcotest.test_case "wal: snapshot compaction" `Quick test_wal_compaction;
     Alcotest.test_case "wal: compaction overlap window" `Quick
       test_wal_compaction_overlap;
+    Alcotest.test_case "wal: background compaction rotates" `Quick
+      test_wal_background_compaction;
+    Alcotest.test_case "wal: background compaction aborts cleanly" `Quick
+      test_wal_background_compaction_abort;
     Alcotest.test_case "wal: fsync policies + stats" `Quick test_wal_fsync_stats;
   ]

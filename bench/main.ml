@@ -795,9 +795,11 @@ let quantile sorted q =
 
 (* [clients] keep-alive connections each issue [requests] back-to-back
    requests; per-request latency is measured client-side, so the
-   quantiles include the full loopback round trip. *)
-let serve_case ?(headers = []) ?(expect = 200) daemon ~label ~clients ~requests
-    ~meth ~target ~body =
+   quantiles include the full loopback round trip. [sink] picks which
+   JSON section the case lands in (the repl section reuses this
+   machinery against a replica daemon). *)
+let serve_case ?(headers = []) ?(expect = 200) ?(sink = serve_json) daemon
+    ~label ~clients ~requests ~meth ~target ~body =
   let port = Server.Daemon.port daemon in
   let latencies = Array.make (clients * requests) 0.0 in
   let errors = Atomic.make 0 in
@@ -825,7 +827,7 @@ let serve_case ?(headers = []) ?(expect = 200) daemon ~label ~clients ~requests
   let ms q = quantile latencies q *. 1000.0 in
   Printf.printf "%-28s | %8.0f req/s | p50 %7.3f ms | p90 %7.3f | p99 %7.3f | err %d\n"
     label rps (ms 0.5) (ms 0.9) (ms 0.99) (Atomic.get errors);
-  serve_json :=
+  sink :=
     Jsonlight.Obj
       [
         ("case", Jsonlight.String label);
@@ -837,7 +839,7 @@ let serve_case ?(headers = []) ?(expect = 200) daemon ~label ~clients ~requests
         ("p99_ms", Jsonlight.Float (ms 0.99));
         ("errors", Jsonlight.Int (Atomic.get errors));
       ]
-    :: !serve_json;
+    :: !sink;
   rps
 
 let serve () =
@@ -1154,6 +1156,201 @@ let wal () =
     always_group always_solo
 
 (* ------------------------------------------------------------------ *)
+(* REPL: log-shipping replication                                     *)
+(* ------------------------------------------------------------------ *)
+
+let repl_json : Jsonlight.t list ref = ref []
+
+(* Poll [GET /replication] on [daemon] until the replica has applied
+   at least [seq] with zero lag against its primary. *)
+let repl_wait ?(timeout = 30.0) daemon ~seq =
+  let c = Server.Client.connect ~port:(Server.Daemon.port daemon) () in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec loop () =
+        match Server.Client.replication c with
+        | Ok r
+          when r.Server.Client.applied_seq >= seq && r.Server.Client.lag = 0L
+          ->
+            ()
+        | _ when Unix.gettimeofday () > deadline ->
+            failwith "repl bench: replica did not catch up"
+        | _ ->
+            Thread.delay 0.005;
+            loop ()
+      in
+      loop ())
+
+(* A primary (journaling to a temp dir) with a live replica tailing it:
+   replica-side warm-evaluate throughput against the primary's, then
+   ship lag while 8 writers journal creates on the primary. *)
+let repl () =
+  header "REPL" "Log-shipping replication (primary + replica, loopback TCP)";
+  print_endline "A replica tails the primary's journal over GET /replication/log and";
+  print_endline "serves evaluates from the applied copy; \"ship lag\" samples";
+  print_endline "GET /replication on the replica while 8 writers create sessions";
+  print_endline "on the primary.";
+  print_endline "";
+  let dir = temp_dir "sosae-repl" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let primary =
+        Server.Daemon.start
+          ~config:
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.port = 0;
+              workers = (if smoke then 2 else 4);
+              queue_capacity = 256;
+              data_dir = Some dir;
+              fsync = Store.Journal.Never;
+              compact_threshold = max_int;
+            }
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Daemon.stop primary)
+        (fun () ->
+          let replica =
+            Server.Daemon.start
+              ~config:
+                {
+                  Server.Daemon.default_config with
+                  Server.Daemon.port = 0;
+                  workers = (if smoke then 2 else 8);
+                  queue_capacity = 256;
+                  replica_of = Some ("127.0.0.1", Server.Daemon.port primary);
+                  replica_poll = 0.002;
+                }
+              ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Daemon.stop replica)
+            (fun () ->
+              let project, source = Lazy.force wal_project in
+              let registry = (Server.Daemon.ctx primary).Server.Api.registry in
+              (match Server.Registry.add registry ~id:"pims" ~source project with
+              | Ok () -> ()
+              | Error `Conflict -> assert false);
+              repl_wait replica ~seq:1L;
+              (* warm both verdict caches so the cases measure serving *)
+              List.iter
+                (fun d ->
+                  match
+                    Server.Registry.with_session
+                      (Server.Daemon.ctx d).Server.Api.registry "pims"
+                      (fun s -> ignore (Core.Sosae.Session.evaluate s))
+                  with
+                  | Ok () -> ()
+                  | Error `Not_found -> assert false)
+                [ primary; replica ];
+              let clients = if smoke then 2 else 8 in
+              let requests = if smoke then 5 else 100 in
+              let replica_rps =
+                serve_case ~sink:repl_json replica
+                  ~label:"replica POST evaluate (warm)" ~clients ~requests
+                  ~meth:Server.Http.POST ~target:"/sessions/pims/evaluate"
+                  ~body:(Some "{}")
+              in
+              let primary_rps =
+                serve_case ~sink:repl_json primary
+                  ~label:"primary POST evaluate (warm)" ~clients ~requests
+                  ~meth:Server.Http.POST ~target:"/sessions/pims/evaluate"
+                  ~body:(Some "{}")
+              in
+              (* ship lag under write load: 8 writers journal creates on
+                 the primary while a sampler polls the replica's lag *)
+              let writers = 8 in
+              let per_writer = if smoke then 2 else 25 in
+              let stop_sampling = Atomic.make false in
+              let max_lag = ref 0L in
+              let samples = ref [] in
+              let sampler =
+                Thread.create
+                  (fun () ->
+                    let rport = Server.Daemon.port replica in
+                    let c = ref (Server.Client.connect ~port:rport ()) in
+                    while not (Atomic.get stop_sampling) do
+                      (match Server.Client.replication !c with
+                      | Ok r ->
+                          let lag = r.Server.Client.lag in
+                          if lag > !max_lag then max_lag := lag;
+                          samples := lag :: !samples
+                      | Error _ ->
+                          Server.Client.close !c;
+                          c := Server.Client.connect ~port:rport ());
+                      Thread.delay 0.002
+                    done;
+                    Server.Client.close !c)
+                  ()
+              in
+              Gc.compact ();
+              let t0 = Unix.gettimeofday () in
+              let threads =
+                List.init writers (fun w ->
+                    Thread.create
+                      (fun () ->
+                        for i = 0 to per_writer - 1 do
+                          match
+                            Server.Registry.add registry
+                              ~id:(Printf.sprintf "r%d-s%04d" w i)
+                              ~source project
+                          with
+                          | Ok () -> ()
+                          | Error `Conflict -> assert false
+                        done)
+                      ())
+              in
+              List.iter Thread.join threads;
+              let write_wall = Unix.gettimeofday () -. t0 in
+              let total = writers * per_writer in
+              let cps = float_of_int total /. write_wall in
+              repl_wait replica ~seq:(Int64.of_int (total + 1));
+              let catchup_ms =
+                (Unix.gettimeofday () -. t0 -. write_wall) *. 1000.0
+              in
+              Atomic.set stop_sampling true;
+              Thread.join sampler;
+              let mean_lag =
+                match !samples with
+                | [] -> 0.0
+                | l ->
+                    List.fold_left
+                      (fun acc x -> acc +. Int64.to_float x)
+                      0.0 l
+                    /. float_of_int (List.length l)
+              in
+              Printf.printf
+                "%-28s | %8.0f creates/s | max lag %Ld records | mean %.1f | \
+                 caught up %.0f ms after last write\n"
+                (Printf.sprintf "ship lag (%d writers)" writers)
+                cps !max_lag mean_lag catchup_ms;
+              repl_json :=
+                Jsonlight.Obj
+                  [
+                    ("case", Jsonlight.String
+                       (Printf.sprintf "ship lag (%d writers)" writers));
+                    ("creates", Jsonlight.Int total);
+                    ("creates_per_second", Jsonlight.Float cps);
+                    ("max_lag_records", Jsonlight.Int (Int64.to_int !max_lag));
+                    ("mean_lag_records", Jsonlight.Float mean_lag);
+                    ("catchup_ms", Jsonlight.Float catchup_ms);
+                    ("lag_samples", Jsonlight.Int (List.length !samples));
+                  ]
+                :: !repl_json;
+              print_endline "";
+              Printf.printf
+                "replica warm evaluate %.0f req/s (%.0f%% of the primary's \
+                 %.0f); shipping kept the\nreplica within %Ld record(s) of \
+                 the primary under %d-writer load.\n"
+                replica_rps
+                (100.0 *. replica_rps /. Float.max 1.0 primary_rps)
+                primary_rps !max_lag writers)))
+
+(* ------------------------------------------------------------------ *)
 (* SIM: Monte-Carlo dependability campaigns                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1348,6 +1545,7 @@ let write_bench_json () =
       ("scale", !scale_json);
       ("serve", !serve_json);
       ("wal", !wal_json);
+      ("repl", !repl_json);
       ("sim", !sim_json);
     ]
   in
@@ -1447,19 +1645,21 @@ let () =
           scale ();
           serve ();
           wal ();
+          repl ();
           sim ()
       | "bench" -> bench ()
       | "incr" -> incr ()
       | "scale" -> scale ()
       | "serve" -> serve ()
       | "wal" -> wal ()
+      | "repl" -> repl ()
       | "sim" -> sim ()
       | name -> (
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown target %S; known: %s, bench, incr, scale, serve, wal, sim, all\n"
+                "unknown target %S; known: %s, bench, incr, scale, serve, wal, repl, sim, all\n"
                 name
                 (String.concat ", " (List.map fst artifacts));
               exit 2))

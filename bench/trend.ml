@@ -5,8 +5,11 @@
      trend [--section NAME] [--threshold FRAC] PREV.json NEXT.json
 
    --section picks which JSON section to compare: "serve" (the
-   default; per-case requests_per_second) or "wal" (per-case
-   creates_per_second). Exit 0 when every case that exists in both
+   default; per-case requests_per_second), "wal" (per-case
+   creates_per_second), or "repl" (per-case requests_per_second of
+   the replica/primary evaluate cases; the ship-lag case carries no
+   requests_per_second and is skipped). Exit 0 when every case that
+   exists in both
    files is within the threshold (new and dropped cases are reported
    but never fatal), exit 1 on a regression, exit 2 on unusable
    inputs. CI runs this against the previous run's latest.json. *)
@@ -59,9 +62,9 @@ let () =
         parse rest
     | "--section" :: v :: rest ->
         (match v with
-        | "serve" | "wal" -> section := v
+        | "serve" | "wal" | "repl" -> section := v
         | _ ->
-            prerr_endline "trend: --section expects serve or wal";
+            prerr_endline "trend: --section expects serve, wal, or repl";
             exit 2);
         parse rest
     | f :: rest ->
@@ -119,5 +122,5 @@ let () =
       end
   | _ ->
       prerr_endline
-        "usage: trend [--section serve|wal] [--threshold FRAC] PREV.json NEXT.json";
+        "usage: trend [--section serve|wal|repl] [--threshold FRAC] PREV.json NEXT.json";
       exit 2

@@ -781,19 +781,42 @@ let save_demo_cmd =
 (* ------------------------------ serve ----------------------------- *)
 
 let serve_cmd =
+  let parse_replica_of = function
+    | None -> Ok None
+    | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | None -> Error "--replica-of expects HOST:PORT"
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p > 0 && host <> "" -> Ok (Some (host, p))
+            | _ -> Error "--replica-of expects HOST:PORT"))
+  in
   let run port host unix_path jobs workers queue timeout idle_timeout
-      max_requests data_dir fsync group_window compact_threshold =
+      max_requests data_dir fsync group_window compact_threshold replica_of =
     match Store.Journal.fsync_policy_of_string fsync with
     | Error message ->
         Printf.eprintf "sosae serve: %s\n" message;
         1
-    | Ok fsync ->
+    | Ok fsync -> (
+        match parse_replica_of replica_of with
+        | Error message ->
+            Printf.eprintf "sosae serve: %s\n" message;
+            1
+        | Ok replica_of ->
         if group_window < 0.0 then begin
           Printf.eprintf "sosae serve: --group-commit-window must be >= 0\n";
           1
         end
         else if compact_threshold <= 0 then begin
           Printf.eprintf "sosae serve: --compact-threshold must be positive\n";
+          1
+        end
+        else if replica_of <> None && data_dir <> None then begin
+          Printf.eprintf
+            "sosae serve: --replica-of and --data-dir are mutually exclusive \
+             (a replica's only history is the primary's shipped journal)\n";
           1
         end
         else begin
@@ -815,10 +838,11 @@ let serve_cmd =
                 fsync;
                 group_window = group_window /. 1000.0;
                 compact_threshold;
+                replica_of;
               }
             ();
           0
-        end
+        end)
   in
   let port =
     Arg.(
@@ -924,11 +948,24 @@ let serve_cmd =
              state and rotates the journal, off the request path (needs \
              $(b,--data-dir)).")
   in
+  let replica_of =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replica-of" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Boot as a read replica of the primary at $(docv): continuously \
+             tail its journal over $(b,GET /replication/log) and serve reads \
+             ($(b,GET)s, evaluate, diff previews) from the applied copy. \
+             Mutations are rejected with $(b,421) naming the primary. \
+             $(b,SIGUSR1) promotes the replica to a primary that accepts \
+             mutations. Mutually exclusive with $(b,--data-dir).")
+  in
   let term =
     Term.(
       const run $ port $ host $ unix_path $ jobs_arg $ workers $ queue $ timeout
       $ idle_timeout $ max_requests $ data_dir $ fsync $ group_window
-      $ compact_threshold)
+      $ compact_threshold $ replica_of)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -937,7 +974,8 @@ let serve_cmd =
           HTTP (create sessions, evaluate suites, apply architecture diffs, read \
           stats and metrics). Stops cleanly on SIGTERM/SIGINT; with \
           $(b,--data-dir) the sessions survive restarts and crashes via a \
-          write-ahead journal.")
+          write-ahead journal, and $(b,--replica-of HOST:PORT) boots a read \
+          replica fed from such a primary.")
     Term.(const Stdlib.exit $ term)
 
 let () =

@@ -4,13 +4,25 @@
    response. *)
 type writer_pool = { pool : Jsonlight.Writer.t Queue.t; pool_lock : Mutex.t }
 
-type ctx = { registry : Registry.t; metrics : Metrics.t; writers : writer_pool }
+(* What this daemon is in the replication topology. A [Replica] serves
+   reads from locally applied shipped records and bounces mutations to
+   the primary; promotion flips the field to [Primary] (a word-sized
+   mutable read, safe without a lock). *)
+type role = Primary | Replica of Replica.t
+
+type ctx = {
+  registry : Registry.t;
+  metrics : Metrics.t;
+  writers : writer_pool;
+  mutable role : role;
+}
 
 let make_ctx ?jobs ?persist () =
   {
     registry = Registry.create ?jobs ?persist ();
     metrics = Metrics.create ();
     writers = { pool = Queue.create (); pool_lock = Mutex.create () };
+    role = Primary;
   }
 
 let with_writer ctx f =
@@ -29,14 +41,6 @@ let with_writer ctx f =
 (* JSON bodies                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* for context-less payloads (errors); handlers with a ctx in hand use
-   [json_reply] and the writer pool *)
-let json_body ?(status = 200) json =
-  Http.response
-    ~headers:[ ("Content-Type", "application/json") ]
-    status
-    (Jsonlight.to_string json)
-
 let json_reply ctx ?(status = 200) json =
   with_writer ctx (fun w ->
       Jsonlight.Writer.json w json;
@@ -45,17 +49,25 @@ let json_reply ctx ?(status = 200) json =
         status
         (Jsonlight.Writer.contents w))
 
-let error_response status ~category message =
-  json_body ~status
-    (Jsonlight.Obj
-       [
-         ( "error",
-           Jsonlight.Obj
-             [
-               ("category", Jsonlight.String category);
-               ("message", Jsonlight.String message);
-             ] );
-       ])
+(* Every non-2xx body is {"error":{category,message,…}}; [extra]
+   appends machine-readable fields to the error object (the read-only
+   rejection carries the primary's address there), [headers] appends
+   to the response headers (Retry-After, Allow). *)
+let error_response ?(headers = []) ?(extra = []) status ~category message =
+  Http.response
+    ~headers:(("Content-Type", "application/json") :: headers)
+    status
+    (Jsonlight.to_string
+       (Jsonlight.Obj
+          [
+            ( "error",
+              Jsonlight.Obj
+                ([
+                   ("category", Jsonlight.String category);
+                   ("message", Jsonlight.String message);
+                 ]
+                @ extra) );
+          ]))
 
 let response_of_parse_error e =
   let status, category =
@@ -83,6 +95,26 @@ exception Reply of Http.response
 
 let reply_error status ~category message =
   raise (Reply (error_response status ~category message))
+
+(* Mutating handlers call this first. 421 Misdirected Request is
+   deliberately NOT in {!Client.retryable_status}: retrying the same
+   replica can never succeed, so a plain client fails fast while one
+   opted into [~follow_primary] reconnects to the advertised address. *)
+let reject_read_only ctx =
+  match ctx.role with
+  | Primary -> ()
+  | Replica r ->
+      let primary = Replica.primary_address r in
+      raise
+        (Reply
+           (error_response 421
+              ~headers:[ ("Retry-After", "1") ]
+              ~extra:[ ("primary", Jsonlight.String primary) ]
+              ~category:"read_only"
+              (Printf.sprintf
+                 "this daemon is a read replica; send mutations to the \
+                  primary at %s"
+                 primary)))
 
 let parse_body (request : Http.request) =
   if request.Http.body = "" then Jsonlight.Obj []
@@ -267,6 +299,7 @@ let load_create_project json =
         (Core.Sosae.project_of_strings ~scenarios ~architecture ~mapping)
 
 let create_session ctx (request : Http.request) _params =
+  reject_read_only ctx;
   let json = parse_body request in
   let id = required_string json "id" in
   let policy = parse_policy json in
@@ -294,6 +327,7 @@ let create_session ctx (request : Http.request) _params =
                ]))
 
 let delete_session ctx _request params =
+  reject_read_only ctx;
   let id = Router.param params "id" in
   if Registry.remove ctx.registry id then
     json_reply ctx (Jsonlight.Obj [ ("deleted", Jsonlight.String id) ])
@@ -529,6 +563,7 @@ let parse_diff_ops session json =
       reply_error 400 ~category:"bad_request" "missing \"ops\" list"
 
 let diff ctx (request : Http.request) params =
+  reject_read_only ctx;
   let id = Router.param params "id" in
   let json = parse_body request in
   (* the registry applies and journals the ops atomically; the parse
@@ -554,6 +589,104 @@ let diff ctx (request : Http.request) params =
                      (Core.Sosae.Session.project session).Core.Sosae.architecture
                  );
                ]))
+
+(* POST /sessions/:id/diff/preview — expand and validate a diff body
+   (including excise, which reads the current link set) without
+   applying anything. A read, so replicas serve it: a client can dry-
+   run an evolution against a replica before sending it to the
+   primary. *)
+let diff_preview ctx (request : Http.request) params =
+  let id = Router.param params "id" in
+  let json = parse_body request in
+  with_session ctx id (fun session ->
+      let ops = parse_diff_ops session json in
+      let encoded =
+        match Persist.encode_ops ops with
+        | Some j -> j
+        (* parse_diff_ops only produces removals/renames, which all
+           have a wire encoding *)
+        | None -> Jsonlight.List []
+      in
+      json_reply ctx
+        (Jsonlight.Obj
+           [ ("would_apply", Jsonlight.Int (List.length ops)); ("ops", encoded) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Replication                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* GET /replication — the role and lag surface, one JSON object for
+   either role. *)
+let replication ctx _request _params =
+  let int64 v = Jsonlight.Int (Int64.to_int v) in
+  let fields =
+    match ctx.role with
+    | Replica r ->
+        [
+          ("role", Jsonlight.String "replica");
+          ("primary", Jsonlight.String (Replica.primary_address r));
+          ("applied_seq", int64 (Replica.applied_seq r));
+          ("covered_seq", int64 (Replica.covered_seq r));
+          ("lag", int64 (Replica.lag r));
+        ]
+        @ (match Replica.last_error r with
+          | Some e -> [ ("last_error", Jsonlight.String e) ]
+          | None -> [])
+    | Primary -> (
+        ("role", Jsonlight.String "primary")
+        ::
+        (match Registry.persist ctx.registry with
+        | Some p ->
+            let covered = Persist.covered_seq p in
+            (* a primary applies its own writes before journaling them *)
+            [
+              ("applied_seq", int64 covered);
+              ("covered_seq", int64 covered);
+              ("lag", Jsonlight.Int 0);
+            ]
+        | None -> []))
+  in
+  json_reply ctx (Jsonlight.Obj fields)
+
+(* GET /replication/log?after=N — the ship endpoint: raw framed
+   journal records, gated at the covered sequence number. The body is
+   bytes, not JSON; the covered seq and the reset flag ride in
+   headers so the replica never parses the payload twice. *)
+let replication_log ctx (request : Http.request) _params =
+  match Registry.persist ctx.registry with
+  | None ->
+      error_response 409 ~category:"no_journal"
+        "this daemon has no journal to ship (started without --data-dir)"
+  | Some p ->
+      let after =
+        match List.assoc_opt "after" request.Http.query with
+        | None -> 0L
+        | Some v -> (
+            match Int64.of_string_opt v with
+            | Some n when n >= 0L -> n
+            | Some _ | None ->
+                reply_error 400 ~category:"bad_request"
+                  "\"after\" must be a non-negative integer")
+      in
+      let max_bytes =
+        match List.assoc_opt "max_bytes" request.Http.query with
+        | None -> None
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n when n > 0 -> Some n
+            | Some _ | None ->
+                reply_error 400 ~category:"bad_request"
+                  "\"max_bytes\" must be a positive integer")
+      in
+      let batch = Persist.ship ?max_bytes p ~after in
+      Http.response
+        ~headers:
+          ([
+             ("Content-Type", "application/octet-stream");
+             ("X-Sosae-Covered", Int64.to_string batch.Store.Ship.covered);
+           ]
+          @ if batch.Store.Ship.reset then [ ("X-Sosae-Reset", "1") ] else [])
+        200 batch.Store.Ship.data
 
 (* ------------------------------------------------------------------ *)
 (* Simulation campaigns                                                *)
@@ -746,6 +879,8 @@ let routes : ctx Router.route list =
   [
     Router.route Http.GET "/health" health;
     Router.route Http.GET "/metrics" metrics;
+    Router.route Http.GET "/replication" replication;
+    Router.route Http.GET "/replication/log" replication_log;
     Router.route Http.GET "/sessions" list_sessions;
     Router.route Http.POST "/sessions" create_session;
     Router.route Http.GET "/sessions/:id/stats" session_stats;
@@ -753,6 +888,7 @@ let routes : ctx Router.route list =
     Router.route Http.POST "/sessions/:id/evaluate/batch" evaluate_batch;
     Router.route Http.POST "/sessions/:id/simulate" simulate;
     Router.route Http.POST "/sessions/:id/diff" diff;
+    Router.route Http.POST "/sessions/:id/diff/preview" diff_preview;
     Router.route Http.DELETE "/sessions/:id" delete_session;
   ]
 
@@ -768,16 +904,12 @@ let handle ctx request =
         String.concat ", " (List.map Http.meth_to_string meths)
       in
       ( "<unmatched>",
-        {
-          (error_response 405 ~category:"method_not_allowed"
-             (Printf.sprintf "%s does not support %s (allowed: %s)"
-                request.Http.target
-                (Http.meth_to_string request.Http.meth)
-                allow))
-          with
-          Http.resp_headers =
-            [ ("Content-Type", "application/json"); ("Allow", allow) ];
-        } )
+        error_response 405 ~category:"method_not_allowed"
+          ~headers:[ ("Allow", allow) ]
+          (Printf.sprintf "%s does not support %s (allowed: %s)"
+             request.Http.target
+             (Http.meth_to_string request.Http.meth)
+             allow) )
   | exception Reply response -> ("<error>", response)
   | exception e ->
       ( "<error>",

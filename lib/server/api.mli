@@ -3,12 +3,20 @@
     what lets the e2e tests also call {!handle} directly.
 
     Every error response is
-    [{"error":{"category":<string>,"message":<string>}}]. Categories
+    [{"error":{"category":<string>,"message":<string>}}] (possibly
+    with extra machine-readable fields in the error object). Categories
     mirror {!Core.Sosae.load_error} for loading failures ([io_error],
     [xml_error], [schema_error]) and extend them with [apply_error],
     [bad_request], [not_found], [method_not_allowed],
-    [payload_too_large], [unsupported], [overloaded], [timeout] and
-    [internal].
+    [payload_too_large], [unsupported], [overloaded], [timeout],
+    [read_only], [no_journal] and [internal].
+
+    Roles: a daemon is a [Primary] (the default) or a [Replica]
+    feeding off one. A replica serves every read — [GET]s, evaluate,
+    evaluate/batch, diff/preview, simulate — from its locally applied
+    copy, and rejects mutations ([POST /sessions], [DELETE],
+    [POST .../diff]) with [421] [read_only], the primary's address in
+    the error object's ["primary"] field, and [Retry-After: 1].
 
     Endpoints:
     - [GET /health] — liveness: status, version, session count.
@@ -43,21 +51,48 @@
       removes every link between two elements (the paper's Fig. 4
       excision as an API call). 409 [apply_error] when an op does not
       apply, and the session is untouched.
-    - [DELETE /sessions/:id] — drop a session. *)
+    - [POST /sessions/:id/diff/preview] — expand and validate the same
+      body without applying anything; answers the expanded op list.
+      Served by replicas (it is a read).
+    - [DELETE /sessions/:id] — drop a session.
+    - [GET /replication] — role, primary address (replicas), applied
+      and covered sequence numbers, lag.
+    - [GET /replication/log?after=N] — the ship endpoint: raw
+      {!Store.Record}-framed journal records with sequence numbers in
+      [(N, covered]] as [application/octet-stream], the covered seq in
+      [X-Sosae-Covered], and [X-Sosae-Reset: 1] when the body is a
+      snapshot bootstrap. [409] [no_journal] without a data dir. *)
 
 type writer_pool
 (** A free-list of {!Jsonlight.Writer}s; every response render checks
     one out, so steady-state traffic reuses a few grown-to-size buffers
     instead of allocating per response. *)
 
-type ctx = { registry : Registry.t; metrics : Metrics.t; writers : writer_pool }
+type role = Primary | Replica of Replica.t
+
+type ctx = {
+  registry : Registry.t;
+  metrics : Metrics.t;
+  writers : writer_pool;
+  mutable role : role;
+      (** set once by the daemon before serving; flipped to [Primary]
+          by a promotion *)
+}
 
 val make_ctx : ?jobs:int -> ?persist:Persist.t -> unit -> ctx
 (** [persist] makes every registry mutation durable (see {!Registry});
     the caller replays recovered mutations with {!Registry.recover}
-    before serving. *)
+    before serving. The role starts as [Primary]. *)
 
-val error_response : int -> category:string -> string -> Http.response
+val error_response :
+  ?headers:(string * string) list ->
+  ?extra:(string * Jsonlight.t) list ->
+  int ->
+  category:string ->
+  string ->
+  Http.response
+(** [headers] are appended after [Content-Type]; [extra] fields are
+    appended inside the error object. *)
 
 val response_of_parse_error : Http.parse_error -> Http.response
 (** 400/413/501 with the matching category, for the connection layer. *)

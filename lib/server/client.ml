@@ -190,6 +190,40 @@ let default_policy =
 
 let retryable_status status = status = 408 || status = 429 || status = 503
 
+(* ------------------------------------------------------------------ *)
+(* Replica awareness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A replica's mutation rejection: 421 with the primary's address in
+   the error object. 421 is deliberately NOT retryable — asking the
+   same replica again can never succeed — so a plain caller fails
+   fast; [~follow_primary] turns the address into a redirect. *)
+let read_only_primary r =
+  if r.status <> 421 then None
+  else
+    match Jsonlight.of_string r.body with
+    | Error _ -> None
+    | Ok json ->
+        Option.bind (Jsonlight.member "error" json) (fun e ->
+            Option.bind (Jsonlight.member "primary" e) Jsonlight.string_opt)
+
+(* "HOST:PORT" — split on the LAST colon so a future bracketed host
+   at least fails closed instead of mis-parsing *)
+let split_address s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && host <> "" -> Some (host, p)
+      | Some _ | None -> None)
+
+let redirect_target r =
+  Option.bind (read_only_primary r) split_address
+
+let connect_to (host, port) = connect ~host ~port ()
+
 (* Exponential growth capped at [max_delay], then shrunk by up to
    [jitter] of itself so a herd of retrying clients spreads out. The
    rng threads through, so a fixed seed gives a fixed schedule. *)
@@ -215,17 +249,23 @@ type persistent = {
   policy : retry_policy;
   sleep : float -> unit;
   rng : Random.State.t;
+  follow_primary : bool;
   mutable conn : t option;
+  (* once a read-only rejection advertised the primary, connect there
+     instead of through [reconnect] *)
+  mutable redirect : (string * int) option;
 }
 
 let persistent ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
-    connect =
+    ?(follow_primary = false) connect =
   {
     reconnect = connect;
     policy;
     sleep;
     rng = Random.State.make [| seed |];
+    follow_primary;
     conn = None;
+    redirect = None;
   }
 
 let drop_conn p =
@@ -239,7 +279,12 @@ let call p f =
     match p.conn with
     | Some t -> Ok t
     | None -> (
-        match p.reconnect () with
+        let fresh () =
+          match p.redirect with
+          | Some target -> connect_to target
+          | None -> p.reconnect ()
+        in
+        match fresh () with
         | t ->
             p.conn <- Some t;
             Ok t
@@ -275,6 +320,15 @@ let call p f =
       end
     in
     match outcome with
+    | Ok r
+      when p.follow_primary && redirect_target r <> None
+           && i + 1 < p.policy.max_attempts ->
+        (* reconnect to the advertised primary; counts as an attempt
+           but skips the backoff — the primary is a different host,
+           not a recovering one *)
+        p.redirect <- redirect_target r;
+        drop_conn p;
+        attempt (i + 1)
     | Ok r when retryable_status r.status -> retry ()
     | Ok _ -> outcome
     | Error _ -> retry ()
@@ -282,10 +336,16 @@ let call p f =
   attempt 0
 
 let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
-    ~connect f =
+    ?(follow_primary = false) ~connect f =
   let rng = Random.State.make [| seed |] in
+  let redirect = ref None in
   let once () =
-    match connect () with
+    let fresh () =
+      match !redirect with
+      | Some target -> connect_to target
+      | None -> connect ()
+    in
+    match fresh () with
     | exception Unix.Unix_error (e, _, _) ->
         (* connect refused/reset: the daemon may be restarting *)
         Error (Unix.error_message e)
@@ -301,8 +361,49 @@ let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
       end
     in
     match outcome with
+    | Ok r
+      when follow_primary && redirect_target r <> None
+           && i + 1 < policy.max_attempts ->
+        redirect := redirect_target r;
+        attempt (i + 1)
     | Ok r when retryable_status r.status -> retry ()
     | Ok _ -> outcome
     | Error _ -> retry ()
   in
   attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Replication status                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type replication = {
+  role : string;
+  primary : string option;
+  applied_seq : int64;
+  covered_seq : int64;
+  lag : int64;
+}
+
+let replication t =
+  let* r = get t "/replication" in
+  if r.status <> 200 then
+    Error (Printf.sprintf "GET /replication answered %d" r.status)
+  else
+    let* json = Jsonlight.of_string r.body in
+    let str name = Option.bind (Jsonlight.member name json) Jsonlight.string_opt in
+    let int64 name =
+      match Option.bind (Jsonlight.member name json) Jsonlight.int_opt with
+      | Some i -> Int64.of_int i
+      | None -> 0L
+    in
+    match str "role" with
+    | None -> Error "malformed /replication response: no \"role\""
+    | Some role ->
+        Ok
+          {
+            role;
+            primary = str "primary";
+            applied_seq = int64 "applied_seq";
+            covered_seq = int64 "covered_seq";
+            lag = int64 "lag";
+          }

@@ -54,7 +54,14 @@ val default_policy : retry_policy
     case a little under 4 s of waiting. *)
 
 val retryable_status : int -> bool
-(** [true] for 408 (request timeout), 429 (overloaded) and 503. *)
+(** [true] for 408 (request timeout), 429 (overloaded) and 503.
+    Deliberately NOT 421 (a replica's read-only rejection): retrying
+    the same replica can never succeed, so plain calls fail fast and
+    only [~follow_primary] redirects. *)
+
+val read_only_primary : response -> string option
+(** [Some "HOST:PORT"] when the response is a replica's [421]
+    [read_only] rejection advertising its primary. *)
 
 val backoff_schedule : ?seed:int -> retry_policy -> float list
 (** The exact delays {!with_retry} would sleep with the same [seed] —
@@ -74,12 +81,16 @@ val persistent :
   ?policy:retry_policy ->
   ?seed:int ->
   ?sleep:(float -> unit) ->
+  ?follow_primary:bool ->
   (unit -> t) ->
   persistent
 (** [persistent connect] — no connection is opened until the first
     {!call}. [policy], [seed], and [sleep] mean what they mean for
     {!with_retry}; the jitter schedule is shared across the handle's
-    lifetime. Not thread-safe: one handle per thread. *)
+    lifetime. With [follow_primary] (default [false]), a replica's
+    [421] [read_only] rejection makes the handle reconnect to the
+    advertised primary — sticky for the handle's lifetime — instead of
+    returning the 421. Not thread-safe: one handle per thread. *)
 
 val call : persistent -> (t -> (response, string) result) -> (response, string) result
 (** Run [f] on the held connection, opening or reopening it as needed.
@@ -101,6 +112,7 @@ val with_retry :
   ?policy:retry_policy ->
   ?seed:int ->
   ?sleep:(float -> unit) ->
+  ?follow_primary:bool ->
   connect:(unit -> t) ->
   (t -> (response, string) result) ->
   (response, string) result
@@ -111,4 +123,21 @@ val with_retry :
     reconnect, up to [policy.max_attempts] tries; the final outcome is
     returned as-is when retries run out. [seed] fixes the jitter
     schedule; [sleep] (default [Unix.sleepf]) is injectable so tests
-    can record delays instead of waiting. *)
+    can record delays instead of waiting. With [follow_primary]
+    (default [false]), a [421] [read_only] response redirects the
+    remaining attempts to the advertised primary — the redirect counts
+    as an attempt but skips the backoff sleep. *)
+
+(** {2 Replication status} *)
+
+type replication = {
+  role : string;  (** ["primary"] or ["replica"] *)
+  primary : string option;  (** upstream address, when a replica *)
+  applied_seq : int64;
+  covered_seq : int64;
+  lag : int64;
+}
+
+val replication : t -> (replication, string) result
+(** [GET /replication], decoded. Sequence fields are [0L] when the
+    server omits them (a primary without a journal). *)

@@ -19,6 +19,8 @@ type config = {
   fsync : Store.Journal.fsync_policy;
   group_window : float;
   compact_threshold : int;
+  replica_of : (string * int) option;
+  replica_poll : float;
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     fsync = Store.Journal.Always;
     group_window = 0.0;
     compact_threshold = 8 * 1024 * 1024;
+    replica_of = None;
+    replica_poll = 0.02;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -200,6 +204,7 @@ type t = {
   unix_listener : Unix.file_descr option;
   queue : queue;
   threads : Thread.t list;
+  replica : Replica.t option;
   maintenance : Thread.t option;
   maintenance_stop : bool Atomic.t;
   stop_lock : Mutex.t;
@@ -283,6 +288,10 @@ let maintenance_loop t =
 let start ?(config = default_config) () =
   (* writes to peers that hung up must fail with EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* a replica's state is the primary's shipped journal, never its own
+     — giving it a data dir would create a second, diverging history *)
+  if config.replica_of <> None && config.data_dir <> None then
+    invalid_arg "Daemon.start: --replica-of and --data-dir are mutually exclusive";
   let persist =
     Option.map
       (fun dir ->
@@ -318,6 +327,21 @@ let start ?(config = default_config) () =
                Printf.sprintf ", %d torn tail byte(s) discarded"
                  recovery.Persist.truncated_bytes
              else "")));
+  (* the role is fixed before the first connection is accepted, so no
+     request ever races a half-initialized replica *)
+  let replica =
+    Option.map
+      (fun (host, port) ->
+        let r =
+          Replica.start ~poll_interval:config.replica_poll
+            ~registry:api_ctx.Api.registry ~metrics:api_ctx.Api.metrics ~host
+            ~port ()
+        in
+        api_ctx.Api.role <- Api.Replica r;
+        Log.info (fun m -> m "replicating from %s" (Replica.primary_address r));
+        r)
+      config.replica_of
+  in
   let tcp_listener, tcp_port = listen_tcp ~host:config.host ~port:config.port in
   let unix_listener =
     match config.unix_path with
@@ -338,6 +362,7 @@ let start ?(config = default_config) () =
       unix_listener;
       queue;
       threads = [];
+      replica;
       maintenance = None;
       maintenance_stop = Atomic.make false;
       stop_lock = Mutex.create ();
@@ -371,6 +396,30 @@ let start ?(config = default_config) () =
 let port t = t.tcp_port
 let ctx t = t.api_ctx
 
+let promote t =
+  match t.replica with
+  | None -> ()
+  | Some r ->
+      if not (Replica.sealed r) then begin
+        (* seal first: once the role flips to [Primary], mutations are
+           accepted, and a still-running apply loop could overwrite
+           them with stale shipped records *)
+        Replica.seal r;
+        t.api_ctx.Api.role <- Api.Primary;
+        Metrics.set_replication t.api_ctx.Api.metrics
+          {
+            Metrics.role = "primary";
+            primary = None;
+            applied_seq = Replica.applied_seq r;
+            covered_seq = Replica.applied_seq r;
+            lag = 0L;
+          };
+        Log.info (fun m ->
+            m "promoted to primary at seq %Ld (was replicating from %s)"
+              (Replica.applied_seq r)
+              (Replica.primary_address r))
+      end
+
 let stop t =
   let first =
     Mutex.protect t.stop_lock (fun () ->
@@ -396,6 +445,7 @@ let stop t =
        checkpoint: both write the snapshot temp file *)
     Atomic.set t.maintenance_stop true;
     Option.iter Thread.join t.maintenance;
+    Option.iter Replica.seal t.replica;
     (* workers are drained, so the state is quiescent: checkpoint it
        into a snapshot and close the journal cleanly *)
     (match Registry.persist t.api_ctx.Api.registry with
@@ -419,15 +469,26 @@ let run ?(config = default_config) () =
     | Some p -> Printf.sprintf " and %s" p
     | None -> "");
   let shutdown = Atomic.make false in
+  let promote_requested = Atomic.make false in
   let request_stop _ = Atomic.set shutdown true in
+  let request_promote _ = Atomic.set promote_requested true in
   let previous =
     List.map
       (fun s -> (s, Sys.signal s (Sys.Signal_handle request_stop)))
       [ Sys.sigterm; Sys.sigint ]
+    @
+    match t.replica with
+    | None -> []
+    | Some _ -> [ (Sys.sigusr1, Sys.signal Sys.sigusr1 (Sys.Signal_handle request_promote)) ]
   in
-  (* the handler only flips the flag — stop() joins threads, which is
-     not async-signal-safe work, so it runs here on the main thread *)
+  (* the handlers only flip flags — stop() and promote() join threads,
+     which is not async-signal-safe work, so they run here on the main
+     thread *)
   while not (Atomic.get shutdown) do
+    if Atomic.get promote_requested then begin
+      Atomic.set promote_requested false;
+      promote t
+    end;
     Unix.sleepf 0.1
   done;
   stop t;

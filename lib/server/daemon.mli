@@ -63,6 +63,17 @@ type config = {
   compact_threshold : int;
       (** journal bytes past which the maintenance thread snapshots
           and rotates it (off the request path); default 8 MiB *)
+  replica_of : (string * int) option;
+      (** boot as a read replica of the primary at [(host, port)]: a
+          background loop tails the primary's journal over
+          [GET /replication/log] and applies it locally, reads are
+          served from the applied copy, and mutations answer [421]
+          [read_only] naming the primary. Mutually exclusive with
+          [data_dir] ({!start} raises [Invalid_argument]) — a
+          replica's only history is the primary's shipped journal. *)
+  replica_poll : float;
+      (** seconds the apply loop sleeps between polls once caught up;
+          default 0.02 *)
 }
 
 val default_config : config
@@ -89,6 +100,13 @@ val port : t -> int
 val ctx : t -> Api.ctx
 (** The live registry + metrics, for in-process inspection. *)
 
+val promote : t -> unit
+(** Replica → primary: seal the apply loop (no further shipped record
+    is applied), then flip the role so mutations are accepted. The
+    sealed state is exactly the applied prefix of the old primary's
+    journal. No-op on a primary or an already-promoted replica.
+    {!run} wires this to [SIGUSR1]. *)
+
 val stop : t -> unit
 (** Graceful drain; idempotent. Returns once every worker has exited.
     With persistence, the drained state is then checkpointed into a
@@ -97,4 +115,6 @@ val stop : t -> unit
 
 val run : ?config:config -> unit -> unit
 (** [start], print the bound address on stdout, then block until
-    [SIGTERM] or [SIGINT], then [stop]. The CLI entry point. *)
+    [SIGTERM] or [SIGINT], then [stop]. When booted with
+    [replica_of], [SIGUSR1] triggers {!promote}. The CLI entry
+    point. *)

@@ -34,6 +34,18 @@ type t = {
      byte-identical *)
   mutable group : Store.Journal.Group.stats option;
   mutable recovery : recovery option;
+  (* replication status; rendered only when the daemon has a role
+     worth reporting (replica, or primary after a promotion), so a
+     plain single-process server keeps /metrics byte-identical *)
+  mutable replication : replication option;
+}
+
+and replication = {
+  role : string;  (** "primary" or "replica" *)
+  primary : string option;  (** the upstream, when a replica *)
+  applied_seq : int64;
+  covered_seq : int64;
+  lag : int64;
 }
 
 let create () =
@@ -53,6 +65,7 @@ let create () =
     journal_compactions = 0;
     group = None;
     recovery = None;
+    replication = None;
   }
 
 let with_lock t f = Mutex.protect t.lock f
@@ -97,6 +110,8 @@ let set_recovery t recovery =
   with_lock t (fun () ->
       t.journal_enabled <- true;
       t.recovery <- Some recovery)
+
+let set_replication t r = with_lock t (fun () -> t.replication <- Some r)
 
 let to_json t ~extra =
   with_lock t (fun () ->
@@ -191,6 +206,24 @@ let to_json t ~extra =
                     ]) );
           ]
       in
+      let replication =
+        match t.replication with
+        | None -> []
+        | Some r ->
+            [
+              ( "replication",
+                Jsonlight.Obj
+                  ([ ("role", Jsonlight.String r.role) ]
+                  @ (match r.primary with
+                    | Some p -> [ ("primary", Jsonlight.String p) ]
+                    | None -> [])
+                  @ [
+                      ("applied_seq", Jsonlight.Int (Int64.to_int r.applied_seq));
+                      ("covered_seq", Jsonlight.Int (Int64.to_int r.covered_seq));
+                      ("lag", Jsonlight.Int (Int64.to_int r.lag));
+                    ]) );
+            ]
+      in
       Jsonlight.Obj
         ([
            ("requests", Jsonlight.List requests);
@@ -205,6 +238,6 @@ let to_json t ~extra =
            ("rejected_overload", Jsonlight.Int t.rejected_overload);
            ("rejected_timeout", Jsonlight.Int t.rejected_timeout);
          ]
-        @ journal @ extra))
+        @ journal @ replication @ extra))
 
 let write t ~extra w = Jsonlight.Writer.json w (to_json t ~extra)

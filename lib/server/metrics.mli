@@ -55,6 +55,21 @@ val set_recovery : t -> recovery -> unit
 (** Record the outcome of boot-time recovery, rendered under
     [journal.recovery]. *)
 
+(** {2 Replication} *)
+
+type replication = {
+  role : string;  (** ["primary"] or ["replica"] *)
+  primary : string option;  (** upstream [HOST:PORT] when a replica *)
+  applied_seq : int64;  (** highest shipped record applied locally *)
+  covered_seq : int64;  (** the primary's fsync-covered high-water mark *)
+  lag : int64;  (** [covered_seq - applied_seq] *)
+}
+
+val set_replication : t -> replication -> unit
+(** Overwrite the replication status, rendered as a top-level
+    [replication] object. Never set on a plain single-process server,
+    whose [/metrics] stays byte-identical. *)
+
 val to_json : t -> extra:(string * Jsonlight.t) list -> Jsonlight.t
 (** Snapshot; [extra] is appended verbatim (the API layer adds
     registry-wide cache statistics). Buckets are upper bounds in

@@ -252,6 +252,7 @@ type t = {
   (* journal records serialize into one reused buffer; [lock] already
      serializes every append, so the writer needs no lock of its own *)
   writer : Jsonlight.Writer.t;
+  shipper : Store.Ship.t;  (* serves the journal to replicas *)
 }
 
 let sync_metrics t =
@@ -283,6 +284,7 @@ let open_ ?(fsync = Store.Journal.Always) ?group
       fsync;
       metrics = None;
       writer = Jsonlight.Writer.create ~size:(16 * 1024) ();
+      shipper = Store.Ship.create wal;
     },
     {
       mutations = List.rev_append state_mutations (List.rev entry_mutations);
@@ -326,6 +328,10 @@ let compact_background t ~state =
 let flush t = Mutex.protect t.lock (fun () -> ignore (Store.Wal.flush t.wal))
 
 let fsync_policy t = t.fsync
+
+let covered_seq t = Store.Ship.covered_seq t.shipper
+
+let ship ?max_bytes t ~after = Store.Ship.fetch ?max_bytes t.shipper ~after
 
 let stats t = Store.Wal.stats t.wal
 

@@ -104,6 +104,14 @@ val flush : t -> unit
 
 val fsync_policy : t -> Store.Journal.fsync_policy
 
+val covered_seq : t -> int64
+(** Highest journaled sequence number safe to ship to a replica —
+    see {!Store.Ship.covered_seq}. *)
+
+val ship : ?max_bytes:int -> t -> after:int64 -> Store.Ship.batch
+(** Serve the next batch of framed journal records to a replica —
+    see {!Store.Ship.fetch}. *)
+
 val stats : t -> Store.Wal.counters
 (** Lifetime journal counters (appends, bytes, fsyncs, compactions). *)
 

@@ -319,48 +319,90 @@ type recovery_stats = { applied : int; skipped : int }
    journal. A record that no longer applies is skipped, not fatal —
    the benign source is the compaction overlap window (a mutation
    journaled just before a snapshot that already contains its effect),
-   and recovery must get the registry up regardless. *)
-let recover t mutations =
+   and recovery must get the registry up regardless.
+
+   [serving] distinguishes boot-time recovery (the registry is
+   quiescent: no locks needed, no cache to invalidate) from a
+   replica's live apply loop, where `/stats` and evaluates run
+   concurrently: then every table access goes through [t.lock], every
+   session edit through its own lock, and create/remove invalidate the
+   response cache exactly like the primary's mutation path. *)
+let apply_mutations t ~serving mutations =
   let applied = ref 0 and skipped = ref 0 in
   let ok () = incr applied in
   let skip () = incr skipped in
+  let locked f = if serving then Mutex.protect t.lock f else f () in
+  let exclusively s f =
+    if serving then Core.Sosae.Session.exclusively s f else f ()
+  in
   List.iter
     (fun mutation ->
       match mutation with
       | Persist.Create { id; policy; scenarios; architecture; mapping } -> (
-          if Hashtbl.mem t.sessions id then skip ()
+          if locked (fun () -> Hashtbl.mem t.sessions id) then skip ()
           else
             match Core.Sosae.project_of_strings ~scenarios ~architecture ~mapping with
             | Ok project ->
                 let config = Walkthrough.Engine.config ~policy () in
-                Hashtbl.replace t.sessions id
-                  (Core.Sosae.Session.create ~config project);
+                let session = Core.Sosae.Session.create ~config project in
+                locked (fun () -> Hashtbl.replace t.sessions id session);
+                if serving then drop_cached t id;
                 ok ()
             | Error _ -> skip ())
       | Persist.Diff { id; ops } -> (
-          match Hashtbl.find_opt t.sessions id with
+          match locked (fun () -> Hashtbl.find_opt t.sessions id) with
           | None -> skip ()
           | Some session -> (
-              match Core.Sosae.Session.apply_diff session ops with
+              match
+                exclusively session (fun () ->
+                    Core.Sosae.Session.apply_diff session ops)
+              with
               | () -> ok ()
               | exception Adl.Diff.Apply_error _ -> skip ()))
       | Persist.Set_architecture { id; architecture } -> (
-          match Hashtbl.find_opt t.sessions id with
+          match locked (fun () -> Hashtbl.find_opt t.sessions id) with
           | None -> skip ()
           | Some session -> (
               match Adl.Xml_io.of_string architecture with
               | arch ->
-                  Core.Sosae.Session.set_architecture session arch;
+                  exclusively session (fun () ->
+                      Core.Sosae.Session.set_architecture session arch);
                   ok ()
               | exception Adl.Xml_io.Malformed _ -> skip ()))
       | Persist.Remove { id } ->
-          if Hashtbl.mem t.sessions id then begin
-            Hashtbl.remove t.sessions id;
+          let removed =
+            locked (fun () ->
+                if Hashtbl.mem t.sessions id then begin
+                  Hashtbl.remove t.sessions id;
+                  true
+                end
+                else false)
+          in
+          if removed then begin
+            if serving then drop_cached t id;
             ok ()
           end
           else skip ())
     mutations;
   { applied = !applied; skipped = !skipped }
+
+let recover t mutations = apply_mutations t ~serving:false mutations
+
+(* The replica apply loop. Holds [mu] for the batch — mutations on a
+   replica come only from here (the API rejects writes), but holding
+   the mutation lock keeps the invariant "journal order = apply order"
+   stated once, and makes promotion safe: after [mu] is released and
+   the loop stopped, the primary's mutation path finds the same
+   ordering discipline it relies on. A [reset] batch (snapshot
+   bootstrap after the primary compacted away our position) clears
+   everything first. *)
+let apply_shipped t ~reset mutations =
+  Mutex.protect t.mu (fun () ->
+      if reset then begin
+        Mutex.protect t.lock (fun () -> Hashtbl.reset t.sessions);
+        Mutex.protect t.cache_lock (fun () -> Hashtbl.reset t.cache)
+      end;
+      apply_mutations t ~serving:true mutations)
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                              *)

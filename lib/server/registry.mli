@@ -73,6 +73,15 @@ val recover : t -> Persist.mutation list -> recovery_stats
     counted in [skipped] and dropped. Not thread-safe; call before
     serving. *)
 
+val apply_shipped : t -> reset:bool -> Persist.mutation list -> recovery_stats
+(** The replica apply loop's entry point: like {!recover} but safe
+    while the registry is serving reads — the batch is applied under
+    the mutation lock, table accesses under the registry lock, session
+    edits under each session's own lock, and create/remove invalidate
+    the response cache. [reset] first clears every session and cached
+    response (the batch is a snapshot bootstrap: the primary compacted
+    away the records after this replica's position). *)
+
 val checkpoint : t -> unit
 (** Compact now: snapshot the current state and empty the journal.
     No-op without persistence. The daemon calls this during SIGTERM

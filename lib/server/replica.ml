@@ -1,0 +1,174 @@
+(* A follower's continuous apply loop: poll the primary's ship
+   endpoint and fold each batch into the local registry while it
+   serves reads. The loop owns one client connection and survives the
+   primary restarting (reconnect), compacting (reset batches), and
+   dying (the error is surfaced, polling continues until {!seal}). *)
+
+type t = {
+  host : string;
+  port : int;
+  registry : Registry.t;
+  metrics : Metrics.t;
+  poll_interval : float;
+  lock : Mutex.t;
+  mutable applied : int64;  (* highest shipped seq applied locally *)
+  mutable covered : int64;  (* primary's covered seq, last seen *)
+  mutable error : string option;  (* last fetch/apply failure *)
+  mutable sealed : bool;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let primary_address t = Printf.sprintf "%s:%d" t.host t.port
+
+let applied_seq t = Mutex.protect t.lock (fun () -> t.applied)
+let covered_seq t = Mutex.protect t.lock (fun () -> t.covered)
+
+let lag t =
+  Mutex.protect t.lock (fun () ->
+      if t.covered > t.applied then Int64.sub t.covered t.applied else 0L)
+
+let last_error t = Mutex.protect t.lock (fun () -> t.error)
+let sealed t = Mutex.protect t.lock (fun () -> t.sealed)
+
+let header name headers =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = name then Some v else None)
+    headers
+
+let publish t =
+  let applied, covered =
+    Mutex.protect t.lock (fun () -> (t.applied, t.covered))
+  in
+  Metrics.set_replication t.metrics
+    {
+      Metrics.role = "replica";
+      primary = Some (primary_address t);
+      applied_seq = applied;
+      covered_seq = covered;
+      lag = (if covered > applied then Int64.sub covered applied else 0L);
+    }
+
+let set_error t msg =
+  Mutex.protect t.lock (fun () -> t.error <- Some msg)
+
+(* Fold one shipped batch into the registry. The snapshot meta record
+   (empty payload) and anything undecodable are dropped, but the
+   applied high-water mark still advances past them — their sequence
+   numbers are consumed either way. *)
+let apply_batch t ~reset ~covered records =
+  let mutations =
+    List.filter_map
+      (fun (_seq, payload) ->
+        if payload = "" then None
+        else
+          match Persist.decode payload with Ok m -> Some m | Error _ -> None)
+      records
+  in
+  ignore (Registry.apply_shipped t.registry ~reset mutations);
+  let last =
+    List.fold_left
+      (fun acc (seq, _) -> if seq > acc then seq else acc)
+      0L records
+  in
+  Mutex.protect t.lock (fun () ->
+      if last > t.applied then t.applied <- last;
+      if covered > t.covered then t.covered <- covered;
+      t.error <- None)
+
+let run t =
+  let conn = ref None in
+  let drop () =
+    (match !conn with Some c -> Client.close c | None -> ());
+    conn := None
+  in
+  (* one poll; [true] when a batch was applied (poll again at once) *)
+  let step () =
+    try
+      let c =
+        match !conn with
+        | Some c -> c
+        | None ->
+            let c = Client.connect ~host:t.host ~port:t.port () in
+            conn := Some c;
+            c
+      in
+      let after = Mutex.protect t.lock (fun () -> t.applied) in
+      match Client.get c (Printf.sprintf "/replication/log?after=%Ld" after) with
+      | Ok { Client.status = 200; headers; body } -> (
+          let covered =
+            match
+              Option.bind (header "x-sosae-covered" headers) Int64.of_string_opt
+            with
+            | Some v -> v
+            | None -> after
+          in
+          let reset = header "x-sosae-reset" headers = Some "1" in
+          match Store.Ship.decode body with
+          | Ok [] when not reset ->
+              Mutex.protect t.lock (fun () ->
+                  if covered > t.covered then t.covered <- covered;
+                  t.error <- None);
+              false
+          | Ok records ->
+              apply_batch t ~reset ~covered records;
+              true
+          | Error e ->
+              set_error t ("bad shipped batch: " ^ e);
+              drop ();
+              false)
+      | Ok { Client.status; _ } ->
+          set_error t (Printf.sprintf "primary answered %d" status);
+          false
+      | Error e ->
+          set_error t e;
+          drop ();
+          false
+    with e ->
+      set_error t (Printexc.to_string e);
+      drop ();
+      false
+  in
+  while not (Atomic.get t.stop) do
+    let progressed = step () in
+    publish t;
+    if (not progressed) && not (Atomic.get t.stop) then
+      Unix.sleepf t.poll_interval
+  done;
+  drop ()
+
+let start ?(poll_interval = 0.02) ~registry ~metrics ~host ~port () =
+  let t =
+    {
+      host;
+      port;
+      registry;
+      metrics;
+      poll_interval;
+      lock = Mutex.create ();
+      applied = 0L;
+      covered = 0L;
+      error = None;
+      sealed = false;
+      stop = Atomic.make false;
+      thread = None;
+    }
+  in
+  publish t;
+  t.thread <- Some (Thread.create run t);
+  t
+
+let seal t =
+  let th =
+    Mutex.protect t.lock (fun () ->
+        if t.sealed then None
+        else begin
+          t.sealed <- true;
+          Atomic.set t.stop true;
+          let th = t.thread in
+          t.thread <- None;
+          th
+        end)
+  in
+  Option.iter Thread.join th

@@ -56,6 +56,8 @@ type t = {
   mutable group : group option;
   mutable mirror : (int64 * string) list option;  (* rotation capture *)
   mutable seq : int64;  (* next to assign *)
+  mutable durable_seq : int64;  (* highest seq covered by an fsync *)
+  mutable epoch : int;  (* bumped whenever the file is replaced/reset *)
   mutable dirty : bool;  (* bytes written since the last fsync *)
   mutable file_bytes : int;  (* current on-disk size *)
   mutable last_fsync : float;
@@ -125,6 +127,11 @@ let open_ ?(fsync = Always) path =
         group = None;
         mirror = None;
         seq = Int64.add last_seq 1L;
+        (* recovered records survived whatever stopped the last writer;
+           they are exactly what a restarted primary would serve, so
+           shipping treats them as covered *)
+        durable_seq = last_seq;
+        epoch = 0;
         dirty = truncated > 0;
         file_bytes = valid_end;
         last_fsync = Unix.gettimeofday ();
@@ -144,11 +151,14 @@ let open_ ?(fsync = Always) path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
 
+(* lock held: everything written so far (seq < t.seq) reached the
+   kernel before its append returned, so a completed fsync covers it *)
 let do_fsync t =
   Unix.fsync t.fd;
   t.dirty <- false;
   t.last_fsync <- Unix.gettimeofday ();
-  t.fsyncs <- t.fsyncs + 1
+  t.fsyncs <- t.fsyncs + 1;
+  t.durable_seq <- Int64.pred t.seq
 
 let maybe_fsync t =
   match t.policy with
@@ -294,7 +304,8 @@ let rec await_locked t g seq =
             if batch > g.largest then g.largest <- batch;
             g.hist.(hist_index batch) <- g.hist.(hist_index batch) + 1;
             g.synced <- covers
-          end
+          end;
+          if covers > t.durable_seq then t.durable_seq <- covers
       | Error e -> t.failed <- Some e);
       Condition.broadcast t.cond;
       await_locked t g seq
@@ -319,6 +330,9 @@ let append_group = append
 let bump_seq t past = locked t (fun () ->
     if past >= t.seq then begin
       t.seq <- Int64.add past 1L;
+      (* the skipped numbers belong to records already durable in a
+         snapshot, so they never gate shipping or group commit *)
+      if past > t.durable_seq then t.durable_seq <- past;
       match t.group with
       | Some g -> if past > g.synced then g.synced <- past
       | None -> ()
@@ -341,6 +355,7 @@ let flush t =
    just made durable, or because the file is simply gone): release
    any parked writers *)
 let mark_synced_locked t =
+  t.durable_seq <- Int64.pred t.seq;
   match t.group with
   | Some g ->
       g.synced <- Int64.pred t.seq;
@@ -353,6 +368,7 @@ let reset t =
       Unix.ftruncate t.fd 0;
       ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
       t.file_bytes <- 0;
+      t.epoch <- t.epoch + 1;
       do_fsync t;
       mark_synced_locked t)
 
@@ -403,6 +419,7 @@ let commit_rotation t =
       (try Unix.close t.fd with Unix.Unix_error _ -> ());
       t.fd <- fd;
       t.file_bytes <- Buffer.length buf;
+      t.epoch <- t.epoch + 1;
       t.dirty <- false;
       t.last_fsync <- Unix.gettimeofday ();
       t.mirror <- None;
@@ -410,6 +427,135 @@ let commit_rotation t =
          mirrored tail via the fsynced replacement file: release
          everyone *)
       mark_synced_locked t)
+
+(* Highest sequence number safe to ship to a replica. Under
+   [Always] an acknowledged write promised durability, so shipping is
+   gated on the fsync high-water mark; under [Never]/[Interval] acks
+   never implied durability and everything staged is fair game. *)
+let covered_locked t =
+  match t.policy with
+  | Always -> t.durable_seq
+  | Never | Interval _ -> Int64.pred t.seq
+
+let covered_seq t = locked t (fun () -> covered_locked t)
+
+(* ---------------- Tail (log shipping) ------------------------------ *)
+
+module Tail = struct
+  type cursor = {
+    mutable c_epoch : int;  (* journal epoch [c_off] is valid for *)
+    mutable c_off : int;  (* byte offset of the next unread record *)
+    mutable c_last : int64;  (* highest seq already returned *)
+  }
+
+  type batch = Records of string | Gap
+
+  let cursor ?(after = 0L) () = { c_epoch = -1; c_off = 0; c_last = after }
+
+  let last c = c.c_last
+
+  (* One bounded read of [path] at [off] through a private fd — the
+     journal's own fd carries the writers' implicit position. *)
+  let read_at path ~off ~len =
+    let fd = Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        let b = Bytes.create len in
+        let rec go pos =
+          if pos >= len then pos
+          else
+            match Unix.read fd b pos (len - pos) with
+            | 0 -> pos
+            | n -> go (pos + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+        in
+        Bytes.sub_string b 0 (go 0))
+
+  let read ?(max_bytes = 1 lsl 20) t c =
+    locked t (fun () ->
+        (match t.failed with Some e -> raise e | None -> ());
+        let covered = covered_locked t in
+        if c.c_epoch <> t.epoch then begin
+          (* the file was replaced or reset underneath the cursor:
+             rescan from the top, filtering by sequence number *)
+          c.c_epoch <- t.epoch;
+          c.c_off <- 0
+        end;
+        (* The lock excludes appends, truncation and rotation, so
+           [t.path]/[t.file_bytes] are stable for the whole read. *)
+        let rec attempt () =
+          if c.c_off >= t.file_bytes then
+            (* file exhausted: anything still owed lives only in the
+               snapshot now — the caller must bootstrap *)
+            if covered > c.c_last then Gap else Records ""
+          else begin
+            let remaining = t.file_bytes - c.c_off in
+            let rec load window =
+              let region = read_at t.path ~off:c.c_off ~len:window in
+              let records, _, _ = Record.decode_all region in
+              if records = [] && window < remaining && String.length region >= 4
+              then
+                (* the window split the first record; size it exactly *)
+                let need = 8 + Int32.to_int (String.get_int32_be region 0) in
+                if need > window && need <= remaining then load need
+                else (region, records)
+              else (region, records)
+            in
+            let region, records = load (min remaining (max max_bytes 65536)) in
+            let pos = ref 0 in  (* region-relative scan position *)
+            let take_start = ref (-1) in
+            let take_end = ref (-1) in
+            let last = ref c.c_last in
+            let gap = ref false in
+            (try
+               List.iter
+                 (fun (seq, payload) ->
+                   let size = Record.header_size + String.length payload in
+                   if seq <= !last then
+                     if !take_start >= 0 then raise Exit
+                     else pos := !pos + size  (* consumed pre-rotation *)
+                   else if seq > covered then raise Exit
+                   else if
+                     !take_end >= 0 && !take_end - !take_start + size > max_bytes
+                   then raise Exit
+                   else if seq <> Int64.succ !last then begin
+                     (* the missing numbers were compacted away *)
+                     gap := true;
+                     raise Exit
+                   end
+                   else begin
+                     if !take_start < 0 then take_start := !pos;
+                     pos := !pos + size;
+                     take_end := !pos;
+                     last := seq
+                   end)
+                 records
+             with Exit -> ());
+            if !take_end >= 0 then begin
+              c.c_off <- c.c_off + !take_end;
+              c.c_last <- !last;
+              Records (String.sub region !take_start (!take_end - !take_start))
+            end
+            else if !gap then Gap
+            else begin
+              (* nothing shippable in this window; skip past it and, if
+                 the scan has not reached the end of the file, keep
+                 going — progress is guaranteed because [c_off]
+                 strictly advances *)
+              c.c_off <- c.c_off + !pos;
+              if !pos > 0 then attempt ()
+              else if covered > c.c_last then
+                (* first unread record is beyond [covered]: impossible
+                   unless the numbers in between vanished *)
+                if records = [] then Gap else Records ""
+              else Records ""
+            end
+          end
+        in
+        (attempt (), covered))
+end
 
 let stats (t : t) : counters =
   { appends = t.appends; bytes = t.bytes; fsyncs = t.fsyncs }

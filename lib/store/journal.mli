@@ -143,6 +143,46 @@ val commit_rotation : t -> unit
 val abort_rotation : t -> unit
 (** Drop the mirror without touching the file (snapshot failed). *)
 
+val covered_seq : t -> int64
+(** Highest sequence number safe to ship to a replica. Under [Always]
+    this is the fsync high-water mark — an acknowledged append
+    promised durability, and a replica must never apply a record the
+    primary could still lose. Under [Never]/[Interval] acknowledgement
+    never implied durability, so everything staged is covered. *)
+
+(** Streaming reader over the journal file for log shipping. A cursor
+    remembers a byte offset, the journal epoch it is valid for, and
+    the highest sequence number already returned; {!Tail.read} returns
+    the raw framed bytes (CRC intact — a replica re-checks them) of
+    the next run of records up to {!covered_seq}. Rotation and
+    compaction replace the file; the cursor detects this via the epoch
+    and rescans from the top, filtering by sequence number, so a
+    reader survives any number of compactions. *)
+module Tail : sig
+  type cursor
+
+  type batch =
+    | Records of string
+        (** zero or more consecutive framed records; [""] = caught up *)
+    | Gap
+        (** the records after the cursor were compacted into a
+            snapshot — resume from a snapshot bootstrap *)
+
+  val cursor : ?after:int64 -> unit -> cursor
+  (** A cursor that will return records with sequence numbers
+      strictly greater than [after] (default [0L] — everything). *)
+
+  val last : cursor -> int64
+  (** Highest sequence number this cursor has returned. *)
+
+  val read : ?max_bytes:int -> t -> cursor -> batch * int64
+  (** Next batch plus the journal's current covered sequence number.
+      At most [max_bytes] (default 1 MiB) of records per call, except
+      that a single over-sized record is always returned whole. Runs
+      under the journal lock, so it serializes with appends and
+      rotation but never blocks on an in-flight group fsync. *)
+end
+
 val stats : t -> counters
 
 val close : t -> unit

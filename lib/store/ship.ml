@@ -1,0 +1,90 @@
+(* Serves the journal to replicas as raw framed record batches. The
+   bytes go out exactly as they sit in the file (CRC intact), spliced
+   by [Journal.Tail]; when a compaction has dropped the records a
+   replica still needs, the snapshot file's valid prefix is shipped
+   instead as a reset batch. *)
+
+type t = {
+  wal : Wal.t;
+  lock : Mutex.t;
+  (* most-recently-used first, keyed by the seq a cursor stopped at;
+     sequential pollers hit the front entry and stream in O(new bytes) *)
+  mutable cursors : Journal.Tail.cursor list;
+}
+
+type batch = { data : string; covered : int64; reset : bool }
+
+let max_cursors = 4
+
+let create wal = { wal; lock = Mutex.create (); cursors = [] }
+
+let covered_seq t = Journal.covered_seq (Wal.journal t.wal)
+
+let read_file_string path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the snapshot's valid prefix plus how far it covers (its first
+   record is the meta record carrying the coverage seq) *)
+let snapshot_prefix t =
+  let path = Wal.snapshot_path t.wal in
+  match read_file_string path with
+  | contents -> (
+      let records, valid_end, _ = Record.decode_all contents in
+      match records with
+      | (meta_seq, _) :: _ -> Some (meta_seq, String.sub contents 0 valid_end)
+      | [] -> None)
+  | exception Sys_error _ -> None
+
+let put_cursor t c =
+  let rec keep n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: keep (n - 1) rest
+  in
+  t.cursors <- c :: keep (max_cursors - 1) t.cursors
+
+let fetch ?max_bytes t ~after =
+  Mutex.protect t.lock (fun () ->
+      let cursor =
+        match
+          List.partition (fun c -> Journal.Tail.last c = after) t.cursors
+        with
+        | c :: _, rest ->
+            t.cursors <- rest;
+            c
+        | [], _ -> Journal.Tail.cursor ~after ()
+      in
+      let rec go tries =
+        let batch, covered =
+          Journal.Tail.read ?max_bytes (Wal.journal t.wal) cursor
+        in
+        match batch with
+        | Journal.Tail.Records data ->
+            put_cursor t cursor;
+            { data; covered; reset = false }
+        | Journal.Tail.Gap -> (
+            (* the journal no longer holds what this reader needs;
+               bootstrap it from the snapshot (the compaction that
+               created the gap made the snapshot durable first) *)
+            match snapshot_prefix t with
+            | Some (meta_seq, data) when meta_seq > after ->
+                { data; covered; reset = true }
+            | Some _ | None ->
+                (* a compaction may be mid-rename; look again, then
+                   give up and let the replica poll *)
+                if tries < 3 then go (tries + 1)
+                else { data = ""; covered; reset = false })
+      in
+      go 0)
+
+let decode data =
+  let records, _, tail = Record.decode_all data in
+  match tail with
+  | Record.Clean -> Ok records
+  | Record.Torn off ->
+      Error (Printf.sprintf "shipped batch torn at byte %d" off)
+  | Record.Corrupt off ->
+      Error (Printf.sprintf "shipped batch corrupt at byte %d" off)

@@ -1,0 +1,43 @@
+(** Log shipping: serve {!Wal} journal records to replicas as raw
+    framed batches.
+
+    The wire format of a batch {e is} the journal file format — a
+    concatenation of {!Record}-framed entries with their original
+    CRCs, so a replica validates integrity with the same decoder the
+    primary recovers with. A batch only ever contains records at or
+    below the journal's covered sequence number ({!Journal.covered_seq}),
+    so a replica can never apply a record the primary had not made
+    durable (under [fsync=always]; looser policies never promised
+    durability to anyone).
+
+    When a compaction has folded the records a replica still needs
+    into the snapshot, {!fetch} returns the snapshot file's valid
+    prefix flagged [reset = true]: the replica must clear its state
+    and apply the snapshot's payloads (its first record is a meta
+    record with an empty payload whose sequence number says how far it
+    covers). *)
+
+type t
+
+type batch = {
+  data : string;  (** raw framed records; [""] = caught up *)
+  covered : int64;  (** the primary's covered seq at read time *)
+  reset : bool;  (** [data] is a snapshot bootstrap, not a tail *)
+}
+
+val create : Wal.t -> t
+
+val fetch : ?max_bytes:int -> t -> after:int64 -> batch
+(** Records with sequence numbers in [(after, covered]]. Keeps a small
+    cache of tail cursors keyed by position so sequential pollers
+    stream in O(new bytes); any [after] value works, cached or not.
+    [max_bytes] caps a batch at a record boundary (default 1 MiB), an
+    over-sized single record is returned whole. *)
+
+val covered_seq : t -> int64
+(** See {!Journal.covered_seq}. *)
+
+val decode : string -> ((int64 * string) list, string) result
+(** Replica side: decode a shipped batch into [(seq, payload)] pairs,
+    rejecting it unless every byte checks out ([Clean] tail) — a torn
+    or corrupt batch means a transport bug, not a crash artifact. *)

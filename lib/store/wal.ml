@@ -151,4 +151,8 @@ let group_stats t = Journal.group_stats t.journal
 
 let dir t = t.dir
 
+let journal t = t.journal
+
+let snapshot_path t = snapshot_file t.dir
+
 let close t = Journal.close t.journal

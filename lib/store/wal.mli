@@ -80,5 +80,11 @@ val group_stats : t -> Journal.Group.stats option
 
 val dir : t -> string
 
+val journal : t -> Journal.t
+(** The underlying journal — what {!Ship} tails for replication. *)
+
+val snapshot_path : t -> string
+(** Path of [snapshot.log] (which may not exist yet). *)
+
 val close : t -> unit
 (** Flush and close. Idempotent. *)

@@ -1408,6 +1408,492 @@ let test_e2e_sigkill_during_compaction () =
                  |> Option.get)
                 >= List.length !acked))))
 
+(* ---------------- Replication ------------------------------------- *)
+
+let with_replicated f =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.data_dir = Some dir;
+          fsync = Store.Journal.Never;
+        }
+      in
+      with_daemon ~config (fun primary ->
+          let replica_config =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.replica_of =
+                Some ("127.0.0.1", Server.Daemon.port primary);
+              replica_poll = 0.005;
+            }
+          in
+          with_daemon ~config:replica_config (fun replica -> f primary replica)))
+
+let wait_replica ?(timeout = 10.0) replica ~seq =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match with_client replica (fun c -> Server.Client.replication c) with
+    | Ok r when r.Server.Client.applied_seq >= seq && r.Server.Client.lag = 0L ->
+        ()
+    | _ ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "replica not caught up to seq %Ld" seq
+        else begin
+          Thread.delay 0.01;
+          go ()
+        end
+  in
+  go ()
+
+(* The tentpole, in-process: a replica applies the primary's shipped
+   journal, serves reads bit-identical to the primary, rejects
+   mutations with a structured role error, and a replica-aware client
+   follows the advertised primary. *)
+let test_e2e_replication () =
+  with_replicated (fun primary replica ->
+      let primary_addr =
+        Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port primary)
+      in
+      with_client primary (fun pc ->
+          Alcotest.(check int) "created on primary" 201
+            (ok (Server.Client.post pc "/sessions" ~body:(create_body "pims")))
+              .Server.Client.status;
+          (match Server.Client.replication pc with
+          | Ok r ->
+              Alcotest.(check string) "primary role" "primary"
+                r.Server.Client.role;
+              Alcotest.(check bool) "primary has no upstream" true
+                (r.Server.Client.primary = None)
+          | Error m -> Alcotest.fail m);
+          wait_replica replica ~seq:1L;
+          with_client replica (fun rc ->
+              (match Server.Client.replication rc with
+              | Ok r ->
+                  Alcotest.(check string) "replica role" "replica"
+                    r.Server.Client.role;
+                  Alcotest.(check (option string)) "primary advertised"
+                    (Some primary_addr) r.Server.Client.primary
+              | Error m -> Alcotest.fail m);
+              (* the replication status is mirrored into /metrics *)
+              let repl =
+                body_json (ok (Server.Client.get rc "/metrics"))
+                |> member_exn "replication"
+              in
+              Alcotest.(check (option string)) "metrics role" (Some "replica")
+                (repl |> member_exn "role" |> Jsonlight.string_opt);
+              (* reads are served locally, bit-identical to the primary *)
+              let evaluate c =
+                (ok (Server.Client.post c "/sessions/pims/evaluate" ~body:""))
+                  .Server.Client.body
+              in
+              Alcotest.(check string) "evaluate bit-identical" (evaluate pc)
+                (evaluate rc);
+              (* mutations answer 421 read_only naming the primary *)
+              let r =
+                ok (Server.Client.post rc "/sessions" ~body:(create_body "nope"))
+              in
+              expect_error 421 "read_only" r;
+              Alcotest.(check (option string)) "client recognizes the redirect"
+                (Some primary_addr)
+                (Server.Client.read_only_primary r);
+              Alcotest.(check bool) "retry-after present" true
+                (List.mem_assoc "retry-after" r.Server.Client.headers);
+              expect_error 421 "read_only"
+                (ok (Server.Client.post rc "/sessions/pims/diff" ~body:"{}"));
+              expect_error 421 "read_only"
+                (ok (Server.Client.request rc Http.DELETE "/sessions/pims"));
+              (* a diff lands on the primary and ships to the replica;
+                 both sides then evaluate to the same bytes again *)
+              Alcotest.(check int) "diff on primary" 200
+                (ok
+                   (Server.Client.post pc "/sessions/pims/diff"
+                      ~body:
+                        {|{"ops":[{"op":"excise","from":"data-access","to":"loader"}]}|}))
+                  .Server.Client.status;
+              wait_replica replica ~seq:2L;
+              Alcotest.(check string) "post-diff evaluate bit-identical"
+                (evaluate pc) (evaluate rc);
+              (* diff/preview is a read: the replica serves it *)
+              let preview =
+                ok
+                  (Server.Client.post rc "/sessions/pims/diff/preview"
+                     ~body:
+                       {|{"ops":[{"op":"excise","from":"authentication","to":"ui-bus"}]}|})
+              in
+              Alcotest.(check int) "preview on replica" 200
+                preview.Server.Client.status;
+              Alcotest.(check (option int)) "preview expands the ops" (Some 1)
+                (body_json preview |> member_exn "would_apply"
+               |> Jsonlight.int_opt));
+          (* a follow_primary client turns the replica's 421 into a
+             reconnect to the advertised primary *)
+          let r =
+            ok
+              (Server.Client.with_retry ~follow_primary:true
+                 ~connect:(fun () ->
+                   Server.Client.connect ~port:(Server.Daemon.port replica) ())
+                 (fun c ->
+                   Server.Client.post c "/sessions"
+                     ~body:(create_body "via-replica")))
+          in
+          Alcotest.(check int) "redirected create landed" 201
+            r.Server.Client.status;
+          wait_replica replica ~seq:3L;
+          with_client replica (fun rc ->
+              Alcotest.(check bool) "redirected create shipped back" true
+                (List.mem "via-replica"
+                   (session_ids
+                      (body_json (ok (Server.Client.get rc "/sessions"))))));
+          (* removals replicate too *)
+          Alcotest.(check int) "delete on primary" 200
+            (ok (Server.Client.request pc Http.DELETE "/sessions/pims"))
+              .Server.Client.status;
+          wait_replica replica ~seq:4L;
+          with_client replica (fun rc ->
+              expect_error 404 "not_found"
+                (ok (Server.Client.get rc "/sessions/pims/stats")))))
+
+(* A replica that connects after the primary compacted its journal
+   away must bootstrap from the snapshot (the reset batch) and still
+   evaluate bit-identically. *)
+let test_e2e_replica_snapshot_bootstrap () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.data_dir = Some dir;
+          fsync = Store.Journal.Never;
+        }
+      in
+      (* boot, create, drain: the drain checkpoints, so the state now
+         lives only in the snapshot and the journal is empty *)
+      let expected =
+        with_daemon ~config (fun t ->
+            with_client t (fun c ->
+                Alcotest.(check int) "created" 201
+                  (ok (Server.Client.post c "/sessions" ~body:(create_body "pims")))
+                    .Server.Client.status;
+                (ok (Server.Client.post c "/sessions/pims/evaluate" ~body:""))
+                  .Server.Client.body))
+      in
+      with_daemon ~config (fun primary ->
+          let replica_config =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.replica_of =
+                Some ("127.0.0.1", Server.Daemon.port primary);
+              replica_poll = 0.005;
+            }
+          in
+          with_daemon ~config:replica_config (fun replica ->
+              wait_replica replica ~seq:1L;
+              with_client replica (fun rc ->
+                  Alcotest.(check string) "bootstrapped evaluate bit-identical"
+                    expected
+                    (ok
+                       (Server.Client.post rc "/sessions/pims/evaluate"
+                          ~body:""))
+                      .Server.Client.body))))
+
+(* Regression for the apply-loop locking: reads on the replica —
+   /sessions, /metrics, evaluates — must keep answering (never an
+   error, never a 5xx) while the apply loop chews through a stream of
+   creates and removals. *)
+let test_replica_apply_read_interleave () =
+  with_replicated (fun primary replica ->
+      let stop = Atomic.make false in
+      let failures = ref 0 in
+      let reader =
+        Thread.create
+          (fun () ->
+            let rport = Server.Daemon.port replica in
+            while not (Atomic.get stop) do
+              let c = Server.Client.connect ~port:rport () in
+              Fun.protect
+                ~finally:(fun () -> Server.Client.close c)
+                (fun () ->
+                  let check = function
+                    | Ok { Server.Client.status; _ } when status < 500 -> ()
+                    | Ok _ | Error _ -> incr failures
+                  in
+                  check (Server.Client.get c "/sessions");
+                  check (Server.Client.get c "/metrics");
+                  (* i01 is never removed; 404 just means it has not
+                     shipped yet *)
+                  check (Server.Client.post c "/sessions/i01/evaluate" ~body:""))
+            done)
+          ()
+      in
+      with_client primary (fun pc ->
+          for i = 0 to 14 do
+            let id = Printf.sprintf "i%02d" i in
+            Alcotest.(check int) ("create " ^ id) 201
+              (ok (Server.Client.post pc "/sessions" ~body:(create_body id)))
+                .Server.Client.status;
+            if i mod 3 = 0 then
+              Alcotest.(check int) ("remove " ^ id) 200
+                (ok (Server.Client.request pc Http.DELETE ("/sessions/" ^ id)))
+                  .Server.Client.status
+          done);
+      (* 15 creates + 5 removes *)
+      wait_replica replica ~seq:20L;
+      Atomic.set stop true;
+      Thread.join reader;
+      Alcotest.(check int) "no read failed during apply" 0 !failures;
+      let ids t =
+        with_client t (fun c ->
+            session_ids (body_json (ok (Server.Client.get c "/sessions"))))
+      in
+      Alcotest.(check (list string)) "replica converged to primary"
+        (ids primary) (ids replica))
+
+let test_apply_shipped_reset () =
+  let registry = Server.Registry.create () in
+  (match Server.Registry.add registry ~id:"stale" project with
+  | Ok () -> ()
+  | Error `Conflict -> Alcotest.fail "conflict");
+  let scenarios, architecture, mapping = Lazy.force artifact_strings in
+  let stats =
+    Server.Registry.apply_shipped registry ~reset:true
+      [
+        Server.Persist.Create
+          { id = "fresh"; policy = Adl.Graph.Routed; scenarios; architecture;
+            mapping };
+      ]
+  in
+  Alcotest.(check int) "applied" 1 stats.Server.Registry.applied;
+  Alcotest.(check (list string)) "reset replaced the state" [ "fresh" ]
+    (Server.Registry.ids registry)
+
+(* The replication prefix property: a replica that has applied ANY
+   prefix of the shipped mutation stream — incrementally, batch by
+   batch, through the serving-path locks — is indistinguishable
+   (session ids and full verdict JSON) from a primary recovered from
+   the same journal prefix in one shot. *)
+let prop_replica_prefix_equivalence =
+  let remove_first_link_ops (s : Core.Sosae.Session.t) =
+    match
+      (Core.Sosae.Session.project s).Core.Sosae.architecture
+        .Adl.Structure.links
+    with
+    | [] -> []
+    | l :: _ -> [ Adl.Diff.Remove_link l.Adl.Structure.link_id ]
+  in
+  let dump registry =
+    List.map
+      (fun id ->
+        ( id,
+          match
+            Server.Registry.with_session registry id (fun s ->
+                Jsonlight.to_string
+                  (Walkthrough.Report.json_of_set_result
+                     (Core.Sosae.Session.evaluate ~jobs:2 s)))
+          with
+          | Ok verdicts -> verdicts
+          | Error `Not_found -> "<gone>" ))
+      (Server.Registry.ids registry)
+  in
+  let gen = QCheck2.Gen.(list_size (int_range 1 4) (int_range 0 2)) in
+  QCheck2.Test.make
+    ~name:"replication: any applied prefix equals a recovered primary"
+    ~count:3 gen (fun ops ->
+      with_temp_dir (fun dir ->
+          (* drive a journaling primary through a random mutation mix *)
+          let persist, _ =
+            Server.Persist.open_ ~fsync:Store.Journal.Never dir
+          in
+          let registry = Server.Registry.create ~persist () in
+          let counter = ref 0 in
+          List.iter
+            (fun op ->
+              let ids = Server.Registry.ids registry in
+              match op with
+              | 1 when ids <> [] ->
+                  ignore
+                    (Server.Registry.apply_diff registry (List.hd ids)
+                       ~ops:remove_first_link_ops)
+              | 2 when ids <> [] ->
+                  ignore (Server.Registry.remove registry (List.hd ids))
+              | _ ->
+                  incr counter;
+                  ignore
+                    (Server.Registry.add registry
+                       ~id:(Printf.sprintf "s%d" !counter)
+                       project))
+            ops;
+          Server.Persist.close persist;
+          (* the shipped stream IS the journal's record sequence *)
+          let j, (r : Store.Journal.recovery) =
+            Store.Journal.open_ ~fsync:Store.Journal.Never
+              (Filename.concat dir "wal.log")
+          in
+          Store.Journal.close j;
+          let mutations =
+            List.filter_map
+              (fun (_, payload) ->
+                match Server.Persist.decode payload with
+                | Ok m -> Some m
+                | Error _ -> None)
+              r.Store.Journal.records
+          in
+          if mutations = [] then
+            QCheck2.Test.fail_report "journal captured no mutations";
+          let replica = Server.Registry.create () in
+          let prefix = ref [] in
+          let failures = ref [] in
+          List.iteri
+            (fun k m ->
+              ignore (Server.Registry.apply_shipped replica ~reset:false [ m ]);
+              prefix := !prefix @ [ m ];
+              let recovered = Server.Registry.create () in
+              ignore (Server.Registry.recover recovered !prefix);
+              if dump replica <> dump recovered then
+                failures :=
+                  Printf.sprintf "prefix of %d mutations diverges" (k + 1)
+                  :: !failures)
+            mutations;
+          match !failures with
+          | [] -> true
+          | f :: _ -> QCheck2.Test.fail_report f))
+
+(* The crash acceptance bar, over real processes: the replica never
+   serves a record the primary had not fsynced (its state after a
+   SIGKILL is a subset of a recovered primary's), and a SIGUSR1
+   promotion turns it into a primary that accepts mutations without
+   losing any write it had applied. *)
+let test_e2e_replication_promote_crash () =
+  with_temp_dir (fun dir ->
+      let pid, ic, port =
+        spawn_serve
+          [
+            "--port"; "0"; "--data-dir"; dir; "--fsync"; "always";
+            "--group-commit-window"; "1";
+          ]
+      in
+      let rpid, ric, rport =
+        spawn_serve
+          [ "--port"; "0"; "--replica-of"; "127.0.0.1:" ^ string_of_int port ]
+      in
+      let get_on p path =
+        let c = Server.Client.connect ~port:p () in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () -> ok (Server.Client.get c path))
+      in
+      let post_on p path body =
+        let c = Server.Client.connect ~port:p () in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () -> ok (Server.Client.post c path ~body))
+      in
+      (* phase 1: quiesced writes the replica fully applies *)
+      Alcotest.(check int) "p1 created" 201
+        (post_on port "/sessions" (create_body "p1")).Server.Client.status;
+      Alcotest.(check int) "p2 created" 201
+        (post_on port "/sessions" (create_body "p2")).Server.Client.status;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_lag () =
+        let j = body_json (get_on rport "/replication") in
+        let applied =
+          j |> member_exn "applied_seq" |> Jsonlight.int_opt |> Option.get
+        in
+        let lag = j |> member_exn "lag" |> Jsonlight.int_opt |> Option.get in
+        if applied >= 2 && lag = 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "replica never caught up"
+        else begin
+          Thread.delay 0.02;
+          wait_lag ()
+        end
+      in
+      wait_lag ();
+      (* phase 2: hammer creates, SIGKILL the primary mid-group-commit *)
+      let acked = ref [] in
+      let loader =
+        Thread.create
+          (fun () ->
+            let rec go i =
+              if i < 500 then
+                match
+                  let c = Server.Client.connect ~port () in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close c)
+                    (fun () ->
+                      Server.Client.post c "/sessions"
+                        ~body:(create_body (Printf.sprintf "k%03d" i)))
+                with
+                | Ok { Server.Client.status = 201; _ } ->
+                    acked := Printf.sprintf "k%03d" i :: !acked;
+                    go (i + 1)
+                | Ok _ | Error _ -> ()
+                | exception _ -> ()
+            in
+            go 0)
+          ()
+      in
+      Thread.delay 0.4;
+      Unix.kill pid Sys.sigkill;
+      Thread.join loader;
+      ignore (Unix.waitpid [] pid);
+      close_in ic;
+      Alcotest.(check bool) "some creates were acknowledged" true (!acked <> []);
+      (* give the apply loop a beat to drain what it already fetched;
+         its state is frozen once the primary is gone *)
+      Thread.delay 0.3;
+      let replica_ids = session_ids (body_json (get_on rport "/sessions")) in
+      (* never ahead: everything the replica serves must be on a
+         primary recovered from the same journal — i.e. durable *)
+      let pid2, ic2, port2 =
+        spawn_serve [ "--port"; "0"; "--data-dir"; dir; "--fsync"; "always" ]
+      in
+      let durable_ids =
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid2);
+            close_in ic2)
+          (fun () -> session_ids (body_json (get_on port2 "/sessions")))
+      in
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) ("replica never ahead: " ^ id) true
+            (List.mem id durable_ids))
+        replica_ids;
+      Alcotest.(check bool) "quiesced sessions replicated" true
+        (List.mem "p1" replica_ids && List.mem "p2" replica_ids);
+      (* phase 3: promote — the replica seals and accepts mutations,
+         keeping every write it had applied *)
+      Unix.kill rpid Sys.sigusr1;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_promote () =
+        match
+          body_json (get_on rport "/replication")
+          |> member_exn "role" |> Jsonlight.string_opt
+        with
+        | Some "primary" -> ()
+        | _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "promotion never landed"
+            else begin
+              Thread.delay 0.05;
+              wait_promote ()
+            end
+      in
+      wait_promote ();
+      Alcotest.(check int) "promoted replica accepts mutations" 201
+        (post_on rport "/sessions" (create_body "post-promote"))
+          .Server.Client.status;
+      let after = session_ids (body_json (get_on rport "/sessions")) in
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) ("no write lost: " ^ id) true
+            (List.mem id after))
+        ("post-promote" :: replica_ids);
+      (try Unix.kill rpid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] rpid);
+      close_in ric)
+
 let suite =
   [
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
@@ -1455,4 +1941,15 @@ let suite =
       test_metrics_group_idle;
     Alcotest.test_case "e2e: SIGKILL during background compaction" `Quick
       test_e2e_sigkill_during_compaction;
+    Alcotest.test_case "e2e: replica serves reads, rejects writes" `Quick
+      test_e2e_replication;
+    Alcotest.test_case "e2e: replica bootstraps from the snapshot" `Quick
+      test_e2e_replica_snapshot_bootstrap;
+    Alcotest.test_case "replica: reads interleave with the apply loop" `Quick
+      test_replica_apply_read_interleave;
+    Alcotest.test_case "registry: reset batch replaces the state" `Quick
+      test_apply_shipped_reset;
+    QCheck_alcotest.to_alcotest prop_replica_prefix_equivalence;
+    Alcotest.test_case "e2e: SIGKILL primary, never-ahead + promotion" `Quick
+      test_e2e_replication_promote_crash;
   ]

@@ -489,6 +489,197 @@ let test_wal_fsync_stats () =
       Alcotest.(check int) "interval holds syncs back" 0 s.Wal.fsyncs;
       Wal.close w)
 
+(* ---------------- Tail + Ship: log shipping ----------------------- *)
+
+module Ship = Store.Ship
+
+let decode_clean data =
+  match Ship.decode data with
+  | Ok records -> records
+  | Error m -> Alcotest.fail m
+
+let payloads_of records = List.map snd records
+let seqs_of records = List.map (fun (s, _) -> Int64.to_int s) records
+
+let test_tail_stream () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, _ = Journal.open_ ~fsync:Journal.Never path in
+      ignore (Journal.append j "a");
+      ignore (Journal.append j "b");
+      ignore (Journal.append j "c");
+      let c = Journal.Tail.cursor () in
+      (match Journal.Tail.read j c with
+      | Journal.Tail.Records data, covered ->
+          let records = decode_clean data in
+          Alcotest.(check (list string)) "streams the appends" [ "a"; "b"; "c" ]
+            (payloads_of records);
+          Alcotest.(check (list int)) "seqs 1.." [ 1; 2; 3 ] (seqs_of records);
+          Alcotest.(check int) "covered" 3 (Int64.to_int covered)
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap on a live journal");
+      (match Journal.Tail.read j c with
+      | Journal.Tail.Records "", _ -> ()
+      | Journal.Tail.Records _, _ -> Alcotest.fail "re-shipped consumed records"
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap when caught up");
+      ignore (Journal.append j "d");
+      (match Journal.Tail.read j c with
+      | Journal.Tail.Records data, _ ->
+          Alcotest.(check (list string)) "resumes at the append" [ "d" ]
+            (payloads_of (decode_clean data))
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap after an append");
+      Journal.close j)
+
+let test_tail_max_bytes () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let j, _ = Journal.open_ ~fsync:Journal.Never path in
+      for i = 1 to 5 do
+        ignore (Journal.append j (Printf.sprintf "payload-%d" i))
+      done;
+      (* a window that fits exactly one record ships them one per read,
+         in order, never splitting a record *)
+      let c = Journal.Tail.cursor () in
+      let record_size = Record.header_size + String.length "payload-1" in
+      let shipped = ref [] in
+      let rec drain () =
+        match Journal.Tail.read ~max_bytes:record_size j c with
+        | Journal.Tail.Records "", _ -> ()
+        | Journal.Tail.Records data, _ ->
+            let records = decode_clean data in
+            Alcotest.(check int) "one record per window" 1 (List.length records);
+            shipped := !shipped @ payloads_of records;
+            drain ()
+        | Journal.Tail.Gap, _ -> Alcotest.fail "gap"
+      in
+      drain ();
+      Alcotest.(check (list string)) "all shipped in order"
+        [ "payload-1"; "payload-2"; "payload-3"; "payload-4"; "payload-5" ]
+        !shipped;
+      (* a record larger than the cap still ships — whole *)
+      ignore (Journal.append j (String.make 200 'x'));
+      (match Journal.Tail.read ~max_bytes:1 j c with
+      | Journal.Tail.Records data, _ ->
+          Alcotest.(check (list int)) "oversized record whole" [ 6 ]
+            (seqs_of (decode_clean data))
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap on oversized record");
+      Journal.close j)
+
+let test_tail_rotation_and_gap () =
+  with_temp_dir (fun dir ->
+      let w, _ = Wal.open_ dir in
+      let j = Wal.journal w in
+      ignore (Wal.append w "e1");
+      ignore (Wal.append w "e2");
+      let c = Journal.Tail.cursor () in
+      (match Journal.Tail.read j c with
+      | Journal.Tail.Records data, _ ->
+          Alcotest.(check (list string)) "pre-rotation" [ "e1"; "e2" ]
+            (payloads_of (decode_clean data))
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap before rotation");
+      (* compaction replaces the file: the cursor must detect the epoch
+         change, rescan, and ship only what it has not yet returned *)
+      Wal.compact w ~state:[ "s1" ];
+      ignore (Wal.append w "e3");
+      (match Journal.Tail.read j c with
+      | Journal.Tail.Records data, _ ->
+          let records = decode_clean data in
+          Alcotest.(check (list string)) "post-rotation tail" [ "e3" ]
+            (payloads_of records);
+          Alcotest.(check (list int)) "seq continues" [ 3 ] (seqs_of records)
+      | Journal.Tail.Gap, _ -> Alcotest.fail "gap across rotation");
+      (* a fresh cursor needs records the journal no longer holds *)
+      (match Journal.Tail.read j (Journal.Tail.cursor ()) with
+      | Journal.Tail.Gap, _ -> ()
+      | Journal.Tail.Records _, _ -> Alcotest.fail "expected a gap");
+      Wal.close w)
+
+let test_ship_fetch_bootstrap () =
+  with_temp_dir (fun dir ->
+      let w, _ = Wal.open_ dir in
+      let ship = Ship.create w in
+      ignore (Wal.append w "e1");
+      ignore (Wal.append w "e2");
+      ignore (Wal.append w "e3");
+      let b = Ship.fetch ship ~after:0L in
+      Alcotest.(check bool) "live batch is not a reset" false b.Ship.reset;
+      Alcotest.(check (list string)) "live batch" [ "e1"; "e2"; "e3" ]
+        (payloads_of (decode_clean b.Ship.data));
+      Alcotest.(check int) "covered" 3 (Int64.to_int b.Ship.covered);
+      let b = Ship.fetch ship ~after:3L in
+      Alcotest.(check string) "caught up: empty batch" "" b.Ship.data;
+      (* compact e1..e3 away, land one more record: a reader at seq 0
+         can only be served from the snapshot *)
+      Wal.compact w ~state:[ "s1"; "s2" ];
+      ignore (Wal.append w "e4");
+      let b = Ship.fetch ship ~after:0L in
+      Alcotest.(check bool) "bootstrap is a reset" true b.Ship.reset;
+      (match decode_clean b.Ship.data with
+      | (meta_seq, "") :: state ->
+          Alcotest.(check int) "meta seq covers the snapshot" 3
+            (Int64.to_int meta_seq);
+          Alcotest.(check (list string)) "snapshot state" [ "s1"; "s2" ]
+            (payloads_of state)
+      | _ -> Alcotest.fail "snapshot lacks a meta record");
+      (* and resumes from the journal past the snapshot *)
+      let b = Ship.fetch ship ~after:3L in
+      Alcotest.(check bool) "tail after bootstrap" false b.Ship.reset;
+      Alcotest.(check (list string)) "tail records" [ "e4" ]
+        (payloads_of (decode_clean b.Ship.data));
+      Wal.close w)
+
+(* The shipping counterpart of the truncation invariant: a journal cut
+   at EVERY byte offset, tailed to exhaustion in bounded windows, must
+   ship exactly the records recovery replays — same sequence numbers,
+   same payloads, every batch Clean. *)
+let prop_ship_truncation_prefix =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 5)
+           (string_size ~gen:(char_range '\000' '\255') (int_range 0 24)))
+        (oneofl [ 1; 17; 1 lsl 20 ]))
+  in
+  QCheck2.Test.make
+    ~name:"ship: tailing any truncation ships exactly what recovery replays"
+    ~count:15 gen (fun (payloads, max_bytes) ->
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "j.log" in
+          let j, _ = Journal.open_ ~fsync:Journal.Never path in
+          List.iter (fun p -> ignore (Journal.append j p)) payloads;
+          Journal.close j;
+          let full = read_file path in
+          let truncated = Filename.concat dir "t.log" in
+          let failures = ref [] in
+          for cut = 0 to String.length full do
+            write_file truncated (String.sub full 0 cut);
+            let j, (r : Journal.recovery) = Journal.open_ truncated in
+            let c = Journal.Tail.cursor () in
+            let shipped = ref [] in
+            let rec drain () =
+              match Journal.Tail.read ~max_bytes j c with
+              | Journal.Tail.Records "", _ -> ()
+              | Journal.Tail.Records data, _ -> (
+                  match Record.decode_all data with
+                  | records, _, Record.Clean ->
+                      shipped := !shipped @ records;
+                      drain ()
+                  | _ ->
+                      failures :=
+                        Printf.sprintf "cut %d: unclean batch" cut :: !failures)
+              | Journal.Tail.Gap, _ ->
+                  failures := Printf.sprintf "cut %d: gap" cut :: !failures
+            in
+            drain ();
+            if !shipped <> r.Journal.records then
+              failures :=
+                Printf.sprintf "cut %d: shipped differs from recovery" cut
+                :: !failures;
+            Journal.close j
+          done;
+          match !failures with
+          | [] -> true
+          | f :: _ -> QCheck2.Test.fail_report f))
+
 let suite =
   [
     Alcotest.test_case "crc32: vectors + chunking" `Quick test_crc32;
@@ -514,4 +705,12 @@ let suite =
     Alcotest.test_case "wal: background compaction aborts cleanly" `Quick
       test_wal_background_compaction_abort;
     Alcotest.test_case "wal: fsync policies + stats" `Quick test_wal_fsync_stats;
+    Alcotest.test_case "tail: streams appends in order" `Quick test_tail_stream;
+    Alcotest.test_case "tail: bounded windows never split records" `Quick
+      test_tail_max_bytes;
+    Alcotest.test_case "tail: survives rotation, reports gaps" `Quick
+      test_tail_rotation_and_gap;
+    Alcotest.test_case "ship: fetch + snapshot bootstrap" `Quick
+      test_ship_fetch_bootstrap;
+    QCheck_alcotest.to_alcotest prop_ship_truncation_prefix;
   ]

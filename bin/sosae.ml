@@ -778,6 +778,69 @@ let save_demo_cmd =
        ~doc:"Write the PIMS case study as XML files (inputs for the other commands).")
     Term.(const Stdlib.exit $ (const run $ dir))
 
+(* ------------------------------ simtest --------------------------- *)
+
+let simtest_cmd =
+  let run seed seeds ops replay =
+    match replay with
+    | Some tokens -> (
+        match Simtest.Gen.ops_of_string tokens with
+        | Error e ->
+            Printf.eprintf "simtest: %s\n" e;
+            2
+        | Ok sequence -> (
+            match Simtest.Sim.run_ops sequence with
+            | Ok () ->
+                Printf.printf "replay OK (%d ops)\n" (List.length sequence);
+                0
+            | Error f ->
+                Format.printf "%a@." Simtest.Sim.report_failure (f, sequence);
+                1))
+    | None ->
+        let failures = ref 0 in
+        for s = seed to seed + seeds - 1 do
+          match Simtest.Sim.run_seed ~seed:s ~ops with
+          | Ok () -> Printf.printf "seed %d: OK (%d ops)\n%!" s ops
+          | Error (f, sequence) ->
+              incr failures;
+              Format.printf "seed %d: %a@." s Simtest.Sim.report_failure
+                (f, sequence)
+        done;
+        if !failures = 0 then 0 else 1
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"First seed.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K" ~doc:"Number of consecutive seeds to run.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "ops" ] ~docv:"M" ~doc:"Operations per generated sequence.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"OPS"
+          ~doc:
+            "Replay an explicit op sequence (the token list a failing run \
+             prints) instead of generating one.")
+  in
+  Cmd.v
+    (Cmd.info "simtest"
+       ~doc:
+         "Deterministic simulation test: run the persistence/registry/\
+          replication stack on a simulated disk through seeded operation \
+          sequences with injected faults (torn writes, ENOSPC, failed fsyncs, \
+          crashes), checking recovery and replication invariants after every \
+          operation. Failing sequences are shrunk to a minimal replayable \
+          repro.")
+    Term.(const Stdlib.exit $ (const run $ seed $ seeds $ ops $ replay))
+
 (* ------------------------------ serve ----------------------------- *)
 
 let serve_cmd =
@@ -1002,6 +1065,7 @@ let () =
             prose_cmd;
             demo_cmd;
             simulate_cmd;
+            simtest_cmd;
             save_demo_cmd;
             serve_cmd;
           ]))

@@ -27,6 +27,11 @@ let connect_unix path =
      raise e);
   { fd; leftover = "" }
 
+(* wrap an already-connected descriptor (e.g. one end of a
+   socketpair) — how tests drive the protocol machinery with no
+   listener *)
+let of_fd fd = { fd; leftover = "" }
+
 type response = { status : int; headers : (string * string) list; body : string }
 
 let write_all fd s =
@@ -246,6 +251,7 @@ let backoff_schedule ?(seed = 0) policy =
 
 type persistent = {
   reconnect : unit -> t;
+  connect_redirect : string * int -> t;
   policy : retry_policy;
   sleep : float -> unit;
   rng : Random.State.t;
@@ -257,9 +263,10 @@ type persistent = {
 }
 
 let persistent ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
-    ?(follow_primary = false) connect =
+    ?(follow_primary = false) ?(connect_to = connect_to) connect =
   {
     reconnect = connect;
+    connect_redirect = connect_to;
     policy;
     sleep;
     rng = Random.State.make [| seed |];
@@ -281,7 +288,7 @@ let call p f =
     | None -> (
         let fresh () =
           match p.redirect with
-          | Some target -> connect_to target
+          | Some target -> p.connect_redirect target
           | None -> p.reconnect ()
         in
         match fresh () with
@@ -336,7 +343,7 @@ let call p f =
   attempt 0
 
 let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
-    ?(follow_primary = false) ~connect f =
+    ?(follow_primary = false) ?(connect_to = connect_to) ~connect f =
   let rng = Random.State.make [| seed |] in
   let redirect = ref None in
   let once () =

@@ -13,6 +13,11 @@ val connect : ?host:string -> port:int -> unit -> t
 val connect_unix : string -> t
 (** Unix-domain socket at the given path. *)
 
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected descriptor (e.g. one end of a
+    socketpair) — lets tests drive the protocol machinery with no
+    listener. The client takes ownership: {!close} closes it. *)
+
 type response = { status : int; headers : (string * string) list; body : string }
 
 val request :
@@ -82,6 +87,7 @@ val persistent :
   ?seed:int ->
   ?sleep:(float -> unit) ->
   ?follow_primary:bool ->
+  ?connect_to:(string * int -> t) ->
   (unit -> t) ->
   persistent
 (** [persistent connect] — no connection is opened until the first
@@ -90,7 +96,10 @@ val persistent :
     lifetime. With [follow_primary] (default [false]), a replica's
     [421] [read_only] rejection makes the handle reconnect to the
     advertised primary — sticky for the handle's lifetime — instead of
-    returning the 421. Not thread-safe: one handle per thread. *)
+    returning the 421. [connect_to] (default: a TCP {!connect}) opens
+    the connection to a redirect target, injectable so follow-primary
+    behavior is testable without sockets. Not thread-safe: one handle
+    per thread. *)
 
 val call : persistent -> (t -> (response, string) result) -> (response, string) result
 (** Run [f] on the held connection, opening or reopening it as needed.
@@ -113,6 +122,7 @@ val with_retry :
   ?seed:int ->
   ?sleep:(float -> unit) ->
   ?follow_primary:bool ->
+  ?connect_to:(string * int -> t) ->
   connect:(unit -> t) ->
   (t -> (response, string) result) ->
   (response, string) result
@@ -126,7 +136,10 @@ val with_retry :
     can record delays instead of waiting. With [follow_primary]
     (default [false]), a [421] [read_only] response redirects the
     remaining attempts to the advertised primary — the redirect counts
-    as an attempt but skips the backoff sleep. *)
+    as an attempt but skips the backoff sleep. [connect_to] (default:
+    a TCP {!connect}) opens the redirect connection; if the advertised
+    primary is itself unreachable the remaining attempts back off and
+    fail like any refused connect — never an infinite follow loop. *)
 
 (** {2 Replication status} *)
 

@@ -265,8 +265,8 @@ let sync_metrics t =
       Option.iter (Metrics.set_group_commit m) (Store.Wal.group_stats t.wal)
 
 let open_ ?(fsync = Store.Journal.Always) ?group
-    ?(compact_bytes = 8 * 1024 * 1024) dir =
-  let wal, (r : Store.Wal.recovery) = Store.Wal.open_ ~fsync ?group dir in
+    ?(compact_bytes = 8 * 1024 * 1024) ?env dir =
+  let wal, (r : Store.Wal.recovery) = Store.Wal.open_ ~fsync ?group ?env dir in
   let decoded payloads =
     List.fold_left
       (fun (mutations, bad) payload ->
@@ -330,6 +330,8 @@ let flush t = Mutex.protect t.lock (fun () -> ignore (Store.Wal.flush t.wal))
 let fsync_policy t = t.fsync
 
 let covered_seq t = Store.Ship.covered_seq t.shipper
+
+let next_seq t = Store.Journal.next_seq (Store.Wal.journal t.wal)
 
 let ship ?max_bytes t ~after = Store.Ship.fetch ?max_bytes t.shipper ~after
 

@@ -57,13 +57,16 @@ val open_ :
   ?fsync:Store.Journal.fsync_policy ->
   ?group:Store.Journal.Group.config ->
   ?compact_bytes:int ->
+  ?env:Store.Fsenv.t ->
   string ->
   t * recovery
 (** [open_ dir] recovers from [dir] (creating it if needed).
     [?group] enables group commit: concurrent [Always] writers share
     fsyncs (see {!Store.Journal.enable_group}). [compact_bytes]
     (default 8 MiB) is the journal size past which {!should_compact}
-    asks for a snapshot. *)
+    asks for a snapshot. [?env] injects the filesystem effects
+    (default {!Store.Fsenv.real}) — how the simulation harness runs
+    the whole persistence stack against an in-memory fault model. *)
 
 val set_metrics : t -> Metrics.t -> unit
 (** Mirror journal counters into the given metrics after every
@@ -107,6 +110,11 @@ val fsync_policy : t -> Store.Journal.fsync_policy
 val covered_seq : t -> int64
 (** Highest journaled sequence number safe to ship to a replica —
     see {!Store.Ship.covered_seq}. *)
+
+val next_seq : t -> int64
+(** The sequence number the next staged mutation will receive — how
+    the simulation harness predicts a mutation's identity before
+    executing it. *)
 
 val ship : ?max_bytes:int -> t -> after:int64 -> Store.Ship.batch
 (** Serve the next batch of framed journal records to a replica —

@@ -1,15 +1,27 @@
 (* A follower's continuous apply loop: poll the primary's ship
    endpoint and fold each batch into the local registry while it
-   serves reads. The loop owns one client connection and survives the
-   primary restarting (reconnect), compacting (reset batches), and
-   dying (the error is surfaced, polling continues until {!seal}). *)
+   serves reads. The loop owns one transport (by default an HTTP
+   client connection) and survives the primary restarting (reconnect),
+   compacting (reset batches), and dying (the error is surfaced,
+   polling continues until {!seal}). *)
+
+type shipped = { data : string; covered : int64; reset : bool }
+
+type transport = {
+  fetch : after:int64 -> (shipped, string) result;
+  shutdown : unit -> unit;
+      (* drop whatever connection state the transport holds; the next
+         [fetch] starts fresh. Called on apply errors and at loop
+         exit. *)
+}
 
 type t = {
-  host : string;
-  port : int;
+  primary : string;
   registry : Registry.t;
   metrics : Metrics.t;
+  transport : transport;
   poll_interval : float;
+  sleep : float -> unit;
   lock : Mutex.t;
   mutable applied : int64;  (* highest shipped seq applied locally *)
   mutable covered : int64;  (* primary's covered seq, last seen *)
@@ -19,7 +31,7 @@ type t = {
   mutable thread : Thread.t option;
 }
 
-let primary_address t = Printf.sprintf "%s:%d" t.host t.port
+let primary_address t = t.primary
 
 let applied_seq t = Mutex.protect t.lock (fun () -> t.applied)
 let covered_seq t = Mutex.protect t.lock (fun () -> t.covered)
@@ -37,6 +49,46 @@ let header name headers =
     (fun (k, v) -> if String.lowercase_ascii k = name then Some v else None)
     headers
 
+(* the production transport: one keep-alive connection to the
+   primary's ship endpoint, reopened on any failure *)
+let http_transport ~host ~port =
+  let conn = ref None in
+  let drop () =
+    (match !conn with Some c -> Client.close c | None -> ());
+    conn := None
+  in
+  let fetch ~after =
+    try
+      let c =
+        match !conn with
+        | Some c -> c
+        | None ->
+            let c = Client.connect ~host ~port () in
+            conn := Some c;
+            c
+      in
+      match Client.get c (Printf.sprintf "/replication/log?after=%Ld" after) with
+      | Ok { Client.status = 200; headers; body } ->
+          let covered =
+            match
+              Option.bind (header "x-sosae-covered" headers) Int64.of_string_opt
+            with
+            | Some v -> v
+            | None -> after
+          in
+          let reset = header "x-sosae-reset" headers = Some "1" in
+          Ok { data = body; covered; reset }
+      | Ok { Client.status; _ } ->
+          Error (Printf.sprintf "primary answered %d" status)
+      | Error e ->
+          drop ();
+          Error e
+    with e ->
+      drop ();
+      Error (Printexc.to_string e)
+  in
+  { fetch; shutdown = drop }
+
 let publish t =
   let applied, covered =
     Mutex.protect t.lock (fun () -> (t.applied, t.covered))
@@ -44,7 +96,7 @@ let publish t =
   Metrics.set_replication t.metrics
     {
       Metrics.role = "replica";
-      primary = Some (primary_address t);
+      primary = Some t.primary;
       applied_seq = applied;
       covered_seq = covered;
       lag = (if covered > applied then Int64.sub covered applied else 0L);
@@ -78,74 +130,52 @@ let apply_batch t ~reset ~covered records =
       t.error <- None)
 
 let run t =
-  let conn = ref None in
-  let drop () =
-    (match !conn with Some c -> Client.close c | None -> ());
-    conn := None
-  in
   (* one poll; [true] when a batch was applied (poll again at once) *)
   let step () =
-    try
-      let c =
-        match !conn with
-        | Some c -> c
-        | None ->
-            let c = Client.connect ~host:t.host ~port:t.port () in
-            conn := Some c;
-            c
-      in
-      let after = Mutex.protect t.lock (fun () -> t.applied) in
-      match Client.get c (Printf.sprintf "/replication/log?after=%Ld" after) with
-      | Ok { Client.status = 200; headers; body } -> (
-          let covered =
-            match
-              Option.bind (header "x-sosae-covered" headers) Int64.of_string_opt
-            with
-            | Some v -> v
-            | None -> after
-          in
-          let reset = header "x-sosae-reset" headers = Some "1" in
-          match Store.Ship.decode body with
-          | Ok [] when not reset ->
-              Mutex.protect t.lock (fun () ->
-                  if covered > t.covered then t.covered <- covered;
-                  t.error <- None);
-              false
-          | Ok records ->
-              apply_batch t ~reset ~covered records;
-              true
-          | Error e ->
-              set_error t ("bad shipped batch: " ^ e);
-              drop ();
-              false)
-      | Ok { Client.status; _ } ->
-          set_error t (Printf.sprintf "primary answered %d" status);
-          false
-      | Error e ->
-          set_error t e;
-          drop ();
-          false
-    with e ->
-      set_error t (Printexc.to_string e);
-      drop ();
-      false
+    let after = Mutex.protect t.lock (fun () -> t.applied) in
+    match t.transport.fetch ~after with
+    | Ok { data; covered; reset } -> (
+        match Store.Ship.decode data with
+        | Ok [] when not reset ->
+            Mutex.protect t.lock (fun () ->
+                if covered > t.covered then t.covered <- covered;
+                t.error <- None);
+            false
+        | Ok records ->
+            apply_batch t ~reset ~covered records;
+            true
+        | Error e ->
+            set_error t ("bad shipped batch: " ^ e);
+            t.transport.shutdown ();
+            false)
+    | Error e ->
+        set_error t e;
+        false
+    | exception e ->
+        set_error t (Printexc.to_string e);
+        t.transport.shutdown ();
+        false
   in
   while not (Atomic.get t.stop) do
     let progressed = step () in
     publish t;
-    if (not progressed) && not (Atomic.get t.stop) then
-      Unix.sleepf t.poll_interval
+    if (not progressed) && not (Atomic.get t.stop) then t.sleep t.poll_interval
   done;
-  drop ()
+  t.transport.shutdown ()
 
-let start ?(poll_interval = 0.02) ~registry ~metrics ~host ~port () =
+let start ?(poll_interval = 0.02) ?transport ?(sleep = Unix.sleepf) ~registry
+    ~metrics ~host ~port () =
+  let transport =
+    match transport with Some tr -> tr | None -> http_transport ~host ~port
+  in
   let t =
     {
-      host;
-      port;
+      primary = Printf.sprintf "%s:%d" host port;
       registry;
       metrics;
+      transport;
       poll_interval;
+      sleep;
       lock = Mutex.create ();
       applied = 0L;
       covered = 0L;

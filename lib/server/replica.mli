@@ -11,8 +11,27 @@
 
 type t
 
+type shipped = { data : string; covered : int64; reset : bool }
+(** One fetched batch: the raw framed record bytes, the primary's
+    covered sequence number, and whether this is a snapshot reset. *)
+
+type transport = {
+  fetch : after:int64 -> (shipped, string) result;
+      (** Fetch the next batch of records with sequence numbers
+          strictly greater than [after]. *)
+  shutdown : unit -> unit;
+      (** Drop any held connection state; the next [fetch] starts
+          fresh. Called on apply errors and once at loop exit. *)
+}
+
+val http_transport : host:string -> port:int -> transport
+(** The production transport: one keep-alive {!Client} connection to
+    the primary's [GET /replication/log], reopened on any failure. *)
+
 val start :
   ?poll_interval:float ->
+  ?transport:transport ->
+  ?sleep:(float -> unit) ->
   registry:Registry.t ->
   metrics:Metrics.t ->
   host:string ->
@@ -21,7 +40,10 @@ val start :
   t
 (** Spawn the apply loop against the primary at [host]:[port].
     [poll_interval] (default 0.02 s) is the sleep between polls once
-    caught up; while batches keep arriving the loop doesn't sleep. *)
+    caught up; while batches keep arriving the loop doesn't sleep.
+    [transport] (default {!http_transport} to [host]:[port]) and
+    [sleep] are injectable so the loop is testable without sockets or
+    real time. *)
 
 val primary_address : t -> string
 (** ["HOST:PORT"] — what read-only rejections advertise. *)

@@ -1,0 +1,327 @@
+(* An in-memory filesystem behind [Store.Fsenv.S], with a crash model
+   and single-shot fault injection. The whole persistence stack
+   (Journal, Wal, Persist) runs against it unmodified; the simulator
+   arms one fault, runs one operation, and then inspects or crashes
+   the "disk".
+
+   Crash model: each file carries the visible contents ([data]) and
+   the contents at the last fsync ([synced]). A crash keeps [synced]
+   plus a seed-determined fraction of the unsynced extension — the
+   kernel got some of the dirty pages out, in order, before the power
+   failed. Renames are durable only after [fsync_dir]; a crash before
+   that may undo them. *)
+
+exception Crashed
+
+type fault =
+  | Disk_full of int  (** the Nth write applies half, then ENOSPC *)
+  | Torn of int * int
+      (** the Nth write applies [permille]/1000 of its bytes, then the
+          process dies ([Crashed]); the env is dead until {!crash} *)
+  | Fsync_fail of int  (** the Nth fsync raises EIO *)
+  | Crash_at of int
+      (** the Nth effect (write/fsync/rename/ftruncate/remove/
+          fsync_dir) dies before applying anything *)
+
+type file = {
+  mutable data : string;  (* visible contents *)
+  mutable synced : string;  (* contents at the last fsync *)
+}
+
+(* a rename not yet made durable by fsync_dir; crash may undo it *)
+type pending = { p_src : string; p_dst : string; p_old_dst : file option }
+
+type handle = {
+  h_path : string;
+  h_file : file;
+  mutable h_pos : int;
+  mutable h_closed : bool;
+}
+
+type Store.Fsenv.fd += Sim_fd of handle
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  dirs : (string, unit) Hashtbl.t;
+  mutable pending : pending list;  (* newest first *)
+  mutable armed : fault option;
+  mutable fired : fault option;
+  mutable writes : int;
+  mutable fsyncs : int;
+  mutable effects : int;
+  mutable dead : bool;
+  mutable clock : float;
+  mutable salt : int;  (* decorrelates crash coins across crashes *)
+}
+
+let create () =
+  {
+    files = Hashtbl.create 16;
+    dirs = Hashtbl.create 4;
+    pending = [];
+    armed = None;
+    fired = None;
+    writes = 0;
+    fsyncs = 0;
+    effects = 0;
+    dead = false;
+    clock = 1_000_000.0;
+    salt = 0;
+  }
+
+let arm t fault =
+  t.armed <- Some fault;
+  t.fired <- None;
+  t.writes <- 0;
+  t.fsyncs <- 0;
+  t.effects <- 0
+
+let disarm t =
+  t.armed <- None;
+  t.fired <- None
+let fired t = t.fired
+let dead t = t.dead
+
+let visible t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> Some f.data
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fault bookkeeping                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_dead t = if t.dead then raise Crashed
+
+(* every mutating effect passes through here; Crash_at dies before the
+   effect applies *)
+let effect t =
+  check_dead t;
+  t.effects <- t.effects + 1;
+  match t.armed with
+  | Some (Crash_at n) when t.effects = n ->
+      t.fired <- t.armed;
+      t.armed <- None;
+      t.dead <- true;
+      raise Crashed
+  | _ -> ()
+
+let handle_of = function
+  | Sim_fd h -> h
+  | _ -> raise Store.Fsenv.Foreign_fd
+
+let live_handle t fd =
+  check_dead t;
+  let h = handle_of fd in
+  if h.h_closed then
+    raise (Unix.Unix_error (Unix.EBADF, "sim", h.h_path));
+  h
+
+(* ------------------------------------------------------------------ *)
+(* The Fsenv implementation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fs t : Store.Fsenv.t =
+  let module M = struct
+    let openfile path mode =
+      check_dead t;
+      let file =
+        match (Hashtbl.find_opt t.files path, mode) with
+        | Some f, (Store.Fsenv.Read | Store.Fsenv.Read_write) -> f
+        | Some f, Store.Fsenv.Trunc ->
+            (* visible contents truncated; what was synced stays the
+               durable fallback until the next fsync *)
+            f.data <- "";
+            f
+        | None, Store.Fsenv.Read ->
+            raise (Unix.Unix_error (Unix.ENOENT, "open", path))
+        | None, (Store.Fsenv.Read_write | Store.Fsenv.Trunc) ->
+            let f = { data = ""; synced = "" } in
+            Hashtbl.replace t.files path f;
+            f
+      in
+      Sim_fd { h_path = path; h_file = file; h_pos = 0; h_closed = false }
+
+    let read fd buf off len =
+      let h = live_handle t fd in
+      let avail = String.length h.h_file.data - h.h_pos in
+      let n = min len (max 0 avail) in
+      Bytes.blit_string h.h_file.data h.h_pos buf off n;
+      h.h_pos <- h.h_pos + n;
+      n
+
+    (* apply [n] bytes of the requested write at the handle position *)
+    let apply_write h buf off n =
+      let f = h.h_file in
+      let pos = h.h_pos in
+      let data = f.data in
+      let pre =
+        if pos <= String.length data then String.sub data 0 pos
+        else data ^ String.make (pos - String.length data) '\000'
+      in
+      let post =
+        let endpos = pos + n in
+        if endpos < String.length data then
+          String.sub data endpos (String.length data - endpos)
+        else ""
+      in
+      f.data <- pre ^ Bytes.sub_string buf off n ^ post;
+      h.h_pos <- pos + n
+
+    let write fd buf off len =
+      let h = live_handle t fd in
+      effect t;
+      t.writes <- t.writes + 1;
+      match t.armed with
+      | Some (Disk_full n) when t.writes = n ->
+          t.fired <- t.armed;
+          t.armed <- None;
+          apply_write h buf off (len / 2);
+          raise (Unix.Unix_error (Unix.ENOSPC, "write", h.h_path))
+      | Some (Torn (n, permille)) when t.writes = n ->
+          t.fired <- t.armed;
+          t.armed <- None;
+          apply_write h buf off (len * permille / 1000);
+          t.dead <- true;
+          raise Crashed
+      | _ ->
+          apply_write h buf off len;
+          len
+
+    let fsync fd =
+      let h = live_handle t fd in
+      effect t;
+      t.fsyncs <- t.fsyncs + 1;
+      match t.armed with
+      | Some (Fsync_fail n) when t.fsyncs = n ->
+          t.fired <- t.armed;
+          t.armed <- None;
+          raise (Unix.Unix_error (Unix.EIO, "fsync", h.h_path))
+      | _ -> h.h_file.synced <- h.h_file.data
+
+    let ftruncate fd len =
+      let h = live_handle t fd in
+      effect t;
+      let f = h.h_file in
+      if len <= String.length f.data then f.data <- String.sub f.data 0 len
+      else f.data <- f.data ^ String.make (len - String.length f.data) '\000'
+
+    let lseek_set fd pos =
+      let h = live_handle t fd in
+      h.h_pos <- pos
+
+    let lseek_end fd =
+      let h = live_handle t fd in
+      h.h_pos <- String.length h.h_file.data;
+      h.h_pos
+
+    let size fd =
+      let h = live_handle t fd in
+      String.length h.h_file.data
+
+    let close fd =
+      check_dead t;
+      (handle_of fd).h_closed <- true
+
+    let rename src dst =
+      check_dead t;
+      effect t;
+      match Hashtbl.find_opt t.files src with
+      | None -> raise (Unix.Unix_error (Unix.ENOENT, "rename", src))
+      | Some f ->
+          let old_dst = Hashtbl.find_opt t.files dst in
+          Hashtbl.remove t.files src;
+          Hashtbl.replace t.files dst f;
+          t.pending <- { p_src = src; p_dst = dst; p_old_dst = old_dst } :: t.pending
+
+    let remove path =
+      check_dead t;
+      effect t;
+      if not (Hashtbl.mem t.files path) then
+        raise (Unix.Unix_error (Unix.ENOENT, "unlink", path));
+      Hashtbl.remove t.files path
+
+    let mkdir path =
+      check_dead t;
+      if Hashtbl.mem t.dirs path then
+        raise (Unix.Unix_error (Unix.EEXIST, "mkdir", path));
+      Hashtbl.replace t.dirs path ()
+
+    let file_exists path =
+      check_dead t;
+      Hashtbl.mem t.files path || Hashtbl.mem t.dirs path
+
+    let read_file path =
+      check_dead t;
+      match Hashtbl.find_opt t.files path with
+      | Some f -> f.data
+      | None -> raise (Sys_error (path ^ ": No such file or directory"))
+
+    let fsync_dir _path =
+      check_dead t;
+      effect t;
+      (* renames are durable from here on *)
+      t.pending <- []
+
+    let gettimeofday () =
+      t.clock <- t.clock +. 1e-6;
+      t.clock
+
+    let sleepf s = t.clock <- t.clock +. s
+  end in
+  (module M : Store.Fsenv.S)
+
+(* ------------------------------------------------------------------ *)
+(* Crash                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* a cheap deterministic coin: whether this [key] survives a crash at
+   this [salt] *)
+let coin t key limit =
+  let h = Hashtbl.hash (t.salt, key) in
+  h mod 1000 < limit
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Power failure: decide per pending rename and per file what the disk
+   retains, then bring the env back to life for recovery. [cut] is the
+   permille of each unsynced extension that survives. *)
+let crash t ~cut =
+  t.salt <- t.salt + 1;
+  (* undo renames not covered by an fsync_dir, newest first, with a
+     per-rename coin biased by [cut] *)
+  List.iter
+    (fun p ->
+      if not (coin t p.p_dst cut) then begin
+        (match Hashtbl.find_opt t.files p.p_dst with
+        | Some f ->
+            Hashtbl.remove t.files p.p_dst;
+            Hashtbl.replace t.files p.p_src f
+        | None -> ());
+        match p.p_old_dst with
+        | Some old -> Hashtbl.replace t.files p.p_dst old
+        | None -> ()
+      end)
+    t.pending;
+  t.pending <- [];
+  Hashtbl.iter
+    (fun path f ->
+      let durable =
+        if f.data = f.synced then f.data
+        else if starts_with ~prefix:f.synced f.data then begin
+          (* unsynced extension: keep [cut] permille of it *)
+          let extra = String.length f.data - String.length f.synced in
+          f.synced ^ String.sub f.data (String.length f.synced) (extra * cut / 1000)
+        end
+        else if coin t path cut then f.data
+        else f.synced
+        (* diverged (truncate/overwrite without fsync): the metadata
+           either made it out or it didn't *)
+      in
+      f.data <- durable;
+      f.synced <- durable)
+    t.files;
+  t.armed <- None;
+  t.dead <- false

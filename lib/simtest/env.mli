@@ -1,0 +1,52 @@
+(** The simulated disk: an in-memory {!Store.Fsenv.S} with
+    deterministic fault injection and a crash model.
+
+    One {!t} is one machine. {!fs} hands the persistence stack its
+    filesystem; {!arm} loads a single-shot fault that fires on the
+    chosen effect; {!crash} is a power failure — it decides what the
+    disk retains (everything fsynced, plus a seed-determined fraction
+    of unsynced tails) and brings the env back to life for recovery. *)
+
+exception Crashed
+(** The simulated process died mid-effect ({!Torn} or {!Crash_at}).
+    Every subsequent effect re-raises it until {!crash} resurrects
+    the env. *)
+
+type fault =
+  | Disk_full of int  (** the Nth write applies half, then ENOSPC *)
+  | Torn of int * int
+      (** [Torn (n, permille)]: the Nth write applies [permille]/1000
+          of its bytes and the process dies *)
+  | Fsync_fail of int  (** the Nth fsync raises EIO *)
+  | Crash_at of int
+      (** the Nth effect (write, fsync, rename, ftruncate, remove,
+          fsync_dir) dies before applying anything *)
+
+type t
+
+val create : unit -> t
+
+val fs : t -> Store.Fsenv.t
+(** The filesystem to pass as [?env] to [Persist.open_] etc. *)
+
+val arm : t -> fault -> unit
+(** Load one fault and reset the effect counters. Single-shot: the
+    fault disarms itself when it fires. *)
+
+val disarm : t -> unit
+(** Clear both the armed fault and the {!fired} marker. *)
+
+val fired : t -> fault option
+(** The fault that fired since the last {!arm}, if any. *)
+
+val dead : t -> bool
+(** [true] between a {!Torn}/{!Crash_at} firing and the next
+    {!crash}. *)
+
+val crash : t -> cut:int -> unit
+(** Power failure. [cut] (permille) is how much of each unsynced tail
+    the kernel happened to flush; pending renames survive or unwind on
+    a per-rename coin biased by [cut]. Clears {!dead}. *)
+
+val visible : t -> string -> string option
+(** Current visible contents of a path, for invariant checks. *)

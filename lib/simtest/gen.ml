@@ -1,0 +1,170 @@
+(* Seeded operation sequences. Every op prints as a self-contained
+   token ([create:0/full:1], [crash:350], ...) so a failing sequence
+   — or its shrunk core — replays from the command line without the
+   seed that produced it. *)
+
+(* splitmix64: one multiply-xorshift chain per draw, full 64-bit
+   state, no shared tables — the same generator Dsim uses for its
+   campaign seeds *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform in [0, bound) *)
+  let int t bound =
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                    (Int64.of_int bound))
+end
+
+type fault =
+  | Fsync of int
+  | Full of int
+  | Torn of int * int
+  | Crashat of int
+
+type op =
+  | Create of int * fault option
+  | Diff of int * int * fault option
+  | Excise of int * int * fault option
+  | Remove of int * fault option
+  | Eval of int
+  | Ckpt of fault option
+  | Compact of fault option
+  | Restart
+  | Crash of int  (* cut, permille *)
+  | Replica
+  | Partition
+
+let to_env_fault = function
+  | Fsync n -> Env.Fsync_fail n
+  | Full n -> Env.Disk_full n
+  | Torn (n, p) -> Env.Torn (n, p)
+  | Crashat n -> Env.Crash_at n
+
+(* ------------------------------------------------------------------ *)
+(* Printing and parsing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fault_to_string = function
+  | Fsync n -> Printf.sprintf "fsync:%d" n
+  | Full n -> Printf.sprintf "full:%d" n
+  | Torn (n, p) -> Printf.sprintf "torn:%d:%d" n p
+  | Crashat n -> Printf.sprintf "crashat:%d" n
+
+let with_fault base = function
+  | None -> base
+  | Some f -> base ^ "/" ^ fault_to_string f
+
+let to_string = function
+  | Create (s, f) -> with_fault (Printf.sprintf "create:%d" s) f
+  | Diff (s, e, f) -> with_fault (Printf.sprintf "diff:%d:%d" s e) f
+  | Excise (s, e, f) -> with_fault (Printf.sprintf "exc:%d:%d" s e) f
+  | Remove (s, f) -> with_fault (Printf.sprintf "rm:%d" s) f
+  | Eval s -> Printf.sprintf "eval:%d" s
+  | Ckpt f -> with_fault "ckpt" f
+  | Compact f -> with_fault "compact" f
+  | Restart -> "restart"
+  | Crash cut -> Printf.sprintf "crash:%d" cut
+  | Replica -> "replica"
+  | Partition -> "replica:part"
+
+let ops_to_string ops = String.concat " " (List.map to_string ops)
+
+let fault_of_string s =
+  match String.split_on_char ':' s with
+  | [ "fsync"; n ] -> Some (Fsync (int_of_string n))
+  | [ "full"; n ] -> Some (Full (int_of_string n))
+  | [ "torn"; n; p ] -> Some (Torn (int_of_string n, int_of_string p))
+  | [ "crashat"; n ] -> Some (Crashat (int_of_string n))
+  | _ -> None
+
+let of_string token =
+  let base, fault =
+    match String.index_opt token '/' with
+    | None -> (token, Ok None)
+    | Some i ->
+        let f = String.sub token (i + 1) (String.length token - i - 1) in
+        ( String.sub token 0 i,
+          match fault_of_string f with
+          | Some f -> Ok (Some f)
+          | None -> Error ("bad fault: " ^ f) )
+  in
+  match fault with
+  | Error e -> Error e
+  | Ok fault -> (
+      (* int_of_string raises from inside a branch, which the exception
+         pattern below cannot catch — wrap the whole dispatch *)
+      try
+        match (String.split_on_char ':' base, fault) with
+        | [ "create"; s ], f -> Ok (Create (int_of_string s, f))
+        | [ "diff"; s; e ], f -> Ok (Diff (int_of_string s, int_of_string e, f))
+        | [ "exc"; s; e ], f -> Ok (Excise (int_of_string s, int_of_string e, f))
+        | [ "rm"; s ], f -> Ok (Remove (int_of_string s, f))
+        | [ "eval"; s ], None -> Ok (Eval (int_of_string s))
+        | [ "ckpt" ], f -> Ok (Ckpt f)
+        | [ "compact" ], f -> Ok (Compact f)
+        | [ "restart" ], None -> Ok Restart
+        | [ "crash"; cut ], None -> Ok (Crash (int_of_string cut))
+        | [ "replica" ], None -> Ok Replica
+        | [ "replica"; "part" ], None -> Ok Partition
+        | _ -> Error ("bad op: " ^ token)
+      with Failure _ -> Error ("bad op: " ^ token))
+
+let ops_of_string s =
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match of_string tok with
+        | Ok op -> go (op :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] tokens
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sessions = 4
+
+(* roughly one mutation in eight carries a fault *)
+let gen_fault rng =
+  if Rng.int rng 100 >= 12 then None
+  else
+    match Rng.int rng 4 with
+    | 0 -> Some (Fsync (1 + Rng.int rng 2))
+    | 1 -> Some (Full (1 + Rng.int rng 2))
+    | 2 -> Some (Torn (1 + Rng.int rng 2, Rng.int rng 1000))
+    | _ -> Some (Crashat (1 + Rng.int rng 6))
+
+let gen_op rng =
+  let slot () = Rng.int rng sessions in
+  let pick () = Rng.int rng 16 in
+  match Rng.int rng 104 with
+  | n when n < 16 -> Create (slot (), gen_fault rng)
+  | n when n < 32 -> Diff (slot (), pick (), gen_fault rng)
+  | n when n < 39 -> Excise (slot (), pick (), gen_fault rng)
+  | n when n < 46 -> Remove (slot (), gen_fault rng)
+  | n when n < 58 -> Eval (slot ())
+  | n when n < 63 -> Ckpt (gen_fault rng)
+  | n when n < 71 -> Compact (gen_fault rng)
+  | n when n < 76 -> Restart
+  | n when n < 84 -> Crash (Rng.int rng 1001)
+  | n when n < 102 -> Replica
+  | _ -> Partition
+
+let gen ~seed ~ops =
+  let rng = Rng.make seed in
+  List.init ops (fun _ -> gen_op rng)

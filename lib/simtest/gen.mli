@@ -1,0 +1,46 @@
+(** Seeded operation sequences and their replayable token syntax.
+
+    An op prints as a self-contained token — [create:2/full:1],
+    [diff:0:5], [crash:350] — so any sequence round-trips through
+    {!ops_to_string}/{!ops_of_string} and a shrunk repro can be pasted
+    straight into [sosae simtest --replay]. *)
+
+module Rng : sig
+  type t
+
+  val make : int -> t
+
+  val int : t -> int -> int
+  (** Uniform in [\[0, bound)]. Splitmix64 underneath. *)
+end
+
+type fault =
+  | Fsync of int  (** Nth fsync fails (EIO, journal poisoned) *)
+  | Full of int  (** Nth write: half applied, then ENOSPC *)
+  | Torn of int * int  (** Nth write torn at permille, process dies *)
+  | Crashat of int  (** process dies at the Nth effect *)
+
+type op =
+  | Create of int * fault option  (** session slot *)
+  | Diff of int * int * fault option  (** slot, element pick *)
+  | Excise of int * int * fault option  (** slot, link pick *)
+  | Remove of int * fault option
+  | Eval of int
+  | Ckpt of fault option  (** inline checkpoint *)
+  | Compact of fault option  (** background-style rotation *)
+  | Restart  (** clean close + reopen *)
+  | Crash of int  (** power failure; cut permille of unsynced tails *)
+  | Replica  (** one replica poll + apply *)
+  | Partition  (** a poll that cannot reach the primary *)
+
+val to_env_fault : fault -> Env.fault
+
+val sessions : int
+(** Session-id slots the generator draws from. *)
+
+val to_string : op -> string
+val ops_to_string : op list -> string
+val of_string : string -> (op, string) result
+val ops_of_string : string -> (op list, string) result
+
+val gen : seed:int -> ops:int -> op list

@@ -1,0 +1,35 @@
+(* Greedy delta-debugging over op lists: repeatedly delete chunks,
+   halving the chunk size, keeping any deletion that still fails. Runs
+   are deterministic, so the predicate is cheap to trust; the budget
+   caps pathological sequences, not typical ones (a typical failing
+   sequence shrinks in well under a hundred runs). *)
+
+let delete_chunk ops start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) ops
+
+let shrink ?(budget = 400) ~fails ops =
+  let budget = ref budget in
+  let attempt cand =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      fails cand
+    end
+  in
+  let rec at_size ops size =
+    if size < 1 then ops
+    else
+      (* scan deletion positions left to right; restart the scan at
+         the same size whenever a deletion sticks *)
+      let rec scan ops start =
+        if start >= List.length ops then at_size ops (size / 2)
+        else
+          let cand = delete_chunk ops start size in
+          if List.length cand < List.length ops && attempt cand then
+            scan cand start
+          else scan ops (start + size)
+      in
+      scan ops 0
+  in
+  if not (fails ops) then ops
+  else at_size ops (max 1 (List.length ops / 2))

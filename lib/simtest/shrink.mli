@@ -1,0 +1,7 @@
+(** Delta-debugging for op sequences. *)
+
+val shrink :
+  ?budget:int -> fails:(Gen.op list -> bool) -> Gen.op list -> Gen.op list
+(** Greedily delete chunks (halving the chunk size) while [fails]
+    still holds, within [budget] (default 400) predicate runs. Returns
+    the input unchanged if it does not fail. *)

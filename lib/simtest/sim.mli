@@ -1,0 +1,35 @@
+(** The deterministic simulator: run op sequences against the real
+    [Persist]/[Registry]/[Ship] stack on a simulated disk ({!Env}),
+    mirror every step in the {!Model} oracle, and check invariants
+    after each op:
+
+    - registry state ≡ model after every op;
+    - a crash recovers to exactly one point of the staged history, at
+      or past both the fsync frontier and the highest acknowledged
+      write;
+    - the recovered journal decodes cleanly with increasing sequence
+      numbers;
+    - a clean restart loses nothing that was staged;
+    - the replica never applies past the primary's fsync frontier and
+      always equals a prefix of the primary's history;
+    - evaluation through a session equals a fresh evaluation of the
+      same project. *)
+
+type failure = { index : int; op : Gen.op; reason : string }
+
+val run_ops : Gen.op list -> (unit, failure) result
+(** Run one sequence on a fresh simulated machine. *)
+
+val fails : Gen.op list -> bool
+(** [Result.is_error (run_ops ops)] — the shrinking predicate. *)
+
+val run_seed : seed:int -> ops:int -> (unit, failure * Gen.op list) result
+(** Generate {!Gen.gen}[ ~seed ~ops] and run it; on failure returns
+    the failure and the full sequence (for shrinking). *)
+
+val repro_command : Gen.op list -> string
+(** The ready-to-paste command that replays a sequence. *)
+
+val report_failure : Format.formatter -> failure * Gen.op list -> unit
+(** Shrink the failing sequence and print what failed plus the minimal
+    repro command. *)

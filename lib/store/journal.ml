@@ -43,7 +43,8 @@ type group = {
 
 type t = {
   path : string;
-  mutable fd : Unix.file_descr;
+  env : Fsenv.t;  (* every filesystem effect goes through here *)
+  mutable fd : Fsenv.fd;
   policy : fsync_policy;
   (* [lock]/[cond] serialize every mutation of the journal (appends,
      truncation, rotation) and carry the group-commit hand-off; a
@@ -52,7 +53,7 @@ type t = {
   lock : Mutex.t;
   cond : Condition.t;
   mutable fsync_in_flight : bool;
-  mutable failed : exn option;  (* a group fsync failed: poisoned *)
+  mutable failed : exn option;  (* an fsync failed: poisoned *)
   mutable group : group option;
   mutable mirror : (int64 * string) list option;  (* rotation capture *)
   mutable seq : int64;  (* next to assign *)
@@ -75,19 +76,21 @@ type recovery = {
 
 type counters = { appends : int; bytes : int; fsyncs : int }
 
-let rec write_all fd b off len =
+let rec write_all env fd b off len =
   if len > 0 then begin
-    match Unix.write fd b off len with
-    | n -> write_all fd b (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+    let module E = (val env : Fsenv.S) in
+    match E.write fd b off len with
+    | n -> write_all env fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all env fd b off len
   end
 
-let read_file fd =
-  let size = (Unix.fstat fd).Unix.st_size in
+let read_file env fd =
+  let module E = (val env : Fsenv.S) in
+  let size = E.size fd in
   let b = Bytes.create size in
   let rec go off =
     if off < size then
-      match Unix.read fd b off (size - off) with
+      match E.read fd b off (size - off) with
       | 0 -> off  (* shrank underneath us; treat as EOF *)
       | n -> go (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
@@ -96,28 +99,30 @@ let read_file fd =
   let got = go 0 in
   Bytes.sub_string b 0 got
 
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-  | exception Unix.Unix_error _ -> ()
-
-let open_ ?(fsync = Always) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+let open_ ?(fsync = Always) ?(env = Fsenv.real) path =
+  let module E = (val env : Fsenv.S) in
+  let fd = E.openfile path Fsenv.Read_write in
   match
-    let contents = read_file fd in
+    let contents = read_file env fd in
     let records, valid_end, tail = Record.decode_all contents in
     let truncated = String.length contents - valid_end in
     if truncated > 0 then begin
-      Unix.ftruncate fd valid_end;
-      ignore (Unix.lseek fd 0 Unix.SEEK_END)
+      E.ftruncate fd valid_end;
+      ignore (E.lseek_end fd)
     end;
+    (* Make the recovered contents actually durable before anything
+       trusts them. After a plain process restart the records just
+       read may still be unsynced page cache (the previous writer died
+       between append and fsync) — yet from here on they count as
+       covered and get shipped to replicas, so a later power failure
+       must not be able to take them back. One fsync per open. *)
+    if valid_end > 0 || truncated > 0 then E.fsync fd;
     let last_seq =
       List.fold_left (fun acc (seq, _) -> if seq > acc then seq else acc) 0L records
     in
     ( {
         path;
+        env;
         fd;
         policy = fsync;
         lock = Mutex.create ();
@@ -127,14 +132,13 @@ let open_ ?(fsync = Always) path =
         group = None;
         mirror = None;
         seq = Int64.add last_seq 1L;
-        (* recovered records survived whatever stopped the last writer;
-           they are exactly what a restarted primary would serve, so
-           shipping treats them as covered *)
+        (* the fsync above made the recovered records durable, so
+           shipping may treat them as covered *)
         durable_seq = last_seq;
         epoch = 0;
-        dirty = truncated > 0;
+        dirty = false;
         file_bytes = valid_end;
-        last_fsync = Unix.gettimeofday ();
+        last_fsync = E.gettimeofday ();
         appends = 0;
         bytes = 0;
         fsyncs = 0;
@@ -148,33 +152,64 @@ let open_ ?(fsync = Always) path =
   with
   | result -> result
   | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try E.close fd with Unix.Unix_error _ -> () | Fsenv.Foreign_fd -> ());
       raise e
 
+let env t = t.env
+
 (* lock held: everything written so far (seq < t.seq) reached the
-   kernel before its append returned, so a completed fsync covers it *)
+   kernel before its append returned, so a completed fsync covers it.
+   A failed fsync poisons the journal: the kernel may already have
+   dropped dirty pages, so no later ack can be trusted until the file
+   is reopened and recovered. *)
 let do_fsync t =
-  Unix.fsync t.fd;
+  let module E = (val t.env : Fsenv.S) in
+  (match E.fsync t.fd with
+  | () -> ()
+  | exception e ->
+      t.failed <- Some e;
+      raise e);
   t.dirty <- false;
-  t.last_fsync <- Unix.gettimeofday ();
+  t.last_fsync <- E.gettimeofday ();
   t.fsyncs <- t.fsyncs + 1;
   t.durable_seq <- Int64.pred t.seq
 
 let maybe_fsync t =
+  let module E = (val t.env : Fsenv.S) in
   match t.policy with
   | Always -> do_fsync t
   | Never -> ()
-  | Interval s -> if Unix.gettimeofday () -. t.last_fsync >= s then do_fsync t
+  | Interval s -> if E.gettimeofday () -. t.last_fsync >= s then do_fsync t
 
-(* lock held; writes the record but never fsyncs *)
+(* lock held: a write blew up partway through a record (ENOSPC, torn
+   write). The garbage prefix must not stay in the file: a later
+   append would land a valid record *behind* it, and recovery — which
+   stops at the first bad frame — would silently discard that
+   acknowledged write. Scrub back to the pre-append size and re-seek;
+   if even the scrub fails, poison the journal so no further append
+   can bury good data behind the wreck. *)
+let scrub_partial_append t ~pre_bytes e =
+  (try
+     let module E = (val t.env : Fsenv.S) in
+     E.ftruncate t.fd pre_bytes;
+     ignore (E.lseek_end t.fd);
+     t.dirty <- true
+   with _ -> t.failed <- Some e);
+  raise e
+
+(* lock held; writes the record but never fsyncs. [t.seq] is only
+   advanced once the bytes are fully written, so a failed write
+   consumes no sequence number (a permanent seq gap would wedge every
+   tail cursor on [Gap] with no snapshot to reset from). *)
 let append_locked t payload =
   (match t.failed with Some e -> raise e | None -> ());
   let seq = t.seq in
-  t.seq <- Int64.add seq 1L;
   let buf = Buffer.create (Record.header_size + String.length payload) in
   Record.encode buf ~seq payload;
   let b = Buffer.to_bytes buf in
-  write_all t.fd b 0 (Bytes.length b);
+  (try write_all t.env t.fd b 0 (Bytes.length b)
+   with e -> scrub_partial_append t ~pre_bytes:t.file_bytes e);
+  t.seq <- Int64.add seq 1L;
   t.dirty <- true;
   t.appends <- t.appends + 1;
   t.bytes <- t.bytes + Bytes.length b;
@@ -183,6 +218,23 @@ let append_locked t payload =
   | Some tail -> t.mirror <- Some ((seq, payload) :: tail)
   | None -> ());
   seq
+
+(* lock held: the fsync right after an append failed, so the ack is
+   about to fail too — scrub the record back out so a later recovery
+   cannot resurrect a mutation its caller rolled back. The journal is
+   already poisoned by [do_fsync]. *)
+let unstage_locked t ~seq ~payload =
+  let size = Record.header_size + String.length payload in
+  (try
+     let module E = (val t.env : Fsenv.S) in
+     E.ftruncate t.fd (t.file_bytes - size);
+     ignore (E.lseek_end t.fd);
+     t.file_bytes <- t.file_bytes - size;
+     t.seq <- seq;
+     match t.mirror with
+     | Some ((s, _) :: tl) when s = seq -> t.mirror <- Some tl
+     | Some _ | None -> ()
+   with _ -> ())
 
 (* lock held; waits out an in-flight group fsync so the callback can
    safely truncate or replace the fd *)
@@ -246,7 +298,11 @@ let stage t payload =
       let seq = append_locked t payload in
       (match (t.group, t.policy) with
       | Some _, Always -> ()  (* durability is settled in [await] *)
-      | Some _, (Never | Interval _) | None, _ -> maybe_fsync t);
+      | Some _, (Never | Interval _) | None, _ -> (
+          try maybe_fsync t
+          with e ->
+            unstage_locked t ~seq ~payload;
+            raise e));
       seq)
 
 let hist_index batch =
@@ -265,6 +321,7 @@ let hist_index batch =
    so under concurrency each fsync covers everything staged during the
    previous one. *)
 let rec await_locked t g seq =
+  let module E = (val t.env : Fsenv.S) in
   if g.synced >= seq then ()
   else begin
     (match t.failed with Some e -> raise e | None -> ());
@@ -280,18 +337,18 @@ let rec await_locked t g seq =
       then begin
         (* accumulate: stagers only need [lock], not the fsync *)
         Mutex.unlock t.lock;
-        Unix.sleepf g.window;
+        E.sleepf g.window;
         Mutex.lock t.lock
       end;
       let covers = Int64.pred t.seq in
       Mutex.unlock t.lock;
-      let outcome = try Ok (Unix.fsync t.fd) with e -> Error e in
+      let outcome = try Ok (E.fsync t.fd) with e -> Error e in
       Mutex.lock t.lock;
       t.fsync_in_flight <- false;
       (match outcome with
       | Ok () ->
           t.fsyncs <- t.fsyncs + 1;
-          t.last_fsync <- Unix.gettimeofday ();
+          t.last_fsync <- E.gettimeofday ();
           if Int64.pred t.seq = covers then t.dirty <- false;
           (* [covers] can trail [synced] when a rotation or reset
              slipped in between our snapshot and the fsync — never
@@ -364,9 +421,10 @@ let mark_synced_locked t =
 
 let reset t =
   locked t (fun () ->
+      let module E = (val t.env : Fsenv.S) in
       quiesce_locked t;
-      Unix.ftruncate t.fd 0;
-      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+      E.ftruncate t.fd 0;
+      E.lseek_set t.fd 0;
       t.file_bytes <- 0;
       t.epoch <- t.epoch + 1;
       do_fsync t;
@@ -384,6 +442,7 @@ let abort_rotation t = locked t (fun () -> t.mirror <- None)
 
 let commit_rotation t =
   locked t (fun () ->
+      let module E = (val t.env : Fsenv.S) in
       let tail =
         match t.mirror with
         | Some entries -> List.rev entries
@@ -393,35 +452,31 @@ let commit_rotation t =
       let tmp = t.path ^ ".tmp" in
       let buf = Buffer.create 4096 in
       List.iter (fun (seq, payload) -> Record.encode buf ~seq payload) tail;
-      let fd =
-        Unix.openfile tmp
-          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
-          0o644
-      in
+      let fd = E.openfile tmp Fsenv.Trunc in
       (try
          let b = Buffer.to_bytes buf in
-         write_all fd b 0 (Bytes.length b);
-         Unix.fsync fd;
-         Unix.close fd
+         write_all t.env fd b 0 (Bytes.length b);
+         E.fsync fd;
+         E.close fd
        with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         (try Sys.remove tmp with Sys_error _ -> ());
+         (try E.close fd with _ -> ());
+         (try E.remove tmp with _ -> ());
          t.mirror <- None;
          raise e);
       (* the tail records are durable in [tmp]; now it may take the
          journal's place. A crash before the rename leaves the old
          journal (whose covered prefix recovery skips by sequence
          number); after it, exactly the tail. *)
-      Unix.rename tmp t.path;
-      fsync_dir (Filename.dirname t.path);
-      let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 in
-      ignore (Unix.lseek fd 0 Unix.SEEK_END);
-      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      E.rename tmp t.path;
+      E.fsync_dir (Filename.dirname t.path);
+      let fd = E.openfile t.path Fsenv.Read_write in
+      ignore (E.lseek_end fd);
+      (try E.close t.fd with _ -> ());
       t.fd <- fd;
       t.file_bytes <- Buffer.length buf;
       t.epoch <- t.epoch + 1;
       t.dirty <- false;
-      t.last_fsync <- Unix.gettimeofday ();
+      t.last_fsync <- E.gettimeofday ();
       t.mirror <- None;
       (* staged ≤ covers is durable via the caller's snapshot, the
          mirrored tail via the fsynced replacement file: release
@@ -456,17 +511,18 @@ module Tail = struct
 
   (* One bounded read of [path] at [off] through a private fd — the
      journal's own fd carries the writers' implicit position. *)
-  let read_at path ~off ~len =
-    let fd = Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+  let read_at env path ~off ~len =
+    let module E = (val env : Fsenv.S) in
+    let fd = E.openfile path Fsenv.Read in
     Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      ~finally:(fun () -> try E.close fd with _ -> ())
       (fun () ->
-        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        E.lseek_set fd off;
         let b = Bytes.create len in
         let rec go pos =
           if pos >= len then pos
           else
-            match Unix.read fd b pos (len - pos) with
+            match E.read fd b pos (len - pos) with
             | 0 -> pos
             | n -> go (pos + n)
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
@@ -493,7 +549,7 @@ module Tail = struct
           else begin
             let remaining = t.file_bytes - c.c_off in
             let rec load window =
-              let region = read_at t.path ~off:c.c_off ~len:window in
+              let region = read_at t.env t.path ~off:c.c_off ~len:window in
               let records, _, _ = Record.decode_all region in
               if records = [] && window < remaining && String.length region >= 4
               then
@@ -562,9 +618,10 @@ let stats (t : t) : counters =
 
 let close t =
   locked t (fun () ->
+      let module E = (val t.env : Fsenv.S) in
       if not t.closed then begin
         quiesce_locked t;
         t.closed <- true;
-        if t.dirty then (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
-        try Unix.close t.fd with Unix.Unix_error _ -> ()
+        if t.dirty then (try E.fsync t.fd with _ -> ());
+        try E.close t.fd with _ -> ()
       end)

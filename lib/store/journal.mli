@@ -36,12 +36,16 @@ type recovery = {
                        not a clean cut *)
 }
 
-val open_ : ?fsync:fsync_policy -> string -> t * recovery
+val open_ : ?fsync:fsync_policy -> ?env:Fsenv.t -> string -> t * recovery
 (** Open (creating if missing) and scan the file. A torn or corrupt
     tail is truncated away on disk so new appends extend the valid
     prefix; everything before it is returned. The next sequence number
     continues after the largest recovered one. Default policy
-    [Always]. *)
+    [Always]. Every filesystem effect goes through [env] (default
+    {!Fsenv.real}, which delegates to [Unix]). *)
+
+val env : t -> Fsenv.t
+(** The effect environment the journal was opened with. *)
 
 type counters = { appends : int; bytes : int; fsyncs : int }
 
@@ -55,7 +59,9 @@ val stage : t -> string -> int64
     to the platter) and return its sequence number. Under group commit
     with policy [Always] this performs no fsync — call {!await} before
     acknowledging; under every other configuration it behaves exactly
-    like {!append}. *)
+    like {!append}. A failed write (ENOSPC, torn) is scrubbed back out
+    of the file and consumes no sequence number; a failed fsync
+    additionally poisons the journal (see {!await}). *)
 
 val await : t -> int64 -> unit
 (** Block until a completed fsync covers the given sequence number.

@@ -20,17 +20,12 @@ let create wal = { wal; lock = Mutex.create (); cursors = [] }
 
 let covered_seq t = Journal.covered_seq (Wal.journal t.wal)
 
-let read_file_string path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 (* the snapshot's valid prefix plus how far it covers (its first
    record is the meta record carrying the coverage seq) *)
 let snapshot_prefix t =
+  let module E = (val Wal.env t.wal : Fsenv.S) in
   let path = Wal.snapshot_path t.wal in
-  match read_file_string path with
+  match E.read_file path with
   | contents -> (
       let records, valid_end, _ = Record.decode_all contents in
       match records with

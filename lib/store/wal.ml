@@ -1,5 +1,6 @@
 type t = {
   dir : string;
+  env : Fsenv.t;
   journal : Journal.t;
   mutable compactions : int;
 }
@@ -23,26 +24,14 @@ let journal_file dir = Filename.concat dir "wal.log"
 let snapshot_file dir = Filename.concat dir "snapshot.log"
 let snapshot_tmp dir = Filename.concat dir "snapshot.tmp"
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
+let rec mkdir_p env dir =
+  let module E = (val env : Fsenv.S) in
+  if not (E.file_exists dir) then begin
     let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_p parent;
-    try Unix.mkdir dir 0o755
+    if parent <> dir then mkdir_p env parent;
+    try E.mkdir dir
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
-
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-  | exception Unix.Unix_error _ -> ()
-
-let read_file_string path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* The snapshot is record-framed like the journal: record 0 is a meta
    record whose sequence number says how far the snapshot covers (its
@@ -50,18 +39,19 @@ let read_file_string path =
    snapshot can only arise from corruption outside the crash model
    (rename is atomic, the temp file is fsynced first); its valid
    prefix is still used. *)
-let read_snapshot dir =
+let read_snapshot env dir =
+  let module E = (val env : Fsenv.S) in
   let path = snapshot_file dir in
-  if not (Sys.file_exists path) then (0L, [])
+  if not (E.file_exists path) then (0L, [])
   else
-    match Record.decode_all (read_file_string path) with
+    match Record.decode_all (E.read_file path) with
     | (meta_seq, _meta) :: rest, _, _ -> (meta_seq, List.map snd rest)
     | [], _, _ -> (0L, [])
 
-let open_ ?fsync ?group dir =
-  mkdir_p dir;
-  let snapshot_seq, state = read_snapshot dir in
-  let journal, (jr : Journal.recovery) = Journal.open_ ?fsync (journal_file dir) in
+let open_ ?fsync ?group ?(env = Fsenv.real) dir =
+  mkdir_p env dir;
+  let snapshot_seq, state = read_snapshot env dir in
+  let journal, (jr : Journal.recovery) = Journal.open_ ?fsync ~env (journal_file dir) in
   Journal.bump_seq journal snapshot_seq;
   (match group with
   | Some config -> Journal.enable_group ~config journal
@@ -71,7 +61,7 @@ let open_ ?fsync ?group dir =
       (fun (seq, payload) -> if seq > snapshot_seq then Some payload else None)
       jr.Journal.records
   in
-  ( { dir; journal; compactions = 0 },
+  ( { dir; env; journal; compactions = 0 },
     {
       state;
       entries;
@@ -90,29 +80,28 @@ let journal_bytes t = Journal.file_bytes t.journal
    (tmp → fsync → rename → dir fsync) before the caller is allowed to
    drop the journal entries it covers *)
 let write_snapshot t ~covers state =
+  let module E = (val t.env : Fsenv.S) in
   let buf = Buffer.create 4096 in
   Record.encode buf ~seq:covers "";
   List.iter (fun payload -> Record.encode buf ~seq:covers payload) state;
   let tmp = snapshot_tmp t.dir in
-  let fd =
-    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
-  in
+  let fd = E.openfile tmp Fsenv.Trunc in
   (try
      let b = Buffer.to_bytes buf in
      let rec write_all off len =
        if len > 0 then
-         match Unix.write fd b off len with
+         match E.write fd b off len with
          | n -> write_all (off + n) (len - n)
          | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off len
      in
      write_all 0 (Bytes.length b);
-     Unix.fsync fd;
-     Unix.close fd
+     E.fsync fd;
+     E.close fd
    with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try E.close fd with _ -> ());
      raise e);
-  Unix.rename tmp (snapshot_file t.dir);
-  fsync_dir t.dir
+  E.rename tmp (snapshot_file t.dir);
+  E.fsync_dir t.dir
 
 let compact t ~state =
   let covers = Int64.pred (Journal.next_seq t.journal) in
@@ -150,6 +139,8 @@ let stats t =
 let group_stats t = Journal.group_stats t.journal
 
 let dir t = t.dir
+
+let env t = t.env
 
 let journal t = t.journal
 

@@ -28,10 +28,16 @@ type recovery = {
   corrupt_tail : bool;  (** the discard was a checksum mismatch, not a cut *)
 }
 
-val open_ : ?fsync:Journal.fsync_policy -> ?group:Journal.Group.config -> string -> t * recovery
+val open_ :
+  ?fsync:Journal.fsync_policy ->
+  ?group:Journal.Group.config ->
+  ?env:Fsenv.t ->
+  string ->
+  t * recovery
 (** [open_ dir] creates [dir] (and parents) if needed, recovers, and
     positions for appending. [?group] enables group commit on the
-    journal (see {!Journal.enable_group}). *)
+    journal (see {!Journal.enable_group}). Every filesystem effect
+    goes through [env] (default {!Fsenv.real}). *)
 
 val append : t -> string -> int64
 (** Journal one payload; durable per the fsync policy on return.
@@ -79,6 +85,9 @@ val group_stats : t -> Journal.Group.stats option
 (** [None] unless group commit was enabled. *)
 
 val dir : t -> string
+
+val env : t -> Fsenv.t
+(** The effect environment the store was opened with. *)
 
 val journal : t -> Journal.t
 (** The underlying journal — what {!Ship} tails for replication. *)

@@ -27,6 +27,7 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("evolution", Test_evolution.suite);
       ("store", Test_store.suite);
+      ("simtest", Test_simtest.suite);
       ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

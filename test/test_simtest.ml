@@ -1,0 +1,401 @@
+(* The deterministic simulation harness (lib/simtest) as a tier-1
+   suite: a bounded seed matrix, the token syntax, the shrinker, and
+   directed regression tests for the failure modes the simulator is
+   built around — a poisoned journal, a compaction outrunning a
+   replica's cursor, and follow-primary retries against an
+   unreachable primary.
+
+   [SOSAE_SIMTEST_SEED=n] replays a single seed (with the full CLI op
+   count) instead of the matrix — the knob CI prints in a failing
+   seed's repro. The heavy seed matrix lives in the [sosae simtest]
+   CLI step of CI; this suite keeps a smaller one so plain
+   [dune runtest] still exercises the whole stack under faults. *)
+
+let group = { Store.Journal.Group.window = 0.0; max_batch = 64 }
+
+(* a huge compact threshold: compaction happens only when a test asks
+   for it ([checkpoint]), never behind a mutation's back *)
+let compact_bytes = 1 lsl 30
+
+let open_registry env =
+  let persist, (recovery : Server.Persist.recovery) =
+    Server.Persist.open_ ~fsync:Store.Journal.Always ~group ~compact_bytes
+      ~env:(Simtest.Env.fs env) "sim"
+  in
+  let registry = Server.Registry.create ~jobs:1 ~persist () in
+  ignore (Server.Registry.recover registry recovery.Server.Persist.mutations);
+  (persist, registry)
+
+let add_session registry slot =
+  let id = Simtest.Model.session_id slot in
+  match
+    Server.Registry.add registry ~id
+      ~source:
+        ( Simtest.Model.scenarios_xml (),
+          Simtest.Model.architecture_xml (),
+          Simtest.Model.mapping_xml () )
+      (Simtest.Model.project_of_arch (Simtest.Model.base_arch ()))
+  with
+  | Ok () -> ()
+  | Error `Conflict -> Alcotest.failf "conflict creating %s" id
+
+(* ------------------------------------------------------------------ *)
+(* Seed matrix                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ~seed ~ops =
+  match Simtest.Sim.run_seed ~seed ~ops with
+  | Ok () -> ()
+  | Error fail ->
+      Alcotest.failf "seed %d:@\n%a" seed Simtest.Sim.report_failure fail
+
+let test_seed_matrix () =
+  match Sys.getenv_opt "SOSAE_SIMTEST_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some seed -> run_one ~seed ~ops:200
+      | None ->
+          Alcotest.failf "SOSAE_SIMTEST_SEED must be an integer, got %S" s)
+  | None ->
+      for seed = 1 to 8 do
+        run_one ~seed ~ops:80
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Token syntax and shrinking                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_roundtrip () =
+  let ops = Simtest.Gen.gen ~seed:42 ~ops:150 in
+  let s = Simtest.Gen.ops_to_string ops in
+  match Simtest.Gen.ops_of_string s with
+  | Error e -> Alcotest.failf "generated tokens did not parse back: %s" e
+  | Ok ops' ->
+      Alcotest.(check string) "round-trip" s (Simtest.Gen.ops_to_string ops')
+
+let test_token_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Simtest.Gen.ops_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed nonsense token %S" s)
+    [ "create"; "crash:x"; "diff:1"; "create:1/fsync"; "frobnicate:3" ]
+
+let test_shrinker_minimizes () =
+  let ops = Simtest.Gen.gen ~seed:1 ~ops:60 in
+  (* synthetic predicate: fails iff at least two Create ops remain *)
+  let fails l =
+    List.length
+      (List.filter (function Simtest.Gen.Create _ -> true | _ -> false) l)
+    >= 2
+  in
+  Alcotest.(check bool) "seed sequence triggers it" true (fails ops);
+  let shrunk = Simtest.Shrink.shrink ~fails ops in
+  Alcotest.(check bool) "shrunk sequence still fails" true (fails shrunk);
+  Alcotest.(check int) "shrunk to the minimal two ops" 2 (List.length shrunk);
+  (* and the repro it would print parses back to the same sequence *)
+  let cmd = Simtest.Sim.repro_command shrunk in
+  Testutil.check_contains "repro command" cmd "simtest --replay"
+
+(* ------------------------------------------------------------------ *)
+(* Poisoned journal (regression)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A failed fsync poisons the journal: the ack the caller never got
+   must not silently turn into durability later, so every further
+   stage/await/ship re-raises the original error until a reopen. *)
+let test_poisoned_journal_refuses_writes () =
+  let env = Simtest.Env.create () in
+  let persist, registry = open_registry env in
+  add_session registry 0;
+  Simtest.Env.arm env (Simtest.Env.Fsync_fail 1);
+  let e1 =
+    try
+      add_session registry 1;
+      Alcotest.fail "add succeeded through a failed fsync"
+    with Unix.Unix_error (Unix.EIO, _, _) as e -> e
+  in
+  Simtest.Env.disarm env;
+  (* the faulty fsync was single-shot, but the poison is sticky: the
+     next mutation raises the SAME stable error, and its memory insert
+     is rolled back *)
+  let e2 =
+    try
+      add_session registry 2;
+      None
+    with Unix.Unix_error _ as e -> Some e
+  in
+  Alcotest.(check bool) "same error every time" true (Some e1 = e2);
+  Alcotest.(check (list string))
+    "rejected mutation rolled back, zombie staged one kept" [ "s0"; "s1" ]
+    (Server.Registry.ids registry);
+  (* shipping refuses too — a replica must not be fed records the
+     primary can no longer call durable *)
+  (try
+     ignore (Server.Persist.ship persist ~after:0L);
+     Alcotest.fail "ship succeeded on a poisoned journal"
+   with Unix.Unix_error (Unix.EIO, _, _) -> ());
+  (* a reopen recovers everything that hit the disk and clears the
+     poison: both staged sessions are back and writes work again *)
+  (try Server.Persist.close persist with _ -> ());
+  let _persist, registry = open_registry env in
+  Alcotest.(check (list string))
+    "reopen recovers both staged sessions" [ "s0"; "s1" ]
+    (Server.Registry.ids registry);
+  add_session registry 2;
+  Alcotest.(check (list string))
+    "writes work again after reopen" [ "s0"; "s1"; "s2" ]
+    (Server.Registry.ids registry)
+
+(* The API boundary: a poisoned journal answers 500 [internal] — a
+   response, not a hang — while reads keep serving. *)
+let test_poisoned_journal_answers_500 () =
+  let env = Simtest.Env.create () in
+  let persist, (recovery : Server.Persist.recovery) =
+    Server.Persist.open_ ~fsync:Store.Journal.Always ~group ~compact_bytes
+      ~env:(Simtest.Env.fs env) "sim"
+  in
+  let ctx = Server.Api.make_ctx ~jobs:1 ~persist () in
+  ignore
+    (Server.Registry.recover ctx.Server.Api.registry
+       recovery.Server.Persist.mutations);
+  let request meth target path body =
+    {
+      Server.Http.meth;
+      target;
+      path;
+      query = [];
+      version = `Http_1_1;
+      headers = [];
+      body;
+    }
+  in
+  let create_body id =
+    Jsonlight.to_string
+      (Jsonlight.Obj
+         [
+           ("id", Jsonlight.String id);
+           ("scenarios", Jsonlight.String (Simtest.Model.scenarios_xml ()));
+           ( "architecture",
+             Jsonlight.String (Simtest.Model.architecture_xml ()) );
+           ("mapping", Jsonlight.String (Simtest.Model.mapping_xml ()));
+         ])
+  in
+  let post_session id =
+    let _, r =
+      Server.Api.handle ctx
+        (request Server.Http.POST "/sessions" [ "sessions" ] (create_body id))
+    in
+    r
+  in
+  Alcotest.(check int) "create works before the fault" 201
+    (post_session "s0").Server.Http.status;
+  Simtest.Env.arm env (Simtest.Env.Fsync_fail 1);
+  let r1 = post_session "s1" in
+  Alcotest.(check int) "failed fsync answers 500" 500 r1.Server.Http.status;
+  Testutil.check_contains "category" r1.Server.Http.resp_body
+    "\"category\":\"internal\"";
+  Simtest.Env.disarm env;
+  let r2 = post_session "s2" in
+  Alcotest.(check int) "poisoned journal keeps answering 500" 500
+    r2.Server.Http.status;
+  Testutil.check_contains "category" r2.Server.Http.resp_body
+    "\"category\":\"internal\"";
+  (* reads don't touch the journal and keep serving *)
+  let _, r =
+    Server.Api.handle ctx
+      (request Server.Http.GET "/sessions" [ "sessions" ] "")
+  in
+  Alcotest.(check int) "reads still answered" 200 r.Server.Http.status
+
+(* ------------------------------------------------------------------ *)
+(* Compaction outruns a replica's cursor                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A replica paused at seq 1 while the primary compacted everything it
+   still needed: the next fetch must be a [reset] snapshot bootstrap
+   the replica can rebuild from, not a gap or a stall. *)
+let test_ship_gap_resets () =
+  let env = Simtest.Env.create () in
+  let persist, registry = open_registry env in
+  add_session registry 0;
+  (* the replica applies the tail up to seq 1 *)
+  let batch = Server.Persist.ship persist ~after:0L in
+  Alcotest.(check bool) "first fetch is a plain tail" false
+    batch.Store.Ship.reset;
+  let replica = Server.Registry.create ~jobs:1 () in
+  let apply batch =
+    match Store.Ship.decode batch.Store.Ship.data with
+    | Error e -> Alcotest.failf "bad batch: %s" e
+    | Ok records ->
+        let mutations =
+          List.filter_map
+            (fun (_seq, payload) ->
+              if payload = "" then None
+              else
+                match Server.Persist.decode payload with
+                | Ok m -> Some m
+                | Error e -> Alcotest.failf "bad shipped record: %s" e)
+            records
+        in
+        if batch.Store.Ship.reset || mutations <> [] then
+          ignore
+            (Server.Registry.apply_shipped replica
+               ~reset:batch.Store.Ship.reset mutations)
+    in
+  apply batch;
+  Alcotest.(check (list string))
+    "replica caught up to seq 1" [ "s0" ]
+    (Server.Registry.ids replica);
+  (* primary moves on and compacts: the records the cursor still
+     needs are folded into the snapshot *)
+  add_session registry 1;
+  ignore
+    (Server.Registry.apply_diff registry "s0" ~ops:(fun _ ->
+         [ Adl.Diff.Rename_element { old_id = "booking"; new_id = "booking2" } ]));
+  Server.Registry.checkpoint registry;
+  let batch = Server.Persist.ship persist ~after:1L in
+  Alcotest.(check bool) "gap answered with a reset bootstrap" true
+    batch.Store.Ship.reset;
+  apply batch;
+  Alcotest.(check string) "replica rebuilt to the primary's state"
+    (Simtest.Model.registry_digest registry)
+    (Simtest.Model.registry_digest replica);
+  (* caught up: the next poll from the covered frontier is empty *)
+  let covered = Server.Persist.covered_seq persist in
+  let batch = Server.Persist.ship persist ~after:covered in
+  Alcotest.(check bool) "caught-up fetch is not a reset" false
+    batch.Store.Ship.reset;
+  Alcotest.(check string) "caught-up fetch is empty" "" batch.Store.Ship.data
+
+(* ------------------------------------------------------------------ *)
+(* Follow-primary against an unreachable primary                      *)
+(* ------------------------------------------------------------------ *)
+
+(* one end of a socketpair with a canned 421 already buffered: a
+   "replica" that rejects the mutation and advertises its primary,
+   with no listener involved *)
+let canned_421 ~primary =
+  let body =
+    Printf.sprintf
+      "{\"error\":{\"category\":\"read_only\",\"message\":\"replica is \
+       read-only\",\"primary\":%S}}"
+      primary
+  in
+  Printf.sprintf
+    "HTTP/1.1 421 Misdirected Request\r\n\
+     Content-Type: application/json\r\n\
+     Content-Length: %d\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+let replica_stub peers ~primary () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  peers := b :: !peers;
+  let canned = canned_421 ~primary in
+  ignore (Unix.write_substring b canned 0 (String.length canned));
+  Server.Client.of_fd a
+
+let test_follow_primary_unreachable () =
+  let peers = ref [] and sleeps = ref [] in
+  let connects = ref 0 and redirects = ref [] in
+  let connect () =
+    incr connects;
+    replica_stub peers ~primary:"10.0.0.9:4444" ()
+  in
+  let connect_to (host, port) =
+    redirects := (host, port) :: !redirects;
+    raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", host))
+  in
+  let policy =
+    {
+      Server.Client.max_attempts = 4;
+      base_delay = 0.05;
+      multiplier = 2.0;
+      max_delay = 0.08;
+      jitter = 0.0;
+    }
+  in
+  let result =
+    Server.Client.with_retry ~policy ~seed:7
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~follow_primary:true ~connect_to ~connect (fun c ->
+        Server.Client.get c "/sessions")
+  in
+  List.iter Unix.close !peers;
+  (match result with
+  | Error _ -> ()
+  | Ok r ->
+      Alcotest.failf "expected an eventual error, got status %d"
+        r.Server.Client.status);
+  Alcotest.(check int) "exactly one connection to the replica" 1 !connects;
+  Alcotest.(check int) "every remaining attempt chased the primary" 3
+    (List.length !redirects);
+  List.iter
+    (fun target ->
+      Alcotest.(check (pair string int))
+        "advertised address parsed" ("10.0.0.9", 4444) target)
+    !redirects;
+  (* the redirect itself skips the backoff sleep; the refused connects
+     then follow the deterministic capped schedule *)
+  let schedule = Server.Client.backoff_schedule ~seed:7 policy in
+  Alcotest.(check (list (float 1e-9)))
+    "capped backoff between refused connects" (List.tl schedule)
+    (List.rev !sleeps)
+
+let test_follow_primary_never_loops () =
+  let peers = ref [] and sleeps = ref [] in
+  let conns = ref 0 in
+  (* the "primary" is itself a replica stub: every hop answers 421
+     advertising someone else, forever *)
+  let connect () =
+    incr conns;
+    replica_stub peers ~primary:"10.0.0.9:4444" ()
+  in
+  let connect_to _ =
+    incr conns;
+    replica_stub peers ~primary:"10.0.0.9:4444" ()
+  in
+  let policy =
+    {
+      Server.Client.max_attempts = 3;
+      base_delay = 0.05;
+      multiplier = 2.0;
+      max_delay = 0.08;
+      jitter = 0.0;
+    }
+  in
+  let result =
+    Server.Client.with_retry ~policy ~seed:0
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~follow_primary:true ~connect_to ~connect (fun c ->
+        Server.Client.get c "/sessions")
+  in
+  List.iter Unix.close !peers;
+  (match result with
+  | Ok r ->
+      Alcotest.(check int) "the final 421 is returned as-is" 421
+        r.Server.Client.status
+  | Error e -> Alcotest.failf "expected the last 421 back, got error %s" e);
+  Alcotest.(check int) "attempts bounded by the policy" policy.max_attempts
+    !conns;
+  Alcotest.(check (list (float 1e-9)))
+    "redirects never burn a backoff sleep" [] !sleeps
+
+let suite =
+  [
+    ("seed matrix", `Slow, test_seed_matrix);
+    ("token round-trip", `Quick, test_token_roundtrip);
+    ("token parser rejects garbage", `Quick, test_token_rejects_garbage);
+    ("shrinker minimizes", `Quick, test_shrinker_minimizes);
+    ( "poisoned journal refuses writes",
+      `Quick,
+      test_poisoned_journal_refuses_writes );
+    ("poisoned journal answers 500", `Quick, test_poisoned_journal_answers_500);
+    ("compaction gap ships a reset", `Quick, test_ship_gap_resets);
+    ( "follow-primary: unreachable primary",
+      `Quick,
+      test_follow_primary_unreachable );
+    ("follow-primary: never loops", `Quick, test_follow_primary_never_loops);
+  ]

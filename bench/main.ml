@@ -1183,6 +1183,94 @@ let repl_wait ?(timeout = 30.0) daemon ~seq =
       in
       loop ())
 
+(* Snapshot catch-up vs full replay: the same store, tailed once
+   record by record from seq 0 and once bootstrapped from the
+   compacted snapshot's reset batch. The journal holds one create
+   plus alternating component renames — small records, so the
+   full-replay cost is exactly the per-record apply work the snapshot
+   path collapses into one state install. *)
+let repl_catchup () =
+  let records = if smoke then 200 else 10_000 in
+  print_endline "";
+  Printf.printf
+    "Catch-up paths over a %d-record journal (one create + renames):\n" records;
+  print_endline "";
+  let dir = temp_dir "sosae-repl-catchup" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let project, source = Lazy.force wal_project in
+      let persist, _ =
+        Server.Persist.open_ ~fsync:Store.Journal.Never ~compact_bytes:max_int
+          dir
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Persist.close persist)
+        (fun () ->
+          let registry = Server.Registry.create ~persist () in
+          (match Server.Registry.add registry ~id:"pims" ~source project with
+          | Ok () -> ()
+          | Error `Conflict -> assert false);
+          for i = 1 to records - 1 do
+            let rename =
+              if i land 1 = 1 then
+                Adl.Diff.Rename_element { old_id = "loader"; new_id = "loader-b" }
+              else
+                Adl.Diff.Rename_element { old_id = "loader-b"; new_id = "loader" }
+            in
+            match Server.Registry.apply_diff registry "pims" ~ops:(fun _ -> [ rename ]) with
+            | Ok _ -> ()
+            | Error _ -> assert false
+          done;
+          let replay label =
+            let replica = Server.Registry.create () in
+            Gc.compact ();
+            let t0 = Unix.gettimeofday () in
+            let applied = ref 0L in
+            let batches = ref 0 in
+            let rec pump () =
+              let batch = Server.Persist.ship persist ~after:!applied in
+              if batch.Store.Ship.reset || batch.Store.Ship.data <> "" then begin
+                batches := !batches + 1;
+                (match
+                   Server.Registry.apply_shipped replica
+                     ~reset:batch.Store.Ship.reset batch.Store.Ship.data
+                 with
+                | Ok (_, last) -> if last > !applied then applied := last
+                | Error e -> failwith ("repl bench: bad batch: " ^ e));
+                pump ()
+              end
+            in
+            pump ();
+            let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            (* records regained per second of catch-up: a throughput,
+               so trend.exe --section repl gates it like the evaluate
+               cases (slower catch-up = regression) *)
+            let rps = float_of_int records /. Float.max 1e-9 (ms /. 1000.0) in
+            Printf.printf "%-28s | %9.1f ms | %4d batches | frontier %Ld\n"
+              label ms !batches !applied;
+            repl_json :=
+              Jsonlight.Obj
+                [
+                  ("case", Jsonlight.String label);
+                  ("records", Jsonlight.Int records);
+                  ("catchup_ms", Jsonlight.Float ms);
+                  ("requests_per_second", Jsonlight.Float rps);
+                  ("batches", Jsonlight.Int !batches);
+                ]
+              :: !repl_json;
+            ms
+          in
+          let full = replay "catch-up: full replay" in
+          (* compact: the journal collapses into the snapshot, so a
+             fresh cursor now bootstraps from the reset batch *)
+          Server.Registry.checkpoint registry;
+          let snap = replay "catch-up: snapshot bootstrap" in
+          Printf.printf
+            "\nsnapshot bootstrap replaced a %d-record replay: %.1fx faster\n"
+            records
+            (full /. Float.max 0.1 snap)))
+
 (* A primary (journaling to a temp dir) with a live replica tailing it:
    replica-side warm-evaluate throughput against the primary's, then
    ship lag while 8 writers journal creates on the primary. *)
@@ -1348,7 +1436,8 @@ let repl () =
                  the primary under %d-writer load.\n"
                 replica_rps
                 (100.0 *. replica_rps /. Float.max 1.0 primary_rps)
-                primary_rps !max_lag writers)))
+                primary_rps !max_lag writers)));
+  repl_catchup ()
 
 (* ------------------------------------------------------------------ *)
 (* SIM: Monte-Carlo dependability campaigns                           *)

@@ -7,9 +7,10 @@
    --section picks which JSON section to compare: "serve" (the
    default; per-case requests_per_second), "wal" (per-case
    creates_per_second), or "repl" (per-case requests_per_second of
-   the replica/primary evaluate cases; the ship-lag case carries no
-   requests_per_second and is skipped). Exit 0 when every case that
-   exists in both
+   the replica/primary evaluate cases and the catch-up cases, whose
+   throughput is records regained per second; the ship-lag case
+   carries no requests_per_second and is skipped). Exit 0 when every
+   case that exists in both
    files is within the threshold (new and dropped cases are reported
    but never fatal), exit 1 on a regression, exit 2 on unusable
    inputs. CI runs this against the previous run's latest.json. *)

@@ -876,12 +876,6 @@ let serve_cmd =
           Printf.eprintf "sosae serve: --compact-threshold must be positive\n";
           1
         end
-        else if replica_of <> None && data_dir <> None then begin
-          Printf.eprintf
-            "sosae serve: --replica-of and --data-dir are mutually exclusive \
-             (a replica's only history is the primary's shipped journal)\n";
-          1
-        end
         else begin
           Server.Daemon.run
             ~config:
@@ -1017,12 +1011,17 @@ let serve_cmd =
       & opt (some string) None
       & info [ "replica-of" ] ~docv:"HOST:PORT"
           ~doc:
-            "Boot as a read replica of the primary at $(docv): continuously \
-             tail its journal over $(b,GET /replication/log) and serve reads \
-             ($(b,GET)s, evaluate, diff previews) from the applied copy. \
-             Mutations are rejected with $(b,421) naming the primary. \
-             $(b,SIGUSR1) promotes the replica to a primary that accepts \
-             mutations. Mutually exclusive with $(b,--data-dir).")
+            "Boot as a read replica of the upstream at $(docv): continuously \
+             tail its journal over $(b,GET /replication/log) — bootstrapping \
+             from $(b,GET /replication/snapshot) when starting fresh — and \
+             serve reads ($(b,GET)s, evaluate, diff previews) from the \
+             applied copy. Mutations are rejected with $(b,421) naming the \
+             upstream. $(b,SIGUSR1) promotes the replica to a primary that \
+             accepts mutations. Combine with $(b,--data-dir) for a durable \
+             replica: shipped batches are journaled locally, restarts resume \
+             from the local frontier, the node serves the replication \
+             endpoints to chained replicas (the upstream may itself be a \
+             replica), and promotion yields an immediately durable primary.")
   in
   let term =
     Term.(

@@ -619,6 +619,26 @@ let diff_preview ctx (request : Http.request) params =
    either role. *)
 let replication ctx _request _params =
   let int64 v = Jsonlight.Int (Int64.to_int v) in
+  (* how the journal is being served downstream: cursor-cache
+     hits/misses, snapshot resets, and each cached follower cursor's
+     distance behind the covered frontier — absent until someone has
+     actually fetched. Any journaling node reports it: a primary, but
+     also a durable replica feeding chained replicas. *)
+  let ship_fields p =
+    let s = Persist.ship_stats p in
+    if s.Store.Ship.cursor_hits + s.Store.Ship.cursor_misses = 0 then []
+    else
+      [
+        ( "ship",
+          Metrics.ship_json
+            {
+              Metrics.cursor_hits = s.Store.Ship.cursor_hits;
+              cursor_misses = s.Store.Ship.cursor_misses;
+              reset_batches = s.Store.Ship.reset_batches;
+              cursor_lags = s.Store.Ship.cursor_lags;
+            } );
+      ]
+  in
   let fields =
     match ctx.role with
     | Replica r ->
@@ -632,6 +652,9 @@ let replication ctx _request _params =
         @ (match Replica.last_error r with
           | Some e -> [ ("last_error", Jsonlight.String e) ]
           | None -> [])
+        @ (match Registry.persist ctx.registry with
+          | Some p -> ship_fields p
+          | None -> [])
     | Primary -> (
         ("role", Jsonlight.String "primary")
         ::
@@ -644,6 +667,7 @@ let replication ctx _request _params =
               ("covered_seq", int64 covered);
               ("lag", Jsonlight.Int 0);
             ]
+            @ ship_fields p
         | None -> []))
   in
   json_reply ctx (Jsonlight.Obj fields)
@@ -687,6 +711,32 @@ let replication_log ctx (request : Http.request) _params =
            ]
           @ if batch.Store.Ship.reset then [ ("X-Sosae-Reset", "1") ] else [])
         200 batch.Store.Ship.data
+
+(* GET /replication/snapshot — the catch-up endpoint: the current
+   snapshot file's raw frames (meta record first), exactly what a
+   reset batch carries, so a fresh replica bootstraps in O(live state)
+   and then tails from the covered sequence in X-Sosae-Covered. 404
+   when no compaction has produced a snapshot yet (the replica falls
+   back to tailing the journal from the top). *)
+let replication_snapshot ctx _request _params =
+  match Registry.persist ctx.registry with
+  | None ->
+      error_response 409 ~category:"no_journal"
+        "this daemon has no journal to ship (started without --data-dir)"
+  | Some p -> (
+      match Persist.snapshot p with
+      | None ->
+          error_response 404 ~category:"not_found"
+            "no snapshot yet (nothing has been compacted)"
+      | Some (covers, data) ->
+          Http.response
+            ~headers:
+              [
+                ("Content-Type", "application/octet-stream");
+                ("X-Sosae-Covered", Int64.to_string covers);
+                ("X-Sosae-Reset", "1");
+              ]
+            200 data)
 
 (* ------------------------------------------------------------------ *)
 (* Simulation campaigns                                                *)
@@ -881,6 +931,7 @@ let routes : ctx Router.route list =
     Router.route Http.GET "/metrics" metrics;
     Router.route Http.GET "/replication" replication;
     Router.route Http.GET "/replication/log" replication_log;
+    Router.route Http.GET "/replication/snapshot" replication_snapshot;
     Router.route Http.GET "/sessions" list_sessions;
     Router.route Http.POST "/sessions" create_session;
     Router.route Http.GET "/sessions/:id/stats" session_stats;

@@ -195,6 +195,33 @@ let default_policy =
 
 let retryable_status status = status = 408 || status = 429 || status = 503
 
+(* A server-sent [Retry-After: seconds] is authoritative: the server
+   knows its own drain or promotion timeline better than our jitter
+   schedule, so it becomes a floor under the computed backoff.
+   (HTTP-date values are ignored — the daemon only sends seconds.) *)
+let retry_after r =
+  Option.bind (List.assoc_opt "retry-after" r.headers) (fun v ->
+      match int_of_string_opt (String.trim v) with
+      | Some s when s >= 0 -> Some (float_of_int s)
+      | _ -> None)
+
+(* floor the backoff at the server's word, when it gave one *)
+let floored_delay outcome backoff =
+  match outcome with
+  | Ok r -> (
+      match retry_after r with
+      | Some floor -> Float.max floor backoff
+      | None -> backoff)
+  | Error _ -> backoff
+
+(* a 421 carrying Retry-After is a transient rejection (a promotion in
+   flight, a fleet reconfiguring): worth re-asking the same endpoint,
+   unlike a bare 421 which can never change without a redirect *)
+let retryable_outcome outcome =
+  match outcome with
+  | Ok r -> retryable_status r.status || (r.status = 421 && retry_after r <> None)
+  | Error _ -> true
+
 (* ------------------------------------------------------------------ *)
 (* Replica awareness                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -322,7 +349,7 @@ let call p f =
     let retry () =
       if i + 1 >= p.policy.max_attempts then outcome
       else begin
-        p.sleep (delay_for p.policy p.rng i);
+        p.sleep (floored_delay outcome (delay_for p.policy p.rng i));
         attempt (i + 1)
       end
     in
@@ -336,7 +363,7 @@ let call p f =
         p.redirect <- redirect_target r;
         drop_conn p;
         attempt (i + 1)
-    | Ok r when retryable_status r.status -> retry ()
+    | Ok _ when retryable_outcome outcome -> retry ()
     | Ok _ -> outcome
     | Error _ -> retry ()
   in
@@ -363,7 +390,7 @@ let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
     let retry () =
       if i + 1 >= policy.max_attempts then outcome
       else begin
-        sleep (delay_for policy rng i);
+        sleep (floored_delay outcome (delay_for policy rng i));
         attempt (i + 1)
       end
     in
@@ -373,7 +400,7 @@ let with_retry ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
            && i + 1 < policy.max_attempts ->
         redirect := redirect_target r;
         attempt (i + 1)
-    | Ok r when retryable_status r.status -> retry ()
+    | Ok _ when retryable_outcome outcome -> retry ()
     | Ok _ -> outcome
     | Error _ -> retry ()
   in
@@ -414,3 +441,184 @@ let replication t =
             covered_seq = int64 "covered_seq";
             lag = int64 "lag";
           }
+
+(* ------------------------------------------------------------------ *)
+(* Replica sets                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Client-side failover over a fleet of endpoints: reads spread
+   round-robin across healthy replicas (and the primary), mutations
+   chase the advertised primary. One connection per operation — the
+   point of the abstraction is placement, not connection reuse. *)
+
+type endpoint = {
+  addr : string * int;
+  mutable healthy : bool;  (* as of the last probe or operation *)
+  mutable last_lag : int64;  (* as of the last probe; -1 = never *)
+}
+
+type replica_set = {
+  endpoints : endpoint array;
+  rs_policy : retry_policy;
+  rs_seed : int;
+  rs_sleep : float -> unit;
+  rs_rng : Random.State.t;
+  rs_connect : string * int -> t;
+  max_lag : int64;
+  mutable rr : int;  (* round-robin cursor for reads *)
+  mutable primary : (string * int) option;  (* best known, for mutations *)
+  mutable probed : bool;
+}
+
+let replica_set ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
+    ?(connect_to = connect_to) ?(max_lag = 1024L) endpoints =
+  if endpoints = [] then invalid_arg "Client.replica_set: no endpoints";
+  {
+    endpoints =
+      Array.of_list
+        (List.map
+           (fun addr -> { addr; healthy = true; last_lag = -1L })
+           endpoints);
+    rs_policy = policy;
+    rs_seed = seed;
+    rs_sleep = sleep;
+    rs_rng = Random.State.make [| seed |];
+    rs_connect = connect_to;
+    max_lag;
+    rr = 0;
+    primary = None;
+    probed = false;
+  }
+
+(* One [GET /replication] per endpoint: reachability, role, and lag.
+   A replica further behind than [max_lag] is healthy enough to exist
+   but not to serve reads. The probe also learns where mutations go —
+   an endpoint answering as primary wins; failing that, any replica's
+   advertised upstream is better than nothing. *)
+let probe rs =
+  rs.probed <- true;
+  let advertised = ref None in
+  Array.iter
+    (fun ep ->
+      match rs.rs_connect ep.addr with
+      | exception _ -> ep.healthy <- false
+      | c ->
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () ->
+              match replication c with
+              | Ok r ->
+                  ep.last_lag <- r.lag;
+                  if r.role = "primary" then begin
+                    ep.healthy <- true;
+                    rs.primary <- Some ep.addr
+                  end
+                  else begin
+                    ep.healthy <- r.lag <= rs.max_lag;
+                    match Option.bind r.primary split_address with
+                    | Some a when !advertised = None -> advertised := Some a
+                    | _ -> ()
+                  end
+              | Error _ -> ep.healthy <- false))
+    rs.endpoints;
+  match (rs.primary, !advertised) with
+  | None, Some a -> rs.primary <- Some a
+  | _ -> ()
+
+let ensure_probed rs = if not rs.probed then probe rs
+
+let healthy_endpoints rs =
+  ensure_probed rs;
+  Array.to_list rs.endpoints
+  |> List.filter_map (fun ep -> if ep.healthy then Some ep.addr else None)
+
+(* candidates for one read pass: healthy endpoints from the rotation
+   cursor onward, then the unhealthy ones — when every good hop is
+   down, the marked-dead ones get their chance to have healed *)
+let read_candidates rs =
+  let n = Array.length rs.endpoints in
+  let rotated = List.init n (fun k -> rs.endpoints.((rs.rr + k) mod n)) in
+  List.filter (fun ep -> ep.healthy) rotated
+  @ List.filter (fun ep -> not ep.healthy) rotated
+
+let read rs f =
+  ensure_probed rs;
+  let try_one ep =
+    match rs.rs_connect ep.addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        ep.healthy <- false;
+        Error (Unix.error_message e)
+    | c -> (
+        match Fun.protect ~finally:(fun () -> close c) (fun () -> f c) with
+        | Error _ as e ->
+            (* the hop died mid-request: mark it and move to a sibling *)
+            ep.healthy <- false;
+            e
+        | Ok r when retryable_status r.status -> Ok r
+        | Ok r ->
+            ep.healthy <- true;
+            Ok r)
+  in
+  (* one pass = at most one request per endpoint, siblings tried
+     back-to-back with no backoff (they are different hosts); between
+     passes the usual jittered backoff, floored by any Retry-After *)
+  let rec pass i =
+    let rec over candidates last =
+      match candidates with
+      | [] -> last
+      | ep :: rest -> (
+          match try_one ep with
+          | Ok r when not (retryable_status r.status) ->
+              let n = Array.length rs.endpoints in
+              (* advance the rotation past the endpoint that answered *)
+              Array.iteri
+                (fun k e -> if e == ep then rs.rr <- (k + 1) mod n)
+                rs.endpoints;
+              Ok r
+          | outcome -> over rest outcome)
+    in
+    let outcome = over (read_candidates rs) (Error "no endpoints") in
+    match outcome with
+    | Ok r when not (retryable_status r.status) -> outcome
+    | _ ->
+        if i + 1 >= rs.rs_policy.max_attempts then outcome
+        else begin
+          rs.rs_sleep (floored_delay outcome (delay_for rs.rs_policy rs.rs_rng i));
+          (* everything failed: the fleet may have reshaped under us *)
+          probe rs;
+          pass (i + 1)
+        end
+  in
+  pass 0
+
+(* mutations chase the primary: first try the best-known address, then
+   rotate through the fleet, letting 421 redirects point the way. The
+   endpoint (or redirect target) that finally accepted is remembered
+   as the primary for next time. *)
+let mutate rs f =
+  ensure_probed rs;
+  let n = Array.length rs.endpoints in
+  let tried = ref (-1) in
+  let last_target = ref None in
+  let remember target =
+    last_target := Some target;
+    rs.rs_connect target
+  in
+  let next_target () =
+    incr tried;
+    match rs.primary with
+    | Some a when !tried = 0 -> a
+    | _ ->
+        let skip = if rs.primary = None then 0 else 1 in
+        rs.endpoints.((!tried - skip + rs.rr) mod n).addr
+  in
+  let outcome =
+    with_retry ~policy:rs.rs_policy ~seed:rs.rs_seed ~sleep:rs.rs_sleep
+      ~follow_primary:true ~connect_to:remember
+      ~connect:(fun () -> remember (next_target ()))
+      f
+  in
+  (match outcome with
+  | Ok r when r.status < 400 -> rs.primary <- !last_target
+  | Ok _ | Error _ -> ());
+  outcome

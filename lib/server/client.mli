@@ -62,7 +62,16 @@ val retryable_status : int -> bool
 (** [true] for 408 (request timeout), 429 (overloaded) and 503.
     Deliberately NOT 421 (a replica's read-only rejection): retrying
     the same replica can never succeed, so plain calls fail fast and
-    only [~follow_primary] redirects. *)
+    only [~follow_primary] redirects. Exception: a 421 carrying
+    [Retry-After] is retried by {!with_retry}/{!call} after at least
+    that many seconds — the server is saying the rejection is
+    transient (a promotion in flight), not structural. *)
+
+val retry_after : response -> float option
+(** The server-sent [Retry-After] header in seconds, when present and
+    numeric. {!with_retry} and {!call} use it as a floor under every
+    backoff sleep: the server knows its own drain or promotion
+    timeline better than the client's jitter schedule. *)
 
 val read_only_primary : response -> string option
 (** [Some "HOST:PORT"] when the response is a replica's [421]
@@ -154,3 +163,63 @@ type replication = {
 val replication : t -> (replication, string) result
 (** [GET /replication], decoded. Sequence fields are [0L] when the
     server omits them (a primary without a journal). *)
+
+(** {2 Replica sets}
+
+    Client-side failover over a fleet of daemons — a primary plus its
+    (possibly chained) replicas. Reads spread round-robin across the
+    healthy endpoints and fail over to a sibling when a hop dies;
+    mutations chase the primary, wherever promotion has moved it. One
+    connection per operation: the abstraction is about placement, not
+    connection reuse. Not thread-safe: one handle per thread. *)
+
+type replica_set
+
+val replica_set :
+  ?policy:retry_policy ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  ?connect_to:(string * int -> t) ->
+  ?max_lag:int64 ->
+  (string * int) list ->
+  replica_set
+(** [replica_set endpoints] — no connection is opened until the first
+    operation (which runs {!probe} if none has). [policy], [seed], and
+    [sleep] govern the between-pass backoff exactly as in
+    {!with_retry}; [connect_to] opens every connection, injectable for
+    tests. [max_lag] (default 1024): a replica reporting more shipped
+    records outstanding than this is skipped by reads until a probe
+    sees it caught up. @raise Invalid_argument on an empty list. *)
+
+val probe : replica_set -> unit
+(** One [GET /replication] per endpoint: refresh reachability, role,
+    and lag, and learn where the primary is (an endpoint answering as
+    primary wins; failing that, a replica's advertised upstream).
+    Runs automatically before the first operation and after a fully
+    failed read pass; call it explicitly after reshaping the fleet. *)
+
+val healthy_endpoints : replica_set -> (string * int) list
+(** The endpoints the last probe (or operation) left marked healthy:
+    reachable, and — for replicas — within [max_lag]. *)
+
+val read :
+  replica_set -> (t -> (response, string) result) -> (response, string) result
+(** Run one read, trying healthy endpoints round-robin. A hop that
+    dies mid-request (connect refused, torn connection) is marked
+    unhealthy and the read moves to the next sibling back-to-back —
+    no backoff between siblings, they are different hosts. When a
+    whole pass fails (or only {!retryable_status} answers came back),
+    the set backs off per [policy] (floored by any [Retry-After]),
+    re-probes, and tries again, up to [policy.max_attempts] passes.
+    The endpoint that answers is marked healthy and the rotation
+    advances past it. [f] must be safe to repeat. *)
+
+val mutate :
+  replica_set -> (t -> (response, string) result) -> (response, string) result
+(** Run one mutation against the primary: first the best-known primary
+    address (from probes, 421 redirects, or a previous success), then
+    the fleet in rotation, with [~follow_primary] turning every [421]
+    [read_only] rejection into a redirect toward the advertised
+    primary. The address that finally accepts (any status below 400)
+    is remembered for the next call. Retry/backoff semantics are
+    {!with_retry}'s. [f] must be safe to repeat. *)

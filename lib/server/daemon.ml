@@ -288,10 +288,10 @@ let maintenance_loop t =
 let start ?(config = default_config) () =
   (* writes to peers that hung up must fail with EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* a replica's state is the primary's shipped journal, never its own
-     — giving it a data dir would create a second, diverging history *)
-  if config.replica_of <> None && config.data_dir <> None then
-    invalid_arg "Daemon.start: --replica-of and --data-dir are mutually exclusive";
+  (* [replica_of] composes with [data_dir]: a durable replica journals
+     every shipped batch byte-for-byte, so it recovers its own state,
+     resumes tailing from its local frontier, serves the ship endpoints
+     to chained replicas, and is immediately durable when promoted *)
   let persist =
     Option.map
       (fun dir ->

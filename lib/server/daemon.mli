@@ -64,13 +64,19 @@ type config = {
       (** journal bytes past which the maintenance thread snapshots
           and rotates it (off the request path); default 8 MiB *)
   replica_of : (string * int) option;
-      (** boot as a read replica of the primary at [(host, port)]: a
-          background loop tails the primary's journal over
-          [GET /replication/log] and applies it locally, reads are
-          served from the applied copy, and mutations answer [421]
-          [read_only] naming the primary. Mutually exclusive with
-          [data_dir] ({!start} raises [Invalid_argument]) — a
-          replica's only history is the primary's shipped journal. *)
+      (** boot as a read replica of the upstream at [(host, port)]: a
+          background loop tails the upstream's journal over
+          [GET /replication/log] (bootstrapping a fresh copy from
+          [GET /replication/snapshot] when one exists) and applies it
+          locally, reads are served from the applied copy, and
+          mutations answer [421] [read_only] naming the upstream.
+          Composes with [data_dir]: a durable replica journals every
+          shipped batch byte-for-byte, recovers and resumes from its
+          local frontier after a restart, serves the ship endpoints to
+          chained replicas of its own, and is immediately durable and
+          shippable-from when promoted. The upstream may itself be a
+          replica — chains form fan-out trees, and a link never
+          applies a record its upstream hadn't already made durable. *)
   replica_poll : float;
       (** seconds the apply loop sleeps between polls once caught up;
           default 0.02 *)

@@ -38,6 +38,9 @@ type t = {
      worth reporting (replica, or primary after a promotion), so a
      plain single-process server keeps /metrics byte-identical *)
   mutable replication : replication option;
+  (* log-shipping serving stats; rendered only once a follower has
+     actually fetched, so a primary nobody tails stays byte-identical *)
+  mutable ship : ship option;
 }
 
 and replication = {
@@ -46,6 +49,13 @@ and replication = {
   applied_seq : int64;
   covered_seq : int64;
   lag : int64;
+}
+
+and ship = {
+  cursor_hits : int;
+  cursor_misses : int;
+  reset_batches : int;
+  cursor_lags : int64 list;
 }
 
 let create () =
@@ -66,6 +76,7 @@ let create () =
     group = None;
     recovery = None;
     replication = None;
+    ship = None;
   }
 
 let with_lock t f = Mutex.protect t.lock f
@@ -112,6 +123,19 @@ let set_recovery t recovery =
       t.recovery <- Some recovery)
 
 let set_replication t r = with_lock t (fun () -> t.replication <- Some r)
+
+let set_ship t s = with_lock t (fun () -> t.ship <- Some s)
+
+let ship_json s =
+  Jsonlight.Obj
+    [
+      ("cursor_hits", Jsonlight.Int s.cursor_hits);
+      ("cursor_misses", Jsonlight.Int s.cursor_misses);
+      ("reset_batches", Jsonlight.Int s.reset_batches);
+      ( "cursor_lags",
+        Jsonlight.List
+          (List.map (fun l -> Jsonlight.Int (Int64.to_int l)) s.cursor_lags) );
+    ]
 
 let to_json t ~extra =
   with_lock t (fun () ->
@@ -206,6 +230,11 @@ let to_json t ~extra =
                     ]) );
           ]
       in
+      let ship =
+        match t.ship with
+        | None -> []
+        | Some s -> [ ("ship", ship_json s) ]
+      in
       let replication =
         match t.replication with
         | None -> []
@@ -238,6 +267,6 @@ let to_json t ~extra =
            ("rejected_overload", Jsonlight.Int t.rejected_overload);
            ("rejected_timeout", Jsonlight.Int t.rejected_timeout);
          ]
-        @ journal @ replication @ extra))
+        @ journal @ ship @ replication @ extra))
 
 let write t ~extra w = Jsonlight.Writer.json w (to_json t ~extra)

@@ -70,6 +70,22 @@ val set_replication : t -> replication -> unit
     [replication] object. Never set on a plain single-process server,
     whose [/metrics] stays byte-identical. *)
 
+type ship = {
+  cursor_hits : int;  (** ship fetches served by a cached tail cursor *)
+  cursor_misses : int;  (** fetches that opened a fresh cursor *)
+  reset_batches : int;  (** gap fetches answered with a snapshot bootstrap *)
+  cursor_lags : int64 list;  (** per cached cursor, records behind covered *)
+}
+
+val set_ship : t -> ship -> unit
+(** Overwrite the log-shipping serving stats, rendered as a top-level
+    [ship] object. Only set once a follower has actually fetched, so a
+    primary nobody tails keeps [/metrics] byte-identical. *)
+
+val ship_json : ship -> Jsonlight.t
+(** The rendered [ship] object — shared with [GET /replication] on a
+    primary. *)
+
 val to_json : t -> extra:(string * Jsonlight.t) list -> Jsonlight.t
 (** Snapshot; [extra] is appended verbatim (the API layer adds
     registry-wide cache statistics). Buckets are upper bounds in

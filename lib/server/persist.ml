@@ -262,7 +262,16 @@ let sync_metrics t =
       let s = Store.Wal.stats t.wal in
       Metrics.set_journal m ~records:s.Store.Wal.appends ~bytes:s.Store.Wal.bytes
         ~fsyncs:s.Store.Wal.fsyncs ~compactions:s.Store.Wal.compactions;
-      Option.iter (Metrics.set_group_commit m) (Store.Wal.group_stats t.wal)
+      Option.iter (Metrics.set_group_commit m) (Store.Wal.group_stats t.wal);
+      let sh = Store.Ship.stats t.shipper in
+      if sh.Store.Ship.cursor_hits + sh.Store.Ship.cursor_misses > 0 then
+        Metrics.set_ship m
+          {
+            Metrics.cursor_hits = sh.Store.Ship.cursor_hits;
+            cursor_misses = sh.Store.Ship.cursor_misses;
+            reset_batches = sh.Store.Ship.reset_batches;
+            cursor_lags = sh.Store.Ship.cursor_lags;
+          }
 
 let open_ ?(fsync = Store.Journal.Always) ?group
     ?(compact_bytes = 8 * 1024 * 1024) ?env dir =
@@ -333,7 +342,25 @@ let covered_seq t = Store.Ship.covered_seq t.shipper
 
 let next_seq t = Store.Journal.next_seq (Store.Wal.journal t.wal)
 
-let ship ?max_bytes t ~after = Store.Ship.fetch ?max_bytes t.shipper ~after
+let ship ?max_bytes t ~after =
+  let batch = Store.Ship.fetch ?max_bytes t.shipper ~after in
+  sync_metrics t;
+  batch
+
+let snapshot t = Store.Ship.snapshot t.shipper
+
+let ship_stats t = Store.Ship.stats t.shipper
+
+let ingest t data =
+  Mutex.protect t.lock (fun () -> Store.Wal.ingest t.wal data);
+  sync_metrics t
+
+let install_snapshot t data =
+  let covers =
+    Mutex.protect t.lock (fun () -> Store.Wal.install_snapshot t.wal data)
+  in
+  sync_metrics t;
+  covers
 
 let stats t = Store.Wal.stats t.wal
 

@@ -120,6 +120,24 @@ val ship : ?max_bytes:int -> t -> after:int64 -> Store.Ship.batch
 (** Serve the next batch of framed journal records to a replica —
     see {!Store.Ship.fetch}. *)
 
+val snapshot : t -> (int64 * string) option
+(** The current snapshot file's raw frames plus the sequence it
+    covers, for [GET /replication/snapshot] — see {!Store.Ship.snapshot}. *)
+
+val ship_stats : t -> Store.Ship.stats
+(** Cursor-cache hit/miss counts, reset-batch count and per-cursor
+    ship lag — what a primary's [GET /replication] reports. *)
+
+val ingest : t -> string -> unit
+(** Replica side: append a shipped batch's raw frames to the local
+    journal, keeping upstream sequence numbers — see
+    {!Store.Wal.ingest}. Durable per the fsync policy on return. *)
+
+val install_snapshot : t -> string -> int64
+(** Replica side: install a shipped reset batch as the local snapshot,
+    empty the journal, and re-base sequence numbering past the
+    returned covered sequence — see {!Store.Wal.install_snapshot}. *)
+
 val stats : t -> Store.Wal.counters
 (** Lifetime journal counters (appends, bytes, fsyncs, compactions). *)
 

@@ -388,21 +388,54 @@ let apply_mutations t ~serving mutations =
 
 let recover t mutations = apply_mutations t ~serving:false mutations
 
-(* The replica apply loop. Holds [mu] for the batch — mutations on a
-   replica come only from here (the API rejects writes), but holding
-   the mutation lock keeps the invariant "journal order = apply order"
-   stated once, and makes promotion safe: after [mu] is released and
-   the loop stopped, the primary's mutation path finds the same
-   ordering discipline it relies on. A [reset] batch (snapshot
-   bootstrap after the primary compacted away our position) clears
-   everything first. *)
-let apply_shipped t ~reset mutations =
+(* The replica apply loop. Takes the shipped batch raw — when the
+   registry persists, the frames go into the local journal
+   byte-for-byte (a reset batch becomes the local snapshot), so a
+   durable replica is itself shippable-from and a promotion yields an
+   immediately durable primary. Apply-then-journal, the same order as
+   the primary's mutation path: background compaction relies on "every
+   journaled mutation at the captured sequence is already applied"
+   when it snapshots the live state, and a crash between the two just
+   re-fetches the batch from the upstream (whose re-ship of an
+   already-journaled record {!Store.Journal.ingest} skips, and whose
+   re-applied mutations the skip semantics absorb). Holds [mu] for the
+   batch — mutations on a replica come only from here (the API rejects
+   writes), but holding the mutation lock keeps the invariant "journal
+   order = apply order" stated once, and makes promotion safe: after
+   [mu] is released and the loop stopped, the primary's mutation path
+   finds the same ordering discipline it relies on. A [reset] batch
+   (snapshot bootstrap after the upstream compacted away our position)
+   clears every session and cached response first. *)
+let apply_shipped t ~reset data =
+  let ( let* ) = Result.bind in
+  let* records = Store.Ship.decode data in
+  let* mutations =
+    List.fold_right
+      (fun (_seq, payload) acc ->
+        let* acc = acc in
+        if payload = "" then Ok acc (* a snapshot's meta record *)
+        else
+          let* m = Persist.decode payload in
+          Ok (m :: acc))
+      records (Ok [])
+  in
   Mutex.protect t.mu (fun () ->
       if reset then begin
         Mutex.protect t.lock (fun () -> Hashtbl.reset t.sessions);
         Mutex.protect t.cache_lock (fun () -> Hashtbl.reset t.cache)
       end;
-      apply_mutations t ~serving:true mutations)
+      let stats = apply_mutations t ~serving:true mutations in
+      (match t.persist with
+      | Some p ->
+          if reset then ignore (Persist.install_snapshot p data)
+          else Persist.ingest p data
+      | None -> ());
+      let last_seq =
+        List.fold_left
+          (fun acc (seq, _) -> if seq > acc then seq else acc)
+          0L records
+      in
+      Ok (stats, last_seq))
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                              *)

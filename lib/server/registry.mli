@@ -73,14 +73,24 @@ val recover : t -> Persist.mutation list -> recovery_stats
     counted in [skipped] and dropped. Not thread-safe; call before
     serving. *)
 
-val apply_shipped : t -> reset:bool -> Persist.mutation list -> recovery_stats
-(** The replica apply loop's entry point: like {!recover} but safe
-    while the registry is serving reads — the batch is applied under
-    the mutation lock, table accesses under the registry lock, session
-    edits under each session's own lock, and create/remove invalidate
-    the response cache. [reset] first clears every session and cached
-    response (the batch is a snapshot bootstrap: the primary compacted
-    away the records after this replica's position). *)
+val apply_shipped :
+  t -> reset:bool -> string -> (recovery_stats * int64, string) result
+(** The replica apply loop's entry point: decode a shipped batch's raw
+    frames and apply them — like {!recover} but safe while the
+    registry is serving reads (the batch is applied under the mutation
+    lock, table accesses under the registry lock, session edits under
+    each session's own lock, and create/remove invalidate the response
+    cache). Returns the apply statistics plus the highest record
+    sequence in the batch ([0L] for an empty one). When the registry
+    persists, the batch is journaled locally first, byte-for-byte and
+    under the same mutation lock, so a durable replica is itself
+    shippable-from and immediately durable after promotion. [reset]
+    (the batch is a snapshot bootstrap: the primary compacted away the
+    records after this replica's position) installs the batch as the
+    local snapshot, re-bases the journal, and clears every session and
+    cached response before applying. [Error] means the batch failed
+    CRC validation or carried an undecodable payload — a transport
+    bug, nothing was applied. *)
 
 val checkpoint : t -> unit
 (** Compact now: snapshot the current state and empty the journal.

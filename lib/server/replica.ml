@@ -9,6 +9,10 @@ type shipped = { data : string; covered : int64; reset : bool }
 
 type transport = {
   fetch : after:int64 -> (shipped, string) result;
+  fetch_snapshot : unit -> (shipped option, string) result;
+      (* the upstream's current snapshot as a reset batch, [None] when
+         it has none yet — the fresh-replica bootstrap that skips
+         full-journal replay *)
   shutdown : unit -> unit;
       (* drop whatever connection state the transport holds; the next
          [fetch] starts fresh. Called on apply errors and at loop
@@ -24,7 +28,10 @@ type t = {
   sleep : float -> unit;
   lock : Mutex.t;
   mutable applied : int64;  (* highest shipped seq applied locally *)
-  mutable covered : int64;  (* primary's covered seq, last seen *)
+  mutable covered : int64;  (* upstream's covered seq, last seen *)
+  mutable bootstrapped : bool;
+      (* a snapshot catch-up was tried (or is unneeded): only a
+         replica starting from nothing asks for one *)
   mutable error : string option;  (* last fetch/apply failure *)
   mutable sealed : bool;
   stop : bool Atomic.t;
@@ -57,7 +64,7 @@ let http_transport ~host ~port =
     (match !conn with Some c -> Client.close c | None -> ());
     conn := None
   in
-  let fetch ~after =
+  let with_conn f =
     try
       let c =
         match !conn with
@@ -67,27 +74,50 @@ let http_transport ~host ~port =
             conn := Some c;
             c
       in
-      match Client.get c (Printf.sprintf "/replication/log?after=%Ld" after) with
-      | Ok { Client.status = 200; headers; body } ->
-          let covered =
-            match
-              Option.bind (header "x-sosae-covered" headers) Int64.of_string_opt
-            with
-            | Some v -> v
-            | None -> after
-          in
-          let reset = header "x-sosae-reset" headers = Some "1" in
-          Ok { data = body; covered; reset }
-      | Ok { Client.status; _ } ->
-          Error (Printf.sprintf "primary answered %d" status)
+      match f c with
       | Error e ->
           drop ();
           Error e
+      | ok -> ok
     with e ->
       drop ();
       Error (Printexc.to_string e)
   in
-  { fetch; shutdown = drop }
+  let parse_covered ~default headers =
+    match
+      Option.bind (header "x-sosae-covered" headers) Int64.of_string_opt
+    with
+    | Some v -> v
+    | None -> default
+  in
+  let fetch ~after =
+    with_conn (fun c ->
+        match
+          Client.get c (Printf.sprintf "/replication/log?after=%Ld" after)
+        with
+        | Ok { Client.status = 200; headers; body } ->
+            let covered = parse_covered ~default:after headers in
+            let reset = header "x-sosae-reset" headers = Some "1" in
+            Ok { data = body; covered; reset }
+        | Ok { Client.status; _ } ->
+            Error (Printf.sprintf "primary answered %d" status)
+        | Error e -> Error e)
+  in
+  let fetch_snapshot () =
+    with_conn (fun c ->
+        match Client.get c "/replication/snapshot" with
+        | Ok { Client.status = 200; headers; body } ->
+            let covered = parse_covered ~default:0L headers in
+            Ok (Some { data = body; covered; reset = true })
+        | Ok { Client.status = 404; _ } ->
+            (* the upstream has never compacted: nothing to bootstrap
+               from, tail the journal from the top instead *)
+            Ok None
+        | Ok { Client.status; _ } ->
+            Error (Printf.sprintf "primary answered %d" status)
+        | Error e -> Error e)
+  in
+  { fetch; fetch_snapshot; shutdown = drop }
 
 let publish t =
   let applied, covered =
@@ -105,56 +135,66 @@ let publish t =
 let set_error t msg =
   Mutex.protect t.lock (fun () -> t.error <- Some msg)
 
-(* Fold one shipped batch into the registry. The snapshot meta record
-   (empty payload) and anything undecodable are dropped, but the
-   applied high-water mark still advances past them — their sequence
-   numbers are consumed either way. *)
-let apply_batch t ~reset ~covered records =
-  let mutations =
-    List.filter_map
-      (fun (_seq, payload) ->
-        if payload = "" then None
-        else
-          match Persist.decode payload with Ok m -> Some m | Error _ -> None)
-      records
-  in
-  ignore (Registry.apply_shipped t.registry ~reset mutations);
-  let last =
-    List.fold_left
-      (fun acc (seq, _) -> if seq > acc then seq else acc)
-      0L records
-  in
-  Mutex.protect t.lock (fun () ->
-      if last > t.applied then t.applied <- last;
-      if covered > t.covered then t.covered <- covered;
-      t.error <- None)
+(* Fold one shipped batch into the registry (which journals it locally
+   when it persists). The applied high-water mark advances to the
+   batch's last record sequence — snapshot meta records and reset
+   bootstraps consume their numbers too. *)
+let apply_batch t ~reset ~covered data =
+  match Registry.apply_shipped t.registry ~reset data with
+  | Error e ->
+      set_error t ("bad shipped batch: " ^ e);
+      t.transport.shutdown ();
+      false
+  | Ok (_stats, last) ->
+      Mutex.protect t.lock (fun () ->
+          if last > t.applied then t.applied <- last;
+          if covered > t.covered then t.covered <- covered;
+          t.error <- None);
+      true
 
 let run t =
   (* one poll; [true] when a batch was applied (poll again at once) *)
   let step () =
-    let after = Mutex.protect t.lock (fun () -> t.applied) in
-    match t.transport.fetch ~after with
-    | Ok { data; covered; reset } -> (
-        match Store.Ship.decode data with
-        | Ok [] when not reset ->
+    let after, bootstrapped =
+      Mutex.protect t.lock (fun () -> (t.applied, t.bootstrapped))
+    in
+    if not bootstrapped then begin
+      (* starting from nothing: ask for the upstream's snapshot first
+         so catch-up is O(live state), not O(journal history) *)
+      match t.transport.fetch_snapshot () with
+      | Ok None ->
+          Mutex.protect t.lock (fun () -> t.bootstrapped <- true);
+          true
+      | Ok (Some { data; covered; reset = _ }) ->
+          let applied = apply_batch t ~reset:true ~covered data in
+          if applied then
+            Mutex.protect t.lock (fun () -> t.bootstrapped <- true);
+          applied
+      | Error e ->
+          set_error t e;
+          false
+      | exception e ->
+          set_error t (Printexc.to_string e);
+          t.transport.shutdown ();
+          false
+    end
+    else
+      match t.transport.fetch ~after with
+      | Ok { data; covered; reset } ->
+          if data = "" && not reset then begin
             Mutex.protect t.lock (fun () ->
                 if covered > t.covered then t.covered <- covered;
                 t.error <- None);
             false
-        | Ok records ->
-            apply_batch t ~reset ~covered records;
-            true
-        | Error e ->
-            set_error t ("bad shipped batch: " ^ e);
-            t.transport.shutdown ();
-            false)
-    | Error e ->
-        set_error t e;
-        false
-    | exception e ->
-        set_error t (Printexc.to_string e);
-        t.transport.shutdown ();
-        false
+          end
+          else apply_batch t ~reset ~covered data
+      | Error e ->
+          set_error t e;
+          false
+      | exception e ->
+          set_error t (Printexc.to_string e);
+          t.transport.shutdown ();
+          false
   in
   while not (Atomic.get t.stop) do
     let progressed = step () in
@@ -168,6 +208,14 @@ let start ?(poll_interval = 0.02) ?transport ?(sleep = Unix.sleepf) ~registry
   let transport =
     match transport with Some tr -> tr | None -> http_transport ~host ~port
   in
+  (* a durable replica resumes from its local journal frontier: the
+     records below it were applied (and journaled) before the restart,
+     so the first fetch tails instead of replaying history *)
+  let applied =
+    match Registry.persist registry with
+    | Some p -> Int64.pred (Persist.next_seq p)
+    | None -> 0L
+  in
   let t =
     {
       primary = Printf.sprintf "%s:%d" host port;
@@ -177,8 +225,9 @@ let start ?(poll_interval = 0.02) ?transport ?(sleep = Unix.sleepf) ~registry
       poll_interval;
       sleep;
       lock = Mutex.create ();
-      applied = 0L;
-      covered = 0L;
+      applied;
+      covered = applied;
+      bootstrapped = applied > 0L;
       error = None;
       sealed = false;
       stop = Atomic.make false;

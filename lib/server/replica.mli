@@ -19,6 +19,11 @@ type transport = {
   fetch : after:int64 -> (shipped, string) result;
       (** Fetch the next batch of records with sequence numbers
           strictly greater than [after]. *)
+  fetch_snapshot : unit -> (shipped option, string) result;
+      (** The upstream's current snapshot as a reset batch, or [None]
+          when it has none — how a replica starting from nothing
+          catches up in O(live state) instead of replaying the full
+          journal. *)
   shutdown : unit -> unit;
       (** Drop any held connection state; the next [fetch] starts
           fresh. Called on apply errors and once at loop exit. *)
@@ -26,7 +31,8 @@ type transport = {
 
 val http_transport : host:string -> port:int -> transport
 (** The production transport: one keep-alive {!Client} connection to
-    the primary's [GET /replication/log], reopened on any failure. *)
+    the primary's [GET /replication/log] and
+    [GET /replication/snapshot], reopened on any failure. *)
 
 val start :
   ?poll_interval:float ->
@@ -43,7 +49,12 @@ val start :
     caught up; while batches keep arriving the loop doesn't sleep.
     [transport] (default {!http_transport} to [host]:[port]) and
     [sleep] are injectable so the loop is testable without sockets or
-    real time. *)
+    real time. When [registry] persists, the loop resumes from the
+    local journal frontier (everything below it was applied and
+    journaled before the restart); a replica starting from nothing
+    first asks the upstream for a snapshot bootstrap
+    ([fetch_snapshot]) so first-connect catch-up is O(live state)
+    rather than a full-journal replay. *)
 
 val primary_address : t -> string
 (** ["HOST:PORT"] — what read-only rejections advertise. *)

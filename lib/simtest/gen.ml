@@ -44,6 +44,8 @@ type op =
   | Crash of int  (* cut, permille *)
   | Replica
   | Partition
+  | Replica_chain
+  | Kill_hop
 
 let to_env_fault = function
   | Fsync n -> Env.Fsync_fail n
@@ -77,6 +79,8 @@ let to_string = function
   | Crash cut -> Printf.sprintf "crash:%d" cut
   | Replica -> "replica"
   | Partition -> "replica:part"
+  | Replica_chain -> "chain"
+  | Kill_hop -> "kill-hop"
 
 let ops_to_string ops = String.concat " " (List.map to_string ops)
 
@@ -117,6 +121,8 @@ let of_string token =
         | [ "crash"; cut ], None -> Ok (Crash (int_of_string cut))
         | [ "replica" ], None -> Ok Replica
         | [ "replica"; "part" ], None -> Ok Partition
+        | [ "chain" ], None -> Ok Replica_chain
+        | [ "kill-hop" ], None -> Ok Kill_hop
         | _ -> Error ("bad op: " ^ token)
       with Failure _ -> Error ("bad op: " ^ token))
 
@@ -152,7 +158,7 @@ let gen_fault rng =
 let gen_op rng =
   let slot () = Rng.int rng sessions in
   let pick () = Rng.int rng 16 in
-  match Rng.int rng 104 with
+  match Rng.int rng 120 with
   | n when n < 16 -> Create (slot (), gen_fault rng)
   | n when n < 32 -> Diff (slot (), pick (), gen_fault rng)
   | n when n < 39 -> Excise (slot (), pick (), gen_fault rng)
@@ -163,7 +169,9 @@ let gen_op rng =
   | n when n < 76 -> Restart
   | n when n < 84 -> Crash (Rng.int rng 1001)
   | n when n < 102 -> Replica
-  | _ -> Partition
+  | n when n < 104 -> Partition
+  | n when n < 116 -> Replica_chain
+  | _ -> Kill_hop
 
 let gen ~seed ~ops =
   let rng = Rng.make seed in

@@ -32,6 +32,13 @@ type op =
   | Crash of int  (** power failure; cut permille of unsynced tails *)
   | Replica  (** one replica poll + apply *)
   | Partition  (** a poll that cannot reach the primary *)
+  | Replica_chain
+      (** one propagation step down the chain: the durable hop pulls
+          from the root, then the leaf pulls from the hop *)
+  | Kill_hop
+      (** SIGKILL the chain's middle hop and restart it from its own
+          journal (compacting on the way up, so a stranded leaf must
+          heal through a snapshot reset) *)
 
 val to_env_fault : fault -> Env.fault
 

@@ -23,6 +23,14 @@ type t = {
   model : Model.t;
   replica : Server.Registry.t;  (* persist-less, fed by Ship batches *)
   mutable replica_applied : int64;
+  (* the chained topology: root -> durable hop -> in-memory leaf. The
+     hop journals every shipped batch under its own data dir on the
+     same simulated disk and serves Ship batches to the leaf *)
+  mutable hop_persist : Server.Persist.t;
+  mutable hop : Server.Registry.t;
+  mutable hop_applied : int64;
+  leaf : Server.Registry.t;
+  mutable leaf_applied : int64;
   mutable poisoned : bool;  (* a journal fsync failed since last open *)
   mutable diff_counter : int;  (* unique rename targets *)
 }
@@ -46,11 +54,14 @@ let open_stack t =
   t.registry <- registry;
   t.poisoned <- false
 
+let hop_dir = "hop"
+
 let create () =
   let env = Env.create () in
   let group = { Store.Journal.Group.window = 0.0; max_batch = 64 } in
   let dir = "sim" in
   let persist, registry = open_raw ~env ~group ~dir in
+  let hop_persist, hop = open_raw ~env ~group ~dir:hop_dir in
   {
     env;
     dir;
@@ -60,9 +71,22 @@ let create () =
     model = Model.create ();
     replica = Server.Registry.create ~jobs:1 ();
     replica_applied = 0L;
+    hop_persist;
+    hop;
+    hop_applied = 0L;
+    leaf = Server.Registry.create ~jobs:1 ();
+    leaf_applied = 0L;
     poisoned = false;
     diff_counter = 0;
   }
+
+(* reopen the hop from whatever its directory holds, as after a
+   SIGKILL (no checkpoint, no clean close — in the Env model stale
+   handles are simply abandoned) *)
+let open_hop t =
+  let persist, registry = open_raw ~env:t.env ~group:t.group ~dir:hop_dir in
+  t.hop_persist <- persist;
+  t.hop <- registry
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                         *)
@@ -133,11 +157,29 @@ let post_crash_checks t ~floor =
   if recovered < t.replica_applied then
     violation "primary recovered behind its replica: %Ld < %Ld" recovered
       t.replica_applied;
+  if recovered < t.hop_applied then
+    violation "root recovered behind the chain hop: %Ld < %Ld" recovered
+      t.hop_applied;
+  if recovered < t.leaf_applied then
+    violation "root recovered behind the chain leaf: %Ld < %Ld" recovered
+      t.leaf_applied;
   Model.truncate t.model ~seq:recovered;
   if recovered <> 0L && Model.last_entry_seq t.model <> recovered then
     violation "recovered seq %Ld selects no model entry" recovered;
   check_journal_wellformed t;
-  check_digest t "after crash recovery"
+  check_digest t "after crash recovery";
+  (* the power failure took the hop's box too; it fsyncs every shipped
+     apply before advancing, so its recovery must land exactly where
+     it stood (the crash cleared any armed fault, so this open is
+     deterministic) *)
+  (match open_hop t with
+  | () -> ()
+  | exception e ->
+      violation "hop recovery failed after crash: %s" (Printexc.to_string e));
+  let hop_recovered = Int64.pred (Server.Persist.next_seq t.hop_persist) in
+  if hop_recovered <> t.hop_applied then
+    violation "crash moved the hop's durable frontier: recovered %Ld, applied %Ld"
+      hop_recovered t.hop_applied
 
 let reopen_after_crash t ~floor ~index =
   ignore (open_surviving_faults t ~index ~attempts:0);
@@ -402,48 +444,95 @@ let run_eval t slot =
 (* Replica                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* a follower's state must match the primary history entry at its
+   applied frontier, byte for byte *)
+let check_node t ~what registry applied =
+  match Model.entry_state t.model applied with
+  | None -> violation "%s applied seq %Ld unknown to model" what applied
+  | Some state ->
+      if Model.registry_digest registry <> Model.digest_of_state state then
+        violation "%s state diverged from primary history at %Ld" what applied
+
 let check_replica t =
   if t.replica_applied > Server.Persist.covered_seq t.persist then
     violation "replica applied %Ld past the fsync frontier %Ld"
       t.replica_applied
       (Server.Persist.covered_seq t.persist);
-  match Model.entry_state t.model t.replica_applied with
-  | None -> violation "replica applied seq %Ld unknown to model" t.replica_applied
-  | Some state ->
-      if Model.registry_digest t.replica <> Model.digest_of_state state then
-        violation "replica state diverged from primary history at %Ld"
-          t.replica_applied
+  check_node t ~what:"replica" t.replica t.replica_applied
+
+(* the frontier half of the chain invariants, cheap enough to assert
+   after every op: no link is ever ahead of the root's fsync frontier,
+   and the leaf never ahead of its own upstream's *)
+let check_chain_frontiers t =
+  let root_covered = Server.Persist.covered_seq t.persist in
+  if t.hop_applied > root_covered then
+    violation "hop applied %Ld past the root fsync frontier %Ld" t.hop_applied
+      root_covered;
+  if t.leaf_applied > root_covered then
+    violation "leaf applied %Ld past the root fsync frontier %Ld"
+      t.leaf_applied root_covered;
+  let hop_covered = Server.Persist.covered_seq t.hop_persist in
+  if t.leaf_applied > hop_covered then
+    violation "leaf applied %Ld past the hop fsync frontier %Ld"
+      t.leaf_applied hop_covered
+
+let check_chain t =
+  check_chain_frontiers t;
+  check_node t ~what:"hop" t.hop t.hop_applied;
+  check_node t ~what:"leaf" t.leaf t.leaf_applied
+
+(* pull one Ship batch from [persist] into [registry] (which journals
+   it when it persists); returns the new applied frontier *)
+let pull ~what ~from_ ~registry ~applied =
+  let batch = Server.Persist.ship from_ ~after:applied in
+  if batch.Store.Ship.reset || batch.Store.Ship.data <> "" then
+    match
+      Server.Registry.apply_shipped registry ~reset:batch.Store.Ship.reset
+        batch.Store.Ship.data
+    with
+    | Error e -> violation "%s received a bad batch: %s" what e
+    | Ok (_stats, last) -> if last > applied then last else applied
+  else applied
 
 let run_replica t =
-  match Server.Persist.ship t.persist ~after:t.replica_applied with
-  | batch -> (
-      match Store.Ship.decode batch.Store.Ship.data with
-      | Error e -> violation "replica received a bad batch: %s" e
-      | Ok records ->
-          let mutations =
-            List.filter_map
-              (fun (_seq, payload) ->
-                if payload = "" then None
-                else
-                  match Server.Persist.decode payload with
-                  | Ok m -> Some m
-                  | Error e ->
-                      violation "shipped record does not decode: %s" e)
-              records
-          in
-          if batch.Store.Ship.reset || mutations <> [] then
-            ignore
-              (Server.Registry.apply_shipped t.replica
-                 ~reset:batch.Store.Ship.reset mutations);
-          List.iter
-            (fun (seq, _) ->
-              if seq > t.replica_applied then t.replica_applied <- seq)
-            records;
-          check_replica t)
+  match pull ~what:"replica" ~from_:t.persist ~registry:t.replica
+          ~applied:t.replica_applied
+  with
+  | applied ->
+      t.replica_applied <- applied;
+      check_replica t
   | exception _ when t.poisoned ->
       (* a poisoned journal refuses shipping with its original error;
          the replica just stays where it was *)
       check_replica t
+
+(* one propagation step down the chain: the durable hop pulls from the
+   root and journals what it applied, then the leaf pulls from the
+   hop *)
+let run_chain t =
+  (match pull ~what:"hop" ~from_:t.persist ~registry:t.hop
+           ~applied:t.hop_applied
+   with
+  | applied -> t.hop_applied <- applied
+  | exception _ when t.poisoned -> ());
+  t.leaf_applied <-
+    pull ~what:"leaf" ~from_:t.hop_persist ~registry:t.leaf
+      ~applied:t.leaf_applied;
+  check_chain t
+
+(* SIGKILL the middle hop and bring it back: recovery must land
+   exactly on its durable frontier (every shipped apply fsyncs before
+   advancing), and the restarted hop compacts its journal — so a leaf
+   stranded behind the new snapshot base must heal through a reset
+   batch on its next pull *)
+let run_kill_hop t =
+  let before = t.hop_applied in
+  open_hop t;
+  let recovered = Int64.pred (Server.Persist.next_seq t.hop_persist) in
+  if recovered <> before then
+    violation "killed hop recovered %Ld, had applied %Ld" recovered before;
+  ignore (Server.Registry.maintenance_compact t.hop);
+  check_chain t
 
 (* ------------------------------------------------------------------ *)
 (* The per-op step                                                    *)
@@ -487,8 +576,11 @@ let step t ~index op =
   | Gen.Partition ->
       (* the primary is unreachable this poll: nothing moves, nothing
          may regress *)
-      check_replica t);
-  check_digest t "after op"
+      check_replica t
+  | Gen.Replica_chain -> run_chain t
+  | Gen.Kill_hop -> run_kill_hop t);
+  check_digest t "after op";
+  check_chain_frontiers t
 
 (* ------------------------------------------------------------------ *)
 (* Running sequences                                                  *)

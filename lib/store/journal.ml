@@ -384,6 +384,80 @@ let append t payload =
 
 let append_group = append
 
+(* Append a batch of already-framed records shipped from an upstream
+   journal, keeping their upstream-assigned sequence numbers. The
+   frames are written verbatim — [Record.encode] is deterministic, so
+   the raw bytes are exactly what re-encoding would produce and the
+   local file stays a valid journal an own [Tail] cursor can serve
+   downstream. Records at sequences this journal already holds
+   (a re-shipped batch after a partially-applied fetch) are skipped;
+   the rest must continue contiguously at [t.seq], because a silent
+   gap would wedge every local tail cursor with no snapshot covering
+   the hole. Durability follows the journal's own fsync policy — the
+   caller is the (single-threaded) replica apply loop, so under
+   [Always] the fsync happens inline rather than through the
+   group-commit barrier. *)
+let ingest t data =
+  if String.length data = 0 then ()
+  else
+    locked t (fun () ->
+        (match t.failed with Some e -> raise e | None -> ());
+        let records, valid_end, tail = Record.decode_all data in
+        if valid_end <> String.length data || tail <> Record.Clean then
+          invalid_arg "Journal.ingest: batch is not a clean run of frames";
+        (* find the byte offset of the first record not yet held *)
+        let skip_bytes = ref 0 in
+        let fresh =
+          List.filter
+            (fun (seq, payload) ->
+              if seq < t.seq then begin
+                skip_bytes :=
+                  !skip_bytes + Record.header_size + String.length payload;
+                false
+              end
+              else true)
+            records
+        in
+        match fresh with
+        | [] -> ()
+        | (first, _) :: _ ->
+            if first <> t.seq then
+              invalid_arg
+                (Printf.sprintf
+                   "Journal.ingest: batch starts at %Ld, journal expects %Ld"
+                   first t.seq);
+            ignore
+              (List.fold_left
+                 (fun expect (seq, _) ->
+                   if seq <> expect then
+                     invalid_arg
+                       (Printf.sprintf
+                          "Journal.ingest: batch skips from %Ld to %Ld"
+                          (Int64.pred expect) seq);
+                   Int64.succ seq)
+                 first fresh);
+            let len = String.length data - !skip_bytes in
+            let b = Bytes.create len in
+            Bytes.blit_string data !skip_bytes b 0 len;
+            (try write_all t.env t.fd b 0 len
+             with e -> scrub_partial_append t ~pre_bytes:t.file_bytes e);
+            let last = List.fold_left (fun _ (seq, _) -> seq) first fresh in
+            t.seq <- Int64.succ last;
+            t.dirty <- true;
+            t.appends <- t.appends + List.length fresh;
+            t.bytes <- t.bytes + len;
+            t.file_bytes <- t.file_bytes + len;
+            (match t.mirror with
+            | Some tl -> t.mirror <- Some (List.rev_append fresh tl)
+            | None -> ());
+            quiesce_locked t;
+            maybe_fsync t;
+            (* keep the group barrier's view in step so a later [await]
+               (after promotion) never waits on already-synced records *)
+            (match t.group with
+            | Some g -> if t.durable_seq > g.synced then g.synced <- t.durable_seq
+            | None -> ()))
+
 let bump_seq t past = locked t (fun () ->
     if past >= t.seq then begin
       t.seq <- Int64.add past 1L;

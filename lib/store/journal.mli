@@ -110,6 +110,20 @@ val group_stats : t -> Group.stats option
 val append_group : t -> string -> int64
 (** Alias for {!append} — under group commit the stage/await pair. *)
 
+val ingest : t -> string -> unit
+(** Append a batch of already-framed records shipped from an upstream
+    journal verbatim, keeping their upstream-assigned sequence numbers
+    ({!Record.encode} is deterministic, so the raw bytes equal a local
+    re-encoding and the file stays a journal this process can itself
+    ship downstream with {!Tail}). Records at sequence numbers the
+    journal already holds are skipped (a re-shipped batch is
+    idempotent); the remainder must continue contiguously at
+    {!next_seq} or [Invalid_argument] is raised — a silent gap would
+    wedge every local tail cursor with no covering snapshot. Durability
+    follows the fsync policy, with the fsync performed inline (the
+    caller is the single-threaded replica apply loop, not a concurrent
+    writer pool). Raises like {!append} on write/fsync failure. *)
+
 val bump_seq : t -> int64 -> unit
 (** Ensure the next assigned sequence number exceeds the given one —
     how {!Wal} accounts for sequence numbers consumed before a

@@ -10,13 +10,24 @@ type t = {
   (* most-recently-used first, keyed by the seq a cursor stopped at;
      sequential pollers hit the front entry and stream in O(new bytes) *)
   mutable cursors : Journal.Tail.cursor list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable resets : int;
 }
 
 type batch = { data : string; covered : int64; reset : bool }
 
+type stats = {
+  cursor_hits : int;
+  cursor_misses : int;
+  reset_batches : int;
+  cursor_lags : int64 list;
+}
+
 let max_cursors = 4
 
-let create wal = { wal; lock = Mutex.create (); cursors = [] }
+let create wal =
+  { wal; lock = Mutex.create (); cursors = []; hits = 0; misses = 0; resets = 0 }
 
 let covered_seq t = Journal.covered_seq (Wal.journal t.wal)
 
@@ -33,6 +44,8 @@ let snapshot_prefix t =
       | [] -> None)
   | exception Sys_error _ -> None
 
+let snapshot t = Mutex.protect t.lock (fun () -> snapshot_prefix t)
+
 let put_cursor t c =
   let rec keep n = function
     | [] -> []
@@ -48,9 +61,12 @@ let fetch ?max_bytes t ~after =
           List.partition (fun c -> Journal.Tail.last c = after) t.cursors
         with
         | c :: _, rest ->
+            t.hits <- t.hits + 1;
             t.cursors <- rest;
             c
-        | [], _ -> Journal.Tail.cursor ~after ()
+        | [], _ ->
+            t.misses <- t.misses + 1;
+            Journal.Tail.cursor ~after ()
       in
       let rec go tries =
         let batch, covered =
@@ -66,6 +82,7 @@ let fetch ?max_bytes t ~after =
                created the gap made the snapshot durable first) *)
             match snapshot_prefix t with
             | Some (meta_seq, data) when meta_seq > after ->
+                t.resets <- t.resets + 1;
                 { data; covered; reset = true }
             | Some _ | None ->
                 (* a compaction may be mid-rename; look again, then
@@ -74,6 +91,19 @@ let fetch ?max_bytes t ~after =
                 else { data = ""; covered; reset = false })
       in
       go 0)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      let covered = covered_seq t in
+      {
+        cursor_hits = t.hits;
+        cursor_misses = t.misses;
+        reset_batches = t.resets;
+        cursor_lags =
+          List.map
+            (fun c -> Int64.max 0L (Int64.sub covered (Journal.Tail.last c)))
+            t.cursors;
+      })
 
 let decode data =
   let records, _, tail = Record.decode_all data in

@@ -37,6 +37,23 @@ val fetch : ?max_bytes:int -> t -> after:int64 -> batch
 val covered_seq : t -> int64
 (** See {!Journal.covered_seq}. *)
 
+val snapshot : t -> (int64 * string) option
+(** The snapshot file's valid prefix plus the sequence number it
+    covers (its meta record's), or [None] when no snapshot exists yet.
+    What [GET /replication/snapshot] serves so a fresh replica can
+    bootstrap without replaying the full journal. *)
+
+type stats = {
+  cursor_hits : int;  (** fetches served by a cached cursor *)
+  cursor_misses : int;  (** fetches that had to open a fresh cursor *)
+  reset_batches : int;  (** gap fetches answered with a snapshot bootstrap *)
+  cursor_lags : int64 list;
+      (** per cached cursor: records between its position and the
+          covered sequence — how far each known follower trails *)
+}
+
+val stats : t -> stats
+
 val decode : string -> ((int64 * string) list, string) result
 (** Replica side: decode a shipped batch into [(seq, payload)] pairs,
     rejecting it unless every byte checks out ([Clean] tail) — a torn

@@ -73,6 +73,7 @@ let open_ ?fsync ?group ?(env = Fsenv.real) dir =
 let append t payload = Journal.append t.journal payload
 let stage t payload = Journal.stage t.journal payload
 let await t seq = Journal.await t.journal seq
+let ingest t data = Journal.ingest t.journal data
 
 let journal_bytes t = Journal.file_bytes t.journal
 
@@ -102,6 +103,44 @@ let write_snapshot t ~covers state =
      raise e);
   E.rename tmp (snapshot_file t.dir);
   E.fsync_dir t.dir
+
+(* Install an upstream snapshot shipped as raw record frames (the
+   bytes a reset batch carries: the meta record first, then one state
+   payload per record, all at the covered sequence). The bytes are
+   written verbatim as the local snapshot — same durability protocol
+   as a local compaction — and the journal is emptied and re-based
+   past the covered sequence, so the next ingested batch continues
+   contiguously and a local recovery or downstream tail sees exactly
+   what this store would have produced by compacting at that point. *)
+let install_snapshot t data =
+  let records, valid_end, tail = Record.decode_all data in
+  (match (records, tail) with
+  | (_ :: _), Record.Clean when valid_end = String.length data -> ()
+  | _ -> invalid_arg "Wal.install_snapshot: not a clean run of frames");
+  let covers = match records with (seq, _) :: _ -> seq | [] -> assert false in
+  let module E = (val t.env : Fsenv.S) in
+  let tmp = snapshot_tmp t.dir in
+  let fd = E.openfile tmp Fsenv.Trunc in
+  (try
+     let b = Bytes.of_string data in
+     let rec write_all off len =
+       if len > 0 then
+         match E.write fd b off len with
+         | n -> write_all (off + n) (len - n)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off len
+     in
+     write_all 0 (Bytes.length b);
+     E.fsync fd;
+     E.close fd
+   with e ->
+     (try E.close fd with _ -> ());
+     raise e);
+  E.rename tmp (snapshot_file t.dir);
+  E.fsync_dir t.dir;
+  Journal.reset t.journal;
+  Journal.bump_seq t.journal covers;
+  t.compactions <- t.compactions + 1;
+  covers
 
 let compact t ~state =
   let covers = Int64.pred (Journal.next_seq t.journal) in

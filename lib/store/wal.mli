@@ -52,6 +52,20 @@ val await : t -> int64 -> unit
 (** Block until a completed fsync covers the sequence number. See
     {!Journal.await}. *)
 
+val ingest : t -> string -> unit
+(** Append a shipped batch of raw record frames to the journal,
+    keeping their upstream sequence numbers. See {!Journal.ingest}. *)
+
+val install_snapshot : t -> string -> int64
+(** Install an upstream snapshot shipped as raw record frames (what a
+    reset batch carries: meta record first, then one state payload per
+    record). The bytes become the local [snapshot.log] under the same
+    tmp → fsync → rename → dir-fsync protocol as a compaction, the
+    journal is emptied, and sequence numbering is re-based past the
+    snapshot's covered sequence (returned), so the next {!ingest}
+    continues contiguously. Raises [Invalid_argument] when the bytes
+    are not a clean run of frames. *)
+
 val journal_bytes : t -> int
 (** Current size of the journal file — the compaction trigger input. *)
 

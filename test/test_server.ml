@@ -1649,51 +1649,67 @@ let test_replica_apply_read_interleave () =
         (ids primary) (ids replica))
 
 let test_apply_shipped_reset () =
-  let registry = Server.Registry.create () in
-  (match Server.Registry.add registry ~id:"stale" project with
-  | Ok () -> ()
-  | Error `Conflict -> Alcotest.fail "conflict");
-  let scenarios, architecture, mapping = Lazy.force artifact_strings in
-  let stats =
-    Server.Registry.apply_shipped registry ~reset:true
-      [
-        Server.Persist.Create
-          { id = "fresh"; policy = Adl.Graph.Routed; scenarios; architecture;
-            mapping };
-      ]
-  in
-  Alcotest.(check int) "applied" 1 stats.Server.Registry.applied;
-  Alcotest.(check (list string)) "reset replaced the state" [ "fresh" ]
-    (Server.Registry.ids registry)
+  with_temp_dir (fun dir ->
+      (* a real reset batch: create on a journaling primary, compact,
+         then ship from before the snapshot base *)
+      let persist, _ = Server.Persist.open_ ~fsync:Store.Journal.Never dir in
+      let primary = Server.Registry.create ~persist () in
+      (match Server.Registry.add primary ~id:"fresh" project with
+      | Ok () -> ()
+      | Error `Conflict -> Alcotest.fail "conflict");
+      Server.Registry.checkpoint primary;
+      let batch = Server.Persist.ship persist ~after:0L in
+      Alcotest.(check bool) "stranded cursor gets a reset batch" true
+        batch.Store.Ship.reset;
+      let replica = Server.Registry.create () in
+      (match Server.Registry.add replica ~id:"stale" project with
+      | Ok () -> ()
+      | Error `Conflict -> Alcotest.fail "conflict");
+      let stats, last =
+        match
+          Server.Registry.apply_shipped replica ~reset:batch.Store.Ship.reset
+            batch.Store.Ship.data
+        with
+        | Ok v -> v
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check int) "applied" 1 stats.Server.Registry.applied;
+      Alcotest.(check int64) "frontier at the snapshot's coverage" 1L last;
+      Alcotest.(check (list string)) "reset replaced the state" [ "fresh" ]
+        (Server.Registry.ids replica);
+      Server.Persist.close persist)
 
 (* The replication prefix property: a replica that has applied ANY
    prefix of the shipped mutation stream — incrementally, batch by
    batch, through the serving-path locks — is indistinguishable
    (session ids and full verdict JSON) from a primary recovered from
    the same journal prefix in one shot. *)
+let remove_first_link_ops (s : Core.Sosae.Session.t) =
+  match
+    (Core.Sosae.Session.project s).Core.Sosae.architecture
+      .Adl.Structure.links
+  with
+  | [] -> []
+  | l :: _ -> [ Adl.Diff.Remove_link l.Adl.Structure.link_id ]
+
+(* The comparable essence of a registry: every session id paired with
+   the full verdict JSON its evaluate produces. Two registries with
+   equal dumps are indistinguishable to a reader. *)
+let dump_registry registry =
+  List.map
+    (fun id ->
+      ( id,
+        match
+          Server.Registry.with_session registry id (fun s ->
+              Jsonlight.to_string
+                (Walkthrough.Report.json_of_set_result
+                   (Core.Sosae.Session.evaluate ~jobs:2 s)))
+        with
+        | Ok verdicts -> verdicts
+        | Error `Not_found -> "<gone>" ))
+    (Server.Registry.ids registry)
+
 let prop_replica_prefix_equivalence =
-  let remove_first_link_ops (s : Core.Sosae.Session.t) =
-    match
-      (Core.Sosae.Session.project s).Core.Sosae.architecture
-        .Adl.Structure.links
-    with
-    | [] -> []
-    | l :: _ -> [ Adl.Diff.Remove_link l.Adl.Structure.link_id ]
-  in
-  let dump registry =
-    List.map
-      (fun id ->
-        ( id,
-          match
-            Server.Registry.with_session registry id (fun s ->
-                Jsonlight.to_string
-                  (Walkthrough.Report.json_of_set_result
-                     (Core.Sosae.Session.evaluate ~jobs:2 s)))
-          with
-          | Ok verdicts -> verdicts
-          | Error `Not_found -> "<gone>" ))
-      (Server.Registry.ids registry)
-  in
   let gen = QCheck2.Gen.(list_size (int_range 1 4) (int_range 0 2)) in
   QCheck2.Test.make
     ~name:"replication: any applied prefix equals a recovered primary"
@@ -1729,33 +1745,333 @@ let prop_replica_prefix_equivalence =
               (Filename.concat dir "wal.log")
           in
           Store.Journal.close j;
-          let mutations =
+          let entries =
             List.filter_map
-              (fun (_, payload) ->
+              (fun (seq, payload) ->
                 match Server.Persist.decode payload with
-                | Ok m -> Some m
+                | Ok m -> Some (seq, payload, m)
                 | Error _ -> None)
               r.Store.Journal.records
           in
-          if mutations = [] then
+          if entries = [] then
             QCheck2.Test.fail_report "journal captured no mutations";
+          let frame seq payload =
+            let b =
+              Buffer.create (Store.Record.header_size + String.length payload)
+            in
+            Store.Record.encode b ~seq payload;
+            Buffer.contents b
+          in
           let replica = Server.Registry.create () in
           let prefix = ref [] in
           let failures = ref [] in
           List.iteri
-            (fun k m ->
-              ignore (Server.Registry.apply_shipped replica ~reset:false [ m ]);
+            (fun k (seq, payload, m) ->
+              (match
+                 Server.Registry.apply_shipped replica ~reset:false
+                   (frame seq payload)
+               with
+              | Ok _ -> ()
+              | Error e -> QCheck2.Test.fail_report e);
               prefix := !prefix @ [ m ];
               let recovered = Server.Registry.create () in
               ignore (Server.Registry.recover recovered !prefix);
-              if dump replica <> dump recovered then
+              if dump_registry replica <> dump_registry recovered then
                 failures :=
                   Printf.sprintf "prefix of %d mutations diverges" (k + 1)
                   :: !failures)
-            mutations;
+            entries;
           match !failures with
           | [] -> true
           | f :: _ -> QCheck2.Test.fail_report f))
+
+(* Snapshot catch-up equivalence: wherever the checkpoint falls in
+   the mutation stream, a fresh replica that bootstraps from the
+   snapshot (the reset batch) and then tails the journal is
+   byte-identical — session ids and evaluate JSON — to a primary
+   recovered from the same store in one shot. *)
+let prop_snapshot_bootstrap_equivalence =
+  let gen = QCheck2.Gen.(list_size (int_range 2 4) (int_range 0 2)) in
+  QCheck2.Test.make
+    ~name:"replication: snapshot bootstrap + tail equals full replay" ~count:2
+    gen (fun ops ->
+      let failures = ref [] in
+      for cut = 0 to List.length ops do
+        with_temp_dir (fun dir ->
+            let persist, _ =
+              Server.Persist.open_ ~fsync:Store.Journal.Never dir
+            in
+            let registry = Server.Registry.create ~persist () in
+            let counter = ref 0 in
+            let drive op =
+              let ids = Server.Registry.ids registry in
+              match op with
+              | 1 when ids <> [] ->
+                  ignore
+                    (Server.Registry.apply_diff registry (List.hd ids)
+                       ~ops:remove_first_link_ops)
+              | 2 when ids <> [] ->
+                  ignore (Server.Registry.remove registry (List.hd ids))
+              | _ ->
+                  incr counter;
+                  ignore
+                    (Server.Registry.add registry
+                       ~id:(Printf.sprintf "s%d" !counter)
+                       project)
+            in
+            List.iteri
+              (fun i op ->
+                if i = cut then Server.Registry.checkpoint registry;
+                drive op)
+              ops;
+            if cut = List.length ops then Server.Registry.checkpoint registry;
+            (* the replica pulls with a fresh cursor: when the
+               checkpoint stranded seq 0 behind the snapshot base, the
+               first batch is the reset; then it tails to the frontier *)
+            let replica = Server.Registry.create () in
+            let applied = ref 0L in
+            let rec pump () =
+              let batch = Server.Persist.ship persist ~after:!applied in
+              if batch.Store.Ship.reset || batch.Store.Ship.data <> "" then begin
+                (match
+                   Server.Registry.apply_shipped replica
+                     ~reset:batch.Store.Ship.reset batch.Store.Ship.data
+                 with
+                | Ok (_, last) -> if last > !applied then applied := last
+                | Error e -> QCheck2.Test.fail_report e);
+                pump ()
+              end
+            in
+            pump ();
+            Server.Persist.close persist;
+            (* oracle: one-shot recovery of snapshot + journal *)
+            let p2, (recovery : Server.Persist.recovery) =
+              Server.Persist.open_ ~fsync:Store.Journal.Never dir
+            in
+            let oracle = Server.Registry.create () in
+            ignore
+              (Server.Registry.recover oracle recovery.Server.Persist.mutations);
+            Server.Persist.close p2;
+            if dump_registry replica <> dump_registry oracle then
+              failures := Printf.sprintf "cut at op %d diverges" cut :: !failures)
+      done;
+      match !failures with
+      | [] -> true
+      | f :: _ -> QCheck2.Test.fail_report f)
+
+(* Satellite: a server-sent Retry-After is the floor under every
+   backoff sleep, and a 421 carrying one is a transient rejection
+   worth retrying (a promotion in flight) — unlike a bare 421, which
+   still fails fast. *)
+let test_retry_after_floor () =
+  with_daemon (fun t ->
+      let connect () = Server.Client.connect ~port:(Server.Daemon.port t) () in
+      (* 503 + Retry-After: 2 — the floor dominates the jittered
+         50 ms first backoff *)
+      let attempts = ref 0 in
+      let slept = ref [] in
+      let r =
+        Server.Client.with_retry ~seed:0
+          ~sleep:(fun d -> slept := d :: !slept)
+          ~connect
+          (fun c ->
+            incr attempts;
+            if !attempts = 1 then
+              Ok
+                {
+                  Server.Client.status = 503;
+                  headers = [ ("retry-after", "2") ];
+                  body = "";
+                }
+            else Server.Client.get c "/health")
+      in
+      Alcotest.(check int) "503 then 200" 200 (ok r).Server.Client.status;
+      Alcotest.(check (list (float 1e-12))) "slept the advertised floor"
+        [ 2.0 ] !slept;
+      (* a 421 with Retry-After is retried on the same target *)
+      let attempts = ref 0 in
+      let r =
+        Server.Client.with_retry ~seed:0 ~sleep:(fun _ -> ()) ~connect
+          (fun c ->
+            incr attempts;
+            if !attempts = 1 then
+              Ok
+                {
+                  Server.Client.status = 421;
+                  headers = [ ("retry-after", "1") ];
+                  body = "";
+                }
+            else Server.Client.get c "/health")
+      in
+      Alcotest.(check int) "transient 421 retried" 200
+        (ok r).Server.Client.status;
+      Alcotest.(check int) "two attempts" 2 !attempts;
+      (* without the header, 421 is structural: no retry *)
+      let attempts = ref 0 in
+      let r =
+        Server.Client.with_retry ~seed:0 ~sleep:(fun _ -> ()) ~connect
+          (fun _ ->
+            incr attempts;
+            Ok { Server.Client.status = 421; headers = []; body = "" })
+      in
+      Alcotest.(check int) "bare 421 through" 421 (ok r).Server.Client.status;
+      Alcotest.(check int) "single attempt" 1 !attempts)
+
+(* Client-side failover: reads spread over the fleet and fail over
+   when a hop dies; mutations land on the primary from anywhere. *)
+let test_replica_set () =
+  with_replicated (fun primary replica ->
+      with_client primary (fun pc ->
+          Alcotest.(check int) "created" 201
+            (ok (Server.Client.post pc "/sessions" ~body:(create_body "pims")))
+              .Server.Client.status);
+      wait_replica replica ~seq:1L;
+      let paddr = ("127.0.0.1", Server.Daemon.port primary) in
+      let raddr = ("127.0.0.1", Server.Daemon.port replica) in
+      let rs = Server.Client.replica_set ~sleep:(fun _ -> ()) [ raddr; paddr ] in
+      Server.Client.probe rs;
+      Alcotest.(check int) "both endpoints healthy" 2
+        (List.length (Server.Client.healthy_endpoints rs));
+      (* reads spread round-robin: every one succeeds *)
+      for i = 1 to 4 do
+        Alcotest.(check int)
+          (Printf.sprintf "read %d" i)
+          200
+          (ok (Server.Client.read rs (fun c -> Server.Client.get c "/sessions")))
+            .Server.Client.status
+      done;
+      (* a mutation routes to the primary even though the replica is
+         listed first *)
+      let r =
+        ok
+          (Server.Client.mutate rs (fun c ->
+               Server.Client.post c "/sessions" ~body:(create_body "routed")))
+      in
+      Alcotest.(check int) "mutation landed" 201 r.Server.Client.status;
+      with_client primary (fun pc ->
+          Alcotest.(check bool) "created on the primary" true
+            (List.mem "routed"
+               (session_ids (body_json (ok (Server.Client.get pc "/sessions"))))));
+      (* kill the replica: reads fail over to the surviving sibling *)
+      Server.Daemon.stop replica;
+      Alcotest.(check int) "read survives a dead hop" 200
+        (ok (Server.Client.read rs (fun c -> Server.Client.get c "/sessions")))
+          .Server.Client.status;
+      Server.Client.probe rs;
+      Alcotest.(check (list (pair string int))) "only the primary is healthy"
+        [ paddr ]
+        (Server.Client.healthy_endpoints rs))
+
+(* The tentpole end-to-end: a durable replica chains a leaf off
+   itself, evaluates stay byte-identical down the chain, the root
+   exposes per-cursor ship stats, promotion makes the middle hop a
+   real primary that keeps shipping to its leaf, and the hop's
+   journal alone reboots the full state. *)
+let test_e2e_chained_replication () =
+  with_temp_dir (fun dir_a ->
+      with_temp_dir (fun dir_b ->
+          let config_a =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.data_dir = Some dir_a;
+              fsync = Store.Journal.Never;
+            }
+          in
+          with_daemon ~config:config_a (fun a ->
+              let expected =
+                with_client a (fun c ->
+                    Alcotest.(check int) "created on the root" 201
+                      (ok
+                         (Server.Client.post c "/sessions"
+                            ~body:(create_body "pims")))
+                        .Server.Client.status;
+                    (ok (Server.Client.post c "/sessions/pims/evaluate" ~body:""))
+                      .Server.Client.body)
+              in
+              let config_b =
+                {
+                  Server.Daemon.default_config with
+                  Server.Daemon.data_dir = Some dir_b;
+                  fsync = Store.Journal.Never;
+                  replica_of = Some ("127.0.0.1", Server.Daemon.port a);
+                  replica_poll = 0.005;
+                }
+              in
+              with_daemon ~config:config_b (fun b ->
+                  wait_replica b ~seq:1L;
+                  let config_c =
+                    {
+                      Server.Daemon.default_config with
+                      Server.Daemon.replica_of =
+                        Some ("127.0.0.1", Server.Daemon.port b);
+                      replica_poll = 0.005;
+                    }
+                  in
+                  with_daemon ~config:config_c (fun leaf ->
+                      wait_replica leaf ~seq:1L;
+                      let evaluate t =
+                        with_client t (fun c ->
+                            (ok
+                               (Server.Client.post c "/sessions/pims/evaluate"
+                                  ~body:""))
+                              .Server.Client.body)
+                      in
+                      Alcotest.(check string) "hop evaluate byte-identical"
+                        expected (evaluate b);
+                      Alcotest.(check string) "leaf evaluate byte-identical"
+                        expected (evaluate leaf);
+                      (* the root's /replication and /metrics expose
+                         ship cursor stats once a replica has fetched *)
+                      with_client a (fun c ->
+                          let repl =
+                            body_json (ok (Server.Client.get c "/replication"))
+                          in
+                          let ship = repl |> member_exn "ship" in
+                          Alcotest.(check bool) "ship stats count hits" true
+                            ((ship |> member_exn "cursor_hits"
+                             |> Jsonlight.int_opt |> Option.get)
+                            > 0);
+                          Alcotest.(check bool) "ship stats mirrored" true
+                            (Jsonlight.member "ship"
+                               (body_json (ok (Server.Client.get c "/metrics")))
+                            <> None));
+                      (* promote the middle hop: it seals, accepts
+                         mutations, journals them, and keeps shipping
+                         to its own leaf *)
+                      Server.Daemon.promote b;
+                      with_client b (fun c ->
+                          Alcotest.(check int) "promoted hop accepts writes" 201
+                            (ok
+                               (Server.Client.post c "/sessions"
+                                  ~body:(create_body "promoted")))
+                              .Server.Client.status);
+                      wait_replica leaf ~seq:2L;
+                      with_client leaf (fun c ->
+                          Alcotest.(check bool) "leaf followed the promoted hop"
+                            true
+                            (List.mem "promoted"
+                               (session_ids
+                                  (body_json
+                                     (ok (Server.Client.get c "/sessions")))))))));
+          (* the hop journaled everything it applied: its data dir
+             alone boots a primary serving both sessions *)
+          let config_b2 =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.data_dir = Some dir_b;
+            }
+          in
+          with_daemon ~config:config_b2 (fun b2 ->
+              with_client b2 (fun c ->
+                  let ids =
+                    session_ids
+                      (body_json (ok (Server.Client.get c "/sessions")))
+                  in
+                  List.iter
+                    (fun id ->
+                      Alcotest.(check bool) ("durable: " ^ id) true
+                        (List.mem id ids))
+                    [ "pims"; "promoted" ]))))
 
 (* The crash acceptance bar, over real processes: the replica never
    serves a record the primary had not fsynced (its state after a
@@ -1950,6 +2266,13 @@ let suite =
     Alcotest.test_case "registry: reset batch replaces the state" `Quick
       test_apply_shipped_reset;
     QCheck_alcotest.to_alcotest prop_replica_prefix_equivalence;
+    QCheck_alcotest.to_alcotest prop_snapshot_bootstrap_equivalence;
+    Alcotest.test_case "client: Retry-After floors the backoff" `Quick
+      test_retry_after_floor;
+    Alcotest.test_case "client: replica set spreads reads, fails over" `Quick
+      test_replica_set;
+    Alcotest.test_case "e2e: chained replication + hop promotion" `Quick
+      test_e2e_chained_replication;
     Alcotest.test_case "e2e: SIGKILL primary, never-ahead + promotion" `Quick
       test_e2e_replication_promote_crash;
   ]

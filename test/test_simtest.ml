@@ -225,24 +225,14 @@ let test_ship_gap_resets () =
     batch.Store.Ship.reset;
   let replica = Server.Registry.create ~jobs:1 () in
   let apply batch =
-    match Store.Ship.decode batch.Store.Ship.data with
-    | Error e -> Alcotest.failf "bad batch: %s" e
-    | Ok records ->
-        let mutations =
-          List.filter_map
-            (fun (_seq, payload) ->
-              if payload = "" then None
-              else
-                match Server.Persist.decode payload with
-                | Ok m -> Some m
-                | Error e -> Alcotest.failf "bad shipped record: %s" e)
-            records
-        in
-        if batch.Store.Ship.reset || mutations <> [] then
-          ignore
-            (Server.Registry.apply_shipped replica
-               ~reset:batch.Store.Ship.reset mutations)
-    in
+    if batch.Store.Ship.reset || batch.Store.Ship.data <> "" then
+      match
+        Server.Registry.apply_shipped replica ~reset:batch.Store.Ship.reset
+          batch.Store.Ship.data
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad batch: %s" e
+  in
   apply batch;
   Alcotest.(check (list string))
     "replica caught up to seq 1" [ "s0" ]
